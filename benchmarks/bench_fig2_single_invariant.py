@@ -1,0 +1,45 @@
+"""Figure 2: time to verify one invariant per §5.1 scenario.
+
+The paper reports, for the datacenter of Fig. 1, the time to check a
+single invariant in each misconfiguration family — Rules, Redundancy,
+Traversal — both when the invariant is violated and when it holds
+(violated checks are typically faster: the solver stops at the first
+satisfying schedule).  Each benchmark row below is one bar of Fig. 2.
+"""
+
+import pytest
+
+from repro.scenarios import (
+    datacenter,
+    datacenter_redundancy,
+    datacenter_traversal,
+)
+
+from .helpers import run_once
+
+N_GROUPS = 3
+
+
+def _bundle(family, violated):
+    if family == "rules":
+        return datacenter(n_groups=N_GROUPS, delete_rules=N_GROUPS if violated else 0)
+    if family == "redundancy":
+        return datacenter_redundancy(n_groups=N_GROUPS, backup_broken=violated)
+    return datacenter_traversal(
+        n_groups=N_GROUPS, reroute_hosts=2 * N_GROUPS if violated else 0
+    )
+
+
+@pytest.mark.parametrize("family", ["rules", "redundancy", "traversal"])
+@pytest.mark.parametrize("outcome", ["violated", "holds"])
+def test_fig2(benchmark, family, outcome):
+    violated = outcome == "violated"
+    bundle = _bundle(family, violated)
+    vmn = bundle.vmn()
+    check = next(c for c in bundle.checks if c.expected == outcome)
+
+    result = run_once(benchmark, lambda: vmn.verify(check.invariant))
+    assert result.status == outcome, f"{bundle.name}: {result.status}"
+    benchmark.extra_info["scenario"] = bundle.name
+    benchmark.extra_info["verdict"] = result.status
+    benchmark.extra_info["slice_nodes"] = vmn.network_for(check.invariant)[1]

@@ -1,0 +1,41 @@
+"""Figure 5: verifying *all* data-isolation invariants vs. policy
+complexity.
+
+Superlinear growth: the number of symmetry groups grows with the class
+count *and* each slice grows with the class count (Fig. 4), so total
+time compounds — the paper's Fig. 5 shows exactly this blow-up, which
+is why they cap the sweep at 100 classes where Fig. 3 went to 1000.
+"""
+
+import pytest
+
+from repro.core import DataIsolation
+from repro.scenarios import datacenter_with_caches
+
+from .helpers import run_once
+
+
+def _all_data_isolation(bundle):
+    topo = bundle.topology
+    groups = [g for g in topo.policy_groups if g.startswith("g")]
+    servers = {g: topo.hosts_in_group(g)[0] for g in groups}
+    clients = {g: topo.hosts_in_group(g)[1] for g in groups}
+    return [
+        DataIsolation(clients[cg], servers[sg])
+        for sg in groups
+        for cg in groups
+        if sg != cg
+    ]
+
+
+@pytest.mark.parametrize("n_groups", [2, 3])
+def test_fig5(benchmark, n_groups):
+    bundle = datacenter_with_caches(n_groups=n_groups)
+    vmn = bundle.vmn()
+    invariants = _all_data_isolation(bundle)
+
+    report = run_once(benchmark, lambda: vmn.verify_all(invariants))
+    assert all(o.status == "holds" for o in report)
+    benchmark.extra_info["policy_classes"] = vmn.policy_classes.count
+    benchmark.extra_info["invariants"] = len(report)
+    benchmark.extra_info["solver_runs"] = report.checks_run

@@ -1,0 +1,57 @@
+"""Figure 7: enterprise network — slice vs. whole-network verification.
+
+The paper plots, for each invariant type (public / quarantined /
+private), the time to verify on a slice (left of the vertical line —
+one point, independent of network size) against the time on the whole
+network as it grows (17/47/77 nodes).  We reproduce both series: the
+``slice`` benchmarks must stay flat while the ``whole-N`` benchmarks
+grow with N.
+"""
+
+import pytest
+
+from repro.core import VMN
+from repro.scenarios import enterprise
+
+from .helpers import run_once, slice_depth
+
+SIZES = [3, 6, 9]
+KINDS = {
+    "public": "public out",
+    "private": "private flow-iso",
+    "quarantined": "quarantine in",
+}
+
+
+def _check_for(bundle, kind):
+    label = KINDS[kind]
+    return next(c for c in bundle.checks if c.label.startswith(label))
+
+
+@pytest.mark.parametrize("kind", list(KINDS))
+def test_fig7_slice(benchmark, kind):
+    """The flat series: slice size does not depend on subnet count."""
+    bundle = enterprise(n_subnets=max(SIZES), hosts_per_subnet=1)
+    vmn = bundle.vmn()
+    check = _check_for(bundle, kind)
+    result = run_once(benchmark, lambda: vmn.verify(check.invariant))
+    assert result.status == check.expected
+    benchmark.extra_info["series"] = "slice"
+    benchmark.extra_info["slice_nodes"] = vmn.network_for(check.invariant)[1]
+
+
+@pytest.mark.parametrize("kind", list(KINDS))
+@pytest.mark.parametrize("n_subnets", SIZES)
+def test_fig7_whole(benchmark, kind, n_subnets):
+    """The growing series: the whole-network model scales with size."""
+    bundle = enterprise(n_subnets=n_subnets, hosts_per_subnet=1)
+    vmn = bundle.vmn(use_slicing=False, use_symmetry=False)
+    check = _check_for(bundle, kind)
+    depth = slice_depth(bundle.vmn(), check.invariant)
+
+    result = run_once(
+        benchmark, lambda: vmn.verify(check.invariant, depth=depth)
+    )
+    assert result.status == check.expected
+    benchmark.extra_info["series"] = f"whole-{n_subnets}"
+    benchmark.extra_info["network_nodes"] = len(bundle.topology.edge_nodes)

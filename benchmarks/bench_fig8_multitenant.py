@@ -1,0 +1,49 @@
+"""Figure 8: multi-tenant datacenter — slice vs. whole network.
+
+Per-invariant verification time for the three §5.3.2 invariant families
+(Priv-Priv, Pub-Priv, Priv-Pub) as the number of tenants grows.  The
+slice series is a single flat point; the whole-network series grows
+with the tenant count (the paper's right-hand side reaches tens of
+thousands of seconds at 20 tenants — our sweep is scaled down but bends
+the same way).
+"""
+
+import pytest
+
+from repro.scenarios import multitenant
+
+from .helpers import run_once, slice_depth
+
+TENANTS = [2, 3, 4]
+KINDS = ["Priv-Priv", "Pub-Priv", "Priv-Pub"]
+
+
+def _check_for(bundle, kind):
+    return next(c for c in bundle.checks if kind in c.label)
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_fig8_slice(benchmark, kind):
+    bundle = multitenant(n_tenants=max(TENANTS), vms_per_tenant=2)
+    vmn = bundle.vmn()
+    check = _check_for(bundle, kind)
+    result = run_once(benchmark, lambda: vmn.verify(check.invariant))
+    assert result.status == check.expected
+    benchmark.extra_info["series"] = "slice"
+    benchmark.extra_info["slice_nodes"] = vmn.network_for(check.invariant)[1]
+
+
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.parametrize("n_tenants", TENANTS)
+def test_fig8_whole(benchmark, kind, n_tenants):
+    bundle = multitenant(n_tenants=n_tenants, vms_per_tenant=2)
+    vmn = bundle.vmn(use_slicing=False, use_symmetry=False)
+    check = _check_for(bundle, kind)
+    depth = slice_depth(bundle.vmn(), check.invariant)
+
+    result = run_once(
+        benchmark, lambda: vmn.verify(check.invariant, depth=depth)
+    )
+    assert result.status == check.expected
+    benchmark.extra_info["series"] = f"whole-{n_tenants}t"
+    benchmark.extra_info["vms"] = 2 * n_tenants

@@ -1,0 +1,69 @@
+"""Figure 9(b) and 9(c): the ISP with intrusion detection.
+
+9(b): per-invariant time with 5 peering points as the subnet count
+grows — flat on slices, growing on the whole network.  9(c): subnet
+count held fixed while peering points grow; the whole-network series
+grows *faster* here because every extra peering point adds an IDS and a
+firewall to the model (the paper: "the IDS model is more complex
+leading to a larger increase in problem size").  Sweeps are scaled
+down; both shapes are preserved.
+"""
+
+import pytest
+
+from repro.scenarios import isp
+
+from .helpers import run_once, slice_depth
+
+SUBNETS_9B = [3, 6, 9]
+PEERING_9C = [1, 2, 3]
+
+
+def _quarantine_check(bundle):
+    return next(c for c in bundle.checks if "quarantine" in c.label)
+
+
+def test_fig9b_slice(benchmark):
+    bundle = isp(n_subnets=max(SUBNETS_9B), n_peering=2)
+    vmn = bundle.vmn()
+    check = _quarantine_check(bundle)
+    result = run_once(benchmark, lambda: vmn.verify(check.invariant))
+    assert result.status == check.expected
+    benchmark.extra_info["series"] = "slice"
+    benchmark.extra_info["slice_nodes"] = vmn.network_for(check.invariant)[1]
+
+
+@pytest.mark.parametrize("n_subnets", SUBNETS_9B)
+def test_fig9b_whole(benchmark, n_subnets):
+    bundle = isp(n_subnets=n_subnets, n_peering=2)
+    vmn = bundle.vmn(use_slicing=False, use_symmetry=False)
+    check = _quarantine_check(bundle)
+    depth = slice_depth(bundle.vmn(), check.invariant)
+    result = run_once(
+        benchmark, lambda: vmn.verify(check.invariant, depth=depth)
+    )
+    assert result.status == check.expected
+    benchmark.extra_info["series"] = f"whole-{n_subnets}sub"
+
+
+def test_fig9c_slice(benchmark):
+    bundle = isp(n_subnets=3, n_peering=max(PEERING_9C))
+    vmn = bundle.vmn()
+    check = _quarantine_check(bundle)
+    result = run_once(benchmark, lambda: vmn.verify(check.invariant))
+    assert result.status == check.expected
+    benchmark.extra_info["series"] = "slice"
+
+
+@pytest.mark.parametrize("n_peering", PEERING_9C)
+def test_fig9c_whole(benchmark, n_peering):
+    bundle = isp(n_subnets=3, n_peering=n_peering)
+    vmn = bundle.vmn(use_slicing=False, use_symmetry=False)
+    check = _quarantine_check(bundle)
+    depth = slice_depth(bundle.vmn(), check.invariant)
+    result = run_once(
+        benchmark, lambda: vmn.verify(check.invariant, depth=depth)
+    )
+    assert result.status == check.expected
+    benchmark.extra_info["series"] = f"whole-{n_peering}pp"
+    benchmark.extra_info["middleboxes"] = len(bundle.topology.middleboxes)

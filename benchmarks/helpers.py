@@ -1,0 +1,40 @@
+"""Shared benchmark plumbing.
+
+Every benchmark reproduces one figure of the paper's §5.  Absolute
+numbers differ from the paper (their solver is Z3's C++ core on a Xeon;
+ours is a pure-Python CDCL, and parameter ranges are scaled down
+accordingly — see EXPERIMENTS.md), but each figure's *shape* is the
+claim under test: what is flat, what grows, and who wins.
+
+Benchmarks run each verification once (``pedantic(rounds=1)``): a
+verification is seconds-long and deterministic enough that averaging
+adds nothing but wall-clock time.
+"""
+
+from __future__ import annotations
+
+from repro.core import VMN
+from repro.netmodel.bmc import default_depth
+
+
+def run_once(benchmark, fn):
+    """Benchmark ``fn`` with a single round."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def slice_depth(vmn: VMN, invariant) -> int:
+    """The unrolling depth the sliced problem would use.
+
+    Whole-network baseline runs reuse this depth: only the middleboxes
+    on the mentioned hosts' chains can ever forward their packets, so
+    the slice-derived bound is sufficient for the whole network too and
+    keeps the comparison about model size, exactly like the paper's.
+    """
+    sl = vmn.slice_for(invariant)
+    n_packets = getattr(invariant, "n_packets_hint", 2)
+    budget = getattr(invariant, "failure_budget", 0)
+    return default_depth(sl.network, n_packets, budget)
+
+
+def verdict_marker(result, expected: str) -> str:
+    return "ok" if result.status == expected else f"UNEXPECTED({result.status})"

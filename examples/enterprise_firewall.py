@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""The enterprise network of paper Fig. 6 (§5.3.1).
+
+Public subnets talk to the Internet freely, private subnets are
+flow-isolated, quarantined subnets are node-isolated — all enforced by
+one stateful firewall.  The script verifies every subnet's invariant,
+then deletes a quarantine rule and shows VMN catching it, and finally
+demonstrates the slice/symmetry machinery: the number of solver runs
+for the whole network equals the number of policy classes, not the
+number of hosts.
+
+Run:  python examples/enterprise_firewall.py
+"""
+
+from repro.scenarios import enterprise
+
+
+def main():
+    bundle = enterprise(n_subnets=3, hosts_per_subnet=2)
+    vmn = bundle.vmn()
+    print(f"{bundle.name}: {bundle.topology.describe()}")
+    print(f"policy equivalence classes: {vmn.policy_classes.count}")
+    print()
+
+    for check in bundle.checks:
+        result = vmn.verify(check.invariant)
+        _, slice_size = vmn.network_for(check.invariant)
+        ok = "as expected" if result.status == check.expected else "UNEXPECTED"
+        print(f"  {check.label:28s} {result.status:9s} "
+              f"(slice={slice_size} nodes, {result.solve_seconds:.2f}s) {ok}")
+
+    print()
+    print("=== whole invariant set, exploiting symmetry ===")
+    report = vmn.verify_all(bundle.invariants)
+    print(report.summary())
+
+    print()
+    print("=== misconfiguration: quarantine rules deleted for quar2_0 ===")
+    broken = enterprise(n_subnets=3, hosts_per_subnet=2,
+                        deny_deleted_for=("quar2_0",))
+    vmn = broken.vmn()
+    for check in broken.checks:
+        if "quar2_0" not in check.label:
+            continue
+        result = vmn.verify(check.invariant)
+        print(f"  {check.label:28s} {result.status}")
+        if result.trace is not None:
+            print("    leak schedule:")
+            for line in str(result.trace).splitlines()[1:]:
+                print("   ", line)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Multi-tenant datacenter isolation (paper §5.3.2).
+
+An EC2-security-groups cloud: per-tenant virtual-switch firewalls,
+public and private security groups.  Verifies the paper's three
+invariant families per tenant pair, and shows that slice size does not
+grow with the number of tenants.
+
+Run:  python examples/multitenant_isolation.py
+"""
+
+from repro.scenarios import multitenant
+
+
+def main():
+    for n_tenants in (2, 3):
+        bundle = multitenant(n_tenants=n_tenants, vms_per_tenant=2)
+        vmn = bundle.vmn()
+        print(f"--- {bundle.name} "
+              f"({len(bundle.topology.hosts)} VMs, "
+              f"{len(bundle.topology.middleboxes)} virtual switches) ---")
+        for check in bundle.checks[:3]:
+            result = vmn.verify(check.invariant)
+            _, slice_size = vmn.network_for(check.invariant)
+            ok = "ok" if result.status == check.expected else "MISMATCH"
+            print(f"  {check.label:22s} {result.status:9s} "
+                  f"slice={slice_size} [{ok}]")
+        print()
+
+    print("Priv-Pub reachability witness (a private VM contacting another")
+    print("tenant's public VM must succeed, with the schedule shown):")
+    bundle = multitenant(n_tenants=2, vms_per_tenant=2)
+    vmn = bundle.vmn()
+    reach = [c for c in bundle.checks if "Priv-Pub" in c.label][0]
+    result = vmn.verify(reach.invariant)
+    print(result.trace)
+
+
+if __name__ == "__main__":
+    main()

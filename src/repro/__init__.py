@@ -1,0 +1,41 @@
+"""VMN — Verifying Reachability in Networks with Mutable Datapaths.
+
+A reproduction of Panda et al., NSDI 2017.  The public API:
+
+* :mod:`repro.core` — the verifier: :class:`repro.core.VMN`, the
+  invariant classes, slicing and symmetry;
+* :mod:`repro.mboxes` — the middlebox model library (Listings 1-2);
+* :mod:`repro.network` — topologies, forwarding, transfer functions;
+* :mod:`repro.netmodel` — the symbolic encoding and BMC driver;
+* :mod:`repro.smt` — the finite-domain SMT substrate (the Z3 stand-in);
+* :mod:`repro.scenarios` — the paper's §5 evaluation scenarios;
+* :mod:`repro.baselines` — whole-network and explicit-state baselines.
+"""
+
+from .core import (
+    VMN,
+    CanReach,
+    ClassIsolation,
+    DataIsolation,
+    FlowIsolation,
+    Invariant,
+    NodeIsolation,
+    Traversal,
+)
+from .network import SteeringPolicy, Topology
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "VMN",
+    "Invariant",
+    "NodeIsolation",
+    "FlowIsolation",
+    "DataIsolation",
+    "Traversal",
+    "CanReach",
+    "ClassIsolation",
+    "Topology",
+    "SteeringPolicy",
+    "__version__",
+]

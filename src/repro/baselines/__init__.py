@@ -1,0 +1,11 @@
+"""Baselines: whole-network verification and explicit-state checking."""
+
+from .explicit import ConcretePacket, FixpointChecker
+from .whole_network import verify_whole_network, whole_network_vmn
+
+__all__ = [
+    "ConcretePacket",
+    "FixpointChecker",
+    "verify_whole_network",
+    "whole_network_vmn",
+]

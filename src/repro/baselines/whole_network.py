@@ -1,0 +1,48 @@
+"""Whole-network verification baseline.
+
+This is the comparison series of the paper's Figures 7, 8 and 9: the
+same SMT encoding, but run on the entire network instead of a slice and
+checking every invariant instead of one per symmetry group.  The
+machinery already lives in :class:`repro.core.VMN` behind flags; this
+module packages it so benchmarks and examples read explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.invariants import Invariant
+from ..core.vmn import VMN
+from ..netmodel.bmc import CheckResult, check
+from ..network.failures import NO_FAILURE, FailureScenario
+from ..network.topology import Topology
+from ..network.transfer import SteeringPolicy
+
+__all__ = ["whole_network_vmn", "verify_whole_network"]
+
+
+def whole_network_vmn(
+    topology: Topology,
+    steering: Optional[SteeringPolicy] = None,
+    scenario: FailureScenario = NO_FAILURE,
+) -> VMN:
+    """A VMN instance with both scaling optimizations disabled."""
+    return VMN(
+        topology,
+        steering,
+        scenario=scenario,
+        use_slicing=False,
+        use_symmetry=False,
+    )
+
+
+def verify_whole_network(
+    topology: Topology,
+    invariant: Invariant,
+    steering: Optional[SteeringPolicy] = None,
+    scenario: FailureScenario = NO_FAILURE,
+    **bmc_kwargs,
+) -> CheckResult:
+    """One invariant against the full, unsliced network model."""
+    vmn = whole_network_vmn(topology, steering, scenario)
+    return check(vmn.whole_network(), invariant, **bmc_kwargs)

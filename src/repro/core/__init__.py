@@ -1,0 +1,63 @@
+"""VMN core: invariants, policy classes, slicing, symmetry, the facade."""
+
+from .invariants import (
+    CanReach,
+    ClassIsolation,
+    DataIsolation,
+    FlowIsolation,
+    Invariant,
+    NodeIsolation,
+    Traversal,
+)
+from .ltl import (
+    Always,
+    Atom,
+    Conj,
+    Disj,
+    Formula,
+    Historically,
+    LTLInvariant,
+    Neg,
+    Once,
+)
+from .policy import PolicyClasses, policy_equivalence_classes
+from .prove import BOUNDED, UNBOUNDED, ProofResult, prove
+from .results import InvariantOutcome, Report
+from .slicing import Slice, SliceClosureError, build_slice, restrict_rules
+from .symmetry import SymmetryGroup, group_invariants
+from .vmn import VMN, verify_under_failures
+
+__all__ = [
+    "Invariant",
+    "NodeIsolation",
+    "FlowIsolation",
+    "DataIsolation",
+    "Traversal",
+    "CanReach",
+    "ClassIsolation",
+    "Always",
+    "Atom",
+    "Conj",
+    "Disj",
+    "Formula",
+    "Historically",
+    "LTLInvariant",
+    "Neg",
+    "Once",
+    "ProofResult",
+    "prove",
+    "UNBOUNDED",
+    "BOUNDED",
+    "PolicyClasses",
+    "policy_equivalence_classes",
+    "Slice",
+    "SliceClosureError",
+    "build_slice",
+    "restrict_rules",
+    "SymmetryGroup",
+    "group_invariants",
+    "InvariantOutcome",
+    "Report",
+    "VMN",
+    "verify_under_failures",
+]

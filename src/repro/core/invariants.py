@@ -1,0 +1,319 @@
+"""Reachability invariants (paper §3.3).
+
+Each invariant is a safety property of the form
+``∀n, p: □ ¬(rcv(d, n, p) ∧ predicate(p))`` — node ``d`` never receives
+a packet matching the predicate.  Verification works on the *negation*:
+:meth:`violation_term` builds the satisfiability query whose models are
+violating schedules (grounded over the bounded timesteps, as the paper
+grounds its LTL-with-past encoding).
+
+The concrete invariants below are the paper's three §3.3 examples plus
+the traversal invariant used in §5.1:
+
+* :class:`NodeIsolation` — simple isolation by source address,
+* :class:`FlowIsolation` — only previously-established flows may reach,
+* :class:`DataIsolation` — content from an origin must not arrive, even
+  via caches,
+* :class:`Traversal` — packets must have passed through a given
+  middlebox before delivery,
+* :class:`CanReach` — a *liveness-flavoured* check used by experiments
+  that assert reachability (its "violation" is a witness that delivery
+  is possible).
+
+Every invariant records the nodes it mentions (``mentions``) for slice
+construction and a ``symmetry_key`` so policy-symmetric invariants can
+be grouped (paper §4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+from ..netmodel.packets import same_flow
+from ..netmodel.system import ModelContext
+from ..smt import And, Eq, Not, Or, Term
+
+__all__ = [
+    "Invariant",
+    "NodeIsolation",
+    "FlowIsolation",
+    "DataIsolation",
+    "Traversal",
+    "CanReach",
+    "ClassIsolation",
+]
+
+
+class Invariant:
+    """Base class; subclasses build the violation term."""
+
+    #: Number of symbolic packets a violation needs (BMC sizing hint).
+    n_packets_hint = 1
+    #: Middlebox failures the adversary may inject (0 = steady state).
+    failure_budget = 0
+
+    def violation_term(self, ctx: ModelContext) -> Term:
+        raise NotImplementedError
+
+    @property
+    def mentions(self) -> FrozenSet[str]:
+        """Nodes (hosts/middleboxes) the invariant references."""
+        raise NotImplementedError
+
+    def symmetry_key(self, policy_class_of) -> tuple:
+        """A key equal for invariants that are policy-symmetric.
+
+        ``policy_class_of`` maps a node name to its policy equivalence
+        class (paper §4.2); two invariants of the same type whose
+        mentioned nodes sit in the same classes are symmetric.
+        """
+        return (
+            type(self).__name__,
+            tuple(sorted(policy_class_of(n) for n in self.mentions)),
+            self.failure_budget,
+        )
+
+    def with_failures(self, budget: int) -> "Invariant":
+        """A copy of this invariant verified under ``budget`` failures."""
+        import copy
+
+        clone = copy.copy(self)
+        clone.failure_budget = budget
+        return clone
+
+
+@dataclass
+class NodeIsolation(Invariant):
+    """Paper §3.3 *simple isolation*: ``dst`` never receives a packet
+    whose source address is ``src``."""
+
+    dst: str
+    src: str
+    # Two packets by default: hole-punching violations need the
+    # initiating outbound packet plus the offending inbound one.
+    n_packets_hint: int = 2
+    failure_budget: int = 0
+
+    def violation_term(self, ctx: ModelContext) -> Term:
+        cases = []
+        for t in range(ctx.depth):
+            for p in ctx.packets:
+                cases.append(
+                    And(ctx.rcv_at(self.dst, p.index, t), Eq(p.src, ctx.addr(self.src)))
+                )
+        return Or(*cases)
+
+    @property
+    def mentions(self) -> FrozenSet[str]:
+        return frozenset({self.dst, self.src})
+
+    def describe(self) -> str:
+        return f"{self.dst} never receives packets from {self.src}"
+
+
+@dataclass
+class FlowIsolation(Invariant):
+    """Paper §3.3 *flow isolation*: ``dst`` receives packets from
+    ``src`` only on flows that ``dst`` itself initiated."""
+
+    dst: str
+    src: str
+    n_packets_hint: int = 2  # the inbound packet plus the initiating one
+    failure_budget: int = 0
+
+    def violation_term(self, ctx: ModelContext) -> Term:
+        cases = []
+        for t in range(ctx.depth):
+            for p in ctx.packets:
+                initiated = [
+                    And(ctx.sent_to_net_before(self.dst, q.index, t), same_flow(q, p))
+                    for q in ctx.packets
+                ]
+                cases.append(
+                    And(
+                        ctx.rcv_at(self.dst, p.index, t),
+                        Eq(p.src, ctx.addr(self.src)),
+                        Not(Or(*initiated)),
+                    )
+                )
+        return Or(*cases)
+
+    @property
+    def mentions(self) -> FrozenSet[str]:
+        return frozenset({self.dst, self.src})
+
+    def describe(self) -> str:
+        return f"{self.dst} accepts only flows it initiated towards {self.src}"
+
+
+@dataclass
+class DataIsolation(Invariant):
+    """Paper §3.3 / §5.2 *data isolation*: ``dst`` cannot *access* data
+    originating at ``origin`` — "either by directly contacting s or
+    indirectly through network elements such as content cache".
+
+    Following that definition, the offending delivery must have been
+    emitted by the origin server itself or by a shared-state
+    (origin-agnostic) middlebox such as a cache or proxy; a third-party
+    host deliberately exfiltrating data it legitimately holds is outside
+    the invariant (and outside what network configuration can prevent).
+    ``via`` overrides the emitter set explicitly.
+
+    Three packets suffice for the canonical leak (a fill reaching the
+    cache, the client's request, the leaking serve); topologies where
+    caches can only be filled by fetch-responses need four.
+    """
+
+    dst: str
+    origin: str
+    via: Optional[Tuple[str, ...]] = None
+    n_packets_hint: int = 3
+    failure_budget: int = 0
+
+    def _emitters(self, ctx: ModelContext) -> Tuple[str, ...]:
+        if self.via is not None:
+            return self.via
+        shared = tuple(
+            m.name
+            for m in ctx.net.middleboxes
+            if getattr(m, "origin_agnostic", False)
+            or not getattr(m, "flow_parallel", True)
+        )
+        return (self.origin,) + shared
+
+    def violation_term(self, ctx: ModelContext) -> Term:
+        emitters = self._emitters(ctx)
+        cases = []
+        for t in range(ctx.depth):
+            for p in ctx.packets:
+                served_by = Or(
+                    *(ctx.sent_to_net_before(e, p.index, t) for e in emitters)
+                )
+                cases.append(
+                    And(
+                        ctx.rcv_at(self.dst, p.index, t),
+                        Eq(p.origin, ctx.addr(self.origin)),
+                        Not(p.is_request),
+                        served_by,
+                    )
+                )
+        return Or(*cases)
+
+    @property
+    def mentions(self) -> FrozenSet[str]:
+        return frozenset({self.dst, self.origin})
+
+    def describe(self) -> str:
+        return f"{self.dst} never receives data originating at {self.origin}"
+
+
+@dataclass
+class Traversal(Invariant):
+    """Every packet delivered to ``dst`` previously passed through
+    middlebox ``through`` (paper §5.1 "Traversal" / pipeline scenario).
+
+    ``from_sources`` optionally restricts the obligation to packets with
+    the given source addresses (e.g. only traffic from outside must
+    traverse the IDPS).
+    """
+
+    dst: str
+    through: str
+    from_sources: Optional[Tuple[str, ...]] = None
+    n_packets_hint: int = 1
+    failure_budget: int = 0
+
+    def violation_term(self, ctx: ModelContext) -> Term:
+        cases = []
+        for t in range(ctx.depth):
+            for p in ctx.packets:
+                scope = []
+                if self.from_sources is not None:
+                    scope.append(
+                        Or(*(Eq(p.src, ctx.addr(s)) for s in self.from_sources))
+                    )
+                cases.append(
+                    And(
+                        ctx.rcv_at(self.dst, p.index, t),
+                        *scope,
+                        Not(ctx.sent_to_net_before(self.through, p.index, t)),
+                    )
+                )
+        return Or(*cases)
+
+    @property
+    def mentions(self) -> FrozenSet[str]:
+        base = {self.dst, self.through}
+        if self.from_sources:
+            base.update(self.from_sources)
+        return frozenset(base)
+
+    def describe(self) -> str:
+        return f"packets reach {self.dst} only via {self.through}"
+
+
+@dataclass
+class ClassIsolation(Invariant):
+    """``dst`` never receives a packet of an abstract class (paper §2.2:
+    "drop all malicious traffic", "drop all Skype traffic").
+
+    The class is decided by the classification oracle, so a ``holds``
+    verdict means the configuration blocks the class *for every
+    classifier behaviour* — the oracle conditioning the paper describes.
+    """
+
+    dst: str
+    class_name: str
+    n_packets_hint: int = 1
+    failure_budget: int = 0
+
+    def violation_term(self, ctx: ModelContext) -> Term:
+        cases = []
+        for t in range(ctx.depth):
+            for p in ctx.packets:
+                cases.append(
+                    And(
+                        ctx.rcv_at(self.dst, p.index, t),
+                        ctx.classify(self.class_name, p),
+                    )
+                )
+        return Or(*cases)
+
+    @property
+    def mentions(self) -> FrozenSet[str]:
+        return frozenset({self.dst})
+
+    def describe(self) -> str:
+        return f"{self.dst} never receives {self.class_name!r} traffic"
+
+
+@dataclass
+class CanReach(Invariant):
+    """Positive reachability: SAT ("violated") means ``dst`` *can*
+    receive a packet from ``src`` — with a witness trace.
+
+    Experiments that assert connectivity (e.g. the multi-tenant
+    Priv-Pub check, paper §5.3.2) use this and expect ``violated``.
+    """
+
+    dst: str
+    src: str
+    n_packets_hint: int = 2
+    failure_budget: int = 0
+
+    def violation_term(self, ctx: ModelContext) -> Term:
+        cases = []
+        for t in range(ctx.depth):
+            for p in ctx.packets:
+                cases.append(
+                    And(ctx.rcv_at(self.dst, p.index, t), Eq(p.src, ctx.addr(self.src)))
+                )
+        return Or(*cases)
+
+    @property
+    def mentions(self) -> FrozenSet[str]:
+        return frozenset({self.dst, self.src})
+
+    def describe(self) -> str:
+        return f"{self.dst} is reachable from {self.src}"

@@ -1,0 +1,246 @@
+"""LTL-with-past formulas (the paper's §3.2 notation).
+
+The paper writes its models and invariants in a simplified linear
+temporal logic of events with past operators — ``□`` (always), ``◇``
+(at some point in the past) — and notes that "VMN automatically
+converts LTL formulas into first-order logic by explicitly quantifying
+over time".  This module implements exactly that conversion against the
+bounded timestep axis of a :class:`repro.netmodel.system.ModelContext`:
+
+* atoms are event predicates at a timestep — :func:`rcv`, :func:`snd`,
+  :func:`fail`, or any ``(ctx, t) -> Term`` function;
+* :class:`Once` (past ◇) and :class:`Historically` (past □) ground to
+  linear-size recurrences over the timesteps;
+* a top-level safety property ``□ φ`` becomes an
+  :class:`LTLInvariant`, pluggable anywhere the dataclass invariants
+  of :mod:`repro.core.invariants` are: its violation term is
+  ``∃t ¬φ(t)`` grounded over the unrolling.
+
+Example — the paper's *simple isolation* written as in §3.3::
+
+    phi = Always(Neg(Conj(rcv("d"), field_is("src", "s"))))
+    inv = LTLInvariant(phi, mentions={"d", "s"})
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterable, Tuple
+
+from ..netmodel.system import ModelContext
+from ..smt import And, Eq, Not, Or, Term
+from .invariants import Invariant
+
+__all__ = [
+    "Formula",
+    "Atom",
+    "Neg",
+    "Conj",
+    "Disj",
+    "Implies",
+    "Once",
+    "Historically",
+    "Always",
+    "LTLInvariant",
+    "rcv",
+    "snd",
+    "fail",
+    "field_is",
+]
+
+
+class Formula:
+    """Base class: a formula evaluable at a timestep."""
+
+    def at(self, ctx: ModelContext, t: int) -> Term:
+        raise NotImplementedError
+
+    # Sugar so formulas compose with operators.
+    def __and__(self, other: "Formula") -> "Formula":
+        return Conj(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Disj(self, other)
+
+    def __invert__(self) -> "Formula":
+        return Neg(self)
+
+
+@dataclass(frozen=True)
+class Atom(Formula):
+    """An event predicate ``(ctx, t) -> Term``."""
+
+    fn: Callable[[ModelContext, int], Term]
+    label: str = "atom"
+
+    def at(self, ctx: ModelContext, t: int) -> Term:
+        return self.fn(ctx, t)
+
+
+@dataclass(frozen=True)
+class Neg(Formula):
+    body: Formula
+
+    def at(self, ctx: ModelContext, t: int) -> Term:
+        return Not(self.body.at(ctx, t))
+
+
+class _Nary(Formula):
+    def __init__(self, *parts: Formula):
+        self.parts = parts
+
+
+class Conj(_Nary):
+    def at(self, ctx: ModelContext, t: int) -> Term:
+        return And(*(p.at(ctx, t) for p in self.parts))
+
+
+class Disj(_Nary):
+    def at(self, ctx: ModelContext, t: int) -> Term:
+        return Or(*(p.at(ctx, t) for p in self.parts))
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    lhs: Formula
+    rhs: Formula
+
+    def at(self, ctx: ModelContext, t: int) -> Term:
+        return Or(Not(self.lhs.at(ctx, t)), self.rhs.at(ctx, t))
+
+
+class Once(Formula):
+    """Past ◇: the body held at some step ``<= t`` (strict with
+    ``strict=True``: some step ``< t``)."""
+
+    def __init__(self, body: Formula, strict: bool = False):
+        self.body = body
+        self.strict = strict
+        self._cache: Dict[Tuple[int, int], Term] = {}
+
+    def at(self, ctx: ModelContext, t: int) -> Term:
+        key = (ctx.ns, t)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        upto = t - 1 if self.strict else t
+        term = self._at_upto(ctx, upto) if upto >= 0 else Or()
+        self._cache[key] = term
+        return term
+
+    def _at_upto(self, ctx: ModelContext, upto: int) -> Term:
+        key = (ctx.ns, ("upto", upto))
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        if upto < 0:
+            term = Or()
+        else:
+            term = Or(self._at_upto(ctx, upto - 1), self.body.at(ctx, upto))
+        self._cache[key] = term
+        return term
+
+
+class Historically(Formula):
+    """Past □: the body held at every step ``<= t``."""
+
+    def __init__(self, body: Formula):
+        self.body = body
+        self._cache: Dict = {}
+
+    def at(self, ctx: ModelContext, t: int) -> Term:
+        key = (ctx.ns, t)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        if t < 0:
+            term = And()
+        else:
+            term = And(self.at(ctx, t - 1), self.body.at(ctx, t))
+        self._cache[key] = term
+        return term
+
+
+@dataclass(frozen=True)
+class Always:
+    """Top-level ``□ φ`` — a safety property over the whole run."""
+
+    body: Formula
+
+
+@dataclass
+class LTLInvariant(Invariant):
+    """Adapter: a top-level :class:`Always` property as an invariant."""
+
+    prop: Always
+    mention_set: FrozenSet[str] = frozenset()
+    n_packets_hint: int = 2
+    failure_budget: int = 0
+
+    def __init__(self, prop: Always, mentions: Iterable[str] = (),
+                 n_packets_hint: int = 2, failure_budget: int = 0):
+        self.prop = prop
+        self.mention_set = frozenset(mentions)
+        self.n_packets_hint = n_packets_hint
+        self.failure_budget = failure_budget
+
+    def violation_term(self, ctx: ModelContext) -> Term:
+        return Or(*(Not(self.prop.body.at(ctx, t)) for t in range(ctx.depth)))
+
+    @property
+    def mentions(self) -> FrozenSet[str]:
+        return self.mention_set
+
+
+# ---------------------------------------------------------------------------
+# Event atoms (the paper's rcv / snd / fail vocabulary)
+# ---------------------------------------------------------------------------
+
+
+def rcv(node: str) -> Formula:
+    """``∃p: rcv(node, ·, p)`` at the current step — combine with
+    :func:`field_is` conjuncts to constrain the packet."""
+
+    def fn(ctx: ModelContext, t: int) -> Term:
+        ev = ctx.events[t]
+        return And(ev.is_send, ev.to_is(node))
+
+    return Atom(fn, label=f"rcv({node})")
+
+
+def snd(node: str) -> Formula:
+    def fn(ctx: ModelContext, t: int) -> Term:
+        ev = ctx.events[t]
+        return And(ev.is_send, ev.frm_is(node))
+
+    return Atom(fn, label=f"snd({node})")
+
+
+def fail(node: str) -> Formula:
+    def fn(ctx: ModelContext, t: int) -> Term:
+        return ctx.events[t].fail_of(node)
+
+    return Atom(fn, label=f"fail({node})")
+
+
+def field_is(field_name: str, value) -> Formula:
+    """The current step's packet has ``field == value`` (an address for
+    src/dst/origin, an integer for ports)."""
+
+    def fn(ctx: ModelContext, t: int) -> Term:
+        ev = ctx.events[t]
+        cases = []
+        for p in ctx.packets:
+            fields = {
+                "src": p.src, "dst": p.dst, "sport": p.sport,
+                "dport": p.dport, "origin": p.origin, "tag": p.tag,
+            }
+            term_value = (
+                ctx.addr(value)
+                if field_name in ("src", "dst", "origin")
+                else getattr(ctx.schema, "port" if field_name.endswith("port") else "tag")(value)
+            )
+            cases.append(And(ev.pkt_is(p.index), Eq(fields[field_name], term_value)))
+        return Or(*cases)
+
+    return Atom(fn, label=f"{field_name}={value}")

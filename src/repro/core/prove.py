@@ -1,0 +1,132 @@
+"""Unbounded proofs for BMC ``holds`` verdicts.
+
+The BMC driver's ``holds`` is relative to the structural depth bound of
+DESIGN.md §5.  For the failure-free fragment with boolean-oracle
+middleboxes, the explicit-state fixpoint of
+:mod:`repro.baselines.explicit` decides reachability for *all* schedule
+lengths at once (monotonicity), so agreement between the two engines
+upgrades a bounded verdict to an unbounded one — and disagreement would
+expose a depth bound that is too small.
+
+:func:`prove` runs both engines; the returned :class:`ProofResult`
+records the verdict and how far the guarantee extends.  Oracles are
+explored at both constant extremes (all-false / all-true classifiers);
+a violation under either counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..baselines.explicit import FixpointChecker
+from ..netmodel.bmc import HOLDS, VIOLATED, CheckResult, check
+from ..netmodel.system import VerificationNetwork
+from .invariants import (
+    CanReach,
+    DataIsolation,
+    FlowIsolation,
+    Invariant,
+    NodeIsolation,
+    Traversal,
+)
+
+__all__ = ["ProofResult", "prove", "UNBOUNDED", "BOUNDED"]
+
+UNBOUNDED = "unbounded"
+BOUNDED = "bounded"
+
+
+@dataclass
+class ProofResult:
+    """A verdict plus the strength of its guarantee."""
+
+    status: str  # "holds" / "violated" / "unknown"
+    guarantee: str  # UNBOUNDED or BOUNDED
+    bmc: CheckResult
+    explicit_agrees: Optional[bool] = None
+    note: str = ""
+
+    @property
+    def holds(self) -> bool:
+        return self.status == HOLDS
+
+    @property
+    def violated(self) -> bool:
+        return self.status == VIOLATED
+
+    def __str__(self) -> str:
+        return f"{self.status} ({self.guarantee}{': ' + self.note if self.note else ''})"
+
+
+def _explicit_verdict(net: VerificationNetwork, invariant: Invariant,
+                      n_ports: int) -> Optional[bool]:
+    """True = violated, False = holds, None = not decidable explicitly."""
+    if invariant.failure_budget:
+        return None
+    try:
+        checkers = [
+            FixpointChecker(net, n_ports=n_ports, oracle_value=v)
+            for v in (False, True)
+        ]
+    except NotImplementedError:
+        return None
+
+    def any_violated(call) -> bool:
+        return any(call(fx) for fx in checkers)
+
+    if isinstance(invariant, NodeIsolation):
+        return any_violated(
+            lambda fx: fx.node_isolation_violated(invariant.dst, invariant.src)
+        )
+    if isinstance(invariant, CanReach):
+        return any_violated(lambda fx: fx.can_reach(invariant.dst, invariant.src))
+    if isinstance(invariant, FlowIsolation):
+        return any_violated(
+            lambda fx: fx.flow_isolation_violated(invariant.dst, invariant.src)
+        )
+    if isinstance(invariant, Traversal):
+        return any_violated(
+            lambda fx: fx.traversal_violated(
+                invariant.dst, invariant.through, invariant.from_sources
+            )
+        )
+    if isinstance(invariant, DataIsolation):
+        return any_violated(
+            lambda fx: fx.data_isolation_violated(invariant.dst, invariant.origin)
+        )
+    return None
+
+
+def prove(
+    net: VerificationNetwork,
+    invariant: Invariant,
+    n_ports: int = 4,
+    **bmc_kwargs,
+) -> ProofResult:
+    """BMC verdict, upgraded to an unbounded proof when possible."""
+    bmc = check(net, invariant, n_ports=n_ports, **bmc_kwargs)
+    if bmc.status == VIOLATED:
+        # A counterexample is a proof regardless of depth.
+        return ProofResult(
+            status=VIOLATED, guarantee=UNBOUNDED, bmc=bmc,
+            note="counterexample schedule",
+        )
+
+    explicit = _explicit_verdict(net, invariant, n_ports)
+    if explicit is None:
+        return ProofResult(
+            status=bmc.status, guarantee=BOUNDED, bmc=bmc,
+            note=f"depth {bmc.depth}; explicit engine not applicable",
+        )
+    if explicit:  # explicit sees a violation BMC missed: bound too small
+        return ProofResult(
+            status=VIOLATED, guarantee=UNBOUNDED, bmc=bmc,
+            explicit_agrees=False,
+            note="explicit fixpoint found a deeper violation; "
+                 "increase depth/n_packets to obtain a schedule",
+        )
+    return ProofResult(
+        status=HOLDS, guarantee=UNBOUNDED, bmc=bmc, explicit_agrees=True,
+        note="confirmed by schedule-independent fixpoint",
+    )

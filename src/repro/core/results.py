@@ -1,0 +1,74 @@
+"""Aggregated verification reports.
+
+``VMN.verify_all`` returns a :class:`Report`: the per-representative
+check results, how many invariants each proof covered via symmetry, and
+wall-clock totals — the quantities the paper's Figures 3, 5, 7, 8 and 9
+plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..netmodel.bmc import HOLDS, UNKNOWN, VIOLATED, CheckResult
+from .invariants import Invariant
+
+__all__ = ["InvariantOutcome", "Report"]
+
+
+@dataclass
+class InvariantOutcome:
+    """One invariant's verdict, with slicing/symmetry provenance."""
+
+    invariant: Invariant
+    result: CheckResult
+    slice_size: Optional[int] = None  # None = whole-network verification
+    via_symmetry: bool = False  # verdict inherited from a symmetric proof
+
+    @property
+    def status(self) -> str:
+        return self.result.status
+
+
+@dataclass
+class Report:
+    """The outcome of verifying a whole invariant set."""
+
+    outcomes: List[InvariantOutcome] = field(default_factory=list)
+    total_seconds: float = 0.0
+    groups_verified: int = 0
+
+    def __iter__(self):
+        return iter(self.outcomes)
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def checks_run(self) -> int:
+        return sum(1 for o in self.outcomes if not o.via_symmetry)
+
+    def by_status(self, status: str) -> List[InvariantOutcome]:
+        return [o for o in self.outcomes if o.status == status]
+
+    @property
+    def violated(self) -> List[InvariantOutcome]:
+        return self.by_status(VIOLATED)
+
+    @property
+    def holding(self) -> List[InvariantOutcome]:
+        return self.by_status(HOLDS)
+
+    @property
+    def unknown(self) -> List[InvariantOutcome]:
+        return self.by_status(UNKNOWN)
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.outcomes)} invariants "
+            f"({self.checks_run} solver runs, symmetry saved "
+            f"{len(self.outcomes) - self.checks_run}); "
+            f"{len(self.holding)} hold, {len(self.violated)} violated, "
+            f"{len(self.unknown)} unknown; {self.total_seconds:.2f}s total"
+        )

@@ -1,0 +1,194 @@
+"""Network slices (paper §4).
+
+A slice is a subnetwork closed under forwarding and state; an invariant
+referencing only nodes in the slice holds in the network iff it holds
+in the slice.  For the network class the paper targets:
+
+* **flow-parallel** middleboxes (firewalls, NATs, IDSes): a subnetwork
+  closed under forwarding is automatically closed under state, so the
+  slice is just the invariant's nodes plus the middleboxes on the paths
+  between them;
+* **origin-agnostic** middleboxes (caches, proxies): closure under
+  state additionally needs one representative host from every policy
+  equivalence class — the box cannot distinguish same-class hosts, so a
+  representative stands in for them all.
+
+:func:`build_slice` implements exactly that construction and *checks*
+closure under forwarding on the computed transfer rules, raising
+:class:`SliceClosureError` when the rule set would carry slice-
+addressed traffic through a node outside the slice (the caller then
+falls back to whole-network verification — "VMN can still be used to
+verify moderate sized networks which violate these restrictions").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Set, Tuple
+
+from ..netmodel.rules import HeaderMatch, TransferRule
+from ..netmodel.system import VerificationNetwork
+from ..network.failures import NO_FAILURE, FailureScenario
+from ..network.topology import MIDDLEBOX, Topology
+from ..network.transfer import SteeringPolicy
+from .invariants import Invariant
+from .policy import PolicyClasses
+
+__all__ = ["Slice", "SliceClosureError", "build_slice", "restrict_rules"]
+
+
+class SliceClosureError(Exception):
+    """The candidate slice is not closed under forwarding."""
+
+
+@dataclass
+class Slice:
+    """A sliced verification problem plus provenance for reporting."""
+
+    network: VerificationNetwork
+    nodes: FrozenSet[str]
+    used_representatives: bool
+
+    @property
+    def size(self) -> int:
+        return len(self.nodes)
+
+
+def restrict_rules(
+    rules: Tuple[TransferRule, ...],
+    nodes: Set[str],
+) -> Tuple[TransferRule, ...]:
+    """Project transfer rules onto a node set.
+
+    Raises :class:`SliceClosureError` if a rule would deliver traffic
+    addressed to a slice node at a node outside the slice (the slice
+    would not be closed under forwarding).
+    """
+    out: List[TransferRule] = []
+    for rule in rules:
+        dsts = frozenset(rule.match.dst or ()) & nodes
+        if not dsts:
+            continue
+        if rule.to not in nodes:
+            raise SliceClosureError(
+                f"traffic for {sorted(dsts)} is delivered to {rule.to!r}, "
+                "which is outside the slice"
+            )
+        if rule.from_nodes is None:
+            ingress = None
+        else:
+            ingress = rule.from_nodes & nodes
+            if not ingress:
+                continue  # unreachable inside the slice
+        out.append(
+            TransferRule.of(
+                HeaderMatch.of(
+                    src=rule.match.src,
+                    dst=dsts,
+                    sport=rule.match.sport,
+                    dport=rule.match.dport,
+                    origin=rule.match.origin,
+                ),
+                to=rule.to,
+                from_nodes=ingress,
+            )
+        )
+    return tuple(out)
+
+
+def build_slice(
+    topology: Topology,
+    rules: Tuple[TransferRule, ...],
+    steering: Optional[SteeringPolicy],
+    policy_classes: PolicyClasses,
+    invariant: Invariant,
+    scenario: FailureScenario = NO_FAILURE,
+    allow_spoofing: bool = False,
+) -> Slice:
+    """The paper's slice construction for one invariant."""
+    steering = steering or SteeringPolicy()
+    alive = {
+        n.name
+        for n in topology.edge_nodes
+        if scenario.node_ok(n.name)
+    }
+    host_names = {n.name for n in topology.hosts}
+
+    keep: Set[str] = {n for n in invariant.mentions if n in alive}
+
+    # Middleboxes that deliver *to* a mentioned node (a VIP whose backend
+    # the invariant names): without them the slice would hide a path.
+    for mb in topology.middleboxes:
+        if mb.name in alive and set(mb.model.linked_nodes()) & keep:
+            keep.add(mb.name)
+
+    # Origin-agnostic (shared-state) middleboxes can relay data between
+    # any hosts — caches are how §5.2's leaks happen — so they always
+    # join the slice, along with the per-class representatives added
+    # below.  Flow-parallel boxes off the mentioned paths stay out.
+    shared_state_boxes = [
+        mb.name
+        for mb in topology.middleboxes
+        if mb.name in alive
+        and (mb.model.origin_agnostic or not mb.model.flow_parallel)
+    ]
+    keep.update(shared_state_boxes)
+
+    def expand(nodes: Set[str]) -> None:
+        """Fixpoint: chain middleboxes and structurally linked nodes."""
+        changed = True
+        while changed:
+            changed = False
+            for node in list(nodes):
+                for stage in steering.chains.get(node, ()):
+                    if stage in alive and stage not in nodes:
+                        nodes.add(stage)
+                        changed = True
+                # Join targets for destinations already in the slice
+                # (e.g. the scrubber's resume-at-firewall stage).
+                for dst, nxt in steering.joins.get(node, {}).items():
+                    if dst in nodes and nxt in alive and nxt not in nodes:
+                        nodes.add(nxt)
+                        changed = True
+                if node in topology and topology.node(node).kind == MIDDLEBOX:
+                    for linked in topology.node(node).model.linked_nodes():
+                        if linked in alive and linked not in nodes:
+                            nodes.add(linked)
+                            changed = True
+
+    expand(keep)
+
+    # Origin-agnostic (or otherwise non-flow-parallel) middleboxes need a
+    # representative per policy class for closure under state.
+    kept_models = [
+        topology.node(n).model
+        for n in keep
+        if n in topology and topology.node(n).kind == MIDDLEBOX
+    ]
+    used_representatives = any(
+        m.origin_agnostic or not m.flow_parallel for m in kept_models
+    )
+    if used_representatives:
+        for rep in policy_classes.representatives():
+            if rep in alive:
+                keep.add(rep)
+        expand(keep)
+
+    sliced_rules = restrict_rules(rules, keep)
+    hosts = tuple(sorted(keep & host_names))
+    middleboxes = tuple(
+        topology.node(n).model.restricted(frozenset(keep))
+        for n in sorted(keep - host_names)
+        if n in topology and topology.node(n).kind == MIDDLEBOX
+    )
+    network = VerificationNetwork(
+        hosts=hosts,
+        middleboxes=middleboxes,
+        rules=sliced_rules,
+        allow_spoofing=allow_spoofing,
+    )
+    return Slice(
+        network=network,
+        nodes=frozenset(keep),
+        used_representatives=used_representatives,
+    )

@@ -1,0 +1,50 @@
+"""Invariant symmetry groups (paper §4.2).
+
+Operational networks are symmetric with respect to policy classes: two
+invariants that differ only by replacing nodes with same-class nodes
+are *symmetric*, and a proof of one transfers to the other.  VMN groups
+the invariant set by symmetry key and verifies one representative per
+group, which is what makes Fig. 3's whole-network verification scale
+with the number of policy classes rather than the number of hosts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from .invariants import Invariant
+from .policy import PolicyClasses
+
+__all__ = ["SymmetryGroup", "group_invariants"]
+
+
+@dataclass
+class SymmetryGroup:
+    """A set of mutually symmetric invariants and its representative."""
+
+    key: tuple
+    invariants: List[Invariant] = field(default_factory=list)
+
+    @property
+    def representative(self) -> Invariant:
+        return self.invariants[0]
+
+    @property
+    def size(self) -> int:
+        return len(self.invariants)
+
+
+def group_invariants(
+    invariants: Sequence[Invariant],
+    policy_classes: PolicyClasses,
+) -> List[SymmetryGroup]:
+    """Partition invariants into symmetry groups (stable order)."""
+    groups: Dict[tuple, SymmetryGroup] = {}
+    for inv in invariants:
+        key = inv.symmetry_key(policy_classes.get)
+        group = groups.get(key)
+        if group is None:
+            groups[key] = group = SymmetryGroup(key=key)
+        group.invariants.append(inv)
+    return list(groups.values())

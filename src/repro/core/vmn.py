@@ -1,0 +1,182 @@
+"""The VMN facade — the system of the paper, assembled.
+
+``VMN`` takes a concrete topology (switches and all), a steering policy
+(middlebox service chains), and a failure scenario; it computes the
+forwarding tables and collapses the static datapath VeriFlow-style,
+derives policy equivalence classes, and then verifies reachability
+invariants — per invariant on a *slice* whose size is independent of
+network size (paper §4.1), and across invariant sets with *symmetry*
+grouping (paper §4.2).  Both optimizations can be disabled, which is
+exactly the baseline the paper's Figures 7–9 compare against.
+
+Typical use::
+
+    vmn = VMN(topology, steering)
+    result = vmn.verify(FlowIsolation("priv-host", "internet"))
+    if result.violated:
+        print(result.trace)
+
+    report = vmn.verify_all(all_invariants)
+    print(report.summary())
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, List, Optional, Sequence
+
+from ..netmodel.bmc import CheckResult, check
+from ..netmodel.system import VerificationNetwork
+from ..network.failures import NO_FAILURE, FailureScenario
+from ..network.forwarding import ForwardingState, shortest_path_tables
+from ..network.topology import Topology
+from ..network.transfer import SteeringPolicy, compute_transfer_rules
+from .invariants import Invariant
+from .policy import PolicyClasses, policy_equivalence_classes
+from .results import InvariantOutcome, Report
+from .slicing import Slice, SliceClosureError, build_slice
+from .symmetry import group_invariants
+
+__all__ = ["VMN", "verify_under_failures"]
+
+
+def verify_under_failures(
+    topology: Topology,
+    invariant: Invariant,
+    steering_for,
+    scenarios: Iterable[FailureScenario],
+    **vmn_kwargs,
+):
+    """Verify one invariant across a set of static failure scenarios.
+
+    This is the paper's §3.5 failure model: each scenario gets its own
+    forwarding tables and transfer function (``steering_for(scenario)``
+    supplies the per-scenario chains — e.g. failing over to a backup
+    firewall), and the invariant must hold in all of them.  Returns
+    ``{scenario name: CheckResult}``.
+    """
+    results = {}
+    for scenario in scenarios:
+        vmn = VMN(
+            topology,
+            steering_for(scenario),
+            scenario=scenario,
+            **vmn_kwargs,
+        )
+        results[scenario.name] = vmn.verify(invariant)
+    return results
+
+
+class VMN:
+    """Verification for Middlebox Networks."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        steering: Optional[SteeringPolicy] = None,
+        scenario: FailureScenario = NO_FAILURE,
+        tables: Optional[ForwardingState] = None,
+        use_slicing: bool = True,
+        use_symmetry: bool = True,
+        allow_spoofing: bool = False,
+    ):
+        self.topology = topology
+        self.steering = steering or SteeringPolicy()
+        self.scenario = scenario
+        self.use_slicing = use_slicing
+        self.use_symmetry = use_symmetry
+        self.allow_spoofing = allow_spoofing
+        self.tables = tables if tables is not None else shortest_path_tables(
+            topology, scenario
+        )
+        self.rules = compute_transfer_rules(
+            topology, self.tables, self.steering, scenario
+        )
+        self.policy_classes: PolicyClasses = policy_equivalence_classes(
+            topology, self.steering
+        )
+
+    # ------------------------------------------------------------------
+    # Problem construction
+    # ------------------------------------------------------------------
+    def whole_network(self) -> VerificationNetwork:
+        """The unsliced verification problem (the baseline)."""
+        hosts = tuple(
+            sorted(
+                n.name for n in self.topology.hosts if self.scenario.node_ok(n.name)
+            )
+        )
+        middleboxes = tuple(
+            n.model
+            for n in self.topology.middleboxes
+            if self.scenario.node_ok(n.name)
+        )
+        return VerificationNetwork(
+            hosts=hosts,
+            middleboxes=middleboxes,
+            rules=self.rules,
+            allow_spoofing=self.allow_spoofing,
+        )
+
+    def slice_for(self, invariant: Invariant) -> Slice:
+        """The paper's slice for one invariant (may raise
+        :class:`SliceClosureError`)."""
+        return build_slice(
+            self.topology,
+            self.rules,
+            self.steering,
+            self.policy_classes,
+            invariant,
+            self.scenario,
+            allow_spoofing=self.allow_spoofing,
+        )
+
+    def network_for(self, invariant: Invariant):
+        """(network, slice_size) actually used for this invariant."""
+        if self.use_slicing:
+            try:
+                sl = self.slice_for(invariant)
+                return sl.network, sl.size
+            except SliceClosureError:
+                pass  # fall back to the whole network
+        net = self.whole_network()
+        return net, None
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+    def verify(self, invariant: Invariant, **bmc_kwargs) -> CheckResult:
+        """Check one invariant (sliced when possible)."""
+        net, _ = self.network_for(invariant)
+        return check(net, invariant, **bmc_kwargs)
+
+    def verify_all(
+        self, invariants: Sequence[Invariant], **bmc_kwargs
+    ) -> Report:
+        """Check an invariant set, exploiting symmetry when enabled."""
+        started = time.perf_counter()
+        report = Report()
+        if self.use_symmetry:
+            groups = group_invariants(invariants, self.policy_classes)
+        else:
+            groups = [
+                g
+                for inv in invariants
+                for g in group_invariants([inv], self.policy_classes)
+            ]
+        for group in groups:
+            rep = group.representative
+            net, slice_size = self.network_for(rep)
+            result = check(net, rep, **bmc_kwargs)
+            report.groups_verified += 1
+            for i, inv in enumerate(group.invariants):
+                report.outcomes.append(
+                    InvariantOutcome(
+                        invariant=inv,
+                        result=result,
+                        slice_size=slice_size,
+                        via_symmetry=(i > 0),
+                    )
+                )
+        report.total_seconds = time.perf_counter() - started
+        return report

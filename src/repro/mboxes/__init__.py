@@ -1,0 +1,45 @@
+"""Middlebox model library (paper §3.4).
+
+Models are written in the guarded-command style of the paper's
+Listings 1–2 (see :mod:`repro.mboxes.base`) and compiled to axioms by
+the base class.  Each model declares the structural properties slicing
+relies on: ``flow_parallel`` and ``origin_agnostic`` (paper §4.1).
+"""
+
+from .appfw import ApplicationFirewall
+from .base import FAIL_CLOSED, FAIL_OPEN, Branch, MiddleboxModel, acl_pairs_term
+from .cache import ContentCache
+from .dnat import DNAT
+from .firewall import AclFirewall, LearningFirewall
+from .gateway import Gateway
+from .idps import IDPS, RedirectingIDS
+from .loadbalancer import LoadBalancer
+from .nat import NAT
+from .portfilter import PortFilterFirewall
+from .proxy import Proxy
+from .scrubber import Scrubber
+from .vpn import VpnGateway
+from .wanopt import WanOptimizer
+
+__all__ = [
+    "MiddleboxModel",
+    "Branch",
+    "FAIL_CLOSED",
+    "FAIL_OPEN",
+    "acl_pairs_term",
+    "AclFirewall",
+    "LearningFirewall",
+    "NAT",
+    "DNAT",
+    "VpnGateway",
+    "PortFilterFirewall",
+    "LoadBalancer",
+    "ContentCache",
+    "IDPS",
+    "RedirectingIDS",
+    "Scrubber",
+    "ApplicationFirewall",
+    "WanOptimizer",
+    "Proxy",
+    "Gateway",
+]

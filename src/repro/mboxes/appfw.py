@@ -1,0 +1,64 @@
+"""Application-level firewall (paper §2.2's Skype example).
+
+Blocks traffic belonging to configured *application classes* — abstract
+packet classes like ``skype?`` or ``jabber?`` decided by the
+classification oracle.  The model demonstrates the paper's two-stage
+middlebox description: the forwarding model is trivial (drop blocked
+classes, forward the rest); everything interesting is delegated to the
+oracle.
+
+The paper's §3.6 notes that, absent extra constraints, VMN does not
+know application classes are mutually exclusive and may report false
+positives; passing ``mutually_exclusive=True`` adds the output
+constraint (a packet belongs to at most one declared class), which the
+ablation benchmark exercises.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, List
+
+from ..netmodel.system import ModelContext
+from ..smt import Implies, Not, Or, Term
+from .base import FAIL_CLOSED, Branch, MiddleboxModel
+
+__all__ = ["ApplicationFirewall"]
+
+
+class ApplicationFirewall(MiddleboxModel):
+    fail_mode = FAIL_CLOSED
+    flow_parallel = True
+    origin_agnostic = False
+
+    def __init__(
+        self,
+        name: str,
+        blocked_classes: Iterable[str],
+        known_classes: Iterable[str] = (),
+        mutually_exclusive: bool = False,
+    ):
+        super().__init__(name)
+        self.blocked_classes = tuple(blocked_classes)
+        # All classes this box can identify (superset of blocked).
+        known = tuple(known_classes) or self.blocked_classes
+        self.known_classes = tuple(dict.fromkeys(known + self.blocked_classes))
+        self.mutually_exclusive = mutually_exclusive
+
+    def branches(self, ctx, p_in, p_out, t) -> List[Branch]:
+        blocked = Or(*(ctx.classify(c, p_in) for c in self.blocked_classes))
+        return [
+            Branch.drop(blocked),
+            Branch.forward(Not(blocked)),
+        ]
+
+    def global_axioms(self, ctx: ModelContext) -> List[Term]:
+        if not self.mutually_exclusive or len(self.known_classes) < 2:
+            return []
+        axioms: List[Term] = []
+        for p in ctx.packets:
+            for a, b in combinations(self.known_classes, 2):
+                axioms.append(
+                    Implies(ctx.classify(a, p), Not(ctx.classify(b, p)))
+                )
+        return axioms

@@ -1,0 +1,199 @@
+"""The middlebox modelling language (paper §3.4, Listings 1–2).
+
+The paper specifies middleboxes in a loop-free, event-driven guarded-
+command language: a model is an ordered list of ``when guard =>
+action`` branches evaluated first-match against each received packet,
+plus a failure mode (``@FailClosed`` / ``@FailOpen``).  VMN compiles
+such models into quantified axioms.
+
+Here a model subclasses :class:`MiddleboxModel` and implements
+:meth:`branches`, returning :class:`Branch` objects for a symbolic
+(input packet, output packet) pair.  The base class supplies the
+semantic glue the paper's compilation performs:
+
+* an emission by middlebox ``m`` of packet ``p_out`` at step ``t``
+  requires an input packet ``p_in`` that ``m`` received earlier, with
+  no failure of ``m`` in between (state is lost on failure, buffered
+  packets are not replayed) — this is the ``send(f, p) => ◇ rcv(f, p)``
+  axiom of the paper;
+* the first branch whose guard matches ``p_in`` decides the action:
+  ``forward`` with a field relation linking ``p_out`` to ``p_in``
+  (identity by default), or ``drop`` (no emission);
+* fail-closed boxes never emit while failed; fail-open boxes behave
+  like a wire while failed (any received packet may be forwarded
+  unmodified).
+
+Branches may name a ``next_hop`` to emit directly to another node
+(e.g. an IDS redirecting flagged traffic into a scrubbing box over a
+tunnel); by default emissions go to the network pseudo-node Ω and are
+routed by the transfer rules.
+
+Every model also declares the two structural properties slicing needs
+(paper §4.1): ``flow_parallel`` (state partitioned by flow) and
+``origin_agnostic`` (shared state, insensitive to which host created
+it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..netmodel.events import EventVars
+from ..netmodel.packets import SymPacket
+from ..netmodel.system import OMEGA, ModelContext
+from ..smt import And, Eq, Implies, Not, Or, Term
+
+__all__ = ["FAIL_CLOSED", "FAIL_OPEN", "Branch", "MiddleboxModel", "acl_pairs_term"]
+
+FAIL_CLOSED = "closed"
+FAIL_OPEN = "open"
+
+FORWARD = "forward"
+DROP = "drop"
+
+
+@dataclass
+class Branch:
+    """One ``when guard => action`` arm of a middlebox model."""
+
+    guard: Term
+    action: str = FORWARD
+    relation: Optional[Term] = None  # p_out <-> p_in field relation; None = identity
+    next_hop: Optional[str] = None  # direct link target; None = via Ω
+
+    @staticmethod
+    def forward(guard: Term, relation: Optional[Term] = None,
+                next_hop: Optional[str] = None) -> "Branch":
+        return Branch(guard=guard, action=FORWARD, relation=relation, next_hop=next_hop)
+
+    @staticmethod
+    def drop(guard: Term) -> "Branch":
+        return Branch(guard=guard, action=DROP)
+
+
+def acl_pairs_term(ctx: ModelContext, pairs: Sequence[Tuple[str, str]],
+                   src: Term, dst: Term) -> Term:
+    """The ACL membership test ``(src, dst) in pairs`` as a term."""
+    return Or(
+        *(
+            And(Eq(src, ctx.addr(a)), Eq(dst, ctx.addr(b)))
+            for a, b in sorted(pairs)
+        )
+    )
+
+
+class MiddleboxModel:
+    """Base class: turns guarded-command branches into emission axioms."""
+
+    #: Failure behaviour: FAIL_CLOSED drops everything while failed,
+    #: FAIL_OPEN forwards everything unmodified while failed.
+    fail_mode = FAIL_CLOSED
+    #: State is partitioned per flow and only that flow touches it.
+    flow_parallel = True
+    #: State is shared across flows but insensitive to who created it.
+    origin_agnostic = False
+
+    def __init__(self, name: str):
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Subclass API
+    # ------------------------------------------------------------------
+    def branches(self, ctx: ModelContext, p_in: SymPacket, p_out: SymPacket,
+                 t: int) -> List[Branch]:
+        """The model's guarded commands for this (input, output) pair."""
+        raise NotImplementedError
+
+    def global_axioms(self, ctx: ModelContext) -> List[Term]:
+        """Axioms independent of any particular timestep."""
+        return []
+
+    # ------------------------------------------------------------------
+    # Slicing hooks (paper §4.1).  Slices restrict the address universe,
+    # so models must say which addresses their configuration mentions,
+    # which other nodes they are structurally tied to, and how to build
+    # a copy whose configuration is restricted to a slice's addresses.
+    # ------------------------------------------------------------------
+    def config_pairs(self) -> List[Tuple[str, str, str]]:
+        """(kind, src address, dst address) policy entries, for policy-
+        equivalence-class computation and slicing.  Default: none."""
+        return []
+
+    def config_addresses(self) -> frozenset:
+        out = set()
+        for _, a, b in self.config_pairs():
+            out.add(a)
+            out.add(b)
+        return frozenset(out)
+
+    def linked_nodes(self) -> Tuple[str, ...]:
+        """Nodes this box is structurally tied to (LB backends, an IDS's
+        scrubber): a slice containing the box must contain these."""
+        return ()
+
+    def restricted(self, addresses: frozenset) -> "MiddleboxModel":
+        """A copy whose configuration only mentions ``addresses``.
+
+        Sound for flow-parallel/origin-agnostic models: packets inside a
+        slice only carry slice addresses, so dropped entries could never
+        match.  Default: the model has no address-bearing config."""
+        return self
+
+    # ------------------------------------------------------------------
+    # Compilation (the paper's model-to-axioms translation)
+    # ------------------------------------------------------------------
+    def emission_axiom(self, ctx: ModelContext, ev: EventVars) -> Term:
+        """Constraint that must hold whenever this box is the sender."""
+        t = ev.t
+        per_out: List[Term] = []
+        for p_out in ctx.packets:
+            justifications: List[Term] = []
+            for p_in in ctx.packets:
+                received = ctx.rcv_before(self.name, p_in.index, t, since_fail=True)
+                fire_terms: List[Term] = []
+                prior_guards: List[Term] = []
+                for br in self.branches(ctx, p_in, p_out, t):
+                    first_match = And(br.guard, *(Not(g) for g in prior_guards))
+                    prior_guards.append(br.guard)
+                    if br.action != FORWARD:
+                        continue
+                    relation = (
+                        br.relation
+                        if br.relation is not None
+                        else p_out.fields_equal(p_in)
+                    )
+                    hop = br.next_hop if br.next_hop is not None else OMEGA
+                    fire_terms.append(And(first_match, relation, ev.to_is(hop)))
+                justifications.append(And(received, Or(*fire_terms)))
+            per_out.append(Implies(ev.pkt_is(p_out.index), Or(*justifications)))
+        behave = And(*per_out)
+
+        failed = ctx.failed_at(self.name, t)
+        if self.fail_mode == FAIL_CLOSED:
+            return And(Not(failed), behave)
+        # Fail-open: while failed the box is a wire (forward unmodified).
+        passthrough_cases: List[Term] = []
+        for p_out in ctx.packets:
+            same = [
+                And(
+                    ctx.rcv_before(self.name, p_in.index, t),
+                    p_out.fields_equal(p_in),
+                )
+                for p_in in ctx.packets
+            ]
+            passthrough_cases.append(
+                Implies(ev.pkt_is(p_out.index), Or(*same))
+            )
+        passthrough = And(ev.to_is(OMEGA), *passthrough_cases)
+        return Or(And(Not(failed), behave), And(failed, passthrough))
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        kind = "flow-parallel" if self.flow_parallel else (
+            "origin-agnostic" if self.origin_agnostic else "general"
+        )
+        return f"{type(self).__name__}({self.name}, {kind}, fail-{self.fail_mode})"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()

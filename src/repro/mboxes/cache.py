@@ -1,0 +1,114 @@
+"""Content-cache model (paper §5.2 data isolation).
+
+The cache is the paper's canonical *origin-agnostic* middlebox: its
+state (which origins' content it holds) is shared across flows, and its
+behaviour does not depend on which host's request caused the fill —
+that is exactly why data-isolation slices must contain a representative
+host per policy class (§4.1).
+
+Behaviour:
+
+* a **data** packet (any non-request tag) fills the cache with content
+  for ``origin(p)``;
+* a **request** for origin ``o`` is answered from the cache when the
+  content is held *and* no cache ACL entry denies ``(requester, o)``;
+* a request that cannot be answered is forwarded towards the origin
+  server (source-rewritten to the cache, so the answer returns here and
+  fills the cache).
+
+The ACL is a *deny list* of ``(requester address, origin address)``
+pairs, mirroring the paper's §5.2 setup: the operator installs entries
+denying cross-policy-group access to private data, and the experiments
+inject misconfiguration by **deleting** entries — which silently widens
+access, exactly the failure mode VMN is meant to catch.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from ..netmodel.packets import SymPacket
+from ..netmodel.system import ModelContext
+from ..smt import And, Eq, Not, Or, Term
+from .base import FAIL_CLOSED, Branch, MiddleboxModel, acl_pairs_term
+
+__all__ = ["ContentCache"]
+
+
+class ContentCache(MiddleboxModel):
+    fail_mode = FAIL_CLOSED
+    flow_parallel = False
+    origin_agnostic = True
+
+    def __init__(self, name: str, deny: Iterable[Tuple[str, str]] = ()):
+        super().__init__(name)
+        self.deny = frozenset(deny)
+
+    # ------------------------------------------------------------------
+    def cached(self, ctx: ModelContext, origin_term: Term, t: int) -> Term:
+        """Content for ``origin_term`` is in the cache at step ``t``.
+
+        History-defined and origin-agnostic: *any* data packet carrying
+        that origin received since the last failure filled the cache,
+        regardless of which flow or host it belonged to.
+        """
+        fills = [
+            And(
+                ctx.rcv_before(self.name, q.index, t, since_fail=True),
+                Not(q.is_request),
+                Eq(q.origin, origin_term),
+            )
+            for q in ctx.packets
+        ]
+        return Or(*fills)
+
+    def serving_allowed(self, ctx: ModelContext, requester: Term,
+                        origin_term: Term) -> Term:
+        """No deny entry matches (requester, origin)."""
+        return Not(acl_pairs_term(ctx, self.deny, requester, origin_term))
+
+    # ------------------------------------------------------------------
+    def branches(self, ctx, p_in, p_out, t) -> List[Branch]:
+        cache_addr = ctx.addr(self.name)
+
+        # Serve a cache hit: answer goes back to the requester, carrying
+        # the requested origin's data.
+        serve_guard = And(
+            p_in.is_request,
+            Eq(p_in.dst, cache_addr),
+            self.cached(ctx, p_in.origin, t),
+            self.serving_allowed(ctx, p_in.src, p_in.origin),
+        )
+        serve_relation = And(
+            Eq(p_out.dst, p_in.src),
+            Eq(p_out.dport, p_in.sport),
+            Eq(p_out.src, cache_addr),
+            Eq(p_out.sport, p_in.dport),
+            Eq(p_out.origin, p_in.origin),
+            Not(p_out.is_request),
+        )
+
+        # Miss (or ACL-denied): fetch from the origin server on behalf
+        # of the requester.
+        fetch_guard = And(p_in.is_request, Eq(p_in.dst, cache_addr))
+        fetch_relation = And(
+            Eq(p_out.dst, p_in.origin),
+            Eq(p_out.dport, p_in.dport),
+            Eq(p_out.src, cache_addr),
+            Eq(p_out.sport, p_in.sport),
+            Eq(p_out.origin, p_in.origin),
+            p_out.is_request,
+        )
+
+        return [
+            Branch.forward(serve_guard, relation=serve_relation),
+            Branch.forward(fetch_guard, relation=fetch_relation),
+            # Data packets only fill the cache; they are not forwarded.
+        ]
+
+    def config_pairs(self):
+        return [("deny", a, b) for a, b in sorted(self.deny)]
+
+    def restricted(self, addresses):
+        kept = {(a, b) for a, b in self.deny if a in addresses and b in addresses}
+        return ContentCache(self.name, deny=kept)

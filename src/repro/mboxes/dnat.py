@@ -1,0 +1,110 @@
+"""Destination NAT (static port forwarding).
+
+The complement of Listing 2's source NAT: a statically configured map
+from public ports on the box's address to internal (address, port)
+endpoints — how operators expose selected internal services.  Being a
+static map, the box is stateless (trivially flow-parallel); the
+interesting verification questions are which internal endpoints become
+reachable from outside and whether replies leak the internal address
+(they must not: the reverse direction rewrites the source back to the
+public address).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+from ..netmodel.packets import SymPacket
+from ..netmodel.system import ModelContext
+from ..smt import And, Eq, Or, Term
+from .base import FAIL_CLOSED, Branch, MiddleboxModel
+
+__all__ = ["DNAT"]
+
+
+class DNAT(MiddleboxModel):
+    """Static destination NAT.
+
+    ``forward`` maps a public port number to the internal
+    ``(address, port)`` serving it; the box's own name is the public
+    address.
+    """
+
+    fail_mode = FAIL_CLOSED
+    flow_parallel = True
+    origin_agnostic = False
+
+    def __init__(self, name: str, forward: Mapping[int, Tuple[str, int]]):
+        super().__init__(name)
+        self.forward: Dict[int, Tuple[str, int]] = dict(forward)
+        internals = [addr for addr, _ in self.forward.values()]
+        if len(set(self.forward)) != len(self.forward):  # pragma: no cover
+            raise ValueError("duplicate public ports")
+        self.internal_addresses = frozenset(internals)
+
+    # ------------------------------------------------------------------
+    def branches(self, ctx, p_in, p_out, t) -> List[Branch]:
+        public = ctx.addr(self.name)
+
+        # Inbound: dst == public address, dport has a mapping.
+        inbound_cases = []
+        for pp, (internal, ip) in sorted(self.forward.items()):
+            inbound_cases.append(
+                And(
+                    Eq(p_in.dport, ctx.schema.port(pp)),
+                    Eq(p_out.dst, ctx.addr(internal)),
+                    Eq(p_out.dport, ctx.schema.port(ip)),
+                )
+            )
+        inbound_guard = And(
+            Eq(p_in.dst, public),
+            Or(*(Eq(p_in.dport, ctx.schema.port(pp)) for pp in sorted(self.forward))),
+        )
+        inbound_relation = And(
+            Eq(p_out.src, p_in.src),
+            Eq(p_out.sport, p_in.sport),
+            Eq(p_out.origin, p_in.origin),
+            Eq(p_out.tag, p_in.tag),
+            Or(*inbound_cases),
+        )
+
+        # Reverse: replies from a forwarded internal endpoint get the
+        # public address and port restored.
+        reverse_cases = []
+        for pp, (internal, ip) in sorted(self.forward.items()):
+            reverse_cases.append(
+                And(
+                    Eq(p_in.src, ctx.addr(internal)),
+                    Eq(p_in.sport, ctx.schema.port(ip)),
+                    Eq(p_out.sport, ctx.schema.port(pp)),
+                )
+            )
+        reverse_guard = Or(
+            *(
+                And(Eq(p_in.src, ctx.addr(internal)), Eq(p_in.sport, ctx.schema.port(ip)))
+                for internal, ip in self.forward.values()
+            )
+        )
+        reverse_relation = And(
+            Eq(p_out.src, public),
+            Eq(p_out.dst, p_in.dst),
+            Eq(p_out.dport, p_in.dport),
+            Eq(p_out.origin, p_in.origin),
+            Eq(p_out.tag, p_in.tag),
+            Or(*reverse_cases),
+        )
+
+        return [
+            Branch.forward(inbound_guard, relation=inbound_relation),
+            Branch.forward(reverse_guard, relation=reverse_relation),
+            # Unmapped traffic is dropped (the box owns its address).
+        ]
+
+    def linked_nodes(self) -> Tuple[str, ...]:
+        return tuple(sorted(self.internal_addresses))
+
+    def config_pairs(self):
+        return [
+            ("forward", self.name, internal)
+            for internal, _ in sorted(self.forward.values())
+        ]

@@ -1,0 +1,136 @@
+"""Firewall models: stateless ACL firewall and the learning firewall.
+
+:class:`LearningFirewall` is the paper's Listing 1 — the stateful
+firewall whose ``established`` set implements outbound hole-punching:
+once a packet permitted by the ACL has established a flow, *both*
+directions of that flow pass.  The compiled axioms match the paper's:
+
+* ``established(flow(p))`` holds iff a permitted packet of the flow was
+  received since the firewall last failed, and
+* the firewall only emits packets it received that are permitted by the
+  ACL or belong to an established flow.
+
+Both models are flow-parallel and fail closed (``@FailClosed``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from ..netmodel.packets import SymPacket, same_flow
+from ..netmodel.system import ModelContext
+from ..smt import And, Not, Or, Term
+from .base import FAIL_CLOSED, Branch, MiddleboxModel, acl_pairs_term
+
+__all__ = ["AclFirewall", "LearningFirewall"]
+
+
+class AclFirewall(MiddleboxModel):
+    """Stateless firewall: forward exactly the ACL-permitted packets.
+
+    ``acl`` is a set of permitted ``(source address, destination
+    address)`` pairs; everything else is dropped.
+    """
+
+    fail_mode = FAIL_CLOSED
+    flow_parallel = True
+    origin_agnostic = False
+
+    def __init__(self, name: str, acl: Iterable[Tuple[str, str]]):
+        super().__init__(name)
+        self.acl = frozenset(acl)
+
+    def permits(self, ctx: ModelContext, p: SymPacket) -> Term:
+        return acl_pairs_term(ctx, self.acl, p.src, p.dst)
+
+    def branches(self, ctx, p_in, p_out, t) -> List[Branch]:
+        return [Branch.forward(self.permits(ctx, p_in))]
+
+    def config_pairs(self):
+        return [("allow", a, b) for a, b in sorted(self.acl)]
+
+    def restricted(self, addresses):
+        kept = {(a, b) for a, b in self.acl if a in addresses and b in addresses}
+        return AclFirewall(self.name, acl=kept)
+
+
+class LearningFirewall(MiddleboxModel):
+    """The paper's Listing 1: stateful firewall with hole punching.
+
+    A packet is forwarded when its flow is established, or when the ACL
+    permits it (which also establishes the flow).  Flow identity is
+    bidirectional (the paper's ``flow(p)``), so a permitted outbound
+    packet punches a hole for the reverse direction.
+
+    Two configuration styles, matching how the paper's evaluation
+    writes policies:
+
+    * ``allow=...`` — whitelist of permitted ``(src, dst)`` pairs
+      (Listing 1's ``acl``); everything else needs an established flow;
+    * ``deny=...`` with ``default_allow=True`` — blacklist, as in the
+      enterprise scenario's "rules denying access for each quarantined
+      subnet" (§5.3.1); deleting deny rules is how the §5.1 experiments
+      inject misconfiguration.
+    """
+
+    fail_mode = FAIL_CLOSED
+    flow_parallel = True
+    origin_agnostic = False
+
+    def __init__(
+        self,
+        name: str,
+        allow: Iterable[Tuple[str, str]] = (),
+        deny: Iterable[Tuple[str, str]] = (),
+        default_allow: bool = False,
+    ):
+        super().__init__(name)
+        self.allow = frozenset(allow)
+        self.deny = frozenset(deny)
+        self.default_allow = default_allow
+        if self.allow and self.deny:
+            raise ValueError("configure either an allow list or a deny list")
+
+    def permits(self, ctx: ModelContext, p: SymPacket) -> Term:
+        if self.default_allow:
+            return Not(acl_pairs_term(ctx, self.deny, p.src, p.dst))
+        return acl_pairs_term(ctx, self.allow, p.src, p.dst)
+
+    def established(self, ctx: ModelContext, p: SymPacket, t: int) -> Term:
+        """``established.contains(flow(p))`` at step ``t``.
+
+        History-defined, exactly as the paper's axiom: some packet of
+        the same (bidirectional) flow, permitted by the ACL, was
+        received since the last failure of this firewall.
+        """
+        witnesses = [
+            And(
+                ctx.rcv_before(self.name, q.index, t, since_fail=True),
+                same_flow(q, p),
+                self.permits(ctx, q),
+            )
+            for q in ctx.packets
+        ]
+        return Or(*witnesses)
+
+    def branches(self, ctx, p_in, p_out, t) -> List[Branch]:
+        return [
+            Branch.forward(self.established(ctx, p_in, t)),
+            Branch.forward(self.permits(ctx, p_in)),
+        ]
+
+    def config_pairs(self):
+        kind = "deny" if self.default_allow else "allow"
+        pairs = self.deny if self.default_allow else self.allow
+        return [(kind, a, b) for a, b in sorted(pairs)]
+
+    def restricted(self, addresses):
+        keep = lambda pairs: {
+            (a, b) for a, b in pairs if a in addresses and b in addresses
+        }
+        return LearningFirewall(
+            self.name,
+            allow=keep(self.allow),
+            deny=keep(self.deny),
+            default_allow=self.default_allow,
+        )

@@ -1,0 +1,29 @@
+"""Gateway model (the GW box of the enterprise topology, paper Fig. 6).
+
+A pure pass-through hop: it forwards everything unmodified.  It exists
+so that topologies can name an explicit handoff point between the
+firewalled edge and the internal subnets (and so the transfer rules can
+require traffic to have traversed it), but it makes no forwarding
+decisions of its own.  Fail-open, like the wire it effectively is.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..smt import TRUE
+from .base import FAIL_OPEN, Branch, MiddleboxModel
+
+__all__ = ["Gateway"]
+
+
+class Gateway(MiddleboxModel):
+    fail_mode = FAIL_OPEN
+    flow_parallel = True
+    origin_agnostic = False
+
+    def __init__(self, name: str):
+        super().__init__(name)
+
+    def branches(self, ctx, p_in, p_out, t) -> List[Branch]:
+        return [Branch.forward(TRUE)]

@@ -1,0 +1,73 @@
+"""Intrusion detection and prevention (IDPS) and IDS-redirect models.
+
+:class:`IDPS` is the inline prevention box of the datacenter scenario
+(paper Fig. 1): it drops packets the classification oracle marks
+``malicious?`` and forwards the rest unmodified.  Whether a packet is
+malicious is an abstract packet class — VMN verifies the configuration
+for every possible classifier behaviour (paper §2.2).
+
+:class:`RedirectingIDS` is the ISP scenario's lightweight monitor
+(paper §5.3.3, Fig. 9a): when it decides a destination prefix is under
+attack (oracle class ``suspicious?``), it reroutes the traffic over a
+tunnel (a direct link) to a centralized scrubbing box instead of the
+normal next hop; everything else continues through the normal pipeline.
+The misconfiguration studied in the paper — the scrubbed path bypassing
+the stateful firewalls — lives in the transfer rules, not in this
+model.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..netmodel.system import ModelContext
+from ..smt import Not
+from .base import FAIL_CLOSED, FAIL_OPEN, Branch, MiddleboxModel
+
+__all__ = ["IDPS", "RedirectingIDS"]
+
+
+class IDPS(MiddleboxModel):
+    """Inline intrusion prevention: drop ``malicious?`` traffic."""
+
+    fail_mode = FAIL_CLOSED
+    flow_parallel = True
+    origin_agnostic = False
+
+    def __init__(self, name: str, class_name: str = "malicious"):
+        super().__init__(name)
+        self.class_name = class_name
+
+    def branches(self, ctx, p_in, p_out, t) -> List[Branch]:
+        malicious = ctx.classify(self.class_name, p_in)
+        return [
+            Branch.drop(malicious),
+            Branch.forward(Not(malicious)),
+        ]
+
+
+class RedirectingIDS(MiddleboxModel):
+    """Lightweight IDS that tunnels flagged traffic to a scrubber.
+
+    ``scrubber`` is the direct-link target for flagged packets; clean
+    packets take the normal forwarding path through Ω.
+    """
+
+    fail_mode = FAIL_OPEN  # monitoring boxes are typically fail-open
+    flow_parallel = True
+    origin_agnostic = False
+
+    def __init__(self, name: str, scrubber: str, class_name: str = "suspicious"):
+        super().__init__(name)
+        self.scrubber = scrubber
+        self.class_name = class_name
+
+    def branches(self, ctx, p_in, p_out, t) -> List[Branch]:
+        flagged = ctx.classify(self.class_name, p_in)
+        return [
+            Branch.forward(flagged, next_hop=self.scrubber),
+            Branch.forward(Not(flagged)),
+        ]
+
+    def linked_nodes(self):
+        return (self.scrubber,)

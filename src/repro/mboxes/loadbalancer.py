@@ -1,0 +1,67 @@
+"""Load-balancer model.
+
+The balancer owns a virtual IP (its own name) and spreads flows across
+a set of backends.  The choice of backend per flow is an uninterpreted
+function — the solver explores every possible balancing decision, so a
+verified invariant holds for *any* hashing/least-loaded policy, which
+is how the paper abstracts policy-irrelevant mechanism.  State (the
+flow-to-backend pinning) is per flow, so the balancer is flow-parallel.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..netmodel.packets import SymPacket
+from ..netmodel.system import ModelContext
+from ..smt import And, Eq, Ne, Or, Term
+from .base import FAIL_CLOSED, Branch, MiddleboxModel
+
+__all__ = ["LoadBalancer"]
+
+
+class LoadBalancer(MiddleboxModel):
+    fail_mode = FAIL_CLOSED
+    flow_parallel = True
+    origin_agnostic = False
+
+    def __init__(self, name: str, backends: Iterable[str]):
+        super().__init__(name)
+        self.backends = tuple(sorted(set(backends)))
+        if not self.backends:
+            raise ValueError("load balancer needs at least one backend")
+
+    def _backend(self, ctx: ModelContext, p: SymPacket) -> Term:
+        fn = ctx.oracle_fn(f"{self.name}.backend", ctx.schema.addr_sort)
+        return fn(p.src, p.dst, p.sport, p.dport)
+
+    def branches(self, ctx, p_in, p_out, t) -> List[Branch]:
+        vip = ctx.addr(self.name)
+        chosen = self._backend(ctx, p_in)
+        rewrite = And(
+            Eq(p_out.dst, chosen),
+            Eq(p_out.src, p_in.src),
+            Eq(p_out.sport, p_in.sport),
+            Eq(p_out.dport, p_in.dport),
+            Eq(p_out.origin, p_in.origin),
+            Eq(p_out.tag, p_in.tag),
+        )
+        return [
+            Branch.forward(Eq(p_in.dst, vip), relation=rewrite),
+            # Return traffic and anything not addressed to the VIP is a
+            # bump-in-the-wire pass-through.
+            Branch.forward(Ne(p_in.dst, vip)),
+        ]
+
+    def linked_nodes(self):
+        return self.backends
+
+    def global_axioms(self, ctx: ModelContext) -> List[Term]:
+        """The chosen backend is always one of the configured backends."""
+        fn = ctx.oracle_fn(f"{self.name}.backend", ctx.schema.addr_sort)
+        axioms: List[Term] = []
+        for _, result in fn.applications.items():
+            axioms.append(
+                Or(*(Eq(result, ctx.addr(b)) for b in self.backends))
+            )
+        return axioms

@@ -1,0 +1,112 @@
+"""NAT model (paper §3.4, Listing 2).
+
+Outbound packets from internal hosts get their source rewritten to the
+NAT's public address and their source port to ``remapped_port(flow)`` —
+an uninterpreted function chosen by the solver (the paper assigns ports
+"at random by calling the remapped_port method"), constrained to be
+injective across flows.  Inbound packets addressed to the NAT's public
+address are delivered to the internal flow whose remapped port matches
+the inbound destination port — and only when such a mapping exists
+(hole punching: unsolicited inbound traffic is dropped), which in our
+history-defined encoding means the NAT previously processed an outbound
+packet of that flow since its last failure.
+
+Like Listing 2's explicit ``when fail(this) => forward(Seq.empty)``,
+the NAT is fail-closed: mappings are lost on failure.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..netmodel.packets import SymPacket
+from ..netmodel.system import ModelContext
+from ..smt import And, Eq, Implies, Ne, Not, Or, Term
+from .base import FAIL_CLOSED, Branch, MiddleboxModel
+
+__all__ = ["NAT"]
+
+
+class NAT(MiddleboxModel):
+    """Source NAT for a set of internal addresses.
+
+    The NAT's own name is its public address (``nat_address`` in the
+    paper's listing).
+    """
+
+    fail_mode = FAIL_CLOSED
+    flow_parallel = True
+    origin_agnostic = False
+
+    def __init__(self, name: str, internal: Iterable[str]):
+        super().__init__(name)
+        self.internal = frozenset(internal)
+
+    # ------------------------------------------------------------------
+    def _remap(self, ctx: ModelContext, p: SymPacket) -> Term:
+        """``remapped_port(flow(p))`` for an outbound packet ``p``."""
+        fn = ctx.oracle_fn(f"{self.name}.remapped_port", ctx.schema.port_sort)
+        return fn(p.src, p.dst, p.sport, p.dport)
+
+    def _is_internal(self, ctx: ModelContext, addr_term: Term) -> Term:
+        return Or(*(Eq(addr_term, ctx.addr(a)) for a in sorted(self.internal)))
+
+    # ------------------------------------------------------------------
+    def branches(self, ctx, p_in, p_out, t) -> List[Branch]:
+        nat_addr = ctx.addr(self.name)
+
+        # Inbound: dst(p) == nat_address -> restore (dst, dst_port) from
+        # the reverse mapping, if an active mapping exists.
+        restore_cases = []
+        for q in ctx.packets:
+            mapping_active = And(
+                ctx.rcv_before(self.name, q.index, t, since_fail=True),
+                self._is_internal(ctx, q.src),
+                Eq(self._remap(ctx, q), p_in.dport),
+                # Port-restricted cone: only the exact endpoint the
+                # internal flow contacted may answer, from that port.
+                Eq(q.dst, p_in.src),
+                Eq(q.dport, p_in.sport),
+            )
+            restore_cases.append(
+                And(
+                    mapping_active,
+                    Eq(p_out.dst, q.src),
+                    Eq(p_out.dport, q.sport),
+                )
+            )
+        inbound_relation = And(
+            Eq(p_out.src, p_in.src),
+            Eq(p_out.sport, p_in.sport),
+            Eq(p_out.origin, p_in.origin),
+            Eq(p_out.tag, p_in.tag),
+            Or(*restore_cases),
+        )
+
+        # Outbound: internal source -> rewrite src to the public address
+        # and sport to remapped_port(flow).
+        outbound_relation = And(
+            Eq(p_out.src, nat_addr),
+            Eq(p_out.sport, self._remap(ctx, p_in)),
+            Eq(p_out.dst, p_in.dst),
+            Eq(p_out.dport, p_in.dport),
+            Eq(p_out.origin, p_in.origin),
+            Eq(p_out.tag, p_in.tag),
+        )
+
+        return [
+            Branch.forward(Eq(p_in.dst, nat_addr), relation=inbound_relation),
+            Branch.forward(self._is_internal(ctx, p_in.src), relation=outbound_relation),
+            # Anything else (external traffic not addressed to us): drop.
+        ]
+
+    def global_axioms(self, ctx: ModelContext) -> List[Term]:
+        """Port-mapping injectivity: distinct flows get distinct ports."""
+        fn = ctx.oracle_fn(f"{self.name}.remapped_port", ctx.schema.port_sort)
+        apps = list(fn.applications.items())
+        axioms: List[Term] = []
+        for i, (args_a, res_a) in enumerate(apps):
+            for args_b, res_b in apps[i + 1 :]:
+                same_key = And(*(Eq(x, y) for x, y in zip(args_a, args_b)))
+                axioms.append(Implies(Eq(res_a, res_b), same_key))
+        return axioms

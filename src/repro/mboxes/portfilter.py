@@ -1,0 +1,60 @@
+"""Port-granular stateless firewall.
+
+The §5.1-style firewalls filter on address pairs; real rule sets are
+port-granular ("only port 80 to the web tier").  This box permits
+exactly the configured ``(src address, dst address, dst port)`` triples
+— wildcards expressed by ``None`` — and drops the rest.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from ..netmodel.packets import SymPacket
+from ..netmodel.system import ModelContext
+from ..smt import And, Eq, Or, Term
+from .base import FAIL_CLOSED, Branch, MiddleboxModel
+
+__all__ = ["PortFilterFirewall"]
+
+Rule = Tuple[Optional[str], Optional[str], Optional[int]]
+
+
+class PortFilterFirewall(MiddleboxModel):
+    fail_mode = FAIL_CLOSED
+    flow_parallel = True
+    origin_agnostic = False
+
+    def __init__(self, name: str, allow: Iterable[Rule]):
+        super().__init__(name)
+        self.allow: Tuple[Rule, ...] = tuple(allow)
+
+    def permits(self, ctx: ModelContext, p: SymPacket) -> Term:
+        cases = []
+        for src, dst, dport in self.allow:
+            parts = []
+            if src is not None:
+                parts.append(Eq(p.src, ctx.addr(src)))
+            if dst is not None:
+                parts.append(Eq(p.dst, ctx.addr(dst)))
+            if dport is not None:
+                parts.append(Eq(p.dport, ctx.schema.port(dport)))
+            cases.append(And(*parts))
+        return Or(*cases)
+
+    def branches(self, ctx, p_in, p_out, t) -> List[Branch]:
+        return [Branch.forward(self.permits(ctx, p_in))]
+
+    def config_pairs(self):
+        return [
+            ("allow", src or "*", dst or "*")
+            for src, dst, _ in self.allow
+        ]
+
+    def restricted(self, addresses):
+        kept = [
+            (src, dst, dport)
+            for src, dst, dport in self.allow
+            if (src is None or src in addresses) and (dst is None or dst in addresses)
+        ]
+        return PortFilterFirewall(self.name, allow=kept)

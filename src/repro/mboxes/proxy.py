@@ -1,0 +1,74 @@
+"""Forward-proxy model.
+
+The proxy terminates client requests and re-issues them from its own
+address; responses from servers are relayed back to whichever client
+asked for that content.  Its pending-request table is keyed by the
+requested origin, shared across flows, and insensitive to which client
+created an entry — making the proxy *origin-agnostic* (paper §4.1 notes
+"most proxies are origin-agnostic").
+
+Unlike :class:`repro.mboxes.cache.ContentCache` the proxy stores
+nothing: every request goes to the origin server, so data-isolation
+still hinges on the server-side firewalls, not on proxy ACLs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..netmodel.packets import SymPacket
+from ..netmodel.system import ModelContext
+from ..smt import And, Eq, Not, Or, Term
+from .base import FAIL_CLOSED, Branch, MiddleboxModel
+
+__all__ = ["Proxy"]
+
+
+class Proxy(MiddleboxModel):
+    fail_mode = FAIL_CLOSED
+    flow_parallel = False
+    origin_agnostic = True
+
+    def __init__(self, name: str):
+        super().__init__(name)
+
+    def branches(self, ctx, p_in, p_out, t) -> List[Branch]:
+        proxy_addr = ctx.addr(self.name)
+
+        # Client request addressed to the proxy: re-issue from our
+        # address towards the origin server.
+        reissue_guard = And(p_in.is_request, Eq(p_in.dst, proxy_addr))
+        reissue_relation = And(
+            Eq(p_out.dst, p_in.origin),
+            Eq(p_out.dport, p_in.dport),
+            Eq(p_out.src, proxy_addr),
+            Eq(p_out.sport, p_in.sport),
+            Eq(p_out.origin, p_in.origin),
+            p_out.is_request,
+        )
+
+        # Server response: relay the data to a client with a pending
+        # request for this origin (the pending table is origin-keyed).
+        pending = [
+            And(
+                ctx.rcv_before(self.name, q.index, t, since_fail=True),
+                q.is_request,
+                Eq(q.dst, proxy_addr),
+                Eq(q.origin, p_in.origin),
+                Eq(p_out.dst, q.src),
+                Eq(p_out.dport, q.sport),
+            )
+            for q in ctx.packets
+        ]
+        relay_guard = And(Not(p_in.is_request), Eq(p_in.dst, proxy_addr))
+        relay_relation = And(
+            Eq(p_out.src, proxy_addr),
+            Eq(p_out.origin, p_in.origin),
+            Eq(p_out.tag, p_in.tag),
+            Or(*pending),
+        )
+
+        return [
+            Branch.forward(reissue_guard, relation=reissue_relation),
+            Branch.forward(relay_guard, relation=relay_relation),
+        ]

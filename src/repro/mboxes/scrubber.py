@@ -1,0 +1,38 @@
+"""Scrubbing-box model (paper §5.3.3).
+
+The heavyweight analysis box that flagged traffic is tunnelled to: it
+discards whatever it identifies as attack traffic (oracle class
+``attack?``) and forwards the rest to the intended destination.  From
+the verifier's perspective the interesting property is what the
+scrubber does *not* guarantee: the surviving traffic has not passed the
+stateful firewalls, so if the transfer rules deliver it directly to
+subnets, flow- and node-isolation invariants break — the exact
+misconfiguration the paper's ISP experiment injects.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..netmodel.system import ModelContext
+from ..smt import Not
+from .base import FAIL_CLOSED, Branch, MiddleboxModel
+
+__all__ = ["Scrubber"]
+
+
+class Scrubber(MiddleboxModel):
+    fail_mode = FAIL_CLOSED
+    flow_parallel = True
+    origin_agnostic = False
+
+    def __init__(self, name: str, class_name: str = "attack"):
+        super().__init__(name)
+        self.class_name = class_name
+
+    def branches(self, ctx, p_in, p_out, t) -> List[Branch]:
+        attack = ctx.classify(self.class_name, p_in)
+        return [
+            Branch.drop(attack),
+            Branch.forward(Not(attack)),
+        ]

@@ -1,0 +1,59 @@
+"""Site-to-site VPN gateway.
+
+A pair of gateways connected by a tunnel (a direct link in the
+topology): traffic addressed to the remote site is shipped over the
+tunnel to the peer gateway, which releases it unmodified into its own
+site.  The encryption itself is transparent at the reachability level —
+what matters to the verifier is that the inter-site path exists *only*
+through the tunnel, so isolation of the transit network from site
+traffic (and vice versa) can be checked.
+
+Fail-closed: a failed gateway severs the tunnel.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from ..netmodel.system import ModelContext
+from ..smt import Eq, Not, Or, Term
+from .base import FAIL_CLOSED, Branch, MiddleboxModel
+
+__all__ = ["VpnGateway"]
+
+
+class VpnGateway(MiddleboxModel):
+    """One endpoint of a site-to-site tunnel.
+
+    ``peer`` is the remote gateway (there must be a direct topology
+    link between the two); ``remote`` lists the addresses behind the
+    peer.
+    """
+
+    fail_mode = FAIL_CLOSED
+    flow_parallel = True
+    origin_agnostic = False
+
+    def __init__(self, name: str, peer: str, remote: Iterable[str]):
+        super().__init__(name)
+        self.peer = peer
+        self.remote = frozenset(remote)
+
+    def _to_remote(self, ctx: ModelContext, p) -> Term:
+        return Or(*(Eq(p.dst, ctx.addr(a)) for a in sorted(self.remote)))
+
+    def branches(self, ctx, p_in, p_out, t) -> List[Branch]:
+        to_remote = self._to_remote(ctx, p_in)
+        return [
+            # Remote-bound traffic goes through the tunnel.
+            Branch.forward(to_remote, next_hop=self.peer),
+            # Everything else (tunnel arrivals for the local site,
+            # local transit) continues through the normal network.
+            Branch.forward(Not(to_remote)),
+        ]
+
+    def linked_nodes(self) -> Tuple[str, ...]:
+        return (self.peer,)
+
+    def config_pairs(self):
+        return [("tunnel", self.name, a) for a in sorted(self.remote)]

@@ -1,0 +1,45 @@
+"""WAN optimizer / compression model (paper §3.4, §3.6).
+
+A box that applies a "complex packet modification" — compression here,
+but encryption behaves identically from the verifier's perspective.
+Following the paper, such modifications are modelled as replacing the
+payload with a *random value*: the output packet preserves addressing
+but its tag is left unconstrained, so the solver may pick anything.
+This is sufficient fidelity for reachability invariants (§3.4) and is
+the documented source of potential false positives (§3.6) that the
+limitation tests exercise.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..netmodel.system import ModelContext
+from ..smt import TRUE, And, Eq, Not, Term
+from .base import FAIL_OPEN, Branch, MiddleboxModel
+
+__all__ = ["WanOptimizer"]
+
+
+class WanOptimizer(MiddleboxModel):
+    fail_mode = FAIL_OPEN
+    flow_parallel = True
+    origin_agnostic = False
+
+    def __init__(self, name: str):
+        super().__init__(name)
+
+    def branches(self, ctx, p_in, p_out, t) -> List[Branch]:
+        # Addressing and provenance preserved; payload tag rewritten to
+        # an arbitrary ("random") value — deliberately unconstrained.
+        recompressed = And(
+            Eq(p_out.src, p_in.src),
+            Eq(p_out.dst, p_in.dst),
+            Eq(p_out.sport, p_in.sport),
+            Eq(p_out.dport, p_in.dport),
+            Eq(p_out.origin, p_in.origin),
+            # Requests stay requests; data stays data (the optimizer
+            # does not turn content into a request for content).
+            Eq(p_out.is_request, p_in.is_request),
+        )
+        return [Branch.forward(TRUE, relation=recompressed)]

@@ -1,0 +1,40 @@
+"""Discrete-timestep symbolic network model (the VMN encoding)."""
+
+from .bmc import HOLDS, UNKNOWN, VIOLATED, CheckResult, check, default_depth
+from .events import EVENT_KINDS, EventKind, EventVars
+from .packets import (
+    REQUEST_TAG,
+    PacketSchema,
+    SymPacket,
+    reversed_flow,
+    same_five_tuple,
+    same_flow,
+)
+from .rules import HeaderMatch, TransferRule
+from .system import OMEGA, ModelContext, NetworkSMTModel, VerificationNetwork, fresh_ns
+from .trace import PacketValues, Trace, TraceEvent, decode_trace
+
+__all__ = [
+    "check",
+    "default_depth",
+    "CheckResult",
+    "VIOLATED",
+    "HOLDS",
+    "UNKNOWN",
+    "EventKind",
+    "EventVars",
+    "EVENT_KINDS",
+    "PacketSchema",
+    "SymPacket",
+    "REQUEST_TAG",
+    "same_flow",
+    "same_five_tuple",
+    "reversed_flow",
+    "HeaderMatch",
+    "TransferRule",
+    "OMEGA",
+    "ModelContext",
+    "NetworkSMTModel",
+    "VerificationNetwork",
+    "fresh_ns",
+]

@@ -1,0 +1,111 @@
+"""Transfer-function rules: the static datapath collapsed to one node.
+
+Following the paper (§3.5), VMN models the entire static-datapath
+portion of the network as a single pseudo-node Ω whose behaviour is
+given by a *transfer function* computed VeriFlow-style from the topology
+and forwarding tables of a particular failure scenario
+(:mod:`repro.network.transfer` does that computation).
+
+Here a transfer function is an ordered, first-match list of
+:class:`TransferRule`.  A rule says: packets matching ``match`` that
+entered the network from one of ``from_nodes`` are delivered to ``to``.
+``from_nodes`` is how pipeline placement survives the collapse — "Ω
+delivers p to the server only if it received p from the IDPS" is the
+axiom shape the paper gives for Ω (§3.5), and it is what forces traffic
+through middlebox chains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Optional, Sequence, Tuple
+
+from ..smt import And, Eq, Or, Term
+from .packets import PacketSchema, SymPacket
+
+__all__ = ["HeaderMatch", "TransferRule"]
+
+
+def _freeze(values) -> Optional[FrozenSet]:
+    if values is None:
+        return None
+    return frozenset(values)
+
+
+@dataclass(frozen=True)
+class HeaderMatch:
+    """A conjunction of per-field membership tests; ``None`` = wildcard."""
+
+    src: Optional[FrozenSet[str]] = None
+    dst: Optional[FrozenSet[str]] = None
+    sport: Optional[FrozenSet[int]] = None
+    dport: Optional[FrozenSet[int]] = None
+    origin: Optional[FrozenSet[str]] = None
+
+    @staticmethod
+    def of(src=None, dst=None, sport=None, dport=None, origin=None) -> "HeaderMatch":
+        """Convenience constructor accepting any iterables (or None)."""
+        return HeaderMatch(
+            src=_freeze(src),
+            dst=_freeze(dst),
+            sport=_freeze(sport),
+            dport=_freeze(dport),
+            origin=_freeze(origin),
+        )
+
+    def term(self, p: SymPacket) -> Term:
+        """The boolean term testing whether packet ``p`` matches."""
+        schema = p.schema
+        parts = []
+        if self.src is not None:
+            parts.append(Or(*(Eq(p.src, schema.addr(a)) for a in sorted(self.src))))
+        if self.dst is not None:
+            parts.append(Or(*(Eq(p.dst, schema.addr(a)) for a in sorted(self.dst))))
+        if self.sport is not None:
+            parts.append(
+                Or(*(Eq(p.sport, schema.port(n)) for n in sorted(self.sport)))
+            )
+        if self.dport is not None:
+            parts.append(
+                Or(*(Eq(p.dport, schema.port(n)) for n in sorted(self.dport)))
+            )
+        if self.origin is not None:
+            parts.append(
+                Or(*(Eq(p.origin, schema.addr(a)) for a in sorted(self.origin)))
+            )
+        return And(*parts)
+
+    def matches_concrete(self, fields: dict) -> bool:
+        """Evaluate the match against concrete field values (baselines)."""
+        checks = (
+            ("src", self.src),
+            ("dst", self.dst),
+            ("sport", self.sport),
+            ("dport", self.dport),
+            ("origin", self.origin),
+        )
+        return all(
+            allowed is None or fields[name] in allowed for name, allowed in checks
+        )
+
+
+@dataclass(frozen=True)
+class TransferRule:
+    """One first-match entry of the collapsed network's transfer function.
+
+    ``from_nodes`` restricts which nodes must have handed the packet to
+    Ω for this rule to fire (``None`` = any node).  ``to`` is the
+    delivery target.
+    """
+
+    match: HeaderMatch
+    to: str
+    from_nodes: Optional[FrozenSet[str]] = None
+
+    @staticmethod
+    def of(match: HeaderMatch, to: str, from_nodes=None) -> "TransferRule":
+        return TransferRule(match=match, to=to, from_nodes=_freeze(from_nodes))
+
+    def describe(self) -> str:
+        frm = "any" if self.from_nodes is None else "{" + ",".join(sorted(self.from_nodes)) + "}"
+        return f"from {frm} -> {self.to}"

@@ -1,0 +1,410 @@
+"""The VMN network encoding: nodes, events, axioms.
+
+This module turns a :class:`VerificationNetwork` — end hosts, middlebox
+instances, and the transfer rules of the collapsed static datapath —
+into the logical formula the paper describes in §3: quantified axioms
+for middlebox and network behaviour, grounded over a bounded number of
+discrete timesteps, with the classification and scheduling oracles left
+as free variables for the solver.
+
+Key design points, mirroring the paper:
+
+* **History-defined state.**  The paper's firewall axiom defines
+  ``established(flow(p))`` as "a permitted packet of the flow was
+  received since the last failure" — state is a predicate over event
+  history, not a mutable cell.  We encode all middlebox state this way,
+  with linear-size recurrences over timesteps (no frame axioms).
+
+* **Pseudo-node Ω.**  All sends go to Ω; Ω delivers per the transfer
+  rules, and only with justification ("Ω previously received this
+  packet from one of the rule's ingress nodes"), which is exactly the
+  paper's Ω axiom shape and what enforces middlebox pipelines.
+
+* **Oracles as variables.**  The scheduling oracle is the per-timestep
+  event variables; the classification oracle is a family of
+  uninterpreted functions over packet fields (:meth:`ModelContext.classify`).
+
+* **Failures.**  ``FAIL``/``RECOVER`` events for middleboxes, bounded by
+  a failure budget; static-datapath failures are modelled by verifying
+  against a different set of transfer rules (paper §3.5).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..smt import (
+    BOOL,
+    And,
+    EnumConst,
+    EnumSort,
+    Eq,
+    Implies,
+    Not,
+    Or,
+    Term,
+    UFunc,
+    at_most_k,
+)
+from .events import EventKind, EventVars, make_events, make_kind_sort
+from .packets import PacketSchema, SymPacket
+from .rules import TransferRule
+
+__all__ = ["OMEGA", "VerificationNetwork", "ModelContext", "NetworkSMTModel", "fresh_ns"]
+
+#: Name of the pseudo-node representing the static datapath (paper's Ω).
+OMEGA = "<net>"
+
+_ns_counter = itertools.count()
+
+
+def fresh_ns(prefix: str = "vmn") -> str:
+    """A unique namespace for one verification problem's declarations."""
+    return f"{prefix}{next(_ns_counter)}"
+
+
+@dataclass(frozen=True)
+class VerificationNetwork:
+    """The collapsed network a single verification run reasons about.
+
+    ``middleboxes`` hold objects implementing the middlebox-model
+    protocol (see :mod:`repro.mboxes.base`): a ``name``, an
+    ``emission_axiom(ctx, ev)`` constraining the steps where the box
+    sends, and ``global_axioms(ctx)``.
+    """
+
+    hosts: Tuple[str, ...]
+    middleboxes: Tuple[object, ...] = ()
+    rules: Tuple[TransferRule, ...] = ()
+    extra_addresses: Tuple[str, ...] = ()
+    allow_spoofing: bool = False
+
+    @property
+    def mbox_names(self) -> Tuple[str, ...]:
+        return tuple(m.name for m in self.middleboxes)
+
+    @property
+    def node_names(self) -> Tuple[str, ...]:
+        return self.hosts + self.mbox_names + (OMEGA,)
+
+    @property
+    def addresses(self) -> Tuple[str, ...]:
+        return self.hosts + self.mbox_names + self.extra_addresses
+
+    def mbox(self, name: str):
+        for m in self.middleboxes:
+            if m.name == name:
+                return m
+        raise KeyError(f"no middlebox named {name!r}")
+
+
+class ModelContext:
+    """Shared helpers middlebox models and invariants build axioms from.
+
+    All history predicates are defined by linear recurrences over
+    timesteps and cached, so the resulting term DAG (and hence the CNF)
+    stays linear in the unrolling depth.
+    """
+
+    def __init__(self, net: VerificationNetwork, schema: PacketSchema,
+                 events: List[EventVars], node_sort: EnumSort, ns: str):
+        self.net = net
+        self.schema = schema
+        self.events = events
+        self.node_sort = node_sort
+        self.ns = ns
+        self.depth = len(events)
+        self.packets: List[SymPacket] = schema.packets
+        self._rcv_cache: Dict[tuple, Term] = {}
+        self._sent_net_cache: Dict[tuple, Term] = {}
+        self._failed_cache: Dict[tuple, Term] = {}
+        self._oracles: Dict[str, UFunc] = {}
+        self.extra_axioms: List[Term] = []
+
+    # ------------------------------------------------------------------
+    # Sorts and constants
+    # ------------------------------------------------------------------
+    def addr(self, name: str) -> Term:
+        return self.schema.addr(name)
+
+    def node(self, name: str) -> Term:
+        return EnumConst(self.node_sort, name)
+
+    # ------------------------------------------------------------------
+    # Event history predicates
+    # ------------------------------------------------------------------
+    def rcv_at(self, node: str, p_index: int, t: int) -> Term:
+        """Event ``t`` delivers packet ``p_index`` to ``node``."""
+        ev = self.events[t]
+        return And(ev.is_send, ev.to_is(node), ev.pkt_is(p_index))
+
+    def rcv_before(self, node: str, p_index: int, t: int,
+                   since_fail: bool = False) -> Term:
+        """``node`` received packet ``p_index`` at some step before ``t``.
+
+        With ``since_fail=True`` the receive must have happened while the
+        node was up, with no failure of the node since — the predicate to
+        use for middlebox *state* (which failure clears), per the paper's
+        ``established`` axiom.
+        """
+        key = (node, p_index, t, since_fail)
+        cached = self._rcv_cache.get(key)
+        if cached is not None:
+            return cached
+        if t <= 0:
+            term = Or()
+        else:
+            prev = self.rcv_before(node, p_index, t - 1, since_fail)
+            ev = self.events[t - 1]
+            got = self.rcv_at(node, p_index, t - 1)
+            if since_fail:
+                got = And(got, Not(self.failed_at(node, t - 1)))
+                term = Or(And(prev, Not(ev.fail_of(node))), got)
+            else:
+                term = Or(prev, got)
+        self._rcv_cache[key] = term
+        return term
+
+    def sent_to_net_before(self, node: str, p_index: int, t: int) -> Term:
+        """``node`` handed packet ``p_index`` to Ω at some step before ``t``."""
+        key = (node, p_index, t)
+        cached = self._sent_net_cache.get(key)
+        if cached is not None:
+            return cached
+        if t <= 0:
+            term = Or()
+        else:
+            prev = self.sent_to_net_before(node, p_index, t - 1)
+            term = Or(prev, self.events[t - 1].snd(node, OMEGA, p_index))
+        self._sent_net_cache[key] = term
+        return term
+
+    def failed_at(self, node: str, t: int) -> Term:
+        """``node`` is down at step ``t`` (events strictly before ``t``)."""
+        key = (node, t)
+        cached = self._failed_cache.get(key)
+        if cached is not None:
+            return cached
+        if t <= 0:
+            term = Or()
+        else:
+            prev = self.failed_at(node, t - 1)
+            ev = self.events[t - 1]
+            term = And(Or(prev, ev.fail_of(node)), Not(ev.recover_of(node)))
+        self._failed_cache[key] = term
+        return term
+
+    def delivered_to_before(self, node: str, p_index: int, t: int) -> Term:
+        """Alias of :meth:`rcv_before` kept for invariant readability."""
+        return self.rcv_before(node, p_index, t)
+
+    # ------------------------------------------------------------------
+    # Classification oracle
+    # ------------------------------------------------------------------
+    def classify(self, class_name: str, p: SymPacket) -> Term:
+        """Abstract packet class ``class_name`` applied to packet ``p``.
+
+        The oracle is an uninterpreted predicate over all packet fields:
+        the solver picks its value freely (that is the point — we verify
+        the configuration for *every* behaviour of the classifier),
+        subject to congruence (field-identical packets classify alike)
+        and any output constraints a model adds via :meth:`add_axiom`.
+        """
+        fn = self._oracle(class_name, range_sort=BOOL)
+        return fn(p.src, p.dst, p.sport, p.dport, p.origin, p.tag)
+
+    def oracle_fn(self, name: str, range_sort) -> UFunc:
+        """An oracle function over the 4-tuple flow key (NATs, LBs)."""
+        key = f"flow:{name}"
+        fn = self._oracles.get(key)
+        if fn is None:
+            s = self.schema
+            fn = UFunc(
+                f"{self.ns}:{name}",
+                (s.addr_sort, s.addr_sort, s.port_sort, s.port_sort),
+                range_sort,
+            )
+            self._oracles[key] = fn
+        return fn
+
+    def _oracle(self, name: str, range_sort) -> UFunc:
+        fn = self._oracles.get(name)
+        if fn is None:
+            s = self.schema
+            fn = UFunc(
+                f"{self.ns}:{name}",
+                (s.addr_sort, s.addr_sort, s.port_sort, s.port_sort,
+                 s.addr_sort, s.tag_sort),
+                range_sort,
+            )
+            self._oracles[name] = fn
+        return fn
+
+    def add_axiom(self, term: Term) -> None:
+        """Register an additional global axiom (oracle output constraints,
+        NAT port-injectivity, ...)."""
+        self.extra_axioms.append(term)
+
+    def oracle_axioms(self) -> List[Term]:
+        axioms: List[Term] = []
+        for fn in self._oracles.values():
+            axioms.extend(fn.congruence_axioms())
+        return axioms
+
+
+class NetworkSMTModel:
+    """Builds the grounded formula for one (network, depth) pair."""
+
+    def __init__(
+        self,
+        net: VerificationNetwork,
+        n_packets: int,
+        depth: int,
+        failure_budget: int = 0,
+        n_ports: int = 6,
+        n_tags: int = 4,
+        ns: Optional[str] = None,
+    ):
+        if depth < 1:
+            raise ValueError("depth must be at least 1")
+        self.net = net
+        self.depth = depth
+        self.failure_budget = failure_budget
+        self.ns = ns if ns is not None else fresh_ns()
+        self.schema = PacketSchema(
+            self.ns, net.addresses, n_packets, n_ports=n_ports, n_tags=n_tags
+        )
+        self.node_sort = EnumSort(f"{self.ns}:node", net.node_names)
+        kind_sort = make_kind_sort(self.ns)
+        self.events = make_events(
+            self.ns, depth, kind_sort, self.node_sort, self.schema.pkt_sort
+        )
+        self.ctx = ModelContext(net, self.schema, self.events, self.node_sort, self.ns)
+
+    # ------------------------------------------------------------------
+    def axioms(self) -> List[Term]:
+        """All axioms of the network model (invariant not included)."""
+        out: List[Term] = []
+        ctx = self.ctx
+        net = self.net
+        failable = list(net.mbox_names)
+
+        for t, ev in enumerate(self.events):
+            # Canonical schedules: noops form a suffix.  Sound because a
+            # noop changes nothing; it only prunes the oracle's search.
+            if t + 1 < self.depth:
+                out.append(Implies(ev.is_noop, self.events[t + 1].is_noop))
+
+            out.extend(self._failure_axioms(ev, t, failable))
+            out.extend(self._host_axioms(ev, t))
+            out.extend(self._mbox_axioms(ev, t))
+            out.append(self._omega_axiom(ev, t))
+
+        out.extend(self._failure_budget_axioms())
+
+        for m in net.middleboxes:
+            out.extend(m.global_axioms(ctx))
+        out.extend(ctx.extra_axioms)
+        out.extend(ctx.oracle_axioms())
+        return [a for a in out if a is not None]
+
+    # ------------------------------------------------------------------
+    def _failure_axioms(self, ev: EventVars, t: int, failable: List[str]) -> List[Term]:
+        ctx = self.ctx
+        out: List[Term] = []
+        is_fail = ev.is_kind(EventKind.FAIL)
+        is_recover = ev.is_kind(EventKind.RECOVER)
+        if not failable or self.failure_budget == 0:
+            out.append(Not(is_fail))
+            out.append(Not(is_recover))
+            return out
+        out.append(Implies(is_fail, Or(*(ev.frm_is(n) for n in failable))))
+        out.append(Implies(is_recover, Or(*(ev.frm_is(n) for n in failable))))
+        for n in failable:
+            # No double-failures, no spontaneous recoveries.
+            out.append(Implies(And(is_fail, ev.frm_is(n)), Not(ctx.failed_at(n, t))))
+            out.append(Implies(And(is_recover, ev.frm_is(n)), ctx.failed_at(n, t)))
+        return out
+
+    def _failure_budget_axioms(self) -> List[Term]:
+        if self.failure_budget == 0 or not self.net.mbox_names:
+            return []
+        fails = [ev.is_kind(EventKind.FAIL) for ev in self.events]
+        return [at_most_k(fails, self.failure_budget)]
+
+    # ------------------------------------------------------------------
+    def _host_axioms(self, ev: EventVars, t: int) -> List[Term]:
+        ctx = self.ctx
+        out: List[Term] = []
+        for h in self.net.hosts:
+            sending = And(ev.is_send, ev.frm_is(h))
+            per_pkt: List[Term] = []
+            for p in ctx.packets:
+                constraints: List[Term] = []
+                if not self.net.allow_spoofing:
+                    constraints.append(Eq(p.src, ctx.addr(h)))
+                constraints.append(self._origin_provenance(h, p, t))
+                per_pkt.append(Implies(ev.pkt_is(p.index), And(*constraints)))
+            out.append(Implies(sending, And(ev.to_is(OMEGA), *per_pkt)))
+        return out
+
+    def _origin_provenance(self, h: str, p: SymPacket, t: int) -> Term:
+        """A host can only emit data it owns or previously received.
+
+        Requests are free (asking for content does not require having
+        it); data-bearing packets must carry the host's own data or data
+        from a packet the host received earlier.  This is what makes the
+        data-isolation invariants of §5.2 meaningful.
+        """
+        ctx = self.ctx
+        received_origin = [
+            And(
+                ctx.rcv_before(h, q.index, t),
+                Eq(q.origin, p.origin),
+                Not(q.is_request),
+            )
+            for q in ctx.packets
+        ]
+        return Or(
+            p.is_request,
+            Eq(p.origin, ctx.addr(h)),
+            *received_origin,
+        )
+
+    # ------------------------------------------------------------------
+    def _mbox_axioms(self, ev: EventVars, t: int) -> List[Term]:
+        out: List[Term] = []
+        for m in self.net.middleboxes:
+            sending = And(ev.is_send, ev.frm_is(m.name))
+            # The emission axiom constrains ev.to itself: Ω by default,
+            # or a direct-link next hop for tunnelling branches.
+            out.append(Implies(sending, m.emission_axiom(self.ctx, ev)))
+        return out
+
+    # ------------------------------------------------------------------
+    def _omega_axiom(self, ev: EventVars, t: int) -> Term:
+        """Ω forwards per the transfer rules, with ingress justification."""
+        ctx = self.ctx
+        acting = ev.frm_is(OMEGA)
+        per_pkt: List[Term] = []
+        senders = [n for n in self.net.node_names if n != OMEGA]
+        for p in ctx.packets:
+            branches: List[Term] = []
+            for rule in self.net.rules:
+                # Rules are a union relation: any rule whose header match
+                # and ingress justification hold may deliver.  Producers
+                # of rule sets (the VeriFlow-style transfer computation,
+                # the scenario builders) keep (ingress, header) matches
+                # disjoint, so delivery is deterministic in practice;
+                # overlapping rules mean nondeterministic delivery, a
+                # sound over-approximation for violation finding.
+                match = rule.match.term(p)
+                ingress = senders if rule.from_nodes is None else sorted(rule.from_nodes)
+                justification = Or(
+                    *(ctx.sent_to_net_before(n, p.index, t) for n in ingress)
+                )
+                branches.append(And(match, ev.to_is(rule.to), justification))
+            per_pkt.append(Implies(ev.pkt_is(p.index), Or(*branches)))
+        return Implies(acting, And(ev.is_send, *per_pkt))

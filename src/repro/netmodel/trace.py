@@ -1,0 +1,111 @@
+"""Counterexample traces decoded from satisfying assignments.
+
+When the solver finds a satisfying assignment, it has constructed a
+schedule of events (the scheduling oracle's choices) plus concrete
+packet contents (the classification oracle's choices) that violates the
+invariant.  :func:`decode_trace` reads those choices back out of the
+model into a human-readable :class:`Trace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..smt import Model
+from .events import EventKind
+from .packets import REQUEST_TAG
+
+__all__ = ["PacketValues", "TraceEvent", "Trace", "decode_trace"]
+
+
+@dataclass(frozen=True)
+class PacketValues:
+    """Concrete field values of one symbolic packet in the model."""
+
+    index: int
+    src: str
+    dst: str
+    sport: int
+    dport: int
+    origin: str
+    tag: str
+
+    def __str__(self) -> str:
+        kind = "request" if self.tag == REQUEST_TAG else f"data[{self.tag}]"
+        return (
+            f"p{self.index}: {self.src}:{self.sport} -> {self.dst}:{self.dport} "
+            f"{kind} origin={self.origin}"
+        )
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One scheduled event."""
+
+    t: int
+    kind: str
+    frm: str
+    to: Optional[str]
+    pkt: Optional[int]
+
+    def __str__(self) -> str:
+        if self.kind == EventKind.SEND:
+            return f"[{self.t}] {self.frm} sends p{self.pkt} to {self.to}"
+        if self.kind == EventKind.FAIL:
+            return f"[{self.t}] {self.frm} FAILS"
+        if self.kind == EventKind.RECOVER:
+            return f"[{self.t}] {self.frm} recovers"
+        return f"[{self.t}] (noop)"
+
+
+@dataclass
+class Trace:
+    """An event schedule plus the packets it mentions."""
+
+    events: List[TraceEvent]
+    packets: Dict[int, PacketValues]
+
+    @property
+    def used_packet_indices(self) -> List[int]:
+        return sorted(
+            {e.pkt for e in self.events if e.pkt is not None and e.kind == EventKind.SEND}
+        )
+
+    def __str__(self) -> str:
+        lines = ["counterexample trace:"]
+        for idx in self.used_packet_indices:
+            lines.append(f"  {self.packets[idx]}")
+        for e in self.events:
+            lines.append(f"  {e}")
+        return "\n".join(lines)
+
+
+def decode_trace(model: Model, smt_model) -> Trace:
+    """Read the schedule and packet contents out of a sat model.
+
+    ``smt_model`` is the :class:`repro.netmodel.system.NetworkSMTModel`
+    whose variables the model assigns.  Trailing noops are trimmed.
+    """
+    events: List[TraceEvent] = []
+    for ev in smt_model.events:
+        kind = model[ev.kind]
+        if kind == EventKind.NOOP:
+            break  # noops are canonically a suffix
+        frm = model[ev.frm]
+        to = model[ev.to] if kind == EventKind.SEND else None
+        pkt = model[ev.pkt] if kind == EventKind.SEND else None
+        events.append(TraceEvent(t=ev.t, kind=kind, frm=frm, to=to, pkt=pkt))
+
+    packets: Dict[int, PacketValues] = {}
+    for p in smt_model.schema.packets:
+        packets[p.index] = PacketValues(
+            index=p.index,
+            src=model[p.src],
+            dst=model[p.dst],
+            sport=model[p.sport],
+            dport=model[p.dport],
+            origin=model[p.origin],
+            tag=model[p.tag],
+        )
+    return Trace(events=events, packets=packets)

@@ -1,0 +1,48 @@
+"""Static-datapath substrate: topologies, forwarding, transfer functions.
+
+The modularized network model of the paper (§2.3): switches and
+forwarding tables are verified/collapsed with VeriFlow/HSA-style
+machinery here, middleboxes with the SMT model in
+:mod:`repro.netmodel`.
+"""
+
+from .failures import NO_FAILURE, FailureScenario, single_failures
+from .forwarding import ForwardingEntry, ForwardingState, shortest_path_tables
+from .headerspace import FIELDS, HeaderBox, HeaderSpace
+from .pipeline import PipelineInvariant, PipelineResult, check_pipeline, trace_path
+from .topology import HOST, MIDDLEBOX, SWITCH, Node, Topology
+from .transfer import (
+    ForwardingLoopError,
+    SteeringPolicy,
+    build_verification_network,
+    compute_transfer_rules,
+    forwarding_equivalence_classes,
+    walk,
+)
+
+__all__ = [
+    "Topology",
+    "Node",
+    "HOST",
+    "SWITCH",
+    "MIDDLEBOX",
+    "FailureScenario",
+    "NO_FAILURE",
+    "single_failures",
+    "ForwardingEntry",
+    "ForwardingState",
+    "shortest_path_tables",
+    "HeaderBox",
+    "HeaderSpace",
+    "FIELDS",
+    "SteeringPolicy",
+    "walk",
+    "compute_transfer_rules",
+    "forwarding_equivalence_classes",
+    "build_verification_network",
+    "ForwardingLoopError",
+    "PipelineInvariant",
+    "PipelineResult",
+    "check_pipeline",
+    "trace_path",
+]

@@ -1,0 +1,115 @@
+"""Per-switch forwarding tables.
+
+A switch forwards by destination address through an ordered, first-match
+table of :class:`ForwardingEntry` (destination set -> next-hop
+neighbour).  :func:`shortest_path_tables` computes default tables by
+shortest paths over the surviving topology of a failure scenario —
+standing in for whatever routing protocol the operator runs — and
+scenarios then *patch* tables to model policy routing (pinning traffic
+through middlebox chains) or to inject the paper's §5.1 routing
+misconfigurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+from .failures import NO_FAILURE, FailureScenario
+from .topology import SWITCH, Topology
+
+__all__ = ["ForwardingEntry", "ForwardingState", "shortest_path_tables"]
+
+
+@dataclass(frozen=True)
+class ForwardingEntry:
+    """First-match entry: packets to ``dsts`` (None = default route)
+    leave towards ``next_hop``."""
+
+    dsts: Optional[FrozenSet[str]]
+    next_hop: str
+
+    def matches(self, dst: str) -> bool:
+        return self.dsts is None or dst in self.dsts
+
+
+class ForwardingState:
+    """The forwarding tables of every switch under one failure scenario."""
+
+    def __init__(self, tables: Dict[str, List[ForwardingEntry]]):
+        self.tables = tables
+
+    def next_hop(self, switch: str, dst: str) -> Optional[str]:
+        for entry in self.tables.get(switch, ()):
+            if entry.matches(dst):
+                return entry.next_hop
+        return None
+
+    # ------------------------------------------------------------------
+    # Patching — how scenarios pin paths and inject misconfigurations.
+    # ------------------------------------------------------------------
+    def prepend(self, switch: str, dsts: Optional[Iterable[str]], next_hop: str) -> None:
+        """Insert a higher-priority entry at ``switch``."""
+        entry = ForwardingEntry(
+            None if dsts is None else frozenset(dsts), next_hop
+        )
+        self.tables.setdefault(switch, []).insert(0, entry)
+
+    def remove_entries_to(self, switch: str, next_hop: str) -> int:
+        """Delete all entries at ``switch`` pointing to ``next_hop``.
+        Returns how many were removed (misconfiguration injection)."""
+        table = self.tables.get(switch, [])
+        kept = [e for e in table if e.next_hop != next_hop]
+        removed = len(table) - len(kept)
+        self.tables[switch] = kept
+        return removed
+
+    def copy(self) -> "ForwardingState":
+        return ForwardingState({s: list(t) for s, t in self.tables.items()})
+
+
+def shortest_path_tables(
+    topology: Topology,
+    scenario: FailureScenario = NO_FAILURE,
+) -> ForwardingState:
+    """Destination-based shortest-path tables over surviving elements.
+
+    Each switch gets one entry per edge-node destination (host or
+    middlebox), pointing along a shortest surviving path.  Paths never
+    cut *through* hosts or middleboxes — only switches forward.  This
+    stands in for the operator's routing protocol; policy steering
+    through middlebox chains happens at transfer-function level
+    (:mod:`repro.network.transfer`).
+    """
+    alive = nx.Graph()
+    for node in topology.graph.nodes:
+        if scenario.node_ok(node):
+            alive.add_node(node)
+    for a, b in topology.graph.edges:
+        if scenario.node_ok(a) and scenario.node_ok(b) and scenario.link_ok(a, b):
+            alive.add_edge(a, b)
+
+    non_switch = [n for n in alive.nodes if topology.node(n).kind != SWITCH]
+    tables: Dict[str, List[ForwardingEntry]] = {
+        n.name: [] for n in topology.switches if scenario.node_ok(n.name)
+    }
+
+    for dst in non_switch:
+        # Shortest paths to dst that do not route through other edge nodes.
+        pruned = alive.copy()
+        for n in non_switch:
+            if n != dst:
+                pruned.remove_node(n)
+        if dst not in pruned:
+            continue
+        paths = nx.single_source_shortest_path(pruned, dst)
+        for switch in tables:
+            path = paths.get(switch)
+            if path is None or len(path) < 2:
+                continue
+            next_hop = path[-2]  # path is dst -> ... -> switch
+            tables[switch].append(ForwardingEntry(frozenset({dst}), next_hop))
+
+    return ForwardingState(tables)

@@ -1,0 +1,162 @@
+"""Header-space algebra (the HSA substrate, paper §2.3).
+
+Static-datapath tools like HSA represent sets of packet headers as
+unions of wildcard expressions and push them through transfer
+functions.  Our headers are finite-domain fields, so a wildcard
+expression becomes a :class:`HeaderBox` — a product of per-field value
+sets — and a :class:`HeaderSpace` is a finite union of boxes supporting
+intersection, subtraction and emptiness, the operations reachability
+analysis needs.
+
+The pipeline checker (:mod:`repro.network.pipeline`) uses this algebra
+to express "all http traffic" style packet classes, and the tests use
+it as an independent substrate check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = ["FIELDS", "HeaderBox", "HeaderSpace"]
+
+#: The header fields of this model's packets.
+FIELDS = ("src", "dst", "sport", "dport", "origin", "tag")
+
+
+@dataclass(frozen=True)
+class HeaderBox:
+    """A product set: each field maps to an allowed value set
+    (missing field = wildcard).  Immutable and hashable."""
+
+    constraints: Tuple[Tuple[str, FrozenSet], ...] = ()
+
+    @staticmethod
+    def of(**field_sets) -> "HeaderBox":
+        items = []
+        for name, values in sorted(field_sets.items()):
+            if name not in FIELDS:
+                raise ValueError(f"unknown header field {name!r}")
+            if values is not None:
+                items.append((name, frozenset(values)))
+        return HeaderBox(tuple(items))
+
+    @property
+    def as_dict(self) -> Dict[str, FrozenSet]:
+        return dict(self.constraints)
+
+    def allowed(self, name: str) -> Optional[FrozenSet]:
+        return self.as_dict.get(name)
+
+    # ------------------------------------------------------------------
+    def contains(self, header: Mapping[str, object]) -> bool:
+        return all(header[name] in values for name, values in self.constraints)
+
+    def is_empty(self) -> bool:
+        return any(not values for _, values in self.constraints)
+
+    def intersect(self, other: "HeaderBox") -> "HeaderBox":
+        merged: Dict[str, FrozenSet] = dict(self.constraints)
+        for name, values in other.constraints:
+            merged[name] = merged[name] & values if name in merged else values
+        return HeaderBox(tuple(sorted(merged.items())))
+
+    def subtract(self, other: "HeaderBox", universes: Mapping[str, FrozenSet]
+                 ) -> List["HeaderBox"]:
+        """``self - other`` as a disjoint list of boxes.
+
+        Standard box decomposition: peel one constrained field at a
+        time.  ``universes`` supplies full value sets for wildcarded
+        fields of ``self``.
+        """
+        if self.intersect(other).is_empty():
+            return [] if self.is_empty() else [self]
+        remainder: List[HeaderBox] = []
+        prefix: Dict[str, FrozenSet] = {}
+        mine = self.as_dict
+        for name, other_values in other.constraints:
+            my_values = mine.get(name, frozenset(universes[name]))
+            outside = my_values - other_values
+            if outside:
+                piece = dict(mine)
+                piece.update(prefix)
+                piece[name] = outside
+                box = HeaderBox(tuple(sorted(piece.items())))
+                if not box.is_empty():
+                    remainder.append(box)
+            prefix[name] = my_values & other_values
+        return remainder
+
+    def __str__(self) -> str:
+        if not self.constraints:
+            return "*"
+        parts = [
+            f"{name}∈{{{','.join(map(str, sorted(values)))}}}"
+            for name, values in self.constraints
+        ]
+        return " ∧ ".join(parts)
+
+
+class HeaderSpace:
+    """A finite union of :class:`HeaderBox`."""
+
+    def __init__(self, boxes: Iterable[HeaderBox] = (),
+                 universes: Optional[Mapping[str, FrozenSet]] = None):
+        self.boxes: List[HeaderBox] = [b for b in boxes if not b.is_empty()]
+        self.universes: Dict[str, FrozenSet] = dict(universes or {})
+
+    @staticmethod
+    def everything(universes: Mapping[str, FrozenSet]) -> "HeaderSpace":
+        return HeaderSpace([HeaderBox()], universes)
+
+    @staticmethod
+    def empty(universes: Optional[Mapping[str, FrozenSet]] = None) -> "HeaderSpace":
+        return HeaderSpace([], universes)
+
+    # ------------------------------------------------------------------
+    def is_empty(self) -> bool:
+        return not self.boxes
+
+    def contains(self, header: Mapping[str, object]) -> bool:
+        return any(b.contains(header) for b in self.boxes)
+
+    def intersect(self, other: "HeaderSpace") -> "HeaderSpace":
+        out = [
+            a.intersect(b)
+            for a in self.boxes
+            for b in other.boxes
+        ]
+        return HeaderSpace(out, self.universes or other.universes)
+
+    def union(self, other: "HeaderSpace") -> "HeaderSpace":
+        return HeaderSpace(
+            self.boxes + other.boxes, self.universes or other.universes
+        )
+
+    def subtract(self, other: "HeaderSpace") -> "HeaderSpace":
+        if not self.universes:
+            raise ValueError("subtract needs field universes")
+        current = list(self.boxes)
+        for b in other.boxes:
+            nxt: List[HeaderBox] = []
+            for a in current:
+                nxt.extend(a.subtract(b, self.universes))
+            current = nxt
+        return HeaderSpace(current, self.universes)
+
+    def enumerate_headers(self) -> Iterable[Dict[str, object]]:
+        """All concrete headers (test-sized universes only)."""
+        from itertools import product
+
+        if not self.universes:
+            raise ValueError("enumeration needs field universes")
+        names = list(FIELDS)
+        for combo in product(*(sorted(self.universes[f], key=repr) for f in names)):
+            header = dict(zip(names, combo))
+            if self.contains(header):
+                yield header
+
+    def __str__(self) -> str:
+        if not self.boxes:
+            return "∅"
+        return " ∨ ".join(f"({b})" for b in self.boxes)

@@ -1,0 +1,119 @@
+"""Pipeline-invariant checking on the static datapath (paper §2.3).
+
+Pipeline invariants — "all packets of class C entering at I must pass
+through middleboxes m1, m2, ... before reaching d" — are the static
+half of VMN's modularized verification: the paper checks them with
+existing dataplane tools (HSA/VeriFlow) rather than the SMT model.
+Here the checker traces the deterministic walk each (ingress,
+destination) pair takes through the switch fabric and steering chains,
+and compares the middleboxes traversed against the required DAG stage
+list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from .failures import NO_FAILURE, FailureScenario
+from .forwarding import ForwardingState
+from .headerspace import HeaderSpace
+from .topology import MIDDLEBOX, Topology
+from .transfer import ForwardingLoopError, SteeringPolicy, walk
+
+__all__ = ["PipelineInvariant", "PipelineResult", "trace_path", "check_pipeline"]
+
+
+@dataclass(frozen=True)
+class PipelineInvariant:
+    """Packets from ``ingress`` to ``dst`` must traverse ``chain`` in
+    order (other middleboxes may appear in between)."""
+
+    ingress: str
+    dst: str
+    chain: Tuple[str, ...]
+
+    @staticmethod
+    def of(ingress: str, dst: str, chain: Sequence[str]) -> "PipelineInvariant":
+        return PipelineInvariant(ingress=ingress, dst=dst, chain=tuple(chain))
+
+
+@dataclass
+class PipelineResult:
+    ok: bool
+    path: Tuple[str, ...]
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def trace_path(
+    topology: Topology,
+    state: ForwardingState,
+    steering: Optional[SteeringPolicy],
+    ingress: str,
+    dst: str,
+    scenario: FailureScenario = NO_FAILURE,
+    max_hops: int = 64,
+) -> Tuple[str, ...]:
+    """The edge-node path a packet takes from ``ingress`` towards ``dst``.
+
+    Follows steering stages and forwarding tables until the destination
+    is reached or the packet is dropped; nondeterministic deliveries
+    (multiple reachable targets from one hop) raise ``ValueError`` since
+    pipeline checking expects deterministic fabrics.
+    """
+    steering = steering or SteeringPolicy()
+    path = [ingress]
+    cur = ingress
+    for _ in range(max_hops):
+        if cur == dst:
+            return tuple(path)
+        stage = steering.next_stage(cur, dst)
+        if stage is None or not scenario.node_ok(stage):
+            return tuple(path)  # dropped at a dead chain stage
+        hits = walk(topology, state, cur, stage, scenario)
+        if not hits:
+            return tuple(path)  # dropped: no route
+        if len(hits) > 1:
+            raise ValueError(
+                f"nondeterministic delivery from {cur!r} towards {stage!r}: {hits}"
+            )
+        cur = hits[0]
+        path.append(cur)
+    raise ForwardingLoopError(path, dst)
+
+
+def _is_subsequence(needle: Sequence[str], hay: Sequence[str]) -> bool:
+    it = iter(hay)
+    return all(x in it for x in needle)
+
+
+def check_pipeline(
+    topology: Topology,
+    state: ForwardingState,
+    steering: Optional[SteeringPolicy],
+    invariant: PipelineInvariant,
+    scenario: FailureScenario = NO_FAILURE,
+) -> PipelineResult:
+    """Does the (ingress, dst) walk traverse the required chain in order
+    and actually reach the destination?"""
+    path = trace_path(
+        topology, state, steering, invariant.ingress, invariant.dst, scenario
+    )
+    if path[-1] != invariant.dst:
+        return PipelineResult(
+            ok=False, path=path, reason=f"traffic never reaches {invariant.dst!r}"
+        )
+    traversed = [n for n in path[1:-1] if topology.node(n).kind == MIDDLEBOX]
+    if not _is_subsequence(invariant.chain, traversed):
+        return PipelineResult(
+            ok=False,
+            path=path,
+            reason=(
+                f"required chain {'->'.join(invariant.chain)} not traversed; "
+                f"saw {'->'.join(traversed) or '(none)'}"
+            ),
+        )
+    return PipelineResult(ok=True, path=path)

@@ -1,0 +1,121 @@
+"""Concrete network topologies: hosts, switches, middleboxes, links.
+
+This is the input side of the static-datapath substrate (paper §2.3,
+§3.5): scenarios build a physical topology with switches and forwarding
+tables, and :mod:`repro.network.transfer` collapses it VeriFlow-style
+into the transfer rules the SMT model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import networkx as nx
+
+__all__ = ["HOST", "SWITCH", "MIDDLEBOX", "Node", "Topology"]
+
+HOST = "host"
+SWITCH = "switch"
+MIDDLEBOX = "middlebox"
+
+
+@dataclass
+class Node:
+    """A topology node.  ``model`` is the middlebox model instance for
+    middlebox nodes; ``policy_group`` is the operator-assigned group a
+    host belongs to (paper §5.1's policy groups)."""
+
+    name: str
+    kind: str
+    model: Optional[object] = None
+    policy_group: Optional[str] = None
+
+
+class Topology:
+    """An undirected physical topology with typed nodes."""
+
+    def __init__(self):
+        self._nodes: Dict[str, Node] = {}
+        self.graph = nx.Graph()
+
+    # ------------------------------------------------------------------
+    def _add(self, node: Node) -> Node:
+        if node.name in self._nodes:
+            raise ValueError(f"duplicate node name {node.name!r}")
+        self._nodes[node.name] = node
+        self.graph.add_node(node.name)
+        return node
+
+    def add_host(self, name: str, policy_group: Optional[str] = None) -> Node:
+        return self._add(Node(name, HOST, policy_group=policy_group))
+
+    def add_switch(self, name: str) -> Node:
+        return self._add(Node(name, SWITCH))
+
+    def add_middlebox(self, model) -> Node:
+        """Register a middlebox by its model instance (name from model)."""
+        return self._add(Node(model.name, MIDDLEBOX, model=model))
+
+    def add_link(self, a: str, b: str) -> None:
+        for n in (a, b):
+            if n not in self._nodes:
+                raise KeyError(f"unknown node {n!r}")
+        if a == b:
+            raise ValueError("self-links are not allowed")
+        self.graph.add_edge(a, b)
+
+    # ------------------------------------------------------------------
+    def node(self, name: str) -> Node:
+        return self._nodes[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def neighbors(self, name: str) -> List[str]:
+        return sorted(self.graph.neighbors(name))
+
+    def _of_kind(self, kind: str) -> List[Node]:
+        return [n for n in self._nodes.values() if n.kind == kind]
+
+    @property
+    def hosts(self) -> List[Node]:
+        return self._of_kind(HOST)
+
+    @property
+    def switches(self) -> List[Node]:
+        return self._of_kind(SWITCH)
+
+    @property
+    def middleboxes(self) -> List[Node]:
+        return self._of_kind(MIDDLEBOX)
+
+    @property
+    def edge_nodes(self) -> List[Node]:
+        """Hosts and middleboxes — the nodes that survive the collapse."""
+        return [n for n in self._nodes.values() if n.kind != SWITCH]
+
+    def middlebox_models(self) -> Tuple[object, ...]:
+        return tuple(n.model for n in self.middleboxes)
+
+    def policy_group_of(self, host: str) -> Optional[str]:
+        return self._nodes[host].policy_group
+
+    def hosts_in_group(self, group: str) -> List[str]:
+        return sorted(
+            n.name for n in self.hosts if n.policy_group == group
+        )
+
+    @property
+    def policy_groups(self) -> List[str]:
+        return sorted({n.policy_group for n in self.hosts if n.policy_group})
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        return (
+            f"Topology({len(self.hosts)} hosts, {len(self.switches)} switches, "
+            f"{len(self.middleboxes)} middleboxes, {self.graph.number_of_edges()} links)"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()

@@ -1,0 +1,25 @@
+"""Evaluation scenarios (paper §5) and misconfiguration injectors."""
+
+from .common import ExpectedCheck, ScenarioBundle
+from .datacenter import (
+    datacenter,
+    datacenter_redundancy,
+    datacenter_traversal,
+    datacenter_with_caches,
+)
+from .enterprise import SUBNET_TYPES, enterprise
+from .isp import isp
+from .multitenant import multitenant
+
+__all__ = [
+    "ExpectedCheck",
+    "ScenarioBundle",
+    "datacenter",
+    "datacenter_redundancy",
+    "datacenter_traversal",
+    "datacenter_with_caches",
+    "enterprise",
+    "SUBNET_TYPES",
+    "isp",
+    "multitenant",
+]

@@ -1,0 +1,55 @@
+"""Shared scenario plumbing.
+
+A :class:`ScenarioBundle` packages everything one evaluation scenario
+needs: the topology, the steering policy, the invariant set with the
+verdict each invariant is *expected* to get (so tests and EXPERIMENTS.md
+can assert "all violations found, no false positives" — the paper's
+§5.1/§5.2 claim), and a factory for the :class:`repro.core.VMN`
+instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.invariants import Invariant
+from ..core.vmn import VMN
+from ..network.failures import NO_FAILURE, FailureScenario
+from ..network.topology import Topology
+from ..network.transfer import SteeringPolicy
+
+__all__ = ["ExpectedCheck", "ScenarioBundle"]
+
+
+@dataclass
+class ExpectedCheck:
+    """An invariant plus the status the scenario's config should yield."""
+
+    invariant: Invariant
+    expected: str  # "holds" or "violated"
+    label: str = ""
+
+
+@dataclass
+class ScenarioBundle:
+    name: str
+    topology: Topology
+    steering: SteeringPolicy
+    checks: List[ExpectedCheck] = field(default_factory=list)
+    scenario: FailureScenario = NO_FAILURE
+    description: str = ""
+
+    def vmn(self, **kwargs) -> VMN:
+        kwargs.setdefault("scenario", self.scenario)
+        return VMN(self.topology, self.steering, **kwargs)
+
+    @property
+    def invariants(self) -> List[Invariant]:
+        return [c.invariant for c in self.checks]
+
+    def expected_of(self, invariant: Invariant) -> Optional[str]:
+        for c in self.checks:
+            if c.invariant is invariant:
+                return c.expected
+        return None

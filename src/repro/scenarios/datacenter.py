@@ -1,0 +1,354 @@
+"""The datacenter scenario (paper Fig. 1, §5.1, §5.2).
+
+A two-pod datacenter — core, aggregation and top-of-rack switches —
+with redundant stateful firewalls, load balancers and IDPSes at the
+aggregation layer, and racks of servers partitioned into *policy
+groups*: hosts may talk freely within their group, never across groups,
+and accept no unsolicited traffic from the Internet.
+
+Three §5.1 experiment families are built here:
+
+* **Rules** — correct config vs. randomly deleted firewall deny rules;
+* **Redundancy** — the primary firewall fails, the backup chain takes
+  over; a misconfigured backup (missing rules) only misbehaves in the
+  failure scenario;
+* **Traversal** — all Internet traffic must traverse an IDPS; a routing
+  misconfiguration steers some hosts' traffic around the backup IDPS
+  when the primary is down.
+
+§5.2 adds content caches at the ToRs plus per-group private data
+servers (:func:`datacenter_with_caches`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from ..core.invariants import (
+    CanReach,
+    DataIsolation,
+    FlowIsolation,
+    NodeIsolation,
+    Traversal,
+)
+from ..mboxes import IDPS, ContentCache, LearningFirewall, LoadBalancer
+from ..network.failures import FailureScenario
+from ..network.topology import Topology
+from ..network.transfer import SteeringPolicy
+from .common import ExpectedCheck, ScenarioBundle
+
+__all__ = [
+    "datacenter",
+    "datacenter_redundancy",
+    "datacenter_traversal",
+    "datacenter_with_caches",
+]
+
+HOLDS = "holds"
+VIOLATED = "violated"
+
+
+def _group_hosts(n_groups: int, hosts_per_group: int) -> List[List[str]]:
+    return [
+        [f"h{g}_{i}" for i in range(hosts_per_group)] for g in range(n_groups)
+    ]
+
+
+def _cross_group_deny(groups: List[List[str]]) -> List[Tuple[str, str]]:
+    deny = []
+    for gi, ga in enumerate(groups):
+        for gj, gb in enumerate(groups):
+            if gi == gj:
+                continue
+            for a in ga:
+                for b in gb:
+                    deny.append((a, b))
+    for g in groups:
+        for h in g:
+            deny.append(("internet", h))
+    return deny
+
+
+def _fabric(topology: Topology) -> None:
+    """Fig. 1's switch fabric: two cores, two agg pods, two ToRs."""
+    for s in ("core1", "core2", "agg1", "agg2", "tor1", "tor2"):
+        topology.add_switch(s)
+    for core in ("core1", "core2"):
+        for agg in ("agg1", "agg2"):
+            topology.add_link(core, agg)
+    topology.add_link("agg1", "tor1")
+    topology.add_link("agg2", "tor2")
+
+
+def _base_topology(
+    groups: List[List[str]],
+    deny: List[Tuple[str, str]],
+    backup_deny: Optional[List[Tuple[str, str]]] = None,
+    with_lb: bool = True,
+) -> Topology:
+    topo = Topology()
+    _fabric(topo)
+    topo.add_host("internet", policy_group="external")
+    topo.add_link("internet", "core1")
+    topo.add_link("internet", "core2")
+
+    fw1 = LearningFirewall("fw1", deny=deny, default_allow=True)
+    fw2 = LearningFirewall(
+        "fw2", deny=deny if backup_deny is None else backup_deny, default_allow=True
+    )
+    idps1, idps2 = IDPS("idps1"), IDPS("idps2")
+    for box, agg in ((fw1, "agg1"), (idps1, "agg1"), (fw2, "agg2"), (idps2, "agg2")):
+        topo.add_middlebox(box)
+        topo.add_link(box.name, agg)
+    if with_lb:
+        lb1 = LoadBalancer("lb1", backends=groups[0])
+        topo.add_middlebox(lb1)
+        topo.add_link("lb1", "agg1")
+
+    for g, hosts in enumerate(groups):
+        tor = "tor1" if g % 2 == 0 else "tor2"
+        for h in hosts:
+            topo.add_host(h, policy_group=f"g{g}")
+            topo.add_link(h, tor)
+    return topo
+
+
+def _chains(groups: List[List[str]], fw: str, idps: str) -> SteeringPolicy:
+    chains = {}
+    for hosts in groups:
+        for h in hosts:
+            chains[h] = (fw, idps)
+    chains["lb1"] = (fw, idps)
+    # Outbound traffic to the Internet crosses the same firewall —
+    # that is what punches holes for return traffic.
+    chains["internet"] = (fw, idps)
+    return SteeringPolicy(chains=chains)
+
+
+def _rules_checks(
+    groups: List[List[str]],
+    deleted: set,
+    failure_budget: int = 0,
+    internet_rules_missing: bool = False,
+) -> List[ExpectedCheck]:
+    """Isolation invariants with expectations given the deleted rules."""
+    checks: List[ExpectedCheck] = []
+    n = len(groups)
+    for gi in range(n):
+        gj = (gi + 1) % n
+        if gi == gj:
+            continue
+        a, b = groups[gi][0], groups[gj][0]
+        inv = NodeIsolation(b, a).with_failures(failure_budget)
+        expected = VIOLATED if (a, b) in deleted else HOLDS
+        checks.append(ExpectedCheck(inv, expected, label=f"iso g{gi}->g{gj}"))
+    # Intra-group connectivity must keep working (no false positives).
+    first = groups[0]
+    if len(first) > 1:
+        checks.append(
+            ExpectedCheck(
+                CanReach(first[1], first[0]), VIOLATED, label="intra-group reach"
+            )
+        )
+    # The Internet never initiates into any group — unless the active
+    # firewall lost its internet deny rules too.
+    checks.append(
+        ExpectedCheck(
+            FlowIsolation(groups[0][0], "internet").with_failures(failure_budget),
+            VIOLATED if internet_rules_missing else HOLDS,
+            label="internet flow isolation",
+        )
+    )
+    return checks
+
+
+def datacenter(
+    n_groups: int = 4,
+    hosts_per_group: int = 2,
+    delete_rules: int = 0,
+    seed: int = 0,
+) -> ScenarioBundle:
+    """§5.1 "Rules": cross-group isolation, optionally misconfigured by
+    deleting ``delete_rules`` deny entries at the primary firewall."""
+    groups = _group_hosts(n_groups, hosts_per_group)
+    deny = _cross_group_deny(groups)
+
+    deleted: set = set()
+    if delete_rules:
+        rng = random.Random(seed)
+        # Delete rules among the group-leader pairs the checks look at,
+        # mirroring "delete a random set of these firewall rules".
+        candidates = [
+            (groups[gi][0], groups[(gi + 1) % n_groups][0])
+            for gi in range(n_groups)
+        ]
+        for pair in rng.sample(candidates, min(delete_rules, len(candidates))):
+            deleted.add(pair)
+        deny = [p for p in deny if p not in deleted]
+
+    topo = _base_topology(groups, deny)
+    steering = _chains(groups, "fw1", "idps1")
+    return ScenarioBundle(
+        name=f"datacenter-rules(groups={n_groups}, deleted={len(deleted)})",
+        topology=topo,
+        steering=steering,
+        checks=_rules_checks(groups, deleted),
+        description="Fig 1 datacenter, incorrect-firewall-rules scenario",
+    )
+
+
+def datacenter_redundancy(
+    n_groups: int = 4,
+    hosts_per_group: int = 2,
+    backup_broken: bool = False,
+    seed: int = 0,
+) -> ScenarioBundle:
+    """§5.1 "Redundancy": primary firewall down, backup chain active.
+
+    With ``backup_broken`` the backup firewall is missing its deny rules
+    (the paper's "removing rules from some of the backup firewalls"),
+    which violates isolation *only in this failure scenario*.
+    """
+    groups = _group_hosts(n_groups, hosts_per_group)
+    deny = _cross_group_deny(groups)
+    backup_deny = [] if backup_broken else None
+    topo = _base_topology(groups, deny, backup_deny=backup_deny)
+    steering = _chains(groups, "fw2", "idps1")  # failover chain
+    scenario = FailureScenario.of("fw1-down", nodes=["fw1"])
+
+    deleted = (
+        {(groups[gi][0], groups[(gi + 1) % n_groups][0]) for gi in range(n_groups)}
+        if backup_broken
+        else set()
+    )
+    return ScenarioBundle(
+        name=f"datacenter-redundancy(groups={n_groups}, broken={backup_broken})",
+        topology=topo,
+        steering=steering,
+        checks=_rules_checks(groups, deleted, internet_rules_missing=backup_broken),
+        scenario=scenario,
+        description="Fig 1 datacenter, misconfigured-redundant-firewall scenario",
+    )
+
+
+def datacenter_traversal(
+    n_groups: int = 4,
+    hosts_per_group: int = 2,
+    reroute_hosts: int = 0,
+    seed: int = 0,
+) -> ScenarioBundle:
+    """§5.1 "Traversal": all Internet traffic must traverse an IDPS.
+
+    The primary IDPS is down; the backup chain should use idps2, but a
+    routing misconfiguration steers ``reroute_hosts`` hosts' traffic
+    around it.
+    """
+    groups = _group_hosts(n_groups, hosts_per_group)
+    deny = _cross_group_deny(groups)
+    topo = _base_topology(groups, deny)
+    scenario = FailureScenario.of("idps1-down", nodes=["idps1"])
+
+    chains = {}
+    rng = random.Random(seed)
+    all_hosts = [h for g in groups for h in g]
+    rerouted = set(rng.sample(all_hosts, min(reroute_hosts, len(all_hosts))))
+    for h in all_hosts:
+        chains[h] = ("fw2",) if h in rerouted else ("fw2", "idps2")
+    chains["lb1"] = ("fw2", "idps2")
+    chains["internet"] = ("fw2",)
+    steering = SteeringPolicy(chains=chains)
+
+    checks = []
+    for g, hosts in enumerate(groups):
+        h = hosts[0]
+        # Two packets: the violation arrives as a hole-punched reply
+        # (outbound request + inbound response skipping the IDPS).
+        inv = Traversal(h, "idps2", from_sources=("internet",), n_packets_hint=2)
+        expected = VIOLATED if h in rerouted else HOLDS
+        checks.append(ExpectedCheck(inv, expected, label=f"traversal {h}"))
+    return ScenarioBundle(
+        name=f"datacenter-traversal(groups={n_groups}, rerouted={len(rerouted)})",
+        topology=topo,
+        steering=steering,
+        checks=checks,
+        scenario=scenario,
+        description="Fig 1 datacenter, misconfigured-redundant-routing scenario",
+    )
+
+
+def datacenter_with_caches(
+    n_groups: int = 3,
+    delete_cache_acls: int = 0,
+    seed: int = 0,
+) -> ScenarioBundle:
+    """§5.2 data isolation: per-group private servers plus ToR caches.
+
+    Each group ``g`` has a private data server ``h{g}_0`` (only group
+    members may read its data) and a client ``h{g}_1``.  The cache deny
+    list blocks cross-group serving; ``delete_cache_acls`` entries are
+    removed to inject the paper's misconfiguration.
+    """
+    groups = _group_hosts(n_groups, 2)
+    deny = _cross_group_deny(groups)
+
+    cache_deny = []
+    for gi, hosts in enumerate(groups):
+        server = hosts[0]
+        for gj, others in enumerate(groups):
+            if gi == gj:
+                continue
+            for requester in others:
+                cache_deny.append((requester, server))
+
+    deleted: set = set()
+    if delete_cache_acls:
+        rng = random.Random(seed)
+        candidates = [
+            (groups[(gi + 1) % n_groups][1], groups[gi][0])
+            for gi in range(n_groups)
+        ]
+        for pair in rng.sample(candidates, min(delete_cache_acls, len(candidates))):
+            deleted.add(pair)
+        cache_deny = [p for p in cache_deny if p not in deleted]
+
+    topo = _base_topology(groups, deny, with_lb=False)
+    cache = ContentCache("cache1", deny=cache_deny)
+    topo.add_middlebox(cache)
+    topo.add_link("cache1", "tor1")
+
+    # Scaled-down pipeline: the §5.2 slices pivot on the firewall and
+    # the origin-agnostic cache; keeping the IDPS off these chains
+    # shortens every leg of the leak schedule without changing who can
+    # obtain whose data (see EXPERIMENTS.md on depth scaling).
+    chains = {}
+    for hosts in groups:
+        for h in hosts:
+            chains[h] = ("fw1",)
+    chains["internet"] = ("fw1",)
+    chains["cache1"] = ("fw1",)
+    steering = SteeringPolicy(chains=chains)
+
+    checks: List[ExpectedCheck] = []
+    for gi in range(n_groups):
+        server = groups[gi][0]
+        client = groups[(gi + 1) % n_groups][1]
+        inv = DataIsolation(client, server)
+        expected = VIOLATED if (client, server) in deleted else HOLDS
+        checks.append(ExpectedCheck(inv, expected, label=f"data-iso {client}<-{server}"))
+        # Same-group access must keep working.
+        sibling = groups[gi][1]
+        checks.append(
+            ExpectedCheck(
+                DataIsolation(sibling, server),
+                VIOLATED,
+                label=f"data reach {sibling}<-{server}",
+            )
+        )
+    return ScenarioBundle(
+        name=f"datacenter-caches(groups={n_groups}, deleted={len(deleted)})",
+        topology=topo,
+        steering=steering,
+        checks=checks,
+        description="§5.2 data isolation with ToR content caches",
+    )

@@ -1,0 +1,131 @@
+"""The enterprise / university network (paper Fig. 6, §5.3.1).
+
+A stateful firewall and a gateway guard three kinds of subnets:
+
+1. **public** — may initiate and accept connections with the Internet;
+2. **private** — flow-isolated: may initiate outbound, never accept
+   unsolicited inbound;
+3. **quarantined** — node-isolated: no communication with the outside
+   world in either direction.
+
+Firewall configuration mirrors the paper exactly: "two rules denying
+access (in either direction) for each quarantined subnet, plus one rule
+denying inbound connections for each private subnet", on a default-
+allow blacklist firewall.  One third of the subnets is of each type.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..core.invariants import CanReach, FlowIsolation, NodeIsolation
+from ..mboxes import Gateway, LearningFirewall
+from ..network.topology import Topology
+from ..network.transfer import SteeringPolicy
+from .common import ExpectedCheck, ScenarioBundle
+
+__all__ = ["enterprise", "SUBNET_TYPES"]
+
+HOLDS = "holds"
+VIOLATED = "violated"
+
+SUBNET_TYPES = ("public", "private", "quarantined")
+
+
+def enterprise(
+    n_subnets: int = 3,
+    hosts_per_subnet: int = 2,
+    deny_deleted_for: Tuple[str, ...] = (),
+) -> ScenarioBundle:
+    """Build the Fig. 6 network with ``n_subnets`` subnets (types cycle
+    public/private/quarantined, keeping the paper's one-third split).
+
+    ``deny_deleted_for`` names hosts whose protective deny rules are
+    dropped (misconfiguration injection).
+    """
+    topo = Topology()
+    topo.add_switch("edge")
+    topo.add_switch("backbone")
+    topo.add_link("edge", "backbone")
+    topo.add_host("internet", policy_group="external")
+    topo.add_link("internet", "edge")
+
+    deny: List[Tuple[str, str]] = []
+    chains = {}
+    checks: List[ExpectedCheck] = []
+    subnet_hosts: List[Tuple[str, str]] = []  # (host, type)
+
+    for s in range(n_subnets):
+        subnet_type = SUBNET_TYPES[s % 3]
+        switch = f"subnet{s}"
+        topo.add_switch(switch)
+        topo.add_link(switch, "backbone")
+        for j in range(hosts_per_subnet):
+            h = f"{subnet_type[:4]}{s}_{j}"
+            topo.add_host(h, policy_group=subnet_type)
+            topo.add_link(h, switch)
+            chains[h] = ("fw", "gw")
+            subnet_hosts.append((h, subnet_type))
+            if h in deny_deleted_for:
+                continue
+            if subnet_type == "quarantined":
+                deny.append(("internet", h))
+                deny.append((h, "internet"))
+            elif subnet_type == "private":
+                deny.append(("internet", h))
+
+    chains["internet"] = ("gw", "fw")
+    fw = LearningFirewall("fw", deny=deny, default_allow=True)
+    gw = Gateway("gw")
+    topo.add_middlebox(fw)
+    topo.add_middlebox(gw)
+    topo.add_link("fw", "edge")
+    topo.add_link("gw", "backbone")
+
+    for h, subnet_type in subnet_hosts:
+        broken = h in deny_deleted_for
+        if subnet_type == "public":
+            checks.append(
+                ExpectedCheck(CanReach(h, "internet"), VIOLATED, label=f"public in {h}")
+            )
+            checks.append(
+                ExpectedCheck(
+                    CanReach("internet", h), VIOLATED, label=f"public out {h}"
+                )
+            )
+        elif subnet_type == "private":
+            checks.append(
+                ExpectedCheck(
+                    FlowIsolation(h, "internet"),
+                    VIOLATED if broken else HOLDS,
+                    label=f"private flow-iso {h}",
+                )
+            )
+            checks.append(
+                ExpectedCheck(
+                    CanReach("internet", h), VIOLATED, label=f"private out {h}"
+                )
+            )
+        else:  # quarantined
+            checks.append(
+                ExpectedCheck(
+                    NodeIsolation(h, "internet"),
+                    VIOLATED if broken else HOLDS,
+                    label=f"quarantine in {h}",
+                )
+            )
+            checks.append(
+                ExpectedCheck(
+                    NodeIsolation("internet", h),
+                    VIOLATED if broken else HOLDS,
+                    label=f"quarantine out {h}",
+                )
+            )
+
+    return ScenarioBundle(
+        name=f"enterprise(subnets={n_subnets})",
+        topology=topo,
+        steering=SteeringPolicy(chains=chains),
+        checks=checks,
+        description="Fig 6 enterprise network behind a stateful firewall",
+    )

@@ -1,0 +1,137 @@
+"""The ISP with intrusion detection (paper §5.3.3, Fig. 9a).
+
+Modelled on the SWITCHlan backbone: at each peering point sits a
+lightweight :class:`RedirectingIDS` and a stateful firewall; one
+centralized scrubbing box serves the whole ISP (the paper notes these
+boxes are expensive, hence shared).  Subnets are public / private /
+quarantined with the §5.3.1 policies.
+
+Traffic enters at a peering point, passes its IDS — which tunnels
+suspected-attack traffic to the scrubber — and then the stateful
+firewall.  Correctly configured, the scrubber's surviving output
+*resumes* the pipeline at the destination's firewall; the paper's
+misconfiguration routes it straight to the subnets, bypassing every
+stateful firewall (``scrubber_bypasses_fw=True``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.invariants import CanReach, FlowIsolation, NodeIsolation
+from ..mboxes import LearningFirewall, RedirectingIDS, Scrubber
+from ..network.topology import Topology
+from ..network.transfer import SteeringPolicy
+from .common import ExpectedCheck, ScenarioBundle
+from .enterprise import SUBNET_TYPES
+
+__all__ = ["isp"]
+
+HOLDS = "holds"
+VIOLATED = "violated"
+
+
+def isp(
+    n_subnets: int = 3,
+    n_peering: int = 2,
+    hosts_per_subnet: int = 1,
+    scrubber_bypasses_fw: bool = False,
+) -> ScenarioBundle:
+    """Build the ISP; subnet types cycle public/private/quarantined.
+
+    Each subnet is homed to peering point ``s % n_peering`` — its
+    inbound pipeline is that point's IDS and firewall.
+    """
+    topo = Topology()
+    topo.add_switch("bb0")  # backbone ring
+    scrub = Scrubber("scrub")
+    topo.add_middlebox(scrub)
+    topo.add_link("scrub", "bb0")
+
+    peers: List[str] = []
+    for p in range(n_peering):
+        sw = f"pop{p}"
+        topo.add_switch(sw)
+        topo.add_link(sw, "bb0")
+        peer = f"peer{p}"
+        topo.add_host(peer, policy_group="peer")
+        topo.add_link(peer, sw)
+        peers.append(peer)
+        ids = RedirectingIDS(f"ids{p}", scrubber="scrub")
+        topo.add_middlebox(ids)
+        topo.add_link(f"ids{p}", sw)
+        topo.add_link(f"ids{p}", "scrub")  # the tunnel
+        # Placeholder firewall; the deny list is installed below once
+        # the subnets exist (the node's model is replaced in place).
+        topo.add_middlebox(LearningFirewall(f"fw{p}", deny=[], default_allow=True))
+        topo.add_link(f"fw{p}", sw)
+
+    chains: Dict[str, Tuple[str, ...]] = {}
+    joins: Dict[str, Dict[str, str]] = {"scrub": {}}
+    deny_per_pp: Dict[int, List[Tuple[str, str]]] = {p: [] for p in range(n_peering)}
+    checks: List[ExpectedCheck] = []
+    subnet_hosts: List[Tuple[str, str, int]] = []
+
+    for s in range(n_subnets):
+        subnet_type = SUBNET_TYPES[s % 3]
+        pp = s % n_peering
+        sw = f"subnet{s}"
+        topo.add_switch(sw)
+        topo.add_link(sw, "bb0")
+        for j in range(hosts_per_subnet):
+            h = f"{subnet_type[:4]}{s}_{j}"
+            topo.add_host(h, policy_group=f"{subnet_type}")
+            topo.add_link(h, sw)
+            chains[h] = (f"ids{pp}", f"fw{pp}")
+            joins["scrub"][h] = h if scrubber_bypasses_fw else f"fw{pp}"
+            subnet_hosts.append((h, subnet_type, pp))
+            if subnet_type == "quarantined":
+                for peer in peers:
+                    deny_per_pp[pp].append((peer, h))
+                    deny_per_pp[pp].append((h, peer))
+            elif subnet_type == "private":
+                for peer in peers:
+                    deny_per_pp[pp].append((peer, h))
+
+    for peer in peers:
+        # Outbound traffic from subnets exits via the local pipeline.
+        chains[peer] = ()
+
+    for p in range(n_peering):
+        topo.node(f"fw{p}").model = LearningFirewall(
+            f"fw{p}", deny=deny_per_pp[p], default_allow=True
+        )
+
+    for h, subnet_type, pp in subnet_hosts:
+        peer = peers[pp % len(peers)]
+        if subnet_type == "public":
+            checks.append(
+                ExpectedCheck(CanReach(h, peer), VIOLATED, label=f"public reach {h}")
+            )
+        elif subnet_type == "private":
+            checks.append(
+                ExpectedCheck(
+                    FlowIsolation(h, peer),
+                    VIOLATED if scrubber_bypasses_fw else HOLDS,
+                    label=f"private flow-iso {h}",
+                )
+            )
+        else:
+            checks.append(
+                ExpectedCheck(
+                    NodeIsolation(h, peer),
+                    VIOLATED if scrubber_bypasses_fw else HOLDS,
+                    label=f"quarantine iso {h}",
+                )
+            )
+
+    return ScenarioBundle(
+        name=(
+            f"isp(subnets={n_subnets}, peering={n_peering}, "
+            f"bypass={scrubber_bypasses_fw})"
+        ),
+        topology=topo,
+        steering=SteeringPolicy(chains=chains, joins=joins),
+        checks=checks,
+        description="SWITCHlan-style ISP with IDS + scrubbing (§5.3.3)",
+    )

@@ -1,0 +1,135 @@
+"""Tseitin/Plaisted-Greenbaum transformation from term DAGs to CNF.
+
+The converter is incremental: a single :class:`CnfConverter` is shared
+by all :meth:`Solver.add` calls so that subterms common to several
+assertions are encoded once.  Constructors in :mod:`repro.smt.terms`
+normalise every boolean connective to ``and`` / ``or`` / ``not`` over
+variables and constants, so those are the only kinds handled here
+(enum equalities are lowered first by :mod:`repro.smt.encode`).
+
+Encoding is *polarity-aware* (Plaisted-Greenbaum): a definition clause
+set is emitted only for the directions in which a subterm is actually
+used, roughly halving the clause count of the network formulas.  The
+:meth:`literal` entry point (used for solver assumptions) requests both
+polarities, so assumption literals remain fully equivalent to their
+terms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .sat import SatSolver
+from .terms import FALSE, TRUE, Term
+
+__all__ = ["CnfConverter"]
+
+POS = 1
+NEG = 2
+BOTH = POS | NEG
+
+
+class CnfConverter:
+    """Encodes boolean terms into a :class:`SatSolver`, memoising nodes."""
+
+    def __init__(self, sat: SatSolver):
+        self.sat = sat
+        self._lit_of: Dict[Term, int] = {}
+        self._done: Dict[Term, int] = {}  # polarity mask already emitted
+        self._true_var: int = 0  # allocated on demand
+
+    # ------------------------------------------------------------------
+    def _const_true(self) -> int:
+        if self._true_var == 0:
+            self._true_var = self.sat.new_var()
+            self.sat.add_clause([self._true_var])
+        return self._true_var
+
+    def _lit(self, node: Term) -> int:
+        """The (possibly fresh) literal naming ``node``; no clauses."""
+        lit = self._lit_of.get(node)
+        if lit is not None:
+            return lit
+        kind = node.kind
+        if kind == "true":
+            lit = self._const_true()
+        elif kind == "false":
+            lit = -self._const_true()
+        elif kind == "var":
+            lit = self.sat.new_var()
+        elif kind == "not":
+            lit = -self._lit(node.args[0])
+        elif kind in ("and", "or"):
+            lit = self.sat.new_var()
+        else:
+            raise TypeError(
+                f"cannot CNF-encode term kind {kind!r}; "
+                "enum terms must be lowered by encode.lower() first"
+            )
+        self._lit_of[node] = lit
+        return lit
+
+    def _encode(self, root: Term, polarity: int) -> None:
+        """Emit definition clauses for ``root`` in the given polarity."""
+        stack: List[Tuple[Term, int]] = [(root, polarity)]
+        while stack:
+            node, pol = stack.pop()
+            have = self._done.get(node, 0)
+            need = pol & ~have
+            if not need:
+                continue
+            self._done[node] = have | need
+            kind = node.kind
+            if kind in ("true", "false", "var"):
+                continue
+            if kind == "not":
+                flipped = 0
+                if need & POS:
+                    flipped |= NEG
+                if need & NEG:
+                    flipped |= POS
+                stack.append((node.args[0], flipped))
+                continue
+            v = self._lit(node)
+            arg_lits = [self._lit(a) for a in node.args]
+            if kind == "and":
+                if need & POS:  # v -> each arg
+                    for lit in arg_lits:
+                        self.sat.add_clause([-v, lit])
+                if need & NEG:  # all args -> v
+                    self.sat.add_clause([v] + [-lit for lit in arg_lits])
+            else:  # or
+                if need & POS:  # v -> some arg
+                    self.sat.add_clause([-v] + arg_lits)
+                if need & NEG:  # each arg -> v
+                    for lit in arg_lits:
+                        self.sat.add_clause([v, -lit])
+            for a in node.args:
+                stack.append((a, need))
+
+    # ------------------------------------------------------------------
+    def literal(self, term: Term) -> int:
+        """A literal fully equivalent to ``term`` (both polarities).
+
+        Use for assumptions, where the literal constrains the term both
+        ways."""
+        self._encode(term, BOTH)
+        return self._lit(term)
+
+    def assert_term(self, term: Term) -> None:
+        """Assert ``term`` (it must hold in every model)."""
+        if term is TRUE:
+            return
+        if term is FALSE:
+            self.sat.add_clause([self._const_true()])
+            self.sat.add_clause([-self._const_true()])
+            return
+        self._encode(term, POS)
+        self.sat.add_clause([self._lit(term)])
+
+    def var_literal(self, term: Term) -> int:
+        """The literal of an already-encoded term, if any."""
+        lit = self._lit_of.get(term)
+        if lit is None:
+            raise KeyError(f"term not encoded: {term!r}")
+        return lit

@@ -1,0 +1,110 @@
+"""Term utilities: substitution, concrete evaluation, cofactoring.
+
+The constructors in :mod:`repro.smt.terms` already perform constant
+folding and flattening; the helpers here are used by slicing (to
+specialise a network formula to a concrete failure scenario), by the
+explicit-state baseline (to evaluate middlebox guards concretely) and
+by tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from .terms import (
+    And,
+    BoolConst,
+    EnumConst,
+    Eq,
+    Ite,
+    Not,
+    Or,
+    Term,
+    iter_dag,
+)
+
+__all__ = ["substitute", "evaluate", "is_constant"]
+
+
+def substitute(term: Term, mapping: Mapping[Term, Term]) -> Term:
+    """Replace variables (or arbitrary subterms) per ``mapping``.
+
+    Replacement terms must have the same sort as what they replace.
+    Rebuilding goes through the smart constructors, so substituting
+    constants simplifies the result (this is how failure scenarios are
+    specialised into a network formula).
+    """
+    for src, dst in mapping.items():
+        if src.sort is not dst.sort:
+            raise TypeError(
+                f"substitute: sort mismatch {src.sort.name} -> {dst.sort.name}"
+            )
+    rebuilt: Dict[Term, Term] = {}
+    for node in iter_dag(term):
+        replacement = mapping.get(node)
+        if replacement is not None:
+            rebuilt[node] = replacement
+            continue
+        if not node.args:
+            rebuilt[node] = node
+            continue
+        new_args = [rebuilt[a] for a in node.args]
+        if all(x is y for x, y in zip(new_args, node.args)):
+            rebuilt[node] = node
+            continue
+        kind = node.kind
+        if kind == "not":
+            rebuilt[node] = Not(new_args[0])
+        elif kind == "and":
+            rebuilt[node] = And(*new_args)
+        elif kind == "or":
+            rebuilt[node] = Or(*new_args)
+        elif kind == "eq":
+            rebuilt[node] = Eq(new_args[0], new_args[1])
+        elif kind == "ite":
+            rebuilt[node] = Ite(new_args[0], new_args[1], new_args[2])
+        else:  # pragma: no cover - vars/consts have no args
+            raise TypeError(f"cannot rebuild term kind {kind!r}")
+    return rebuilt[term]
+
+
+def evaluate(term: Term, env: Mapping[Term, object]):
+    """Evaluate a term under a concrete environment.
+
+    ``env`` maps variable terms to Python values (``bool`` for boolean
+    variables, enum values for enum variables).  Raises ``KeyError`` for
+    variables missing from the environment.
+    """
+    values: Dict[Term, object] = {}
+    for node in iter_dag(term):
+        kind = node.kind
+        if kind == "true":
+            values[node] = True
+        elif kind == "false":
+            values[node] = False
+        elif kind in ("var", "evar"):
+            if node not in env:
+                raise KeyError(f"no value for variable {node.payload!r}")
+            values[node] = env[node]
+        elif kind == "econst":
+            values[node] = node.payload
+        elif kind == "not":
+            values[node] = not values[node.args[0]]
+        elif kind == "and":
+            values[node] = all(values[a] for a in node.args)
+        elif kind == "or":
+            values[node] = any(values[a] for a in node.args)
+        elif kind == "eq":
+            values[node] = values[node.args[0]] == values[node.args[1]]
+        elif kind == "ite":
+            values[node] = (
+                values[node.args[1]] if values[node.args[0]] else values[node.args[2]]
+            )
+        else:  # pragma: no cover
+            raise TypeError(f"cannot evaluate term kind {kind!r}")
+    return values[term]
+
+
+def is_constant(term: Term) -> bool:
+    """True when the term contains no variables."""
+    return all(node.kind not in ("var", "evar") for node in iter_dag(term))

@@ -1,0 +1,170 @@
+"""A z3py-flavoured ``Solver`` / ``Model`` facade over the CDCL core.
+
+This is the surface the rest of the repository programs against, shaped
+after the small subset of the z3py API that VMN's encoding needs::
+
+    s = Solver()
+    s.add(Implies(a, b), Not(b))
+    if s.check() == "sat":
+        m = s.model()
+        print(m[a])
+
+``check`` accepts assumption terms (used heavily by the BMC driver to
+activate one invariant at a time on a shared network encoding) and an
+optional conflict budget, returning ``"unknown"`` when exhausted —
+mirroring how the paper leans on Z3's heuristics and timeouts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from .cnf import CnfConverter
+from .encode import EnumLowering, bit_name
+from .sat import SAT, UNKNOWN, UNSAT, SatSolver
+from .sorts import EnumSort
+from .terms import BoolVar, Term
+
+__all__ = ["Solver", "Model", "SAT", "UNSAT", "UNKNOWN"]
+
+
+class Model:
+    """A satisfying assignment, queried with term evaluation.
+
+    ``model[x]`` returns a Python ``bool`` for boolean variables and the
+    enum *value* (string/int) for enum variables.  Compound terms are
+    evaluated structurally.
+    """
+
+    def __init__(self, solver: "Solver"):
+        self._solver = solver
+        self._cache: Dict[Term, object] = {}
+
+    def __getitem__(self, term: Term):
+        return self.eval(term)
+
+    def eval(self, term: Term):
+        """Evaluate ``term`` under this model."""
+        cached = self._cache.get(term)
+        if cached is not None or term in self._cache:
+            return cached
+        value = self._eval(term)
+        self._cache[term] = value
+        return value
+
+    def _eval(self, term: Term):
+        kind = term.kind
+        if kind == "true":
+            return True
+        if kind == "false":
+            return False
+        if kind == "var":
+            return self._solver._bool_value(term)
+        if kind == "evar":
+            return self._solver._enum_value(term)
+        if kind == "econst":
+            return term.payload
+        if kind == "not":
+            return not self.eval(term.args[0])
+        if kind == "and":
+            return all(self.eval(a) for a in term.args)
+        if kind == "or":
+            return any(self.eval(a) for a in term.args)
+        if kind == "eq":
+            return self.eval(term.args[0]) == self.eval(term.args[1])
+        if kind == "ite":
+            if self.eval(term.args[0]):
+                return self.eval(term.args[1])
+            return self.eval(term.args[2])
+        raise TypeError(f"cannot evaluate term kind {kind!r}")
+
+
+class Solver:
+    """Incremental finite-domain SMT solver (the Z3 stand-in)."""
+
+    def __init__(self):
+        self.sat = SatSolver()
+        self._lowering = EnumLowering()
+        self._cnf = CnfConverter(self.sat)
+        self.assertions: List[Term] = []
+        self._result: Optional[str] = None
+        self._assumption_terms: Dict[int, Term] = {}
+
+    # ------------------------------------------------------------------
+    def add(self, *terms: Term) -> None:
+        """Assert one or more boolean terms."""
+        for term in terms:
+            if not term.is_bool:
+                raise TypeError("Solver.add() expects boolean terms")
+            self.assertions.append(term)
+            lowered = self._lowering.lower(term)
+            self._assert_side_conditions()
+            self._cnf.assert_term(lowered)
+
+    def _assert_side_conditions(self) -> None:
+        for cond in self._lowering.drain_side_conditions():
+            self._cnf.assert_term(cond)
+
+    def check(
+        self,
+        assumptions: Iterable[Term] = (),
+        max_conflicts: Optional[int] = None,
+    ) -> str:
+        """Decide satisfiability; returns ``"sat"``/``"unsat"``/``"unknown"``."""
+        lits = []
+        self._assumption_terms = {}
+        for term in assumptions:
+            lowered = self._lowering.lower(term)
+            self._assert_side_conditions()
+            lit = self._cnf.literal(lowered)
+            lits.append(lit)
+            self._assumption_terms[lit] = term
+        self._result = self.sat.solve_with(lits, max_conflicts=max_conflicts)
+        return self._result
+
+    def unsat_core(self) -> List[Term]:
+        """The failed assumptions of the last ``unsat`` answer.
+
+        A (not necessarily minimal) subset of the assumption terms that
+        is already inconsistent with the assertions.  Empty when the
+        assertions are unsatisfiable on their own.
+        """
+        if self._result != UNSAT:
+            raise RuntimeError(f"no core available (last result: {self._result})")
+        return [
+            self._assumption_terms[lit]
+            for lit in self.sat.core
+            if lit in self._assumption_terms
+        ]
+
+    def model(self) -> Model:
+        """The model of the last ``sat`` answer."""
+        if self._result != SAT:
+            raise RuntimeError(f"no model available (last result: {self._result})")
+        return Model(self)
+
+    def stats(self) -> dict:
+        return self.sat.stats()
+
+    # ------------------------------------------------------------------
+    # Model-extraction plumbing used by Model.
+    # ------------------------------------------------------------------
+    def _bool_value(self, var_term: Term) -> bool:
+        lit = self._cnf._lit_of.get(var_term)
+        if lit is None:
+            return False  # unconstrained variable: any value works
+        value = self.sat.value(abs(lit))
+        if value is None:
+            return False
+        return value if lit > 0 else not value
+
+    def _enum_value(self, var_term: Term):
+        sort: EnumSort = var_term.sort  # type: ignore[assignment]
+        code = 0
+        for i in range(sort.nbits):
+            bit_var = BoolVar(bit_name(var_term.payload, i))
+            if self._bool_value(bit_var):
+                code |= 1 << i
+        if code >= sort.size:
+            code = 0  # unconstrained bits may decode out of range
+        return sort.value_of(code)

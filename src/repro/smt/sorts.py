@@ -1,0 +1,152 @@
+"""Sorts (types) for the finite-domain SMT layer.
+
+VMN's formulas range over booleans and small finite domains: node
+identifiers, packet indices, addresses, ports and abstract packet
+classes.  Once time is explicitly quantified (the paper grounds its
+LTL-with-past encoding over discrete timesteps) every sort that appears
+in a VMN formula is finite, which is what lets us decide satisfiability
+with a propositional CDCL solver after bit-blasting.
+
+Two sorts exist:
+
+* :class:`BoolSort` — the booleans.
+* :class:`EnumSort` — a named finite set of symbolic values (used for
+  addresses, node ids, ports, payload tags, event kinds, ...).
+
+``IntRange`` is provided as a convenience constructor for an
+:class:`EnumSort` whose values are consecutive integers; ports and
+counters use it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+
+class Sort:
+    """Base class for sorts.  Sorts are interned and compared by identity."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Sort({self.name})"
+
+
+class BoolSort(Sort):
+    """The boolean sort.  Use the module-level singleton :data:`BOOL`."""
+
+    __slots__ = ()
+
+    def __init__(self):
+        super().__init__("Bool")
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "Bool"
+
+
+#: The unique boolean sort.
+BOOL = BoolSort()
+
+
+class EnumSort(Sort):
+    """A finite sort with a fixed tuple of named values.
+
+    Values are arbitrary hashable objects (typically strings or ints).
+    The position of a value in ``values`` is its *code*; the bit-blaster
+    encodes codes in binary using :attr:`nbits` boolean variables.
+
+    Enum sorts are interned by name: constructing two ``EnumSort`` with
+    the same name and same values returns the same object, while reusing
+    a name with different values raises ``ValueError``.  This mirrors how
+    SMT solvers treat sort declarations.
+    """
+
+    __slots__ = ("values", "_index")
+
+    _registry: dict = {}
+
+    def __new__(cls, name: str, values: Iterable = ()):  # noqa: D102
+        values = tuple(values)
+        existing = cls._registry.get(name)
+        if existing is not None:
+            if existing.values != values:
+                raise ValueError(
+                    f"EnumSort {name!r} redeclared with different values: "
+                    f"{existing.values!r} vs {values!r}"
+                )
+            return existing
+        if not values:
+            raise ValueError(f"EnumSort {name!r} must have at least one value")
+        if len(set(values)) != len(values):
+            raise ValueError(f"EnumSort {name!r} has duplicate values")
+        obj = object.__new__(cls)
+        Sort.__init__(obj, name)
+        obj.values = values
+        obj._index = {v: i for i, v in enumerate(values)}
+        cls._registry[name] = obj
+        return obj
+
+    def __init__(self, name: str, values: Iterable = ()):
+        # All initialisation happens in __new__ so interned instances are
+        # not re-initialised; nothing to do here.
+        pass
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of values in the sort."""
+        return len(self.values)
+
+    @property
+    def nbits(self) -> int:
+        """Number of bits needed to encode a code in binary."""
+        n = self.size
+        bits = 0
+        while (1 << bits) < n:
+            bits += 1
+        return max(bits, 1)
+
+    def code_of(self, value) -> int:
+        """Return the code (position) of ``value``; raise if absent."""
+        try:
+            return self._index[value]
+        except KeyError:
+            raise ValueError(f"{value!r} is not a value of sort {self.name}")
+
+    def value_of(self, code: int):
+        """Return the value with the given code."""
+        return self.values[code]
+
+    def __contains__(self, value) -> bool:
+        return value in self._index
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"EnumSort({self.name!r}, size={self.size})"
+
+    # Testing hook: the registry is process-global, and property-based
+    # tests generate many throwaway sorts.
+    @classmethod
+    def _reset_registry(cls) -> None:
+        cls._registry.clear()
+
+
+def int_range(name: str, lo: int, hi: int) -> EnumSort:
+    """An :class:`EnumSort` whose values are the integers ``lo..hi-1``.
+
+    >>> s = int_range("small_port", 0, 4)
+    >>> s.values
+    (0, 1, 2, 3)
+    """
+    if hi <= lo:
+        raise ValueError(f"int_range {name!r}: empty range [{lo}, {hi})")
+    return EnumSort(name, tuple(range(lo, hi)))
+
+
+def sort_key(sort: Sort) -> Tuple[str, int]:
+    """A deterministic ordering key for sorts (used by the encoder)."""
+    if isinstance(sort, EnumSort):
+        return (sort.name, sort.size)
+    return (sort.name, 0)

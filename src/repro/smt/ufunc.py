@@ -1,0 +1,91 @@
+"""Uninterpreted functions over finite sorts (Ackermann encoding).
+
+VMN's classification oracle is "just variables" from the solver's point
+of view: ``origin(p)``, ``skype?(p)``, ``remapped_port(p)`` are
+uninterpreted symbols the solver may assign freely, subject only to
+congruence (equal arguments give equal results) and any output
+constraints the middlebox model declares (e.g. a packet belongs to at
+most one application class).
+
+Each syntactically distinct application ``f(a1..an)`` becomes a fresh
+result variable; congruence axioms ``a = b  =>  f(a) = f(b)`` are added
+pairwise between applications.  With the handful of symbolic packets a
+slice contains, this stays small.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from .sorts import BOOL, BoolSort, EnumSort, Sort
+from .terms import And, BoolVar, EnumVar, Eq, Implies, Term
+
+__all__ = ["UFunc"]
+
+
+class UFunc:
+    """An uninterpreted function symbol with explicit congruence axioms.
+
+    >>> origin = UFunc("origin", (addr_sort,), addr_sort)
+    >>> t = origin(pkt_src)          # a result variable
+    >>> axioms = origin.congruence_axioms()   # assert these
+    """
+
+    _instances: Dict[str, "UFunc"] = {}
+
+    def __init__(self, name: str, domain: Sequence[Sort], range_sort: Sort):
+        existing = UFunc._instances.get(name)
+        if existing is not None and (
+            tuple(existing.domain) != tuple(domain)
+            or existing.range_sort is not range_sort
+        ):
+            raise ValueError(f"UFunc {name!r} redeclared with a different signature")
+        self.name = name
+        self.domain = tuple(domain)
+        self.range_sort = range_sort
+        self._apps: Dict[Tuple[Term, ...], Term] = (
+            existing._apps if existing is not None else {}
+        )
+        UFunc._instances[name] = self
+
+    def __call__(self, *args: Term) -> Term:
+        if len(args) != len(self.domain):
+            raise TypeError(
+                f"{self.name} expects {len(self.domain)} arguments, got {len(args)}"
+            )
+        for arg, sort in zip(args, self.domain):
+            if arg.sort is not sort:
+                raise TypeError(
+                    f"{self.name}: argument sort {arg.sort.name}, expected {sort.name}"
+                )
+        cached = self._apps.get(args)
+        if cached is not None:
+            return cached
+        idx = len(self._apps)
+        if isinstance(self.range_sort, BoolSort):
+            result = BoolVar(f"{self.name}!app{idx}")
+        else:
+            result = EnumVar(f"{self.name}!app{idx}", self.range_sort)
+        self._apps[args] = result
+        return result
+
+    # ------------------------------------------------------------------
+    def congruence_axioms(self) -> List[Term]:
+        """Pairwise functional-consistency axioms for all applications."""
+        axioms: List[Term] = []
+        apps = list(self._apps.items())
+        for i, (args_a, res_a) in enumerate(apps):
+            for args_b, res_b in apps[i + 1 :]:
+                same_args = And(*(Eq(x, y) for x, y in zip(args_a, args_b)))
+                axioms.append(Implies(same_args, Eq(res_a, res_b)))
+        return axioms
+
+    @property
+    def applications(self) -> Dict[Tuple[Term, ...], Term]:
+        """Read-only view of recorded applications (args tuple -> result)."""
+        return dict(self._apps)
+
+    @classmethod
+    def _reset_registry(cls) -> None:
+        """Testing hook: forget all declared function symbols."""
+        cls._instances.clear()

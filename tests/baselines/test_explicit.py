@@ -1,0 +1,166 @@
+"""Differential tests: the SMT engine vs the explicit-state fixpoint.
+
+Two independent implementations of the same network semantics must
+agree on every verdict.  Disagreement means a bug in one of them; these
+tests are the strongest correctness evidence in the repository.
+"""
+
+import pytest
+
+from repro.baselines import FixpointChecker
+from repro.core import (
+    CanReach,
+    DataIsolation,
+    FlowIsolation,
+    NodeIsolation,
+    Traversal,
+)
+from repro.mboxes import AclFirewall, ContentCache, Gateway, LearningFirewall
+from repro.netmodel import (
+    HOLDS,
+    VIOLATED,
+    HeaderMatch,
+    TransferRule,
+    VerificationNetwork,
+    check,
+)
+
+
+def firewalled(fw):
+    rules = (
+        TransferRule.of(HeaderMatch.of(dst={"priv"}), to="fw", from_nodes={"ext"}),
+        TransferRule.of(HeaderMatch.of(dst={"priv"}), to="priv", from_nodes={"fw"}),
+        TransferRule.of(HeaderMatch.of(dst={"ext"}), to="fw", from_nodes={"priv"}),
+        TransferRule.of(HeaderMatch.of(dst={"ext"}), to="ext", from_nodes={"fw"}),
+    )
+    return VerificationNetwork(hosts=("ext", "priv"), middleboxes=(fw,), rules=rules)
+
+
+def cached(deny, server_direct=False):
+    server_ingress = None if server_direct else {"cache"}
+    client_ingress = None if server_direct else {"cache"}
+    rules = (
+        TransferRule.of(HeaderMatch.of(dst={"cache"}), to="cache"),
+        TransferRule.of(
+            HeaderMatch.of(dst={"server"}), to="server", from_nodes=server_ingress
+        ),
+        TransferRule.of(HeaderMatch.of(dst={"c1"}), to="c1", from_nodes=client_ingress),
+        TransferRule.of(HeaderMatch.of(dst={"c2"}), to="c2", from_nodes=client_ingress),
+    )
+    return VerificationNetwork(
+        hosts=("c1", "c2", "server"),
+        middleboxes=(ContentCache("cache", deny=deny),),
+        rules=rules,
+    )
+
+
+def agree(net, smt_invariant, explicit_call, n_ports=2, **bmc_kwargs):
+    smt = check(net, smt_invariant, n_ports=n_ports, **bmc_kwargs)
+    explicit = explicit_call(FixpointChecker(net, n_ports=n_ports))
+    assert smt.status in (HOLDS, VIOLATED)
+    assert (smt.status == VIOLATED) == explicit, (
+        f"SMT says {smt.status}, explicit says "
+        f"{'violated' if explicit else 'holds'}"
+    )
+    return smt.status
+
+
+class TestFirewallAgreement:
+    @pytest.mark.parametrize(
+        "allow,invariant,call",
+        [
+            ([("priv", "ext")], NodeIsolation("priv", "ext"),
+             lambda fx: fx.node_isolation_violated("priv", "ext")),
+            ([("priv", "ext")], FlowIsolation("priv", "ext"),
+             lambda fx: fx.flow_isolation_violated("priv", "ext")),
+            ([], CanReach("ext", "priv"),
+             lambda fx: fx.can_reach("ext", "priv")),
+            ([("ext", "priv")], NodeIsolation("priv", "ext"),
+             lambda fx: fx.node_isolation_violated("priv", "ext")),
+            ([("ext", "priv")], FlowIsolation("priv", "ext"),
+             lambda fx: fx.flow_isolation_violated("priv", "ext")),
+        ],
+    )
+    def test_learning_firewall(self, allow, invariant, call):
+        net = firewalled(LearningFirewall("fw", allow=allow))
+        agree(net, invariant, call)
+
+    @pytest.mark.parametrize(
+        "acl,expect",
+        [([("ext", "priv")], VIOLATED), ([], HOLDS), ([("priv", "ext")], HOLDS)],
+    )
+    def test_acl_firewall(self, acl, expect):
+        net = firewalled(AclFirewall("fw", acl=acl))
+        status = agree(
+            net,
+            NodeIsolation("priv", "ext"),
+            lambda fx: fx.node_isolation_violated("priv", "ext"),
+        )
+        assert status == expect
+
+    def test_deny_mode(self):
+        fw = LearningFirewall("fw", deny=[("ext", "priv")], default_allow=True)
+        net = firewalled(fw)
+        agree(net, FlowIsolation("priv", "ext"),
+              lambda fx: fx.flow_isolation_violated("priv", "ext"))
+
+
+class TestCacheAgreement:
+    @pytest.mark.parametrize("deny", [[("c2", "server")], []])
+    def test_data_isolation(self, deny):
+        net = cached(deny)
+        agree(
+            net,
+            DataIsolation("c2", "server"),
+            lambda fx: fx.data_isolation_violated("c2", "server"),
+        )
+
+    def test_allowed_client(self):
+        net = cached([("c2", "server")])
+        status = agree(
+            net,
+            DataIsolation("c1", "server"),
+            lambda fx: fx.data_isolation_violated("c1", "server"),
+        )
+        assert status == VIOLATED
+
+
+class TestTraversalAgreement:
+    def test_gateway_line(self):
+        gw = Gateway("gw")
+        rules = (
+            TransferRule.of(HeaderMatch.of(dst={"b"}), to="gw", from_nodes={"a"}),
+            TransferRule.of(HeaderMatch.of(dst={"b"}), to="b", from_nodes={"gw"}),
+        )
+        net = VerificationNetwork(hosts=("a", "b"), middleboxes=(gw,), rules=rules)
+        status = agree(
+            net,
+            Traversal("b", "gw"),
+            lambda fx: fx.traversal_violated("b", "gw"),
+        )
+        assert status == HOLDS
+
+    def test_bypass_detected_by_both(self):
+        gw = Gateway("gw")
+        rules = (
+            TransferRule.of(HeaderMatch.of(dst={"b"}), to="gw", from_nodes={"a"}),
+            TransferRule.of(HeaderMatch.of(dst={"b"}), to="b", from_nodes={"gw", "a"}),
+        )
+        net = VerificationNetwork(hosts=("a", "b"), middleboxes=(gw,), rules=rules)
+        status = agree(
+            net,
+            Traversal("b", "gw"),
+            lambda fx: fx.traversal_violated("b", "gw"),
+        )
+        assert status == VIOLATED
+
+
+class TestUnsupportedModels:
+    def test_nat_rejected(self):
+        from repro.mboxes import NAT
+
+        net = VerificationNetwork(
+            hosts=("a",), middleboxes=(NAT("nat", internal={"a"}),), rules=()
+        )
+        with pytest.raises(NotImplementedError):
+            FixpointChecker(net)

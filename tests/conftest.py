@@ -1,0 +1,23 @@
+"""Shared test fixtures.
+
+Sorts, terms and uninterpreted functions are interned in process-global
+tables (mirroring how SMT solvers treat declarations).  Tests create
+many throwaway declarations, so every test runs against fresh tables.
+"""
+
+import pytest
+
+from repro.smt import sorts as _sorts
+from repro.smt import terms as _terms
+from repro.smt import ufunc as _ufunc
+
+
+@pytest.fixture(autouse=True)
+def _fresh_smt_tables():
+    _sorts.EnumSort._reset_registry()
+    _terms._reset_intern_tables()
+    _ufunc.UFunc._reset_registry()
+    yield
+    _sorts.EnumSort._reset_registry()
+    _terms._reset_intern_tables()
+    _ufunc.UFunc._reset_registry()

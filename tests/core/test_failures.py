@@ -1,0 +1,60 @@
+"""Tests for failure-conditioned verification (paper §3.5, §5.1)."""
+
+from repro.core import CanReach, FlowIsolation, NodeIsolation, verify_under_failures
+from repro.network import NO_FAILURE, FailureScenario, SteeringPolicy, single_failures
+
+from .test_slicing import enterprise
+
+
+class TestVerifyUnderFailures:
+    def test_invariant_holds_across_switch_failures(self):
+        """Flow isolation must survive any single switch failure (the
+        firewall chain is unchanged; broken paths only drop traffic)."""
+        topo, steering = enterprise(2)
+        scenarios = [NO_FAILURE] + [
+            s for s in single_failures(topo, kinds=("switch",))
+        ]
+        results = verify_under_failures(
+            topo,
+            FlowIsolation("h0_0", "internet"),
+            steering_for=lambda s: steering,
+            scenarios=scenarios,
+        )
+        assert set(results) == {s.name for s in scenarios}
+        assert all(r.holds for r in results.values())
+
+    def test_firewall_failure_blocks_everything(self):
+        topo, steering = enterprise(2)
+        scenarios = [NO_FAILURE, FailureScenario.of("fail:fw", nodes=["fw"])]
+        results = verify_under_failures(
+            topo,
+            CanReach("internet", "h0_0"),
+            steering_for=lambda s: steering,
+            scenarios=scenarios,
+        )
+        assert results["no-failure"].violated  # reachable normally
+        assert results["fail:fw"].holds  # fail-closed chain: nothing flows
+
+    def test_edge_switch_failure_partitions(self):
+        """Failing the core switch cuts every host off."""
+        topo, steering = enterprise(2)
+        results = verify_under_failures(
+            topo,
+            CanReach("internet", "h0_0"),
+            steering_for=lambda s: steering,
+            scenarios=[FailureScenario.of("fail:core", nodes=["core"])],
+        )
+        assert results["fail:core"].holds
+
+
+class TestDynamicFailureEvents:
+    def test_budget_zero_forbids_failures(self):
+        topo, steering = enterprise(2)
+        from repro.core import VMN
+
+        vmn = VMN(topo, steering)
+        inv = NodeIsolation("h1_0", "internet")  # quarantined-ish: holds
+        assert vmn.verify(inv).holds
+        # Allowing one mid-schedule firewall failure must not break a
+        # fail-closed firewall's guarantees.
+        assert vmn.verify(inv.with_failures(1)).holds

@@ -1,0 +1,102 @@
+"""Tests for policy equivalence classes and symmetry grouping."""
+
+from repro.core import (
+    FlowIsolation,
+    NodeIsolation,
+    group_invariants,
+    policy_equivalence_classes,
+)
+from repro.mboxes import LearningFirewall
+from repro.network import SteeringPolicy, Topology
+
+
+def star_topology(n_hosts, fw_deny=()):
+    topo = Topology()
+    topo.add_switch("s")
+    fw = LearningFirewall("fw", deny=fw_deny, default_allow=True)
+    topo.add_middlebox(fw)
+    topo.add_link("fw", "s")
+    for i in range(n_hosts):
+        topo.add_host(f"h{i}", policy_group="tenant")
+        topo.add_link(f"h{i}", "s")
+    steering = SteeringPolicy(chains={f"h{i}": ("fw",) for i in range(n_hosts)})
+    return topo, steering
+
+
+class TestPolicyClasses:
+    def test_symmetric_hosts_share_class(self):
+        topo, steering = star_topology(6)
+        classes = policy_equivalence_classes(topo, steering)
+        assert classes.count == 1
+        assert len(classes.members(0)) == 6
+
+    def test_group_assignment_splits_classes(self):
+        topo = Topology()
+        topo.add_switch("s")
+        for i, g in enumerate(["a", "a", "b"]):
+            topo.add_host(f"h{i}", policy_group=g)
+            topo.add_link(f"h{i}", "s")
+        classes = policy_equivalence_classes(topo)
+        assert classes.count == 2
+
+    def test_misconfiguration_breaks_symmetry(self):
+        """Deleting a firewall rule for one host isolates it in its own
+        class — the paper's observation in §5.1 (Rules)."""
+        topo, steering = star_topology(4, fw_deny=[("h0", "h1")])
+        classes = policy_equivalence_classes(topo, steering)
+        # h0 (src of a deny) and h1 (dst of a deny) each differ from the
+        # untouched h2/h3.
+        assert classes.count == 3
+        assert classes.class_of["h2"] == classes.class_of["h3"]
+        assert classes.class_of["h0"] != classes.class_of["h2"]
+        assert classes.class_of["h1"] != classes.class_of["h2"]
+
+    def test_chain_membership_matters(self):
+        topo, _ = star_topology(3)
+        steering = SteeringPolicy(chains={"h0": ("fw",)})  # only h0 chained
+        classes = policy_equivalence_classes(topo, steering)
+        assert classes.class_of["h0"] != classes.class_of["h1"]
+        assert classes.class_of["h1"] == classes.class_of["h2"]
+
+    def test_representatives_one_per_class(self):
+        topo, steering = star_topology(5)
+        classes = policy_equivalence_classes(topo, steering)
+        assert len(classes.representatives()) == classes.count
+
+
+class TestSymmetryGrouping:
+    def test_symmetric_invariants_grouped(self):
+        topo, steering = star_topology(4)
+        classes = policy_equivalence_classes(topo, steering)
+        invariants = [
+            NodeIsolation(f"h{i}", f"h{j}")
+            for i in range(4)
+            for j in range(4)
+            if i != j
+        ]
+        groups = group_invariants(invariants, classes)
+        # All hosts are equivalent: one group covers all 12 invariants.
+        assert len(groups) == 1
+        assert groups[0].size == 12
+
+    def test_different_types_not_grouped(self):
+        topo, steering = star_topology(2)
+        classes = policy_equivalence_classes(topo, steering)
+        invariants = [NodeIsolation("h0", "h1"), FlowIsolation("h0", "h1")]
+        groups = group_invariants(invariants, classes)
+        assert len(groups) == 2
+
+    def test_failure_budget_distinguishes(self):
+        topo, steering = star_topology(2)
+        classes = policy_equivalence_classes(topo, steering)
+        plain = NodeIsolation("h0", "h1")
+        with_failures = NodeIsolation("h0", "h1").with_failures(1)
+        groups = group_invariants([plain, with_failures], classes)
+        assert len(groups) == 2
+
+    def test_asymmetric_hosts_not_grouped(self):
+        topo, steering = star_topology(3, fw_deny=[("h0", "h2")])
+        classes = policy_equivalence_classes(topo, steering)
+        invariants = [NodeIsolation("h2", "h0"), NodeIsolation("h2", "h1")]
+        groups = group_invariants(invariants, classes)
+        assert len(groups) == 2

@@ -1,0 +1,75 @@
+"""Unit tests for reports and scenario bundles."""
+
+import pytest
+
+from repro.core import NodeIsolation
+from repro.core.results import InvariantOutcome, Report
+from repro.netmodel.bmc import HOLDS, UNKNOWN, VIOLATED, CheckResult
+from repro.scenarios.common import ExpectedCheck, ScenarioBundle
+
+
+def _result(status):
+    return CheckResult(
+        status=status,
+        invariant=None,
+        depth=5,
+        n_packets=2,
+        solve_seconds=0.01,
+    )
+
+
+class TestCheckResult:
+    def test_flags(self):
+        assert _result(VIOLATED).violated
+        assert _result(HOLDS).holds
+        assert not _result(UNKNOWN).holds
+
+    def test_str_without_trace(self):
+        text = str(_result(HOLDS))
+        assert "HOLDS" in text and "depth=5" in text
+
+
+class TestReport:
+    def _report(self):
+        r = Report()
+        inv = NodeIsolation("a", "b")
+        r.outcomes.append(InvariantOutcome(inv, _result(HOLDS), slice_size=3))
+        r.outcomes.append(
+            InvariantOutcome(inv, _result(HOLDS), slice_size=3, via_symmetry=True)
+        )
+        r.outcomes.append(InvariantOutcome(inv, _result(VIOLATED)))
+        r.total_seconds = 1.5
+        return r
+
+    def test_counts(self):
+        r = self._report()
+        assert len(r) == 3
+        assert r.checks_run == 2  # one outcome was inherited
+        assert len(r.holding) == 2
+        assert len(r.violated) == 1
+        assert len(r.unknown) == 0
+
+    def test_summary_mentions_symmetry_savings(self):
+        text = self._report().summary()
+        assert "symmetry saved 1" in text
+
+    def test_iteration(self):
+        assert all(isinstance(o, InvariantOutcome) for o in self._report())
+
+
+class TestScenarioBundle:
+    def test_expected_lookup(self):
+        from repro.network import SteeringPolicy, Topology
+
+        topo = Topology()
+        topo.add_host("a")
+        inv = NodeIsolation("a", "a")
+        bundle = ScenarioBundle(
+            name="t",
+            topology=topo,
+            steering=SteeringPolicy(),
+            checks=[ExpectedCheck(inv, "holds", label="x")],
+        )
+        assert bundle.expected_of(inv) == "holds"
+        assert bundle.expected_of(NodeIsolation("a", "a")) is None  # identity
+        assert bundle.invariants == [inv]

@@ -1,0 +1,159 @@
+"""Tests for slice construction — including the central soundness
+property: an invariant holds in the slice iff it holds in the network."""
+
+import pytest
+
+from repro.core import (
+    DataIsolation,
+    FlowIsolation,
+    NodeIsolation,
+    SliceClosureError,
+    VMN,
+    build_slice,
+    policy_equivalence_classes,
+    restrict_rules,
+)
+from repro.mboxes import ContentCache, LearningFirewall
+from repro.netmodel import HeaderMatch, TransferRule, check
+from repro.network import SteeringPolicy, Topology, compute_transfer_rules, shortest_path_tables
+
+
+def enterprise(n_subnets=4):
+    """A firewalled enterprise: n subnets, each with two hosts, behind
+    one stateful firewall; odd subnets are quarantined (no inbound or
+    outbound), even subnets are private (outbound only)."""
+    topo = Topology()
+    topo.add_switch("edge")
+    topo.add_switch("core")
+    topo.add_link("edge", "core")
+    topo.add_host("internet", policy_group="external")
+    topo.add_link("internet", "edge")
+
+    deny = []
+    chains = {}
+    for i in range(n_subnets):
+        quarantined = i % 2 == 1
+        group = "quarantined" if quarantined else "private"
+        for j in range(2):
+            h = f"h{i}_{j}"
+            topo.add_host(h, policy_group=group)
+            topo.add_link(h, "core")
+            chains[h] = ("fw",)
+            if quarantined:
+                deny.append(("internet", h))
+                deny.append((h, "internet"))
+            else:
+                deny.append(("internet", h))
+    chains["internet"] = ("fw",)
+    fw = LearningFirewall("fw", deny=deny, default_allow=True)
+    topo.add_middlebox(fw)
+    topo.add_link("fw", "core")
+    return topo, SteeringPolicy(chains=chains)
+
+
+class TestSliceConstruction:
+    def test_slice_contains_mentions_and_chain(self):
+        topo, steering = enterprise(4)
+        vmn = VMN(topo, steering)
+        sl = vmn.slice_for(FlowIsolation("h0_0", "internet"))
+        assert {"h0_0", "internet", "fw"} <= sl.nodes
+        assert not sl.used_representatives  # firewall is flow-parallel
+
+    def test_slice_size_independent_of_network_size(self):
+        sizes = []
+        for n in (2, 6, 12):
+            topo, steering = enterprise(n)
+            vmn = VMN(topo, steering)
+            sl = vmn.slice_for(FlowIsolation("h0_0", "internet"))
+            sizes.append(sl.size)
+        assert sizes[0] == sizes[1] == sizes[2]
+
+    def test_firewall_config_restricted_to_slice(self):
+        topo, steering = enterprise(6)
+        vmn = VMN(topo, steering)
+        sl = vmn.slice_for(FlowIsolation("h0_0", "internet"))
+        fw = sl.network.mbox("fw")
+        for _, a, b in fw.config_pairs():
+            assert a in sl.nodes and b in sl.nodes
+
+    def test_origin_agnostic_brings_representatives(self):
+        """With a cache in the slice, one host per policy class joins."""
+        topo, steering = enterprise(4)
+        cache = ContentCache("cache", deny=[])
+        topo.add_middlebox(cache)
+        topo.add_link("cache", "core")
+        vmn = VMN(topo, steering)
+        sl = vmn.slice_for(DataIsolation("h1_0", "h0_0"))
+        # DataIsolation mentions two hosts; the slice must include the
+        # cache's policy-class representatives.
+        assert sl.used_representatives is False or sl.size >= 2
+        # Force the cache into the slice via steering:
+        steering2 = SteeringPolicy(
+            chains={**steering.chains, "h0_0": ("cache", "fw")}
+        )
+        vmn2 = VMN(topo, steering2)
+        sl2 = vmn2.slice_for(DataIsolation("h1_0", "h0_0"))
+        assert sl2.used_representatives
+        groups = {topo.policy_group_of(n) for n in sl2.nodes if n.startswith("h")}
+        assert groups == {"private", "quarantined"}
+
+    def test_restrict_rules_drops_foreign_traffic(self):
+        rules = (
+            TransferRule.of(HeaderMatch.of(dst={"a"}), to="a", from_nodes={"b", "c"}),
+            TransferRule.of(HeaderMatch.of(dst={"c"}), to="c", from_nodes={"a"}),
+        )
+        sliced = restrict_rules(rules, {"a", "b"})
+        assert len(sliced) == 1
+        assert sliced[0].match.dst == frozenset({"a"})
+        assert sliced[0].from_nodes == frozenset({"b"})
+
+    def test_closure_violation_detected(self):
+        rules = (
+            TransferRule.of(HeaderMatch.of(dst={"a"}), to="m", from_nodes={"b"}),
+        )
+        with pytest.raises(SliceClosureError):
+            restrict_rules(rules, {"a", "b"})
+
+
+class TestSliceSoundness:
+    """The paper's theorem: invariant holds in slice <=> holds in network.
+
+    We cross-check slice and whole-network verdicts on a real scenario,
+    for invariants that hold and invariants that are violated.
+    """
+
+    @pytest.mark.parametrize(
+        "invariant",
+        [
+            FlowIsolation("h0_0", "internet"),     # holds (private)
+            NodeIsolation("h1_0", "internet"),     # holds (quarantined)
+            NodeIsolation("h0_0", "internet"),     # violated (hole punch)
+            NodeIsolation("h0_0", "h2_1"),         # violated (intra allowed)
+        ],
+    )
+    def test_slice_matches_whole_network(self, invariant):
+        topo, steering = enterprise(3)
+        vmn = VMN(topo, steering)
+        sliced_net, _ = vmn.network_for(invariant)
+        whole_net = vmn.whole_network()
+        sliced = check(sliced_net, invariant)
+        whole = check(whole_net, invariant)
+        assert sliced.status == whole.status
+
+    def test_misconfigured_rule_detected_in_slice(self):
+        """Delete the quarantine deny rules for one host: the violation
+        must be visible in that host's slice."""
+        topo, steering = enterprise(3)
+        fw = topo.node("fw").model
+        broken_deny = [
+            (a, b)
+            for a, b in fw.config_pairs_raw()
+            if b != "h1_0" and a != "h1_0"
+        ] if hasattr(fw, "config_pairs_raw") else [
+            (a, b) for _, a, b in fw.config_pairs() if "h1_0" not in (a, b)
+        ]
+        fw2 = LearningFirewall("fw", deny=broken_deny, default_allow=True)
+        topo.node("fw").model = fw2
+        vmn = VMN(topo, steering)
+        result = vmn.verify(NodeIsolation("h1_0", "internet"))
+        assert result.violated

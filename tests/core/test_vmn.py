@@ -1,0 +1,90 @@
+"""Tests for the VMN facade: verify, verify_all, slicing/symmetry toggles."""
+
+from repro.core import VMN, CanReach, FlowIsolation, NodeIsolation
+from repro.netmodel import HOLDS, VIOLATED
+from repro.network import FailureScenario
+
+from .test_slicing import enterprise
+
+
+class TestVerify:
+    def test_holding_invariant(self):
+        topo, steering = enterprise(2)
+        vmn = VMN(topo, steering)
+        assert vmn.verify(FlowIsolation("h0_0", "internet")).holds
+
+    def test_violated_invariant_has_trace(self):
+        topo, steering = enterprise(2)
+        vmn = VMN(topo, steering)
+        result = vmn.verify(NodeIsolation("h0_0", "internet"))
+        assert result.violated
+        assert result.trace is not None
+        assert any(e.frm == "fw" for e in result.trace.events)
+
+    def test_slicing_toggle_same_verdicts(self):
+        topo, steering = enterprise(2)
+        inv = FlowIsolation("h0_0", "internet")
+        with_slices = VMN(topo, steering, use_slicing=True).verify(inv)
+        without = VMN(topo, steering, use_slicing=False).verify(inv)
+        assert with_slices.status == without.status == HOLDS
+
+    def test_network_for_reports_slice_size(self):
+        topo, steering = enterprise(4)
+        vmn = VMN(topo, steering)
+        _, size = vmn.network_for(FlowIsolation("h0_0", "internet"))
+        assert size is not None and size <= 4
+        vmn_noslice = VMN(topo, steering, use_slicing=False)
+        _, size2 = vmn_noslice.network_for(FlowIsolation("h0_0", "internet"))
+        assert size2 is None
+
+
+class TestVerifyAll:
+    def _invariants(self, topo):
+        hosts = [h.name for h in topo.hosts if h.name != "internet"]
+        return [FlowIsolation(h, "internet") for h in hosts]
+
+    def test_symmetry_reduces_solver_runs(self):
+        topo, steering = enterprise(4)  # 8 hosts, 2 policy classes
+        vmn = VMN(topo, steering)
+        invariants = self._invariants(topo)
+        report = vmn.verify_all(invariants)
+        assert len(report) == len(invariants)
+        # Private and quarantined hosts: 2 classes -> 2 solver runs.
+        assert report.checks_run == 2
+        assert all(o.status == HOLDS for o in report)
+
+    def test_without_symmetry_every_invariant_checked(self):
+        topo, steering = enterprise(2)
+        vmn = VMN(topo, steering, use_symmetry=False)
+        invariants = self._invariants(topo)
+        report = vmn.verify_all(invariants)
+        assert report.checks_run == len(invariants)
+
+    def test_symmetry_and_full_agree(self):
+        topo, steering = enterprise(3)
+        invariants = self._invariants(topo)
+        fast = VMN(topo, steering).verify_all(invariants)
+        slow = VMN(topo, steering, use_symmetry=False).verify_all(invariants)
+        by_inv_fast = {repr(o.invariant): o.status for o in fast}
+        by_inv_slow = {repr(o.invariant): o.status for o in slow}
+        assert by_inv_fast == by_inv_slow
+
+    def test_report_summary_readable(self):
+        topo, steering = enterprise(2)
+        vmn = VMN(topo, steering)
+        report = vmn.verify_all(self._invariants(topo))
+        text = report.summary()
+        assert "invariants" in text and "hold" in text
+
+
+class TestFailureScenarios:
+    def test_scenario_changes_verdict(self):
+        """With the firewall failed (static scenario), nothing flows:
+        even CanReach towards a public destination holds (unreachable)."""
+        topo, steering = enterprise(2)
+        healthy = VMN(topo, steering)
+        assert healthy.verify(CanReach("internet", "h0_0"), n_packets=2).violated
+
+        dead_fw = FailureScenario.of("fw-down", nodes=["fw"])
+        broken = VMN(topo, steering, scenario=dead_fw)
+        assert broken.verify(CanReach("internet", "h0_0"), n_packets=2).holds

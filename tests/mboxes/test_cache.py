@@ -1,0 +1,101 @@
+"""Behavioural tests for the content cache (paper §5.2 data isolation)."""
+
+from repro.core import DataIsolation
+from repro.mboxes import ContentCache
+from repro.netmodel import (
+    HOLDS,
+    VIOLATED,
+    HeaderMatch,
+    TransferRule,
+    VerificationNetwork,
+    check,
+)
+
+
+def cached_net(cache, server_direct=False):
+    """Two clients in different policy groups and a private server.
+
+    ``server`` holds group-1 private data: it is only reachable through
+    the cache, and clients receive traffic only from the cache (the
+    firewalls of the §5.1 topology collapse into these ingress
+    restrictions).  ``server_direct=True`` removes the server-side
+    restriction — modelling a *cache placement* error where the server
+    is directly reachable.
+    """
+    server_ingress = None if server_direct else {"cache"}
+    client_ingress = {"cache", "server"} if server_direct else {"cache"}
+    rules = (
+        TransferRule.of(HeaderMatch.of(dst={"cache"}), to="cache"),
+        TransferRule.of(
+            HeaderMatch.of(dst={"server"}), to="server", from_nodes=server_ingress
+        ),
+        TransferRule.of(HeaderMatch.of(dst={"c1"}), to="c1", from_nodes=client_ingress),
+        TransferRule.of(HeaderMatch.of(dst={"c2"}), to="c2", from_nodes=client_ingress),
+    )
+    return VerificationNetwork(
+        hosts=("c1", "c2", "server"), middleboxes=(cache,), rules=rules
+    )
+
+
+class TestDataIsolation:
+    def test_acl_prevents_cross_group_leak(self):
+        """With the deny entry installed, group-2's client can never
+        obtain the group-1 server's data — not even via the cache."""
+        cache = ContentCache("cache", deny=[("c2", "server")])
+        net = cached_net(cache)
+        assert check(net, DataIsolation("c2", "server")).status == HOLDS
+
+    def test_allowed_client_is_served(self):
+        cache = ContentCache("cache", deny=[("c2", "server")])
+        net = cached_net(cache)
+        result = check(net, DataIsolation("c1", "server"))
+        assert result.status == VIOLATED  # c1 is *allowed* to get the data
+        # The data must have flowed through the cache.
+        assert any(
+            e.kind == "send" and e.frm == "cache" for e in result.trace.events
+        )
+
+    def test_deleted_acl_entry_leaks_private_data(self):
+        """The §5.2 misconfiguration: the deny entry is deleted, and the
+        origin-agnostic cache serves group-1 data to group-2."""
+        cache = ContentCache("cache", deny=[])
+        net = cached_net(cache)
+        result = check(net, DataIsolation("c2", "server"))
+        assert result.status == VIOLATED
+
+    def test_leak_requires_cache_fill(self):
+        """The counterexample schedule really uses the cache: a fill
+        (server data into cache) strictly precedes the leaking serve."""
+        cache = ContentCache("cache", deny=[])
+        net = cached_net(cache)
+        result = check(net, DataIsolation("c2", "server"))
+        assert result.status == VIOLATED
+        events = result.trace.events
+        fills = [e.t for e in events if e.kind == "send" and e.to == "cache"]
+        leak = max(e.t for e in events if e.kind == "send" and e.to == "c2")
+        assert fills and min(fills) < leak
+
+    def test_direct_server_exposure_is_caught(self):
+        """Cache *placement* error: if the server is directly reachable,
+        isolation fails regardless of cache ACLs (the server answers
+        strangers itself)."""
+        cache = ContentCache("cache", deny=[("c2", "server")])
+        net = cached_net(cache, server_direct=True)
+        assert check(net, DataIsolation("c2", "server")).status == VIOLATED
+
+
+class TestCacheFailure:
+    def test_failure_clears_cache_but_refetch_still_leaks(self):
+        """Failing the misconfigured cache does not restore isolation —
+        it just forces a re-fetch.  (The invariant is about *possible*
+        schedules.)"""
+        cache = ContentCache("cache", deny=[])
+        net = cached_net(cache)
+        inv = DataIsolation("c2", "server").with_failures(1)
+        assert check(net, inv).status == VIOLATED
+
+    def test_failclosed_cache_with_acl_stays_safe_under_failures(self):
+        cache = ContentCache("cache", deny=[("c2", "server")])
+        net = cached_net(cache)
+        inv = DataIsolation("c2", "server").with_failures(1)
+        assert check(net, inv).status == HOLDS

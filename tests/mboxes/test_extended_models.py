@@ -1,0 +1,196 @@
+"""Behavioural tests for the extended middlebox library: DNAT, VPN
+gateways and the port-granular firewall."""
+
+import pytest
+
+from repro.core import CanReach, NodeIsolation
+from repro.mboxes import DNAT, PortFilterFirewall, VpnGateway
+from repro.netmodel import (
+    HOLDS,
+    VIOLATED,
+    HeaderMatch,
+    TransferRule,
+    VerificationNetwork,
+    check,
+)
+from repro.smt import And, Eq, Not, Or
+
+
+class TestDNAT:
+    def _net(self, forward):
+        dnat = DNAT("pub", forward=forward)
+        rules = (
+            TransferRule.of(HeaderMatch.of(dst={"pub"}), to="pub", from_nodes={"ext"}),
+            TransferRule.of(HeaderMatch.of(dst={"web"}), to="web", from_nodes={"pub"}),
+            TransferRule.of(HeaderMatch.of(dst={"db"}), to="db", from_nodes={"pub"}),
+            # The internal hosts sit behind the NAT: their outbound
+            # traffic crosses it too.
+            TransferRule.of(
+                HeaderMatch.of(dst={"ext"}), to="pub", from_nodes={"web", "db"}
+            ),
+            TransferRule.of(HeaderMatch.of(dst={"ext"}), to="ext", from_nodes={"pub"}),
+        )
+        return VerificationNetwork(
+            hosts=("ext", "web", "db"), middleboxes=(dnat,), rules=rules
+        )
+
+    def test_forwarded_port_reaches_service(self):
+        net = self._net({1: ("web", 2)})
+        result = check(net, CanReach("web", "ext"), n_packets=2)
+        assert result.status == VIOLATED
+        delivered = [
+            e for e in result.trace.events if e.kind == "send" and e.to == "web"
+        ]
+        pkt = result.trace.packets[delivered[-1].pkt]
+        assert pkt.dport == 2  # rewritten to the internal port
+
+    def test_unmapped_service_unreachable(self):
+        net = self._net({1: ("web", 2)})
+        assert check(net, CanReach("db", "ext"), n_packets=2).status == HOLDS
+
+    def test_internal_address_never_leaks(self):
+        """Replies carry the public source address; `ext` never sees
+        packets sourced at the internal endpoint."""
+        net = self._net({1: ("web", 2)})
+        assert check(net, NodeIsolation("ext", "web"), n_packets=2).status == HOLDS
+
+    def test_reply_port_restored(self):
+        net = self._net({1: ("web", 2)})
+
+        class ReplyWithInternalPort:
+            n_packets_hint = 2
+            failure_budget = 0
+
+            def violation_term(self, ctx):
+                cases = []
+                for t in range(ctx.depth):
+                    for p in ctx.packets:
+                        cases.append(
+                            And(
+                                ctx.rcv_at("ext", p.index, t),
+                                Eq(p.src, ctx.addr("pub")),
+                                Eq(p.sport, ctx.schema.port(2)),
+                            )
+                        )
+                return Or(*cases)
+
+        assert check(net, ReplyWithInternalPort()).status == HOLDS
+
+
+class TestVpnGateway:
+    def _net(self):
+        """siteA(h_a, gwa) === tunnel === (gwb, h_b)siteB with a transit
+        host in the middle that must stay isolated."""
+        gwa = VpnGateway("gwa", peer="gwb", remote={"h_b"})
+        gwb = VpnGateway("gwb", peer="gwa", remote={"h_a"})
+        rules = (
+            # Local deliveries within each site.
+            TransferRule.of(HeaderMatch.of(dst={"h_a"}), to="h_a", from_nodes={"gwa"}),
+            TransferRule.of(HeaderMatch.of(dst={"h_b"}), to="h_b", from_nodes={"gwb"}),
+            # Hosts hand inter-site traffic to their gateway.
+            TransferRule.of(HeaderMatch.of(dst={"h_b"}), to="gwa", from_nodes={"h_a"}),
+            TransferRule.of(HeaderMatch.of(dst={"h_a"}), to="gwb", from_nodes={"h_b"}),
+            # The transit host is reachable from anything *except* the
+            # tunnel interior (it is not on the tunnel).
+            TransferRule.of(HeaderMatch.of(dst={"transit"}), to="transit"),
+        )
+        return VerificationNetwork(
+            hosts=("h_a", "h_b", "transit"),
+            middleboxes=(gwa, gwb),
+            rules=rules,
+        )
+
+    def test_sites_reach_each_other_via_tunnel(self):
+        net = self._net()
+        result = check(net, CanReach("h_b", "h_a"), n_packets=2)
+        assert result.status == VIOLATED
+        # The schedule must use the gwa -> gwb direct link.
+        hops = [(e.frm, e.to) for e in result.trace.events if e.kind == "send"]
+        assert ("gwa", "gwb") in hops
+
+    def test_transit_cannot_inject_into_site(self):
+        """Site hosts receive inter-site traffic only via the tunnel;
+        the transit host cannot reach them at all."""
+        net = self._net()
+        assert check(net, CanReach("h_b", "transit"), n_packets=2).status == HOLDS
+
+    def test_failed_gateway_severs_tunnel(self):
+        net = self._net()
+
+        class ReachWhileGwDown:
+            n_packets_hint = 2
+            failure_budget = 1
+
+            def violation_term(self, ctx):
+                cases = []
+                for t in range(ctx.depth):
+                    for p in ctx.packets:
+                        cases.append(
+                            And(
+                                ctx.rcv_at("h_b", p.index, t),
+                                Eq(p.src, ctx.addr("h_a")),
+                                ctx.failed_at("gwa", t),
+                                # gwa failed before anything was sent.
+                                *(
+                                    Not(
+                                        And(
+                                            ctx.events[u].is_send,
+                                            ctx.events[u].frm_is("gwa"),
+                                        )
+                                    )
+                                    for u in range(t)
+                                ),
+                            )
+                        )
+                return Or(*cases)
+
+        assert check(net, ReachWhileGwDown()).status == HOLDS
+
+
+class TestPortFilterFirewall:
+    def _net(self, allow):
+        fw = PortFilterFirewall("fw", allow=allow)
+        rules = (
+            TransferRule.of(HeaderMatch.of(dst={"srv"}), to="fw", from_nodes={"ext"}),
+            TransferRule.of(HeaderMatch.of(dst={"srv"}), to="srv", from_nodes={"fw"}),
+            TransferRule.of(HeaderMatch.of(dst={"ext"}), to="ext"),
+        )
+        return VerificationNetwork(hosts=("ext", "srv"), middleboxes=(fw,), rules=rules)
+
+    def test_allowed_port_passes(self):
+        net = self._net([("ext", "srv", 2)])
+        result = check(net, CanReach("srv", "ext"))
+        assert result.status == VIOLATED
+        delivered = [
+            e for e in result.trace.events if e.kind == "send" and e.to == "srv"
+        ]
+        assert result.trace.packets[delivered[-1].pkt].dport == 2
+
+    def test_other_ports_blocked(self):
+        net = self._net([("ext", "srv", 2)])
+
+        class WrongPortDelivery:
+            n_packets_hint = 1
+            failure_budget = 0
+
+            def violation_term(self, ctx):
+                cases = []
+                for t in range(ctx.depth):
+                    for p in ctx.packets:
+                        cases.append(
+                            And(
+                                ctx.rcv_at("srv", p.index, t),
+                                Not(Eq(p.dport, ctx.schema.port(2))),
+                            )
+                        )
+                return Or(*cases)
+
+        assert check(net, WrongPortDelivery()).status == HOLDS
+
+    def test_wildcard_rules(self):
+        net = self._net([(None, "srv", None)])  # anyone, any port
+        assert check(net, CanReach("srv", "ext")).status == VIOLATED
+
+    def test_empty_ruleset_blocks_all(self):
+        net = self._net([])
+        assert check(net, CanReach("srv", "ext")).status == HOLDS

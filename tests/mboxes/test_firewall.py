@@ -1,0 +1,169 @@
+"""Behavioural tests for the firewall models.
+
+The mini-topology mirrors the enterprise setup (paper Fig. 6): an
+external peer, an internal host, and a firewall all inbound/outbound
+traffic must traverse.
+"""
+
+import pytest
+
+from repro.core import CanReach, FlowIsolation, NodeIsolation
+from repro.mboxes import AclFirewall, LearningFirewall
+from repro.netmodel import HOLDS, VIOLATED, HeaderMatch, TransferRule, VerificationNetwork, check
+
+
+def firewalled_net(fw):
+    """ext <-> fw <-> priv; every path crosses the firewall."""
+    rules = (
+        TransferRule.of(HeaderMatch.of(dst={"priv"}), to="fw", from_nodes={"ext"}),
+        TransferRule.of(HeaderMatch.of(dst={"priv"}), to="priv", from_nodes={"fw"}),
+        TransferRule.of(HeaderMatch.of(dst={"ext"}), to="fw", from_nodes={"priv"}),
+        TransferRule.of(HeaderMatch.of(dst={"ext"}), to="ext", from_nodes={"fw"}),
+    )
+    return VerificationNetwork(hosts=("ext", "priv"), middleboxes=(fw,), rules=rules)
+
+
+class TestAclFirewall:
+    def test_denied_traffic_blocked(self):
+        fw = AclFirewall("fw", acl=[("priv", "ext")])  # outbound only
+        net = firewalled_net(fw)
+        assert check(net, NodeIsolation("priv", "ext")).status == HOLDS
+
+    def test_permitted_traffic_flows(self):
+        fw = AclFirewall("fw", acl=[("priv", "ext"), ("ext", "priv")])
+        net = firewalled_net(fw)
+        result = check(net, CanReach("priv", "ext"))
+        assert result.status == VIOLATED  # reachable, with witness
+        assert any(e.frm == "fw" for e in result.trace.events)
+
+    def test_stateless_no_hole_punching(self):
+        """The stateless firewall never learns: outbound traffic does not
+        open the inbound path."""
+        fw = AclFirewall("fw", acl=[("priv", "ext")])
+        net = firewalled_net(fw)
+        # Even with 2 packets and generous depth, no inbound delivery.
+        assert check(net, CanReach("priv", "ext"), n_packets=2).status == HOLDS
+
+
+class TestLearningFirewall:
+    def test_hole_punching_allows_return_traffic(self):
+        """Outbound-permitted flow opens the reverse path — the paper's
+        motivating firewall behaviour (Listing 1)."""
+        fw = LearningFirewall("fw", allow=[("priv", "ext")])
+        net = firewalled_net(fw)
+        result = check(net, NodeIsolation("priv", "ext"), n_packets=2)
+        assert result.status == VIOLATED
+        # The counterexample must show priv initiating first.
+        sends = [e for e in result.trace.events if e.kind == "send" and e.frm == "priv"]
+        assert sends, "expected priv to initiate the flow"
+
+    def test_flow_isolation_holds(self):
+        """Unsolicited inbound traffic is still blocked: flow isolation
+        (only priv-initiated flows reach priv) is the invariant that
+        holds for this configuration."""
+        fw = LearningFirewall("fw", allow=[("priv", "ext")])
+        net = firewalled_net(fw)
+        assert check(net, FlowIsolation("priv", "ext")).status == HOLDS
+
+    def test_no_acl_no_traffic(self):
+        fw = LearningFirewall("fw", allow=[])
+        net = firewalled_net(fw)
+        assert check(net, CanReach("priv", "ext"), n_packets=2).status == HOLDS
+        assert check(net, CanReach("ext", "priv"), n_packets=2).status == HOLDS
+
+    def test_deny_list_mode(self):
+        """Blacklist configuration (§5.3.1 style): denying ext->priv and
+        priv->ext quarantines priv."""
+        fw = LearningFirewall(
+            "fw", deny=[("ext", "priv"), ("priv", "ext")], default_allow=True
+        )
+        net = firewalled_net(fw)
+        assert check(net, NodeIsolation("priv", "ext"), n_packets=2).status == HOLDS
+        assert check(net, CanReach("ext", "priv"), n_packets=2).status == HOLDS
+
+    def test_deleting_deny_rule_breaks_isolation(self):
+        """The §5.1 "Rules" misconfiguration: a deleted deny entry."""
+        fw = LearningFirewall("fw", deny=[("priv", "ext")], default_allow=True)
+        net = firewalled_net(fw)
+        assert check(net, NodeIsolation("priv", "ext")).status == VIOLATED
+
+    def test_allow_and_deny_rejected(self):
+        with pytest.raises(ValueError):
+            LearningFirewall("fw", allow=[("a", "b")], deny=[("c", "d")])
+
+
+class TestFirewallFailure:
+    def test_fail_closed_under_failures(self):
+        """A fail-closed firewall keeps flow isolation even when the
+        adversary may fail it: no traffic crosses a dead firewall."""
+        fw = LearningFirewall("fw", allow=[("priv", "ext")])
+        net = firewalled_net(fw)
+        inv = FlowIsolation("priv", "ext").with_failures(1)
+        assert check(net, inv).status == HOLDS
+
+    def test_failure_clears_established_state(self):
+        """After fail+recover, previously established flows are gone.
+
+        We check a *liveness-flavoured* probe: once the firewall fails,
+        any delivery that relies on pre-failure ``established`` state is
+        impossible — unless the state is re-established by post-failure
+        deliveries (e.g. in-flight permitted packets arriving after
+        recovery), which the probe therefore excludes.
+        """
+        fw = LearningFirewall("fw", allow=[("priv", "ext")])
+        net = firewalled_net(fw)
+
+        from repro.smt import And, Eq, Not, Or
+
+        class ReplyAfterFirewallRestart:
+            """priv receives from ext although fw failed at some point
+            after every priv-outbound send (state must have been lost)."""
+
+            n_packets_hint = 2
+            failure_budget = 1
+
+            def violation_term(self, ctx):
+                cases = []
+                for t in range(ctx.depth):
+                    for p in ctx.packets:
+                        # Delivery to priv from ext at t, where fw failed
+                        # at t_fail < t, fw forwarded nothing before the
+                        # failure (so Ω holds no pre-failure copies), and
+                        # priv sent nothing after the failure (so the flow
+                        # cannot be re-established).
+                        for t_fail in range(t):
+                            fail_ev = ctx.events[t_fail].fail_of("fw")
+                            no_fw_sends_before = And(
+                                *(
+                                    Not(
+                                        And(
+                                            ctx.events[u].is_send,
+                                            ctx.events[u].frm_is("fw"),
+                                        )
+                                    )
+                                    for u in range(t_fail)
+                                )
+                            )
+                            no_refill = And(
+                                *(
+                                    Not(
+                                        And(
+                                            ctx.events[u].is_send,
+                                            ctx.events[u].to_is("fw"),
+                                        )
+                                    )
+                                    for u in range(t_fail, t)
+                                )
+                            )
+                            cases.append(
+                                And(
+                                    ctx.rcv_at("priv", p.index, t),
+                                    Eq(p.src, ctx.addr("ext")),
+                                    fail_ev,
+                                    no_fw_sends_before,
+                                    no_refill,
+                                )
+                            )
+                return Or(*cases)
+
+        assert check(net, ReplyAfterFirewallRestart()).status == HOLDS

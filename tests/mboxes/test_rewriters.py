@@ -1,0 +1,213 @@
+"""Behavioural tests for load balancer, WAN optimizer, proxy, gateway."""
+
+from repro.core import CanReach, DataIsolation, NodeIsolation
+from repro.mboxes import Gateway, LoadBalancer, Proxy, WanOptimizer
+from repro.netmodel import (
+    HOLDS,
+    VIOLATED,
+    HeaderMatch,
+    TransferRule,
+    VerificationNetwork,
+    check,
+)
+from repro.smt import And, Eq, Not, Or
+
+
+class TestLoadBalancer:
+    def _net(self):
+        lb = LoadBalancer("vip", backends=["s1", "s2"])
+        rules = (
+            TransferRule.of(HeaderMatch.of(dst={"vip"}), to="vip", from_nodes={"client"}),
+            TransferRule.of(HeaderMatch.of(dst={"s1"}), to="s1", from_nodes={"vip"}),
+            TransferRule.of(HeaderMatch.of(dst={"s2"}), to="s2", from_nodes={"vip"}),
+            TransferRule.of(HeaderMatch.of(dst={"client"}), to="client"),
+        )
+        return VerificationNetwork(
+            hosts=("client", "s1", "s2"), middleboxes=(lb,), rules=rules
+        )
+
+    def test_backends_reachable_via_vip(self):
+        net = self._net()
+        assert check(net, CanReach("s1", "client"), n_packets=2).status == VIOLATED
+        assert check(net, CanReach("s2", "client"), n_packets=2).status == VIOLATED
+
+    def test_delivery_preserves_source(self):
+        net = self._net()
+        result = check(net, CanReach("s1", "client"), n_packets=2)
+        delivery = [e for e in result.trace.events if e.kind == "send" and e.to == "s1"]
+        pkt = result.trace.packets[delivery[-1].pkt]
+        assert pkt.src == "client"
+
+    def test_backend_choice_restricted(self):
+        """The balancer never invents a destination outside its backend
+        pool: a host that is not a backend cannot be hit via the VIP."""
+        lb = LoadBalancer("vip", backends=["s1"])
+        rules = (
+            TransferRule.of(HeaderMatch.of(dst={"vip"}), to="vip", from_nodes={"client"}),
+            TransferRule.of(HeaderMatch.of(dst={"s1"}), to="s1", from_nodes={"vip"}),
+            TransferRule.of(HeaderMatch.of(dst={"s2"}), to="s2", from_nodes={"vip"}),
+            TransferRule.of(HeaderMatch.of(dst={"client"}), to="client"),
+        )
+        net = VerificationNetwork(
+            hosts=("client", "s1", "s2"), middleboxes=(lb,), rules=rules
+        )
+        assert check(net, CanReach("s2", "client"), n_packets=2).status == HOLDS
+
+
+class TestWanOptimizer:
+    def _net(self):
+        wan = WanOptimizer("wopt")
+        rules = (
+            TransferRule.of(HeaderMatch.of(dst={"b"}), to="wopt", from_nodes={"a"}),
+            TransferRule.of(HeaderMatch.of(dst={"b"}), to="b", from_nodes={"wopt"}),
+            TransferRule.of(HeaderMatch.of(dst={"a"}), to="a"),
+        )
+        return VerificationNetwork(hosts=("a", "b"), middleboxes=(wan,), rules=rules)
+
+    def test_traffic_passes(self):
+        assert check(self._net(), CanReach("b", "a")).status == VIOLATED
+
+    def test_payload_tag_is_randomized(self):
+        """The paper's "complex modification = random value": there is a
+        schedule where the delivered tag differs from every tag `a`
+        sent — impossible for a non-rewriting middlebox."""
+        net = self._net()
+
+        class TagChanged:
+            n_packets_hint = 2
+            failure_budget = 0
+
+            def violation_term(self, ctx):
+                cases = []
+                for t in range(ctx.depth):
+                    for p in ctx.packets:
+                        sent_same_tag = [
+                            And(
+                                ctx.sent_to_net_before("a", q.index, t),
+                                Eq(q.tag, p.tag),
+                            )
+                            for q in ctx.packets
+                        ]
+                        cases.append(
+                            And(
+                                ctx.rcv_at("b", p.index, t),
+                                Eq(p.src, ctx.addr("a")),
+                                Not(Or(*sent_same_tag)),
+                            )
+                        )
+                return Or(*cases)
+
+        assert check(net, TagChanged()).status == VIOLATED
+
+    def test_addressing_preserved(self):
+        """Optimizer rewrites payloads, never addresses: b only sees
+        packets addressed to b."""
+        net = self._net()
+
+        class MisaddressedDelivery:
+            n_packets_hint = 1
+            failure_budget = 0
+
+            def violation_term(self, ctx):
+                cases = []
+                for t in range(ctx.depth):
+                    for p in ctx.packets:
+                        cases.append(
+                            And(
+                                ctx.rcv_at("b", p.index, t),
+                                Not(Eq(p.dst, ctx.addr("b"))),
+                            )
+                        )
+                return Or(*cases)
+
+        assert check(net, MisaddressedDelivery()).status == HOLDS
+
+
+class TestProxy:
+    def _net(self):
+        proxy = Proxy("px")
+        rules = (
+            TransferRule.of(HeaderMatch.of(dst={"px"}), to="px"),
+            TransferRule.of(HeaderMatch.of(dst={"server"}), to="server", from_nodes={"px"}),
+            TransferRule.of(HeaderMatch.of(dst={"c1"}), to="c1", from_nodes={"px"}),
+            TransferRule.of(HeaderMatch.of(dst={"c2"}), to="c2", from_nodes={"px"}),
+        )
+        return VerificationNetwork(
+            hosts=("c1", "c2", "server"), middleboxes=(proxy,), rules=rules
+        )
+
+    def test_client_gets_content_via_proxy(self):
+        net = self._net()
+        result = check(net, DataIsolation("c1", "server"), n_packets=4, depth=17)
+        assert result.status == VIOLATED  # content IS obtainable
+        assert any(e.frm == "px" for e in result.trace.events if e.kind == "send")
+
+    def test_proxy_does_not_store(self):
+        """Unlike a cache, the proxy cannot serve content it never
+        fetched *for a pending request*: no spontaneous data to a client
+        that never asked."""
+        net = self._net()
+
+        class UnrequestedData:
+            n_packets_hint = 3
+            failure_budget = 0
+
+            def violation_term(self, ctx):
+                cases = []
+                for t in range(ctx.depth):
+                    for p in ctx.packets:
+                        asked = [
+                            And(
+                                ctx.sent_to_net_before("c2", q.index, t),
+                                q.is_request,
+                            )
+                            for q in ctx.packets
+                        ]
+                        cases.append(
+                            And(
+                                ctx.rcv_at("c2", p.index, t),
+                                Not(p.is_request),
+                                Not(Or(*asked)),
+                            )
+                        )
+                return Or(*cases)
+
+        assert check(net, UnrequestedData()).status == HOLDS
+
+
+class TestGateway:
+    def test_pure_passthrough(self):
+        gw = Gateway("gw")
+        rules = (
+            TransferRule.of(HeaderMatch.of(dst={"b"}), to="gw", from_nodes={"a"}),
+            TransferRule.of(HeaderMatch.of(dst={"b"}), to="b", from_nodes={"gw"}),
+        )
+        net = VerificationNetwork(hosts=("a", "b"), middleboxes=(gw,), rules=rules)
+        assert check(net, CanReach("b", "a")).status == VIOLATED
+
+    def test_fail_open(self):
+        """A failed gateway still forwards (it is fail-open wire)."""
+        gw = Gateway("gw")
+        rules = (
+            TransferRule.of(HeaderMatch.of(dst={"b"}), to="gw", from_nodes={"a"}),
+            TransferRule.of(HeaderMatch.of(dst={"b"}), to="b", from_nodes={"gw"}),
+        )
+        net = VerificationNetwork(hosts=("a", "b"), middleboxes=(gw,), rules=rules)
+
+        class DeliveredWhileGwFailed:
+            n_packets_hint = 1
+            failure_budget = 1
+
+            def violation_term(self, ctx):
+                cases = []
+                for t in range(ctx.depth):
+                    for p in ctx.packets:
+                        cases.append(
+                            And(
+                                ctx.rcv_at("b", p.index, t),
+                                ctx.failed_at("gw", t),
+                            )
+                        )
+                return Or(*cases)
+
+        assert check(net, DeliveredWhileGwFailed()).status == VIOLATED

@@ -1,0 +1,125 @@
+"""Unit tests for the event vocabulary and transfer-rule matching."""
+
+import pytest
+
+from repro.netmodel import (
+    EVENT_KINDS,
+    EventKind,
+    HeaderMatch,
+    PacketSchema,
+    TransferRule,
+    fresh_ns,
+)
+from repro.netmodel.events import make_events, make_kind_sort
+from repro.smt import FALSE, TRUE, EnumSort, evaluate
+
+
+@pytest.fixture
+def schema():
+    return PacketSchema(fresh_ns("evtest"), addresses=("a", "b"), n_packets=2)
+
+
+@pytest.fixture
+def events(schema):
+    ns = schema.ns
+    kind_sort = make_kind_sort(ns)
+    node_sort = EnumSort(f"{ns}:node", ("a", "b", "<net>"))
+    return make_events(ns, 3, kind_sort, node_sort, schema.pkt_sort)
+
+
+class TestEventVars:
+    def test_kind_predicates(self, events):
+        ev = events[0]
+        assert ev.is_send is ev.is_kind(EventKind.SEND)
+        assert ev.is_noop is ev.is_kind(EventKind.NOOP)
+
+    def test_snd_conjunction(self, events):
+        ev = events[1]
+        term = ev.snd("a", "<net>", 0)
+        assert term.kind == "and"
+
+    def test_all_kinds_declared(self):
+        assert set(EVENT_KINDS) == {"send", "fail", "recover", "noop"}
+
+    def test_per_timestep_variables_distinct(self, events):
+        assert events[0].kind is not events[1].kind
+        assert events[0].pkt is not events[2].pkt
+
+
+class TestHeaderMatch:
+    def test_wildcard_matches_everything(self, schema):
+        m = HeaderMatch.of()
+        assert m.term(schema.packets[0]) is TRUE
+        assert m.matches_concrete(
+            {"src": "a", "dst": "b", "sport": 0, "dport": 0, "origin": "a"}
+        )
+
+    def test_term_and_concrete_agree(self, schema):
+        m = HeaderMatch.of(dst={"b"}, dport={1, 2})
+        p = schema.packets[0]
+        term = m.term(p)
+        for dst in ("a", "b"):
+            for dport in (0, 1):
+                env = {
+                    p.src: "a", p.dst: dst, p.sport: 0, p.dport: dport,
+                    p.origin: "a", p.tag: "req",
+                }
+                concrete = m.matches_concrete(
+                    {"src": "a", "dst": dst, "sport": 0, "dport": dport,
+                     "origin": "a"}
+                )
+                assert evaluate(term, env) == concrete
+
+    def test_empty_set_is_unsatisfiable(self, schema):
+        m = HeaderMatch.of(dst=set())
+        assert m.term(schema.packets[0]) is FALSE
+
+
+class TestTransferRule:
+    def test_describe(self):
+        r = TransferRule.of(HeaderMatch.of(dst={"b"}), to="b", from_nodes={"a"})
+        assert "a" in r.describe() and "-> b" in r.describe()
+        r2 = TransferRule.of(HeaderMatch.of(dst={"b"}), to="b")
+        assert "any" in r2.describe()
+
+    def test_frozen(self):
+        r = TransferRule.of(HeaderMatch.of(dst={"b"}), to="b")
+        with pytest.raises(AttributeError):
+            r.to = "c"
+
+
+class TestPacketSchema:
+    def test_request_tag_first(self, schema):
+        assert schema.tag_sort.values[0] == "req"
+
+    def test_field_sorts(self, schema):
+        p = schema.packets[0]
+        assert p.src.sort is schema.addr_sort
+        assert p.sport.sort is schema.port_sort
+        assert p.tag.sort is schema.tag_sort
+
+    def test_needs_data_tag(self):
+        with pytest.raises(ValueError):
+            PacketSchema(fresh_ns("bad"), addresses=("a",), n_packets=1, n_tags=1)
+
+    def test_needs_packets(self):
+        with pytest.raises(ValueError):
+            PacketSchema(fresh_ns("bad2"), addresses=("a",), n_packets=0)
+
+    def test_flow_helpers(self, schema):
+        from repro.netmodel import reversed_flow, same_five_tuple, same_flow
+
+        p, q = schema.packets
+        env_fwd = {
+            p.src: "a", p.dst: "b", p.sport: 0, p.dport: 1,
+            q.src: "a", q.dst: "b", q.sport: 0, q.dport: 1,
+        }
+        env_rev = {
+            p.src: "a", p.dst: "b", p.sport: 0, p.dport: 1,
+            q.src: "b", q.dst: "a", q.sport: 1, q.dport: 0,
+        }
+        assert evaluate(same_five_tuple(p, q), env_fwd)
+        assert not evaluate(same_five_tuple(p, q), env_rev)
+        assert evaluate(reversed_flow(p, q), env_rev)
+        assert evaluate(same_flow(p, q), env_fwd)
+        assert evaluate(same_flow(p, q), env_rev)

@@ -1,0 +1,140 @@
+"""Tests for the core network encoding (no middleboxes yet)."""
+
+import pytest
+
+from repro.netmodel import (
+    HOLDS,
+    VIOLATED,
+    HeaderMatch,
+    TransferRule,
+    VerificationNetwork,
+    check,
+)
+from repro.smt import And, Eq, Not, Or
+
+
+class ReceivesFrom:
+    """Test invariant — violated when ``dst`` receives a packet whose
+    source address is ``src`` (the paper's *simple isolation*)."""
+
+    n_packets_hint = 1
+    failure_budget = 0
+
+    def __init__(self, dst, src):
+        self.dst = dst
+        self.src = src
+
+    def violation_term(self, ctx):
+        parts = []
+        for t in range(ctx.depth):
+            for p in ctx.packets:
+                parts.append(
+                    And(ctx.rcv_at(self.dst, p.index, t), Eq(p.src, ctx.addr(self.src)))
+                )
+        return Or(*parts)
+
+
+def direct_rules(hosts):
+    """Deliver by destination address from any ingress."""
+    return tuple(
+        TransferRule.of(HeaderMatch.of(dst={h}), to=h) for h in hosts
+    )
+
+
+class TestDirectDelivery:
+    def test_host_can_reach_host(self):
+        net = VerificationNetwork(hosts=("a", "b"), rules=direct_rules(["a", "b"]))
+        result = check(net, ReceivesFrom("b", "a"))
+        assert result.status == VIOLATED
+        assert result.trace is not None
+        # The trace must contain a's send and the delivery to b.
+        sends = [e for e in result.trace.events if e.kind == "send"]
+        assert any(e.frm == "a" for e in sends)
+        assert any(e.to == "b" for e in sends)
+        pkt = result.trace.packets[sends[-1].pkt]
+        assert pkt.src == "a"
+
+    def test_no_rule_no_delivery(self):
+        # Only a is routable; b is unreachable.
+        rules = (TransferRule.of(HeaderMatch.of(dst={"a"}), to="a"),)
+        net = VerificationNetwork(hosts=("a", "b"), rules=rules)
+        assert check(net, ReceivesFrom("b", "a")).status == HOLDS
+
+    def test_empty_rule_set_isolates_everyone(self):
+        net = VerificationNetwork(hosts=("a", "b"), rules=())
+        assert check(net, ReceivesFrom("b", "a")).status == HOLDS
+
+
+class TestIngressJustification:
+    def test_ingress_restriction_blocks(self):
+        """b only reachable for packets entering from c; a's packets
+        cannot be delivered (c will not forge a's source address)."""
+        rules = (
+            TransferRule.of(HeaderMatch.of(dst={"b"}), to="b", from_nodes={"c"}),
+        )
+        net = VerificationNetwork(hosts=("a", "b", "c"), rules=rules)
+        assert check(net, ReceivesFrom("b", "a")).status == HOLDS
+
+    def test_ingress_restriction_allows_owner(self):
+        rules = (
+            TransferRule.of(HeaderMatch.of(dst={"b"}), to="b", from_nodes={"c"}),
+        )
+        net = VerificationNetwork(hosts=("a", "b", "c"), rules=rules)
+        assert check(net, ReceivesFrom("b", "c")).status == VIOLATED
+
+    def test_spoofing_reopens_the_path(self):
+        rules = (
+            TransferRule.of(HeaderMatch.of(dst={"b"}), to="b", from_nodes={"c"}),
+        )
+        net = VerificationNetwork(
+            hosts=("a", "b", "c"), rules=rules, allow_spoofing=True
+        )
+        # c can now forge src=a, so b does see packets "from" a.
+        assert check(net, ReceivesFrom("b", "a")).status == VIOLATED
+
+
+class TestUnionSemantics:
+    def test_overlapping_rules_allow_either_delivery(self):
+        """Rules form a union relation: overlapping matches mean the
+        packet may be delivered by either rule (rule producers keep
+        matches disjoint for deterministic networks)."""
+        rules = (
+            TransferRule.of(HeaderMatch.of(dst={"b"}), to="c"),
+            TransferRule.of(HeaderMatch.of(dst={"b"}), to="b"),
+        )
+        net = VerificationNetwork(hosts=("a", "b", "c"), rules=rules)
+        assert check(net, ReceivesFrom("b", "a")).status == VIOLATED
+        assert check(net, ReceivesFrom("c", "a")).status == VIOLATED
+
+    def test_port_match(self):
+        rules = (
+            TransferRule.of(HeaderMatch.of(dst={"b"}, dport={0, 1}), to="b"),
+        )
+        net = VerificationNetwork(hosts=("a", "b"), rules=rules)
+        result = check(net, ReceivesFrom("b", "a"))
+        assert result.status == VIOLATED
+        delivered = result.trace.packets[result.trace.events[-1].pkt]
+        assert delivered.dport in (0, 1)
+
+
+class TestSourceDiscipline:
+    def test_hosts_cannot_spoof_by_default(self):
+        net = VerificationNetwork(hosts=("a", "b"), rules=direct_rules(["a", "b"]))
+
+        class SpoofedDelivery(ReceivesFrom):
+            pass
+
+        # b never receives a packet claiming to be from b itself, since
+        # only b could emit such a packet and b's own traffic to b is
+        # delivered fine — so this IS possible.  Instead check that a
+        # packet with src=b cannot arrive claiming ingress from a.
+        rules = (
+            TransferRule.of(HeaderMatch.of(dst={"b"}), to="b", from_nodes={"a"}),
+        )
+        net = VerificationNetwork(hosts=("a", "b"), rules=rules)
+        assert check(net, ReceivesFrom("b", "b")).status == HOLDS
+
+    def test_depth_larger_than_needed_still_works(self):
+        net = VerificationNetwork(hosts=("a", "b"), rules=direct_rules(["a", "b"]))
+        result = check(net, ReceivesFrom("b", "a"), depth=8)
+        assert result.status == VIOLATED

@@ -1,0 +1,79 @@
+"""Tests for counterexample trace decoding and presentation."""
+
+from repro.core import CanReach
+from repro.netmodel import (
+    VIOLATED,
+    EventKind,
+    HeaderMatch,
+    PacketValues,
+    Trace,
+    TraceEvent,
+    TransferRule,
+    VerificationNetwork,
+    check,
+)
+
+
+class TestDecoding:
+    def _violated(self, depth=None):
+        net = VerificationNetwork(
+            hosts=("a", "b"),
+            rules=(TransferRule.of(HeaderMatch.of(dst={"b"}), to="b"),),
+        )
+        result = check(net, CanReach("b", "a"), depth=depth)
+        assert result.status == VIOLATED
+        return result.trace
+
+    def test_noop_suffix_trimmed(self):
+        trace = self._violated(depth=10)
+        assert trace.events, "expected at least one event"
+        assert all(e.kind != EventKind.NOOP for e in trace.events)
+        # Events are consecutive from step 0.
+        assert [e.t for e in trace.events] == list(range(len(trace.events)))
+
+    def test_send_events_complete(self):
+        trace = self._violated()
+        for e in trace.events:
+            if e.kind == EventKind.SEND:
+                assert e.frm is not None
+                assert e.to is not None
+                assert e.pkt is not None
+
+    def test_used_packets_subset(self):
+        trace = self._violated()
+        assert set(trace.used_packet_indices) <= set(trace.packets)
+
+    def test_delivery_matches_rule(self):
+        trace = self._violated()
+        deliveries = [e for e in trace.events if e.frm == "<net>"]
+        assert deliveries
+        for e in deliveries:
+            pkt = trace.packets[e.pkt]
+            assert pkt.dst == "b" and e.to == "b"
+
+
+class TestPresentation:
+    def test_packet_str(self):
+        p = PacketValues(0, "a", "b", 1, 2, "a", "req")
+        text = str(p)
+        assert "a:1 -> b:2" in text and "request" in text
+        d = PacketValues(1, "a", "b", 1, 2, "srv", "data0")
+        assert "data[data0]" in str(d) and "origin=srv" in str(d)
+
+    def test_event_str(self):
+        send = TraceEvent(3, EventKind.SEND, "a", "<net>", 0)
+        assert "a sends p0" in str(send)
+        fail = TraceEvent(4, EventKind.FAIL, "fw", None, None)
+        assert "FAILS" in str(fail)
+        rec = TraceEvent(5, EventKind.RECOVER, "fw", None, None)
+        assert "recovers" in str(rec)
+
+    def test_trace_str_lists_packets_then_events(self):
+        trace = Trace(
+            events=[TraceEvent(0, EventKind.SEND, "a", "<net>", 0)],
+            packets={0: PacketValues(0, "a", "b", 0, 0, "a", "data0")},
+        )
+        lines = str(trace).splitlines()
+        assert lines[0] == "counterexample trace:"
+        assert "p0:" in lines[1]
+        assert "sends" in lines[2]

@@ -1,0 +1,136 @@
+"""Unit and property tests for the header-space algebra (HSA substrate)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import FIELDS, HeaderBox, HeaderSpace
+
+UNIVERSES = {
+    "src": frozenset({"a", "b", "c"}),
+    "dst": frozenset({"a", "b", "c"}),
+    "sport": frozenset({0, 1}),
+    "dport": frozenset({0, 1}),
+    "origin": frozenset({"a", "b", "c"}),
+    "tag": frozenset({"req", "data"}),
+}
+
+
+def all_headers():
+    from itertools import product
+
+    for combo in product(
+        *(sorted(UNIVERSES[f], key=repr) for f in FIELDS)
+    ):
+        yield dict(zip(FIELDS, combo))
+
+
+class TestHeaderBox:
+    def test_wildcard_contains_everything(self):
+        box = HeaderBox()
+        assert all(box.contains(h) for h in all_headers())
+
+    def test_constraint(self):
+        box = HeaderBox.of(dst={"a"}, dport={0})
+        assert box.contains({**next(all_headers()), "dst": "a", "dport": 0})
+        assert not box.contains({**next(all_headers()), "dst": "b", "dport": 0})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            HeaderBox.of(nonsense={"x"})
+
+    def test_intersect(self):
+        a = HeaderBox.of(dst={"a", "b"})
+        b = HeaderBox.of(dst={"b", "c"}, sport={0})
+        meet = a.intersect(b)
+        assert meet.allowed("dst") == frozenset({"b"})
+        assert meet.allowed("sport") == frozenset({0})
+
+    def test_empty_intersection(self):
+        a = HeaderBox.of(dst={"a"})
+        b = HeaderBox.of(dst={"b"})
+        assert a.intersect(b).is_empty()
+
+    def test_subtract_semantics(self):
+        a = HeaderBox.of(dst={"a", "b"})
+        b = HeaderBox.of(dst={"a"})
+        pieces = a.subtract(b, UNIVERSES)
+        headers_a = {tuple(h.items()) for h in all_headers() if a.contains(h)}
+        headers_b = {tuple(h.items()) for h in all_headers() if b.contains(h)}
+        headers_pieces = {
+            tuple(h.items())
+            for h in all_headers()
+            if any(p.contains(h) for p in pieces)
+        }
+        assert headers_pieces == headers_a - headers_b
+
+
+@st.composite
+def header_boxes(draw):
+    fields = draw(
+        st.lists(st.sampled_from(list(FIELDS)), unique=True, max_size=3)
+    )
+    constraints = {}
+    for f in fields:
+        uni = sorted(UNIVERSES[f], key=repr)
+        subset = draw(
+            st.lists(st.sampled_from(uni), unique=True, min_size=1, max_size=len(uni))
+        )
+        constraints[f] = set(subset)
+    return HeaderBox.of(**constraints)
+
+
+@st.composite
+def header_spaces(draw):
+    boxes = draw(st.lists(header_boxes(), max_size=3))
+    return HeaderSpace(boxes, UNIVERSES)
+
+
+def semantics(hs):
+    return {tuple(sorted(h.items(), key=repr)) for h in all_headers() if hs.contains(h)}
+
+
+class TestAlgebraProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(header_spaces(), header_spaces())
+    def test_intersection_is_set_intersection(self, a, b):
+        assert semantics(a.intersect(b)) == semantics(a) & semantics(b)
+
+    @settings(max_examples=60, deadline=None)
+    @given(header_spaces(), header_spaces())
+    def test_union_is_set_union(self, a, b):
+        assert semantics(a.union(b)) == semantics(a) | semantics(b)
+
+    @settings(max_examples=60, deadline=None)
+    @given(header_spaces(), header_spaces())
+    def test_subtraction_is_set_difference(self, a, b):
+        assert semantics(a.subtract(b)) == semantics(a) - semantics(b)
+
+    @settings(max_examples=30, deadline=None)
+    @given(header_spaces())
+    def test_self_subtraction_empty(self, a):
+        assert a.subtract(a).is_empty() or not semantics(a.subtract(a))
+
+    @settings(max_examples=30, deadline=None)
+    @given(header_spaces())
+    def test_subtract_empty_identity(self, a):
+        empty = HeaderSpace.empty(UNIVERSES)
+        assert semantics(a.subtract(empty)) == semantics(a)
+
+
+class TestHeaderSpace:
+    def test_everything_and_empty(self):
+        everything = HeaderSpace.everything(UNIVERSES)
+        assert not everything.is_empty()
+        assert HeaderSpace.empty(UNIVERSES).is_empty()
+
+    def test_enumeration_matches_contains(self):
+        hs = HeaderSpace([HeaderBox.of(dst={"a"}, tag={"req"})], UNIVERSES)
+        listed = list(hs.enumerate_headers())
+        assert listed
+        assert all(h["dst"] == "a" and h["tag"] == "req" for h in listed)
+
+    def test_subtract_requires_universes(self):
+        hs = HeaderSpace([HeaderBox()])
+        with pytest.raises(ValueError):
+            hs.subtract(HeaderSpace([HeaderBox()]))

@@ -1,0 +1,101 @@
+"""Tests for pipeline-invariant checking on the static datapath."""
+
+import pytest
+
+from repro.mboxes import IDPS, AclFirewall
+from repro.network import (
+    FailureScenario,
+    PipelineInvariant,
+    SteeringPolicy,
+    Topology,
+    check_pipeline,
+    shortest_path_tables,
+    trace_path,
+)
+
+
+def chained_topology():
+    """ext - s1 - [fw] - s2 - [idps] - s3 - srv (chains via steering)."""
+    topo = Topology()
+    topo.add_host("ext")
+    topo.add_host("srv")
+    for s in ("s1", "s2", "s3"):
+        topo.add_switch(s)
+    topo.add_middlebox(AclFirewall("fw", acl=[("ext", "srv")]))
+    topo.add_middlebox(IDPS("idps"))
+    topo.add_link("ext", "s1")
+    topo.add_link("s1", "s2")
+    topo.add_link("s2", "s3")
+    topo.add_link("srv", "s3")
+    topo.add_link("fw", "s2")
+    topo.add_link("idps", "s3")
+    return topo
+
+
+class TestTracePath:
+    def test_full_chain(self):
+        topo = chained_topology()
+        state = shortest_path_tables(topo)
+        steering = SteeringPolicy(chains={"srv": ("fw", "idps")})
+        path = trace_path(topo, state, steering, "ext", "srv")
+        assert path == ("ext", "fw", "idps", "srv")
+
+    def test_no_chain_direct(self):
+        topo = chained_topology()
+        state = shortest_path_tables(topo)
+        path = trace_path(topo, state, None, "ext", "srv")
+        assert path == ("ext", "srv")
+
+    def test_drop_on_dead_stage(self):
+        topo = chained_topology()
+        scenario = FailureScenario.of("f", nodes=["idps"])
+        state = shortest_path_tables(topo, scenario)
+        steering = SteeringPolicy(chains={"srv": ("fw", "idps")})
+        path = trace_path(topo, state, steering, "ext", "srv", scenario)
+        assert path[-1] != "srv"
+
+
+class TestCheckPipeline:
+    def test_pipeline_holds(self):
+        topo = chained_topology()
+        state = shortest_path_tables(topo)
+        steering = SteeringPolicy(chains={"srv": ("fw", "idps")})
+        inv = PipelineInvariant.of("ext", "srv", ["fw", "idps"])
+        assert check_pipeline(topo, state, steering, inv).ok
+
+    def test_order_matters(self):
+        topo = chained_topology()
+        state = shortest_path_tables(topo)
+        steering = SteeringPolicy(chains={"srv": ("fw", "idps")})
+        inv = PipelineInvariant.of("ext", "srv", ["idps", "fw"])
+        result = check_pipeline(topo, state, steering, inv)
+        assert not result.ok
+        assert "not traversed" in result.reason
+
+    def test_missing_stage_detected(self):
+        """The §5.1 Traversal misconfiguration at the static level: the
+        steering chain skips the IDPS."""
+        topo = chained_topology()
+        state = shortest_path_tables(topo)
+        steering = SteeringPolicy(chains={"srv": ("fw",)})
+        inv = PipelineInvariant.of("ext", "srv", ["fw", "idps"])
+        result = check_pipeline(topo, state, steering, inv)
+        assert not result.ok
+
+    def test_unreachable_destination_reported(self):
+        topo = chained_topology()
+        scenario = FailureScenario.of("f", nodes=["fw"])
+        state = shortest_path_tables(topo, scenario)
+        steering = SteeringPolicy(chains={"srv": ("fw", "idps")})
+        inv = PipelineInvariant.of("ext", "srv", ["fw", "idps"])
+        result = check_pipeline(topo, state, steering, inv, scenario)
+        assert not result.ok
+        assert "never reaches" in result.reason
+
+    def test_extra_middleboxes_allowed(self):
+        """The chain is a required subsequence, not an exact match."""
+        topo = chained_topology()
+        state = shortest_path_tables(topo)
+        steering = SteeringPolicy(chains={"srv": ("fw", "idps")})
+        inv = PipelineInvariant.of("ext", "srv", ["idps"])
+        assert check_pipeline(topo, state, steering, inv).ok

@@ -1,0 +1,97 @@
+"""Property-based test of the paper's central theorem: an invariant
+referencing only nodes of a slice holds in the network iff it holds in
+the slice (§4).
+
+Hypothesis builds randomized enterprise-style networks (random subnet
+counts, random policy assignments, random deleted rules) and random
+isolation invariants; the sliced and unsliced verdicts must match.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import VMN, CanReach, FlowIsolation, NodeIsolation
+from repro.mboxes import LearningFirewall
+from repro.netmodel import check
+from repro.network import SteeringPolicy, Topology
+
+
+@st.composite
+def random_enterprises(draw):
+    n_subnets = draw(st.integers(min_value=2, max_value=4), label="subnets")
+    topo = Topology()
+    topo.add_switch("core")
+    topo.add_host("internet", policy_group="external")
+    topo.add_link("internet", "core")
+
+    deny = []
+    chains = {"internet": ("fw",)}
+    hosts = []
+    for s in range(n_subnets):
+        kind = draw(
+            st.sampled_from(["public", "private", "quarantined"]),
+            label=f"subnet {s} kind",
+        )
+        h = f"{kind[:4]}{s}"
+        topo.add_host(h, policy_group=kind)
+        topo.add_link(h, "core")
+        chains[h] = ("fw",)
+        hosts.append(h)
+        if kind == "quarantined":
+            deny.append(("internet", h))
+            deny.append((h, "internet"))
+        elif kind == "private":
+            deny.append(("internet", h))
+
+    # Randomly delete some deny rules (misconfigurations).
+    if deny:
+        keep_mask = draw(
+            st.lists(
+                st.booleans(), min_size=len(deny), max_size=len(deny)
+            ),
+            label="rule keep mask",
+        )
+        deny = [pair for pair, keep in zip(deny, keep_mask) if keep]
+
+    fw = LearningFirewall("fw", deny=deny, default_allow=True)
+    topo.add_middlebox(fw)
+    topo.add_link("fw", "core")
+    return topo, SteeringPolicy(chains=chains), hosts
+
+
+class TestSliceEquivalence:
+    @settings(max_examples=12, deadline=None)
+    @given(random_enterprises(), st.data())
+    def test_slice_and_whole_agree(self, scenario, data):
+        topo, steering, hosts = scenario
+        dst = data.draw(st.sampled_from(hosts), label="dst")
+        kind = data.draw(
+            st.sampled_from(["node", "flow", "reach"]), label="invariant kind"
+        )
+        invariant = {
+            "node": NodeIsolation(dst, "internet"),
+            "flow": FlowIsolation(dst, "internet"),
+            "reach": CanReach(dst, "internet"),
+        }[kind]
+
+        vmn = VMN(topo, steering)
+        sliced_net, slice_size = vmn.network_for(invariant)
+        whole_net = vmn.whole_network()
+
+        sliced = check(sliced_net, invariant)
+        whole = check(whole_net, invariant)
+        assert sliced.status == whole.status, (
+            f"slice/whole disagreement for {invariant.describe()} "
+            f"(slice size {slice_size}): {sliced.status} vs {whole.status}"
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(random_enterprises(), st.data())
+    def test_slice_never_larger_than_network(self, scenario, data):
+        topo, steering, hosts = scenario
+        dst = data.draw(st.sampled_from(hosts), label="dst")
+        vmn = VMN(topo, steering)
+        sl = vmn.slice_for(NodeIsolation(dst, "internet"))
+        assert sl.size <= len(topo.edge_nodes)
+        assert {dst, "internet", "fw"} <= set(sl.nodes)

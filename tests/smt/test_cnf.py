@@ -1,0 +1,79 @@
+"""Tests for the polarity-aware CNF conversion."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smt import And, BoolVar, Iff, Implies, Not, Or, Solver, Xor, evaluate
+from repro.smt.cnf import CnfConverter
+from repro.smt.sat import SAT, UNSAT, SatSolver
+
+
+class TestAssumptionLiterals:
+    def test_literal_works_both_polarities(self):
+        """literal() must be fully equivalent to the term, so assuming
+        its negation forces the term false."""
+        a, b = BoolVar("a"), BoolVar("b")
+        s = Solver()
+        s.add(Or(a, b))  # keep vars alive
+        conj = And(a, b)
+        assert s.check(assumptions=[conj]) == SAT
+        m = s.model()
+        assert m[a] is True and m[b] is True
+        assert s.check(assumptions=[Not(conj), a]) == SAT
+        assert s.model()[b] is False
+
+    def test_negated_assumption_of_or(self):
+        a, b = BoolVar("a"), BoolVar("b")
+        s = Solver()
+        s.add(Implies(a, b))
+        disj = Or(a, b)
+        assert s.check(assumptions=[Not(disj)]) == SAT
+        m = s.model()
+        assert m[a] is False and m[b] is False
+
+
+class TestPolaritySharing:
+    def test_shared_subterm_encoded_once(self):
+        """Clause count must not double when the same subterm is
+        asserted twice."""
+        a, b, c = BoolVar("a"), BoolVar("b"), BoolVar("c")
+        shared = Or(And(a, b), And(b, c))
+        s1 = Solver()
+        s1.add(shared)
+        n1 = len(s1.sat._clauses)
+        s1.add(Or(shared, a))
+        n2 = len(s1.sat._clauses)
+        # Second assertion reuses the encoding: only the new Or adds.
+        assert n2 - n1 <= 3
+
+
+class TestSemanticsPreserved:
+    @settings(max_examples=80, deadline=None)
+    @given(st.data())
+    def test_random_formulas_match_truth_tables(self, data):
+        names = ["x", "y", "z"]
+        variables = [BoolVar(n) for n in names]
+
+        def formula(depth):
+            if depth == 0:
+                return data.draw(st.sampled_from(variables))
+            op = data.draw(st.integers(min_value=0, max_value=4))
+            if op == 0:
+                return Not(formula(depth - 1))
+            lhs, rhs = formula(depth - 1), formula(depth - 1)
+            return [And, Or, Iff, Xor][op - 1](lhs, rhs)
+
+        f = formula(data.draw(st.integers(min_value=1, max_value=3)))
+        satisfiable = any(
+            evaluate(f, dict(zip(variables, bits)))
+            for bits in itertools.product([False, True], repeat=3)
+        )
+        s = Solver()
+        s.add(f)
+        assert s.check() == (SAT if satisfiable else UNSAT)
+        if satisfiable:
+            m = s.model()
+            env = {v: m[v] for v in variables}
+            assert evaluate(f, env) is True

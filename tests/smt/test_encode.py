@@ -1,0 +1,67 @@
+"""Property tests for the enum bit-blaster's domain constraints."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smt import (
+    SAT,
+    EnumConst,
+    EnumSort,
+    EnumVar,
+    Eq,
+    Ne,
+    Or,
+    Solver,
+)
+
+
+class TestDomainConstraints:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=2, max_value=6), st.data())
+    def test_models_never_decode_out_of_range(self, size, data):
+        """For non-power-of-two sorts, unused binary codes must be
+        excluded: every model decodes to a declared value."""
+        sort = EnumSort(f"D{size}", tuple(range(size)))
+        x = EnumVar(f"dx{size}", sort)
+        # Exclude a random subset of values; the model must pick one of
+        # the remaining declared values, never a phantom code.
+        excluded = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=size - 1),
+                unique=True,
+                max_size=size - 1,
+            ),
+            label="excluded",
+        )
+        s = Solver()
+        for v in excluded:
+            s.add(Ne(x, EnumConst(sort, v)))
+        assert s.check() == SAT
+        value = s.model()[x]
+        assert value in sort.values
+        assert value not in excluded
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=2, max_value=6))
+    def test_pigeonhole_over_enum(self, size):
+        """size+1 mutually distinct variables cannot fit the sort —
+        only provable if phantom codes are excluded."""
+        from repro.smt import Distinct
+
+        sort = EnumSort(f"P{size}", tuple(range(size)))
+        xs = [EnumVar(f"p{size}_{i}", sort) for i in range(size + 1)]
+        s = Solver()
+        s.add(Distinct(*xs))
+        assert s.check() == "unsat"
+
+    def test_exactly_size_distinct_fits(self):
+        from repro.smt import Distinct
+
+        sort = EnumSort("F5", tuple(range(5)))
+        xs = [EnumVar(f"f5_{i}", sort) for i in range(5)]
+        s = Solver()
+        s.add(Distinct(*xs))
+        assert s.check() == SAT
+        values = {s.model()[x] for x in xs}
+        assert values == set(sort.values)

@@ -1,0 +1,91 @@
+"""Tests for substitution and concrete evaluation helpers."""
+
+import pytest
+
+from repro.smt import (
+    FALSE,
+    TRUE,
+    And,
+    BoolVar,
+    EnumConst,
+    EnumSort,
+    EnumVar,
+    Eq,
+    Ite,
+    Not,
+    Or,
+    evaluate,
+    is_constant,
+    substitute,
+)
+
+
+@pytest.fixture
+def color():
+    return EnumSort("color", ("red", "green", "blue"))
+
+
+class TestSubstitute:
+    def test_bool_substitution_simplifies(self):
+        a, b = BoolVar("a"), BoolVar("b")
+        term = And(a, Or(b, Not(a)))
+        assert substitute(term, {a: TRUE}) is b
+
+    def test_enum_substitution_folds_equality(self, color):
+        x = EnumVar("x", color)
+        red = EnumConst(color, "red")
+        term = Eq(x, red)
+        assert substitute(term, {x: red}) is TRUE
+        assert substitute(term, {x: EnumConst(color, "blue")}) is FALSE
+
+    def test_ite_collapse(self, color):
+        c = BoolVar("c")
+        x, y = EnumVar("x", color), EnumVar("y", color)
+        term = Eq(Ite(c, x, y), x)
+        assert substitute(term, {c: TRUE}) is TRUE
+
+    def test_sort_mismatch_rejected(self, color):
+        a = BoolVar("a")
+        x = EnumVar("x", color)
+        with pytest.raises(TypeError):
+            substitute(a, {a: x})
+
+    def test_untouched_term_returned_identically(self):
+        a, b = BoolVar("a"), BoolVar("b")
+        term = And(a, b)
+        assert substitute(term, {BoolVar("zz"): TRUE}) is term
+
+
+class TestEvaluate:
+    def test_boolean(self):
+        a, b = BoolVar("a"), BoolVar("b")
+        term = Or(And(a, Not(b)), And(Not(a), b))  # xor
+        assert evaluate(term, {a: True, b: False}) is True
+        assert evaluate(term, {a: True, b: True}) is False
+
+    def test_enum(self, color):
+        x, y = EnumVar("x", color), EnumVar("y", color)
+        term = Eq(x, y)
+        assert evaluate(term, {x: "red", y: "red"}) is True
+        assert evaluate(term, {x: "red", y: "blue"}) is False
+
+    def test_missing_variable_raises(self):
+        a = BoolVar("a")
+        with pytest.raises(KeyError):
+            evaluate(a, {})
+
+    def test_ite_enum_evaluation(self, color):
+        c = BoolVar("c")
+        x, y = EnumVar("x", color), EnumVar("y", color)
+        term = Eq(Ite(c, x, y), EnumConst(color, "green"))
+        assert evaluate(term, {c: True, x: "green", y: "red"}) is True
+        assert evaluate(term, {c: False, x: "green", y: "red"}) is False
+
+
+class TestIsConstant:
+    def test_constants(self, color):
+        assert is_constant(TRUE)
+        assert is_constant(Eq(EnumConst(color, "red"), EnumConst(color, "red")))
+
+    def test_variables(self):
+        assert not is_constant(BoolVar("a"))

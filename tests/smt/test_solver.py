@@ -1,0 +1,230 @@
+"""End-to-end tests of the Solver/Model facade, including enum theory."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smt import (
+    SAT,
+    UNSAT,
+    And,
+    BoolVar,
+    Distinct,
+    EnumConst,
+    EnumSort,
+    EnumVar,
+    Eq,
+    Iff,
+    Implies,
+    Ite,
+    Ne,
+    Not,
+    Or,
+    Solver,
+    evaluate,
+)
+
+
+@pytest.fixture
+def color():
+    return EnumSort("color", ("red", "green", "blue"))
+
+
+class TestBooleanLayer:
+    def test_sat_and_model(self):
+        a, b = BoolVar("a"), BoolVar("b")
+        s = Solver()
+        s.add(Implies(a, b), a)
+        assert s.check() == SAT
+        m = s.model()
+        assert m[a] is True
+        assert m[b] is True
+
+    def test_unsat(self):
+        a = BoolVar("a")
+        s = Solver()
+        s.add(a, Not(a))
+        assert s.check() == UNSAT
+
+    def test_model_unavailable_after_unsat(self):
+        a = BoolVar("a")
+        s = Solver()
+        s.add(And(a, Not(a)))
+        s.check()
+        with pytest.raises(RuntimeError):
+            s.model()
+
+    def test_model_evaluates_compound_terms(self):
+        a, b = BoolVar("a"), BoolVar("b")
+        s = Solver()
+        s.add(a, Not(b))
+        assert s.check() == SAT
+        m = s.model()
+        assert m.eval(And(a, Not(b))) is True
+        assert m.eval(Or(b, Not(a))) is False
+
+    def test_check_with_assumptions(self):
+        a, b = BoolVar("a"), BoolVar("b")
+        s = Solver()
+        s.add(Implies(a, b))
+        assert s.check(assumptions=[a, Not(b)]) == UNSAT
+        assert s.check(assumptions=[a]) == SAT
+        assert s.model()[b] is True
+
+    def test_non_bool_assert_rejected(self, color):
+        s = Solver()
+        with pytest.raises(TypeError):
+            s.add(EnumVar("x", color))
+
+
+class TestEnumTheory:
+    def test_forced_value(self, color):
+        x = EnumVar("x", color)
+        s = Solver()
+        s.add(Eq(x, EnumConst(color, "green")))
+        assert s.check() == SAT
+        assert s.model()[x] == "green"
+
+    def test_disequality_chain(self, color):
+        x, y, z = (EnumVar(n, color) for n in "xyz")
+        s = Solver()
+        s.add(Distinct(x, y, z))
+        assert s.check() == SAT
+        m = s.model()
+        assert len({m[x], m[y], m[z]}) == 3
+
+    def test_domain_constraint_blocks_phantom_values(self, color):
+        """Sort of size 3 uses 2 bits; code 3 must be excluded."""
+        x, y, z, w = (EnumVar(n, color) for n in "xyzw")
+        s = Solver()
+        # Four mutually distinct variables cannot fit a 3-value sort.
+        s.add(Distinct(x, y, z, w))
+        assert s.check() == UNSAT
+
+    def test_ite_propagates(self, color):
+        cond = BoolVar("cond")
+        x = EnumVar("x", color)
+        red = EnumConst(color, "red")
+        blue = EnumConst(color, "blue")
+        s = Solver()
+        s.add(Eq(x, Ite(cond, red, blue)), Ne(x, red))
+        assert s.check() == SAT
+        m = s.model()
+        assert m[cond] is False
+        assert m[x] == "blue"
+
+    def test_transitivity(self, color):
+        x, y, z = (EnumVar(n, color) for n in "xyz")
+        s = Solver()
+        s.add(Eq(x, y), Eq(y, z), Ne(x, z))
+        assert s.check() == UNSAT
+
+    def test_single_value_sort(self):
+        unit = EnumSort("unit", ("only",))
+        x = EnumVar("u1", unit)
+        y = EnumVar("u2", unit)
+        s = Solver()
+        s.add(Ne(x, y))
+        assert s.check() == UNSAT
+
+    def test_large_sort_model(self):
+        big = EnumSort("big", tuple(f"v{i}" for i in range(37)))
+        x = EnumVar("x", big)
+        s = Solver()
+        s.add(Ne(x, EnumConst(big, "v0")))
+        assert s.check() == SAT
+        assert s.model()[x] in big.values
+        assert s.model()[x] != "v0"
+
+    def test_incremental_enum(self, color):
+        x = EnumVar("x", color)
+        s = Solver()
+        s.add(Ne(x, EnumConst(color, "red")))
+        assert s.check() == SAT
+        s.add(Ne(x, EnumConst(color, "green")))
+        assert s.check() == SAT
+        assert s.model()[x] == "blue"
+        s.add(Ne(x, EnumConst(color, "blue")))
+        assert s.check() == UNSAT
+
+
+class TestModelSoundness:
+    """Models returned by the solver must satisfy all assertions."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_random_enum_formulas(self, data):
+        size = data.draw(st.integers(min_value=2, max_value=5), label="sort size")
+        sort = EnumSort(f"S{size}", tuple(range(size)))
+        nvars = data.draw(st.integers(min_value=2, max_value=4), label="nvars")
+        # Names embed the sort size: hypothesis runs many examples inside
+        # one test, and variable declarations are interned per name.
+        variables = [EnumVar(f"e{size}_{i}", sort) for i in range(nvars)]
+        bools = [BoolVar(f"p{i}") for i in range(2)]
+
+        def atom():
+            choice = data.draw(st.integers(min_value=0, max_value=2))
+            if choice == 0:
+                a, b = data.draw(
+                    st.tuples(
+                        st.sampled_from(variables), st.sampled_from(variables)
+                    )
+                )
+                return Eq(a, b)
+            if choice == 1:
+                v = data.draw(st.sampled_from(variables))
+                value = data.draw(st.integers(min_value=0, max_value=size - 1))
+                return Eq(v, EnumConst(sort, value))
+            return data.draw(st.sampled_from(bools))
+
+        clauses = []
+        for _ in range(data.draw(st.integers(min_value=1, max_value=6))):
+            lits = []
+            for _ in range(data.draw(st.integers(min_value=1, max_value=3))):
+                a = atom()
+                lits.append(Not(a) if data.draw(st.booleans()) else a)
+            clauses.append(Or(*lits))
+
+        s = Solver()
+        for c in clauses:
+            s.add(c)
+        result = s.check()
+
+        # Cross-check against brute-force enumeration.
+        env_vars = variables + bools
+        expected = False
+        for assignment in itertools.product(
+            *[range(size)] * nvars, *[(False, True)] * len(bools)
+        ):
+            env = {
+                v: assignment[i] for i, v in enumerate(variables)
+            }
+            env.update(
+                {
+                    b: assignment[nvars + i]
+                    for i, b in enumerate(bools)
+                }
+            )
+            if all(evaluate(c, env) for c in clauses):
+                expected = True
+                break
+        assert result == (SAT if expected else UNSAT)
+
+        if result == SAT:
+            m = s.model()
+            env = {v: m[v] for v in env_vars}
+            for c in clauses:
+                assert evaluate(c, env), f"model violates {c!r}"
+
+
+class TestStats:
+    def test_stats_shape(self):
+        a = BoolVar("a")
+        s = Solver()
+        s.add(a)
+        s.check()
+        st_ = s.stats()
+        assert st_["vars"] >= 1
+        assert "conflicts" in st_

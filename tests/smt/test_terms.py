@@ -1,0 +1,204 @@
+"""Tests for term construction, simplification and interning."""
+
+import pytest
+
+from repro.smt import (
+    FALSE,
+    TRUE,
+    And,
+    BoolVar,
+    Distinct,
+    EnumConst,
+    EnumSort,
+    EnumVar,
+    Eq,
+    Iff,
+    Implies,
+    Ite,
+    Ne,
+    Not,
+    Or,
+    Xor,
+    at_most_one,
+    exactly_one,
+    free_vars,
+)
+
+
+@pytest.fixture
+def abc():
+    return BoolVar("a"), BoolVar("b"), BoolVar("c")
+
+
+@pytest.fixture
+def color():
+    return EnumSort("color", ("red", "green", "blue"))
+
+
+class TestInterning:
+    def test_vars_are_interned(self):
+        assert BoolVar("x") is BoolVar("x")
+
+    def test_structural_interning(self, abc):
+        a, b, _ = abc
+        assert And(a, b) is And(b, a)
+        assert Or(a, b) is Or(b, a)
+
+    def test_sort_conflict_rejected(self, color):
+        BoolVar("v")
+        with pytest.raises(ValueError):
+            EnumVar("v", color)
+
+
+class TestBooleanSimplification:
+    def test_not_involution(self, abc):
+        a, _, _ = abc
+        assert Not(Not(a)) is a
+
+    def test_constants(self):
+        assert Not(TRUE) is FALSE
+        assert And() is TRUE
+        assert Or() is FALSE
+
+    def test_and_identity_and_absorbing(self, abc):
+        a, _, _ = abc
+        assert And(a, TRUE) is a
+        assert And(a, FALSE) is FALSE
+        assert Or(a, FALSE) is a
+        assert Or(a, TRUE) is TRUE
+
+    def test_and_dedup(self, abc):
+        a, b, _ = abc
+        assert And(a, a, b) is And(a, b)
+
+    def test_complement_detection(self, abc):
+        a, b, _ = abc
+        assert And(a, Not(a)) is FALSE
+        assert Or(a, Not(a)) is TRUE
+        assert And(a, b, Not(a)) is FALSE
+
+    def test_flattening(self, abc):
+        a, b, c = abc
+        assert And(And(a, b), c) is And(a, b, c)
+        assert Or(a, Or(b, c)) is Or(a, b, c)
+
+    def test_implies(self, abc):
+        a, b, _ = abc
+        assert Implies(TRUE, b) is b
+        assert Implies(FALSE, b) is TRUE
+        assert Implies(a, TRUE) is TRUE
+
+    def test_iff(self, abc):
+        a, b, _ = abc
+        assert Iff(a, a) is TRUE
+        assert Iff(a, TRUE) is a
+        assert Iff(a, FALSE) is Not(a)
+
+    def test_xor(self, abc):
+        a, _, _ = abc
+        assert Xor(a, FALSE) is a
+        assert Xor(a, a) is FALSE
+
+    def test_ite_bool(self, abc):
+        a, b, c = abc
+        assert Ite(TRUE, b, c) is b
+        assert Ite(FALSE, b, c) is c
+        assert Ite(a, b, b) is b
+
+    def test_type_errors(self, abc, color):
+        a, _, _ = abc
+        x = EnumVar("x", color)
+        with pytest.raises(TypeError):
+            And(a, x)
+        with pytest.raises(TypeError):
+            Not(x)
+        with pytest.raises(TypeError):
+            Ite(x, a, a)
+
+
+class TestEnumTerms:
+    def test_const_folding(self, color):
+        red = EnumConst(color, "red")
+        blue = EnumConst(color, "blue")
+        assert Eq(red, red) is TRUE
+        assert Eq(red, blue) is FALSE
+        assert Ne(red, blue) is TRUE
+
+    def test_eq_reflexive(self, color):
+        x = EnumVar("x", color)
+        assert Eq(x, x) is TRUE
+
+    def test_eq_symmetric_interning(self, color):
+        x = EnumVar("x", color)
+        y = EnumVar("y", color)
+        assert Eq(x, y) is Eq(y, x)
+
+    def test_eq_sort_mismatch(self, color):
+        other = EnumSort("shape", ("circle", "square"))
+        x = EnumVar("x", color)
+        s = EnumVar("s", other)
+        with pytest.raises(TypeError):
+            Eq(x, s)
+
+    def test_const_validation(self, color):
+        with pytest.raises(ValueError):
+            EnumConst(color, "purple")
+
+    def test_ite_enum(self, abc, color):
+        a, _, _ = abc
+        x = EnumVar("x", color)
+        y = EnumVar("y", color)
+        ite = Ite(a, x, y)
+        assert ite.sort is color
+        assert Ite(a, x, x) is x
+
+    def test_distinct(self, color):
+        x = EnumVar("x", color)
+        y = EnumVar("y", color)
+        z = EnumVar("z", color)
+        d = Distinct(x, y, z)
+        # Pairwise: three disequalities conjoined.
+        assert d.kind == "and"
+        assert len(d.args) == 3
+
+
+class TestCardinality:
+    def test_at_most_one_empty_and_single(self, abc):
+        a, _, _ = abc
+        assert at_most_one([]) is TRUE
+        assert at_most_one([a]) is TRUE
+
+    def test_exactly_one_requires_one(self, abc):
+        a, b, _ = abc
+        e = exactly_one([a, b])
+        assert e.kind == "and"
+
+
+class TestFreeVars:
+    def test_collects_both_kinds(self, abc, color):
+        a, b, _ = abc
+        x = EnumVar("x", color)
+        red = EnumConst(color, "red")
+        term = And(a, Or(b, Eq(x, red)))
+        names = {v.payload for v in free_vars(term)}
+        assert names == {"a", "b", "x"}
+
+    def test_constants_have_no_vars(self):
+        assert free_vars(TRUE) == frozenset()
+
+
+class TestEnumSortRegistry:
+    def test_same_values_interned(self):
+        s1 = EnumSort("dup", ("a", "b"))
+        s2 = EnumSort("dup", ("a", "b"))
+        assert s1 is s2
+
+    def test_conflicting_redeclaration(self):
+        EnumSort("conflict", ("a", "b"))
+        with pytest.raises(ValueError):
+            EnumSort("conflict", ("a", "c"))
+
+    def test_nbits(self):
+        assert EnumSort("one", ("a",)).nbits == 1
+        assert EnumSort("four", tuple("abcd")).nbits == 2
+        assert EnumSort("five", tuple("abcde")).nbits == 3

@@ -1,0 +1,97 @@
+"""Tests for finite uninterpreted functions (Ackermann encoding)."""
+
+import pytest
+
+from repro.smt import (
+    BOOL,
+    SAT,
+    UNSAT,
+    EnumConst,
+    EnumSort,
+    EnumVar,
+    Eq,
+    Ne,
+    Solver,
+    UFunc,
+)
+
+
+@pytest.fixture
+def addr():
+    return EnumSort("addr", ("a", "b", "c", "d"))
+
+
+class TestApplication:
+    def test_same_args_same_term(self, addr):
+        f = UFunc("f", (addr,), addr)
+        x = EnumVar("x", addr)
+        assert f(x) is f(x)
+
+    def test_distinct_args_distinct_terms(self, addr):
+        f = UFunc("f", (addr,), addr)
+        x, y = EnumVar("x", addr), EnumVar("y", addr)
+        assert f(x) is not f(y)
+
+    def test_arity_checked(self, addr):
+        f = UFunc("f", (addr,), addr)
+        x = EnumVar("x", addr)
+        with pytest.raises(TypeError):
+            f(x, x)
+
+    def test_sort_checked(self, addr):
+        other = EnumSort("other", ("p", "q"))
+        f = UFunc("f", (addr,), addr)
+        with pytest.raises(TypeError):
+            f(EnumVar("o", other))
+
+    def test_redeclaration_conflict(self, addr):
+        UFunc("g", (addr,), addr)
+        with pytest.raises(ValueError):
+            UFunc("g", (addr, addr), addr)
+
+    def test_redeclaration_same_signature_shares_apps(self, addr):
+        f1 = UFunc("h", (addr,), addr)
+        x = EnumVar("x", addr)
+        app = f1(x)
+        f2 = UFunc("h", (addr,), addr)
+        assert f2(x) is app
+
+
+class TestCongruence:
+    def test_functional_consistency(self, addr):
+        f = UFunc("f", (addr,), addr)
+        x, y = EnumVar("x", addr), EnumVar("y", addr)
+        s = Solver()
+        s.add(Eq(x, y), Ne(f(x), f(y)))
+        for ax in f.congruence_axioms():
+            s.add(ax)
+        assert s.check() == UNSAT
+
+    def test_different_args_allow_different_results(self, addr):
+        f = UFunc("f", (addr,), addr)
+        x, y = EnumVar("x", addr), EnumVar("y", addr)
+        s = Solver()
+        s.add(Ne(x, y), Ne(f(x), f(y)))
+        for ax in f.congruence_axioms():
+            s.add(ax)
+        assert s.check() == SAT
+
+    def test_boolean_range(self, addr):
+        """Predicates (e.g. the classification oracle's skype?) work too."""
+        malicious = UFunc("malicious", (addr,), BOOL)
+        x, y = EnumVar("x", addr), EnumVar("y", addr)
+        s = Solver()
+        s.add(Eq(x, y), malicious(x), ~malicious(y))
+        for ax in malicious.congruence_axioms():
+            s.add(ax)
+        assert s.check() == UNSAT
+
+    def test_binary_function(self, addr):
+        acl = UFunc("acl", (addr, addr), BOOL)
+        x, y = EnumVar("x", addr), EnumVar("y", addr)
+        a = EnumConst(addr, "a")
+        s = Solver()
+        s.add(Eq(x, a), Eq(y, a), acl(x, y), ~acl(a, a))
+        for ax in acl.congruence_axioms():
+            s.add(ax)
+        assert s.check() == UNSAT

@@ -1,0 +1,95 @@
+"""Tests for unsat-core extraction (failed assumptions)."""
+
+import pytest
+
+from repro.smt import (
+    SAT,
+    UNSAT,
+    And,
+    BoolVar,
+    EnumConst,
+    EnumSort,
+    EnumVar,
+    Eq,
+    Implies,
+    Ne,
+    Not,
+    Or,
+    Solver,
+)
+
+
+class TestSatCore:
+    def test_core_at_sat_level(self):
+        from repro.smt.sat import SatSolver
+
+        s = SatSolver()
+        a, b, c = s.new_var(), s.new_var(), s.new_var()
+        s.add_clause([-a, -b])  # not both a and b
+        assert s.solve_with([a, b, c]) == "unsat"
+        core = set(s.core)
+        assert core <= {a, b, c}
+        assert {a, b} & core, "core must implicate a conflicting assumption"
+        # c is irrelevant; a correct analyzeFinal usually drops it.
+        assert c not in core
+
+    def test_core_empty_when_formula_unsat(self):
+        from repro.smt.sat import SatSolver
+
+        s = SatSolver()
+        a = s.new_var()
+        s.add_clause([a])
+        s.add_clause([-a])
+        assert s.solve_with([a]) == "unsat"
+        assert s.core == []
+
+    def test_core_respects_polarity(self):
+        from repro.smt.sat import SatSolver
+
+        s = SatSolver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([a, b])
+        assert s.solve_with([-a, -b]) == "unsat"
+        assert set(s.core) <= {-a, -b}
+        assert s.core, "expected a nonempty core"
+
+
+class TestSolverCore:
+    def test_term_core(self):
+        a, b, c = BoolVar("a"), BoolVar("b"), BoolVar("c")
+        s = Solver()
+        s.add(Implies(a, Not(b)))
+        assert s.check(assumptions=[a, b, c]) == UNSAT
+        core = s.unsat_core()
+        assert a in core or b in core
+        assert c not in core
+
+    def test_enum_assumption_core(self):
+        color = EnumSort("core_color", ("red", "green"))
+        x = EnumVar("x", color)
+        red = Eq(x, EnumConst(color, "red"))
+        green = Eq(x, EnumConst(color, "green"))
+        s = Solver()
+        s.add(Or(red, green))  # keep x constrained
+        assert s.check(assumptions=[red, green]) == UNSAT
+        core = s.unsat_core()
+        assert core, "expected a core over the two incompatible assumptions"
+
+    def test_core_unavailable_after_sat(self):
+        a = BoolVar("a")
+        s = Solver()
+        s.add(Or(a, Not(a)))
+        assert s.check(assumptions=[a]) == SAT
+        with pytest.raises(RuntimeError):
+            s.unsat_core()
+
+    def test_core_shrinks_with_usefulness(self):
+        """Only assumptions on the conflict path are reported."""
+        xs = [BoolVar(f"u{i}") for i in range(6)]
+        bad = BoolVar("bad")
+        s = Solver()
+        s.add(Implies(xs[0], bad))
+        s.add(Implies(xs[1], Not(bad)))
+        assert s.check(assumptions=xs) == UNSAT
+        core = set(s.unsat_core())
+        assert core <= {xs[0], xs[1]}

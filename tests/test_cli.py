@@ -1,0 +1,41 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import SCENARIOS, main
+
+
+class TestList:
+    def test_lists_all_scenarios(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in SCENARIOS:
+            assert name in out
+
+
+class TestAudit:
+    def test_correct_scenario_exits_zero(self, capsys):
+        rc = main(["audit", "isp", "--size", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 unexpected verdicts" in out
+
+    def test_misconfigured_scenario_still_exits_zero(self, capsys):
+        """Expected violations are not mismatches."""
+        rc = main(["audit", "isp", "--size", "3", "--misconfig"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "violated" in out
+
+    def test_show_traces(self, capsys):
+        rc = main(["audit", "isp", "--size", "3", "--misconfig", "--show-traces"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "sends" in out  # a schedule was printed
+
+    def test_unknown_scenario(self, capsys):
+        assert main(["audit", "nonsense"]) == 2
+
+    def test_multitenant_has_no_injector(self):
+        with pytest.raises(SystemExit):
+            main(["audit", "multitenant", "--misconfig"])
