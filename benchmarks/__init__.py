@@ -1,0 +1,2 @@
+"""Benchmarks reproducing the paper's §5 figures (pytest-benchmark),
+plus engine-scaling benchmarks runnable as plain scripts."""

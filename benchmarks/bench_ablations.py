@@ -11,7 +11,7 @@
 
 import pytest
 
-from repro.core import ClassIsolation, FlowIsolation, NodeIsolation
+from repro.core import ClassIsolation, FlowIsolation
 from repro.mboxes import ApplicationFirewall
 from repro.netmodel import HeaderMatch, TransferRule, VerificationNetwork, check
 from repro.scenarios import enterprise

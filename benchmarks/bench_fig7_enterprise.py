@@ -10,7 +10,6 @@ grow with N.
 
 import pytest
 
-from repro.core import VMN
 from repro.scenarios import enterprise
 
 from .helpers import run_once, slice_depth

@@ -1,0 +1,116 @@
+"""Engine scaling: sequential vs parallel wall time, as JSON.
+
+Runs the Figure-7 enterprise invariant set (every per-host invariant,
+no symmetry grouping — Fig. 7 plots per-invariant checks) through:
+
+* the **sequential** seed path: one process, no cache — exactly what
+  ``VMN.verify_all`` did before the engine existed;
+* the **engine** at increasing worker counts, with the structural
+  result cache on.
+
+Verdicts must agree across every configuration (the engine's
+determinism contract); the JSON reports wall times, the speedup at each
+worker count, and how many checks the cache answered.  On a single-core
+runner the speedup comes from the cache collapsing symmetric checks;
+on a multi-core runner process parallelism compounds it.
+
+Usage::
+
+    python benchmarks/bench_parallel_scaling.py --jobs 2,4 \
+        --output BENCH_parallel_scaling.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.scenarios import enterprise
+
+if __package__ in (None, ""):  # running as a script
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    from helpers import timed_verify_all
+else:
+    from .helpers import timed_verify_all
+
+
+def run(n_subnets: int, hosts_per_subnet: int, job_counts) -> dict:
+    bundle = enterprise(n_subnets=n_subnets, hosts_per_subnet=hosts_per_subnet)
+    invariants = bundle.invariants
+
+    seq_report, seq_seconds = timed_verify_all(
+        bundle, jobs=1, use_cache=False, use_symmetry=False
+    )
+    baseline = [o.status for o in seq_report]
+
+    runs = []
+    verdicts_identical = True
+    for jobs in job_counts:
+        report, seconds = timed_verify_all(
+            bundle, jobs=jobs, use_cache=True, use_symmetry=False
+        )
+        identical = [o.status for o in report] == baseline
+        verdicts_identical = verdicts_identical and identical
+        runs.append(
+            {
+                "jobs": jobs,
+                "seconds": round(seconds, 3),
+                "speedup": round(seq_seconds / seconds, 2) if seconds else None,
+                "solver_runs": report.checks_run - report.cache_hits,
+                "cache_hits": report.cache_hits,
+                "verdicts_identical": identical,
+            }
+        )
+
+    return {
+        "benchmark": "parallel_scaling",
+        "scenario": bundle.name,
+        "figure": "7 (enterprise invariant set)",
+        "n_invariants": len(invariants),
+        "cpu_count": os.cpu_count(),
+        "sequential": {
+            "seconds": round(seq_seconds, 3),
+            "solver_runs": seq_report.checks_run,
+        },
+        "parallel": runs,
+        "verdicts_identical": verdicts_identical,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="sequential-vs-parallel verification scaling (JSON)"
+    )
+    parser.add_argument("--size", type=int, default=9,
+                        help="enterprise subnets (default: 9, as Fig. 7)")
+    parser.add_argument("--hosts-per-subnet", type=int, default=1)
+    parser.add_argument("--jobs", default="2,4",
+                        help="comma-separated worker counts (default: 2,4)")
+    parser.add_argument("--output", default="BENCH_parallel_scaling.json",
+                        help="where to write the JSON report")
+    args = parser.parse_args(argv)
+
+    job_counts = [int(j) for j in args.jobs.split(",") if j.strip()]
+    payload = run(args.size, args.hosts_per_subnet, job_counts)
+
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
+    seq = payload["sequential"]
+    print(f"{payload['scenario']}: {payload['n_invariants']} invariants, "
+          f"cpu_count={payload['cpu_count']}")
+    print(f"  sequential      {seq['seconds']:8.2f}s  "
+          f"({seq['solver_runs']} solver runs)")
+    for row in payload["parallel"]:
+        print(f"  jobs={row['jobs']:<2} cache   {row['seconds']:8.2f}s  "
+              f"({row['solver_runs']} solver runs, {row['cache_hits']} cache "
+              f"hits, {row['speedup']}x)")
+    print(f"wrote {args.output}")
+    return 0 if payload["verdicts_identical"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,8 @@ adds nothing but wall-clock time.
 
 from __future__ import annotations
 
+import time
+
 from repro.core import VMN
 from repro.netmodel.bmc import default_depth
 
@@ -20,6 +22,28 @@ from repro.netmodel.bmc import default_depth
 def run_once(benchmark, fn):
     """Benchmark ``fn`` with a single round."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def timed_verify_all(
+    bundle,
+    invariants=None,
+    jobs=None,
+    use_cache=False,
+    use_symmetry=True,
+    **vmn_kwargs,
+):
+    """Build a fresh VMN and time one ``verify_all`` batch.
+
+    Returns ``(report, wall_seconds)``.  ``jobs``/``use_cache`` select
+    the engine configuration under test; the defaults reproduce the
+    seed's sequential, uncached path so old and new numbers stay
+    comparable.
+    """
+    vmn = bundle.vmn(use_cache=use_cache, use_symmetry=use_symmetry, **vmn_kwargs)
+    invariants = bundle.invariants if invariants is None else invariants
+    started = time.perf_counter()
+    report = vmn.verify_all(invariants, jobs=jobs)
+    return report, time.perf_counter() - started
 
 
 def slice_depth(vmn: VMN, invariant) -> int:

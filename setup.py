@@ -1,4 +1,9 @@
-"""Setup shim for environments whose setuptools lacks PEP 517 wheel support."""
+"""Setup shim for environments whose setuptools lacks PEP 517 wheel support.
+
+All real metadata lives in ``pyproject.toml`` (src/ layout, console
+entry point ``repro``); this file only keeps ``python setup.py``-style
+tooling working.
+"""
 from setuptools import setup
 
 setup()

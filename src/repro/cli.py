@@ -20,6 +20,7 @@ import sys
 import time
 from typing import Callable, Dict
 
+from .core.engine import execute_jobs
 from .scenarios import (
     ScenarioBundle,
     datacenter,
@@ -118,20 +119,27 @@ def _cmd_audit(args) -> int:
         return 2
     size = args.size if args.size is not None else _DEFAULT_SIZES[args.scenario]
     bundle = builder(size, args.misconfig, args.seed)
-    vmn = bundle.vmn(use_slicing=not args.no_slicing)
+    vmn = bundle.vmn(use_slicing=not args.no_slicing,
+                     use_cache=not args.no_cache)
     print(f"{bundle.name}: {bundle.topology.describe()}")
     print(f"policy equivalence classes: {vmn.policy_classes.count}")
 
-    mismatches = 0
+    workers = args.jobs if args.jobs > 0 else None  # None = one per CPU
     started = time.perf_counter()
-    for check in bundle.checks:
-        result = vmn.verify(check.invariant)
+    job_list = [
+        vmn.job_for(check.invariant, index=i)
+        for i, check in enumerate(bundle.checks)
+    ]
+    results = execute_jobs(job_list, workers=workers, cache=vmn.result_cache)
+
+    mismatches = 0
+    for check, job, result in zip(bundle.checks, job_list, results):
         ok = result.status == check.expected
         mismatches += 0 if ok else 1
-        _, slice_size = vmn.network_for(check.invariant)
-        where = f"slice={slice_size}" if slice_size else "whole-net"
+        where = f"slice={job.slice_size}" if job.slice_size else "whole-net"
+        cached = ", cached" if result.cache_hit else ""
         print(f"  {check.label:30s} {result.status:9s} "
-              f"({where}, {result.solve_seconds:.2f}s)"
+              f"({where}, {result.solve_seconds:.2f}s{cached})"
               f"{'' if ok else f'  EXPECTED {check.expected}'}")
         if args.show_traces and result.trace is not None:
             for line in str(result.trace).splitlines()[1:]:
@@ -162,12 +170,19 @@ def main(argv=None) -> int:
                        help="seed for randomized injections")
     audit.add_argument("--no-slicing", action="store_true",
                        help="verify on the whole network (baseline)")
+    audit.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="verify invariants on N worker processes "
+                            "(0 = one per CPU; default: sequential)")
+    audit.add_argument("--no-cache", action="store_true",
+                       help="disable the structural result cache")
     audit.add_argument("--show-traces", action="store_true",
                        help="print counterexample schedules")
 
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list(args)
+    if args.jobs < 0:
+        parser.error("--jobs must be >= 0")
     return _cmd_audit(args)
 
 

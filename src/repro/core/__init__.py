@@ -1,5 +1,11 @@
 """VMN core: invariants, policy classes, slicing, symmetry, the facade."""
 
+from .engine import (
+    ResultCache,
+    VerificationJob,
+    execute_jobs,
+    fingerprint,
+)
 from .invariants import (
     CanReach,
     ClassIsolation,
@@ -60,4 +66,8 @@ __all__ = [
     "Report",
     "VMN",
     "verify_under_failures",
+    "ResultCache",
+    "VerificationJob",
+    "execute_jobs",
+    "fingerprint",
 ]

@@ -1,0 +1,349 @@
+"""The parallel batch-verification engine.
+
+The paper's slicing and symmetry optimizations make each check small;
+this module adds the orthogonal axis they leave on the table: running
+independent checks *concurrently*, and never running the same check
+twice.
+
+Three pieces:
+
+* :class:`VerificationJob` — one symmetry-group check turned into a
+  picklable work item: the (sliced) :class:`VerificationNetwork`, the
+  representative invariant, and fully-resolved BMC parameters.
+
+* a **structural fingerprint** (:func:`fingerprint`) of
+  ``(network, invariant, bmc params)`` that is canonical under renaming
+  of hosts and middleboxes: two checks that are isomorphic — the same
+  slice shape, the same middlebox configurations, the same invariant up
+  to a consistent renaming of nodes — get the same fingerprint.  This
+  is what lets symmetric checks and repeated checks across failure
+  scenarios hit the :class:`ResultCache` instead of the solver.
+
+* :func:`execute_jobs` — dispatches jobs across a ``multiprocessing``
+  pool (``workers=N``), deduplicates jobs with equal fingerprints
+  within a batch, consults/fills the cache, and returns results in job
+  order so callers can merge them into a :class:`repro.core.results.Report`
+  deterministically: the same ordering and verdicts as the sequential
+  path, regardless of worker count.
+
+Soundness of cache reuse rests on the same argument as the paper's
+symmetry optimization (§4.2): the SMT encoding mentions node names only
+through the structures fingerprinted here, so isomorphic problems have
+isomorphic formulas and therefore equal verdicts.  A cached result is
+returned with its original counterexample trace (node names from the
+run that populated the cache), exactly as symmetry-inherited outcomes
+share their representative's trace.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..netmodel.bmc import CheckResult, check, default_depth
+from ..netmodel.system import VerificationNetwork
+
+__all__ = [
+    "Unfingerprintable",
+    "fingerprint",
+    "ResultCache",
+    "VerificationJob",
+    "resolve_bmc_params",
+    "execute_jobs",
+    "default_workers",
+]
+
+#: Prefix for canonical node placeholders; NUL cannot occur in real names.
+_PLACEHOLDER = "\x00n"
+
+
+class Unfingerprintable(Exception):
+    """The problem contains state the canonicalizer cannot serialize."""
+
+
+def default_workers() -> int:
+    """Worker count when the caller does not specify one."""
+    return os.cpu_count() or 1
+
+
+# ----------------------------------------------------------------------
+# Structural fingerprints
+# ----------------------------------------------------------------------
+def _collect_names(value, known: frozenset, order: List[str]) -> None:
+    """Append network node names in ``value`` to ``order``, first
+    appearance wins; containers are walked deterministically."""
+    if isinstance(value, str):
+        if value in known and value not in order:
+            order.append(value)
+    elif isinstance(value, (tuple, list)):
+        for v in value:
+            _collect_names(v, known, order)
+    elif isinstance(value, (set, frozenset)):
+        for v in sorted(value, key=repr):
+            _collect_names(v, known, order)
+    elif isinstance(value, dict):
+        for k in sorted(value, key=repr):
+            _collect_names(k, known, order)
+            _collect_names(value[k], known, order)
+
+
+def _field_values(obj) -> List[Tuple[str, object]]:
+    """(name, value) pairs of an invariant or middlebox, in a stable
+    order: dataclass field order when available, else sorted ``vars``."""
+    if dataclasses.is_dataclass(obj):
+        return [(f.name, getattr(obj, f.name)) for f in dataclasses.fields(obj)]
+    return sorted(vars(obj).items())
+
+
+def _canon(value, rename: Dict[str, str]):
+    """Canonical, hashable form of ``value`` with node names renamed."""
+    if isinstance(value, str):
+        return rename.get(value, value)
+    if isinstance(value, (bool, int, float)) or value is None:
+        return value
+    if isinstance(value, (tuple, list)):
+        return ("seq",) + tuple(_canon(v, rename) for v in value)
+    if isinstance(value, (set, frozenset)):
+        return ("set",) + tuple(
+            sorted((_canon(v, rename) for v in value), key=repr)
+        )
+    if isinstance(value, dict):
+        return ("map",) + tuple(
+            sorted(
+                ((_canon(k, rename), _canon(v, rename)) for k, v in value.items()),
+                key=repr,
+            )
+        )
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return (
+            "dc",
+            type(value).__qualname__,
+            tuple((n, _canon(v, rename)) for n, v in _field_values(value)),
+        )
+    if hasattr(value, "__dict__") and not callable(value):
+        # Middlebox models and other plain config objects: their
+        # behaviour is a pure function of (class, attributes).
+        return (
+            "obj",
+            type(value).__module__,
+            type(value).__qualname__,
+            tuple((n, _canon(v, rename)) for n, v in _field_values(value)),
+        )
+    raise Unfingerprintable(f"cannot canonicalize {type(value).__name__}: {value!r}")
+
+
+def fingerprint(
+    net: VerificationNetwork,
+    invariant,
+    params: Optional[dict] = None,
+) -> Optional[str]:
+    """A canonical key for ``(network, invariant, bmc params)``.
+
+    Equal fingerprints mean the two verification problems are isomorphic
+    (identical up to a consistent renaming of nodes), so their verdicts
+    are interchangeable.  Returns ``None`` when the problem holds state
+    the canonicalizer does not understand — such checks simply skip the
+    cache rather than risk an unsound hit.
+    """
+    known = frozenset(net.hosts) | frozenset(net.mbox_names) | frozenset(
+        net.extra_addresses
+    )
+    # Nodes the invariant mentions get placeholders in order of
+    # appearance in its (stable) field serialization; remaining nodes
+    # follow in sorted order.  Symmetric invariants on the same network
+    # therefore canonicalize identically.
+    order: List[str] = []
+    for _, value in _field_values(invariant):
+        _collect_names(value, known, order)
+    for name in sorted(known):
+        if name not in order:
+            order.append(name)
+    rename = {name: f"{_PLACEHOLDER}{i}" for i, name in enumerate(order)}
+
+    try:
+        canon = (
+            "check",
+            (
+                "net",
+                ("hosts", _canon(frozenset(net.hosts), rename)),
+                ("mboxes", _canon(frozenset(net.middleboxes), rename)),
+                ("rules", _canon(frozenset(net.rules), rename)),
+                ("extra", _canon(frozenset(net.extra_addresses), rename)),
+                ("spoof", net.allow_spoofing),
+            ),
+            (
+                "inv",
+                type(invariant).__module__,
+                type(invariant).__qualname__,
+                tuple((n, _canon(v, rename)) for n, v in _field_values(invariant)),
+            ),
+            ("params", _canon(dict(params or {}), rename)),
+        )
+    except Unfingerprintable:
+        return None
+    return repr(canon)
+
+
+# ----------------------------------------------------------------------
+# Result cache
+# ----------------------------------------------------------------------
+class ResultCache:
+    """Fingerprint-keyed store of :class:`CheckResult` verdicts.
+
+    One instance is owned by each :class:`repro.core.vmn.VMN` by
+    default; share an instance across VMNs (e.g. across failure
+    scenarios) to reuse verdicts between them.
+    """
+
+    def __init__(self):
+        self._store: Dict[str, CheckResult] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: str) -> Optional[CheckResult]:
+        result = self._store.get(key)
+        if result is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return result
+
+    def put(self, key: str, result: CheckResult) -> None:
+        self._store[key] = result
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ResultCache({len(self._store)} entries, "
+            f"{self.hits} hits, {self.misses} misses)"
+        )
+
+
+# ----------------------------------------------------------------------
+# Jobs
+# ----------------------------------------------------------------------
+def resolve_bmc_params(net: VerificationNetwork, invariant, kwargs: dict) -> dict:
+    """Resolve BMC keyword defaults exactly as :func:`repro.netmodel.bmc.check`
+    would, so a job carries the concrete parameters it will run with
+    (and so the fingerprint covers them)."""
+    params = dict(kwargs)
+    if params.get("n_packets") is None:
+        params["n_packets"] = getattr(invariant, "n_packets_hint", 2)
+    if params.get("failure_budget") is None:
+        params["failure_budget"] = getattr(invariant, "failure_budget", 0)
+    if params.get("depth") is None:
+        params["depth"] = default_depth(
+            net, params["n_packets"], params["failure_budget"]
+        )
+    params.setdefault("max_conflicts", None)
+    params.setdefault("n_ports", 6)
+    params.setdefault("n_tags", 4)
+    return params
+
+
+@dataclass
+class VerificationJob:
+    """One check, self-contained and picklable: ship it to any worker."""
+
+    index: int
+    network: VerificationNetwork
+    invariant: object
+    params: dict = field(default_factory=dict)
+    fingerprint: Optional[str] = None
+    slice_size: Optional[int] = None  # None = whole-network verification
+
+    def run(self) -> CheckResult:
+        return check(self.network, self.invariant, **self.params)
+
+
+def _execute_job(job: VerificationJob) -> Tuple[int, CheckResult]:
+    """Pool worker entry point (top-level so it pickles under spawn)."""
+    return job.index, job.run()
+
+
+def _rebind(result: CheckResult, job: VerificationJob, cached: bool) -> CheckResult:
+    """A copy of ``result`` attached to ``job``'s own invariant object,
+    marked as a cache hit when it did not come from a fresh solver run."""
+    stats = dict(result.stats)
+    if cached:
+        stats["cache_hit"] = True
+    return dataclasses.replace(result, invariant=job.invariant, stats=stats)
+
+
+def _pool_context():
+    # fork is cheapest and inherits the interned term tables; fall back
+    # to the platform default (spawn) where fork is unavailable.
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def execute_jobs(
+    jobs: Sequence[VerificationJob],
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+) -> List[CheckResult]:
+    """Run a batch of jobs and return their results **in job order**.
+
+    ``workers`` > 1 dispatches across a process pool; 1 runs inline
+    (byte-for-byte the sequential path); ``None`` uses
+    :func:`default_workers`.  Jobs whose fingerprint is already in
+    ``cache`` — or equals an earlier job's in the same batch — reuse the
+    stored verdict instead of running the solver.  Which job of a
+    duplicate set runs is decided by batch order, not scheduling, so the
+    outcome is deterministic for any worker count.
+    """
+    if workers is None:
+        workers = default_workers()
+    results: Dict[int, CheckResult] = {}
+    to_run: List[VerificationJob] = []
+    leaders: Dict[str, int] = {}  # fingerprint -> index of the job that runs
+    followers: List[Tuple[VerificationJob, int]] = []
+
+    for job in jobs:
+        fp = job.fingerprint
+        if fp is not None:
+            hit = cache.get(fp) if cache is not None else None
+            if hit is not None:
+                results[job.index] = _rebind(hit, job, cached=True)
+                continue
+            leader = leaders.get(fp)
+            if leader is not None:
+                followers.append((job, leader))
+                if cache is not None:
+                    cache.hits += 1  # same-batch reuse is a cache hit too
+                continue
+            leaders[fp] = job.index
+        to_run.append(job)
+
+    if len(to_run) > 1 and workers > 1:
+        ctx = _pool_context()
+        with ctx.Pool(processes=min(workers, len(to_run))) as pool:
+            for index, result in pool.imap_unordered(_execute_job, to_run):
+                results[index] = result
+            pool.close()
+            pool.join()
+    else:
+        for job in to_run:
+            index, result = _execute_job(job)
+            results[index] = result
+
+    for job in to_run:
+        # Reattach the caller's invariant object (pool results carry an
+        # unpickled copy) and fill the cache.
+        results[job.index] = _rebind(results[job.index], job, cached=False)
+        if cache is not None and job.fingerprint is not None:
+            cache.put(job.fingerprint, results[job.index])
+    for job, leader in followers:
+        results[job.index] = _rebind(results[leader], job, cached=True)
+
+    return [results[job.index] for job in jobs]

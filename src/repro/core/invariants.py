@@ -27,7 +27,7 @@ be grouped (paper §4.2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import FrozenSet, Optional, Tuple
 
 from ..netmodel.packets import same_flow

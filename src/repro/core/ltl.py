@@ -24,7 +24,7 @@ Example — the paper's *simple isolation* written as in §3.3::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, Iterable, Tuple
 
 from ..netmodel.system import ModelContext

@@ -19,7 +19,7 @@ equals the number of policy equivalence classes.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..network.topology import Topology
 from ..network.transfer import SteeringPolicy

@@ -9,7 +9,7 @@ plot.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from ..netmodel.bmc import HOLDS, UNKNOWN, VIOLATED, CheckResult
 from .invariants import Invariant
@@ -25,6 +25,7 @@ class InvariantOutcome:
     result: CheckResult
     slice_size: Optional[int] = None  # None = whole-network verification
     via_symmetry: bool = False  # verdict inherited from a symmetric proof
+    via_cache: bool = False  # verdict reused from the structural result cache
 
     @property
     def status(self) -> str:
@@ -49,6 +50,11 @@ class Report:
     def checks_run(self) -> int:
         return sum(1 for o in self.outcomes if not o.via_symmetry)
 
+    @property
+    def cache_hits(self) -> int:
+        """Checks answered by the result cache instead of the solver."""
+        return sum(1 for o in self.outcomes if o.via_cache and not o.via_symmetry)
+
     def by_status(self, status: str) -> List[InvariantOutcome]:
         return [o for o in self.outcomes if o.status == status]
 
@@ -65,10 +71,11 @@ class Report:
         return self.by_status(UNKNOWN)
 
     def summary(self) -> str:
+        cache = f", cache saved {self.cache_hits}" if self.cache_hits else ""
         return (
             f"{len(self.outcomes)} invariants "
-            f"({self.checks_run} solver runs, symmetry saved "
-            f"{len(self.outcomes) - self.checks_run}); "
+            f"({self.checks_run - self.cache_hits} solver runs, symmetry saved "
+            f"{len(self.outcomes) - self.checks_run}{cache}); "
             f"{len(self.holding)} hold, {len(self.violated)} violated, "
             f"{len(self.unknown)} unknown; {self.total_seconds:.2f}s total"
         )

@@ -9,6 +9,13 @@ network size (paper §4.1), and across invariant sets with *symmetry*
 grouping (paper §4.2).  Both optimizations can be disabled, which is
 exactly the baseline the paper's Figures 7–9 compare against.
 
+On top of the paper's optimizations sits the batch engine
+(:mod:`repro.core.engine`): ``verify_all(invariants, jobs=N)`` turns
+each symmetry-group check into a picklable job, runs jobs across a
+process pool, and reuses verdicts of structurally-identical checks via
+a fingerprint cache — deterministically, with the same ordering and
+verdicts as the sequential path.
+
 Typical use::
 
     vmn = VMN(topology, steering)
@@ -16,21 +23,22 @@ Typical use::
     if result.violated:
         print(result.trace)
 
-    report = vmn.verify_all(all_invariants)
+    report = vmn.verify_all(all_invariants, jobs=4)
     print(report.summary())
 """
 
 from __future__ import annotations
 
 import time
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
 
-from ..netmodel.bmc import CheckResult, check
+from ..netmodel.bmc import CheckResult
 from ..netmodel.system import VerificationNetwork
 from ..network.failures import NO_FAILURE, FailureScenario
 from ..network.forwarding import ForwardingState, shortest_path_tables
 from ..network.topology import Topology
 from ..network.transfer import SteeringPolicy, compute_transfer_rules
+from .engine import ResultCache, VerificationJob, execute_jobs, fingerprint, resolve_bmc_params
 from .invariants import Invariant
 from .policy import PolicyClasses, policy_equivalence_classes
 from .results import InvariantOutcome, Report
@@ -45,6 +53,8 @@ def verify_under_failures(
     invariant: Invariant,
     steering_for,
     scenarios: Iterable[FailureScenario],
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
     **vmn_kwargs,
 ):
     """Verify one invariant across a set of static failure scenarios.
@@ -54,17 +64,27 @@ def verify_under_failures(
     supplies the per-scenario chains — e.g. failing over to a backup
     firewall), and the invariant must hold in all of them.  Returns
     ``{scenario name: CheckResult}``.
+
+    Scenarios are independent, so with ``jobs=N`` they are checked in
+    parallel; scenarios whose failures do not affect the invariant's
+    slice produce structurally identical problems and share one solver
+    run through the result cache (pass ``cache=`` to share it further).
     """
-    results = {}
-    for scenario in scenarios:
+    scenario_list = list(scenarios)
+    if cache is None and vmn_kwargs.get("use_cache", True):
+        cache = ResultCache()
+    job_list = []
+    for i, scenario in enumerate(scenario_list):
         vmn = VMN(
             topology,
             steering_for(scenario),
             scenario=scenario,
+            cache=cache,
             **vmn_kwargs,
         )
-        results[scenario.name] = vmn.verify(invariant)
-    return results
+        job_list.append(vmn.job_for(invariant, index=i))
+    results = execute_jobs(job_list, workers=jobs or 1, cache=cache)
+    return {s.name: r for s, r in zip(scenario_list, results)}
 
 
 class VMN:
@@ -79,6 +99,8 @@ class VMN:
         use_slicing: bool = True,
         use_symmetry: bool = True,
         allow_spoofing: bool = False,
+        use_cache: bool = True,
+        cache: Optional[ResultCache] = None,
     ):
         self.topology = topology
         self.steering = steering or SteeringPolicy()
@@ -95,43 +117,67 @@ class VMN:
         self.policy_classes: PolicyClasses = policy_equivalence_classes(
             topology, self.steering
         )
+        #: Verdict cache shared by ``verify``/``verify_all`` calls on
+        #: this instance; pass ``cache=`` to share one across VMNs.
+        self.result_cache: Optional[ResultCache] = (
+            cache if cache is not None else (ResultCache() if use_cache else None)
+        )
+        # Slices are a function of the invariant's mentioned nodes only,
+        # so they are memoized per mention set (closure failures too).
+        self._slice_cache: Dict[frozenset, Union[Slice, SliceClosureError]] = {}
+        self._whole_network: Optional[VerificationNetwork] = None
 
     # ------------------------------------------------------------------
     # Problem construction
     # ------------------------------------------------------------------
     def whole_network(self) -> VerificationNetwork:
         """The unsliced verification problem (the baseline)."""
-        hosts = tuple(
-            sorted(
-                n.name for n in self.topology.hosts if self.scenario.node_ok(n.name)
+        if self._whole_network is None:
+            hosts = tuple(
+                sorted(
+                    n.name
+                    for n in self.topology.hosts
+                    if self.scenario.node_ok(n.name)
+                )
             )
-        )
-        middleboxes = tuple(
-            n.model
-            for n in self.topology.middleboxes
-            if self.scenario.node_ok(n.name)
-        )
-        return VerificationNetwork(
-            hosts=hosts,
-            middleboxes=middleboxes,
-            rules=self.rules,
-            allow_spoofing=self.allow_spoofing,
-        )
+            middleboxes = tuple(
+                n.model
+                for n in self.topology.middleboxes
+                if self.scenario.node_ok(n.name)
+            )
+            self._whole_network = VerificationNetwork(
+                hosts=hosts,
+                middleboxes=middleboxes,
+                rules=self.rules,
+                allow_spoofing=self.allow_spoofing,
+            )
+        return self._whole_network
 
     def slice_for(self, invariant: Invariant) -> Slice:
         """The paper's slice for one invariant (may raise
-        :class:`SliceClosureError`)."""
-        return build_slice(
-            self.topology,
-            self.rules,
-            self.steering,
-            self.policy_classes,
-            invariant,
-            self.scenario,
-            allow_spoofing=self.allow_spoofing,
-        )
+        :class:`SliceClosureError`).  Memoized: repeated calls for the
+        same mention set reuse the built slice network."""
+        key = frozenset(invariant.mentions)
+        cached = self._slice_cache.get(key)
+        if cached is None:
+            try:
+                cached = build_slice(
+                    self.topology,
+                    self.rules,
+                    self.steering,
+                    self.policy_classes,
+                    invariant,
+                    self.scenario,
+                    allow_spoofing=self.allow_spoofing,
+                )
+            except SliceClosureError as err:
+                cached = err
+            self._slice_cache[key] = cached
+        if isinstance(cached, SliceClosureError):
+            raise cached
+        return cached
 
-    def network_for(self, invariant: Invariant):
+    def network_for(self, invariant: Invariant) -> Tuple[VerificationNetwork, Optional[int]]:
         """(network, slice_size) actually used for this invariant."""
         if self.use_slicing:
             try:
@@ -142,18 +188,53 @@ class VMN:
         net = self.whole_network()
         return net, None
 
+    def job_for(
+        self,
+        invariant: Invariant,
+        index: int = 0,
+        with_fingerprint: Optional[bool] = None,
+        **bmc_kwargs,
+    ) -> VerificationJob:
+        """Package one invariant check as a self-contained, picklable job.
+
+        ``with_fingerprint`` defaults to whether this VMN owns a result
+        cache; pass ``True`` when the job will run against an external
+        cache."""
+        if with_fingerprint is None:
+            with_fingerprint = self.result_cache is not None
+        net, slice_size = self.network_for(invariant)
+        params = resolve_bmc_params(net, invariant, bmc_kwargs)
+        fp = fingerprint(net, invariant, params) if with_fingerprint else None
+        return VerificationJob(
+            index=index,
+            network=net,
+            invariant=invariant,
+            params=params,
+            fingerprint=fp,
+            slice_size=slice_size,
+        )
+
     # ------------------------------------------------------------------
     # Verification
     # ------------------------------------------------------------------
     def verify(self, invariant: Invariant, **bmc_kwargs) -> CheckResult:
-        """Check one invariant (sliced when possible)."""
-        net, _ = self.network_for(invariant)
-        return check(net, invariant, **bmc_kwargs)
+        """Check one invariant (sliced when possible, cached when seen)."""
+        job = self.job_for(invariant, **bmc_kwargs)
+        return execute_jobs([job], workers=1, cache=self.result_cache)[0]
 
     def verify_all(
-        self, invariants: Sequence[Invariant], **bmc_kwargs
+        self,
+        invariants: Sequence[Invariant],
+        jobs: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+        **bmc_kwargs,
     ) -> Report:
-        """Check an invariant set, exploiting symmetry when enabled."""
+        """Check an invariant set, exploiting symmetry when enabled.
+
+        ``jobs=N`` runs the symmetry-group checks on a pool of N worker
+        processes (``jobs=None`` keeps the sequential path); ordering
+        and verdicts are identical either way.
+        """
         started = time.perf_counter()
         report = Report()
         if self.use_symmetry:
@@ -164,18 +245,28 @@ class VMN:
                 for inv in invariants
                 for g in group_invariants([inv], self.policy_classes)
             ]
-        for group in groups:
-            rep = group.representative
-            net, slice_size = self.network_for(rep)
-            result = check(net, rep, **bmc_kwargs)
+        if cache is None:
+            cache = self.result_cache
+        job_list = [
+            self.job_for(
+                group.representative,
+                index=i,
+                with_fingerprint=cache is not None,
+                **bmc_kwargs,
+            )
+            for i, group in enumerate(groups)
+        ]
+        results = execute_jobs(job_list, workers=jobs or 1, cache=cache)
+        for group, job, result in zip(groups, job_list, results):
             report.groups_verified += 1
             for i, inv in enumerate(group.invariants):
                 report.outcomes.append(
                     InvariantOutcome(
                         invariant=inv,
                         result=result,
-                        slice_size=slice_size,
+                        slice_size=job.slice_size,
                         via_symmetry=(i > 0),
+                        via_cache=bool(result.stats.get("cache_hit")),
                     )
                 )
         report.total_seconds = time.perf_counter() - started

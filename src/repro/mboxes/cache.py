@@ -27,7 +27,6 @@ from __future__ import annotations
 
 from typing import Iterable, List, Tuple
 
-from ..netmodel.packets import SymPacket
 from ..netmodel.system import ModelContext
 from ..smt import And, Eq, Not, Or, Term
 from .base import FAIL_CLOSED, Branch, MiddleboxModel, acl_pairs_term

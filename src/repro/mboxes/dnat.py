@@ -14,9 +14,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Mapping, Tuple
 
-from ..netmodel.packets import SymPacket
-from ..netmodel.system import ModelContext
-from ..smt import And, Eq, Or, Term
+from ..smt import And, Eq, Or
 from .base import FAIL_CLOSED, Branch, MiddleboxModel
 
 __all__ = ["DNAT"]

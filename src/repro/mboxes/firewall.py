@@ -125,9 +125,10 @@ class LearningFirewall(MiddleboxModel):
         return [(kind, a, b) for a, b in sorted(pairs)]
 
     def restricted(self, addresses):
-        keep = lambda pairs: {
-            (a, b) for a, b in pairs if a in addresses and b in addresses
-        }
+        def keep(pairs):
+            return {
+                (a, b) for a, b in pairs if a in addresses and b in addresses
+            }
         return LearningFirewall(
             self.name,
             allow=keep(self.allow),

@@ -18,9 +18,8 @@ model.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
-from ..netmodel.system import ModelContext
 from ..smt import Not
 from .base import FAIL_CLOSED, FAIL_OPEN, Branch, MiddleboxModel
 

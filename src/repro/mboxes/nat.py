@@ -21,7 +21,7 @@ from typing import Iterable, List
 
 from ..netmodel.packets import SymPacket
 from ..netmodel.system import ModelContext
-from ..smt import And, Eq, Implies, Ne, Not, Or, Term
+from ..smt import And, Eq, Implies, Or, Term
 from .base import FAIL_CLOSED, Branch, MiddleboxModel
 
 __all__ = ["NAT"]

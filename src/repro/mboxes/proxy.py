@@ -16,9 +16,7 @@ from __future__ import annotations
 
 from typing import List
 
-from ..netmodel.packets import SymPacket
-from ..netmodel.system import ModelContext
-from ..smt import And, Eq, Not, Or, Term
+from ..smt import And, Eq, Not, Or
 from .base import FAIL_CLOSED, Branch, MiddleboxModel
 
 __all__ = ["Proxy"]

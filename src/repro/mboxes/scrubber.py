@@ -14,7 +14,6 @@ from __future__ import annotations
 
 from typing import List
 
-from ..netmodel.system import ModelContext
 from ..smt import Not
 from .base import FAIL_CLOSED, Branch, MiddleboxModel
 

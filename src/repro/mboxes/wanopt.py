@@ -14,8 +14,7 @@ from __future__ import annotations
 
 from typing import List
 
-from ..netmodel.system import ModelContext
-from ..smt import TRUE, And, Eq, Not, Term
+from ..smt import TRUE, And, Eq
 from .base import FAIL_OPEN, Branch, MiddleboxModel
 
 __all__ = ["WanOptimizer"]

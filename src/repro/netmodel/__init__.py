@@ -37,4 +37,8 @@ __all__ = [
     "NetworkSMTModel",
     "VerificationNetwork",
     "fresh_ns",
+    "PacketValues",
+    "Trace",
+    "TraceEvent",
+    "decode_trace",
 ]

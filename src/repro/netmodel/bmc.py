@@ -21,7 +21,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..smt import SAT, UNKNOWN as SMT_UNKNOWN, UNSAT, Solver
+from ..smt import SAT, UNSAT, Solver
 from .system import NetworkSMTModel, VerificationNetwork
 from .trace import Trace, decode_trace
 
@@ -51,6 +51,11 @@ class CheckResult:
     @property
     def holds(self) -> bool:
         return self.status == HOLDS
+
+    @property
+    def cache_hit(self) -> bool:
+        """True when this verdict was served from a result cache."""
+        return bool(self.stats.get("cache_hit"))
 
     def __str__(self) -> str:
         head = f"{self.status.upper()} (depth={self.depth}, {self.solve_seconds:.3f}s)"

@@ -17,11 +17,11 @@ through middlebox chains.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import FrozenSet, Iterable, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import FrozenSet, Optional
 
 from ..smt import And, Eq, Or, Term
-from .packets import PacketSchema, SymPacket
+from .packets import SymPacket
 
 __all__ = ["HeaderMatch", "TransferRule"]
 

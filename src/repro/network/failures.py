@@ -10,8 +10,8 @@ events in the dynamic model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import FrozenSet, Iterator, List, Tuple
+from dataclasses import dataclass
+from typing import FrozenSet, Iterator, Tuple
 
 __all__ = ["FailureScenario", "NO_FAILURE", "single_failures"]
 
@@ -29,7 +29,7 @@ class FailureScenario:
         return FailureScenario(
             name=name,
             failed_nodes=frozenset(nodes),
-            failed_links=frozenset(tuple(sorted(l)) for l in links),
+            failed_links=frozenset(tuple(sorted(link)) for link in links),
         )
 
     def node_ok(self, node: str) -> bool:

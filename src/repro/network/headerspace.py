@@ -15,7 +15,7 @@ it as an independent substrate check.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
 __all__ = ["FIELDS", "HeaderBox", "HeaderSpace"]

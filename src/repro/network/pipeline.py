@@ -12,12 +12,11 @@ list.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
 
 from .failures import NO_FAILURE, FailureScenario
 from .forwarding import ForwardingState
-from .headerspace import HeaderSpace
 from .topology import MIDDLEBOX, Topology
 from .transfer import ForwardingLoopError, SteeringPolicy, walk
 

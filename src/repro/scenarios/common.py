@@ -11,7 +11,7 @@ instance.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional
 
 from ..core.invariants import Invariant
 from ..core.vmn import VMN

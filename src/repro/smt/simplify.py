@@ -11,17 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Mapping
 
-from .terms import (
-    And,
-    BoolConst,
-    EnumConst,
-    Eq,
-    Ite,
-    Not,
-    Or,
-    Term,
-    iter_dag,
-)
+from .terms import And, Eq, Ite, Not, Or, Term, iter_dag
 
 __all__ = ["substitute", "evaluate", "is_constant"]
 

@@ -16,7 +16,7 @@ Enum kinds: ``evar``, ``econst``, ``ite`` (with enum branches).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Tuple
 
 from .sorts import BOOL, BoolSort, EnumSort, Sort
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
-from .sorts import BOOL, BoolSort, EnumSort, Sort
+from .sorts import BoolSort, Sort
 from .terms import And, BoolVar, EnumVar, Eq, Implies, Term
 
 __all__ = ["UFunc"]

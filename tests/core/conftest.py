@@ -1,0 +1,51 @@
+"""Shared fixtures for the core test package.
+
+The ``enterprise`` factory used to live in ``test_slicing.py`` and be
+imported with a relative import, which breaks collection when the tests
+directory is not a package.  It now lives here as a fixture returning
+the builder function, so every core test module can request it.
+"""
+
+import pytest
+
+from repro.mboxes import LearningFirewall
+from repro.network import SteeringPolicy, Topology
+
+
+def build_enterprise(n_subnets=4):
+    """A firewalled enterprise: n subnets, each with two hosts, behind
+    one stateful firewall; odd subnets are quarantined (no inbound or
+    outbound), even subnets are private (outbound only)."""
+    topo = Topology()
+    topo.add_switch("edge")
+    topo.add_switch("core")
+    topo.add_link("edge", "core")
+    topo.add_host("internet", policy_group="external")
+    topo.add_link("internet", "edge")
+
+    deny = []
+    chains = {}
+    for i in range(n_subnets):
+        quarantined = i % 2 == 1
+        group = "quarantined" if quarantined else "private"
+        for j in range(2):
+            h = f"h{i}_{j}"
+            topo.add_host(h, policy_group=group)
+            topo.add_link(h, "core")
+            chains[h] = ("fw",)
+            if quarantined:
+                deny.append(("internet", h))
+                deny.append((h, "internet"))
+            else:
+                deny.append(("internet", h))
+    chains["internet"] = ("fw",)
+    fw = LearningFirewall("fw", deny=deny, default_allow=True)
+    topo.add_middlebox(fw)
+    topo.add_link("fw", "core")
+    return topo, SteeringPolicy(chains=chains)
+
+
+@pytest.fixture
+def enterprise():
+    """Factory fixture: ``enterprise(n_subnets)`` -> (topology, steering)."""
+    return build_enterprise

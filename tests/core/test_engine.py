@@ -1,0 +1,173 @@
+"""Tests for the parallel batch-verification engine (fingerprints,
+result cache, job dispatch)."""
+
+import pickle
+
+from repro.core import VMN, CanReach, FlowIsolation, NodeIsolation
+from repro.core.engine import (
+    ResultCache,
+    execute_jobs,
+    fingerprint,
+)
+
+
+class TestFingerprint:
+    def test_symmetric_invariants_share_fingerprint(self, enterprise):
+        """Two quarantined hosts differ only by name: their sliced
+        checks are isomorphic and must canonicalize identically."""
+        topo, steering = enterprise(4)
+        vmn = VMN(topo, steering)
+        job_a = vmn.job_for(NodeIsolation("h1_0", "internet"))
+        job_b = vmn.job_for(NodeIsolation("h3_1", "internet"))
+        assert job_a.fingerprint is not None
+        assert job_a.fingerprint == job_b.fingerprint
+
+    def test_different_invariant_type_differs(self, enterprise):
+        topo, steering = enterprise(2)
+        vmn = VMN(topo, steering)
+        a = vmn.job_for(NodeIsolation("h0_0", "internet")).fingerprint
+        b = vmn.job_for(FlowIsolation("h0_0", "internet")).fingerprint
+        assert a != b
+
+    def test_direction_matters(self, enterprise):
+        """CanReach(a, b) and CanReach(b, a) are different problems on
+        an asymmetric network and must not collide."""
+        topo, steering = enterprise(2)
+        vmn = VMN(topo, steering)
+        a = vmn.job_for(CanReach("h0_0", "internet")).fingerprint
+        b = vmn.job_for(CanReach("internet", "h0_0")).fingerprint
+        assert a != b
+
+    def test_config_differences_break_symmetry(self, enterprise):
+        """A quarantined host and a private host see different firewall
+        configurations, so their checks must not share a verdict."""
+        topo, steering = enterprise(2)
+        vmn = VMN(topo, steering)
+        quarantined = vmn.job_for(NodeIsolation("h1_0", "internet")).fingerprint
+        private = vmn.job_for(NodeIsolation("h0_0", "internet")).fingerprint
+        assert quarantined != private
+
+    def test_bmc_params_are_covered(self, enterprise):
+        topo, steering = enterprise(2)
+        vmn = VMN(topo, steering)
+        inv = NodeIsolation("h1_0", "internet")
+        a = vmn.job_for(inv).fingerprint
+        b = vmn.job_for(inv, n_packets=3).fingerprint
+        assert a != b
+
+    def test_unfingerprintable_returns_none(self, enterprise):
+        topo, steering = enterprise(2)
+        vmn = VMN(topo, steering)
+        net, _ = vmn.network_for(NodeIsolation("h1_0", "internet"))
+
+        class Weird:
+            mentions = frozenset()
+
+            def __init__(self):
+                self.blob = object()  # no __dict__-free serialization
+
+        assert fingerprint(net, Weird(), {}) is None
+
+
+class TestResultCache:
+    def test_repeated_symmetric_invariants_hit_cache(self, enterprise):
+        """The ISSUE's cache-hit scenario: verifying one quarantined
+        host, then another, must run the solver once."""
+        topo, steering = enterprise(4)
+        vmn = VMN(topo, steering)
+        first = vmn.verify(NodeIsolation("h1_0", "internet"))
+        second = vmn.verify(NodeIsolation("h3_0", "internet"))
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert second.status == first.status
+        assert vmn.result_cache.hits == 1
+        assert len(vmn.result_cache) == 1
+
+    def test_repeated_identical_check_hits_cache(self, enterprise):
+        topo, steering = enterprise(2)
+        vmn = VMN(topo, steering)
+        inv = FlowIsolation("h0_0", "internet")
+        assert not vmn.verify(inv).cache_hit
+        assert vmn.verify(inv).cache_hit
+
+    def test_cache_disabled(self, enterprise):
+        topo, steering = enterprise(2)
+        vmn = VMN(topo, steering, use_cache=False)
+        assert vmn.result_cache is None
+        inv = FlowIsolation("h0_0", "internet")
+        assert not vmn.verify(inv).cache_hit
+        assert not vmn.verify(inv).cache_hit
+
+    def test_explicit_cache_overrides_disabled_default(self, enterprise):
+        """verify_all(cache=...) must be honoured even when the VMN was
+        built with use_cache=False."""
+        topo, steering = enterprise(4)
+        vmn = VMN(topo, steering, use_cache=False, use_symmetry=False)
+        shared = ResultCache()
+        invariants = [
+            NodeIsolation("h1_0", "internet"),
+            NodeIsolation("h3_0", "internet"),
+        ]
+        report = vmn.verify_all(invariants, cache=shared)
+        assert len(shared) == 1
+        assert report.cache_hits == 1
+
+    def test_shared_cache_across_vmns(self, enterprise):
+        topo, steering = enterprise(2)
+        shared = ResultCache()
+        inv = NodeIsolation("h1_0", "internet")
+        first = VMN(topo, steering, cache=shared).verify(inv)
+        second = VMN(topo, steering, cache=shared).verify(inv)
+        assert not first.cache_hit
+        assert second.cache_hit
+
+    def test_counters_and_clear(self):
+        cache = ResultCache()
+        assert cache.get("k") is None
+        assert cache.misses == 1
+        cache.put("k", "result")
+        assert cache.get("k") == "result"
+        assert cache.hits == 1
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 0 and cache.misses == 0
+
+
+class TestExecuteJobs:
+    def test_jobs_are_picklable(self, enterprise):
+        topo, steering = enterprise(2)
+        vmn = VMN(topo, steering)
+        job = vmn.job_for(NodeIsolation("h1_0", "internet"), index=7)
+        clone = pickle.loads(pickle.dumps(job))
+        assert clone.index == 7
+        assert clone.fingerprint == job.fingerprint
+        assert clone.run().status == job.run().status
+
+    def test_batch_dedup_is_deterministic(self, enterprise):
+        """Jobs with equal fingerprints run once; results come back in
+        job order with the follower marked as a cache hit."""
+        topo, steering = enterprise(4)
+        vmn = VMN(topo, steering)
+        jobs = [
+            vmn.job_for(NodeIsolation("h1_0", "internet"), index=0),
+            vmn.job_for(NodeIsolation("h3_0", "internet"), index=1),
+        ]
+        cache = ResultCache()
+        results = execute_jobs(jobs, workers=1, cache=cache)
+        assert [r.status for r in results] == ["holds", "holds"]
+        assert not results[0].cache_hit
+        assert results[1].cache_hit
+        # The results are rebound to each job's own invariant object.
+        assert results[0].invariant is jobs[0].invariant
+        assert results[1].invariant is jobs[1].invariant
+
+    def test_pool_results_keep_job_order(self, enterprise):
+        topo, steering = enterprise(2)
+        vmn = VMN(topo, steering, use_cache=False)
+        invariants = [
+            CanReach("internet", "h0_0"),  # violated (public-ish reach)
+            NodeIsolation("h1_0", "internet"),  # holds (quarantined)
+        ]
+        jobs = [vmn.job_for(inv, index=i) for i, inv in enumerate(invariants)]
+        sequential = [j.run().status for j in jobs]
+        parallel = [r.status for r in execute_jobs(jobs, workers=2)]
+        assert parallel == sequential

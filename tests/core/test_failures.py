@@ -1,13 +1,12 @@
 """Tests for failure-conditioned verification (paper §3.5, §5.1)."""
 
 from repro.core import CanReach, FlowIsolation, NodeIsolation, verify_under_failures
-from repro.network import NO_FAILURE, FailureScenario, SteeringPolicy, single_failures
+from repro.network import NO_FAILURE, FailureScenario, single_failures
 
-from .test_slicing import enterprise
 
 
 class TestVerifyUnderFailures:
-    def test_invariant_holds_across_switch_failures(self):
+    def test_invariant_holds_across_switch_failures(self, enterprise):
         """Flow isolation must survive any single switch failure (the
         firewall chain is unchanged; broken paths only drop traffic)."""
         topo, steering = enterprise(2)
@@ -23,7 +22,7 @@ class TestVerifyUnderFailures:
         assert set(results) == {s.name for s in scenarios}
         assert all(r.holds for r in results.values())
 
-    def test_firewall_failure_blocks_everything(self):
+    def test_firewall_failure_blocks_everything(self, enterprise):
         topo, steering = enterprise(2)
         scenarios = [NO_FAILURE, FailureScenario.of("fail:fw", nodes=["fw"])]
         results = verify_under_failures(
@@ -35,7 +34,7 @@ class TestVerifyUnderFailures:
         assert results["no-failure"].violated  # reachable normally
         assert results["fail:fw"].holds  # fail-closed chain: nothing flows
 
-    def test_edge_switch_failure_partitions(self):
+    def test_edge_switch_failure_partitions(self, enterprise):
         """Failing the core switch cuts every host off."""
         topo, steering = enterprise(2)
         results = verify_under_failures(
@@ -48,7 +47,7 @@ class TestVerifyUnderFailures:
 
 
 class TestDynamicFailureEvents:
-    def test_budget_zero_forbids_failures(self):
+    def test_budget_zero_forbids_failures(self, enterprise):
         topo, steering = enterprise(2)
         from repro.core import VMN
 

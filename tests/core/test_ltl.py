@@ -3,7 +3,7 @@ to the equivalent hand-built invariants."""
 
 import pytest
 
-from repro.core import FlowIsolation, NodeIsolation
+from repro.core import NodeIsolation
 from repro.core.ltl import (
     Always,
     Conj,

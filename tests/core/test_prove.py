@@ -1,6 +1,5 @@
 """Tests for the unbounded-proof mode (BMC + fixpoint agreement)."""
 
-import pytest
 
 from repro.core import (
     BOUNDED,

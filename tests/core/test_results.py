@@ -1,6 +1,5 @@
 """Unit tests for reports and scenario bundles."""
 
-import pytest
 
 from repro.core import NodeIsolation
 from repro.core.results import InvariantOutcome, Report

@@ -9,57 +9,22 @@ from repro.core import (
     NodeIsolation,
     SliceClosureError,
     VMN,
-    build_slice,
-    policy_equivalence_classes,
     restrict_rules,
 )
 from repro.mboxes import ContentCache, LearningFirewall
 from repro.netmodel import HeaderMatch, TransferRule, check
-from repro.network import SteeringPolicy, Topology, compute_transfer_rules, shortest_path_tables
-
-
-def enterprise(n_subnets=4):
-    """A firewalled enterprise: n subnets, each with two hosts, behind
-    one stateful firewall; odd subnets are quarantined (no inbound or
-    outbound), even subnets are private (outbound only)."""
-    topo = Topology()
-    topo.add_switch("edge")
-    topo.add_switch("core")
-    topo.add_link("edge", "core")
-    topo.add_host("internet", policy_group="external")
-    topo.add_link("internet", "edge")
-
-    deny = []
-    chains = {}
-    for i in range(n_subnets):
-        quarantined = i % 2 == 1
-        group = "quarantined" if quarantined else "private"
-        for j in range(2):
-            h = f"h{i}_{j}"
-            topo.add_host(h, policy_group=group)
-            topo.add_link(h, "core")
-            chains[h] = ("fw",)
-            if quarantined:
-                deny.append(("internet", h))
-                deny.append((h, "internet"))
-            else:
-                deny.append(("internet", h))
-    chains["internet"] = ("fw",)
-    fw = LearningFirewall("fw", deny=deny, default_allow=True)
-    topo.add_middlebox(fw)
-    topo.add_link("fw", "core")
-    return topo, SteeringPolicy(chains=chains)
+from repro.network import SteeringPolicy
 
 
 class TestSliceConstruction:
-    def test_slice_contains_mentions_and_chain(self):
+    def test_slice_contains_mentions_and_chain(self, enterprise):
         topo, steering = enterprise(4)
         vmn = VMN(topo, steering)
         sl = vmn.slice_for(FlowIsolation("h0_0", "internet"))
         assert {"h0_0", "internet", "fw"} <= sl.nodes
         assert not sl.used_representatives  # firewall is flow-parallel
 
-    def test_slice_size_independent_of_network_size(self):
+    def test_slice_size_independent_of_network_size(self, enterprise):
         sizes = []
         for n in (2, 6, 12):
             topo, steering = enterprise(n)
@@ -68,7 +33,7 @@ class TestSliceConstruction:
             sizes.append(sl.size)
         assert sizes[0] == sizes[1] == sizes[2]
 
-    def test_firewall_config_restricted_to_slice(self):
+    def test_firewall_config_restricted_to_slice(self, enterprise):
         topo, steering = enterprise(6)
         vmn = VMN(topo, steering)
         sl = vmn.slice_for(FlowIsolation("h0_0", "internet"))
@@ -76,7 +41,7 @@ class TestSliceConstruction:
         for _, a, b in fw.config_pairs():
             assert a in sl.nodes and b in sl.nodes
 
-    def test_origin_agnostic_brings_representatives(self):
+    def test_origin_agnostic_brings_representatives(self, enterprise):
         """With a cache in the slice, one host per policy class joins."""
         topo, steering = enterprise(4)
         cache = ContentCache("cache", deny=[])
@@ -131,7 +96,7 @@ class TestSliceSoundness:
             NodeIsolation("h0_0", "h2_1"),         # violated (intra allowed)
         ],
     )
-    def test_slice_matches_whole_network(self, invariant):
+    def test_slice_matches_whole_network(self, enterprise, invariant):
         topo, steering = enterprise(3)
         vmn = VMN(topo, steering)
         sliced_net, _ = vmn.network_for(invariant)
@@ -140,7 +105,7 @@ class TestSliceSoundness:
         whole = check(whole_net, invariant)
         assert sliced.status == whole.status
 
-    def test_misconfigured_rule_detected_in_slice(self):
+    def test_misconfigured_rule_detected_in_slice(self, enterprise):
         """Delete the quarantine deny rules for one host: the violation
         must be visible in that host's slice."""
         topo, steering = enterprise(3)

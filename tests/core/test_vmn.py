@@ -1,19 +1,18 @@
 """Tests for the VMN facade: verify, verify_all, slicing/symmetry toggles."""
 
 from repro.core import VMN, CanReach, FlowIsolation, NodeIsolation
-from repro.netmodel import HOLDS, VIOLATED
+from repro.netmodel import HOLDS
 from repro.network import FailureScenario
 
-from .test_slicing import enterprise
 
 
 class TestVerify:
-    def test_holding_invariant(self):
+    def test_holding_invariant(self, enterprise):
         topo, steering = enterprise(2)
         vmn = VMN(topo, steering)
         assert vmn.verify(FlowIsolation("h0_0", "internet")).holds
 
-    def test_violated_invariant_has_trace(self):
+    def test_violated_invariant_has_trace(self, enterprise):
         topo, steering = enterprise(2)
         vmn = VMN(topo, steering)
         result = vmn.verify(NodeIsolation("h0_0", "internet"))
@@ -21,14 +20,14 @@ class TestVerify:
         assert result.trace is not None
         assert any(e.frm == "fw" for e in result.trace.events)
 
-    def test_slicing_toggle_same_verdicts(self):
+    def test_slicing_toggle_same_verdicts(self, enterprise):
         topo, steering = enterprise(2)
         inv = FlowIsolation("h0_0", "internet")
         with_slices = VMN(topo, steering, use_slicing=True).verify(inv)
         without = VMN(topo, steering, use_slicing=False).verify(inv)
         assert with_slices.status == without.status == HOLDS
 
-    def test_network_for_reports_slice_size(self):
+    def test_network_for_reports_slice_size(self, enterprise):
         topo, steering = enterprise(4)
         vmn = VMN(topo, steering)
         _, size = vmn.network_for(FlowIsolation("h0_0", "internet"))
@@ -43,7 +42,7 @@ class TestVerifyAll:
         hosts = [h.name for h in topo.hosts if h.name != "internet"]
         return [FlowIsolation(h, "internet") for h in hosts]
 
-    def test_symmetry_reduces_solver_runs(self):
+    def test_symmetry_reduces_solver_runs(self, enterprise):
         topo, steering = enterprise(4)  # 8 hosts, 2 policy classes
         vmn = VMN(topo, steering)
         invariants = self._invariants(topo)
@@ -53,14 +52,14 @@ class TestVerifyAll:
         assert report.checks_run == 2
         assert all(o.status == HOLDS for o in report)
 
-    def test_without_symmetry_every_invariant_checked(self):
+    def test_without_symmetry_every_invariant_checked(self, enterprise):
         topo, steering = enterprise(2)
         vmn = VMN(topo, steering, use_symmetry=False)
         invariants = self._invariants(topo)
         report = vmn.verify_all(invariants)
         assert report.checks_run == len(invariants)
 
-    def test_symmetry_and_full_agree(self):
+    def test_symmetry_and_full_agree(self, enterprise):
         topo, steering = enterprise(3)
         invariants = self._invariants(topo)
         fast = VMN(topo, steering).verify_all(invariants)
@@ -69,7 +68,7 @@ class TestVerifyAll:
         by_inv_slow = {repr(o.invariant): o.status for o in slow}
         assert by_inv_fast == by_inv_slow
 
-    def test_report_summary_readable(self):
+    def test_report_summary_readable(self, enterprise):
         topo, steering = enterprise(2)
         vmn = VMN(topo, steering)
         report = vmn.verify_all(self._invariants(topo))
@@ -78,7 +77,7 @@ class TestVerifyAll:
 
 
 class TestFailureScenarios:
-    def test_scenario_changes_verdict(self):
+    def test_scenario_changes_verdict(self, enterprise):
         """With the firewall failed (static scenario), nothing flows:
         even CanReach towards a public destination holds (unreachable)."""
         topo, steering = enterprise(2)

@@ -1,7 +1,6 @@
 """Behavioural tests for the extended middlebox library: DNAT, VPN
 gateways and the port-granular firewall."""
 
-import pytest
 
 from repro.core import CanReach, NodeIsolation
 from repro.mboxes import DNAT, PortFilterFirewall, VpnGateway

@@ -61,7 +61,6 @@ class TestRedirectingIDSAndScrubber:
         ids = RedirectingIDS("ids", scrubber="scrub")
         scrub = Scrubber("scrub")
         fw = LearningFirewall("fw", deny=[("peer", "quar")], default_allow=True)
-        scrub_ingress = {"fw"} if scrubbed_via_fw else {"scrub", "fw"}
         rules = (
             TransferRule.of(HeaderMatch.of(dst={"quar"}), to="ids", from_nodes={"peer"}),
             TransferRule.of(HeaderMatch.of(dst={"quar"}), to="fw", from_nodes={"ids"}),

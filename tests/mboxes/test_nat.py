@@ -101,7 +101,7 @@ class TestMappingConsistency:
         targeted invariant: a delivery to `in` whose destination port
         differs from the flow's own mapped reply port is impossible.
         """
-        from repro.smt import And, Eq, Not, Or
+        from repro.smt import And, Not, Or
 
         net = natted_net()
 

@@ -1,6 +1,6 @@
 """Behavioural tests for load balancer, WAN optimizer, proxy, gateway."""
 
-from repro.core import CanReach, DataIsolation, NodeIsolation
+from repro.core import CanReach, DataIsolation
 from repro.mboxes import Gateway, LoadBalancer, Proxy, WanOptimizer
 from repro.netmodel import (
     HOLDS,

@@ -1,6 +1,5 @@
 """Tests for the core network encoding (no middleboxes yet)."""
 
-import pytest
 
 from repro.netmodel import (
     HOLDS,
@@ -10,7 +9,7 @@ from repro.netmodel import (
     VerificationNetwork,
     check,
 )
-from repro.smt import And, Eq, Not, Or
+from repro.smt import And, Eq, Or
 
 
 class ReceivesFrom:

@@ -1,6 +1,5 @@
 """Tests for pipeline-invariant checking on the static datapath."""
 
-import pytest
 
 from repro.mboxes import IDPS, AclFirewall
 from repro.network import (

@@ -4,7 +4,6 @@ import pytest
 
 from repro.mboxes import AclFirewall, LearningFirewall
 from repro.network import (
-    NO_FAILURE,
     FailureScenario,
     ForwardingLoopError,
     SteeringPolicy,

@@ -10,7 +10,6 @@ semantics or the fixpoint engine shows up as a disagreement.
 
 import itertools
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -18,7 +17,6 @@ from repro.baselines import FixpointChecker
 from repro.core import CanReach, FlowIsolation, NodeIsolation
 from repro.mboxes import AclFirewall, LearningFirewall
 from repro.netmodel import (
-    HOLDS,
     VIOLATED,
     HeaderMatch,
     TransferRule,

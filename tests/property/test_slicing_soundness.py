@@ -7,7 +7,6 @@ counts, random policy assignments, random deleted rules) and random
 isolation invariants; the sliced and unsliced verdicts must match.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

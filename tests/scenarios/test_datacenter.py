@@ -4,7 +4,6 @@ The key claim replicated here is the paper's: VMN detects *all* the
 injected misconfigurations and reports *no false positives*.
 """
 
-import pytest
 
 from repro.scenarios.datacenter import (
     datacenter,

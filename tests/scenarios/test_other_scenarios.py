@@ -1,7 +1,6 @@
 """Integration tests: enterprise (§5.3.1), multi-tenant (§5.3.2) and
 ISP (§5.3.3) scenarios."""
 
-import pytest
 
 from repro.scenarios import enterprise, isp, multitenant
 
@@ -9,7 +8,7 @@ from repro.scenarios import enterprise, isp, multitenant
 def run_checks(bundle, labels=None):
     vmn = bundle.vmn()
     for check in bundle.checks:
-        if labels is not None and not any(l in check.label for l in labels):
+        if labels is not None and not any(lab in check.label for lab in labels):
             continue
         result = vmn.verify(check.invariant)
         assert result.status == check.expected, (

@@ -6,8 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.smt import And, BoolVar, Iff, Implies, Not, Or, Solver, Xor, evaluate
-from repro.smt.cnf import CnfConverter
-from repro.smt.sat import SAT, UNSAT, SatSolver
+from repro.smt.sat import SAT, UNSAT
 
 
 class TestAssumptionLiterals:

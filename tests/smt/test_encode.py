@@ -1,19 +1,9 @@
 """Property tests for the enum bit-blaster's domain constraints."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.smt import (
-    SAT,
-    EnumConst,
-    EnumSort,
-    EnumVar,
-    Eq,
-    Ne,
-    Or,
-    Solver,
-)
+from repro.smt import SAT, EnumConst, EnumSort, EnumVar, Ne, Solver
 
 
 class TestDomainConstraints:

@@ -158,7 +158,7 @@ class TestAssumptions:
 
 class TestBudget:
     def test_conflict_budget_returns_unknown(self):
-        s = self_unsat = TestPigeonhole()._pigeonhole(7)
+        self_unsat = TestPigeonhole()._pigeonhole(7)
         assert self_unsat.solve(max_conflicts=1) in (UNKNOWN, UNSAT)
 
     def test_budget_zero_is_unknown_for_hard_instance(self):

@@ -16,7 +16,6 @@ from repro.smt import (
     EnumSort,
     EnumVar,
     Eq,
-    Iff,
     Implies,
     Ite,
     Ne,

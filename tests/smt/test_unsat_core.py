@@ -5,14 +5,12 @@ import pytest
 from repro.smt import (
     SAT,
     UNSAT,
-    And,
     BoolVar,
     EnumConst,
     EnumSort,
     EnumVar,
     Eq,
     Implies,
-    Ne,
     Not,
     Or,
     Solver,
