@@ -6,22 +6,37 @@
     python -m repro audit enterprise --size 3
     python -m repro audit datacenter --size 3 --misconfig --seed 7
     python -m repro audit isp --size 3 --misconfig --show-traces
+    python -m repro watch enterprise --deltas 10
+    python -m repro audit enterprise --json > verdicts.json
 
 ``audit`` builds the scenario (optionally with its §5.1/§5.2
 misconfiguration injected), verifies every invariant in its check list,
 compares against the expected verdicts, and exits non-zero when any
 verdict is unexpected — usable as a regression gate.
+
+``watch`` replays a churn stream (a generated sequence of network
+deltas — firewall-rule edits, host/tenant provisioning, link flaps)
+through an incremental re-verification session and reports what each
+delta cost to absorb: how many checks were invalidated, how many
+verdicts the warm cache answered, and how many solver runs were left.
+
+Both commands take ``--json`` to emit machine-readable verdicts and
+timings on stdout (CI and the benchmarks consume this instead of
+parsing text).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import Callable, Dict
 
-from .core.engine import execute_jobs
+from .core.engine import default_workers, execute_jobs
+from .incremental import IncrementalSession
 from .scenarios import (
+    CHURN_GENERATORS,
     ScenarioBundle,
     datacenter,
     datacenter_redundancy,
@@ -108,21 +123,32 @@ def _cmd_list(_args) -> int:
         "isp": "Fig 9a, §5.3.3 scrubbing",
     }
     for name in SCENARIOS:
-        print(f"  {name:24s} {notes[name]}")
+        churn = "  [watchable]" if name in CHURN_GENERATORS else ""
+        print(f"  {name:24s} {notes[name]}{churn}")
     return 0
 
 
-def _cmd_audit(args) -> int:
+def _build_bundle(args):
+    """The scenario bundle for ``args``, or ``None`` (with a message)
+    when the scenario name is unknown — callers exit 2."""
     builder = SCENARIOS.get(args.scenario)
     if builder is None:
         print(f"unknown scenario {args.scenario!r}; see `python -m repro list`")
-        return 2
+        return None
     size = args.size if args.size is not None else _DEFAULT_SIZES[args.scenario]
-    bundle = builder(size, args.misconfig, args.seed)
+    misconfig = getattr(args, "misconfig", False)
+    return builder(size, misconfig, args.seed)
+
+
+def _cmd_audit(args) -> int:
+    bundle = _build_bundle(args)
+    if bundle is None:
+        return 2
     vmn = bundle.vmn(use_slicing=not args.no_slicing,
                      use_cache=not args.no_cache)
-    print(f"{bundle.name}: {bundle.topology.describe()}")
-    print(f"policy equivalence classes: {vmn.policy_classes.count}")
+    if not args.json:
+        print(f"{bundle.name}: {bundle.topology.describe()}")
+        print(f"policy equivalence classes: {vmn.policy_classes.count}")
 
     workers = args.jobs if args.jobs > 0 else None  # None = one per CPU
     started = time.perf_counter()
@@ -131,11 +157,26 @@ def _cmd_audit(args) -> int:
         for i, check in enumerate(bundle.checks)
     ]
     results = execute_jobs(job_list, workers=workers, cache=vmn.result_cache)
+    elapsed = time.perf_counter() - started
 
     mismatches = 0
+    rows = []
     for check, job, result in zip(bundle.checks, job_list, results):
         ok = result.status == check.expected
         mismatches += 0 if ok else 1
+        rows.append({
+            "label": check.label,
+            "invariant": check.invariant.describe(),
+            "status": result.status,
+            "expected": check.expected,
+            "ok": ok,
+            "slice_size": job.slice_size,
+            "cached": result.cache_hit,
+            "solve_seconds": round(result.solve_seconds, 4),
+            "trace": str(result.trace) if result.trace is not None else None,
+        })
+        if args.json:
+            continue
         where = f"slice={job.slice_size}" if job.slice_size else "whole-net"
         cached = ", cached" if result.cache_hit else ""
         print(f"  {check.label:30s} {result.status:9s} "
@@ -144,10 +185,102 @@ def _cmd_audit(args) -> int:
         if args.show_traces and result.trace is not None:
             for line in str(result.trace).splitlines()[1:]:
                 print("     ", line)
-    elapsed = time.perf_counter() - started
-    print(f"{len(bundle.checks)} invariants in {elapsed:.1f}s; "
-          f"{mismatches} unexpected verdicts")
+
+    if args.json:
+        json.dump({
+            "command": "audit",
+            "scenario": bundle.name,
+            "policy_classes": vmn.policy_classes.count,
+            "n_checks": len(rows),
+            "mismatches": mismatches,
+            "elapsed_seconds": round(elapsed, 3),
+            "checks": rows,
+        }, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    else:
+        print(f"{len(bundle.checks)} invariants in {elapsed:.1f}s; "
+              f"{mismatches} unexpected verdicts")
     return 0 if mismatches == 0 else 1
+
+
+def _report_row(report) -> dict:
+    return {
+        "version": report.version,
+        "delta": report.delta,
+        "n_checks": len(report),
+        "carried": report.carried,
+        "cache_hits": report.cache_hits,
+        "solver_runs": report.solver_runs,
+        "retired": [c.describe() for c in report.retired],
+        "added": report.added,
+        "seconds": round(report.seconds, 3),
+        "drift": [
+            {"label": o.check.describe(), "status": o.status,
+             "expected": o.check.expected}
+            for o in report if o.ok is False
+        ],
+        "checks": {o.check.describe(): o.status for o in report},
+    }
+
+
+def _cmd_watch(args) -> int:
+    generator = CHURN_GENERATORS.get(args.scenario)
+    if generator is None and args.scenario in SCENARIOS:
+        print(f"no churn generator for {args.scenario!r}; watchable: "
+              + ", ".join(sorted(CHURN_GENERATORS)))
+        return 2
+    bundle = _build_bundle(args)
+    if bundle is None:
+        return 2
+    events = generator(bundle, n_events=args.deltas, seed=args.seed)
+
+    session = IncrementalSession.from_bundle(
+        bundle,
+        # The session treats jobs=None as sequential (like verify_all),
+        # so "0 = one per CPU" is resolved here.
+        jobs=args.jobs if args.jobs > 0 else default_workers(),
+        use_cache=not args.no_cache,
+    )
+    reports = [session.baseline()]
+    if not args.json:
+        print(f"{bundle.name}: watching {len(events)} deltas "
+              f"over {len(session.checks)} checks")
+        print("  " + reports[0].summary())
+    for event in events:
+        report = session.apply(event.delta, new_checks=event.new_checks)
+        reports.append(report)
+        if not args.json:
+            drift = f"; DRIFT: {report.mismatches}" if report.mismatches else ""
+            print("  " + report.summary() + drift)
+
+    churn = reports[1:]
+    totals = {
+        "deltas": len(churn),
+        "checks_reverified": sum(r.invalidated for r in churn),
+        "checks_carried": sum(r.carried for r in churn),
+        "cache_hits": sum(r.cache_hits for r in churn),
+        "solver_runs": sum(r.solver_runs for r in churn),
+        "seconds": round(sum(r.seconds for r in churn), 3),
+        "full_audit_equivalent_checks": sum(len(r) for r in churn),
+    }
+    if args.json:
+        json.dump({
+            "command": "watch",
+            "scenario": bundle.name,
+            "baseline": _report_row(reports[0]),
+            "versions": [_report_row(r) for r in churn],
+            "totals": totals,
+        }, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    else:
+        print(f"absorbed {totals['deltas']} deltas with "
+              f"{totals['solver_runs']} solver runs "
+              f"(vs {totals['full_audit_equivalent_checks']} checks across "
+              f"full re-audits); {totals['cache_hits']} cache hits, "
+              f"{totals['checks_carried']} verdicts carried, "
+              f"{totals['seconds']}s total")
+    drifted = sum(r.mismatches for r in churn[-1:])
+    return 0 if drifted == 0 else 1
 
 
 def main(argv=None) -> int:
@@ -177,12 +310,35 @@ def main(argv=None) -> int:
                        help="disable the structural result cache")
     audit.add_argument("--show-traces", action="store_true",
                        help="print counterexample schedules")
+    audit.add_argument("--json", action="store_true",
+                       help="emit structured verdicts/timings as JSON")
+
+    watch = sub.add_parser(
+        "watch",
+        help="replay a churn stream through incremental re-verification",
+    )
+    watch.add_argument("scenario", help="scenario name (see `list`)")
+    watch.add_argument("--size", type=int, default=None,
+                       help="scenario size (groups/subnets/tenants)")
+    watch.add_argument("--deltas", type=int, default=10, metavar="N",
+                       help="number of churn deltas to replay (default: 10)")
+    watch.add_argument("--seed", type=int, default=0,
+                       help="seed for the churn stream")
+    watch.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="re-verify invalidated checks on N workers "
+                            "(0 = one per CPU; default: sequential)")
+    watch.add_argument("--no-cache", action="store_true",
+                       help="disable the warm structural result cache")
+    watch.add_argument("--json", action="store_true",
+                       help="emit per-delta costs and verdicts as JSON")
 
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list(args)
     if args.jobs < 0:
         parser.error("--jobs must be >= 0")
+    if args.command == "watch":
+        return _cmd_watch(args)
     return _cmd_audit(args)
 
 

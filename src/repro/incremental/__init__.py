@@ -1,0 +1,40 @@
+"""Incremental verification: network deltas, change-impact indexing,
+and warm-cache re-verification across network versions (the subsystem
+that turns the one-shot checker into a long-running service)."""
+
+from .delta import (
+    AddHost,
+    AddMiddlebox,
+    DeltaError,
+    EditPolicyRules,
+    LinkDown,
+    LinkUp,
+    NetworkDelta,
+    RemoveHost,
+    RemoveMiddlebox,
+    ReplaceMiddlebox,
+    SetChain,
+)
+from .impact import ChangeImpactIndex, ChangeSummary, ImpactEntry
+from .session import CheckOutcome, DeltaReport, IncrementalSession, TrackedCheck
+
+__all__ = [
+    "NetworkDelta",
+    "DeltaError",
+    "AddHost",
+    "RemoveHost",
+    "AddMiddlebox",
+    "RemoveMiddlebox",
+    "ReplaceMiddlebox",
+    "EditPolicyRules",
+    "SetChain",
+    "LinkDown",
+    "LinkUp",
+    "ChangeImpactIndex",
+    "ChangeSummary",
+    "ImpactEntry",
+    "IncrementalSession",
+    "TrackedCheck",
+    "CheckOutcome",
+    "DeltaReport",
+]

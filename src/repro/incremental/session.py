@@ -1,0 +1,374 @@
+"""Warm-cache re-verification across network versions.
+
+An :class:`IncrementalSession` is the long-running counterpart of the
+one-shot audit: it holds a network version (topology + steering), a set
+of tracked invariant checks, one :class:`repro.core.engine.ResultCache`
+that stays **warm across versions**, and a
+:class:`repro.incremental.impact.ChangeImpactIndex` of the slices each
+check was last verified on.
+
+``apply(delta)`` advances the network one version and re-establishes
+every tracked verdict at a fraction of a full audit's cost, through
+three nested shortcuts:
+
+1. **impact filtering** — checks whose slices the delta provably cannot
+   affect carry their verdict forward without any work at all;
+2. **the warm fingerprint cache** — invalidated checks whose re-built
+   slice is structurally identical (up to node renaming) to anything
+   verified in *any* earlier version reuse that verdict;
+3. **the parallel engine** — the checks that truly need the solver go
+   through :func:`repro.core.engine.execute_jobs`, so they run across
+   worker processes like any batch.
+
+Every ``apply`` returns a :class:`DeltaReport` with the per-version
+cost split (carried / cache hits / solver runs) — the quantities
+``repro watch`` and ``benchmarks/bench_incremental.py`` report.
+``revert()`` undoes the most recent delta using its recorded inverse.
+
+Verdict fidelity is the contract: after every delta, each tracked
+check's status equals what a from-scratch audit of the new version
+would produce (property-tested in
+``tests/property/test_incremental_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.engine import ResultCache, execute_jobs
+from ..core.slicing import SliceClosureError
+from ..core.vmn import VMN
+from ..netmodel.bmc import CheckResult
+from ..network.failures import NO_FAILURE, FailureScenario
+from ..network.topology import Topology
+from ..network.transfer import SteeringPolicy
+from .delta import NetworkDelta
+from .impact import ChangeImpactIndex, ChangeSummary, shared_state_boxes
+
+__all__ = ["TrackedCheck", "CheckOutcome", "DeltaReport", "IncrementalSession"]
+
+
+@dataclass
+class TrackedCheck:
+    """One invariant the session keeps continuously verified."""
+
+    key: int
+    invariant: object
+    label: str = ""
+    expected: Optional[str] = None  # "holds"/"violated" when known
+
+    def describe(self) -> str:
+        return self.label or getattr(
+            self.invariant, "describe", lambda: repr(self.invariant)
+        )()
+
+
+@dataclass
+class CheckOutcome:
+    """A tracked check's verdict at the current version, with how it
+    was (re-)established."""
+
+    check: TrackedCheck
+    result: CheckResult
+    carried: bool  # verdict carried forward by the impact index
+
+    @property
+    def status(self) -> str:
+        return self.result.status
+
+    @property
+    def cached(self) -> bool:
+        return self.result.cache_hit
+
+    @property
+    def ok(self) -> Optional[bool]:
+        if self.check.expected is None:
+            return None
+        return self.status == self.check.expected
+
+
+@dataclass
+class DeltaReport:
+    """Cost and outcome of re-verifying one network version."""
+
+    version: int
+    delta: Optional[str]  # None for the initial full verification
+    outcomes: List[CheckOutcome] = field(default_factory=list)
+    retired: List[TrackedCheck] = field(default_factory=list)
+    added: int = 0
+    seconds: float = 0.0
+
+    def __iter__(self):
+        return iter(self.outcomes)
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def carried(self) -> int:
+        return sum(1 for o in self.outcomes if o.carried)
+
+    @property
+    def invalidated(self) -> int:
+        return len(self.outcomes) - self.carried
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for o in self.outcomes if not o.carried and o.cached)
+
+    @property
+    def solver_runs(self) -> int:
+        return sum(1 for o in self.outcomes if not o.carried and not o.cached)
+
+    @property
+    def mismatches(self) -> int:
+        return sum(1 for o in self.outcomes if o.ok is False)
+
+    def statuses(self) -> Dict[str, str]:
+        """label/description -> verdict, for cross-version comparison."""
+        return {o.check.describe(): o.status for o in self.outcomes}
+
+    def summary(self) -> str:
+        what = self.delta if self.delta is not None else "initial verification"
+        return (
+            f"v{self.version} [{what}]: {len(self.outcomes)} checks — "
+            f"{self.carried} carried, {self.cache_hits} cache hits, "
+            f"{self.solver_runs} solver runs"
+            f"{f', {len(self.retired)} retired' if self.retired else ''}"
+            f" ({self.seconds:.2f}s)"
+        )
+
+
+class IncrementalSession:
+    """Keep an invariant set continuously verified under network churn."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        steering: Optional[SteeringPolicy] = None,
+        scenario: FailureScenario = NO_FAILURE,
+        jobs: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+        **vmn_kwargs,
+    ):
+        self.topology = topology
+        self.steering = steering or SteeringPolicy()
+        self.scenario = scenario
+        self.jobs = jobs
+        self.vmn_kwargs = dict(vmn_kwargs)
+        self.vmn_kwargs.pop("cache", None)
+        self.vmn_kwargs.setdefault("use_cache", True)
+        self.cache = cache if cache is not None else (
+            ResultCache() if self.vmn_kwargs["use_cache"] else None
+        )
+        self.index = ChangeImpactIndex()
+        self.version = 0
+        self._keys = itertools.count()
+        self._checks: Dict[int, TrackedCheck] = {}
+        self._outcomes: Dict[int, CheckOutcome] = {}
+        self._history: List[Tuple[NetworkDelta, List[int], List[TrackedCheck]]] = []
+        self.reports: List[DeltaReport] = []
+        self.vmn = self._build_vmn()
+
+    # ------------------------------------------------------------------
+    # Check management
+    # ------------------------------------------------------------------
+    def track(self, invariant, label: str = "",
+              expected: Optional[str] = None) -> TrackedCheck:
+        """Add an invariant to the tracked set (verified on the next
+        :meth:`verify_pending` / :meth:`apply` / :meth:`baseline`)."""
+        check = TrackedCheck(
+            key=next(self._keys), invariant=invariant,
+            label=label, expected=expected,
+        )
+        self._checks[check.key] = check
+        return check
+
+    @classmethod
+    def from_bundle(cls, bundle, **kwargs) -> "IncrementalSession":
+        """A session over a scenario bundle's topology, steering, and
+        expected-verdict check list (see :mod:`repro.scenarios`)."""
+        kwargs.setdefault("scenario", bundle.scenario)
+        session = cls(bundle.topology, bundle.steering, **kwargs)
+        for check in bundle.checks:
+            session.track(check.invariant, label=check.label,
+                          expected=check.expected)
+        return session
+
+    @property
+    def checks(self) -> List[TrackedCheck]:
+        return [self._checks[k] for k in sorted(self._checks)]
+
+    @property
+    def outcomes(self) -> List[CheckOutcome]:
+        """Current verdicts, in tracked order."""
+        return [self._outcomes[k] for k in sorted(self._outcomes)]
+
+    # ------------------------------------------------------------------
+    # Verification plumbing
+    # ------------------------------------------------------------------
+    def _build_vmn(self) -> VMN:
+        return VMN(
+            self.topology,
+            self.steering,
+            scenario=self.scenario,
+            cache=self.cache,
+            **self.vmn_kwargs,
+        )
+
+    def _verify_keys(self, keys: Sequence[int]) -> None:
+        """Re-verify the given checks on the current version, recording
+        fresh slices in the impact index and results in the cache."""
+        jobs = []
+        for i, key in enumerate(keys):
+            inv = self._checks[key].invariant
+            sl = None
+            if self.vmn.use_slicing:
+                try:
+                    sl = self.vmn.slice_for(inv)
+                except SliceClosureError:
+                    sl = None
+            self.index.record(key, sl)
+            jobs.append(self.vmn.job_for(inv, index=i, with_fingerprint=True))
+        results = execute_jobs(jobs, workers=self.jobs or 1, cache=self.cache)
+        for key, result in zip(keys, results):
+            self._outcomes[key] = CheckOutcome(
+                check=self._checks[key], result=result, carried=False
+            )
+
+    def _report(self, delta: Optional[str], verified: Sequence[int],
+                retired: List[TrackedCheck], added: int,
+                seconds: float) -> DeltaReport:
+        verified_set = set(verified)
+        outcomes = []
+        for key in sorted(self._outcomes):
+            prev = self._outcomes[key]
+            outcome = CheckOutcome(
+                check=prev.check, result=prev.result,
+                carried=key not in verified_set,
+            ) if key not in verified_set else prev
+            self._outcomes[key] = outcome
+            outcomes.append(outcome)
+        report = DeltaReport(
+            version=self.version, delta=delta, outcomes=outcomes,
+            retired=retired, added=added, seconds=seconds,
+        )
+        self.reports.append(report)
+        return report
+
+    def baseline(self) -> DeltaReport:
+        """Version 0: verify every tracked check from scratch (this is
+        the one unavoidable full audit; it also warms the cache)."""
+        started = time.perf_counter()
+        keys = sorted(self._checks)
+        self._verify_keys(keys)
+        return self._report(None, keys, [], len(keys),
+                            time.perf_counter() - started)
+
+    # ------------------------------------------------------------------
+    # The delta loop
+    # ------------------------------------------------------------------
+    def apply(self, delta: NetworkDelta,
+              new_checks: Sequence[Tuple[object, str, Optional[str]]] = ()
+              ) -> DeltaReport:
+        """Advance one version: apply ``delta``, re-verify exactly the
+        checks it can affect, carry every other verdict forward.
+
+        ``new_checks`` are ``(invariant, label, expected)`` triples to
+        start tracking at this version (e.g. the invariants of a newly
+        provisioned tenant)."""
+        return self._apply(delta, new_checks, record=True)
+
+    def _apply(self, delta: NetworkDelta,
+               new_checks: Sequence[Tuple[object, str, Optional[str]]],
+               record: bool) -> DeltaReport:
+        started = time.perf_counter()
+        old_vmn = self.vmn
+        # Snapshot before the in-place mutation: both VMNs alias the
+        # topology, so this is the only way to see the old box set.
+        old_shared = shared_state_boxes(self.topology)
+        self.steering, inverse = delta.apply(self.topology, self.steering)
+        self.version += 1
+        self.vmn = self._build_vmn()
+        change = ChangeSummary.between(old_vmn, self.vmn, delta, old_shared)
+
+        # Checks whose invariants mention nodes that no longer exist
+        # cannot be verified (or hold vacuously); they retire.
+        retired: List[TrackedCheck] = []
+        for key in sorted(self._checks):
+            check = self._checks[key]
+            mentions = getattr(check.invariant, "mentions", frozenset())
+            if any(n not in self.topology for n in mentions):
+                retired.append(self._checks.pop(key))
+                self._outcomes.pop(key, None)
+                self.index.forget(key)
+
+        added_keys = [
+            self.track(inv, label=label, expected=expected).key
+            for inv, label, expected in new_checks
+        ]
+        if record:
+            self._history.append((inverse, added_keys, retired))
+
+        invalidated = self.index.invalidated(
+            change, [k for k in sorted(self._checks) if k not in added_keys]
+        )
+        self._verify_keys(invalidated + added_keys)
+        return self._report(delta.describe(), invalidated + added_keys,
+                            retired, len(added_keys),
+                            time.perf_counter() - started)
+
+    def revert(self) -> DeltaReport:
+        """Undo the most recent not-yet-reverted delta (re-tracking any
+        checks it retired).  Successive calls unwind the delta stack
+        version by version; the warm cache makes returning to a
+        previously seen version cheap.  A revert consumes its history
+        entry rather than recording one — it rewinds the stack, it does
+        not grow it."""
+        if not self._history:
+            raise ValueError("nothing to revert")
+        inverse, added_keys, retired = self._history.pop()
+        for key in added_keys:
+            self._checks.pop(key, None)
+            self._outcomes.pop(key, None)
+            self.index.forget(key)
+        return self._apply(
+            inverse,
+            new_checks=[(c.invariant, c.label, c.expected) for c in retired],
+            record=False,
+        )
+
+    # ------------------------------------------------------------------
+    # Cross-checking
+    # ------------------------------------------------------------------
+    def audit_from_scratch(self, jobs: Optional[int] = None) -> DeltaReport:
+        """What a cold, from-scratch audit of the *current* version
+        costs and concludes: fresh VMN, fresh cache, no carried
+        verdicts.  Does not touch the session's own state — use it to
+        cross-check incremental verdicts or benchmark the saving."""
+        started = time.perf_counter()
+        vmn = VMN(
+            self.topology,
+            self.steering,
+            scenario=self.scenario,
+            cache=ResultCache(),
+            **self.vmn_kwargs,
+        )
+        checks = self.checks
+        jobs_list = [
+            vmn.job_for(c.invariant, index=i, with_fingerprint=True)
+            for i, c in enumerate(checks)
+        ]
+        results = execute_jobs(jobs_list, workers=jobs or self.jobs or 1,
+                               cache=vmn.result_cache)
+        outcomes = [
+            CheckOutcome(check=c, result=r, carried=False)
+            for c, r in zip(checks, results)
+        ]
+        return DeltaReport(
+            version=self.version, delta="full-audit", outcomes=outcomes,
+            seconds=time.perf_counter() - started,
+        )

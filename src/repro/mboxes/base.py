@@ -140,6 +140,15 @@ class MiddleboxModel:
         match.  Default: the model has no address-bearing config."""
         return self
 
+    def edit_rules(self, add=(), remove=()) -> "MiddleboxModel":
+        """A copy with ``(src, dst)`` policy entries added/removed from
+        the model's active rule list — the hook
+        :class:`repro.incremental.EditPolicyRules` deltas apply.  Models
+        without an address-pair rule list don't implement it."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support policy-rule edits"
+        )
+
     # ------------------------------------------------------------------
     # Compilation (the paper's model-to-axioms translation)
     # ------------------------------------------------------------------

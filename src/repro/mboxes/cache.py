@@ -111,3 +111,7 @@ class ContentCache(MiddleboxModel):
     def restricted(self, addresses):
         kept = {(a, b) for a, b in self.deny if a in addresses and b in addresses}
         return ContentCache(self.name, deny=kept)
+
+    def edit_rules(self, add=(), remove=()):
+        deny = (self.deny | frozenset(add)) - frozenset(remove)
+        return ContentCache(self.name, deny=deny)

@@ -53,6 +53,10 @@ class AclFirewall(MiddleboxModel):
         kept = {(a, b) for a, b in self.acl if a in addresses and b in addresses}
         return AclFirewall(self.name, acl=kept)
 
+    def edit_rules(self, add=(), remove=()):
+        acl = (self.acl | frozenset(add)) - frozenset(remove)
+        return AclFirewall(self.name, acl=acl)
+
 
 class LearningFirewall(MiddleboxModel):
     """The paper's Listing 1: stateful firewall with hole punching.
@@ -135,3 +139,14 @@ class LearningFirewall(MiddleboxModel):
             deny=keep(self.deny),
             default_allow=self.default_allow,
         )
+
+    def edit_rules(self, add=(), remove=()):
+        """Edit whichever rule list is active: the deny list on a
+        default-allow (blacklist) firewall, the allow list otherwise."""
+        def edit(pairs):
+            return (frozenset(pairs) | frozenset(add)) - frozenset(remove)
+        if self.default_allow:
+            return LearningFirewall(
+                self.name, deny=edit(self.deny), default_allow=True
+            )
+        return LearningFirewall(self.name, allow=edit(self.allow))

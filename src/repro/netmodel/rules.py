@@ -23,7 +23,7 @@ from typing import FrozenSet, Optional
 from ..smt import And, Eq, Or, Term
 from .packets import SymPacket
 
-__all__ = ["HeaderMatch", "TransferRule"]
+__all__ = ["HeaderMatch", "TransferRule", "rule_mentions", "rules_delta"]
 
 
 def _freeze(values) -> Optional[FrozenSet]:
@@ -109,3 +109,42 @@ class TransferRule:
     def describe(self) -> str:
         frm = "any" if self.from_nodes is None else "{" + ",".join(sorted(self.from_nodes)) + "}"
         return f"from {frm} -> {self.to}"
+
+
+# ----------------------------------------------------------------------
+# Delta support: comparing the transfer functions of two network
+# versions.  Incremental re-verification uses this to find which nodes'
+# forwarding behaviour a configuration change actually altered.
+# ----------------------------------------------------------------------
+def rule_mentions(rule: TransferRule) -> FrozenSet[str]:
+    """Every node name a transfer rule refers to (match fields, the
+    delivery target, and the ingress restriction)."""
+    names = {rule.to}
+    for field in (rule.match.src, rule.match.dst, rule.match.origin):
+        if field is not None:
+            names.update(field)
+    if rule.from_nodes is not None:
+        names.update(rule.from_nodes)
+    return frozenset(names)
+
+
+def rules_delta(
+    old: "tuple[TransferRule, ...]",
+    new: "tuple[TransferRule, ...]",
+) -> FrozenSet[str]:
+    """Node names whose transfer behaviour differs between two rule sets.
+
+    Rules are hashable values, so the symmetric difference of the two
+    sets is exactly the rules that appeared, disappeared, or changed;
+    the union of their mention sets over-approximates the nodes a
+    change can influence.  (Slice-precise impact additionally projects
+    both rule sets onto the slice — see
+    :mod:`repro.incremental.impact` — because e.g. a new ingress node
+    joining a rule's ``from_nodes`` mentions every destination of that
+    rule while being invisible to slices that exclude the new node.)
+    """
+    changed = set(old).symmetric_difference(new)
+    names: set = set()
+    for rule in changed:
+        names.update(rule_mentions(rule))
+    return frozenset(names)

@@ -66,6 +66,36 @@ class Topology:
         self.graph.add_edge(a, b)
 
     # ------------------------------------------------------------------
+    # Mutation API (incremental verification applies NetworkDeltas here)
+    # ------------------------------------------------------------------
+    def remove_node(self, name: str) -> Node:
+        """Remove a node and every link attached to it."""
+        if name not in self._nodes:
+            raise KeyError(f"unknown node {name!r}")
+        node = self._nodes.pop(name)
+        self.graph.remove_node(name)
+        return node
+
+    def remove_link(self, a: str, b: str) -> None:
+        if not self.graph.has_edge(a, b):
+            raise KeyError(f"no link between {a!r} and {b!r}")
+        self.graph.remove_edge(a, b)
+
+    def has_link(self, a: str, b: str) -> bool:
+        return self.graph.has_edge(a, b)
+
+    def replace_middlebox(self, model) -> object:
+        """Swap the model of the middlebox named ``model.name``; links
+        and position are unchanged.  Returns the previous model (so the
+        caller can build the inverse edit)."""
+        node = self._nodes.get(model.name)
+        if node is None or node.kind != MIDDLEBOX:
+            raise KeyError(f"no middlebox named {model.name!r}")
+        old = node.model
+        node.model = model
+        return old
+
+    # ------------------------------------------------------------------
     def node(self, name: str) -> Node:
         return self._nodes[name]
 

@@ -1,5 +1,12 @@
-"""Evaluation scenarios (paper §5) and misconfiguration injectors."""
+"""Evaluation scenarios (paper §5), misconfiguration injectors, and
+churn streams for incremental re-verification."""
 
+from .churn import (
+    CHURN_GENERATORS,
+    ChurnEvent,
+    enterprise_firewall_churn,
+    tenant_churn,
+)
 from .common import ExpectedCheck, ScenarioBundle
 from .datacenter import (
     datacenter,
@@ -14,6 +21,10 @@ from .multitenant import multitenant
 __all__ = [
     "ExpectedCheck",
     "ScenarioBundle",
+    "ChurnEvent",
+    "CHURN_GENERATORS",
+    "enterprise_firewall_churn",
+    "tenant_churn",
     "datacenter",
     "datacenter_redundancy",
     "datacenter_traversal",

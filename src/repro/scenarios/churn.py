@@ -1,0 +1,263 @@
+"""Churn streams: realistic delta sequences over the §5 scenarios.
+
+Production networks are not verified once — they drift.  The generators
+here turn two evaluation scenarios into reproducible streams of
+:class:`repro.incremental.NetworkDelta` edits, for replay through an
+:class:`repro.incremental.IncrementalSession` (the ``repro watch``
+command and ``benchmarks/bench_incremental.py`` both consume them):
+
+* :func:`enterprise_firewall_churn` — the §5.3.1 enterprise under
+  operator churn: protective firewall rules deleted and restored
+  (the paper's §5.1 misconfiguration injection, now as a *stream*),
+  redundant rules pushed and cleaned up, guest hosts provisioned and
+  drained, backbone links flapping;
+* :func:`tenant_churn` — the §5.3.2 multi-tenant datacenter under
+  tenant lifecycle churn: a tenant's firewall and VMs provisioned (with
+  the security-group rule pushes to every *other* tenant that real
+  clouds must do), then deprovisioned.
+
+Streams are deterministic in ``(scenario size, n_events, seed)``.  Each
+event is one delta plus optionally the new invariants that start being
+tracked at that version (a new tenant brings its own checks) and the
+expected verdict for drift detection: deleting a quarantine rule makes
+the tracked isolation invariant *violated*, and the watch loop reports
+the mismatch against the recorded expectation — the alarm a production
+deployment would page on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core.invariants import CanReach, FlowIsolation
+from ..incremental.delta import (
+    AddHost,
+    AddMiddlebox,
+    EditPolicyRules,
+    LinkDown,
+    LinkUp,
+    NetworkDelta,
+    RemoveHost,
+    RemoveMiddlebox,
+)
+from ..mboxes import LearningFirewall
+from .common import ScenarioBundle
+
+__all__ = ["ChurnEvent", "enterprise_firewall_churn", "tenant_churn", "CHURN_GENERATORS"]
+
+HOLDS = "holds"
+VIOLATED = "violated"
+
+#: ``(invariant, label, expected)`` — the triple IncrementalSession.apply takes.
+NewCheck = Tuple[object, str, Optional[str]]
+
+
+@dataclass
+class ChurnEvent:
+    """One step of a churn stream."""
+
+    delta: NetworkDelta
+    new_checks: Tuple[NewCheck, ...] = ()
+    note: str = ""
+
+    def describe(self) -> str:
+        return self.note or self.delta.describe()
+
+
+def enterprise_firewall_churn(
+    bundle: ScenarioBundle,
+    n_events: int = 10,
+    seed: int = 0,
+) -> List[ChurnEvent]:
+    """Firewall-rule and host churn against the enterprise scenario.
+
+    The stream cycles through paired edits so the network keeps
+    returning to a healthy state (which is also what exercises the warm
+    cache — re-verifying a version seen before should cost nothing):
+
+    1. delete one quarantined host's protective deny rules (verdict
+       drift: its isolation invariants flip to violated);
+    2. restore them;
+    3. provision a guest host in a subnet, with its own reachability
+       checks;
+    4. drain it again;
+    5. push a redundant deny rule (no verdict changes — the cheap case);
+    6. clean it up;
+    7. fail a subnet's backbone link;
+    8. repair it.
+    """
+    topo = bundle.topology
+    rng = random.Random(seed)
+    quarantined = sorted(h.name for h in topo.hosts if h.name.startswith("quar"))
+    private = sorted(h.name for h in topo.hosts if h.name.startswith("priv"))
+    subnets = sorted(s.name for s in topo.switches if s.name.startswith("subnet"))
+    if not (quarantined and private and subnets):
+        raise ValueError("bundle does not look like the enterprise scenario")
+
+    events: List[ChurnEvent] = []
+    serial = 0
+    while len(events) < n_events:
+        phase = len(events) % 8
+        if phase == 0:
+            victim = rng.choice(quarantined)
+            pairs = (("internet", victim), (victim, "internet"))
+            events.append(ChurnEvent(
+                EditPolicyRules("fw", remove=pairs),
+                note=f"misconfig: drop quarantine rules for {victim}",
+            ))
+            events.append(ChurnEvent(
+                EditPolicyRules("fw", add=pairs),
+                note=f"repair: restore quarantine rules for {victim}",
+            ))
+        elif phase == 2:
+            guest = f"guest{serial}"
+            serial += 1
+            subnet = rng.choice(subnets)
+            checks: Tuple[NewCheck, ...] = (
+                (CanReach(guest, "internet"),
+                 f"guest in {guest}", VIOLATED),
+                (CanReach("internet", guest),
+                 f"guest out {guest}", VIOLATED),
+            )
+            events.append(ChurnEvent(
+                AddHost(guest, links=(subnet,), policy_group="public",
+                        chain=("fw", "gw")),
+                new_checks=checks,
+                note=f"provision guest {guest} in {subnet}",
+            ))
+            events.append(ChurnEvent(
+                RemoveHost(guest), note=f"drain guest {guest}",
+            ))
+        elif phase == 4:
+            host = rng.choice(private)
+            pair = (("badguy", host),)
+            events.append(ChurnEvent(
+                EditPolicyRules("fw", add=pair),
+                note=f"push redundant deny for {host}",
+            ))
+            events.append(ChurnEvent(
+                EditPolicyRules("fw", remove=pair),
+                note=f"clean up redundant deny for {host}",
+            ))
+        else:  # phase == 6
+            subnet = rng.choice(subnets)
+            events.append(ChurnEvent(
+                LinkDown(subnet, "backbone"),
+                note=f"link failure {subnet}<->backbone",
+            ))
+            events.append(ChurnEvent(
+                LinkUp(subnet, "backbone"),
+                note=f"link repair {subnet}<->backbone",
+            ))
+    return events[:n_events]
+
+
+def _tenant_fleet(topo) -> List[int]:
+    """Tenant ids present in a multitenant topology, by firewall name."""
+    return sorted(
+        int(mb.name[1:-2])
+        for mb in topo.middleboxes
+        if mb.name.startswith("t") and mb.name.endswith("fw")
+    )
+
+
+def tenant_churn(
+    bundle: ScenarioBundle,
+    n_events: int = 8,
+    seed: int = 0,
+) -> List[ChurnEvent]:
+    """Tenant add/remove churn against the multi-tenant datacenter.
+
+    Provisioning tenant *T* is what a real cloud control plane does on
+    sign-up, as individually verifiable steps: deploy the tenant's
+    virtual-switch firewall, bring up its public and private VMs, and
+    push the new VM addresses into every *existing* tenant's deny list
+    (their private security groups must exclude the newcomer).  The
+    final step starts tracking the new tenant's §5.3.2 invariants.
+    Deprovisioning replays the same steps backwards.  ``seed`` is
+    accepted for signature parity; the lifecycle itself is fixed.
+    """
+    topo = bundle.topology
+    del seed  # lifecycle order is deterministic
+    existing = _tenant_fleet(topo)
+    if not existing:
+        raise ValueError("bundle does not look like the multitenant scenario")
+    all_vms = sorted(h.name for h in topo.hosts)
+    priv_by_tenant = {
+        t: sorted(v for v in all_vms if v.startswith(f"t{t}priv"))
+        for t in existing
+    }
+    next_id = max(existing) + 1
+    anchor = existing[0]  # invariants for new tenants pair with tenant 0
+
+    events: List[ChurnEvent] = []
+    live_vms = list(all_vms)
+    tenant = next_id
+    while len(events) < n_events:
+        pub, priv, fw = f"t{tenant}pub0", f"t{tenant}priv0", f"t{tenant}fw"
+        deny = tuple((other, priv) for other in sorted(live_vms))
+        checks: Tuple[NewCheck, ...] = (
+            (FlowIsolation(priv, f"t{anchor}priv0"),
+             f"Priv-Priv t{anchor}->t{tenant}", HOLDS),
+            (CanReach(pub, f"t{anchor}priv0"),
+             f"Priv-Pub t{anchor}->t{tenant}", VIOLATED),
+        )
+        provision = [
+            ChurnEvent(
+                AddMiddlebox(
+                    LearningFirewall(fw, deny=deny, default_allow=True),
+                    links=("fabric",),
+                ),
+                note=f"deploy {fw}",
+            ),
+            ChurnEvent(
+                AddHost(pub, links=("fabric",),
+                        policy_group=f"t{tenant}-public", chain=(fw,)),
+                note=f"boot {pub}",
+            ),
+            ChurnEvent(
+                AddHost(priv, links=("fabric",),
+                        policy_group=f"t{tenant}-private", chain=(fw,)),
+                note=f"boot {priv}",
+            ),
+        ]
+        # Existing tenants' security groups must exclude the new VMs.
+        rule_pushes = [
+            ChurnEvent(
+                EditPolicyRules(
+                    f"t{t}fw",
+                    add=tuple((vm, p) for vm in (pub, priv)
+                              for p in priv_by_tenant[t]),
+                ),
+                note=f"push t{tenant} addresses to t{t}fw",
+            )
+            for t in existing
+        ]
+        rule_pushes[-1].new_checks = checks
+        deprovision = [
+            ChurnEvent(RemoveHost(priv), note=f"drain {priv}"),
+            ChurnEvent(RemoveHost(pub), note=f"drain {pub}"),
+            ChurnEvent(RemoveMiddlebox(fw), note=f"decommission {fw}"),
+        ] + [
+            ChurnEvent(
+                EditPolicyRules(
+                    f"t{t}fw",
+                    remove=tuple((vm, p) for vm in (pub, priv)
+                                 for p in priv_by_tenant[t]),
+                ),
+                note=f"clean t{tenant} addresses from t{t}fw",
+            )
+            for t in existing
+        ]
+        events.extend(provision + rule_pushes + deprovision)
+        tenant += 1
+    return events[:n_events]
+
+
+#: scenario name -> churn generator, for the ``repro watch`` command.
+CHURN_GENERATORS = {
+    "enterprise": enterprise_firewall_churn,
+    "multitenant": tenant_churn,
+}

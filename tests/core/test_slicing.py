@@ -80,6 +80,64 @@ class TestSliceConstruction:
             restrict_rules(rules, {"a", "b"})
 
 
+class TestClosureErrorPaths:
+    """What happens when the slice is *not* closed under forwarding."""
+
+    BAD_RULES = (
+        # Traffic for h0_0 is carried through a node no slice-construction
+        # step would pull in — closure under forwarding fails.
+        TransferRule.of(
+            HeaderMatch.of(dst={"h0_0"}), to="shadow-relay",
+            from_nodes={"internet"},
+        ),
+    )
+
+    def test_error_names_the_leaking_node(self):
+        with pytest.raises(SliceClosureError) as err:
+            restrict_rules(self.BAD_RULES, {"h0_0", "internet"})
+        assert "shadow-relay" in str(err.value)
+        assert "h0_0" in str(err.value)
+
+    def test_vmn_falls_back_to_whole_network(self, enterprise):
+        """slice_for raises; network_for catches and verifies unsliced
+        (the paper: 'VMN can still be used to verify moderate sized
+        networks which violate these restrictions')."""
+        topo, steering = enterprise(3)
+        vmn = VMN(topo, steering)
+        vmn.rules = vmn.rules + self.BAD_RULES
+        vmn._slice_cache.clear()
+        invariant = NodeIsolation("h0_0", "internet")
+        with pytest.raises(SliceClosureError):
+            vmn.slice_for(invariant)
+        net, slice_size = vmn.network_for(invariant)
+        assert slice_size is None
+        assert net is vmn.whole_network()
+
+    def test_closure_error_is_memoized(self, enterprise):
+        """The slice cache stores the failure too: repeated calls for
+        the same mention set re-raise without re-building."""
+        topo, steering = enterprise(3)
+        vmn = VMN(topo, steering)
+        vmn.rules = vmn.rules + self.BAD_RULES
+        invariant = NodeIsolation("h0_0", "internet")
+        with pytest.raises(SliceClosureError) as first:
+            vmn.slice_for(invariant)
+        with pytest.raises(SliceClosureError) as second:
+            vmn.slice_for(invariant)
+        assert first.value is second.value
+
+    def test_unaffected_invariants_still_slice(self, enterprise):
+        """A closure failure is per-mention-set: other invariants keep
+        their (working) slices."""
+        topo, steering = enterprise(3)
+        vmn = VMN(topo, steering)
+        vmn.rules = vmn.rules + self.BAD_RULES
+        with pytest.raises(SliceClosureError):
+            vmn.slice_for(NodeIsolation("h0_0", "internet"))
+        _, slice_size = vmn.network_for(NodeIsolation("h1_0", "internet"))
+        assert slice_size is not None
+
+
 class TestSliceSoundness:
     """The paper's theorem: invariant holds in slice <=> holds in network.
 

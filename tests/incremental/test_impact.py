@@ -1,0 +1,97 @@
+"""Change-impact index semantics (pure set arithmetic, no solver)."""
+
+from repro.core.slicing import Slice
+from repro.incremental import ChangeImpactIndex, ChangeSummary, ImpactEntry
+from repro.netmodel import HeaderMatch, TransferRule, VerificationNetwork
+
+
+def rule(dst, to, frm=None):
+    return TransferRule.of(HeaderMatch.of(dst=dst), to=to, from_nodes=frm)
+
+
+def entry(nodes, reps=False):
+    return ImpactEntry(nodes=frozenset(nodes), used_representatives=reps)
+
+
+def summary(touched=(), old=(), new=(), reps=False, shared=False):
+    return ChangeSummary(
+        touched=frozenset(touched),
+        old_rules=tuple(old),
+        new_rules=tuple(new),
+        representatives_changed=reps,
+        shared_boxes_changed=shared,
+    )
+
+
+class TestAffects:
+    def test_whole_network_always_invalidated(self):
+        assert summary().affects(ImpactEntry(nodes=None))
+
+    def test_disjoint_touch_and_identical_rules_is_safe(self):
+        rules = [rule({"a"}, "fw", {"b"})]
+        change = summary(touched={"x"}, old=rules, new=rules)
+        assert not change.affects(entry({"a", "b", "fw"}))
+
+    def test_touched_slice_node_invalidates(self):
+        change = summary(touched={"fw"})
+        assert change.affects(entry({"a", "fw"}))
+        assert not change.affects(entry({"a", "b"}))
+
+    def test_shared_box_change_invalidates_everything(self):
+        change = summary(shared=True)
+        assert change.affects(entry({"a"}))
+
+    def test_representative_change_hits_representative_slices_only(self):
+        change = summary(reps=True)
+        assert change.affects(entry({"a"}, reps=True))
+        assert not change.affects(entry({"a"}, reps=False))
+
+    def test_rule_regrouping_outside_slice_is_invisible(self):
+        """A new ingress node joining from_nodes, and dst-group splits,
+        are invisible to slices that exclude the new node."""
+        old = [rule({"a", "b"}, "fw", {"a", "b"})]
+        new = [rule({"a"}, "fw", {"a", "b", "h"}),
+               rule({"b"}, "fw", {"a", "b", "h"}),
+               rule({"h"}, "fw", {"a", "b"})]
+        change = summary(touched={"h"}, old=old, new=new)
+        assert not change.affects(entry({"a", "b", "fw"}))
+
+    def test_rule_change_inside_slice_invalidates(self):
+        old = [rule({"a"}, "fw", {"b"})]
+        new = [rule({"a"}, "fw", {"b", "c"})]  # new ingress c IS in slice
+        change = summary(touched={"x"}, old=old, new=new)
+        assert change.affects(entry({"a", "b", "c", "fw"}))
+
+    def test_closure_breaking_rule_invalidates(self):
+        old = [rule({"a"}, "fw", {"b"})]
+        new = [rule({"a"}, "outsider", {"b"})]  # delivers outside the slice
+        change = summary(touched={"x"}, old=old, new=new)
+        assert change.affects(entry({"a", "b", "fw"}))
+
+
+class TestIndex:
+    def _slice(self, nodes, reps=False):
+        return Slice(
+            network=VerificationNetwork(hosts=tuple(sorted(nodes))),
+            nodes=frozenset(nodes),
+            used_representatives=reps,
+        )
+
+    def test_record_and_invalidate(self):
+        index = ChangeImpactIndex()
+        index.record(0, self._slice({"a", "fw"}))
+        index.record(1, self._slice({"b", "fw"}))
+        index.record(2, None)  # whole-network fallback
+        hit = index.invalidated(summary(touched={"a"}))
+        assert sorted(hit) == [0, 2]
+
+    def test_unknown_keys_always_invalidated(self):
+        index = ChangeImpactIndex()
+        assert index.invalidated(summary(), keys=[7]) == [7]
+
+    def test_forget(self):
+        index = ChangeImpactIndex()
+        index.record(0, self._slice({"a"}))
+        index.forget(0)
+        assert 0 not in index
+        assert len(index) == 0

@@ -1,5 +1,7 @@
 """Behavioural tests for the NAT model (paper Listing 2)."""
 
+import pytest
+
 from repro.core import CanReach, FlowIsolation, NodeIsolation
 from repro.mboxes import NAT
 from repro.netmodel import (
@@ -95,6 +97,7 @@ class TestInbound:
 
 
 class TestMappingConsistency:
+    @pytest.mark.slow
     def test_port_injectivity_blocks_cross_flow_reuse(self):
         """Two distinct flows cannot share a public port, so a reply to
         flow A's port is never delivered into flow B.  We probe with a

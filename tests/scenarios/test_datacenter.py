@@ -2,8 +2,13 @@
 
 The key claim replicated here is the paper's: VMN detects *all* the
 injected misconfigurations and reports *no false positives*.
+
+These are the longest BMC runs in the suite (the §5.2 cache scenarios
+solve multi-packet data-isolation queries), so the whole module is
+``slow``: the CI matrix skips it and the dedicated slow job runs it.
 """
 
+import pytest
 
 from repro.scenarios.datacenter import (
     datacenter,
@@ -11,6 +16,9 @@ from repro.scenarios.datacenter import (
     datacenter_traversal,
     datacenter_with_caches,
 )
+
+
+pytestmark = pytest.mark.slow
 
 
 def assert_expected(bundle, max_checks=None):

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import SCENARIOS, main
@@ -39,3 +41,50 @@ class TestAudit:
     def test_multitenant_has_no_injector(self):
         with pytest.raises(SystemExit):
             main(["audit", "multitenant", "--misconfig"])
+
+
+class TestAuditJson:
+    def test_structured_verdicts(self, capsys):
+        rc = main(["audit", "isp", "--size", "2", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert payload["command"] == "audit"
+        assert payload["mismatches"] == 0
+        assert payload["n_checks"] == len(payload["checks"])
+        for check in payload["checks"]:
+            assert check["status"] == check["expected"]
+            assert check["solve_seconds"] >= 0
+        # Violated checks carry their counterexample schedule.
+        assert any(
+            c["trace"] for c in payload["checks"] if c["status"] == "violated"
+        )
+
+
+class TestWatch:
+    def test_replays_churn_stream(self, capsys):
+        rc = main(["watch", "enterprise", "--size", "3", "--deltas", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "DRIFT" in out          # the misconfig delta is flagged...
+        assert "absorbed 2 deltas" in out  # ...and the stream completes
+
+    def test_json_reports_per_delta_costs(self, capsys):
+        rc = main(["watch", "enterprise", "--size", "3", "--deltas", "2",
+                   "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert payload["command"] == "watch"
+        assert len(payload["versions"]) == 2
+        totals = payload["totals"]
+        assert totals["solver_runs"] + totals["cache_hits"] \
+            + totals["checks_carried"] == totals["full_audit_equivalent_checks"]
+        # The quarantine-rule deletion drifts, the restore heals.
+        assert payload["versions"][0]["drift"]
+        assert not payload["versions"][1]["drift"]
+
+    def test_unknown_scenario(self):
+        assert main(["watch", "nonsense"]) == 2
+
+    def test_scenario_without_churn_generator(self, capsys):
+        assert main(["watch", "isp"]) == 2
+        assert "watchable" in capsys.readouterr().out
