@@ -31,10 +31,11 @@ import argparse
 import json
 import sys
 import time
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 from .core.engine import default_workers, execute_jobs
 from .incremental import IncrementalSession
+from .netmodel.bmc import SOLVER_COUNTERS
 from .scenarios import (
     CHURN_GENERATORS,
     ScenarioBundle,
@@ -156,14 +157,20 @@ def _cmd_audit(args) -> int:
         vmn.job_for(check.invariant, index=i)
         for i, check in enumerate(bundle.checks)
     ]
-    results = execute_jobs(job_list, workers=workers, cache=vmn.result_cache)
+    results = execute_jobs(job_list, workers=workers, cache=vmn.result_cache,
+                           solver_pool=vmn.solver_pool)
     elapsed = time.perf_counter() - started
 
     mismatches = 0
     rows = []
+    solver_totals = {k: 0 for k in _SOLVER_COUNTERS}
     for check, job, result in zip(bundle.checks, job_list, results):
         ok = result.status == check.expected
         mismatches += 0 if ok else 1
+        solver = _solver_row(result)
+        if solver is not None and not result.cache_hit:
+            for key in _SOLVER_COUNTERS:
+                solver_totals[key] += solver[key]
         rows.append({
             "label": check.label,
             "invariant": check.invariant.describe(),
@@ -173,6 +180,7 @@ def _cmd_audit(args) -> int:
             "slice_size": job.slice_size,
             "cached": result.cache_hit,
             "solve_seconds": round(result.solve_seconds, 4),
+            "solver": solver,
             "trace": str(result.trace) if result.trace is not None else None,
         })
         if args.json:
@@ -194,6 +202,7 @@ def _cmd_audit(args) -> int:
             "n_checks": len(rows),
             "mismatches": mismatches,
             "elapsed_seconds": round(elapsed, 3),
+            "solver_totals": solver_totals,
             "checks": rows,
         }, sys.stdout, indent=2)
         sys.stdout.write("\n")
@@ -201,6 +210,30 @@ def _cmd_audit(args) -> int:
         print(f"{len(bundle.checks)} invariants in {elapsed:.1f}s; "
               f"{mismatches} unexpected verdicts")
     return 0 if mismatches == 0 else 1
+
+
+#: Per-check solver-work counters surfaced in ``audit --json``.  These
+#: are this check's *deltas* of the solver's cumulative counters (the
+#: incremental solver never resets them — ``cumulative`` in each row
+#: carries the running totals of the warm solver that served it).
+_SOLVER_COUNTERS = SOLVER_COUNTERS
+
+
+def _solver_row(result) -> Optional[dict]:
+    """Solver statistics of one check, or ``None`` for pre-solver-era
+    cached results that carry no counters."""
+    stats = result.stats
+    if not all(key in stats for key in _SOLVER_COUNTERS):
+        return None
+    row = {key: stats[key] for key in _SOLVER_COUNTERS}
+    row.update(
+        vars=stats.get("vars"),
+        clauses=stats.get("clauses"),
+        learnts=stats.get("learnts"),
+        warm=bool(stats.get("warm")),
+        cumulative=stats.get("cumulative"),
+    )
+    return row
 
 
 def _report_row(report) -> dict:

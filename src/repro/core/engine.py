@@ -26,6 +26,14 @@ Three pieces:
   deterministically: the same ordering and verdicts as the sequential
   path, regardless of worker count.
 
+* a **warm solver pool** (:class:`repro.netmodel.bmc.SolverPool`,
+  threaded through by the sequential path): jobs carry the exact
+  structural key of their SMT encoding (:func:`encoding_key` — no
+  renaming, unlike the fingerprint), and jobs with equal keys lease
+  the same live :class:`repro.netmodel.bmc.IncrementalBMC`, so every
+  invariant verified on a slice reuses its network axioms' CNF and the
+  learned clauses of all previous checks on that slice.
+
 Soundness of cache reuse rests on the same argument as the paper's
 symmetry optimization (§4.2): the SMT encoding mentions node names only
 through the structures fingerprinted here, so isomorphic problems have
@@ -43,13 +51,19 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..netmodel.bmc import CheckResult, check, default_depth
+from ..netmodel.bmc import CheckResult, SolverPool, check, default_depth, encoding_key
+from ..netmodel.canon import Unfingerprintable
+from ..netmodel.canon import canon as _canon
+from ..netmodel.canon import collect_names as _collect_names
+from ..netmodel.canon import field_values as _field_values
 from ..netmodel.system import VerificationNetwork
 
 __all__ = [
     "Unfingerprintable",
     "fingerprint",
     "ResultCache",
+    "SolverPool",
+    "encoding_key",
     "VerificationJob",
     "resolve_bmc_params",
     "execute_jobs",
@@ -60,79 +74,9 @@ __all__ = [
 _PLACEHOLDER = "\x00n"
 
 
-class Unfingerprintable(Exception):
-    """The problem contains state the canonicalizer cannot serialize."""
-
-
 def default_workers() -> int:
     """Worker count when the caller does not specify one."""
     return os.cpu_count() or 1
-
-
-# ----------------------------------------------------------------------
-# Structural fingerprints
-# ----------------------------------------------------------------------
-def _collect_names(value, known: frozenset, order: List[str]) -> None:
-    """Append network node names in ``value`` to ``order``, first
-    appearance wins; containers are walked deterministically."""
-    if isinstance(value, str):
-        if value in known and value not in order:
-            order.append(value)
-    elif isinstance(value, (tuple, list)):
-        for v in value:
-            _collect_names(v, known, order)
-    elif isinstance(value, (set, frozenset)):
-        for v in sorted(value, key=repr):
-            _collect_names(v, known, order)
-    elif isinstance(value, dict):
-        for k in sorted(value, key=repr):
-            _collect_names(k, known, order)
-            _collect_names(value[k], known, order)
-
-
-def _field_values(obj) -> List[Tuple[str, object]]:
-    """(name, value) pairs of an invariant or middlebox, in a stable
-    order: dataclass field order when available, else sorted ``vars``."""
-    if dataclasses.is_dataclass(obj):
-        return [(f.name, getattr(obj, f.name)) for f in dataclasses.fields(obj)]
-    return sorted(vars(obj).items())
-
-
-def _canon(value, rename: Dict[str, str]):
-    """Canonical, hashable form of ``value`` with node names renamed."""
-    if isinstance(value, str):
-        return rename.get(value, value)
-    if isinstance(value, (bool, int, float)) or value is None:
-        return value
-    if isinstance(value, (tuple, list)):
-        return ("seq",) + tuple(_canon(v, rename) for v in value)
-    if isinstance(value, (set, frozenset)):
-        return ("set",) + tuple(
-            sorted((_canon(v, rename) for v in value), key=repr)
-        )
-    if isinstance(value, dict):
-        return ("map",) + tuple(
-            sorted(
-                ((_canon(k, rename), _canon(v, rename)) for k, v in value.items()),
-                key=repr,
-            )
-        )
-    if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        return (
-            "dc",
-            type(value).__qualname__,
-            tuple((n, _canon(v, rename)) for n, v in _field_values(value)),
-        )
-    if hasattr(value, "__dict__") and not callable(value):
-        # Middlebox models and other plain config objects: their
-        # behaviour is a pure function of (class, attributes).
-        return (
-            "obj",
-            type(value).__module__,
-            type(value).__qualname__,
-            tuple((n, _canon(v, rename)) for n, v in _field_values(value)),
-        )
-    raise Unfingerprintable(f"cannot canonicalize {type(value).__name__}: {value!r}")
 
 
 def fingerprint(
@@ -253,7 +197,13 @@ def resolve_bmc_params(net: VerificationNetwork, invariant, kwargs: dict) -> dic
 
 @dataclass
 class VerificationJob:
-    """One check, self-contained and picklable: ship it to any worker."""
+    """One check, self-contained and picklable: ship it to any worker.
+
+    ``warm_key`` is the exact encoding key (:func:`encoding_key`) used
+    to lease a warm solver when the job runs in-process; worker
+    processes ignore it (a live solver cannot cross a pickle
+    boundary), so parallel dispatch stays cold per job.
+    """
 
     index: int
     network: VerificationNetwork
@@ -261,9 +211,16 @@ class VerificationJob:
     params: dict = field(default_factory=dict)
     fingerprint: Optional[str] = None
     slice_size: Optional[int] = None  # None = whole-network verification
+    warm_key: Optional[str] = None
 
-    def run(self) -> CheckResult:
-        return check(self.network, self.invariant, **self.params)
+    def run(self, warm: Optional[SolverPool] = None) -> CheckResult:
+        return check(
+            self.network,
+            self.invariant,
+            warm=warm,
+            warm_key=self.warm_key,
+            **self.params,
+        )
 
 
 def _execute_job(job: VerificationJob) -> Tuple[int, CheckResult]:
@@ -291,6 +248,7 @@ def execute_jobs(
     jobs: Sequence[VerificationJob],
     workers: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    solver_pool: Optional[SolverPool] = None,
 ) -> List[CheckResult]:
     """Run a batch of jobs and return their results **in job order**.
 
@@ -301,6 +259,12 @@ def execute_jobs(
     stored verdict instead of running the solver.  Which job of a
     duplicate set runs is decided by batch order, not scheduling, so the
     outcome is deterministic for any worker count.
+
+    ``solver_pool`` supplies warm solvers to the inline path: jobs with
+    equal ``warm_key`` (same slice, same BMC parameters) share one
+    live encoding and its learned clauses.  The pool only affects how
+    fast a verdict is reached, never which verdict — pool workers
+    ignore it.
     """
     if workers is None:
         workers = default_workers()
@@ -334,8 +298,7 @@ def execute_jobs(
             pool.join()
     else:
         for job in to_run:
-            index, result = _execute_job(job)
-            results[index] = result
+            results[job.index] = job.run(solver_pool)
 
     for job in to_run:
         # Reattach the caller's invariant object (pool results carry an

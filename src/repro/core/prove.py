@@ -102,10 +102,17 @@ def prove(
     net: VerificationNetwork,
     invariant: Invariant,
     n_ports: int = 4,
+    solver_pool=None,
     **bmc_kwargs,
 ) -> ProofResult:
-    """BMC verdict, upgraded to an unbounded proof when possible."""
-    bmc = check(net, invariant, n_ports=n_ports, **bmc_kwargs)
+    """BMC verdict, upgraded to an unbounded proof when possible.
+
+    ``solver_pool`` (a :class:`repro.netmodel.bmc.SolverPool`) lets a
+    caller proving several invariants on the same network keep one warm
+    solver per encoding across ``prove`` calls; the explicit-state
+    cross-check is unaffected.
+    """
+    bmc = check(net, invariant, n_ports=n_ports, warm=solver_pool, **bmc_kwargs)
     if bmc.status == VIOLATED:
         # A counterexample is a proof regardless of depth.
         return ProofResult(

@@ -38,7 +38,15 @@ from ..network.failures import NO_FAILURE, FailureScenario
 from ..network.forwarding import ForwardingState, shortest_path_tables
 from ..network.topology import Topology
 from ..network.transfer import SteeringPolicy, compute_transfer_rules
-from .engine import ResultCache, VerificationJob, execute_jobs, fingerprint, resolve_bmc_params
+from .engine import (
+    ResultCache,
+    SolverPool,
+    VerificationJob,
+    encoding_key,
+    execute_jobs,
+    fingerprint,
+    resolve_bmc_params,
+)
 from .invariants import Invariant
 from .policy import PolicyClasses, policy_equivalence_classes
 from .results import InvariantOutcome, Report
@@ -73,6 +81,11 @@ def verify_under_failures(
     scenario_list = list(scenarios)
     if cache is None and vmn_kwargs.get("use_cache", True):
         cache = ResultCache()
+    # One warm pool across scenarios: failure scenarios that resolve to
+    # the same slice encoding share a live solver on the inline path.
+    solver_pool = (
+        SolverPool() if vmn_kwargs.get("use_warm", True) else None
+    )
     job_list = []
     for i, scenario in enumerate(scenario_list):
         vmn = VMN(
@@ -80,10 +93,13 @@ def verify_under_failures(
             steering_for(scenario),
             scenario=scenario,
             cache=cache,
+            solver_pool=solver_pool,
             **vmn_kwargs,
         )
         job_list.append(vmn.job_for(invariant, index=i))
-    results = execute_jobs(job_list, workers=jobs or 1, cache=cache)
+    results = execute_jobs(
+        job_list, workers=jobs or 1, cache=cache, solver_pool=solver_pool
+    )
     return {s.name: r for s, r in zip(scenario_list, results)}
 
 
@@ -101,6 +117,8 @@ class VMN:
         allow_spoofing: bool = False,
         use_cache: bool = True,
         cache: Optional[ResultCache] = None,
+        use_warm: bool = True,
+        solver_pool: Optional[SolverPool] = None,
     ):
         self.topology = topology
         self.steering = steering or SteeringPolicy()
@@ -122,10 +140,21 @@ class VMN:
         self.result_cache: Optional[ResultCache] = (
             cache if cache is not None else (ResultCache() if use_cache else None)
         )
+        #: Warm solvers shared by every in-process check on this VMN:
+        #: invariants resolving to the same slice + BMC parameters
+        #: reuse one live encoding and its learned clauses.  Pass
+        #: ``solver_pool=`` to share across VMNs (e.g. an incremental
+        #: session's versions), ``use_warm=False`` to run cold.
+        self.solver_pool: Optional[SolverPool] = (
+            solver_pool
+            if solver_pool is not None
+            else (SolverPool() if use_warm else None)
+        )
         # Slices are a function of the invariant's mentioned nodes only,
         # so they are memoized per mention set (closure failures too).
         self._slice_cache: Dict[frozenset, Union[Slice, SliceClosureError]] = {}
         self._whole_network: Optional[VerificationNetwork] = None
+        self._enc_keys: Dict[tuple, Optional[str]] = {}
 
     # ------------------------------------------------------------------
     # Problem construction
@@ -212,7 +241,27 @@ class VMN:
             params=params,
             fingerprint=fp,
             slice_size=slice_size,
+            warm_key=self._warm_key(net, params),
         )
+
+    def _warm_key(self, net: VerificationNetwork, params: dict) -> Optional[str]:
+        """Memoized exact encoding key for warm-solver leasing.
+
+        Slice networks are memoized per mention set, so keying the memo
+        by object identity plus the encoding parameters is sound and
+        avoids re-canonicalizing the rule set on every check."""
+        if self.solver_pool is None:
+            return None
+        enc_params = {
+            "n_packets": params["n_packets"],
+            "failure_budget": params["failure_budget"],
+            "n_ports": params["n_ports"],
+            "n_tags": params["n_tags"],
+        }
+        memo_key = (id(net),) + tuple(sorted(enc_params.items()))
+        if memo_key not in self._enc_keys:
+            self._enc_keys[memo_key] = encoding_key(net, enc_params)
+        return self._enc_keys[memo_key]
 
     # ------------------------------------------------------------------
     # Verification
@@ -220,7 +269,10 @@ class VMN:
     def verify(self, invariant: Invariant, **bmc_kwargs) -> CheckResult:
         """Check one invariant (sliced when possible, cached when seen)."""
         job = self.job_for(invariant, **bmc_kwargs)
-        return execute_jobs([job], workers=1, cache=self.result_cache)[0]
+        return execute_jobs(
+            [job], workers=1, cache=self.result_cache,
+            solver_pool=self.solver_pool,
+        )[0]
 
     def verify_all(
         self,
@@ -256,7 +308,10 @@ class VMN:
             )
             for i, group in enumerate(groups)
         ]
-        results = execute_jobs(job_list, workers=jobs or 1, cache=cache)
+        results = execute_jobs(
+            job_list, workers=jobs or 1, cache=cache,
+            solver_pool=self.solver_pool,
+        )
         for group, job, result in zip(groups, job_list, results):
             report.groups_verified += 1
             for i, inv in enumerate(group.invariants):

@@ -38,7 +38,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..core.engine import ResultCache, execute_jobs
+from ..core.engine import ResultCache, SolverPool, execute_jobs
 from ..core.slicing import SliceClosureError
 from ..core.vmn import VMN
 from ..netmodel.bmc import CheckResult
@@ -164,6 +164,14 @@ class IncrementalSession:
         self.cache = cache if cache is not None else (
             ResultCache() if self.vmn_kwargs["use_cache"] else None
         )
+        #: Warm solvers shared across versions: slices a delta does not
+        #: rebuild keep their live encodings, so re-verification after
+        #: a delta reuses both learned clauses and CNF.
+        self.solver_pool: Optional[SolverPool] = (
+            SolverPool()
+            if self.vmn_kwargs.pop("use_warm", True)
+            else None
+        )
         self.index = ChangeImpactIndex()
         self.version = 0
         self._keys = itertools.count()
@@ -216,6 +224,8 @@ class IncrementalSession:
             self.steering,
             scenario=self.scenario,
             cache=self.cache,
+            solver_pool=self.solver_pool,
+            use_warm=self.solver_pool is not None,
             **self.vmn_kwargs,
         )
 
@@ -233,7 +243,8 @@ class IncrementalSession:
                     sl = None
             self.index.record(key, sl)
             jobs.append(self.vmn.job_for(inv, index=i, with_fingerprint=True))
-        results = execute_jobs(jobs, workers=self.jobs or 1, cache=self.cache)
+        results = execute_jobs(jobs, workers=self.jobs or 1, cache=self.cache,
+                               solver_pool=self.solver_pool)
         for key, result in zip(keys, results):
             self._outcomes[key] = CheckOutcome(
                 check=self._checks[key], result=result, carried=False
@@ -355,6 +366,9 @@ class IncrementalSession:
             self.steering,
             scenario=self.scenario,
             cache=ResultCache(),
+            # Fresh pool, but honour the session's use_warm choice: a
+            # cold session's cross-check must stay cold too.
+            use_warm=self.solver_pool is not None,
             **self.vmn_kwargs,
         )
         checks = self.checks
@@ -363,7 +377,8 @@ class IncrementalSession:
             for i, c in enumerate(checks)
         ]
         results = execute_jobs(jobs_list, workers=jobs or self.jobs or 1,
-                               cache=vmn.result_cache)
+                               cache=vmn.result_cache,
+                               solver_pool=vmn.solver_pool)
         outcomes = [
             CheckOutcome(check=c, result=r, carried=False)
             for c, r in zip(checks, results)

@@ -1,6 +1,16 @@
 """Discrete-timestep symbolic network model (the VMN encoding)."""
 
-from .bmc import HOLDS, UNKNOWN, VIOLATED, CheckResult, check, default_depth
+from .bmc import (
+    HOLDS,
+    UNKNOWN,
+    VIOLATED,
+    CheckResult,
+    IncrementalBMC,
+    SolverPool,
+    check,
+    default_depth,
+    encoding_key,
+)
 from .events import EVENT_KINDS, EventKind, EventVars
 from .packets import (
     REQUEST_TAG,
@@ -18,6 +28,9 @@ __all__ = [
     "check",
     "default_depth",
     "CheckResult",
+    "IncrementalBMC",
+    "SolverPool",
+    "encoding_key",
     "VIOLATED",
     "HOLDS",
     "UNKNOWN",

@@ -9,23 +9,62 @@ in our model only ever *enables* more behaviour between failures
 (hole-punching, cache fills, NAT mappings); failure events add a
 constant per failure allowed.
 
+Since the solver stack went incremental, every check runs through a
+:class:`IncrementalBMC` driver that owns one *warm* solver per network
+encoding:
+
+* the step-independent axioms are asserted once at construction,
+* the transition relation is asserted one timestep at a time
+  (:meth:`IncrementalBMC.extend_to` — steps ``0..k-1`` are never
+  re-encoded when deepening to ``k``),
+* the property is **assumed**, not asserted
+  (``check(assumptions=[violation@k])``), so one solver instance
+  answers any invariant at any depth while retaining learned clauses
+  across calls.
+
+:class:`SolverPool` keeps warm drivers keyed by the exact encoding
+structure; the batch engine leases one driver per slice so all
+invariants sharing a slice share a single encoding and its learned
+clauses.
+
 ``check`` returns :data:`VIOLATED` with a decoded counterexample trace,
 :data:`HOLDS` when the formula is unsatisfiable at the chosen depth, or
 :data:`UNKNOWN` when a conflict budget was exhausted (mirroring the
-paper's reliance on Z3 timeouts, §3.1).
+paper's reliance on Z3 timeouts, §3.1).  With ``deepen=True`` the
+driver walks depths ``1..depth`` on the warm solver and stops at the
+first violation; verdicts per depth equal what a from-scratch solve at
+that depth concludes.  ``canonical_trace=True`` replaces the raw model
+decode with the lexicographically-least violating schedule (computed by
+assumption-pinned minimization), which is identical no matter which
+solver state produced the verdict — that is what lets the equivalence
+tests demand byte-identical traces from the warm and cold paths.
 """
 
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, List, Optional, Tuple
 
-from ..smt import SAT, UNSAT, Solver
+from ..smt import SAT, UNSAT, EnumConst, Eq, Solver, Term
+from .canon import Unfingerprintable, canon
+from .events import EventKind
 from .system import NetworkSMTModel, VerificationNetwork
 from .trace import Trace, decode_trace
 
-__all__ = ["VIOLATED", "HOLDS", "UNKNOWN", "CheckResult", "check", "default_depth"]
+__all__ = [
+    "VIOLATED",
+    "HOLDS",
+    "UNKNOWN",
+    "CheckResult",
+    "IncrementalBMC",
+    "SolverPool",
+    "SOLVER_COUNTERS",
+    "encoding_key",
+    "check",
+    "default_depth",
+]
 
 VIOLATED = "violated"
 HOLDS = "holds"
@@ -75,6 +114,245 @@ def default_depth(net: VerificationNetwork, n_packets: int, failure_budget: int)
     return n_packets * (2 * n_mboxes + 2) + 2 * failure_budget + 1
 
 
+# ----------------------------------------------------------------------
+# Warm incremental driver
+# ----------------------------------------------------------------------
+#: The solver's cumulative work counters, as reported by
+#: :meth:`repro.smt.Solver.stats`; per-check stats carry their deltas
+#: and ``repro audit --json`` totals them.
+SOLVER_COUNTERS = ("conflicts", "decisions", "propagations", "restarts", "learned")
+_COUNTER_KEYS = SOLVER_COUNTERS
+
+
+class IncrementalBMC:
+    """One warm solver over one network encoding.
+
+    The model's events exist for all ``depth`` timesteps from the
+    start; the base (step-independent) axioms are asserted at
+    construction and the transition relation is asserted step by step
+    as :meth:`check_at` deepens.  Unasserted suffix steps are assumed
+    to be noops during each check, so a partial assertion prefix
+    decides exactly the ``depth=k`` problem — and since a bounded
+    schedule always extends with noops, verdicts match a from-scratch
+    encode at that depth.
+    """
+
+    def __init__(
+        self,
+        net: VerificationNetwork,
+        n_packets: int,
+        depth: int,
+        failure_budget: int = 0,
+        n_ports: int = 6,
+        n_tags: int = 4,
+    ):
+        started = time.perf_counter()
+        self.net = net
+        self.model = NetworkSMTModel(
+            net,
+            n_packets=n_packets,
+            depth=depth,
+            failure_budget=failure_budget,
+            n_ports=n_ports,
+            n_tags=n_tags,
+        )
+        self.solver = Solver()
+        self.asserted_depth = 0
+        self.checks = 0
+        for axiom in self.model.base_axioms():
+            self.solver.add(axiom)
+        self.encode_seconds = time.perf_counter() - started
+
+    @property
+    def model_depth(self) -> int:
+        return self.model.depth
+
+    def counters(self) -> dict:
+        """Cumulative solver counters (diff snapshots per check)."""
+        stats = self.solver.stats()
+        return {k: stats[k] for k in _COUNTER_KEYS}
+
+    def extend_to(self, k: int) -> None:
+        """Assert the transition relation up to step ``k`` (exclusive
+        of deeper steps); already-asserted steps are never re-encoded."""
+        k = min(k, self.model.depth)
+        if k <= self.asserted_depth:
+            return
+        started = time.perf_counter()
+        for t in range(self.asserted_depth, k):
+            for axiom in self.model.step_axioms(t):
+                self.solver.add(axiom)
+        self.asserted_depth = k
+        self.encode_seconds += time.perf_counter() - started
+
+    def assumptions_at(self, invariant, k: int) -> List[Term]:
+        """The assumption set deciding ``invariant`` at depth ``k``:
+        the violation grounded over the first ``k`` steps, plus noops
+        for every deeper timestep (which also keeps decoded traces
+        identical to a ``depth=k`` model's)."""
+        out = [invariant.violation_term(self.model.ctx.at_depth(k))]
+        out.extend(
+            self.model.events[t].is_noop for t in range(k, self.model.depth)
+        )
+        return out
+
+    def check_at(
+        self, invariant, k: int, max_conflicts: Optional[int] = None
+    ) -> str:
+        """Decide ``invariant`` at depth ``k`` on the warm solver."""
+        if not 0 <= k <= self.model.depth:
+            raise ValueError(f"depth {k} outside [0, {self.model.depth}]")
+        self.extend_to(k)
+        self.checks += 1
+        return self.solver.check(
+            assumptions=self.assumptions_at(invariant, k),
+            max_conflicts=max_conflicts,
+        )
+
+    def decode(self) -> Trace:
+        """The counterexample of the last ``sat`` answer."""
+        return decode_trace(self.solver.model(), self.model)
+
+    # ------------------------------------------------------------------
+    def canonical_trace(self, invariant, k: int, presolved: bool = False) -> Trace:
+        """The lexicographically-least violating schedule at depth ``k``.
+
+        Works by assumption-pinned greedy minimization: fields are
+        fixed in schedule order (kind, sender, receiver, packet per
+        step; then the fields of each sent packet), each to the least
+        sort value still satisfiable together with the violation and
+        the pins so far.  The result depends only on the encoded
+        problem — not on learned clauses, activities, or any other
+        solver state — so warm and cold solvers produce byte-identical
+        traces.
+
+        ``presolved=True`` promises the solver's last answer was
+        ``sat`` for exactly this ``(invariant, k)`` assumption set,
+        letting the minimization start from that model instead of
+        re-solving it.
+        """
+        base = self.assumptions_at(invariant, k)
+        if not presolved and self.solver.check(assumptions=base) != SAT:
+            raise RuntimeError(f"no violation at depth {k} to canonicalize")
+        state = {"model": self.solver.model()}
+        pins: List[Term] = []
+
+        def pin(var: Term):
+            sort = var.sort
+            current = state["model"][var]
+            chosen = current
+            for value in sort.values:
+                if value == current:
+                    break  # the witness already attains the minimum
+                cand = Eq(var, EnumConst(sort, value))
+                if self.solver.check(assumptions=base + pins + [cand]) == SAT:
+                    state["model"] = self.solver.model()
+                    chosen = value
+                    break
+            pins.append(Eq(var, EnumConst(sort, chosen)))
+            return chosen
+
+        sent: List[int] = []
+        for t in range(k):
+            ev = self.model.events[t]
+            kind = pin(ev.kind)
+            if kind == EventKind.NOOP:
+                break  # noops are a canonical suffix; nothing else prints
+            pin(ev.frm)
+            if kind == EventKind.SEND:
+                pin(ev.to)
+                sent.append(pin(ev.pkt))
+        for index in sorted(set(sent)):
+            p = self.model.schema.packets[index]
+            for var in (p.src, p.dst, p.sport, p.dport, p.origin, p.tag):
+                pin(var)
+        if self.solver.check(assumptions=base + pins) != SAT:
+            raise RuntimeError("canonical pins became unsatisfiable")
+        return self.decode()
+
+
+# ----------------------------------------------------------------------
+# Warm solver pool
+# ----------------------------------------------------------------------
+def encoding_key(net: VerificationNetwork, params: dict) -> Optional[str]:
+    """An exact structural key for one network encoding.
+
+    Unlike the result cache's fingerprint this applies **no** node
+    renaming: two checks may share a warm solver only when their
+    formulas are literally the same (same node names, same rule tuple,
+    same packet schema parameters).  ``None`` means the network holds
+    state the canonicalizer cannot serialize — skip the pool.
+    """
+    try:
+        return repr(
+            (
+                "enc",
+                canon(net.hosts, {}),
+                canon(net.middleboxes, {}),
+                canon(net.rules, {}),
+                canon(net.extra_addresses, {}),
+                net.allow_spoofing,
+                canon(dict(params), {}),
+            )
+        )
+    except Unfingerprintable:
+        return None
+
+
+class SolverPool:
+    """Warm :class:`IncrementalBMC` drivers keyed by encoding structure.
+
+    One pool per :class:`repro.core.vmn.VMN` (or per
+    :class:`repro.incremental.IncrementalSession`, shared across
+    versions): every invariant whose check resolves to the same slice
+    and BMC parameters leases the same driver, so the network axioms
+    are encoded once and learned clauses accumulate across the whole
+    invariant set.  Bounded LRU, since long-running sessions retire
+    slices as the network churns.
+    """
+
+    def __init__(self, max_entries: int = 8):
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, IncrementalBMC]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def lease(
+        self, key: str, depth: int, factory: Callable[[], IncrementalBMC]
+    ) -> Tuple[IncrementalBMC, bool]:
+        """(driver, was_warm) for ``key``; rebuilds when the cached
+        driver's unrolling is too shallow for ``depth``."""
+        driver = self._entries.get(key)
+        if driver is not None and driver.model_depth >= depth:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return driver, True
+        self.misses += 1
+        driver = factory()
+        self._entries[key] = driver
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return driver, False
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SolverPool({len(self._entries)} warm solvers, "
+            f"{self.hits} hits, {self.misses} misses)"
+        )
+
+
+# ----------------------------------------------------------------------
+# The check entry point
+# ----------------------------------------------------------------------
 def check(
     net: VerificationNetwork,
     invariant,
@@ -84,12 +362,24 @@ def check(
     max_conflicts: Optional[int] = None,
     n_ports: int = 6,
     n_tags: int = 4,
+    deepen: bool = False,
+    warm: Optional[SolverPool] = None,
+    warm_key: Optional[str] = None,
+    canonical_trace: bool = False,
 ) -> CheckResult:
     """Check one reachability invariant against one network.
 
     ``invariant`` is any object with ``violation_term(ctx) -> Term``;
     optional hints ``n_packets_hint`` and ``failure_budget`` on the
     invariant are honoured when the keyword arguments are left ``None``.
+
+    ``warm`` names a :class:`SolverPool` to lease the solver from (the
+    batch engine passes the per-VMN pool so checks sharing a slice
+    share an encoding); ``warm_key`` skips recomputing the encoding
+    key.  ``deepen=True`` walks depths ``1..depth`` on the warm solver,
+    stopping at the first violation instead of solving the full
+    unrolling; ``canonical_trace=True`` canonicalizes the reported
+    counterexample (see :meth:`IncrementalBMC.canonical_trace`).
     """
     if n_packets is None:
         n_packets = getattr(invariant, "n_packets_hint", 2)
@@ -99,37 +389,80 @@ def check(
         depth = default_depth(net, n_packets, failure_budget)
 
     started = time.perf_counter()
-    model = NetworkSMTModel(
-        net,
-        n_packets=n_packets,
-        depth=depth,
-        failure_budget=failure_budget,
-        n_ports=n_ports,
-        n_tags=n_tags,
-    )
-    solver = Solver()
-    for axiom in model.axioms():
-        solver.add(axiom)
-    solver.add(invariant.violation_term(model.ctx))
 
-    result = solver.check(max_conflicts=max_conflicts)
+    def build() -> IncrementalBMC:
+        return IncrementalBMC(
+            net,
+            n_packets=n_packets,
+            depth=depth,
+            failure_budget=failure_budget,
+            n_ports=n_ports,
+            n_tags=n_tags,
+        )
+
+    driver, was_warm = None, False
+    if warm is not None:
+        key = warm_key
+        if key is None:
+            key = encoding_key(
+                net,
+                {
+                    "n_packets": n_packets,
+                    "failure_budget": failure_budget,
+                    "n_ports": n_ports,
+                    "n_tags": n_tags,
+                },
+            )
+        if key is not None:
+            driver, was_warm = warm.lease(key, depth, build)
+    if driver is None:
+        driver = build()
+
+    before = driver.counters()
+    encode_before = driver.encode_seconds
+    schedule = list(range(1, depth + 1)) if deepen else [depth]
+    status = HOLDS
+    trace: Optional[Trace] = None
+    found_depth = depth
+    remaining = max_conflicts
+    for k in schedule:
+        result = driver.check_at(invariant, k, max_conflicts=remaining)
+        if max_conflicts is not None:
+            used = driver.counters()["conflicts"] - before["conflicts"]
+            remaining = max(0, max_conflicts - used)
+        if result == SAT:
+            status = VIOLATED
+            found_depth = k
+            trace = (
+                driver.canonical_trace(invariant, k, presolved=True)
+                if canonical_trace
+                else driver.decode()
+            )
+            break
+        if result != UNSAT:
+            status = UNKNOWN
+            break
     elapsed = time.perf_counter() - started
 
-    if result == SAT:
-        trace = decode_trace(solver.model(), model)
-        status = VIOLATED
-    elif result == UNSAT:
-        trace = None
-        status = HOLDS
-    else:
-        trace = None
-        status = UNKNOWN
+    after = driver.counters()
+    stats = {k: after[k] - before[k] for k in _COUNTER_KEYS}
+    solver_stats = driver.solver.stats()
+    stats.update(
+        vars=solver_stats["vars"],
+        clauses=solver_stats["clauses"],
+        learnts=solver_stats["learnts"],
+        warm=was_warm,
+        checks=driver.checks,
+        asserted_depth=driver.asserted_depth,
+        encode_seconds=driver.encode_seconds - (encode_before if was_warm else 0.0),
+        cumulative=after,
+    )
     return CheckResult(
         status=status,
         invariant=invariant,
-        depth=depth,
+        depth=found_depth,
         n_packets=n_packets,
         solve_seconds=elapsed,
         trace=trace,
-        stats=solver.stats(),
+        stats=stats,
     )

@@ -1,0 +1,90 @@
+"""Structural canonicalization of verification problems.
+
+Two consumers sit on top of these helpers:
+
+* :func:`repro.core.engine.fingerprint` canonicalizes a
+  ``(network, invariant, params)`` triple *up to node renaming* so
+  isomorphic checks share one result-cache entry;
+* :func:`repro.netmodel.bmc.encoding_key` canonicalizes a
+  ``(network, params)`` pair *exactly* (empty rename) so checks with
+  byte-identical SMT encodings can share one warm solver.
+
+``canon`` walks strings, scalars, containers, dataclasses, and plain
+config objects (middlebox models), producing a hashable, ``repr``-stable
+form; anything else raises :class:`Unfingerprintable`, which callers
+translate into "skip the cache, never risk an unsound hit".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+__all__ = ["Unfingerprintable", "canon", "collect_names", "field_values"]
+
+
+class Unfingerprintable(Exception):
+    """The problem contains state the canonicalizer cannot serialize."""
+
+
+def collect_names(value, known: frozenset, order: List[str]) -> None:
+    """Append network node names in ``value`` to ``order``, first
+    appearance wins; containers are walked deterministically."""
+    if isinstance(value, str):
+        if value in known and value not in order:
+            order.append(value)
+    elif isinstance(value, (tuple, list)):
+        for v in value:
+            collect_names(v, known, order)
+    elif isinstance(value, (set, frozenset)):
+        for v in sorted(value, key=repr):
+            collect_names(v, known, order)
+    elif isinstance(value, dict):
+        for k in sorted(value, key=repr):
+            collect_names(k, known, order)
+            collect_names(value[k], known, order)
+
+
+def field_values(obj) -> List[Tuple[str, object]]:
+    """(name, value) pairs of an invariant or middlebox, in a stable
+    order: dataclass field order when available, else sorted ``vars``."""
+    if dataclasses.is_dataclass(obj):
+        return [(f.name, getattr(obj, f.name)) for f in dataclasses.fields(obj)]
+    return sorted(vars(obj).items())
+
+
+def canon(value, rename: Dict[str, str]):
+    """Canonical, hashable form of ``value`` with node names renamed."""
+    if isinstance(value, str):
+        return rename.get(value, value)
+    if isinstance(value, (bool, int, float)) or value is None:
+        return value
+    if isinstance(value, (tuple, list)):
+        return ("seq",) + tuple(canon(v, rename) for v in value)
+    if isinstance(value, (set, frozenset)):
+        return ("set",) + tuple(
+            sorted((canon(v, rename) for v in value), key=repr)
+        )
+    if isinstance(value, dict):
+        return ("map",) + tuple(
+            sorted(
+                ((canon(k, rename), canon(v, rename)) for k, v in value.items()),
+                key=repr,
+            )
+        )
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return (
+            "dc",
+            type(value).__qualname__,
+            tuple((n, canon(v, rename)) for n, v in field_values(value)),
+        )
+    if hasattr(value, "__dict__") and not callable(value):
+        # Middlebox models and other plain config objects: their
+        # behaviour is a pure function of (class, attributes).
+        return (
+            "obj",
+            type(value).__module__,
+            type(value).__qualname__,
+            tuple((n, canon(v, rename)) for n, v in field_values(value)),
+        )
+    raise Unfingerprintable(f"cannot canonicalize {type(value).__name__}: {value!r}")

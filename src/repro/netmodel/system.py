@@ -253,6 +253,39 @@ class ModelContext:
             axioms.extend(fn.congruence_axioms())
         return axioms
 
+    def at_depth(self, depth: int) -> "ModelContext":
+        """A read-through view of this context clamped to ``depth``.
+
+        Invariants ground their violation over ``range(ctx.depth)``;
+        handing them a clamped view builds "violated within the first
+        ``depth`` steps" against the *same* event variables and caches,
+        which is how the warm BMC driver re-asks the property per depth
+        without re-encoding anything.
+        """
+        if depth == self.depth:
+            return self
+        if not 0 <= depth <= self.depth:
+            raise ValueError(f"depth {depth} outside [0, {self.depth}]")
+        return _DepthView(self, depth)
+
+
+class _DepthView:
+    """A shallow proxy of :class:`ModelContext` with a smaller depth.
+
+    Everything except ``depth`` delegates to the underlying context, so
+    history-predicate caches, oracles, and extra axioms stay shared.
+    """
+
+    def __init__(self, ctx: ModelContext, depth: int):
+        self._ctx = ctx
+        self.depth = depth
+
+    def __getattr__(self, name):
+        return getattr(self._ctx, name)
+
+    def at_depth(self, depth: int) -> "ModelContext":
+        return self._ctx.at_depth(depth)
+
 
 class NetworkSMTModel:
     """Builds the grounded formula for one (network, depth) pair."""
@@ -282,33 +315,63 @@ class NetworkSMTModel:
             self.ns, depth, kind_sort, self.node_sort, self.schema.pkt_sort
         )
         self.ctx = ModelContext(net, self.schema, self.events, self.node_sort, self.ns)
+        self._step_cache: Dict[int, List[Term]] = {}
+        self._base_cache: Optional[List[Term]] = None
 
     # ------------------------------------------------------------------
+    def step_axioms(self, t: int) -> List[Term]:
+        """The transition relation of timestep ``t`` (memoized).
+
+        Asserting ``step_axioms(0..k-1)`` plus :meth:`base_axioms`
+        constrains the first ``k`` steps exactly as a ``depth=k`` model
+        would; the warm BMC driver deepens by asserting one more step,
+        never re-encoding the prefix.
+        """
+        cached = self._step_cache.get(t)
+        if cached is not None:
+            return cached
+        ev = self.events[t]
+        out: List[Term] = []
+        # Canonical schedules: noops form a suffix.  Sound because a
+        # noop changes nothing; it only prunes the oracle's search.
+        if t + 1 < self.depth:
+            out.append(Implies(ev.is_noop, self.events[t + 1].is_noop))
+        out.extend(self._failure_axioms(ev, t, list(self.net.mbox_names)))
+        out.extend(self._host_axioms(ev, t))
+        out.extend(self._mbox_axioms(ev, t))
+        out.append(self._omega_axiom(ev, t))
+        out = [a for a in out if a is not None]
+        self._step_cache[t] = out
+        return out
+
+    def base_axioms(self) -> List[Term]:
+        """The step-independent axioms (memoized).
+
+        Failure budget, middlebox global axioms, extra axioms and
+        oracle congruence all range over oracle applications and state
+        registered while the per-step axioms are built, so this forces
+        every step's terms first; the result is valid for any asserted
+        prefix (future steps are satisfied by extending with noops).
+        """
+        if self._base_cache is None:
+            for t in range(self.depth):
+                self.step_axioms(t)
+            out: List[Term] = []
+            out.extend(self._failure_budget_axioms())
+            for m in self.net.middleboxes:
+                out.extend(m.global_axioms(self.ctx))
+            out.extend(self.ctx.extra_axioms)
+            out.extend(self.ctx.oracle_axioms())
+            self._base_cache = [a for a in out if a is not None]
+        return self._base_cache
+
     def axioms(self) -> List[Term]:
         """All axioms of the network model (invariant not included)."""
         out: List[Term] = []
-        ctx = self.ctx
-        net = self.net
-        failable = list(net.mbox_names)
-
-        for t, ev in enumerate(self.events):
-            # Canonical schedules: noops form a suffix.  Sound because a
-            # noop changes nothing; it only prunes the oracle's search.
-            if t + 1 < self.depth:
-                out.append(Implies(ev.is_noop, self.events[t + 1].is_noop))
-
-            out.extend(self._failure_axioms(ev, t, failable))
-            out.extend(self._host_axioms(ev, t))
-            out.extend(self._mbox_axioms(ev, t))
-            out.append(self._omega_axiom(ev, t))
-
-        out.extend(self._failure_budget_axioms())
-
-        for m in net.middleboxes:
-            out.extend(m.global_axioms(ctx))
-        out.extend(ctx.extra_axioms)
-        out.extend(ctx.oracle_axioms())
-        return [a for a in out if a is not None]
+        for t in range(self.depth):
+            out.extend(self.step_axioms(t))
+        out.extend(self.base_axioms())
+        return out
 
     # ------------------------------------------------------------------
     def _failure_axioms(self, ev: EventVars, t: int, failable: List[str]) -> List[Term]:

@@ -13,6 +13,15 @@ used, roughly halving the clause count of the network formulas.  The
 :meth:`literal` entry point (used for solver assumptions) requests both
 polarities, so assumption literals remain fully equivalent to their
 terms.
+
+Variable allocation is *stable across solver scopes*: definition
+clauses only ever constrain a subterm's fresh Tseitin variable relative
+to its arguments' variables, so they are valid in every scope and are
+added to the solver permanently (outside any ``push()`` scope).  Only
+the top-level unit clause of :meth:`assert_term` is scoped.  Popping a
+scope therefore never invalidates the memo tables: re-encoding a term
+seen in any earlier scope reuses its CNF — same variables, no new
+clauses — which is what keeps warm incremental solving cheap.
 """
 
 from __future__ import annotations
@@ -42,7 +51,7 @@ class CnfConverter:
     def _const_true(self) -> int:
         if self._true_var == 0:
             self._true_var = self.sat.new_var()
-            self.sat.add_clause([self._true_var])
+            self.sat.add_clause([self._true_var], permanent=True)
         return self._true_var
 
     def _lit(self, node: Term) -> int:
@@ -95,15 +104,17 @@ class CnfConverter:
             if kind == "and":
                 if need & POS:  # v -> each arg
                     for lit in arg_lits:
-                        self.sat.add_clause([-v, lit])
+                        self.sat.add_clause([-v, lit], permanent=True)
                 if need & NEG:  # all args -> v
-                    self.sat.add_clause([v] + [-lit for lit in arg_lits])
+                    self.sat.add_clause(
+                        [v] + [-lit for lit in arg_lits], permanent=True
+                    )
             else:  # or
                 if need & POS:  # v -> some arg
-                    self.sat.add_clause([-v] + arg_lits)
+                    self.sat.add_clause([-v] + arg_lits, permanent=True)
                 if need & NEG:  # each arg -> v
                     for lit in arg_lits:
-                        self.sat.add_clause([v, -lit])
+                        self.sat.add_clause([v, -lit], permanent=True)
             for a in node.args:
                 stack.append((a, need))
 
@@ -116,16 +127,22 @@ class CnfConverter:
         self._encode(term, BOTH)
         return self._lit(term)
 
-    def assert_term(self, term: Term) -> None:
-        """Assert ``term`` (it must hold in every model)."""
+    def assert_term(self, term: Term, permanent: bool = False) -> None:
+        """Assert ``term`` (it must hold in every model).
+
+        In a solver scope the assertion is retracted by the matching
+        ``pop()``; ``permanent=True`` asserts it in the root scope
+        (used for enum-domain side conditions, which define what an
+        enum variable *is* and must outlive any scope that first
+        mentioned it).
+        """
         if term is TRUE:
             return
         if term is FALSE:
-            self.sat.add_clause([self._const_true()])
-            self.sat.add_clause([-self._const_true()])
+            self.sat.add_clause([-self._const_true()], permanent=permanent)
             return
         self._encode(term, POS)
-        self.sat.add_clause([self._lit(term)])
+        self.sat.add_clause([self._lit(term)], permanent=permanent)
 
     def var_literal(self, term: Term) -> int:
         """The literal of an already-encoded term, if any."""

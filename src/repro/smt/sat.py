@@ -9,7 +9,20 @@ conflict-driven clause-learning solver:
 * VSIDS branching with phase saving,
 * Luby restarts,
 * activity-driven learned-clause database reduction,
-* incremental solving under assumptions (MiniSat-style ``solve(assumps)``).
+* incremental solving under assumptions (MiniSat-style ``solve(assumps)``),
+* ``push()``/``pop()`` assertion scopes via activation literals.
+
+Scopes are the standard selector-variable construction: ``push()``
+allocates a fresh *selector* variable ``s`` and every clause added while
+the scope is active carries an extra ``¬s`` literal; ``solve`` assumes
+``s`` for every active scope, which switches the scope's clauses on.
+Conflict analysis resolves through those clauses, so any learned clause
+that *depends* on a scope automatically contains its ``¬s`` — learned
+clauses are therefore retained across ``pop()`` soundly: ``pop`` asserts
+``¬s`` permanently (deactivating the scope) and garbage-collects every
+clause, original or learned, that the assertion satisfies.  Learned
+clauses derived only from outer scopes survive and keep pruning later
+calls.
 
 Literal encoding: variable ``v`` (1-based) has positive literal ``2*v``
 and negative literal ``2*v + 1``; ``lit ^ 1`` negates.  DIMACS-style
@@ -89,6 +102,10 @@ class SatSolver:
         self.conflicts = 0
         self.decisions = 0
         self.propagations = 0
+        self.restarts = 0
+        self.learned_total = 0  # clauses ever learned (DB reduction ignores it)
+        self._scopes: List[int] = []  # active selector vars, outermost first
+        self._selector_vars: set = set()  # every selector ever allocated
 
     # ------------------------------------------------------------------
     # Variable and clause management
@@ -112,13 +129,21 @@ class SatSolver:
             raise ValueError(f"unknown variable in literal {signed}")
         return (v << 1) | (1 if signed < 0 else 0)
 
-    def add_clause(self, signed_lits: Iterable[int]) -> bool:
+    def add_clause(self, signed_lits: Iterable[int], permanent: bool = False) -> bool:
         """Add a clause of signed literals.  Returns False if the solver
-        becomes trivially unsatisfiable."""
+        becomes trivially unsatisfiable.
+
+        Inside a ``push()`` scope the clause is retractable: it carries
+        the scope's selector and is removed by the matching ``pop()``.
+        ``permanent=True`` bypasses the scope (used for Tseitin
+        definitions, which are valid in every scope).
+        """
         if not self._ok:
             return False
         if self._trail_lim:
             raise RuntimeError("add_clause only at decision level 0")
+        if not permanent and self._scopes:
+            signed_lits = list(signed_lits) + [-self._scopes[-1]]
         lits: List[int] = []
         seen = set()
         for signed in signed_lits:
@@ -151,6 +176,65 @@ class SatSolver:
     def _attach(self, clause: _Clause) -> None:
         self._watches[clause.lits[0] ^ 1].append(clause)
         self._watches[clause.lits[1] ^ 1].append(clause)
+
+    # ------------------------------------------------------------------
+    # Assertion scopes (activation literals)
+    # ------------------------------------------------------------------
+    def push(self) -> int:
+        """Open an assertion scope; returns its selector variable.
+
+        Clauses added until the matching :meth:`pop` are guarded by the
+        selector and removed (with every learned clause depending on
+        them) when the scope closes.
+        """
+        if self._trail_lim:
+            raise RuntimeError("push only at decision level 0")
+        sel = self.new_var()
+        self._scopes.append(sel)
+        self._selector_vars.add(sel)
+        return sel
+
+    def pop(self) -> None:
+        """Close the innermost scope, retracting its clauses.
+
+        The selector is asserted false permanently; clauses guarded by
+        it (and learned clauses that resolved through them — they carry
+        the selector literal) become satisfied and are garbage-collected
+        from the clause database and watch lists.  Learned clauses that
+        do not mention the scope survive.
+        """
+        if not self._scopes:
+            raise RuntimeError("pop without matching push")
+        if self._trail_lim:
+            self._backtrack(0)
+        sel = self._scopes.pop()
+        self.add_clause([-sel], permanent=True)
+        self._gc_deactivated((sel << 1) | 1)
+
+    @property
+    def num_scopes(self) -> int:
+        return len(self._scopes)
+
+    def _gc_deactivated(self, dead_lit: int) -> None:
+        """Drop every clause containing ``dead_lit`` (now true forever)."""
+        removed = {
+            id(c)
+            for store in (self._clauses, self._learnts)
+            for c in store
+            if dead_lit in c.lits
+        }
+        if not removed:
+            return
+        self._clauses = [c for c in self._clauses if id(c) not in removed]
+        self._learnts = [c for c in self._learnts if id(c) not in removed]
+        for wl in self._watches:
+            wl[:] = [c for c in wl if id(c) not in removed]
+        for var in range(1, self.nvars + 1):
+            reason = self._reasons[var]
+            if reason is not None and id(reason) in removed:
+                # Level-0 facts need no justification; reasons are only
+                # consulted for literals above level 0.
+                self._reasons[var] = None
 
     # ------------------------------------------------------------------
     # Assignment helpers
@@ -328,11 +412,18 @@ class SatSolver:
         """Compute the subset of assumptions implying ``failed_lit``'s
         negation (MiniSat's analyzeFinal): walk the implication graph
         from the conflicting assumption back to assumption decisions."""
+        self._final_core([failed_lit >> 1], assume_lits)
+
+    def _final_core(self, seed_vars: Iterable[int], assume_lits: List[int]) -> None:
+        """The assumptions implying the (falsified) seed variables'
+        current values: walk the implication graph from the seeds back
+        to assumption decisions.  Covers both final-conflict shapes —
+        an assumption found false at placement, and a learnt clause
+        falsified at the assumption levels during search."""
         assumption_vars = {lit >> 1 for lit in assume_lits}
-        seen = {failed_lit >> 1}
-        core_vars = set()
-        if (failed_lit >> 1) in assumption_vars:
-            core_vars.add(failed_lit >> 1)
+        seen = set(seed_vars)
+        # A seed that is itself an assumption contributes directly.
+        core_vars = seen & assumption_vars
         for lit in reversed(self._trail):
             var = lit >> 1
             if var not in seen:
@@ -345,11 +436,14 @@ class SatSolver:
                 for q in reason.lits:
                     if self._levels[q >> 1] > 0:
                         seen.add(q >> 1)
-        # Signed DIMACS form of the implicated assumptions.
+        # Signed DIMACS form of the implicated assumptions.  Scope
+        # selectors are solver-internal: a conflict that implicates only
+        # them means "the (scoped) assertions are unsat on their own",
+        # which callers observe as an empty core.
         self.core = [
             (lit >> 1) if (lit & 1) == 0 else -(lit >> 1)
             for lit in assume_lits
-            if (lit >> 1) in core_vars
+            if (lit >> 1) in core_vars and (lit >> 1) not in self._selector_vars
         ]
 
     def _backtrack(self, level: int) -> None:
@@ -443,7 +537,14 @@ class SatSolver:
         assumptions: Sequence[int] = (),
         max_conflicts: Optional[int] = None,
     ) -> str:
-        """Search for a model.
+        """Search for a model under the given assumptions.
+
+        Active scope selectors are assumed implicitly (before the user
+        assumptions), so scoped clauses are in force.  Conflict
+        backtracking never pops assumption levels, and learned clauses
+        are retained for the next call.  ``max_conflicts`` budgets *this
+        call* (the cumulative :attr:`conflicts` counter keeps growing
+        across calls).
 
         Returns ``"sat"`` (model in :attr:`model`), ``"unsat"``, or
         ``"unknown"`` if ``max_conflicts`` was exhausted.
@@ -457,10 +558,20 @@ class SatSolver:
             self._ok = False
             return UNSAT
 
-        assume_lits = [self._lit(a) for a in assumptions]
+        assume_lits = [sel << 1 for sel in self._scopes]
+        assume_lits += [self._lit(a) for a in assumptions]
+        self._n_assumptions = len(assume_lits)
+        try:
+            return self._search(assume_lits, max_conflicts)
+        finally:
+            self._n_assumptions = 0
+            self._backtrack(0)
+
+    def _search(self, assume_lits: List[int], max_conflicts: Optional[int]) -> str:
         restart_count = 0
         conflicts_this_run = 0
         budget = luby(restart_count + 1) * 128
+        stop_at = None if max_conflicts is None else self.conflicts + max_conflicts
         max_learnts = max(len(self._clauses) // 3, 1000)
 
         while True:
@@ -475,19 +586,25 @@ class SatSolver:
                 # Never backtrack past the assumptions.
                 self._backtrack(max(bt_level, self._assumption_level))
                 if len(learnt) == 1 and not self._trail_lim:
+                    self.learned_total += 1  # a level-0 fact, kept forever
                     if not self._enqueue(learnt[0], None):
                         self._ok = False
                         return UNSAT
                 else:
                     clause = _Clause(learnt, learnt=True)
                     self._learnts.append(clause)
+                    self.learned_total += 1
                     if len(learnt) >= 2:
                         self._attach(clause)
                     if not self._enqueue(learnt[0], clause):
+                        # The learnt clause is falsified at the pinned
+                        # assumption levels: the assumptions themselves
+                        # are inconsistent with the formula.
+                        self._final_core([q >> 1 for q in learnt], assume_lits)
                         return UNSAT
                 self._var_inc /= self._var_decay
                 self._cla_inc /= self._cla_decay
-                if max_conflicts is not None and self.conflicts >= max_conflicts:
+                if stop_at is not None and self.conflicts >= stop_at:
                     self._backtrack(0)
                     return UNKNOWN
                 if len(self._learnts) > max_learnts:
@@ -497,6 +614,7 @@ class SatSolver:
 
             if conflicts_this_run >= budget:
                 restart_count += 1
+                self.restarts += 1
                 conflicts_this_run = 0
                 budget = luby(restart_count + 1) * 128
                 self._backtrack(self._assumption_level)
@@ -529,19 +647,14 @@ class SatSolver:
 
     @property
     def _assumption_level(self) -> int:
-        # During solve() we treat the first len(assumptions) decision
-        # levels as immovable; this property is patched per solve call.
+        # During _search() the first len(assumptions) decision levels
+        # (scope selectors + user assumptions) are immovable.
         return getattr(self, "_n_assumptions", 0)
 
     def solve_with(self, assumptions: Sequence[int] = (), **kw) -> str:
-        """Like :meth:`solve` but records the assumption count so conflict
-        backtracking never pops assumption levels."""
-        self._n_assumptions = len(assumptions)
-        try:
-            return self.solve(assumptions, **kw)
-        finally:
-            self._n_assumptions = 0
-            self._backtrack(0)
+        """Historical alias of :meth:`solve` (which now always pins
+        assumption levels and restores decision level 0 on return)."""
+        return self.solve(assumptions, **kw)
 
     def _extract_model(self) -> None:
         self.model = [None] * (self.nvars + 1)
@@ -557,7 +670,14 @@ class SatSolver:
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:
-        """Search statistics for benchmarking and debugging."""
+        """Search statistics for benchmarking and debugging.
+
+        ``conflicts``/``decisions``/``propagations``/``restarts`` and
+        ``learned`` are *cumulative* across every :meth:`solve` call on
+        this instance (incremental calls never reset them); ``clauses``
+        and ``learnts`` are the current database sizes (they shrink on
+        DB reduction and scope pops).
+        """
         return {
             "vars": self.nvars,
             "clauses": len(self._clauses),
@@ -565,4 +685,7 @@ class SatSolver:
             "conflicts": self.conflicts,
             "decisions": self.decisions,
             "propagations": self.propagations,
+            "restarts": self.restarts,
+            "learned": self.learned_total,
+            "scopes": len(self._scopes),
         }

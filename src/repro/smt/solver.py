@@ -13,6 +13,14 @@ after the small subset of the z3py API that VMN's encoding needs::
 activate one invariant at a time on a shared network encoding) and an
 optional conflict budget, returning ``"unknown"`` when exhausted —
 mirroring how the paper leans on Z3's heuristics and timeouts.
+
+The solver is incremental end-to-end: ``push()``/``pop()`` open and
+close assertion scopes (activation-literal based, see
+:mod:`repro.smt.sat`), learned clauses survive both ``pop()`` and
+repeated ``check()`` calls, and the shared :class:`CnfConverter` keeps
+Tseitin variable allocation stable so re-asserting a term seen in any
+earlier scope reuses its existing CNF.  ``stats()`` counters are
+cumulative across calls.
 """
 
 from __future__ import annotations
@@ -89,6 +97,7 @@ class Solver:
         self.assertions: List[Term] = []
         self._result: Optional[str] = None
         self._assumption_terms: Dict[int, Term] = {}
+        self._scope_marks: List[int] = []  # len(assertions) at each push
 
     # ------------------------------------------------------------------
     def add(self, *terms: Term) -> None:
@@ -102,8 +111,36 @@ class Solver:
             self._cnf.assert_term(lowered)
 
     def _assert_side_conditions(self) -> None:
+        # Domain constraints define the enum variables themselves; they
+        # must survive the scope that happened to mention a variable
+        # first (the lowering memo never re-emits them).
         for cond in self._lowering.drain_side_conditions():
-            self._cnf.assert_term(cond)
+            self._cnf.assert_term(cond, permanent=True)
+
+    # ------------------------------------------------------------------
+    # Assertion scopes
+    # ------------------------------------------------------------------
+    def push(self) -> None:
+        """Open an assertion scope (z3-style).
+
+        Assertions added until the matching :meth:`pop` are retracted
+        with it; learned clauses that do not depend on them are kept.
+        """
+        self.sat.push()
+        self._scope_marks.append(len(self.assertions))
+
+    def pop(self) -> None:
+        """Close the innermost scope, retracting its assertions."""
+        if not self._scope_marks:
+            raise RuntimeError("pop without matching push")
+        mark = self._scope_marks.pop()
+        del self.assertions[mark:]
+        self.sat.pop()
+        self._result = None
+
+    @property
+    def num_scopes(self) -> int:
+        return len(self._scope_marks)
 
     def check(
         self,
@@ -144,6 +181,12 @@ class Solver:
         return Model(self)
 
     def stats(self) -> dict:
+        """Cumulative search statistics (see :meth:`SatSolver.stats`).
+
+        Counters (``conflicts``, ``restarts``, ``learned``, ...) never
+        reset between incremental :meth:`check` calls; diff two
+        snapshots to attribute work to one call.
+        """
         return self.sat.stats()
 
     # ------------------------------------------------------------------

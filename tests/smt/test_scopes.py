@@ -1,0 +1,188 @@
+"""Assertion scopes: push/pop semantics, learned-clause retention and
+garbage collection, and stable incremental Tseitin allocation."""
+
+import pytest
+
+from repro.smt import (
+    SAT,
+    UNSAT,
+    And,
+    BoolVar,
+    Distinct,
+    EnumConst,
+    EnumSort,
+    EnumVar,
+    Eq,
+    Implies,
+    Ne,
+    Not,
+    Or,
+    Solver,
+)
+from repro.smt.sat import SatSolver
+
+
+class TestSatScopes:
+    def test_pop_retracts_scope_clauses(self):
+        s = SatSolver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([a, b])
+        s.push()
+        s.add_clause([-a])
+        s.add_clause([-b])
+        assert s.solve() == UNSAT
+        s.pop()
+        assert s.solve() == SAT
+
+    def test_nested_scopes_unwind_in_order(self):
+        s = SatSolver()
+        a, b, c = s.new_var(), s.new_var(), s.new_var()
+        s.add_clause([a, b, c])
+        s.push()
+        s.add_clause([-a])
+        s.push()
+        s.add_clause([-b])
+        s.add_clause([-c])
+        assert s.solve() == UNSAT
+        s.pop()
+        assert s.solve() == SAT  # only -a remains
+        assert s.value(a) is False
+        s.pop()
+        assert s.solve() == SAT
+        assert s.num_scopes == 0
+
+    def test_pop_without_push_raises(self):
+        with pytest.raises(RuntimeError):
+            SatSolver().pop()
+
+    def test_scope_local_contradiction_does_not_poison_solver(self):
+        s = SatSolver()
+        a = s.new_var()
+        s.add_clause([a])
+        s.push()
+        s.add_clause([-a])  # contradicts the base at level 0
+        assert s.solve() == UNSAT
+        s.pop()
+        assert s.solve() == SAT
+        assert s.value(a) is True
+
+    def test_pop_garbage_collects_dependent_learnts(self):
+        s = SatSolver()
+        n = 8
+        for _ in range(2 * n):
+            s.new_var()
+        s.push()
+        # An unsatisfiable XOR-ish chain that forces real learning.
+        for i in range(1, n):
+            s.add_clause([-i, i + 1])
+            s.add_clause([i, -(i + 1)])
+        s.add_clause([1])
+        s.add_clause([-n])
+        assert s.solve() == UNSAT
+        s.pop()
+        # Every clause of the scope is gone from the database...
+        assert s.stats()["clauses"] == 0
+        # ...and whatever learnts survived never block the base problem.
+        assert s.solve() == SAT
+
+    def test_base_learnts_survive_pop(self):
+        s = SatSolver()
+        act = s.new_var()
+        var = {}
+        for p in range(5):
+            for h in range(4):
+                var[p, h] = s.new_var()
+        for p in range(5):
+            s.add_clause([-act] + [var[p, h] for h in range(4)])
+        for h in range(4):
+            for p in range(5):
+                for q in range(p + 1, 5):
+                    s.add_clause([-act, -var[p, h], -var[q, h]])
+        assert s.solve([act]) == UNSAT
+        first = s.conflicts
+        learned_before = s.stats()["learnts"]
+        s.push()
+        s.add_clause([s.new_var()])
+        s.pop()
+        assert s.stats()["learnts"] == learned_before
+        assert s.solve([act]) == UNSAT
+        assert s.conflicts - first <= first
+
+
+class TestSolverScopes:
+    def test_push_pop_restores_assertions(self):
+        a, b = BoolVar("sc_a"), BoolVar("sc_b")
+        s = Solver()
+        s.add(Or(a, b))
+        s.push()
+        s.add(Not(a), Not(b))
+        assert s.check() == UNSAT
+        assert s.num_scopes == 1
+        s.pop()
+        assert s.num_scopes == 0
+        assert s.assertions == [Or(a, b)]
+        assert s.check() == SAT
+
+    def test_pop_without_push_raises(self):
+        with pytest.raises(RuntimeError):
+            Solver().pop()
+
+    def test_tseitin_allocation_is_stable_across_scopes(self):
+        """Re-asserting a term seen in a popped scope reuses its CNF:
+        the only fresh variable is the new scope's selector."""
+        x, y, z = BoolVar("ts_x"), BoolVar("ts_y"), BoolVar("ts_z")
+        term = Or(And(x, y), And(y, z), And(Not(x), z))
+        s = Solver()
+        s.push()
+        s.add(term)
+        nvars = s.sat.nvars
+        nclauses = s.stats()["clauses"]
+        s.pop()
+        s.push()
+        s.add(term)
+        assert s.sat.nvars == nvars + 1  # the selector, nothing else
+        # Definitions were not re-emitted; only the unit re-asserted.
+        assert s.stats()["clauses"] <= nclauses + 1
+        assert s.check() == SAT
+
+    def test_enum_domain_constraints_survive_scope_pop(self):
+        """A sort of 3 values uses 2 bits; the phantom 4th code must
+        stay excluded even when the variable first appeared inside a
+        scope that has since been popped."""
+        color = EnumSort("sc_color", ("red", "green", "blue"))
+        vs = [EnumVar(f"sc_c{i}", color) for i in range(4)]
+        s = Solver()
+        s.push()
+        s.add(Eq(vs[0], vs[1]))  # first mention of the variables
+        assert s.check() == SAT
+        s.pop()
+        s.add(Distinct(*vs))  # 4 distinct values cannot fit 3
+        assert s.check() == UNSAT
+
+    def test_check_assumptions_inside_scope(self):
+        color = EnumSort("sc_col2", ("red", "green", "blue"))
+        x = EnumVar("sc_x2", color)
+        red = Eq(x, EnumConst(color, "red"))
+        s = Solver()
+        s.add(Ne(x, EnumConst(color, "blue")))
+        s.push()
+        s.add(Not(red))
+        assert s.check([red]) == UNSAT
+        assert s.check() == SAT
+        assert s.model()[x] == "green"
+        s.pop()
+        assert s.check([red]) == SAT
+        assert s.model()[x] == "red"
+
+    def test_model_after_pop_reflects_base_only(self):
+        a, b = BoolVar("sc_m_a"), BoolVar("sc_m_b")
+        s = Solver()
+        s.add(Implies(a, b))
+        s.push()
+        s.add(a)
+        assert s.check() == SAT
+        assert s.model()[b] is True
+        s.pop()
+        s.add(Not(b))
+        assert s.check() == SAT
+        assert s.model()[a] is False

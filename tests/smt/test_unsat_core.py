@@ -91,3 +91,86 @@ class TestSolverCore:
         assert s.check(assumptions=xs) == UNSAT
         core = set(s.unsat_core())
         assert core <= {xs[0], xs[1]}
+
+
+class TestCoreUnderScopes:
+    """Cores of ``check(assumptions)`` inside ``push()``/``pop()``
+    scopes: always a subset of the assumption set, minimal on hand-built
+    instances, and identical after a scope round-trip."""
+
+    def _conflicting_pair(self):
+        a, b, c, d = (BoolVar(f"sc_core_{n}") for n in "abcd")
+        s = Solver()
+        s.add(Implies(a, Not(b)))
+        return s, (a, b, c, d)
+
+    def test_core_is_subset_of_assumptions(self):
+        s, (a, b, c, d) = self._conflicting_pair()
+        s.push()
+        s.add(Implies(c, Not(d)))
+        assert s.check(assumptions=[a, b, c]) == UNSAT
+        assert set(s.unsat_core()) <= {a, b, c}
+
+    def test_core_minimal_on_hand_built_chain(self):
+        """x0 -> x1 -> ... -> x4 -> ¬x0: assuming x0 alone is already
+        inconsistent, and the minimal core is exactly {x0} no matter how
+        many irrelevant assumptions ride along."""
+        xs = [BoolVar(f"chain_{i}") for i in range(5)]
+        noise = [BoolVar(f"noise_{i}") for i in range(3)]
+        s = Solver()
+        for lhs, rhs in zip(xs, xs[1:]):
+            s.add(Implies(lhs, rhs))
+        s.add(Implies(xs[-1], Not(xs[0])))
+        assert s.check(assumptions=[xs[0]] + noise) == UNSAT
+        assert s.unsat_core() == [xs[0]]
+
+    def test_core_minimal_two_sided(self):
+        """a and b are only jointly inconsistent: both must appear."""
+        s, (a, b, c, d) = self._conflicting_pair()
+        assert s.check(assumptions=[c, a, d, b]) == UNSAT
+        core = set(s.unsat_core())
+        assert core == {a, b}
+
+    def test_scope_assertions_never_appear_in_core(self):
+        """A conflict caused purely by scoped assertions yields an
+        empty core (they are assertions, not assumptions), even though
+        scopes are implemented with solver-internal assumptions."""
+        a = BoolVar("sc_core_only")
+        s = Solver()
+        s.push()
+        s.add(a, Not(a))
+        assert s.check(assumptions=[BoolVar("sc_core_free")]) == UNSAT
+        assert s.unsat_core() == []
+        s.pop()
+        assert s.check() == SAT
+
+    def test_core_round_trips_after_pop(self):
+        """Same assumptions, same verdict, same core before a push,
+        inside the scope, and after the pop."""
+        s, (a, b, c, d) = self._conflicting_pair()
+        assert s.check(assumptions=[a, b, c]) == UNSAT
+        core_before = set(s.unsat_core())
+        s.push()
+        s.add(Or(c, d))  # irrelevant to the a/b conflict
+        assert s.check(assumptions=[a, b, c]) == UNSAT
+        assert set(s.unsat_core()) == core_before
+        s.pop()
+        assert s.check(assumptions=[a, b, c]) == UNSAT
+        assert set(s.unsat_core()) == core_before
+        assert core_before <= {a, b}
+
+    def test_enum_core_under_scope(self):
+        palette = EnumSort("core_scope_palette", ("red", "green", "blue"))
+        x = EnumVar("core_scope_x", palette)
+        red = Eq(x, EnumConst(palette, "red"))
+        green = Eq(x, EnumConst(palette, "green"))
+        blue = Eq(x, EnumConst(palette, "blue"))
+        s = Solver()
+        s.push()
+        s.add(Not(blue))
+        assert s.check(assumptions=[red, green]) == UNSAT
+        core = s.unsat_core()
+        assert core and set(core) <= {red, green}
+        s.pop()
+        assert s.check(assumptions=[red, green]) == UNSAT
+        assert set(s.unsat_core()) <= {red, green}

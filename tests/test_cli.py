@@ -59,6 +59,34 @@ class TestAuditJson:
             c["trace"] for c in payload["checks"] if c["status"] == "violated"
         )
 
+    def test_solver_stats_round_trip(self, capsys):
+        """`repro audit --json` surfaces the incremental solver's
+        counters: per-check deltas that sum to the reported totals, and
+        cumulative counters that never decrease on a warm solver."""
+        rc = main(["audit", "isp", "--size", "2", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        counters = ("conflicts", "decisions", "propagations",
+                    "restarts", "learned")
+        totals = payload["solver_totals"]
+        recomputed = {key: 0 for key in counters}
+        for check in payload["checks"]:
+            solver = check["solver"]
+            assert solver is not None
+            for key in counters:
+                assert isinstance(solver[key], int) and solver[key] >= 0
+                if not check["cached"]:
+                    recomputed[key] += solver[key]
+            cumulative = solver["cumulative"]
+            for key in counters:
+                # A check's share never exceeds its solver's lifetime
+                # total — the cumulative counters do not reset.
+                assert cumulative[key] >= solver[key], key
+            assert isinstance(solver["warm"], bool)
+            assert solver["vars"] >= 1
+        assert recomputed == totals
+        assert totals["propagations"] > 0
+
 
 class TestWatch:
     def test_replays_churn_stream(self, capsys):
