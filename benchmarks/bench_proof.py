@@ -1,0 +1,150 @@
+"""Bounded BMC vs the unbounded proof portfolio.
+
+For every check of the four paper scenarios this runs (a) the plain
+bounded check — the structural-depth BMC verdict — and (b) the proof
+portfolio (BMC-for-bugs alongside k-induction and IC3/PDR on warm
+incremental solvers, certificates re-checked cold).  Verdicts are
+certified identical; the JSON records, per check, both engines' wall
+clock, the portfolio's winning engine, its guarantee strength, and
+the certificate summary — the quantities the "holds (bounded) →
+holds (unbounded)" upgrade is judged by.
+
+Usage::
+
+    python benchmarks/bench_proof.py --size 2 --output BENCH_proof.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.core.engine import resolve_bmc_params
+from repro.netmodel.bmc import SolverPool, check
+from repro.proof import prove_portfolio
+from repro.scenarios import datacenter, enterprise, isp, multitenant
+
+SCENARIOS = {
+    "enterprise": lambda size: enterprise(n_subnets=size),
+    "datacenter": lambda size: datacenter(n_groups=size),
+    "multitenant": lambda size: multitenant(n_tenants=size),
+    "isp": lambda size: isp(n_subnets=size),
+}
+
+
+def run_scenario(name: str, size: int, max_checks, verbose: bool) -> dict:
+    bundle = SCENARIOS[name](size)
+    vmn = bundle.vmn()
+    pool = SolverPool()
+    rows = []
+    bmc_total = portfolio_total = 0.0
+    identical = True
+    upgraded = bounded = 0
+    for item in bundle.checks:
+        net, _ = vmn.network_for(item.invariant)
+        params = resolve_bmc_params(net, item.invariant, {})
+        kwargs = {
+            key: params[key]
+            for key in ("n_packets", "failure_budget", "n_ports", "n_tags")
+        }
+
+        started = time.perf_counter()
+        bmc = check(net, item.invariant, **kwargs)
+        bmc_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        proof = prove_portfolio(
+            net, item.invariant, warm=pool, max_checks=max_checks, **kwargs
+        )
+        proof_seconds = time.perf_counter() - started
+
+        same = bmc.status == proof.status == item.expected
+        identical = identical and same
+        bmc_total += bmc_seconds
+        portfolio_total += proof_seconds
+        if proof.status == "holds":
+            if proof.guarantee == "unbounded":
+                upgraded += 1
+            else:
+                bounded += 1
+        rows.append({
+            "label": item.label,
+            "status": proof.status,
+            "guarantee": proof.guarantee,
+            "engine": proof.engine,
+            "certificate": (
+                proof.certificate.summary() if proof.certificate else None
+            ),
+            "recheck_ok": None if proof.recheck is None else proof.recheck.ok,
+            "bmc_seconds": round(bmc_seconds, 4),
+            "portfolio_seconds": round(proof_seconds, 4),
+            "solver_checks": proof.solver_checks,
+            "identical": same,
+        })
+        if verbose:
+            print(f"  {item.label:30s} {proof.status:9s} "
+                  f"[{proof.guarantee} via {proof.engine}] "
+                  f"bmc={bmc_seconds:6.2f}s portfolio={proof_seconds:7.2f}s "
+                  f"{'ok' if same else 'MISMATCH'}")
+    return {
+        "size": size,
+        "n_checks": len(rows),
+        "checks": rows,
+        "bmc_seconds": round(bmc_total, 3),
+        "portfolio_seconds": round(portfolio_total, 3),
+        "holds_upgraded": upgraded,
+        "holds_bounded": bounded,
+        "verdicts_identical": identical,
+        "pool": {"warm_solvers": len(pool), "hits": pool.hits,
+                 "misses": pool.misses},
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=2,
+                        help="scenario size (groups/subnets/tenants)")
+    parser.add_argument("--scenarios", default=",".join(SCENARIOS),
+                        help="comma-separated subset of "
+                             + ",".join(SCENARIOS))
+    parser.add_argument("--max-checks", type=int, default=None,
+                        help="portfolio query cap per check "
+                             "(default: run every proof to completion)")
+    parser.add_argument("--output", default=None,
+                        help="write the JSON report here")
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    report = {"benchmark": "proof_portfolio", "scenarios": {}}
+    ok = True
+    for name in args.scenarios.split(","):
+        name = name.strip()
+        if name not in SCENARIOS:
+            print(f"unknown scenario {name!r}")
+            return 2
+        if not args.quiet:
+            print(f"{name} (size {args.size}):")
+        result = run_scenario(name, args.size, args.max_checks,
+                              verbose=not args.quiet)
+        report["scenarios"][name] = result
+        ok = ok and result["verdicts_identical"]
+        if not args.quiet:
+            print(f"  -> {result['holds_upgraded']} holds upgraded to "
+                  f"unbounded, {result['holds_bounded']} left bounded; "
+                  f"bmc {result['bmc_seconds']}s vs portfolio "
+                  f"{result['portfolio_seconds']}s")
+    report["verdicts_identical"] = ok
+
+    payload = json.dumps(report, indent=2)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(payload + "\n")
+    if args.quiet:
+        print(payload)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

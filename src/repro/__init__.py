@@ -7,6 +7,8 @@ A reproduction of Panda et al., NSDI 2017.  The public API:
 * :mod:`repro.mboxes` — the middlebox model library (Listings 1-2);
 * :mod:`repro.network` — topologies, forwarding, transfer functions;
 * :mod:`repro.netmodel` — the symbolic encoding and BMC driver;
+* :mod:`repro.proof` — unbounded proof engines (k-induction, IC3/PDR,
+  certificates, the portfolio driver);
 * :mod:`repro.smt` — the finite-domain SMT substrate (the Z3 stand-in);
 * :mod:`repro.scenarios` — the paper's §5 evaluation scenarios;
 * :mod:`repro.baselines` — whole-network and explicit-state baselines.
@@ -24,7 +26,7 @@ from .core import (
 )
 from .network import SteeringPolicy, Topology
 
-__version__ = "0.1.0"
+__version__ = "0.3.0"
 
 __all__ = [
     "VMN",

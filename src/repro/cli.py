@@ -6,6 +6,7 @@
     python -m repro audit enterprise --size 3
     python -m repro audit datacenter --size 3 --misconfig --seed 7
     python -m repro audit isp --size 3 --misconfig --show-traces
+    python -m repro prove isp --size 3 --json
     python -m repro watch enterprise --deltas 10
     python -m repro audit enterprise --json > verdicts.json
 
@@ -13,6 +14,12 @@
 misconfiguration injected), verifies every invariant in its check list,
 compares against the expected verdicts, and exits non-zero when any
 verdict is unexpected — usable as a regression gate.
+
+``prove`` is ``audit`` with the unbounded proof portfolio
+(:mod:`repro.proof`): every check runs BMC-for-bugs alongside
+k-induction and IC3/PDR, and each row reports its guarantee strength —
+``holds (unbounded)`` backed by an independently re-checked inductive
+certificate, or ``bounded`` with the limiting engines' reason.
 
 ``watch`` replays a churn stream (a generated sequence of network
 deltas — firewall-rule edits, host/tenant provisioning, link flaps)
@@ -141,7 +148,21 @@ def _build_bundle(args):
     return builder(size, misconfig, args.seed)
 
 
-def _cmd_audit(args) -> int:
+def _certificate_row(stats) -> Optional[dict]:
+    """Compact certificate summary for ``prove --json`` rows."""
+    cert = stats.get("certificate")
+    if cert is None:
+        return None
+    row = {"kind": cert.kind, "summary": cert.summary()}
+    if cert.kind == "kinduction":
+        row["k"] = cert.k
+    else:
+        row["n_clauses"] = len(cert.clauses)
+        row["n_literals"] = sum(len(c) for c in cert.clauses)
+    return row
+
+
+def _cmd_audit(args, prove: Optional[str] = None) -> int:
     bundle = _build_bundle(args)
     if bundle is None:
         return 2
@@ -152,9 +173,14 @@ def _cmd_audit(args) -> int:
         print(f"policy equivalence classes: {vmn.policy_classes.count}")
 
     workers = args.jobs if args.jobs > 0 else None  # None = one per CPU
+    bmc_kwargs = {}
+    if prove and getattr(args, "budget", None):
+        bmc_kwargs["max_conflicts"] = args.budget
+    if prove and getattr(args, "max_checks", None):
+        bmc_kwargs["max_checks"] = args.max_checks
     started = time.perf_counter()
     job_list = [
-        vmn.job_for(check.invariant, index=i)
+        vmn.job_for(check.invariant, index=i, prove=prove, **bmc_kwargs)
         for i, check in enumerate(bundle.checks)
     ]
     results = execute_jobs(job_list, workers=workers, cache=vmn.result_cache,
@@ -164,6 +190,7 @@ def _cmd_audit(args) -> int:
     mismatches = 0
     rows = []
     solver_totals = {k: 0 for k in _SOLVER_COUNTERS}
+    guarantees = {"unbounded": 0, "bounded": 0}
     for check, job, result in zip(bundle.checks, job_list, results):
         ok = result.status == check.expected
         mismatches += 0 if ok else 1
@@ -171,7 +198,7 @@ def _cmd_audit(args) -> int:
         if solver is not None and not result.cache_hit:
             for key in _SOLVER_COUNTERS:
                 solver_totals[key] += solver[key]
-        rows.append({
+        row = {
             "label": check.label,
             "invariant": check.invariant.describe(),
             "status": result.status,
@@ -182,12 +209,32 @@ def _cmd_audit(args) -> int:
             "solve_seconds": round(result.solve_seconds, 4),
             "solver": solver,
             "trace": str(result.trace) if result.trace is not None else None,
-        })
+        }
+        if prove:
+            stats = result.stats
+            guarantee = stats.get("guarantee", "bounded")
+            guarantees[guarantee] = guarantees.get(guarantee, 0) + 1
+            row.update({
+                "guarantee": guarantee,
+                "engine": stats.get("proof_engine"),
+                "note": stats.get("proof_note"),
+                "certificate": _certificate_row(stats),
+                "recheck_ok": stats.get("recheck_ok"),
+                "solver_checks": stats.get("solver_checks"),
+            })
+        rows.append(row)
         if args.json:
             continue
         where = f"slice={job.slice_size}" if job.slice_size else "whole-net"
         cached = ", cached" if result.cache_hit else ""
-        print(f"  {check.label:30s} {result.status:9s} "
+        strength = ""
+        if prove:
+            strength = (
+                f" [{row['guarantee']}"
+                + (f" via {row['engine']}" if row["engine"] else "")
+                + "]"
+            )
+        print(f"  {check.label:30s} {result.status:9s}{strength} "
               f"({where}, {result.solve_seconds:.2f}s{cached})"
               f"{'' if ok else f'  EXPECTED {check.expected}'}")
         if args.show_traces and result.trace is not None:
@@ -195,8 +242,8 @@ def _cmd_audit(args) -> int:
                 print("     ", line)
 
     if args.json:
-        json.dump({
-            "command": "audit",
+        payload = {
+            "command": "prove" if prove else "audit",
             "scenario": bundle.name,
             "policy_classes": vmn.policy_classes.count,
             "n_checks": len(rows),
@@ -204,11 +251,18 @@ def _cmd_audit(args) -> int:
             "elapsed_seconds": round(elapsed, 3),
             "solver_totals": solver_totals,
             "checks": rows,
-        }, sys.stdout, indent=2)
+        }
+        if prove:
+            payload["guarantees"] = guarantees
+        json.dump(payload, sys.stdout, indent=2)
         sys.stdout.write("\n")
     else:
+        tail = ""
+        if prove:
+            tail = (f"; {guarantees['unbounded']} unbounded / "
+                    f"{guarantees['bounded']} bounded guarantees")
         print(f"{len(bundle.checks)} invariants in {elapsed:.1f}s; "
-              f"{mismatches} unexpected verdicts")
+              f"{mismatches} unexpected verdicts{tail}")
     return 0 if mismatches == 0 else 1
 
 
@@ -346,6 +400,37 @@ def main(argv=None) -> int:
     audit.add_argument("--json", action="store_true",
                        help="emit structured verdicts/timings as JSON")
 
+    prove = sub.add_parser(
+        "prove",
+        help="audit a scenario with the unbounded proof portfolio "
+             "(k-induction + IC3 + BMC)",
+    )
+    prove.add_argument("scenario", help="scenario name (see `list`)")
+    prove.add_argument("--size", type=int, default=None,
+                       help="scenario size (groups/subnets/tenants)")
+    prove.add_argument("--misconfig", action="store_true",
+                       help="inject the scenario's misconfiguration")
+    prove.add_argument("--seed", type=int, default=0,
+                       help="seed for randomized injections")
+    prove.add_argument("--no-slicing", action="store_true",
+                       help="verify on the whole network (baseline)")
+    prove.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="prove invariants on N worker processes "
+                            "(0 = one per CPU; default: sequential)")
+    prove.add_argument("--no-cache", action="store_true",
+                       help="disable the structural result cache")
+    prove.add_argument("--budget", type=int, default=None, metavar="CONFLICTS",
+                       help="shared conflict budget per check across the "
+                            "portfolio's engines (default: run to completion)")
+    prove.add_argument("--max-checks", type=int, default=None, metavar="N",
+                       help="cap the portfolio's solver queries per check "
+                            "(induction queries are often conflict-free, so "
+                            "this is the reliable wall-clock bound)")
+    prove.add_argument("--show-traces", action="store_true",
+                       help="print counterexample schedules")
+    prove.add_argument("--json", action="store_true",
+                       help="emit structured verdicts/guarantees as JSON")
+
     watch = sub.add_parser(
         "watch",
         help="replay a churn stream through incremental re-verification",
@@ -372,6 +457,8 @@ def main(argv=None) -> int:
         parser.error("--jobs must be >= 0")
     if args.command == "watch":
         return _cmd_watch(args)
+    if args.command == "prove":
+        return _cmd_audit(args, prove="portfolio")
     return _cmd_audit(args)
 
 

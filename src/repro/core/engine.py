@@ -155,6 +155,11 @@ class ResultCache:
             self.hits += 1
         return result
 
+    def contains(self, key: str) -> bool:
+        """Peek without touching the hit/miss counters (used by callers
+        deciding whether a solver-free path is even worth trying)."""
+        return key in self._store
+
     def put(self, key: str, result: CheckResult) -> None:
         self._store[key] = result
 
@@ -203,6 +208,13 @@ class VerificationJob:
     to lease a warm solver when the job runs in-process; worker
     processes ignore it (a live solver cannot cross a pickle
     boundary), so parallel dispatch stays cold per job.
+
+    ``prove`` switches the job from plain bounded model checking to the
+    unbounded proof portfolio (``"portfolio"``): the verdict comes back
+    as the same :class:`CheckResult` shape, with the guarantee
+    strength, winning engine and certificate in ``stats`` — so the
+    result cache, report merging and audit rows carry proof results
+    without any special casing.
     """
 
     index: int
@@ -212,8 +224,20 @@ class VerificationJob:
     fingerprint: Optional[str] = None
     slice_size: Optional[int] = None  # None = whole-network verification
     warm_key: Optional[str] = None
+    prove: Optional[str] = None
 
     def run(self, warm: Optional[SolverPool] = None) -> CheckResult:
+        if self.prove:
+            from ..proof.portfolio import prove_check
+
+            return prove_check(
+                self.network,
+                self.invariant,
+                prove=self.prove,
+                warm=warm,
+                warm_key=self.warm_key,
+                **self.params,
+            )
         return check(
             self.network,
             self.invariant,

@@ -1,17 +1,24 @@
 """Unbounded proofs for BMC ``holds`` verdicts.
 
 The BMC driver's ``holds`` is relative to the structural depth bound of
-DESIGN.md §5.  For the failure-free fragment with boolean-oracle
-middleboxes, the explicit-state fixpoint of
-:mod:`repro.baselines.explicit` decides reachability for *all* schedule
-lengths at once (monotonicity), so agreement between the two engines
-upgrades a bounded verdict to an unbounded one — and disagreement would
-expose a depth bound that is too small.
+DESIGN.md §5.  :func:`prove` upgrades it through the unbounded proof
+subsystem (:mod:`repro.proof`): a portfolio runs BMC-for-bugs alongside
+k-induction and IC3/PDR under a shared conflict budget, and a prover
+verdict is only trusted after its inductive certificate passes an
+independent cold-solver re-check.
 
-:func:`prove` runs both engines; the returned :class:`ProofResult`
-records the verdict and how far the guarantee extends.  Oracles are
-explored at both constant extremes (all-false / all-true classifiers);
-a violation under either counts.
+Where the invariant falls in the boolean-oracle, failure-free fragment,
+the explicit-state fixpoint of :mod:`repro.baselines.explicit` decides
+reachability for *all* schedule lengths at once (monotonicity); it is
+kept as a **consistency oracle**: its verdict is compared against the
+portfolio's, agreement is recorded on the result, and a violation the
+bounded engines missed still forces the verdict (exactly the original
+cross-check contract).  ``method="explicit"`` restores the legacy
+behaviour — BMC plus the fixpoint only, no induction engines.
+
+:func:`prove` returns a :class:`ProofResult` recording the verdict, the
+strength of its guarantee, the engine that established it, and the
+certificate (with its re-check outcome) when one exists.
 """
 
 from __future__ import annotations
@@ -22,6 +29,8 @@ from typing import Optional
 from ..baselines.explicit import FixpointChecker
 from ..netmodel.bmc import HOLDS, VIOLATED, CheckResult, check
 from ..netmodel.system import VerificationNetwork
+from ..proof.certificate import ProofCertificate, RecheckReport
+from ..proof.portfolio import BOUNDED, UNBOUNDED, prove_portfolio
 from .invariants import (
     CanReach,
     DataIsolation,
@@ -33,9 +42,6 @@ from .invariants import (
 
 __all__ = ["ProofResult", "prove", "UNBOUNDED", "BOUNDED"]
 
-UNBOUNDED = "unbounded"
-BOUNDED = "bounded"
-
 
 @dataclass
 class ProofResult:
@@ -46,6 +52,9 @@ class ProofResult:
     bmc: CheckResult
     explicit_agrees: Optional[bool] = None
     note: str = ""
+    engine: str = ""  # what established the verdict ("bmc"/"kinduction"/"ic3"/...)
+    certificate: Optional[ProofCertificate] = None
+    recheck: Optional[RecheckReport] = None
 
     @property
     def holds(self) -> bool:
@@ -98,42 +107,104 @@ def _explicit_verdict(net: VerificationNetwork, invariant: Invariant,
     return None
 
 
-def prove(
+def _prove_explicit(
     net: VerificationNetwork,
     invariant: Invariant,
-    n_ports: int = 4,
-    solver_pool=None,
+    n_ports: int,
+    solver_pool,
     **bmc_kwargs,
 ) -> ProofResult:
-    """BMC verdict, upgraded to an unbounded proof when possible.
-
-    ``solver_pool`` (a :class:`repro.netmodel.bmc.SolverPool`) lets a
-    caller proving several invariants on the same network keep one warm
-    solver per encoding across ``prove`` calls; the explicit-state
-    cross-check is unaffected.
-    """
+    """The legacy engine pair: BMC plus the explicit-state fixpoint."""
     bmc = check(net, invariant, n_ports=n_ports, warm=solver_pool, **bmc_kwargs)
     if bmc.status == VIOLATED:
         # A counterexample is a proof regardless of depth.
         return ProofResult(
-            status=VIOLATED, guarantee=UNBOUNDED, bmc=bmc,
+            status=VIOLATED, guarantee=UNBOUNDED, bmc=bmc, engine="bmc",
             note="counterexample schedule",
         )
 
     explicit = _explicit_verdict(net, invariant, n_ports)
     if explicit is None:
         return ProofResult(
-            status=bmc.status, guarantee=BOUNDED, bmc=bmc,
+            status=bmc.status, guarantee=BOUNDED, bmc=bmc, engine="bmc",
             note=f"depth {bmc.depth}; explicit engine not applicable",
         )
     if explicit:  # explicit sees a violation BMC missed: bound too small
         return ProofResult(
             status=VIOLATED, guarantee=UNBOUNDED, bmc=bmc,
-            explicit_agrees=False,
+            explicit_agrees=False, engine="explicit",
             note="explicit fixpoint found a deeper violation; "
                  "increase depth/n_packets to obtain a schedule",
         )
     return ProofResult(
         status=HOLDS, guarantee=UNBOUNDED, bmc=bmc, explicit_agrees=True,
-        note="confirmed by schedule-independent fixpoint",
+        engine="explicit", note="confirmed by schedule-independent fixpoint",
+    )
+
+
+def prove(
+    net: VerificationNetwork,
+    invariant: Invariant,
+    n_ports: int = 4,
+    solver_pool=None,
+    method: str = "portfolio",
+    **bmc_kwargs,
+) -> ProofResult:
+    """BMC verdict, upgraded to an unbounded proof when possible.
+
+    ``method="portfolio"`` (default) runs the k-induction + IC3 + BMC
+    portfolio of :mod:`repro.proof`; ``method="explicit"`` restores the
+    legacy explicit-fixpoint upgrade path.  ``solver_pool`` (a
+    :class:`repro.netmodel.bmc.SolverPool`) lets a caller proving
+    several invariants on the same network keep one warm solver (and
+    one warm transition system) per encoding across ``prove`` calls.
+    """
+    if method == "explicit":
+        return _prove_explicit(net, invariant, n_ports, solver_pool, **bmc_kwargs)
+    if method != "portfolio":
+        raise ValueError(f"unknown prove method {method!r}")
+
+    pr = prove_portfolio(
+        net, invariant, n_ports=n_ports, warm=solver_pool, **bmc_kwargs
+    )
+    bmc = CheckResult(
+        status=pr.status, invariant=invariant, depth=pr.depth,
+        n_packets=pr.n_packets, solve_seconds=pr.solve_seconds,
+        trace=pr.trace, stats=dict(pr.stats),
+    )
+    if pr.status == VIOLATED:
+        # A counterexample schedule is conclusive; don't pay for the
+        # fixpoint enumeration (the legacy path skipped it here too).
+        return ProofResult(
+            status=VIOLATED, guarantee=UNBOUNDED, bmc=bmc, engine=pr.engine,
+            note=pr.note,
+        )
+    explicit = _explicit_verdict(net, invariant, n_ports)
+    if explicit is True:
+        # The consistency oracle contradicts a holds/unknown verdict:
+        # surface the violation exactly as the legacy path did.
+        return ProofResult(
+            status=VIOLATED, guarantee=UNBOUNDED, bmc=bmc,
+            explicit_agrees=False, engine="explicit",
+            note="explicit fixpoint found a deeper violation; "
+                 "increase depth/n_packets to obtain a schedule",
+        )
+    agrees = None if explicit is None else (pr.status == HOLDS)
+    if pr.guarantee == UNBOUNDED:
+        return ProofResult(
+            status=pr.status, guarantee=UNBOUNDED, bmc=bmc,
+            explicit_agrees=agrees, engine=pr.engine, note=pr.note,
+            certificate=pr.certificate, recheck=pr.recheck,
+        )
+    if explicit is False and pr.status == HOLDS:
+        # The portfolio stalled but the fixpoint fragment applies: the
+        # legacy upgrade still holds (schedule-independent argument).
+        return ProofResult(
+            status=HOLDS, guarantee=UNBOUNDED, bmc=bmc, explicit_agrees=True,
+            engine="explicit",
+            note="confirmed by schedule-independent fixpoint; " + pr.note,
+        )
+    return ProofResult(
+        status=pr.status, guarantee=BOUNDED, bmc=bmc,
+        explicit_agrees=agrees, engine=pr.engine, note=pr.note,
     )

@@ -63,6 +63,7 @@ def verify_under_failures(
     scenarios: Iterable[FailureScenario],
     jobs: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    prove: Optional[str] = None,
     **vmn_kwargs,
 ):
     """Verify one invariant across a set of static failure scenarios.
@@ -96,7 +97,7 @@ def verify_under_failures(
             solver_pool=solver_pool,
             **vmn_kwargs,
         )
-        job_list.append(vmn.job_for(invariant, index=i))
+        job_list.append(vmn.job_for(invariant, index=i, prove=prove))
     results = execute_jobs(
         job_list, workers=jobs or 1, cache=cache, solver_pool=solver_pool
     )
@@ -222,18 +223,24 @@ class VMN:
         invariant: Invariant,
         index: int = 0,
         with_fingerprint: Optional[bool] = None,
+        prove: Optional[str] = None,
         **bmc_kwargs,
     ) -> VerificationJob:
         """Package one invariant check as a self-contained, picklable job.
 
         ``with_fingerprint`` defaults to whether this VMN owns a result
         cache; pass ``True`` when the job will run against an external
-        cache."""
+        cache.  ``prove="portfolio"`` turns the job into an unbounded
+        proof attempt (the fingerprint covers the mode, so bounded and
+        proof verdicts never alias in the cache)."""
         if with_fingerprint is None:
             with_fingerprint = self.result_cache is not None
         net, slice_size = self.network_for(invariant)
         params = resolve_bmc_params(net, invariant, bmc_kwargs)
-        fp = fingerprint(net, invariant, params) if with_fingerprint else None
+        fp = None
+        if with_fingerprint:
+            fp_params = dict(params) if prove is None else {**params, "prove": prove}
+            fp = fingerprint(net, invariant, fp_params)
         return VerificationJob(
             index=index,
             network=net,
@@ -242,6 +249,7 @@ class VMN:
             fingerprint=fp,
             slice_size=slice_size,
             warm_key=self._warm_key(net, params),
+            prove=prove,
         )
 
     def _warm_key(self, net: VerificationNetwork, params: dict) -> Optional[str]:
@@ -266,9 +274,15 @@ class VMN:
     # ------------------------------------------------------------------
     # Verification
     # ------------------------------------------------------------------
-    def verify(self, invariant: Invariant, **bmc_kwargs) -> CheckResult:
-        """Check one invariant (sliced when possible, cached when seen)."""
-        job = self.job_for(invariant, **bmc_kwargs)
+    def verify(self, invariant: Invariant, prove: Optional[str] = None,
+               **bmc_kwargs) -> CheckResult:
+        """Check one invariant (sliced when possible, cached when seen).
+
+        ``prove="portfolio"`` runs the unbounded proof portfolio
+        instead of plain BMC: the result's ``stats`` then carry
+        ``guarantee`` (unbounded/bounded), the winning ``proof_engine``
+        and — for prover verdicts — the re-checked ``certificate``."""
+        job = self.job_for(invariant, prove=prove, **bmc_kwargs)
         return execute_jobs(
             [job], workers=1, cache=self.result_cache,
             solver_pool=self.solver_pool,
@@ -279,13 +293,15 @@ class VMN:
         invariants: Sequence[Invariant],
         jobs: Optional[int] = None,
         cache: Optional[ResultCache] = None,
+        prove: Optional[str] = None,
         **bmc_kwargs,
     ) -> Report:
         """Check an invariant set, exploiting symmetry when enabled.
 
         ``jobs=N`` runs the symmetry-group checks on a pool of N worker
         processes (``jobs=None`` keeps the sequential path); ordering
-        and verdicts are identical either way.
+        and verdicts are identical either way.  ``prove`` upgrades
+        every check to the proof portfolio (see :meth:`verify`).
         """
         started = time.perf_counter()
         report = Report()
@@ -304,6 +320,7 @@ class VMN:
                 group.representative,
                 index=i,
                 with_fingerprint=cache is not None,
+                prove=prove,
                 **bmc_kwargs,
             )
             for i, group in enumerate(groups)

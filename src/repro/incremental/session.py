@@ -38,10 +38,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..core.engine import ResultCache, SolverPool, execute_jobs
+from ..core.engine import ResultCache, SolverPool, execute_jobs, resolve_bmc_params
 from ..core.slicing import SliceClosureError
 from ..core.vmn import VMN
-from ..netmodel.bmc import CheckResult
+from ..netmodel.bmc import HOLDS, CheckResult
+from ..proof.certificate import recheck_certificate
 from ..network.failures import NO_FAILURE, FailureScenario
 from ..network.topology import Topology
 from ..network.transfer import SteeringPolicy
@@ -124,6 +125,18 @@ class DeltaReport:
         return sum(1 for o in self.outcomes if not o.carried and not o.cached)
 
     @property
+    def certificates_reused(self) -> int:
+        """Checks whose cached inductive certificate re-validated on
+        this version (three solver queries instead of a proof search).
+        Carried outcomes are excluded: they wrap an older version's
+        result object, whose reuse flag belongs to that version."""
+        return sum(
+            1
+            for o in self.outcomes
+            if not o.carried and o.result.stats.get("certificate_reused")
+        )
+
+    @property
     def mismatches(self) -> int:
         return sum(1 for o in self.outcomes if o.ok is False)
 
@@ -152,12 +165,20 @@ class IncrementalSession:
         scenario: FailureScenario = NO_FAILURE,
         jobs: Optional[int] = None,
         cache: Optional[ResultCache] = None,
+        prove: Optional[str] = None,
         **vmn_kwargs,
     ):
         self.topology = topology
         self.steering = steering or SteeringPolicy()
         self.scenario = scenario
         self.jobs = jobs
+        #: ``"portfolio"`` keeps every tracked check continuously
+        #: *proven* (not just bounded-checked): verdicts carry
+        #: guarantee strength, and each holds-certificate is cached so
+        #: a later delta can re-validate it — three cold solver
+        #: queries — instead of re-running the proof search.
+        self.prove = prove
+        self._certificates: Dict[int, object] = {}
         self.vmn_kwargs = dict(vmn_kwargs)
         self.vmn_kwargs.pop("cache", None)
         self.vmn_kwargs.setdefault("use_cache", True)
@@ -231,9 +252,19 @@ class IncrementalSession:
 
     def _verify_keys(self, keys: Sequence[int]) -> None:
         """Re-verify the given checks on the current version, recording
-        fresh slices in the impact index and results in the cache."""
+        fresh slices in the impact index and results in the cache.
+
+        In prove mode, a check with a cached inductive certificate is
+        re-validated against the current version's encoding (initiation
+        / consecution / property implication on a cold solver) before
+        any proof search; only when the certificate breaks does the
+        check fall back to a fresh portfolio proof.  The warm
+        fingerprint cache still comes first — a verdict the session has
+        already proven on a structurally identical version costs
+        nothing at all."""
         jobs = []
-        for i, key in enumerate(keys):
+        job_keys = []
+        for key in keys:
             inv = self._checks[key].invariant
             sl = None
             if self.vmn.use_slicing:
@@ -242,13 +273,70 @@ class IncrementalSession:
                 except SliceClosureError:
                     sl = None
             self.index.record(key, sl)
-            jobs.append(self.vmn.job_for(inv, index=i, with_fingerprint=True))
+            job = self.vmn.job_for(inv, index=len(jobs),
+                                   with_fingerprint=True,
+                                   prove=self.prove)
+            cache_hit = (
+                self.cache is not None
+                and job.fingerprint is not None
+                and self.cache.contains(job.fingerprint)
+            )
+            if not cache_hit:
+                reused = self._reuse_certificate(key, inv)
+                if reused is not None:
+                    self._outcomes[key] = CheckOutcome(
+                        check=self._checks[key], result=reused, carried=False
+                    )
+                    continue
+            jobs.append(job)
+            job_keys.append(key)
         results = execute_jobs(jobs, workers=self.jobs or 1, cache=self.cache,
                                solver_pool=self.solver_pool)
-        for key, result in zip(keys, results):
+        for key, result in zip(job_keys, results):
             self._outcomes[key] = CheckOutcome(
                 check=self._checks[key], result=result, carried=False
             )
+            if self.prove:
+                cert = result.stats.get("certificate")
+                if result.status == HOLDS and cert is not None:
+                    self._certificates[key] = cert
+                else:
+                    self._certificates.pop(key, None)
+
+    def _reuse_certificate(self, key: int, invariant) -> Optional[CheckResult]:
+        """Try the cached certificate against the current version;
+        ``None`` when there is none or it no longer validates."""
+        cert = self._certificates.get(key)
+        if cert is None or not self.prove:
+            return None
+        started = time.perf_counter()
+        net, _ = self.vmn.network_for(invariant)
+        params = resolve_bmc_params(net, invariant, {})
+        report = recheck_certificate(
+            net, invariant, cert,
+            {k: params[k] for k in
+             ("n_packets", "failure_budget", "n_ports", "n_tags")},
+        )
+        if not report.ok:
+            self._certificates.pop(key, None)
+            return None
+        return CheckResult(
+            status=HOLDS,
+            invariant=invariant,
+            depth=params["depth"],
+            n_packets=params["n_packets"],
+            solve_seconds=time.perf_counter() - started,
+            stats={
+                "guarantee": "unbounded",
+                "proof_engine": cert.kind,
+                "proof_note": "cached certificate re-validated "
+                              "on the current version",
+                "certificate": cert,
+                "certificate_reused": True,
+                "recheck_ok": True,
+                "solver_checks": report.solver_checks,
+            },
+        )
 
     def _report(self, delta: Optional[str], verified: Sequence[int],
                 retired: List[TrackedCheck], added: int,
@@ -315,6 +403,7 @@ class IncrementalSession:
             if any(n not in self.topology for n in mentions):
                 retired.append(self._checks.pop(key))
                 self._outcomes.pop(key, None)
+                self._certificates.pop(key, None)
                 self.index.forget(key)
 
         added_keys = [
@@ -345,6 +434,7 @@ class IncrementalSession:
         for key in added_keys:
             self._checks.pop(key, None)
             self._outcomes.pop(key, None)
+            self._certificates.pop(key, None)
             self.index.forget(key)
         return self._apply(
             inverse,
@@ -373,7 +463,8 @@ class IncrementalSession:
         )
         checks = self.checks
         jobs_list = [
-            vmn.job_for(c.invariant, index=i, with_fingerprint=True)
+            vmn.job_for(c.invariant, index=i, with_fingerprint=True,
+                        prove=self.prove)
             for i, c in enumerate(checks)
         ]
         results = execute_jobs(jobs_list, workers=jobs or self.jobs or 1,

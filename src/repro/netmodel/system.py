@@ -38,6 +38,7 @@ from typing import Dict, List, Optional, Tuple
 from ..smt import (
     BOOL,
     And,
+    BoolVar,
     EnumConst,
     EnumSort,
     Eq,
@@ -109,7 +110,8 @@ class ModelContext:
     """
 
     def __init__(self, net: VerificationNetwork, schema: PacketSchema,
-                 events: List[EventVars], node_sort: EnumSort, ns: str):
+                 events: List[EventVars], node_sort: EnumSort, ns: str,
+                 free_init: bool = False):
         self.net = net
         self.schema = schema
         self.events = events
@@ -117,6 +119,14 @@ class ModelContext:
         self.ns = ns
         self.depth = len(events)
         self.packets: List[SymPacket] = schema.packets
+        self.free_init = free_init
+        #: Structural key -> the boolean variable standing in for the
+        #: predicate's value at time 0 (only populated in free-init
+        #: mode).  Keys are ``("rcv", node, p, since_fail)``,
+        #: ``("snt", node, p)`` and ``("failed", node)`` — stable across
+        #: model rebuilds of the same network, which is what lets proof
+        #: certificates be re-checked on an independent encoding.
+        self.init_atoms: "Dict[tuple, Term]" = {}
         self._rcv_cache: Dict[tuple, Term] = {}
         self._sent_net_cache: Dict[tuple, Term] = {}
         self._failed_cache: Dict[tuple, Term] = {}
@@ -135,6 +145,31 @@ class ModelContext:
     # ------------------------------------------------------------------
     # Event history predicates
     # ------------------------------------------------------------------
+    def _init_atom(self, key: tuple) -> Term:
+        """The free boolean standing in for a history predicate at
+        time 0 (free-init mode): the "arbitrary starting state" the
+        unbounded proof engines quantify over."""
+        atom = self.init_atoms.get(key)
+        if atom is None:
+            atom = BoolVar(f"{self.ns}:init:" + ":".join(map(str, key)))
+            self.init_atoms[key] = atom
+        return atom
+
+    def history_at(self, key: tuple, t: int) -> Term:
+        """The history predicate named by an init-atom ``key`` at time
+        ``t`` — the "next-state function" of the proof engines' state
+        vector (at ``t=0`` it is the init atom itself)."""
+        kind = key[0]
+        if kind == "rcv":
+            _, node, p_index, since_fail = key
+            return self.rcv_before(node, p_index, t, since_fail=since_fail)
+        if kind == "snt":
+            _, node, p_index = key
+            return self.sent_to_net_before(node, p_index, t)
+        if kind == "failed":
+            return self.failed_at(key[1], t)
+        raise KeyError(f"unknown state-atom key {key!r}")
+
     def rcv_at(self, node: str, p_index: int, t: int) -> Term:
         """Event ``t`` delivers packet ``p_index`` to ``node``."""
         ev = self.events[t]
@@ -154,7 +189,11 @@ class ModelContext:
         if cached is not None:
             return cached
         if t <= 0:
-            term = Or()
+            term = (
+                self._init_atom(("rcv", node, p_index, since_fail))
+                if self.free_init
+                else Or()
+            )
         else:
             prev = self.rcv_before(node, p_index, t - 1, since_fail)
             ev = self.events[t - 1]
@@ -174,7 +213,11 @@ class ModelContext:
         if cached is not None:
             return cached
         if t <= 0:
-            term = Or()
+            term = (
+                self._init_atom(("snt", node, p_index))
+                if self.free_init
+                else Or()
+            )
         else:
             prev = self.sent_to_net_before(node, p_index, t - 1)
             term = Or(prev, self.events[t - 1].snd(node, OMEGA, p_index))
@@ -188,7 +231,11 @@ class ModelContext:
         if cached is not None:
             return cached
         if t <= 0:
-            term = Or()
+            term = (
+                self._init_atom(("failed", node))
+                if self.free_init
+                else Or()
+            )
         else:
             prev = self.failed_at(node, t - 1)
             ev = self.events[t - 1]
@@ -299,12 +346,14 @@ class NetworkSMTModel:
         n_ports: int = 6,
         n_tags: int = 4,
         ns: Optional[str] = None,
+        free_init: bool = False,
     ):
         if depth < 1:
             raise ValueError("depth must be at least 1")
         self.net = net
         self.depth = depth
         self.failure_budget = failure_budget
+        self.free_init = free_init
         self.ns = ns if ns is not None else fresh_ns()
         self.schema = PacketSchema(
             self.ns, net.addresses, n_packets, n_ports=n_ports, n_tags=n_tags
@@ -314,7 +363,8 @@ class NetworkSMTModel:
         self.events = make_events(
             self.ns, depth, kind_sort, self.node_sort, self.schema.pkt_sort
         )
-        self.ctx = ModelContext(net, self.schema, self.events, self.node_sort, self.ns)
+        self.ctx = ModelContext(net, self.schema, self.events, self.node_sort,
+                                self.ns, free_init=free_init)
         self._step_cache: Dict[int, List[Term]] = {}
         self._base_cache: Optional[List[Term]] = None
 

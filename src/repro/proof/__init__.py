@@ -1,0 +1,41 @@
+"""Unbounded proof engines over the incremental solver stack.
+
+The BMC driver (:mod:`repro.netmodel.bmc`) decides "is there a
+violating schedule of at most ``k`` events?"; everything in this
+package answers the unbounded question — "is there a violating
+schedule of *any* length?" — and produces a checkable artifact when
+the answer is no:
+
+* :mod:`repro.proof.transition` — the shared substrate: the network
+  encoding re-grounded as a transition system with a *free initial
+  state* (every history predicate gets a free boolean at time 0), plus
+  the state-consistency axioms that keep the arbitrary-state
+  abstraction honest;
+* :mod:`repro.proof.kinduction` — k-induction with simple-path
+  (state-distinctness) strengthening;
+* :mod:`repro.proof.ic3` — IC3/PDR: frame sequence, proof-obligation
+  queue, unsat-core clause generalization, clause pushing;
+* :mod:`repro.proof.certificate` — the :class:`ProofCertificate`
+  vocabulary and its independent cold-solver re-check;
+* :mod:`repro.proof.portfolio` — the driver that runs BMC-for-bugs
+  alongside both provers under a shared conflict budget and only
+  trusts a certificate after the re-check passes.
+"""
+
+from .certificate import ProofCertificate, RecheckReport, recheck_certificate
+from .ic3 import IC3Engine
+from .kinduction import KInductionEngine
+from .portfolio import PortfolioResult, prove_check, prove_portfolio
+from .transition import TransitionSystem
+
+__all__ = [
+    "ProofCertificate",
+    "RecheckReport",
+    "recheck_certificate",
+    "TransitionSystem",
+    "KInductionEngine",
+    "IC3Engine",
+    "PortfolioResult",
+    "prove_portfolio",
+    "prove_check",
+]

@@ -1,0 +1,212 @@
+"""Proof certificates and their independent re-check.
+
+A proof engine's "holds, unbounded" answer is only as trustworthy as
+the engine's implementation, so every certificate is re-validated by a
+**cold, independent solver** before anything downstream reports it:
+fresh :class:`repro.proof.transition.TransitionSystem` (and, for
+k-induction, a fresh :class:`repro.netmodel.bmc.IncrementalBMC`), no
+shared learned clauses, no shared frames — just the certificate's
+defining conditions as a handful of UNSAT queries.
+
+Two certificate kinds:
+
+* ``kinduction`` — records the induction depth ``k``.  Valid iff
+  (1) *base*: no violating schedule of length ``≤ k`` exists from the
+  real (empty) initial state, and (2) *step*: no length-``k+1``
+  simple path from an arbitrary consistent state has the property
+  clean for ``k`` steps and violated at step ``k``.  ``k=0`` is the
+  degenerate (strongest) case: the violating event is impossible from
+  *any* consistent state.
+
+* ``ic3`` — records the inductive strengthening as blocked cubes over
+  the state vocabulary (atom keys + rigid field pins; see
+  :data:`repro.proof.transition.Lit`).  Valid iff the conjunction
+  ``Inv`` of the blocking clauses satisfies (1) *initiation*:
+  ``Init ⊨ Inv``, (2) *consecution*: ``Inv ∧ T ⊨ Inv'``, and
+  (3) *property*: no violating event is possible from an ``Inv``
+  state.
+
+Certificates are plain picklable data keyed by *structural* names
+(node, packet index, field), so they survive the result cache, worker
+pools, and — the payoff — network deltas: an
+:class:`repro.incremental.IncrementalSession` re-checks a cached
+invariant against the re-built encoding of the changed network (three
+queries) before it ever considers re-running a full proof search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..netmodel.bmc import IncrementalBMC, VerificationNetwork
+from ..smt import UNSAT, And, Not
+from .transition import Cube, TransitionSystem, clause_term
+
+__all__ = ["ProofCertificate", "RecheckReport", "recheck_certificate"]
+
+KINDUCTION = "kinduction"
+IC3 = "ic3"
+
+
+@dataclass(frozen=True)
+class ProofCertificate:
+    """A checkable witness that an invariant holds unboundedly."""
+
+    kind: str  # "kinduction" | "ic3"
+    k: int = 0  # induction depth (kinduction only)
+    clauses: Tuple[Cube, ...] = ()  # blocked cubes (ic3 only)
+
+    def summary(self) -> str:
+        if self.kind == KINDUCTION:
+            return f"{self.kind}(k={self.k})"
+        lits = sum(len(c) for c in self.clauses)
+        return f"{self.kind}({len(self.clauses)} clauses, {lits} literals)"
+
+    def to_json(self) -> dict:
+        """A JSON-serializable rendering (tuples become lists)."""
+        out = {"kind": self.kind}
+        if self.kind == KINDUCTION:
+            out["k"] = self.k
+        else:
+            out["clauses"] = [
+                [[list(key), value] for key, value in cube]
+                for cube in self.clauses
+            ]
+            out["n_clauses"] = len(self.clauses)
+        return out
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "ProofCertificate":
+        if payload["kind"] == KINDUCTION:
+            return cls(kind=KINDUCTION, k=int(payload["k"]))
+        clauses = tuple(
+            tuple((tuple(key), value) for key, value in cube)
+            for cube in payload["clauses"]
+        )
+        return cls(kind=IC3, clauses=clauses)
+
+
+@dataclass
+class RecheckReport:
+    """Outcome of one independent certificate validation."""
+
+    ok: bool
+    solver_checks: int
+    reason: str = ""
+    certificate: Optional[ProofCertificate] = field(default=None, repr=False)
+
+
+def _simple_path_assumptions(ts: TransitionSystem, k: int):
+    return [
+        ts.distinct_states(t1, t2)
+        for t1 in range(k + 1)
+        for t2 in range(t1 + 1, k + 1)
+    ]
+
+
+def _recheck_kinduction(
+    net: VerificationNetwork, invariant, cert: ProofCertificate, params: dict
+) -> RecheckReport:
+    checks = 0
+    k = cert.k
+    if k > 0:
+        # Base: no violating schedule of length <= k from the real start.
+        bmc = IncrementalBMC(
+            net,
+            n_packets=params["n_packets"],
+            depth=k,
+            failure_budget=params["failure_budget"],
+            n_ports=params["n_ports"],
+            n_tags=params["n_tags"],
+        )
+        checks += 1
+        if bmc.check_at(invariant, k) != UNSAT:
+            return RecheckReport(False, checks, f"base case fails at depth {k}")
+    # Step: clean for k steps then violated, from an arbitrary state,
+    # along a simple path — must be impossible.
+    ts = TransitionSystem(
+        net,
+        n_packets=params["n_packets"],
+        depth=k + 1,
+        failure_budget=params["failure_budget"],
+        n_ports=params["n_ports"],
+        n_tags=params["n_tags"],
+    )
+    ts.extend_to(k + 1)
+    assumptions = [ts.violation_prefix(invariant, k + 1)]
+    if k > 0:
+        assumptions.append(Not(ts.violation_prefix(invariant, k)))
+        assumptions.extend(_simple_path_assumptions(ts, k))
+    checks += 1
+    if ts.check(assumptions) != UNSAT:
+        return RecheckReport(False, checks, f"inductive step fails at k={k}")
+    return RecheckReport(True, checks, f"k-induction certificate valid (k={k})")
+
+
+def _recheck_ic3(
+    net: VerificationNetwork, invariant, cert: ProofCertificate, params: dict
+) -> RecheckReport:
+    ts = TransitionSystem(
+        net,
+        n_packets=params["n_packets"],
+        depth=1,
+        failure_budget=params["failure_budget"],
+        n_ports=params["n_ports"],
+        n_tags=params["n_tags"],
+    )
+    for cube in cert.clauses:
+        for key, _ in cube:
+            if not ts.has_atom(key):
+                return RecheckReport(
+                    False, 0, f"certificate names unknown state {key!r}"
+                )
+    ts.extend_to(1)
+    clauses0 = [clause_term(ts, cube, 0) for cube in cert.clauses]
+    clauses1 = [clause_term(ts, cube, 1) for cube in cert.clauses]
+    checks = 0
+    # (1) Initiation: the empty start satisfies every clause.
+    if clauses0:
+        checks += 1
+        if ts.check(ts.init_units() + [Not(And(*clauses0))]) != UNSAT:
+            return RecheckReport(False, checks, "initiation fails")
+    for clause in clauses0:
+        ts.solver.add(clause)
+    # (2) Consecution: Inv is closed under one transition.
+    if clauses1:
+        checks += 1
+        if ts.check([Not(And(*clauses1))]) != UNSAT:
+            return RecheckReport(False, checks, "consecution fails")
+    # (3) Property: no violating event fires from an Inv state.
+    checks += 1
+    if ts.check([ts.violation_prefix(invariant, 1)]) != UNSAT:
+        return RecheckReport(False, checks, "property implication fails")
+    return RecheckReport(
+        True, checks, f"ic3 certificate valid ({len(cert.clauses)} clauses)"
+    )
+
+
+def recheck_certificate(
+    net: VerificationNetwork, invariant, cert: ProofCertificate, params: dict
+) -> RecheckReport:
+    """Validate ``cert`` for ``invariant`` on ``net`` with cold solvers.
+
+    ``params`` are the resolved BMC parameters (``n_packets``,
+    ``failure_budget``, ``n_ports``, ``n_tags``) the proof ran with —
+    the certificate is relative to that packet schema.  Returns a
+    :class:`RecheckReport`; ``solver_checks`` is the number of solver
+    queries spent, the quantity certificate *reuse* is measured by.
+    """
+    if params.get("failure_budget"):
+        return RecheckReport(False, 0, "failure budgets have no unbounded proofs")
+    try:
+        if cert.kind == KINDUCTION:
+            report = _recheck_kinduction(net, invariant, cert, params)
+        elif cert.kind == IC3:
+            report = _recheck_ic3(net, invariant, cert, params)
+        else:
+            return RecheckReport(False, 0, f"unknown certificate kind {cert.kind!r}")
+    except KeyError as err:  # structural mismatch against the new network
+        return RecheckReport(False, 0, f"certificate does not map: {err}")
+    report.certificate = cert
+    return report

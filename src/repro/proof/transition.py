@@ -1,0 +1,353 @@
+"""The network encoding as a transition system with a free initial state.
+
+The BMC encoding grounds every history predicate (``rcv_before``,
+``sent_to_net_before``, ``failed_at``) to *false* at time 0 — schedules
+start from the empty network.  Unbounded proof engines instead reason
+from an **arbitrary** starting state: :class:`TransitionSystem` builds
+the same :class:`repro.netmodel.system.NetworkSMTModel`, but in
+``free_init`` mode, where each history predicate's time-0 value is a
+free boolean variable (a *state atom*).  The per-step axioms then act
+as the transition relation over that state vector, and the invariant's
+violation term becomes the "bad event" predicate.
+
+The state of a schedule point is the pair (state atoms, rigid
+variables): packet fields and oracle choices never change over time, so
+they behave as frozen state the proof engines may pin in cubes.
+
+Quantifying over genuinely arbitrary states is sound (it
+over-approximates reachability) but needlessly loose; the
+**state-consistency axioms** restore the cheap invariants every *reachable*
+state satisfies — received-since-failure implies received, a delivered
+packet was sent by someone, middlebox emissions require a prior receipt,
+host emissions obey source-address and data-provenance rules, and (at
+failure budget 0) nothing is ever down.  Each is an invariant of the
+real system, so asserting it on the arbitrary state keeps every proof
+sound while pruning the spurious counterexamples-to-induction that
+would otherwise dominate.
+
+The solver discipline mirrors :class:`repro.netmodel.bmc.IncrementalBMC`:
+one warm solver per transition system, base + consistency axioms
+asserted once, step axioms asserted on demand (:meth:`extend_to`),
+everything else — properties, cubes, frames, simple-path constraints —
+assumed or pushed in scopes, so k-induction and IC3 can interleave
+queries on one shared instance (and :class:`repro.netmodel.bmc.SolverPool`
+can keep it warm across invariants and network versions).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..netmodel.packets import same_flow
+from ..netmodel.system import OMEGA, NetworkSMTModel, VerificationNetwork
+from ..smt import And, EnumConst, Eq, Implies, Not, Or, Solver, Term, Xor
+
+__all__ = [
+    "TransitionSystem",
+    "Lit",
+    "Cube",
+    "cube_term",
+    "clause_term",
+]
+
+#: One cube literal: ``(key, value)``.  ``key`` is a state-atom key
+#: (``("rcv", node, p, since_fail)`` / ``("snt", node, p)`` /
+#: ``("failed", node)``) with a boolean value, a rigid packet-field
+#: key ``("field", p, name)`` with the pinned enum value, or a derived
+#: rigid predicate (``("rel", q, p)`` = the packets are the same
+#: bidirectional flow, ``("req", p)`` = the packet is a request) with
+#: a boolean value.
+Lit = Tuple[tuple, object]
+#: A cube: a conjunction of literals describing a set of states.
+Cube = Tuple[Lit, ...]
+
+_FIELD_NAMES = ("src", "dst", "sport", "dport", "origin", "tag")
+#: Keys whose positive literals separate a state from the empty start
+#: (rigid pins never do: the initial state allows any field values).
+HISTORY_KINDS = ("rcv", "snt", "failed")
+
+
+def is_history_lit(lit: Lit) -> bool:
+    """True for a positive history-atom literal (the literals that
+    exclude the empty initial state from a cube)."""
+    key, value = lit
+    return key[0] in HISTORY_KINDS and value is True
+
+
+class TransitionSystem:
+    """One warm free-initial-state unrolling of a network encoding."""
+
+    def __init__(
+        self,
+        net: VerificationNetwork,
+        n_packets: int,
+        depth: int,
+        failure_budget: int = 0,
+        n_ports: int = 6,
+        n_tags: int = 4,
+    ):
+        started = time.perf_counter()
+        self.net = net
+        self.model = NetworkSMTModel(
+            net,
+            n_packets=n_packets,
+            depth=depth,
+            failure_budget=failure_budget,
+            n_ports=n_ports,
+            n_tags=n_tags,
+            free_init=True,
+        )
+        ctx = self.model.ctx
+        # Register the full state vector up front (the encoding would
+        # discover most of it lazily, but proof cubes and certificates
+        # need the atom set to be total and identical across rebuilds
+        # of the same network).
+        nodes = [n for n in net.node_names if n != OMEGA]
+        mboxes = set(net.mbox_names)
+        for n in nodes:
+            for p in ctx.packets:
+                ctx.rcv_before(n, p.index, 0)
+                ctx.sent_to_net_before(n, p.index, 0)
+                if n in mboxes:
+                    ctx.rcv_before(n, p.index, 0, since_fail=True)
+            if n in mboxes:
+                ctx.failed_at(n, 0)
+        base = self.model.base_axioms()  # forces every step's terms too
+        self.atoms: List[tuple] = list(ctx.init_atoms)
+        self.fields: List[tuple] = [
+            ("field", p.index, name)
+            for p in ctx.packets
+            for name in _FIELD_NAMES
+        ]
+        self._field_vars: Dict[tuple, Term] = {
+            ("field", p.index, name): getattr(p, name)
+            for p in ctx.packets
+            for name in _FIELD_NAMES
+        }
+        # Derived rigid predicates: the facts middlebox state actually
+        # turns on (flow identity, request-ness) rather than the raw
+        # port/tag values realizing them.  Cubes that pin these instead
+        # of raw fields block whole families of field assignments at
+        # once — without them IC3 splinters one structural fact into a
+        # clause per port combination.
+        self._derived: Dict[tuple, Term] = {}
+        for p in ctx.packets:
+            self._derived[("req", p.index)] = p.is_request
+            for q in ctx.packets:
+                if q.index < p.index:
+                    self._derived[("rel", q.index, p.index)] = same_flow(q, p)
+        self.derived: List[tuple] = list(self._derived)
+        self.solver = Solver()
+        self.asserted_depth = 0
+        self.checks = 0
+        for axiom in base:
+            self.solver.add(axiom)
+        for axiom in self.consistency_axioms():
+            self.solver.add(axiom)
+        self.encode_seconds = time.perf_counter() - started
+
+    # ------------------------------------------------------------------
+    # State vocabulary
+    # ------------------------------------------------------------------
+    @property
+    def model_depth(self) -> int:
+        return self.model.depth
+
+    @property
+    def ctx(self):
+        return self.model.ctx
+
+    def atom_var(self, key: tuple) -> Term:
+        """The free time-0 variable of one state atom."""
+        return self.model.ctx.init_atoms[key]
+
+    def atom_at(self, key: tuple, t: int) -> Term:
+        """The state atom's value at time ``t`` (``t=0`` is the free
+        variable; deeper times are the history recurrences — the
+        next-state function)."""
+        return self.model.ctx.history_at(key, t)
+
+    def field_var(self, key: tuple) -> Term:
+        return self._field_vars[key]
+
+    def has_atom(self, key: tuple) -> bool:
+        if key[0] == "field":
+            return key in self._field_vars
+        if key[0] in ("rel", "req"):
+            return key in self._derived
+        return key in self.model.ctx.init_atoms
+
+    def lit_term(self, lit: Lit, t: int) -> Term:
+        """One cube literal as a term over the state at time ``t``
+        (rigid field pins and derived predicates are time-independent)."""
+        key, value = lit
+        if key[0] == "field":
+            var = self._field_vars[key]
+            return Eq(var, EnumConst(var.sort, value))
+        if key[0] in ("rel", "req"):
+            term = self._derived[key]
+        else:
+            term = self.atom_at(key, t)
+        return term if value else Not(term)
+
+    def init_units(self) -> List[Term]:
+        """The concrete initial state: every history atom false."""
+        return [Not(self.atom_var(key)) for key in self.atoms]
+
+    def state_cube(self, model) -> Cube:
+        """The full-state cube of a satisfying assignment: every atom's
+        time-0 value plus every rigid field's value.  Proof obligations
+        must describe exact states (shrinking happens only on the
+        *blocked* side, certified by its own query), so nothing is
+        dropped here."""
+        lits: List[Lit] = [
+            (key, bool(model[self.atom_var(key)])) for key in self.atoms
+        ]
+        lits.extend(
+            (key, bool(model[term])) for key, term in self._derived.items()
+        )
+        lits.extend(
+            (key, model[var]) for key, var in self._field_vars.items()
+        )
+        return tuple(lits)
+
+    # ------------------------------------------------------------------
+    # Solver discipline (mirrors IncrementalBMC)
+    # ------------------------------------------------------------------
+    def extend_to(self, k: int) -> None:
+        """Assert the transition relation of steps ``0..k-1``."""
+        k = min(k, self.model.depth)
+        if k <= self.asserted_depth:
+            return
+        started = time.perf_counter()
+        for t in range(self.asserted_depth, k):
+            for axiom in self.model.step_axioms(t):
+                self.solver.add(axiom)
+        self.asserted_depth = k
+        self.encode_seconds += time.perf_counter() - started
+
+    def noop_assumptions(self, from_t: int) -> List[Term]:
+        """Noop pins for every step at or beyond ``from_t`` — the same
+        trick the warm BMC driver uses to make one unrolling decide
+        any shallower problem."""
+        return [
+            self.model.events[t].is_noop
+            for t in range(from_t, self.model.depth)
+        ]
+
+    def violation_prefix(self, invariant, k: int) -> Term:
+        """"A violating event occurs within the first ``k`` steps",
+        with history grounded in the free initial state."""
+        return invariant.violation_term(self.model.ctx.at_depth(k))
+
+    def check(
+        self, assumptions: Sequence[Term], max_conflicts: Optional[int] = None
+    ) -> str:
+        self.checks += 1
+        return self.solver.check(
+            assumptions=assumptions, max_conflicts=max_conflicts
+        )
+
+    def counters(self) -> dict:
+        stats = self.solver.stats()
+        return {
+            k: stats[k]
+            for k in ("conflicts", "decisions", "propagations", "restarts", "learned")
+        }
+
+    # ------------------------------------------------------------------
+    # Simple-path strengthening
+    # ------------------------------------------------------------------
+    def distinct_states(self, t1: int, t2: int) -> Term:
+        """The states at times ``t1`` and ``t2`` differ in some atom.
+        (Rigid fields are excluded: they can never tell states apart.)"""
+        return Or(
+            *(Xor(self.atom_at(key, t1), self.atom_at(key, t2)) for key in self.atoms)
+        )
+
+    # ------------------------------------------------------------------
+    # State-consistency axioms
+    # ------------------------------------------------------------------
+    def consistency_axioms(self) -> List[Term]:
+        """Invariants of every *reachable* state, asserted on the free
+        initial state (each propagates through the recurrences, so
+        time 0 is the only place they need asserting).
+
+        Soundness: each axiom below holds in every state the real
+        system can reach from its empty start, so conjoining them to
+        the arbitrary-state abstraction never excludes a reachable
+        state — proofs stay valid while spurious counterexamples-to-
+        induction (packets materializing out of nowhere) disappear.
+        """
+        ctx = self.model.ctx
+        net = self.net
+        mboxes = set(net.mbox_names)
+        nodes = [n for n in net.node_names if n != OMEGA]
+        out: List[Term] = []
+        rcv = {
+            (n, p.index): ctx.rcv_before(n, p.index, 0)
+            for n in nodes
+            for p in ctx.packets
+        }
+        snt = {
+            (n, p.index): ctx.sent_to_net_before(n, p.index, 0)
+            for n in nodes
+            for p in ctx.packets
+        }
+        for key, atom in list(ctx.init_atoms.items()):
+            # Received-since-failure is a subset of received.
+            if key[0] == "rcv" and key[3]:
+                out.append(Implies(atom, ctx.rcv_before(key[1], key[2], 0)))
+            # Steady state (no failure budget): nothing is ever down.
+            if key[0] == "failed" and self.model.failure_budget == 0:
+                out.append(Not(atom))
+        for p in ctx.packets:
+            senders = Or(*(snt[(n, p.index)] for n in nodes))
+            for n in nodes:
+                # A delivered packet was handed to Ω by someone.
+                out.append(Implies(rcv[(n, p.index)], senders))
+        for m in net.middleboxes:
+            for p in ctx.packets:
+                # A middlebox emission requires a prior receipt.
+                out.append(
+                    Implies(
+                        snt[(m.name, p.index)],
+                        Or(*(rcv[(m.name, q.index)] for q in ctx.packets)),
+                    )
+                )
+        for h in net.hosts:
+            for p in ctx.packets:
+                constraints: List[Term] = []
+                if not net.allow_spoofing:
+                    constraints.append(Eq(p.src, ctx.addr(h)))
+                # Data provenance, as in NetworkSMTModel._origin_provenance.
+                constraints.append(
+                    Or(
+                        p.is_request,
+                        Eq(p.origin, ctx.addr(h)),
+                        *(
+                            And(
+                                rcv[(h, q.index)],
+                                Eq(q.origin, p.origin),
+                                Not(q.is_request),
+                            )
+                            for q in ctx.packets
+                        ),
+                    )
+                )
+                out.append(Implies(snt[(h, p.index)], And(*constraints)))
+        return out
+
+
+# ----------------------------------------------------------------------
+# Cube/clause helpers shared by IC3 and the certificate checker
+# ----------------------------------------------------------------------
+def cube_term(ts: TransitionSystem, cube: Cube, t: int) -> Term:
+    """The cube as a conjunction over the state at time ``t``."""
+    return And(*(ts.lit_term(lit, t) for lit in cube))
+
+
+def clause_term(ts: TransitionSystem, cube: Cube, t: int) -> Term:
+    """The blocking clause ¬cube over the state at time ``t``."""
+    return Not(cube_term(ts, cube, t))

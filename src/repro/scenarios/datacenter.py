@@ -141,7 +141,16 @@ def _rules_checks(
             continue
         a, b = groups[gi][0], groups[gj][0]
         inv = NodeIsolation(b, a).with_failures(failure_budget)
-        expected = VIOLATED if (a, b) in deleted else HOLDS
+        # A deleted deny rule breaks node isolation in *both* directions:
+        # the learning firewall's hole punching lets either endpoint
+        # initiate on the now-permitted pair, after which the reverse
+        # flow (src = the "isolated" peer) passes as established
+        # traffic.  With more than two groups the reverse pair is never
+        # a deletion candidate, which is how the old one-directional
+        # label computation survived every audit except n_groups=2.
+        expected = (
+            VIOLATED if (a, b) in deleted or (b, a) in deleted else HOLDS
+        )
         checks.append(ExpectedCheck(inv, expected, label=f"iso g{gi}->g{gj}"))
     # Intra-group connectivity must keep working (no false positives).
     first = groups[0]

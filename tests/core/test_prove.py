@@ -42,7 +42,12 @@ class TestProve:
         assert result.guarantee == UNBOUNDED
         assert result.bmc.trace is not None
 
-    def test_unsupported_model_stays_bounded(self):
+    def test_oracle_model_beyond_the_explicit_fragment(self):
+        """NATs quantify over oracle functions, so the explicit-state
+        fixpoint cannot decide them — the legacy method stays bounded.
+        The portfolio's induction engines have no such restriction: a
+        certificate-backed upgrade (or an honest bounded verdict with
+        the limiting engines' reason) replaces the old hard ceiling."""
         nat = NAT("nat", internal={"in"})
         rules = (
             TransferRule.of(HeaderMatch.of(dst={"out"}), to="nat", from_nodes={"in"}),
@@ -51,10 +56,20 @@ class TestProve:
             TransferRule.of(HeaderMatch.of(dst={"in"}), to="in", from_nodes={"nat"}),
         )
         net = VerificationNetwork(hosts=("in", "out"), middleboxes=(nat,), rules=rules)
+
+        legacy = prove(net, FlowIsolation("in", "out"), method="explicit")
+        assert legacy.holds
+        assert legacy.guarantee == BOUNDED
+        assert "not applicable" in legacy.note
+
         result = prove(net, FlowIsolation("in", "out"))
         assert result.holds
-        assert result.guarantee == BOUNDED
-        assert "not applicable" in result.note
+        assert result.explicit_agrees is None  # oracle fragment: no oracle
+        if result.guarantee == UNBOUNDED:
+            assert result.certificate is not None
+            assert result.recheck is not None and result.recheck.ok
+        else:
+            assert result.note  # limiting engines' reason
 
     def test_failure_budget_stays_bounded(self):
         net = firewalled([("priv", "ext")])

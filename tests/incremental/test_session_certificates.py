@@ -1,0 +1,100 @@
+"""Certificate reuse across network deltas.
+
+The payoff of carrying :class:`repro.proof.certificate.ProofCertificate`
+objects in an :class:`IncrementalSession`: a delta that invalidates a
+check's slice but leaves its inductive invariant intact is re-verified
+by *re-checking the cached certificate* (a handful of cold solver
+queries) instead of re-running the proof search.
+"""
+
+from repro.core.invariants import NodeIsolation
+from repro.incremental import EditPolicyRules, IncrementalSession
+from repro.mboxes import LearningFirewall
+from repro.network.topology import Topology
+from repro.network.transfer import SteeringPolicy
+
+HOLDS = "holds"
+VIOLATED = "violated"
+
+
+def small_session():
+    """ext/priv/aux behind one allow-list firewall; the aux->ext allow
+    entry exists purely to be churned without affecting priv's
+    isolation."""
+    topo = Topology()
+    topo.add_switch("sw")
+    for h in ("ext", "priv", "aux"):
+        topo.add_host(h, policy_group=h)
+        topo.add_link(h, "sw")
+    topo.add_middlebox(LearningFirewall("fw", allow=[("aux", "ext")]))
+    topo.add_link("fw", "sw")
+    steering = SteeringPolicy(
+        chains={h: ("fw",) for h in ("ext", "priv", "aux")}
+    )
+    # Slicing off on purpose: the slice for iso(priv, ext) excludes aux,
+    # so with slicing the churned allow entry vanishes from the sliced
+    # encoding and the *fingerprint cache* absorbs the delta before the
+    # certificate path is ever consulted (cheaper, and covered by the
+    # incremental-session tests).  Verifying on the whole network makes
+    # the delta really change the encoding, which is the case the
+    # certificate re-validation exists for.
+    session = IncrementalSession(topo, steering, prove="portfolio",
+                                 use_slicing=False)
+    session.track(NodeIsolation("priv", "ext"), label="iso", expected=HOLDS)
+    return session
+
+
+class TestCertificateReuse:
+    def test_non_invalidating_delta_reuses_the_certificate(self):
+        session = small_session()
+        base = session.baseline()
+        first = base.outcomes[0]
+        assert first.status == HOLDS
+        assert first.result.stats["guarantee"] == "unbounded"
+        fresh_cost = first.result.stats["solver_checks"]
+        assert session._certificates  # the proof left a certificate behind
+
+        # Removing an unrelated allow entry restricts the firewall:
+        # the impact index must re-establish the verdict (the slice
+        # touches fw), but the cached inductive invariant still holds.
+        report = session.apply(
+            EditPolicyRules("fw", remove=(("aux", "ext"),))
+        )
+        outcome = report.outcomes[0]
+        assert not outcome.carried  # really invalidated, not skipped
+        assert outcome.status == HOLDS
+        stats = outcome.result.stats
+        assert stats.get("certificate_reused") is True
+        assert stats["guarantee"] == "unbounded"
+        assert report.certificates_reused == 1
+        # The acceptance bar: strictly fewer solver calls than the
+        # fresh proof the baseline needed.
+        assert stats["solver_checks"] < fresh_cost
+        assert stats["solver_checks"] <= 4
+
+    def test_breaking_delta_falls_back_to_a_fresh_proof(self):
+        session = small_session()
+        session.baseline()
+        # Allowing ext->priv really breaks isolation: the certificate
+        # must fail its re-check and a fresh (bounded-bug-hunt) run
+        # must flag the violation.
+        report = session.apply(
+            EditPolicyRules("fw", add=(("ext", "priv"),))
+        )
+        outcome = report.outcomes[0]
+        assert outcome.status == VIOLATED
+        assert not outcome.result.stats.get("certificate_reused")
+        assert not session._certificates  # no certificate for a violation
+
+    def test_repair_restores_certificate_caching(self):
+        session = small_session()
+        session.baseline()
+        session.apply(EditPolicyRules("fw", add=(("ext", "priv"),)))
+        repaired = session.apply(
+            EditPolicyRules("fw", remove=(("ext", "priv"),))
+        )
+        outcome = repaired.outcomes[0]
+        assert outcome.status == HOLDS
+        # Back on a holds verdict, a certificate is cached again
+        # (either proven fresh or revalidated from an earlier version).
+        assert session._certificates

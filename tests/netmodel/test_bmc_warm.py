@@ -58,9 +58,8 @@ _SCENARIOS = {
 }
 
 # Clean variants for the holds-side comparison (the misconfigured
-# datacenter's expected labels under-count the blast radius of the
-# deleted rule — a pre-existing scenario-builder quirk, so holding
-# invariants are sampled from the well-configured networks).
+# bundles' holding invariants are fewer and depend on the injection
+# seed, so holds-side sampling uses the well-configured networks).
 _CLEAN_SCENARIOS = {
     "enterprise": lambda: enterprise(n_subnets=2),
     "datacenter": lambda: datacenter(n_groups=2),
@@ -137,6 +136,97 @@ class TestWarmDeepening:
         one_shot = check(net, invariant, **kwargs)
         assert deep.status == one_shot.status == HOLDS
         assert deep.depth == one_shot.depth == depth
+
+
+class TestDepthBounds:
+    """Out-of-range depths fail loudly, not with a silent wrong model."""
+
+    def _driver(self):
+        net, invariant, params = _problem(_CLEAN_SCENARIOS["datacenter"](), HOLDS)
+        kwargs = {
+            key: params[key]
+            for key in ("n_packets", "failure_budget", "n_ports", "n_tags")
+        }
+        return IncrementalBMC(net, depth=4, **kwargs), invariant
+
+    def test_check_at_rejects_out_of_range_depths(self):
+        driver, invariant = self._driver()
+        for bad in (-1, driver.model_depth + 1):
+            with pytest.raises(ValueError, match="outside"):
+                driver.check_at(invariant, bad)
+        # The failed calls must not have polluted the assertion state.
+        assert driver.check_at(invariant, driver.model_depth) in (SAT, UNSAT)
+
+    def test_at_depth_view_rejects_out_of_range_depths(self):
+        driver, _ = self._driver()
+        ctx = driver.model.ctx
+        for bad in (-1, ctx.depth + 1):
+            with pytest.raises(ValueError, match="outside"):
+                ctx.at_depth(bad)
+        view = ctx.at_depth(2)
+        assert view.depth == 2
+        # The clamped view delegates everything else to the parent
+        # context, including re-clamping.
+        assert view.at_depth(ctx.depth) is ctx
+
+    def test_extend_to_clamps_instead_of_overshooting(self):
+        driver, _ = self._driver()
+        driver.extend_to(driver.model_depth + 50)
+        assert driver.asserted_depth == driver.model_depth
+
+
+class TestSolverPoolEviction:
+    def test_lease_after_lru_eviction_returns_fresh_correct_solver(self):
+        """Filling the pool past ``max_entries`` evicts the least-
+        recently-used driver; leasing the evicted key again must build
+        a fresh solver that still answers correctly."""
+        bundle = _datacenter_misconfigured()
+        vmn = bundle.vmn()
+        invariant = _pick(bundle, VIOLATED)
+        net, _ = vmn.network_for(invariant)
+        params = resolve_bmc_params(net, invariant, {})
+        kwargs = {
+            key: params[key]
+            for key in ("n_packets", "failure_budget", "n_ports", "n_tags")
+        }
+        pool = SolverPool(max_entries=2)
+
+        def factory():
+            return IncrementalBMC(net, depth=params["depth"], **kwargs)
+
+        first, warm = pool.lease("slice-a", params["depth"], factory)
+        assert not warm
+        verdict_before = first.check_at(invariant, params["depth"])
+        pool.lease("slice-b", params["depth"], factory)
+        pool.lease("slice-c", params["depth"], factory)  # evicts slice-a
+        assert len(pool) == 2
+        again, warm = pool.lease("slice-a", params["depth"], factory)
+        assert not warm  # the eviction really happened
+        assert again is not first
+        # The fresh driver starts cold and agrees with the evicted one.
+        assert again.asserted_depth == 0
+        assert again.checks == 0
+        assert again.check_at(invariant, params["depth"]) == verdict_before
+
+    def test_shallow_cached_driver_is_rebuilt_for_deeper_lease(self):
+        bundle = _datacenter_misconfigured()
+        vmn = bundle.vmn()
+        invariant = _pick(bundle, VIOLATED)
+        net, _ = vmn.network_for(invariant)
+        params = resolve_bmc_params(net, invariant, {})
+        kwargs = {
+            key: params[key]
+            for key in ("n_packets", "failure_budget", "n_ports", "n_tags")
+        }
+        pool = SolverPool()
+        shallow, _ = pool.lease(
+            "k", 2, lambda: IncrementalBMC(net, depth=2, **kwargs)
+        )
+        deeper, warm = pool.lease(
+            "k", 4, lambda: IncrementalBMC(net, depth=4, **kwargs)
+        )
+        assert not warm and deeper is not shallow
+        assert deeper.model_depth >= 4
 
 
 class TestSolverSharing:

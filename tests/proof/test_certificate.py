@@ -1,0 +1,124 @@
+"""Certificates: serialization round-trips and adversarial re-checks."""
+
+from repro.core.invariants import NodeIsolation
+from repro.mboxes import LearningFirewall
+from repro.netmodel import HeaderMatch, TransferRule, VerificationNetwork
+from repro.proof.certificate import (
+    ProofCertificate,
+    recheck_certificate,
+)
+from repro.proof.ic3 import IC3Engine
+from repro.proof.transition import TransitionSystem
+
+PARAMS = {"n_packets": 2, "failure_budget": 0, "n_ports": 4, "n_tags": 4}
+
+
+def blocked_net():
+    rules = (
+        TransferRule.of(HeaderMatch.of(dst={"b"}), to="fw", from_nodes={"a"}),
+        TransferRule.of(HeaderMatch.of(dst={"b"}), to="b", from_nodes={"fw"}),
+    )
+    return VerificationNetwork(
+        hosts=("a", "b"),
+        middleboxes=(LearningFirewall("fw", allow=()),),
+        rules=rules,
+    )
+
+
+def open_net():
+    rules = (
+        TransferRule.of(HeaderMatch.of(dst={"b"}), to="b", from_nodes={"a"}),
+    )
+    return VerificationNetwork(hosts=("a", "b"), middleboxes=(), rules=rules)
+
+
+def ic3_certificate():
+    ts = TransitionSystem(blocked_net(), depth=2, **PARAMS)
+    engine = IC3Engine(ts, NodeIsolation("b", "a"))
+    while True:
+        outcome = engine.step()
+        if outcome is not None:
+            assert outcome.status == "holds"
+            return outcome.certificate
+
+
+class TestSerialization:
+    def test_kinduction_round_trip(self):
+        cert = ProofCertificate(kind="kinduction", k=3)
+        again = ProofCertificate.from_json(cert.to_json())
+        assert again == cert
+        assert "k=3" in cert.summary()
+
+    def test_ic3_round_trip(self):
+        cert = ic3_certificate()
+        payload = cert.to_json()
+        assert payload["n_clauses"] == len(cert.clauses)
+        again = ProofCertificate.from_json(payload)
+        assert again == cert
+        assert "clauses" in cert.summary()
+
+    def test_json_payload_is_serializable(self):
+        import json
+
+        cert = ic3_certificate()
+        assert json.loads(json.dumps(cert.to_json())) == cert.to_json()
+
+
+class TestRecheck:
+    def test_valid_certificate_passes(self):
+        cert = ic3_certificate()
+        report = recheck_certificate(
+            blocked_net(), NodeIsolation("b", "a"), cert, PARAMS
+        )
+        assert report.ok
+        assert report.certificate is cert
+
+    def test_certificate_fails_on_a_network_where_property_breaks(self):
+        """The same clauses cannot validate on the open network: either
+        consecution or the property implication must fail."""
+        cert = ic3_certificate()
+        report = recheck_certificate(
+            open_net(), NodeIsolation("b", "a"), cert, PARAMS
+        )
+        assert not report.ok
+
+    def test_empty_ic3_certificate_requires_unreachable_bad(self):
+        """An empty clause set claims the violation is impossible from
+        *any* state — true only on networks with no delivery path."""
+        empty = ProofCertificate(kind="ic3", clauses=())
+        inv = NodeIsolation("b", "a")
+        assert not recheck_certificate(open_net(), inv, empty, PARAMS).ok
+        assert not recheck_certificate(blocked_net(), inv, empty, PARAMS).ok
+
+    def test_too_small_k_fails_the_step_case(self):
+        """k=0 claims the violating event is impossible from any state;
+        on the firewalled net a poisoned state can still deliver."""
+        cert = ProofCertificate(kind="kinduction", k=0)
+        report = recheck_certificate(
+            blocked_net(), NodeIsolation("b", "a"), cert, PARAMS
+        )
+        assert not report.ok
+
+    def test_unknown_state_in_certificate_is_rejected(self):
+        cube = ((("snt", "ghost", 0), True),)
+        cert = ProofCertificate(kind="ic3", clauses=(cube,))
+        report = recheck_certificate(
+            blocked_net(), NodeIsolation("b", "a"), cert, PARAMS
+        )
+        assert not report.ok
+        assert "unknown state" in report.reason
+
+    def test_failure_budget_certificates_are_refused(self):
+        cert = ProofCertificate(kind="kinduction", k=1)
+        params = dict(PARAMS, failure_budget=1)
+        report = recheck_certificate(
+            blocked_net(), NodeIsolation("b", "a"), cert, params
+        )
+        assert not report.ok
+
+    def test_unknown_kind_is_rejected(self):
+        cert = ProofCertificate(kind="galactic")
+        report = recheck_certificate(
+            blocked_net(), NodeIsolation("b", "a"), cert, PARAMS
+        )
+        assert not report.ok

@@ -1,0 +1,84 @@
+"""The IC3/PDR engine: frames, obligations, generalization, certificates."""
+
+from repro.core.invariants import NodeIsolation
+from repro.mboxes import LearningFirewall
+from repro.netmodel import HeaderMatch, TransferRule, VerificationNetwork
+from repro.proof.certificate import recheck_certificate
+from repro.proof.ic3 import IC3Engine
+from repro.proof.kinduction import CEX, HOLDS
+from repro.proof.transition import TransitionSystem, is_history_lit
+
+PARAMS = {"n_packets": 2, "failure_budget": 0, "n_ports": 4, "n_tags": 4}
+
+
+def firewalled_net(allow):
+    rules = (
+        TransferRule.of(HeaderMatch.of(dst={"b"}), to="fw", from_nodes={"a"}),
+        TransferRule.of(HeaderMatch.of(dst={"b"}), to="b", from_nodes={"fw"}),
+        TransferRule.of(HeaderMatch.of(dst={"a"}), to="fw", from_nodes={"b"}),
+        TransferRule.of(HeaderMatch.of(dst={"a"}), to="a", from_nodes={"fw"}),
+    )
+    return VerificationNetwork(
+        hosts=("a", "b"),
+        middleboxes=(LearningFirewall("fw", allow=allow),),
+        rules=rules,
+    )
+
+
+def run(engine, rounds=5000):
+    for _ in range(rounds):
+        outcome = engine.step()
+        if outcome is not None:
+            return outcome
+    raise AssertionError("engine did not conclude")
+
+
+class TestIC3:
+    def test_proves_isolation_with_valid_certificate(self):
+        net = firewalled_net(allow=())
+        invariant = NodeIsolation("b", "a")
+        ts = TransitionSystem(net, depth=2, **PARAMS)
+        outcome = run(IC3Engine(ts, invariant))
+        assert outcome.status == HOLDS
+        cert = outcome.certificate
+        assert cert.kind == "ic3"
+        # Every learned clause excludes the initial state.
+        for cube in cert.clauses:
+            assert any(is_history_lit(lit) for lit in cube)
+        report = recheck_certificate(net, invariant, cert, PARAMS)
+        assert report.ok, report.reason
+        assert report.solver_checks <= 3
+
+    def test_violated_invariant_yields_advisory_cex(self):
+        net = firewalled_net(allow=[("a", "b")])
+        ts = TransitionSystem(net, depth=2, **PARAMS)
+        outcome = run(IC3Engine(ts, NodeIsolation("b", "a")))
+        assert outcome.status == CEX
+        assert outcome.certificate is None
+
+    def test_budgeted_step_parks_and_resumes(self):
+        """A query-capped step must never conclude spuriously; repeated
+        capped steps reach the same verdict as an unbounded run."""
+        net = firewalled_net(allow=())
+        invariant = NodeIsolation("b", "a")
+        ts = TransitionSystem(net, depth=2, **PARAMS)
+        engine = IC3Engine(ts, invariant)
+        outcome = None
+        for _ in range(10000):
+            outcome = engine.step(max_queries=3)
+            if outcome is not None:
+                break
+        assert outcome is not None and outcome.status == HOLDS
+        report = recheck_certificate(net, invariant, outcome.certificate, PARAMS)
+        assert report.ok, report.reason
+
+    def test_frames_are_monotone_clause_sets(self):
+        """Clauses live at the highest frame they are known to hold at;
+        queries against F_i consult every level >= i."""
+        net = firewalled_net(allow=())
+        ts = TransitionSystem(net, depth=2, **PARAMS)
+        engine = IC3Engine(ts, NodeIsolation("b", "a"))
+        run(engine)
+        all_clauses = engine._clauses_at(1)
+        deepest = engine._clauses_at(engine.N)
+        assert set(deepest) <= set(all_clauses)

@@ -1,0 +1,112 @@
+"""The k-induction engine: sound conclusions, correct base gating."""
+
+from repro.core.invariants import NodeIsolation
+from repro.mboxes import LearningFirewall
+from repro.netmodel import HeaderMatch, TransferRule, VerificationNetwork
+from repro.proof.certificate import recheck_certificate
+from repro.proof.kinduction import HOLDS, STALLED, KInductionEngine
+from repro.proof.transition import TransitionSystem
+
+
+def isolated_net():
+    """No transfer rules at all: nothing is ever deliverable."""
+    return VerificationNetwork(hosts=("a", "b"), middleboxes=(), rules=())
+
+
+def wired_net():
+    """a -> b with no mediation: isolation is plainly violated."""
+    rules = (
+        TransferRule.of(HeaderMatch.of(dst={"b"}), to="b", from_nodes={"a"}),
+    )
+    return VerificationNetwork(hosts=("a", "b"), middleboxes=(), rules=rules)
+
+
+def firewalled_net():
+    rules = (
+        TransferRule.of(HeaderMatch.of(dst={"b"}), to="fw", from_nodes={"a"}),
+        TransferRule.of(HeaderMatch.of(dst={"b"}), to="b", from_nodes={"fw"}),
+    )
+    return VerificationNetwork(
+        hosts=("a", "b"),
+        middleboxes=(LearningFirewall("fw", allow=()),),
+        rules=rules,
+    )
+
+
+PARAMS = {"n_packets": 2, "failure_budget": 0, "n_ports": 4, "n_tags": 4}
+
+
+def run(engine, rounds=200):
+    for _ in range(rounds):
+        outcome = engine.step()
+        if outcome is not None:
+            return outcome
+    raise AssertionError("engine did not conclude")
+
+
+class TestKInduction:
+    def test_unreachable_violation_is_zero_inductive(self):
+        net = isolated_net()
+        ts = TransitionSystem(net, depth=3, **PARAMS)
+        engine = KInductionEngine(ts, NodeIsolation("b", "a"))
+        outcome = run(engine)
+        assert outcome.status == HOLDS
+        assert outcome.certificate.k == 0
+        report = recheck_certificate(
+            net, NodeIsolation("b", "a"), outcome.certificate, PARAMS
+        )
+        assert report.ok, report.reason
+
+    def test_violated_invariant_never_proves(self):
+        """On a violated net the engine must never conclude holds: the
+        step case may become inductive at some k, but with an honest
+        base oracle (BMC only clears depth 1 before hitting the bug)
+        the conclusion stays gated forever."""
+        net = wired_net()
+        ts = TransitionSystem(net, depth=4, **PARAMS)
+        engine = KInductionEngine(
+            ts, NodeIsolation("b", "a"), max_k=3, base_clean=lambda: 1
+        )
+        for _ in range(30):
+            outcome = engine.step()
+            if outcome is not None:
+                assert outcome.status == STALLED  # holds would be unsound
+                return
+        assert engine.outcome is None  # parked on an impossible base case
+
+    def test_holds_waits_for_base_case(self):
+        """An inductive step at k>0 must not conclude before the bug
+        hunt certifies depths <= k."""
+        net = firewalled_net()
+        base_depth = {"clean": 0}
+        ts = TransitionSystem(net, depth=6, **PARAMS)
+        engine = KInductionEngine(
+            ts, NodeIsolation("b", "a"), max_k=5,
+            base_clean=lambda: base_depth["clean"],
+        )
+        # Step until either concluded at k=0 (no base needed) or pending.
+        outcome = None
+        for _ in range(50):
+            outcome = engine.step()
+            if outcome is not None or engine.pending_k is not None:
+                break
+        if outcome is not None:
+            assert outcome.certificate.k == 0
+            return
+        assert engine.pending_k is not None
+        assert engine.step() is None  # base still behind: no verdict
+        base_depth["clean"] = engine.pending_k
+        concluded = engine.step()
+        assert concluded is not None and concluded.status == HOLDS
+        assert concluded.certificate.k == engine.pending_k
+
+    def test_certificate_recheck_rejects_smaller_model(self):
+        """A k-induction certificate is only as good as its re-check:
+        on a violated network the same certificate must fail."""
+        net = isolated_net()
+        ts = TransitionSystem(net, depth=3, **PARAMS)
+        outcome = run(KInductionEngine(ts, NodeIsolation("b", "a")))
+        report = recheck_certificate(
+            wired_net(), NodeIsolation("b", "a"), outcome.certificate, PARAMS
+        )
+        assert not report.ok

@@ -1,0 +1,130 @@
+"""The portfolio driver: verdicts, budgets, warm pooling, prove_check."""
+
+from repro.core.invariants import NodeIsolation
+from repro.mboxes import LearningFirewall
+from repro.netmodel import HeaderMatch, TransferRule, VerificationNetwork
+from repro.netmodel.bmc import SolverPool, check
+from repro.proof.portfolio import BOUNDED, UNBOUNDED, prove_check, prove_portfolio
+
+PARAMS = {"n_packets": 2, "failure_budget": 0, "n_ports": 4, "n_tags": 4}
+
+
+def firewalled_net(allow):
+    rules = (
+        TransferRule.of(HeaderMatch.of(dst={"b"}), to="fw", from_nodes={"a"}),
+        TransferRule.of(HeaderMatch.of(dst={"b"}), to="b", from_nodes={"fw"}),
+        TransferRule.of(HeaderMatch.of(dst={"a"}), to="fw", from_nodes={"b"}),
+        TransferRule.of(HeaderMatch.of(dst={"a"}), to="a", from_nodes={"fw"}),
+    )
+    return VerificationNetwork(
+        hosts=("a", "b"),
+        middleboxes=(LearningFirewall("fw", allow=allow),),
+        rules=rules,
+    )
+
+
+class TestVerdicts:
+    def test_holds_upgrades_to_unbounded_with_valid_certificate(self):
+        net = firewalled_net(allow=())
+        result = prove_portfolio(net, NodeIsolation("b", "a"), **PARAMS)
+        assert result.status == "holds"
+        assert result.guarantee == UNBOUNDED
+        assert result.engine in ("kinduction", "ic3")
+        assert result.certificate is not None
+        assert result.recheck is not None and result.recheck.ok
+        # The verdict agrees with plain bounded BMC.
+        assert check(net, NodeIsolation("b", "a"), **PARAMS).status == "holds"
+
+    def test_violation_comes_from_bmc_with_a_trace(self):
+        net = firewalled_net(allow=[("a", "b")])
+        result = prove_portfolio(net, NodeIsolation("b", "a"), **PARAMS)
+        assert result.status == "violated"
+        assert result.guarantee == UNBOUNDED
+        assert result.engine == "bmc"
+        assert result.trace is not None
+        assert "sends" in str(result.trace)
+
+    def test_failure_budget_falls_back_to_bounded_bmc(self):
+        net = firewalled_net(allow=())
+        inv = NodeIsolation("b", "a").with_failures(1)
+        result = prove_portfolio(
+            net, inv, n_packets=2, n_ports=4, n_tags=4
+        )
+        assert result.status == "holds"
+        assert result.guarantee == BOUNDED
+        assert "failure budget" in result.note
+
+    def test_query_budget_degrades_to_bounded_not_wrong(self):
+        """With the provers capped hard, the verdict must fall back to
+        the bounded BMC answer, never an unsound upgrade."""
+        net = firewalled_net(allow=())
+        result = prove_portfolio(
+            net, NodeIsolation("b", "a"), max_checks=25, **PARAMS
+        )
+        assert result.status in ("holds", "unknown")
+        if result.status == "holds" and result.guarantee == UNBOUNDED:
+            # A prover may legitimately finish inside the cap; then the
+            # certificate must have been re-checked.
+            assert result.recheck is not None and result.recheck.ok
+        else:
+            assert result.certificate is None
+            assert "budget" in result.note
+
+    def test_conflict_budget_is_shared(self):
+        net = firewalled_net(allow=())
+        result = prove_portfolio(
+            net, NodeIsolation("b", "a"), max_conflicts=1, chunk_conflicts=1,
+            **PARAMS
+        )
+        # One conflict is never enough for a proof; the note must say
+        # which budget ran out unless an engine won conflict-free.
+        if result.guarantee == BOUNDED:
+            assert "budget" in result.note
+
+
+class TestWarmPooling:
+    def test_transition_system_is_pooled_alongside_the_bmc_driver(self):
+        net = firewalled_net(allow=())
+        pool = SolverPool()
+        first = prove_portfolio(net, NodeIsolation("b", "a"), warm=pool, **PARAMS)
+        second = prove_portfolio(net, NodeIsolation("b", "a"), warm=pool, **PARAMS)
+        assert not first.stats["transition_warm"]
+        assert second.stats["transition_warm"]
+        assert second.stats["warm"]
+        assert first.status == second.status == "holds"
+        # Both encodings live in the pool: the BMC driver and the
+        # free-init transition system.
+        assert len(pool) == 2
+
+
+class TestProveCheck:
+    def test_checkresult_carries_proof_stats(self):
+        net = firewalled_net(allow=())
+        result = prove_check(net, NodeIsolation("b", "a"), **PARAMS)
+        assert result.status == "holds"
+        stats = result.stats
+        assert stats["guarantee"] == UNBOUNDED
+        assert stats["proof_engine"] in ("kinduction", "ic3")
+        assert stats["certificate"] is not None
+        assert stats["recheck_ok"] is True
+        assert stats["solver_checks"] > 0
+        # The counters the audit CLI consumes are all present.
+        for key in ("conflicts", "decisions", "propagations", "restarts",
+                    "learned", "cumulative"):
+            assert key in stats
+
+    def test_checkresult_is_picklable(self):
+        import pickle
+
+        net = firewalled_net(allow=())
+        result = prove_check(net, NodeIsolation("b", "a"), **PARAMS)
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone.status == result.status
+        assert clone.stats["certificate"] == result.stats["certificate"]
+
+    def test_unknown_prove_mode_is_rejected(self):
+        import pytest
+
+        net = firewalled_net(allow=())
+        with pytest.raises(ValueError):
+            prove_check(net, NodeIsolation("b", "a"), prove="psychic", **PARAMS)

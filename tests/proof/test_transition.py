@@ -1,0 +1,152 @@
+"""The free-initial-state transition system.
+
+Contract: pinning every init atom false makes the free-init encoding
+decide exactly what the bounded (empty-start) encoding decides, and the
+state-cube vocabulary round-trips through models.
+"""
+
+import pytest
+
+from repro.core.invariants import NodeIsolation
+from repro.mboxes import LearningFirewall
+from repro.netmodel import HeaderMatch, TransferRule, VerificationNetwork
+from repro.netmodel.bmc import check
+from repro.proof.transition import TransitionSystem, cube_term
+from repro.smt import SAT, UNSAT
+
+
+def firewalled(allow):
+    rules = (
+        TransferRule.of(HeaderMatch.of(dst={"priv"}), to="fw", from_nodes={"ext"}),
+        TransferRule.of(HeaderMatch.of(dst={"priv"}), to="priv", from_nodes={"fw"}),
+        TransferRule.of(HeaderMatch.of(dst={"ext"}), to="fw", from_nodes={"priv"}),
+        TransferRule.of(HeaderMatch.of(dst={"ext"}), to="ext", from_nodes={"fw"}),
+    )
+    return VerificationNetwork(
+        hosts=("ext", "priv"),
+        middleboxes=(LearningFirewall("fw", allow=allow),),
+        rules=rules,
+    )
+
+
+def make_ts(net, depth=4, n_packets=2):
+    return TransitionSystem(net, n_packets=n_packets, depth=depth,
+                            failure_budget=0, n_ports=4, n_tags=4)
+
+
+class TestStateVocabulary:
+    def test_every_node_and_packet_has_atoms(self):
+        ts = make_ts(firewalled([("priv", "ext")]))
+        keys = set(ts.atoms)
+        for node in ("ext", "priv", "fw"):
+            for p in (0, 1):
+                assert ("rcv", node, p, False) in keys
+                assert ("snt", node, p) in keys
+        assert ("rcv", "fw", 0, True) in keys  # since-fail state on the box
+        assert ("failed", "fw") in keys
+
+    def test_atom_at_zero_is_the_free_variable(self):
+        ts = make_ts(firewalled([]))
+        key = ("snt", "fw", 0)
+        assert ts.atom_at(key, 0) is ts.atom_var(key)
+        # Deeper times are the history recurrences, not variables.
+        assert ts.atom_at(key, 2) is not ts.atom_var(key)
+
+    def test_unknown_atom_key_raises(self):
+        ts = make_ts(firewalled([]))
+        with pytest.raises(KeyError):
+            ts.model.ctx.history_at(("bogus", "fw"), 0)
+
+
+class TestBoundedEquivalence:
+    """Free init + all atoms pinned false == the empty-start encoding."""
+
+    @pytest.mark.parametrize("allow,invariant,expected", [
+        ([("ext", "priv")], NodeIsolation("priv", "ext"), SAT),
+        ([], NodeIsolation("priv", "ext"), UNSAT),
+    ])
+    def test_pinned_init_matches_bounded_bmc(self, allow, invariant, expected):
+        net = firewalled(allow)
+        ts = make_ts(net, depth=6)
+        ts.extend_to(ts.model_depth)
+        result = ts.check(
+            ts.init_units()
+            + [ts.violation_prefix(invariant, ts.model_depth)]
+        )
+        assert result == expected
+        cold = check(net, invariant, depth=ts.model_depth, n_packets=2,
+                     failure_budget=0, n_ports=4, n_tags=4)
+        assert (cold.status == "violated") == (expected == SAT)
+
+    def test_arbitrary_state_is_a_superset_of_reachable(self):
+        """With the init atoms free, at least everything bounded-
+        reachable stays possible (the proof engines' abstraction must
+        over-approximate, never under-approximate)."""
+        net = firewalled([("ext", "priv")])
+        ts = make_ts(net, depth=6)
+        ts.extend_to(ts.model_depth)
+        violation = ts.violation_prefix(
+            NodeIsolation("priv", "ext"), ts.model_depth
+        )
+        assert ts.check([violation]) == SAT
+
+
+class TestCubes:
+    def test_state_cube_round_trips_through_its_model(self):
+        net = firewalled([("ext", "priv")])
+        ts = make_ts(net, depth=2)
+        ts.extend_to(1)
+        assert ts.check(
+            [ts.violation_prefix(NodeIsolation("priv", "ext"), 2)]
+        ) == SAT
+        cube = ts.state_cube(ts.solver.model())
+        keys = {key for key, _ in cube}
+        assert ("field", 0, "src") in keys
+        assert ("req", 0) in keys
+        assert ("rel", 0, 1) in keys
+        # The extracted cube is satisfied together with the violation
+        # (it literally describes the witness state).
+        assert ts.check(
+            [cube_term(ts, cube, 0),
+             ts.violation_prefix(NodeIsolation("priv", "ext"), 2)]
+        ) == SAT
+
+    def test_distinct_states_excludes_stuttering(self):
+        ts = make_ts(firewalled([]), depth=3)
+        ts.extend_to(2)
+        noop0 = ts.model.events[0].is_noop
+        # A noop step leaves every atom unchanged, so "states 0 and 1
+        # differ" plus "step 0 is a noop" is unsatisfiable.
+        assert ts.check([ts.distinct_states(0, 1), noop0]) == UNSAT
+
+
+class TestConsistencyAxioms:
+    def test_delivery_requires_a_sender(self):
+        """rcv without any snt is pruned by the consistency axioms."""
+        ts = make_ts(firewalled([("ext", "priv")]))
+        rcv = ts.atom_var(("rcv", "priv", 0, False))
+        snts = [ts.atom_var(("snt", n, 0)) for n in ("ext", "priv", "fw")]
+        from repro.smt import Not
+        assert ts.check([rcv] + [Not(s) for s in snts]) == UNSAT
+
+    def test_steady_state_pins_failures_false(self):
+        ts = make_ts(firewalled([]))
+        assert ts.check([ts.atom_var(("failed", "fw"))]) == UNSAT
+
+    def test_host_emission_requires_provenance(self):
+        """A host cannot have sent a data packet with someone else's
+        origin unless it received that data."""
+        ts = make_ts(firewalled([]))
+        ctx = ts.model.ctx
+        p0 = ctx.packets[0]
+        from repro.smt import Eq, Not
+        assumptions = [
+            ts.atom_var(("snt", "ext", 0)),
+            Eq(p0.origin, ctx.addr("priv")),
+            Not(p0.is_request),
+        ]
+        assumptions += [
+            Not(ts.atom_var(("rcv", "ext", q.index, False)))
+            for q in ctx.packets
+        ]
+        assert ts.check(assumptions) == UNSAT

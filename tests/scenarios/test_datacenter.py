@@ -42,6 +42,25 @@ class TestRules:
         assert "violated" in expectations  # misconfig really injected
         assert_expected(bundle)
 
+    def test_two_group_deletion_labels_both_directions(self):
+        """Regression for the expected-label quirk: with two groups the
+        deleted deny pair's *reverse* check pair is also broken (the
+        learning firewall hole-punches the return direction), so both
+        iso labels must be violated — and verification must agree."""
+        bundle = datacenter(n_groups=2, delete_rules=1, seed=0)
+        labels = {c.label: c.expected for c in bundle.checks}
+        assert labels["iso g0->g1"] == "violated"
+        assert labels["iso g1->g0"] == "violated"
+        assert_expected(bundle)
+
+    def test_label_fix_leaves_larger_sizes_one_directional(self):
+        """With more than two groups the reverse pair is never a
+        deletion candidate: exactly one iso check flips per deletion."""
+        bundle = datacenter(n_groups=4, delete_rules=1, seed=0)
+        flipped = [c.label for c in bundle.checks
+                   if c.label.startswith("iso") and c.expected == "violated"]
+        assert len(flipped) == 1
+
     def test_slice_size_independent_of_groups(self):
         sizes = []
         for n in (3, 6):

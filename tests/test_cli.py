@@ -88,6 +88,60 @@ class TestAuditJson:
         assert totals["propagations"] > 0
 
 
+class TestProveJson:
+    def test_structured_guarantees_round_trip(self, capsys):
+        """`repro prove --json` mirrors the audit schema plus the
+        guarantee fields: every holds is upgraded to an unbounded
+        guarantee with a re-checked certificate (or reported bounded
+        with the limiting engines' reason), violations come from BMC
+        with a trace."""
+        rc = main(["prove", "isp", "--size", "2", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert payload["command"] == "prove"
+        assert payload["mismatches"] == 0
+        assert payload["n_checks"] == len(payload["checks"])
+        guarantees = payload["guarantees"]
+        assert guarantees["unbounded"] + guarantees["bounded"] \
+            == payload["n_checks"]
+        for check in payload["checks"]:
+            assert check["status"] == check["expected"]
+            assert check["guarantee"] in ("unbounded", "bounded")
+            assert check["solver"] is not None or check["cached"]
+            if check["status"] == "violated":
+                assert check["guarantee"] == "unbounded"
+                assert check["engine"] == "bmc"
+                assert check["trace"]
+            elif check["guarantee"] == "unbounded":
+                assert check["engine"] in ("kinduction", "ic3")
+                cert = check["certificate"]
+                assert cert is not None
+                assert cert["kind"] in ("kinduction", "ic3")
+                assert check["recheck_ok"] is True
+            else:
+                assert check["note"]  # the limiting engines' reason
+        # The ISP scenario's holds checks really do upgrade.
+        assert guarantees["unbounded"] >= 1
+
+    def test_budgeted_prove_degrades_to_bounded(self, capsys):
+        """A hard query cap turns prover upgrades into bounded verdicts
+        with an explanatory note — verdicts themselves stay correct."""
+        rc = main(["prove", "isp", "--size", "2", "--max-checks", "64",
+                   "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert payload["mismatches"] == 0
+        for check in payload["checks"]:
+            assert check["status"] == check["expected"]
+
+    def test_text_output_reports_guarantees(self, capsys):
+        rc = main(["prove", "isp", "--size", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "unbounded" in out
+        assert "guarantees" in out
+
+
 class TestWatch:
     def test_replays_churn_stream(self, capsys):
         rc = main(["watch", "enterprise", "--size", "3", "--deltas", "2"])
