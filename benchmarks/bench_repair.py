@@ -1,0 +1,137 @@
+"""Warm incremental candidate screening vs cold per-candidate audits.
+
+The repair loop's inner cost is screening: every candidate patch must
+re-establish every tracked verdict before it can be accepted.  This
+benchmark runs the same CEGIS search over the same injected fault with
+both screening strategies —
+
+* **warm** — candidates screened on the incremental session: the
+  change-impact index re-verifies only the checks a patch can reach,
+  the warm fingerprint cache answers repeat versions, solvers stay
+  warm across candidates;
+* **cold** — every candidate pays a full from-scratch audit of every
+  check on cold solvers (what repair would cost without PRs 2–3);
+
+and certifies that both accept the **identical patch** (canonical
+counterexamples make the candidate stream itself deterministic, so the
+two runs are decision-for-decision comparable).  The JSON reports
+solver-seconds spent in screening on each side; the headline number is
+the warm/cold ratio (target: >= 5x on the enterprise fault set).
+
+Usage::
+
+    python benchmarks/bench_repair.py --scenario enterprise \
+        --output BENCH_repair.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.incremental import IncrementalSession
+from repro.scenarios import build_fault
+
+
+def run_one(scenario: str, fault_name, size, seed: int, cold: bool) -> dict:
+    fault = build_fault(scenario, fault_name, size, seed)
+    session = IncrementalSession.from_bundle(
+        fault.bundle, bmc_kwargs={"canonical_trace": True}
+    )
+    result = session.repair(cold=cold)
+    full = session.audit_from_scratch()
+    return {
+        "fault": fault.name,
+        "scenario": fault.bundle.name,
+        "ok": result.ok,
+        "patch": list(result.patch_deltas) if result.ok else None,
+        "patch_cost": result.patch_cost,
+        "candidates_tried": result.candidates_tried,
+        "attempts": [a.label for a in result.attempts],
+        "screen_solver_runs": result.screen_solver_runs,
+        "screen_cache_hits": result.screen_cache_hits,
+        "screen_carried": result.screen_carried,
+        "screen_solve_seconds": round(result.screen_solve_seconds, 3),
+        "certify_solve_seconds": round(result.certify_solve_seconds, 3),
+        "seconds": round(result.seconds, 3),
+        "post_repair_mismatches": sum(
+            1 for o in full if o.ok is False
+        ),
+    }
+
+
+def run(scenario: str, fault_name, size, seed: int) -> dict:
+    warm = run_one(scenario, fault_name, size, seed, cold=False)
+    cold = run_one(scenario, fault_name, size, seed, cold=True)
+
+    identical = warm["patch"] == cold["patch"] and warm["ok"] and cold["ok"]
+    clean = (warm["post_repair_mismatches"] == 0
+             and cold["post_repair_mismatches"] == 0)
+    warm_s = warm["screen_solve_seconds"]
+    cold_s = cold["screen_solve_seconds"]
+    return {
+        "benchmark": "repair",
+        "fault": warm["fault"],
+        "scenario": warm["scenario"],
+        "cpu_count": os.cpu_count(),
+        "warm": warm,
+        "cold": cold,
+        "patches_identical": identical,
+        "expected_labels_restored": clean,
+        "screening": {
+            "warm_solve_seconds": warm_s,
+            "cold_solve_seconds": cold_s,
+            "speedup": round(cold_s / warm_s, 2) if warm_s else None,
+            "warm_strictly_fewer": warm_s < cold_s,
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="warm vs cold repair-candidate screening (JSON)"
+    )
+    parser.add_argument("--scenario", default="enterprise",
+                        help="seed scenario to break (default: enterprise)")
+    parser.add_argument("--fault", default=None,
+                        help="fault label (default: the scenario's first)")
+    # Size 4 is the acceptance config: the warm/cold gap grows with the
+    # tracked-check count (cold re-audits all of them per candidate),
+    # and 4 subnets is where the enterprise set clears 5x.
+    parser.add_argument("--size", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", default="BENCH_repair.json",
+                        help="where to write the JSON report")
+    args = parser.parse_args(argv)
+
+    payload = run(args.scenario, args.fault, args.size, args.seed)
+
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
+    warm, cold = payload["warm"], payload["cold"]
+    screening = payload["screening"]
+    print(f"{payload['fault']} on {payload['scenario']}:")
+    print(f"  warm: patch {warm['patch']} after {warm['candidates_tried']} "
+          f"candidate(s), screening {warm['screen_solve_seconds']}s "
+          f"({warm['screen_solver_runs']} solver runs, "
+          f"{warm['screen_cache_hits']} cache hits, "
+          f"{warm['screen_carried']} carried)")
+    print(f"  cold: patch {cold['patch']} after {cold['candidates_tried']} "
+          f"candidate(s), screening {cold['screen_solve_seconds']}s "
+          f"({cold['screen_solver_runs']} solver runs)")
+    print(f"  patches identical: {payload['patches_identical']}; "
+          f"labels restored: {payload['expected_labels_restored']}; "
+          f"screening speedup {screening['speedup']}x")
+    print(f"wrote {args.output}")
+    ok = (payload["patches_identical"]
+          and payload["expected_labels_restored"]
+          and screening["warm_strictly_fewer"])
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

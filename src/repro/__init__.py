@@ -8,7 +8,9 @@ A reproduction of Panda et al., NSDI 2017.  The public API:
 * :mod:`repro.network` — topologies, forwarding, transfer functions;
 * :mod:`repro.netmodel` — the symbolic encoding and BMC driver;
 * :mod:`repro.proof` — unbounded proof engines (k-induction, IC3/PDR,
-  certificates, the portfolio driver);
+  certificates + minimization, the portfolio driver);
+* :mod:`repro.repair` — counterexample-guided repair synthesis
+  (certified patches for violated invariants);
 * :mod:`repro.smt` — the finite-domain SMT substrate (the Z3 stand-in);
 * :mod:`repro.scenarios` — the paper's §5 evaluation scenarios;
 * :mod:`repro.baselines` — whole-network and explicit-state baselines.
@@ -26,7 +28,7 @@ from .core import (
 )
 from .network import SteeringPolicy, Topology
 
-__version__ = "0.3.0"
+__version__ = "0.4.0"
 
 __all__ = [
     "VMN",

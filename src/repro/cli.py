@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import random
 import sys
 import time
 from typing import Callable, Dict, Optional
@@ -81,10 +82,12 @@ def _build_enterprise(size: int, misconfig: bool, seed: int) -> ScenarioBundle:
     deleted = ()
     if misconfig:
         bundle = enterprise(n_subnets=size)
-        quarantined = [
+        quarantined = sorted(
             h.name for h in bundle.topology.hosts if h.name.startswith("quar")
-        ]
-        deleted = tuple(quarantined[:1])
+        )
+        # Seeded victim choice: library callers could always pick any
+        # host; the CLI's injection is now reproducible per --seed too.
+        deleted = (random.Random(seed).choice(quarantined),)
     return enterprise(n_subnets=size, deny_deleted_for=deleted)
 
 
@@ -159,6 +162,9 @@ def _certificate_row(stats) -> Optional[dict]:
     else:
         row["n_clauses"] = len(cert.clauses)
         row["n_literals"] = sum(len(c) for c in cert.clauses)
+        shrink = stats.get("certificate_minimized")
+        if shrink is not None:
+            row["minimized"] = shrink
     return row
 
 
@@ -191,6 +197,7 @@ def _cmd_audit(args, prove: Optional[str] = None) -> int:
     rows = []
     solver_totals = {k: 0 for k in _SOLVER_COUNTERS}
     guarantees = {"unbounded": 0, "bounded": 0}
+    shrink_totals = {"clauses_before": 0, "clauses_after": 0}
     for check, job, result in zip(bundle.checks, job_list, results):
         ok = result.status == check.expected
         mismatches += 0 if ok else 1
@@ -214,6 +221,10 @@ def _cmd_audit(args, prove: Optional[str] = None) -> int:
             stats = result.stats
             guarantee = stats.get("guarantee", "bounded")
             guarantees[guarantee] = guarantees.get(guarantee, 0) + 1
+            shrunk = stats.get("certificate_minimized")
+            if shrunk is not None and not result.cache_hit:
+                shrink_totals["clauses_before"] += shrunk["clauses_before"]
+                shrink_totals["clauses_after"] += shrunk["clauses_after"]
             row.update({
                 "guarantee": guarantee,
                 "engine": stats.get("proof_engine"),
@@ -254,6 +265,18 @@ def _cmd_audit(args, prove: Optional[str] = None) -> int:
         }
         if prove:
             payload["guarantees"] = guarantees
+            payload["certificate_shrink"] = {
+                **shrink_totals,
+                "ratio": (
+                    round(
+                        shrink_totals["clauses_before"]
+                        / shrink_totals["clauses_after"],
+                        2,
+                    )
+                    if shrink_totals["clauses_after"]
+                    else None
+                ),
+            }
         json.dump(payload, sys.stdout, indent=2)
         sys.stdout.write("\n")
     else:
@@ -320,6 +343,7 @@ def _cmd_watch(args) -> int:
     if bundle is None:
         return 2
     events = generator(bundle, n_events=args.deltas, seed=args.seed)
+    json_mode = args.json or args.stable_json
 
     session = IncrementalSession.from_bundle(
         bundle,
@@ -329,14 +353,14 @@ def _cmd_watch(args) -> int:
         use_cache=not args.no_cache,
     )
     reports = [session.baseline()]
-    if not args.json:
+    if not json_mode:
         print(f"{bundle.name}: watching {len(events)} deltas "
               f"over {len(session.checks)} checks")
         print("  " + reports[0].summary())
     for event in events:
         report = session.apply(event.delta, new_checks=event.new_checks)
         reports.append(report)
-        if not args.json:
+        if not json_mode:
             drift = f"; DRIFT: {report.mismatches}" if report.mismatches else ""
             print("  " + report.summary() + drift)
 
@@ -350,15 +374,15 @@ def _cmd_watch(args) -> int:
         "seconds": round(sum(r.seconds for r in churn), 3),
         "full_audit_equivalent_checks": sum(len(r) for r in churn),
     }
-    if args.json:
-        json.dump({
+    if json_mode:
+        _emit_json({
             "command": "watch",
             "scenario": bundle.name,
+            "seed": args.seed,
             "baseline": _report_row(reports[0]),
             "versions": [_report_row(r) for r in churn],
             "totals": totals,
-        }, sys.stdout, indent=2)
-        sys.stdout.write("\n")
+        }, args.stable_json)
     else:
         print(f"absorbed {totals['deltas']} deltas with "
               f"{totals['solver_runs']} solver runs "
@@ -368,6 +392,117 @@ def _cmd_watch(args) -> int:
               f"{totals['seconds']}s total")
     drifted = sum(r.mismatches for r in churn[-1:])
     return 0 if drifted == 0 else 1
+
+
+#: Keys dropped by ``--stable-json``: wall-clock fields, plus solver-
+#: *internal* artifacts (clause counts of learned certificates, shrink
+#: statistics, proof-engine identity) whose exact values depend on the
+#: process's memory layout (term interning keys hash object ids, so
+#: search tie-breaking varies run to run).  Everything that remains —
+#: verdicts, patches, costs, attempt sequence, screening work counts —
+#: is deterministic for a pinned ``--seed``, making the stripped output
+#: byte-reproducible across process invocations.
+_UNSTABLE_KEYS = frozenset({
+    "seconds", "solve_seconds", "elapsed_seconds", "encode_seconds",
+    "timing",
+    "summary", "minimized", "solver_checks", "engine",
+})
+
+
+def _strip_timing(payload):
+    """A copy of a JSON payload with every unstable field removed."""
+    if isinstance(payload, dict):
+        return {
+            k: _strip_timing(v)
+            for k, v in payload.items()
+            if k not in _UNSTABLE_KEYS
+        }
+    if isinstance(payload, list):
+        return [_strip_timing(v) for v in payload]
+    return payload
+
+
+def _emit_json(payload, stable: bool) -> None:
+    if stable:
+        payload = _strip_timing(payload)
+    json.dump(payload, sys.stdout, indent=2)
+    sys.stdout.write("\n")
+
+
+def _cmd_repair(args) -> int:
+    from .scenarios.faults import FAULTS, build_fault, fault_names
+
+    if args.scenario not in SCENARIOS:
+        print(f"unknown scenario {args.scenario!r}; see `python -m repro list`")
+        return 2
+    if not fault_names(args.scenario):
+        repairable = sorted({name.split("/", 1)[0] for name in FAULTS})
+        print(f"no faults registered for {args.scenario!r}; repairable: "
+              + ", ".join(repairable))
+        return 2
+    try:
+        fault = build_fault(args.scenario, args.fault, args.size, args.seed)
+    except KeyError as err:
+        print(str(err.args[0]))
+        return 2
+    bundle = fault.bundle
+    json_mode = args.json or args.stable_json
+    if not json_mode:
+        print(f"{bundle.name}: {fault.description}")
+        print(f"  injected: {fault.fault.describe()}")
+
+    # Canonical (lex-minimal) counterexamples make hint extraction —
+    # and therefore the candidate stream and the accepted patch —
+    # reproducible across runs, not just the verdicts.
+    bmc_kwargs = {"canonical_trace": True}
+    if args.budget:
+        bmc_kwargs["max_conflicts"] = args.budget
+    session = IncrementalSession.from_bundle(
+        bundle,
+        jobs=args.jobs if args.jobs > 0 else default_workers(),
+        use_cache=not args.no_cache,
+        bmc_kwargs=bmc_kwargs,
+    )
+    result = session.repair(
+        max_edits=args.max_edits,
+        max_candidates=args.max_candidates,
+    )
+    # Post-patch verdicts of every tracked check (the patch, when
+    # accepted, is already applied to the session's network).
+    final_mismatches = sum(1 for o in session.outcomes if o.ok is False)
+
+    if json_mode:
+        payload = {
+            "command": "repair",
+            "scenario": bundle.name,
+            "fault": {
+                "name": fault.name,
+                "description": fault.description,
+                "deltas": [fault.fault.describe()],
+            },
+            "seed": args.seed,
+            **result.to_json(),
+            "final_audit": {
+                "n_checks": len(session.outcomes),
+                "mismatches": final_mismatches,
+            },
+        }
+        _emit_json(payload, args.stable_json)
+    else:
+        print(f"  {result.summary()}")
+        for desc in result.patch_deltas:
+            print(f"    patch: {desc}")
+        for label, row in sorted(result.certificate_rows.items()):
+            print(f"    certified: {label} [{row['summary']}]")
+        if result.best_effort and not result.ok:
+            best = result.best_effort
+            print(f"    best effort: {best.label} "
+                  f"({best.mismatches} mismatch(es) left)")
+        print(f"  {len(session.outcomes)} checks after repair; "
+              f"{final_mismatches} mismatches; "
+              f"{result.candidates_tried} candidates screened in "
+              f"{result.seconds:.1f}s")
+    return 0 if result.ok and final_mismatches == 0 else 1
 
 
 def main(argv=None) -> int:
@@ -431,6 +566,44 @@ def main(argv=None) -> int:
     prove.add_argument("--json", action="store_true",
                        help="emit structured verdicts/guarantees as JSON")
 
+    repair = sub.add_parser(
+        "repair",
+        help="synthesize a certified patch for an injected fault "
+             "(counterexample-guided repair)",
+    )
+    repair.add_argument("scenario", help="scenario name (see `list`)")
+    repair.add_argument("--fault", default=None, metavar="NAME",
+                        help="fault label from scenarios/faults.py "
+                             "(default: the scenario's first)")
+    repair.add_argument("--size", type=int, default=None,
+                        help="scenario size (groups/subnets/tenants)")
+    repair.add_argument("--seed", type=int, default=0,
+                        help="seed for the fault injection (pins the "
+                             "victim host/rule; output is reproducible "
+                             "per seed)")
+    repair.add_argument("--budget", type=int, default=None,
+                        metavar="CONFLICTS",
+                        help="per-candidate screening conflict budget "
+                             "(default: run each check to completion)")
+    repair.add_argument("--max-edits", type=int, default=3, metavar="N",
+                        help="edit budget per candidate patch "
+                             "(rule entries + chain edits; default: 3)")
+    repair.add_argument("--max-candidates", type=int, default=32,
+                        metavar="N",
+                        help="candidate patches to screen before giving "
+                             "up (default: 32)")
+    repair.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="screen invalidated checks on N workers "
+                             "(0 = one per CPU; default: sequential)")
+    repair.add_argument("--no-cache", action="store_true",
+                        help="disable the warm structural result cache")
+    repair.add_argument("--json", action="store_true",
+                        help="emit the repair result as JSON "
+                             "(schema in README)")
+    repair.add_argument("--stable-json", action="store_true",
+                        help="like --json but without wall-clock fields: "
+                             "byte-reproducible for a fixed --seed")
+
     watch = sub.add_parser(
         "watch",
         help="replay a churn stream through incremental re-verification",
@@ -449,12 +622,17 @@ def main(argv=None) -> int:
                        help="disable the warm structural result cache")
     watch.add_argument("--json", action="store_true",
                        help="emit per-delta costs and verdicts as JSON")
+    watch.add_argument("--stable-json", action="store_true",
+                       help="like --json but without wall-clock fields: "
+                            "byte-reproducible for a fixed --seed")
 
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list(args)
     if args.jobs < 0:
         parser.error("--jobs must be >= 0")
+    if args.command == "repair":
+        return _cmd_repair(args)
     if args.command == "watch":
         return _cmd_watch(args)
     if args.command == "prove":

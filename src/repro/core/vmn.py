@@ -343,3 +343,53 @@ class VMN:
                 )
         report.total_seconds = time.perf_counter() - started
         return report
+
+    # ------------------------------------------------------------------
+    # Repair
+    # ------------------------------------------------------------------
+    def repair(
+        self,
+        invariant: Invariant,
+        expected: str = "holds",
+        protect: Sequence[Invariant] = (),
+        apply: bool = False,
+        bmc_kwargs: Optional[dict] = None,
+        **search_kwargs,
+    ):
+        """Synthesize a certified patch making ``invariant`` reach its
+        ``expected`` verdict (see :func:`repro.repair.repair_session`).
+
+        ``protect`` names invariants whose *current* verdict must
+        survive the patch (they are verified once to record it).  With
+        ``apply=False`` (the default) the found patch is reverted
+        before returning — this facade's precomputed rules stay valid
+        and the patch rides in the result for the caller to apply;
+        ``apply=True`` leaves the network patched, after which this
+        VMN instance is stale and should be rebuilt.
+
+        Returns the :class:`repro.repair.RepairResult`.
+        """
+        from ..incremental.session import IncrementalSession
+
+        session = IncrementalSession(
+            self.topology,
+            self.steering,
+            scenario=self.scenario,
+            cache=self.result_cache,
+            use_slicing=self.use_slicing,
+            use_symmetry=self.use_symmetry,
+            allow_spoofing=self.allow_spoofing,
+            bmc_kwargs=bmc_kwargs,
+        )
+        target = session.track(invariant, expected=expected)
+        for inv in protect:
+            session.track(inv)
+        session.baseline()
+        for outcome in session.outcomes:
+            if outcome.check.key != target.key:
+                outcome.check.expected = outcome.status
+        result = session.repair(targets=[target.label or target.describe()],
+                                **search_kwargs)
+        if result.ok and result.patch_cost and not apply:
+            session.revert()
+        return result

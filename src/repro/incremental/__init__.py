@@ -6,6 +6,7 @@ from .delta import (
     AddHost,
     AddMiddlebox,
     DeltaError,
+    DeltaSequence,
     EditPolicyRules,
     LinkDown,
     LinkUp,
@@ -14,6 +15,7 @@ from .delta import (
     RemoveMiddlebox,
     ReplaceMiddlebox,
     SetChain,
+    network_fingerprint,
 )
 from .impact import ChangeImpactIndex, ChangeSummary, ImpactEntry
 from .session import CheckOutcome, DeltaReport, IncrementalSession, TrackedCheck
@@ -30,6 +32,8 @@ __all__ = [
     "SetChain",
     "LinkDown",
     "LinkUp",
+    "DeltaSequence",
+    "network_fingerprint",
     "ChangeImpactIndex",
     "ChangeSummary",
     "ImpactEntry",

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import FrozenSet, Optional, Tuple
 
+from ..netmodel.canon import canon
 from ..network.topology import HOST, MIDDLEBOX, Topology
 from ..network.transfer import SteeringPolicy
 
@@ -39,6 +40,8 @@ __all__ = [
     "SetChain",
     "LinkDown",
     "LinkUp",
+    "DeltaSequence",
+    "network_fingerprint",
 ]
 
 
@@ -315,3 +318,76 @@ class LinkUp(NetworkDelta):
 
     def describe(self):
         return f"link-up {self.a}<->{self.b}"
+
+
+@dataclass
+class DeltaSequence(NetworkDelta):
+    """Several edits applied atomically, as one version step.
+
+    This is the shape of a repair patch (and of any batched config
+    push): sub-deltas apply in order, and the inverse is the reversed
+    sequence of sub-inverses, so a :class:`DeltaSequence` composes with
+    :meth:`repro.incremental.IncrementalSession.apply` /
+    ``revert()`` exactly like a primitive delta — one history entry,
+    one re-verification pass over the union of what the members touch.
+
+    ``apply`` is atomic: if a member fails mid-sequence, the
+    already-applied prefix is rolled back before the
+    :class:`DeltaError` propagates, so the network is never left
+    between versions.
+    """
+
+    deltas: Tuple[NetworkDelta, ...]
+
+    def apply(self, topology, steering):
+        inverses = []
+        try:
+            for delta in self.deltas:
+                steering, inverse = delta.apply(topology, steering)
+                inverses.append(inverse)
+        except DeltaError:
+            for inverse in reversed(inverses):
+                steering, _ = inverse.apply(topology, steering)
+            raise
+        return steering, DeltaSequence(tuple(reversed(inverses)))
+
+    def touched_nodes(self):
+        # Union over members: over-approximate (a node added then
+        # removed within the sequence still invalidates slices that saw
+        # it), which is the sound direction for impact filtering.
+        out = set()
+        for delta in self.deltas:
+            out.update(delta.touched_nodes())
+        return frozenset(out)
+
+    def __len__(self) -> int:
+        return len(self.deltas)
+
+    def __iter__(self):
+        return iter(self.deltas)
+
+    def describe(self):
+        return " + ".join(d.describe() for d in self.deltas) or "no-op"
+
+
+def network_fingerprint(topology: Topology, steering: SteeringPolicy) -> str:
+    """An exact structural key of one network version.
+
+    Covers everything verification reads: node kinds and policy groups,
+    the link set, every middlebox model's configuration (via
+    :func:`repro.netmodel.canon.canon`), and the steering chains and
+    joins.  Two versions with equal fingerprints produce byte-identical
+    transfer rules and encodings — the equality delta round-trip tests
+    and repair-candidate deduplication check for.
+    """
+    nodes = []
+    for name in sorted(topology.graph.nodes):
+        node = topology.node(name)
+        model = canon(node.model, {}) if node.kind == MIDDLEBOX else None
+        nodes.append((name, node.kind, node.policy_group, model))
+    links = sorted(tuple(sorted(pair)) for pair in topology.graph.edges)
+    chains = tuple(sorted(steering.chains.items()))
+    joins = tuple(
+        (k, tuple(sorted(v.items()))) for k, v in sorted(steering.joins.items())
+    )
+    return repr(("net-version", tuple(nodes), tuple(links), chains, joins))

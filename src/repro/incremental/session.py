@@ -166,12 +166,18 @@ class IncrementalSession:
         jobs: Optional[int] = None,
         cache: Optional[ResultCache] = None,
         prove: Optional[str] = None,
+        bmc_kwargs: Optional[dict] = None,
         **vmn_kwargs,
     ):
         self.topology = topology
         self.steering = steering or SteeringPolicy()
         self.scenario = scenario
         self.jobs = jobs
+        #: Extra BMC/portfolio parameters applied to every check this
+        #: session runs (e.g. ``max_conflicts`` — the repair loop's
+        #: per-candidate screening budget).  Job fingerprints cover
+        #: them, so budgeted and unbudgeted verdicts never alias.
+        self.bmc_kwargs = dict(bmc_kwargs or {})
         #: ``"portfolio"`` keeps every tracked check continuously
         #: *proven* (not just bounded-checked): verdicts carry
         #: guarantee strength, and each holds-certificate is cached so
@@ -275,7 +281,8 @@ class IncrementalSession:
             self.index.record(key, sl)
             job = self.vmn.job_for(inv, index=len(jobs),
                                    with_fingerprint=True,
-                                   prove=self.prove)
+                                   prove=self.prove,
+                                   **self.bmc_kwargs)
             cache_hit = (
                 self.cache is not None
                 and job.fingerprint is not None
@@ -464,7 +471,7 @@ class IncrementalSession:
         checks = self.checks
         jobs_list = [
             vmn.job_for(c.invariant, index=i, with_fingerprint=True,
-                        prove=self.prove)
+                        prove=self.prove, **self.bmc_kwargs)
             for i, c in enumerate(checks)
         ]
         results = execute_jobs(jobs_list, workers=jobs or self.jobs or 1,
@@ -478,3 +485,18 @@ class IncrementalSession:
             version=self.version, delta="full-audit", outcomes=outcomes,
             seconds=time.perf_counter() - started,
         )
+
+    # ------------------------------------------------------------------
+    # Repair
+    # ------------------------------------------------------------------
+    def repair(self, **kwargs):
+        """Synthesize a certified patch for the session's mismatched
+        checks (see :func:`repro.repair.repair_session`).
+
+        Candidate patches are screened on *this* session — warm cache,
+        warm solvers, impact-scoped re-verification — and an accepted
+        patch stays applied, advancing the session one version.
+        Returns the :class:`repro.repair.RepairResult`."""
+        from ..repair.search import repair_session
+
+        return repair_session(self, **kwargs)

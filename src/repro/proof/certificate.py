@@ -40,10 +40,16 @@ from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 from ..netmodel.bmc import IncrementalBMC, VerificationNetwork
-from ..smt import UNSAT, And, Not
+from ..smt import SAT, UNSAT, And, Not
 from .transition import Cube, TransitionSystem, clause_term
 
-__all__ = ["ProofCertificate", "RecheckReport", "recheck_certificate"]
+__all__ = [
+    "ProofCertificate",
+    "RecheckReport",
+    "recheck_certificate",
+    "MinimizeReport",
+    "minimize_certificate",
+]
 
 KINDUCTION = "kinduction"
 IC3 = "ic3"
@@ -184,6 +190,140 @@ def _recheck_ic3(
     return RecheckReport(
         True, checks, f"ic3 certificate valid ({len(cert.clauses)} clauses)"
     )
+
+
+@dataclass
+class MinimizeReport:
+    """Outcome of one greedy certificate shrink pass."""
+
+    certificate: Optional[ProofCertificate] = field(repr=False, default=None)
+    clauses_before: int = 0
+    clauses_after: int = 0
+    literals_before: int = 0
+    literals_after: int = 0
+    solver_checks: int = 0
+    budget_exhausted: bool = False
+
+    @property
+    def shrink_ratio(self) -> float:
+        """How many times smaller the clause set got (1.0 = no shrink)."""
+        if self.clauses_after == 0:
+            return float(self.clauses_before) if self.clauses_before else 1.0
+        return self.clauses_before / self.clauses_after
+
+    def to_json(self) -> dict:
+        return {
+            "clauses_before": self.clauses_before,
+            "clauses_after": self.clauses_after,
+            "literals_before": self.literals_before,
+            "literals_after": self.literals_after,
+            "shrink_ratio": round(self.shrink_ratio, 2),
+            "solver_checks": self.solver_checks,
+            "budget_exhausted": self.budget_exhausted,
+        }
+
+
+def minimize_certificate(
+    net: VerificationNetwork,
+    invariant,
+    cert: ProofCertificate,
+    params: dict,
+    ts: Optional[TransitionSystem] = None,
+    max_queries: Optional[int] = None,
+    max_conflicts_per_query: int = 4000,
+) -> MinimizeReport:
+    """Greedy drop-a-clause shrink of an IC3 certificate.
+
+    IC3 ships its whole inductive strengthening — every clause its
+    frames converged with — but the fixpoint is usually far from
+    minimal.  Dropping a clause keeps *initiation* valid for free (the
+    invariant only gets weaker), so each candidate drop needs exactly
+    the two remaining conditions re-established: **consecution**
+    (``Inv ∧ T ⊨ Inv′``, which dropping can break because the
+    antecedent weakens too) and **property implication**.  A drop whose
+    two queries both come back UNSAT is kept; anything else — SAT,
+    or an inconclusive budgeted query — keeps the clause.
+
+    Clauses are attempted largest-first (big cubes block the least and
+    are the likeliest dead weight).  ``max_queries`` bounds the pass;
+    on exhaustion the shrink so far is returned with
+    ``budget_exhausted`` set.  K-induction certificates have nothing to
+    drop and return unchanged.
+
+    ``ts`` reuses a live transition system over the *same* network and
+    parameters (the portfolio hands in the one its provers ran on).
+    Sound because everything engine-specific in that solver is guarded
+    by activation/assumption literals the queries here never set, and
+    shrink queries only ever *assume* — they assert nothing.
+
+    The result is *not* self-certifying: callers re-validate the shrunk
+    certificate with :func:`recheck_certificate` (cold solver) before
+    caching or reporting it, exactly as for a fresh proof.
+    """
+    lits = sum(len(c) for c in cert.clauses)
+    report = MinimizeReport(
+        certificate=cert,
+        clauses_before=len(cert.clauses),
+        clauses_after=len(cert.clauses),
+        literals_before=lits,
+        literals_after=lits,
+    )
+    if cert.kind != IC3 or not cert.clauses:
+        return report
+
+    if ts is None:
+        ts = TransitionSystem(
+            net,
+            n_packets=params["n_packets"],
+            depth=1,
+            failure_budget=params["failure_budget"],
+            n_ports=params["n_ports"],
+            n_tags=params["n_tags"],
+        )
+    ts.extend_to(1)
+    violation = ts.violation_prefix(invariant, 1)
+
+    kept = list(cert.clauses)
+    # Largest cubes first; index tie-break keeps the pass deterministic.
+    order = sorted(range(len(kept)), key=lambda i: (-len(kept[i]), i))
+    dropped = set()
+
+    def survives_without(skip: int) -> Optional[bool]:
+        """Whether the certificate minus clause ``skip`` still proves
+        the property (None = a query budget ran out: inconclusive)."""
+        active = [
+            c for i, c in enumerate(kept) if i != skip and i not in dropped
+        ]
+        now = [clause_term(ts, c, 0) for c in active]
+        nxt = [clause_term(ts, c, 1) for c in active]
+        if nxt:
+            report.solver_checks += 1
+            status = ts.check(
+                now + [Not(And(*nxt))], max_conflicts=max_conflicts_per_query
+            )
+            if status != UNSAT:
+                return None if status != SAT else False
+        report.solver_checks += 1
+        status = ts.check(
+            now + [violation], max_conflicts=max_conflicts_per_query
+        )
+        if status != UNSAT:
+            return None if status != SAT else False
+        return True
+
+    for i in order:
+        if max_queries is not None and report.solver_checks >= max_queries:
+            report.budget_exhausted = True
+            break
+        if survives_without(i):
+            dropped.add(i)
+
+    if dropped:
+        clauses = tuple(c for i, c in enumerate(kept) if i not in dropped)
+        report.certificate = ProofCertificate(kind=IC3, clauses=clauses)
+        report.clauses_after = len(clauses)
+        report.literals_after = sum(len(c) for c in clauses)
+    return report
 
 
 def recheck_certificate(

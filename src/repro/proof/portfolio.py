@@ -49,7 +49,13 @@ from ..netmodel.bmc import (
 from ..netmodel.system import VerificationNetwork
 from ..netmodel.trace import Trace
 from ..smt import SAT, UNSAT
-from .certificate import ProofCertificate, RecheckReport, recheck_certificate
+from .certificate import (
+    MinimizeReport,
+    ProofCertificate,
+    RecheckReport,
+    minimize_certificate,
+    recheck_certificate,
+)
 from .ic3 import IC3Engine
 from .kinduction import CEX, EngineOutcome, KInductionEngine
 from .kinduction import HOLDS as ENGINE_HOLDS
@@ -82,6 +88,7 @@ class PortfolioResult:
     trace: Optional[Trace] = None
     certificate: Optional[ProofCertificate] = None
     recheck: Optional[RecheckReport] = None
+    minimize: Optional[MinimizeReport] = None
     solve_seconds: float = 0.0
     solver_checks: int = 0
     stats: dict = field(default_factory=dict)
@@ -181,6 +188,7 @@ def prove_portfolio(
     warm: Optional[SolverPool] = None,
     warm_key: Optional[str] = None,
     recheck: bool = True,
+    minimize: bool = True,
     canonical_trace: bool = False,
 ) -> PortfolioResult:
     """Decide ``invariant`` on ``net`` with an unbounded-proof attempt.
@@ -196,6 +204,13 @@ def prove_portfolio(
     ``warm_key`` plug into the caller's solver pool exactly like
     :func:`repro.netmodel.bmc.check`, keeping both the BMC driver and
     the transition system warm across invariants and versions.
+
+    ``minimize`` shrinks IC3 certificates with the greedy
+    drop-a-clause pass (:func:`repro.proof.certificate.minimize_certificate`)
+    *before* the verdict leaves the portfolio — so the result cache,
+    the incremental session's certificate store, and repair results all
+    carry the small certificate.  The shrunk set is only trusted after
+    its own cold re-check; on failure the original certificate stands.
     """
     started = time.perf_counter()
     depth, n_packets, failure_budget = _resolve(
@@ -278,9 +293,11 @@ def prove_portfolio(
         return max(0, min(chunk_conflicts, max_conflicts - spent()))
 
     winner: Optional[tuple] = None  # (engine_name, EngineOutcome)
+    winner_cert: Optional[ProofCertificate] = None
     stalled: dict = {}
     budget_out = False
     recheck_report: Optional[RecheckReport] = None
+    minimize_report: Optional[MinimizeReport] = None
 
     def spent_checks() -> int:
         return driver.checks + ts.checks - checks_before
@@ -319,7 +336,37 @@ def prove_portfolio(
                     )
                 if report is None or report.ok:
                     winner = (prover.name, outcome)
+                    winner_cert = outcome.certificate
                     recheck_report = report
+                    if minimize and winner_cert is not None \
+                            and winner_cert.clauses:
+                        remaining = (
+                            None
+                            if max_checks is None
+                            else max(0, max_checks - spent_checks())
+                        )
+                        if remaining is None or remaining > 0:
+                            shrink = minimize_certificate(
+                                net, invariant, winner_cert, params,
+                                ts=ts, max_queries=remaining,
+                            )
+                            minimize_report = shrink
+                            if shrink.certificate is not winner_cert:
+                                shrunk_report = (
+                                    recheck_certificate(
+                                        net, invariant, shrink.certificate,
+                                        params,
+                                    )
+                                    if recheck
+                                    else None
+                                )
+                                if shrunk_report is None or shrunk_report.ok:
+                                    winner_cert = shrink.certificate
+                                    recheck_report = shrunk_report or report
+                                else:
+                                    # Never ship a shrink the cold solver
+                                    # rejects; the full certificate stands.
+                                    minimize_report = None
                     break
                 # A certificate that fails its independent re-check is
                 # never trusted: demote the engine and keep going.
@@ -379,7 +426,8 @@ def prove_portfolio(
                 else depth
             ),
             n_packets=n_packets, trace=trace, certificate=certificate,
-            recheck=recheck_report, solve_seconds=elapsed,
+            recheck=recheck_report, minimize=minimize_report,
+            solve_seconds=elapsed,
             solver_checks=solver_checks, stats=stats,
         )
 
@@ -392,7 +440,7 @@ def prove_portfolio(
             )
         return result(
             HOLDS, UNBOUNDED, engine_name, outcome.reason,
-            certificate=outcome.certificate,
+            certificate=winner_cert,
         )
     limits = "; ".join(f"{name}: {reason}" for name, reason in sorted(stalled.items()))
     if budget_out:
@@ -445,6 +493,8 @@ def prove_check(
         recheck_checks=0 if pr.recheck is None else pr.recheck.solver_checks,
         solver_checks=pr.solver_checks,
     )
+    if pr.minimize is not None:
+        stats["certificate_minimized"] = pr.minimize.to_json()
     return CheckResult(
         status=pr.status,
         invariant=invariant,

@@ -1,0 +1,43 @@
+"""Counterexample-guided repair synthesis (CEGIS for network configs).
+
+VMN tells an operator *that* an invariant is violated and hands back a
+schedule; this package answers the follow-up question — *what change
+fixes it* — with a certificate-backed patch:
+
+1. :mod:`repro.repair.hints` reads the counterexample trace back
+   against the network: which middlebox forwarded the offending
+   packet, which transfer rule delivered it, which ``(src, dst)``
+   pairs the schedule exercised;
+2. :mod:`repro.repair.candidates` turns hints into ranked candidate
+   patches — :class:`repro.incremental.NetworkDelta` sequences (rule
+   edits, chain re-steering, config syncs) under an edit budget,
+   deduplicated structurally;
+3. :mod:`repro.repair.search` runs the best-first CEGIS loop: screen
+   each candidate on a warm :class:`repro.incremental.IncrementalSession`
+   (the change-impact index keeps non-impacted checks solver-free),
+   refine from each new counterexample, and accept only a patch under
+   which every previously-correct verdict survives and each repaired
+   invariant upgrades to an independently re-checked unbounded proof;
+4. :mod:`repro.repair.report` packages the outcome as a picklable
+   :class:`RepairResult` (patch, cost, certificates, solver counters).
+
+Entry points: :meth:`repro.core.VMN.repair`,
+:meth:`repro.incremental.IncrementalSession.repair`, and the
+``repro repair`` CLI; fault-injection inputs live in
+:mod:`repro.scenarios.faults`.
+"""
+
+from .candidates import Candidate, CandidateGenerator
+from .hints import RepairHints, extract_hints
+from .report import CandidateOutcome, RepairResult
+from .search import repair_session
+
+__all__ = [
+    "Candidate",
+    "CandidateGenerator",
+    "RepairHints",
+    "extract_hints",
+    "CandidateOutcome",
+    "RepairResult",
+    "repair_session",
+]

@@ -1,0 +1,322 @@
+"""Candidate patches: from repair hints to ranked delta sequences.
+
+A candidate is a :class:`repro.incremental.NetworkDelta` sequence small
+enough to fit the edit budget, plus the bookkeeping the best-first
+search orders and deduplicates by: an **edit cost** (rule entries
+touched, chains re-steered, configs replaced), a **relevance** score
+derived from how high the exercised hints ranked, and a **structural
+key** (via :func:`repro.netmodel.canon.canon`) so two enumeration paths
+proposing the same effective patch collapse into one screening run.
+
+Three repair families, mirroring the delta vocabulary:
+
+* **rule edits** — deny/permit one suspect ``(src, dst)`` pair at one
+  suspect box (:class:`EditPolicyRules`; the polarity follows the
+  box's active list: deny-list boxes *add* entries to block, allow-list
+  boxes *remove* them, and symmetrically for ALLOW repairs);
+* **chain repairs** — the offending packet reached its destination
+  without traversing a box whose config would have blocked it: splice
+  that box into the destination's steering chain, or adopt the chain a
+  policy-group peer uses (:class:`SetChain`);
+* **config syncs** — a box is missing many entries a same-type peer
+  has (the misconfigured-backup pattern): replace its model with one
+  rebuilt from the peer's rule list (:class:`ReplaceMiddlebox`).
+
+The generator is deterministic: equal hints produce equal candidate
+lists, which is what makes repair runs byte-reproducible under a
+pinned seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..incremental.delta import (
+    EditPolicyRules,
+    NetworkDelta,
+    ReplaceMiddlebox,
+    SetChain,
+)
+from ..netmodel.canon import Unfingerprintable, canon
+from ..network.topology import HOST
+from .hints import ALLOW, RepairHints
+
+__all__ = ["Candidate", "CandidateGenerator"]
+
+#: Per-delta edit-cost weights: one rule entry costs 1, re-steering a
+#: destination costs 1, a wholesale config replacement costs 2.
+CHAIN_COST = 1
+REPLACE_COST = 2
+
+
+def _delta_cost(delta: NetworkDelta) -> int:
+    if isinstance(delta, EditPolicyRules):
+        return max(1, len(delta.add) + len(delta.remove))
+    if isinstance(delta, ReplaceMiddlebox):
+        return REPLACE_COST
+    return CHAIN_COST
+
+
+def _delta_key(delta: NetworkDelta) -> tuple:
+    """Structural identity of one edit (candidate deduplication)."""
+    if isinstance(delta, EditPolicyRules):
+        return ("rules", delta.middlebox,
+                tuple(sorted(delta.add)), tuple(sorted(delta.remove)))
+    if isinstance(delta, SetChain):
+        return ("chain", delta.dst, delta.chain)
+    if isinstance(delta, ReplaceMiddlebox):
+        try:
+            config = canon(delta.model, {})
+        except Unfingerprintable:
+            config = repr(delta.model)
+        return ("replace", delta.model.name, config)
+    return ("delta", repr(delta))
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One patch attempt: a delta sequence plus its search ordering."""
+
+    deltas: Tuple[NetworkDelta, ...]
+    cost: int
+    relevance: float  # higher = screened earlier among equal-cost
+    label: str
+
+    @property
+    def key(self) -> tuple:
+        return tuple(sorted((_delta_key(d) for d in self.deltas), key=repr))
+
+    def describe(self) -> str:
+        return " + ".join(d.describe() for d in self.deltas)
+
+
+def _active_pairs(model) -> Tuple[str, frozenset]:
+    """(polarity, pairs) of a box's editable rule list; polarity is
+    the ``config_pairs`` kind ('deny' blocks listed pairs, 'allow'
+    permits exactly them)."""
+    pairs = model.config_pairs()
+    if not pairs:
+        # An empty rule list still has a polarity.
+        if getattr(model, "default_allow", False):
+            return "deny", frozenset()
+        if hasattr(model, "allow"):
+            return "allow", frozenset(model.allow)
+        if hasattr(model, "acl"):
+            return "allow", frozenset(model.acl)
+        if hasattr(model, "deny"):
+            return "deny", frozenset()
+        return "", frozenset()
+    return pairs[0][0], frozenset((a, b) for _, a, b in pairs)
+
+
+def _supports_rule_edits(model) -> bool:
+    try:
+        model.edit_rules()
+    except NotImplementedError:
+        return False
+    return True
+
+
+class CandidateGenerator:
+    """Deterministic hint-to-candidate enumeration under an edit budget."""
+
+    def __init__(self, max_edits: int = 3, max_boxes: int = 4,
+                 max_pairs: int = 6):
+        self.max_edits = max_edits
+        self.max_boxes = max_boxes
+        self.max_pairs = max_pairs
+
+    # ------------------------------------------------------------------
+    def propose(self, vmn, hints: RepairHints) -> List[Candidate]:
+        """Ranked candidates for one violated expectation, built
+        against the network version ``vmn`` wraps.  No-op patches
+        (the entry already exists, the chain is already set) are
+        dropped here, before they waste a screening run."""
+        out: List[Candidate] = []
+        block = hints.direction != ALLOW
+        boxes = hints.suspect_boxes[: self.max_boxes]
+        pairs = hints.suspect_pairs[: self.max_pairs]
+
+        for bi, box in enumerate(boxes):
+            model = vmn.topology.node(box).model
+            if not _supports_rule_edits(model):
+                continue
+            polarity, active = _active_pairs(model)
+            if polarity not in ("deny", "allow"):
+                continue
+            for pi, pair in enumerate(pairs):
+                relevance = 1.0 / (1 + bi) + 1.0 / (1 + pi)
+                out.extend(
+                    self._rule_edit(box, polarity, active, (pair,),
+                                    relevance, block)
+                )
+            # Both directions at once: hole punching means blocking one
+            # direction can leave the reverse flow established.
+            if len(pairs) >= 2 and pairs[1] == pairs[0][::-1]:
+                out.extend(
+                    self._rule_edit(box, polarity, active, pairs[:2],
+                                    1.5 / (1 + bi), block)
+                )
+            out.extend(self._config_syncs(vmn, box, model, polarity,
+                                          active, 0.5 / (1 + bi)))
+
+        out.extend(self._chain_repairs(vmn, hints))
+
+        out = [c for c in out if c.cost <= self.max_edits]
+        return self._ranked(out)
+
+    # ------------------------------------------------------------------
+    def combine(self, base: Candidate, extra: Candidate) -> Optional[Candidate]:
+        """The CEGIS composition: a refinement candidate extending
+        ``base`` with ``extra``'s edits (merging rule edits aimed at
+        the same box), or ``None`` when the budget is exceeded."""
+        deltas = list(base.deltas)
+        for delta in extra.deltas:
+            merged = False
+            if isinstance(delta, EditPolicyRules):
+                for i, prev in enumerate(deltas):
+                    if (
+                        isinstance(prev, EditPolicyRules)
+                        and prev.middlebox == delta.middlebox
+                    ):
+                        deltas[i] = EditPolicyRules(
+                            prev.middlebox,
+                            add=tuple(sorted(set(prev.add) | set(delta.add))),
+                            remove=tuple(
+                                sorted(set(prev.remove) | set(delta.remove))
+                            ),
+                        )
+                        merged = True
+                        break
+            if not merged:
+                deltas.append(delta)
+        if tuple(deltas) == base.deltas:
+            return None
+        cost = sum(_delta_cost(d) for d in deltas)
+        if cost > self.max_edits:
+            return None
+        return Candidate(
+            deltas=tuple(deltas),
+            cost=cost,
+            relevance=min(base.relevance, extra.relevance),
+            label=f"{base.label} & {extra.label}",
+        )
+
+    # ------------------------------------------------------------------
+    def _rule_edit(self, box, polarity, active, edit_pairs, relevance,
+                   block) -> List[Candidate]:
+        """Rule edits realizing "block these pairs" (or permit, for
+        ALLOW repairs) at one box, respecting its list polarity."""
+        if block:
+            add = tuple(sorted(p for p in edit_pairs if p not in active)) \
+                if polarity == "deny" else ()
+            remove = tuple(sorted(p for p in edit_pairs if p in active)) \
+                if polarity == "allow" else ()
+            verb = "deny"
+        else:
+            add = tuple(sorted(p for p in edit_pairs if p not in active)) \
+                if polarity == "allow" else ()
+            remove = tuple(sorted(p for p in edit_pairs if p in active)) \
+                if polarity == "deny" else ()
+            verb = "permit"
+        if not add and not remove:
+            return []
+        delta = EditPolicyRules(box, add=add, remove=remove)
+        pairs_desc = ",".join(f"{a}->{b}" for a, b in (add + remove))
+        return [Candidate(
+            deltas=(delta,),
+            cost=_delta_cost(delta),
+            relevance=relevance,
+            label=f"{verb} {pairs_desc} at {box}",
+        )]
+
+    def _config_syncs(self, vmn, box, model, polarity, active,
+                      relevance) -> List[Candidate]:
+        """Replace ``box``'s model with one rebuilt from a same-type
+        peer's rule list — the misconfigured-redundant-box repair."""
+        out = []
+        for node in vmn.topology.middleboxes:
+            peer = node.model
+            if node.name == box or type(peer) is not type(model):
+                continue
+            peer_polarity, peer_active = _active_pairs(peer)
+            if peer_polarity != polarity or peer_active == active:
+                continue
+            synced = model.edit_rules(
+                add=tuple(sorted(peer_active - active)),
+                remove=tuple(sorted(active - peer_active)),
+            )
+            out.append(Candidate(
+                deltas=(ReplaceMiddlebox(synced),),
+                cost=REPLACE_COST,
+                relevance=relevance,
+                label=f"sync {box} config from {node.name}",
+            ))
+        return out
+
+    def _chain_repairs(self, vmn, hints: RepairHints) -> List[Candidate]:
+        """Re-steer the destination through a box that would filter the
+        offending traffic, or through the chain its peers use."""
+        dst = None
+        for _, d in hints.suspect_pairs[:1]:
+            dst = d
+        # For BLOCK repairs the invariant's protected node is the first
+        # pair's *destination* only when that pair came from the
+        # offending packet; fall back to any mentioned host.
+        candidates: List[Candidate] = []
+        protected = [
+            n for n in (dst,)
+            if n and n in vmn.topology
+            and vmn.topology.node(n).kind == HOST
+        ]
+        for host in protected:
+            current = tuple(vmn.steering.chains.get(host, ()))
+            # (a) splice in each box whose config names a suspect pair
+            # but which the packet never traversed;
+            for box, _hits in hints.config_matches:
+                if box in current:
+                    continue
+                for chain in ((box,) + current, current + (box,)):
+                    candidates.append(Candidate(
+                        deltas=(SetChain(host, chain),),
+                        cost=CHAIN_COST,
+                        relevance=1.2,
+                        label=f"steer {host} via {'->'.join(chain)}",
+                    ))
+            # (b) adopt a policy-group peer's chain (config drift
+            # between same-role hosts is the classic steering bug).
+            group = vmn.topology.node(host).policy_group
+            seen_chains = {current}
+            for peer in sorted(vmn.topology.hosts, key=lambda n: n.name):
+                if peer.name == host or peer.policy_group != group:
+                    continue
+                chain = tuple(vmn.steering.chains.get(peer.name, ()))
+                if chain in seen_chains:
+                    continue
+                seen_chains.add(chain)
+                candidates.append(Candidate(
+                    deltas=(SetChain(host, chain),),
+                    cost=CHAIN_COST,
+                    relevance=1.0,
+                    label=f"steer {host} like {peer.name}",
+                ))
+        return candidates
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _ranked(candidates: List[Candidate]) -> List[Candidate]:
+        """Cheapest first, most relevant within equal cost, stable and
+        deduplicated by structural key."""
+        seen = set()
+        ranked = []
+        order = sorted(
+            enumerate(candidates),
+            key=lambda iv: (iv[1].cost, -iv[1].relevance, iv[0]),
+        )
+        for _, cand in order:
+            if cand.key in seen:
+                continue
+            seen.add(cand.key)
+            ranked.append(cand)
+        return ranked

@@ -1,0 +1,217 @@
+"""Repair hints: what a counterexample says about where the bug lives.
+
+A violating schedule is more than a verdict — it names the middleboxes
+that forwarded the offending packet, the transfer rule that delivered
+it (recovered by matching the packet's concrete fields against the
+collapsed datapath's rule list), and the address pairs the adversary
+exercised.  :func:`extract_hints` distills those into a ranked
+:class:`RepairHints` that the candidate generator turns into patches.
+
+Two repair directions exist:
+
+* ``BLOCK`` — an isolation-style invariant is violated: traffic that
+  must not flow does.  Hints come from the trace: the boxes that
+  handled the offending packet (latest handler first — the box that
+  *delivered* the violation is the prime suspect), and the packet's
+  ``(src, dst)`` pairs plus their reverses (stateful firewalls punch
+  holes, so the fix may have to deny the initiating direction).
+* ``ALLOW`` — a reachability expectation fails: traffic that should
+  flow is blocked, so there is no trace to mine.  Hints come from the
+  configuration instead: every policy entry (deny-list row, missing
+  allow-list row) that matches the expected flow, attributed to its
+  box.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..netmodel.rules import TransferRule, rule_mentions
+from ..netmodel.trace import Trace
+from ..network.topology import MIDDLEBOX
+
+__all__ = ["BLOCK", "ALLOW", "RepairHints", "extract_hints"]
+
+BLOCK = "block"
+ALLOW = "allow"
+
+
+@dataclass(frozen=True)
+class RepairHints:
+    """Ranked repair leads for one violated expectation."""
+
+    target: str  # the invariant's description
+    direction: str  # BLOCK or ALLOW
+    #: Middleboxes implicated, most suspicious first.
+    suspect_boxes: Tuple[str, ...] = ()
+    #: ``(src, dst)`` address pairs to deny/permit, most relevant first.
+    suspect_pairs: Tuple[Tuple[str, str], ...] = ()
+    #: Transfer rules that delivered the offending packet.
+    fired_rules: Tuple[TransferRule, ...] = ()
+    #: Boxes whose config already names a suspect pair (ALLOW direction:
+    #: the entries to delete; BLOCK direction: boxes that *should* have
+    #: blocked but were bypassed — chain-repair leads).
+    config_matches: Tuple[Tuple[str, Tuple[Tuple[str, str], ...]], ...] = ()
+    #: Every node the counterexample mentions (packets, events, rules).
+    trace_nodes: FrozenSet[str] = field(default_factory=frozenset)
+
+    def describe(self) -> str:
+        boxes = ",".join(self.suspect_boxes[:3]) or "-"
+        pairs = ",".join(f"{a}->{b}" for a, b in self.suspect_pairs[:3]) or "-"
+        return f"{self.direction}: boxes[{boxes}] pairs[{pairs}]"
+
+
+def _dedup(seq):
+    seen = set()
+    out = []
+    for item in seq:
+        if item not in seen:
+            seen.add(item)
+            out.append(item)
+    return out
+
+
+def _offending_packets(invariant, trace: Trace) -> List:
+    """The trace's packets most likely to realize the violation: those
+    matching the invariant's source/origin pins first, latest-sent
+    first within each class."""
+    src = getattr(invariant, "src", None)
+    origin = getattr(invariant, "origin", None)
+    last_send: Dict[int, int] = {}
+    for e in trace.events:
+        if e.pkt is not None:
+            last_send[e.pkt] = e.t
+    used = sorted(
+        (p for i, p in trace.packets.items() if i in last_send),
+        key=lambda p: -last_send[p.index],
+    )
+    pinned = [
+        p for p in used
+        if (src is not None and p.src == src)
+        or (origin is not None and p.origin == origin)
+    ]
+    return pinned + [p for p in used if p not in pinned]
+
+
+def _fired_rules(vmn, invariant, packets) -> List[TransferRule]:
+    """Transfer rules that can deliver an offending packet to the
+    invariant's destination — the rule the trace's final hop fired."""
+    dst = getattr(invariant, "dst", None)
+    if dst is None:
+        return []
+    fired = []
+    for p in packets:
+        fields = {
+            "src": p.src, "dst": p.dst, "sport": p.sport,
+            "dport": p.dport, "origin": p.origin,
+        }
+        for rule in vmn.rules:
+            if rule.to == dst and rule.match.matches_concrete(fields):
+                fired.append(rule)
+    return _dedup(fired)
+
+
+def _config_matches(
+    vmn, pairs: List[Tuple[str, str]]
+) -> List[Tuple[str, Tuple[Tuple[str, str], ...]]]:
+    """Boxes whose policy entries mention any of the suspect pairs."""
+    wanted = set(pairs)
+    out = []
+    for node in vmn.topology.middleboxes:
+        hits = tuple(
+            (a, b)
+            for _, a, b in node.model.config_pairs()
+            if (a, b) in wanted
+        )
+        if hits:
+            out.append((node.name, hits))
+    return out
+
+
+def extract_hints(
+    vmn,
+    invariant,
+    trace: Optional[Trace] = None,
+    direction: str = BLOCK,
+) -> RepairHints:
+    """Distill a counterexample (or, for ALLOW repairs, the config)
+    into ranked repair leads.
+
+    ``vmn`` is the facade of the *broken* network version — its
+    transfer rules and steering are what the trace is matched against.
+    """
+    describe = getattr(invariant, "describe", lambda: repr(invariant))
+    dst = getattr(invariant, "dst", None)
+    src = getattr(invariant, "src", None)
+    origin = getattr(invariant, "origin", None)
+
+    pairs: List[Tuple[str, str]] = []
+    boxes: List[str] = []
+    fired: List[TransferRule] = []
+    nodes: set = set()
+
+    if direction == ALLOW or trace is None:
+        # No schedule to mine: the repair must *enable* the expected
+        # flow, so the leads are the invariant's own endpoints and the
+        # config entries standing in their way.
+        if src is not None and dst is not None:
+            pairs = [(src, dst), (dst, src)]
+        if origin is not None and dst is not None:
+            pairs.extend([(dst, origin), (origin, dst)])
+        chain = vmn.steering.chains.get(dst, ()) if dst else ()
+        boxes = list(chain)
+        if src is not None:
+            boxes.extend(vmn.steering.chains.get(src, ()))
+    else:
+        packets = _offending_packets(invariant, trace)
+        fired = _fired_rules(vmn, invariant, packets)
+        for p in packets:
+            pairs.append((p.src, p.dst))
+        for p in packets:
+            pairs.append((p.dst, p.src))
+        if origin is not None and dst is not None:
+            # Data leaks via shared boxes are denied per
+            # (requester, origin) — the cache ACL convention.
+            pairs.insert(0, (dst, origin))
+        # Boxes that handled an offending packet, latest event first.
+        mboxes = {n.name for n in vmn.topology.middleboxes}
+        offending = {p.index for p in packets[:1]} or set(trace.packets)
+        handlers = [
+            e.frm
+            for e in sorted(trace.events, key=lambda e: -e.t)
+            if e.frm in mboxes and (e.pkt is None or e.pkt in offending)
+        ]
+        boxes = handlers + [
+            e.frm for e in sorted(trace.events, key=lambda e: -e.t)
+            if e.frm in mboxes
+        ]
+        # The destination's pipeline should have filtered the packet;
+        # its boxes are suspects even if the schedule skipped them.
+        if dst is not None:
+            boxes.extend(vmn.steering.chains.get(dst, ()))
+        for rule in fired:
+            if rule.from_nodes:
+                boxes.extend(sorted(rule.from_nodes & mboxes))
+            nodes.update(rule_mentions(rule))
+        for e in trace.events:
+            nodes.add(e.frm)
+            if e.to is not None:
+                nodes.add(e.to)
+        for p in trace.packets.values():
+            nodes.update({p.src, p.dst, p.origin})
+
+    pairs = _dedup(pairs)
+    boxes = [
+        b for b in _dedup(boxes)
+        if b in vmn.topology and vmn.topology.node(b).kind == MIDDLEBOX
+    ]
+    return RepairHints(
+        target=describe(),
+        direction=direction,
+        suspect_boxes=tuple(boxes),
+        suspect_pairs=tuple(pairs),
+        fired_rules=tuple(fired),
+        config_matches=tuple(_config_matches(vmn, pairs)),
+        trace_nodes=frozenset(nodes),
+    )

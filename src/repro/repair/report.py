@@ -1,0 +1,146 @@
+"""Repair outcomes as plain, picklable data.
+
+A :class:`RepairResult` is the unit the CLI serializes, the benchmark
+compares across screening strategies, and a control plane would log:
+the accepted patch (as the delta sequence itself plus stable
+descriptions), its edit cost, the proof certificate backing each
+repaired invariant, and the solver-work counters the search spent.
+Everything in it survives ``pickle`` (deltas are dataclasses over
+middlebox models, certificates are structural) and renders to JSON via
+:meth:`RepairResult.to_json` with the schema documented in the README.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..incremental.delta import NetworkDelta
+
+__all__ = ["CandidateOutcome", "RepairResult"]
+
+ACCEPTED = "accepted"
+REGRESSED = "regressed"  # a previously-correct check broke
+UNFIXED = "unfixed"  # a target stayed wrong
+UNCERTIFIED = "uncertified"  # bounded screening passed, proof did not
+
+
+@dataclass
+class CandidateOutcome:
+    """One screened candidate, in trial order."""
+
+    label: str
+    cost: int
+    status: str  # accepted / regressed / unfixed / uncertified
+    deltas: Tuple[str, ...] = ()  # delta descriptions
+    mismatches: int = 0  # expected-vs-actual mismatches after the patch
+    solver_runs: int = 0
+    cache_hits: int = 0
+    carried: int = 0
+    solve_seconds: float = 0.0
+
+    def to_json(self) -> dict:
+        return {
+            "label": self.label,
+            "cost": self.cost,
+            "status": self.status,
+            "deltas": list(self.deltas),
+            "mismatches": self.mismatches,
+            "screen": {
+                "solver_runs": self.solver_runs,
+                "cache_hits": self.cache_hits,
+                "carried": self.carried,
+            },
+        }
+
+
+@dataclass
+class RepairResult:
+    """What the CEGIS loop concluded, and what it cost to get there."""
+
+    ok: bool
+    targets: Tuple[str, ...]  # labels of the checks being repaired
+    patch: Optional[NetworkDelta] = None  # a DeltaSequence when ok
+    patch_cost: Optional[int] = None
+    certificates: Dict[str, object] = field(default_factory=dict)
+    #: label -> certificate summary/recheck of each repaired target
+    certificate_rows: Dict[str, dict] = field(default_factory=dict)
+    attempts: List[CandidateOutcome] = field(default_factory=list)
+    candidates_generated: int = 0
+    rounds: int = 0  # CEGIS refinement rounds that produced candidates
+    #: Anytime best-so-far when no candidate was accepted: the patch
+    #: that left the fewest mismatches (described, not applied).
+    best_effort: Optional[CandidateOutcome] = None
+    note: str = ""
+    seconds: float = 0.0
+    screen_solver_runs: int = 0
+    screen_cache_hits: int = 0
+    screen_carried: int = 0
+    screen_solve_seconds: float = 0.0
+    certify_solve_seconds: float = 0.0
+    #: Portfolio queries spent certifying candidates that fixed every
+    #: mismatch (the screening runs themselves are counted above).
+    solver_checks: int = 0
+
+    @property
+    def candidates_tried(self) -> int:
+        return len(self.attempts)
+
+    @property
+    def patch_deltas(self) -> Tuple[str, ...]:
+        if self.patch is None:
+            return ()
+        members = getattr(self.patch, "deltas", None)
+        if members is None:
+            return (self.patch.describe(),)
+        return tuple(d.describe() for d in members)
+
+    def summary(self) -> str:
+        if self.ok:
+            return (
+                f"repaired {len(self.targets)} check(s) with "
+                f"{len(self.patch_deltas)} edit(s) (cost {self.patch_cost}) "
+                f"after {self.candidates_tried} candidate(s)"
+            )
+        return (
+            f"no certified patch for {len(self.targets)} check(s) "
+            f"after {self.candidates_tried} candidate(s): {self.note}"
+        )
+
+    def to_json(self) -> dict:
+        """The ``repro repair --json`` schema (see README):
+
+        every field is deterministic in (scenario, fault, seed) —
+        wall-clock timings live under ``"timing"`` so stable output
+        modes can drop that one subtree.
+        """
+        return {
+            "ok": self.ok,
+            "targets": list(self.targets),
+            # An accepted no-op (nothing to repair) is [], not null —
+            # null means "no patch found".
+            "patch": list(self.patch_deltas) if self.patch is not None else None,
+            "patch_cost": self.patch_cost,
+            "certificates": dict(sorted(self.certificate_rows.items())),
+            "candidates": {
+                "generated": self.candidates_generated,
+                "tried": self.candidates_tried,
+                "rounds": self.rounds,
+            },
+            "attempts": [a.to_json() for a in self.attempts],
+            "best_effort": (
+                self.best_effort.to_json() if self.best_effort else None
+            ),
+            "screen": {
+                "solver_runs": self.screen_solver_runs,
+                "cache_hits": self.screen_cache_hits,
+                "carried": self.screen_carried,
+                "solver_checks": self.solver_checks,
+            },
+            "note": self.note,
+            "timing": {
+                "seconds": round(self.seconds, 3),
+                "screen_solve_seconds": round(self.screen_solve_seconds, 3),
+                "certify_solve_seconds": round(self.certify_solve_seconds, 3),
+            },
+        }

@@ -1,0 +1,470 @@
+"""The best-first CEGIS repair loop.
+
+``repair_session`` drives the whole synthesis: candidates come out of
+:mod:`repro.repair.candidates` ranked by (edit cost, hint relevance),
+each is screened by applying its delta sequence to the network and
+re-establishing every tracked verdict, and every failed screening
+*teaches* the search — the new counterexample's hints generate the next
+round of candidates, including compositions with the candidate that
+just failed (block one direction, watch the adversary come back through
+the reverse flow, block both).
+
+Screening strategies:
+
+* **warm** (the default) — candidates run on the caller's
+  :class:`repro.incremental.IncrementalSession`: the change-impact
+  index re-verifies only the checks a candidate can reach, the warm
+  fingerprint cache answers repeat versions (reverting a candidate and
+  trying a superset is nearly free), and solvers stay warm across
+  candidates.
+* **cold** (``cold=True``) — every candidate pays a full from-scratch
+  audit of every check on cold solvers.  This is the baseline
+  ``benchmarks/bench_repair.py`` measures against; both strategies see
+  identical verdicts (the incremental fidelity contract), so they
+  accept identical patches.
+
+Acceptance is deliberately strict: a candidate is only accepted when
+**every** tracked expectation matches — the repaired invariants *and*
+everything that was already correct — and each repaired ``holds``
+expectation is upgraded to an unbounded verdict whose certificate
+passed its independent cold re-check (repaired reachability
+expectations are witnessed by their counterexample schedule, which is
+conclusive by itself).  The loop is *anytime*: if no candidate
+certifies within the budgets, the result still reports the best patch
+seen (fewest remaining mismatches, then cheapest).
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.engine import execute_jobs
+from ..core.vmn import VMN
+from ..incremental.delta import DeltaError, DeltaSequence
+from ..netmodel.bmc import HOLDS, VIOLATED, CheckResult
+from .candidates import Candidate, CandidateGenerator
+from .hints import ALLOW, BLOCK, extract_hints
+from .report import (
+    ACCEPTED,
+    REGRESSED,
+    UNCERTIFIED,
+    UNFIXED,
+    CandidateOutcome,
+    RepairResult,
+)
+
+__all__ = ["repair_session"]
+
+
+class _WarmScreen:
+    """Candidate screening on the incremental session (impact-scoped,
+    cache-backed, warm solvers)."""
+
+    def __init__(self, session):
+        self.session = session
+        self.solver_runs = 0
+        self.cache_hits = 0
+        self.carried = 0
+        self.solve_seconds = 0.0
+        self.last: Tuple[int, int, int, float] = (0, 0, 0, 0.0)
+
+    @property
+    def vmn(self):
+        return self.session.vmn
+
+    def baseline(self):
+        if not self.session.outcomes:
+            self.session.baseline()
+        return self.session.outcomes
+
+    def screen(self, deltas) -> list:
+        report = self.session.apply(DeltaSequence(tuple(deltas)))
+        spent = sum(
+            o.result.solve_seconds
+            for o in report
+            if not o.carried and not o.cached
+        )
+        self.last = (report.solver_runs, report.cache_hits,
+                     report.carried, spent)
+        self.solver_runs += report.solver_runs
+        self.cache_hits += report.cache_hits
+        self.carried += report.carried
+        self.solve_seconds += spent
+        return self.session.outcomes
+
+    def revert(self) -> None:
+        self.session.revert()
+
+    def keep(self) -> None:
+        pass  # an accepted patch simply stays applied
+
+    def certify(self, check, outcome_result) -> CheckResult:
+        """An unbounded-proof result for one repaired check on the
+        current (patched) version.  A prove-mode session already
+        screened with the portfolio, so its outcome is reused."""
+        stats = outcome_result.stats
+        if self.session.prove and stats.get("guarantee"):
+            return outcome_result
+        job = self.session.vmn.job_for(
+            check.invariant, with_fingerprint=True, prove="portfolio",
+            **self.session.bmc_kwargs,
+        )
+        return execute_jobs(
+            [job], workers=1, cache=self.session.cache,
+            solver_pool=self.session.solver_pool,
+        )[0]
+
+
+class _ColdScreen:
+    """The pre-incremental world: every candidate pays a cold
+    from-scratch audit of every tracked check."""
+
+    def __init__(self, session):
+        self.session = session
+        self.checks = session.checks
+        self._inverse = None
+        self._vmn: Optional[VMN] = None
+        self.solver_runs = 0
+        self.cache_hits = 0
+        self.carried = 0
+        self.solve_seconds = 0.0
+        self.last: Tuple[int, int, int, float] = (0, 0, 0, 0.0)
+
+    @property
+    def vmn(self):
+        if self._vmn is None:
+            self._vmn = self._build()
+        return self._vmn
+
+    def _build(self) -> VMN:
+        return VMN(
+            self.session.topology,
+            self.session.steering,
+            scenario=self.session.scenario,
+            use_cache=False,
+            use_warm=False,
+        )
+
+    def _audit(self) -> list:
+        vmn = self.vmn
+        outcomes = []
+        for check in self.checks:
+            result = vmn.verify(check.invariant, **self.session.bmc_kwargs)
+            outcomes.append(_ColdOutcome(check, result))
+        return outcomes
+
+    def baseline(self):
+        return self._audit()
+
+    def screen(self, deltas) -> list:
+        assert self._inverse is None, "previous candidate not resolved"
+        self.session.steering, self._inverse = DeltaSequence(
+            tuple(deltas)
+        ).apply(self.session.topology, self.session.steering)
+        self._vmn = None
+        outcomes = self._audit()
+        spent = sum(o.result.solve_seconds for o in outcomes)
+        self.last = (len(outcomes), 0, 0, spent)
+        self.solver_runs += len(outcomes)
+        self.solve_seconds += spent
+        return outcomes
+
+    def revert(self) -> None:
+        self.session.steering, _ = self._inverse.apply(
+            self.session.topology, self.session.steering
+        )
+        self._inverse = None
+        self._vmn = None
+
+    def keep(self) -> None:
+        self._inverse = None
+
+    def certify(self, check, outcome_result) -> CheckResult:
+        job = self.vmn.job_for(
+            check.invariant, with_fingerprint=False, prove="portfolio",
+            **self.session.bmc_kwargs,
+        )
+        return job.run(None)
+
+
+class _ColdOutcome:
+    """Duck-typed stand-in for :class:`CheckOutcome` in the cold path."""
+
+    def __init__(self, check, result):
+        self.check = check
+        self.result = result
+
+    @property
+    def status(self):
+        return self.result.status
+
+    @property
+    def ok(self):
+        if self.check.expected is None:
+            return None
+        return self.status == self.check.expected
+
+
+def _mismatched(outcomes) -> list:
+    return [o for o in outcomes if o.ok is False]
+
+
+def _target_hints(screen, outcomes, target_keys):
+    """Fresh hints for every still-mismatched target, read against the
+    *current* network version (patched or not)."""
+    hints = []
+    for o in outcomes:
+        if o.ok is not False or o.check.key not in target_keys:
+            continue
+        direction = BLOCK if o.check.expected == HOLDS else ALLOW
+        hints.append(
+            extract_hints(screen.vmn, o.check.invariant,
+                          trace=o.result.trace, direction=direction)
+        )
+    return hints
+
+
+def repair_session(
+    session,
+    targets: Optional[Sequence] = None,
+    max_edits: int = 3,
+    max_candidates: int = 32,
+    max_rounds: int = 6,
+    require_certificate: bool = True,
+    cold: bool = False,
+) -> RepairResult:
+    """Synthesize a certified patch for ``session``'s failing checks.
+
+    ``targets`` restricts repair to the given :class:`TrackedCheck`
+    objects (or their labels); by default every check whose status
+    disagrees with its recorded expectation is a target.  ``max_edits``
+    is the per-candidate edit budget (rule entries + chain edits);
+    ``max_candidates`` and ``max_rounds`` bound the search;
+    per-candidate *solver* budgets come from the session's
+    ``bmc_kwargs`` (e.g. ``max_conflicts``).  ``cold=True`` switches to
+    per-candidate full re-audits (benchmark baseline).
+
+    On success the patch remains applied to the session's network; on
+    failure every candidate has been reverted and the network is
+    byte-identical to where it started.
+    """
+    started = time.perf_counter()
+    screen = _ColdScreen(session) if cold else _WarmScreen(session)
+    outcomes = screen.baseline()
+
+    wanted_keys = wanted_names = None
+    if targets is not None:
+        # TrackedCheck objects are matched by identity (labels default
+        # to "" and must never act as a wildcard); strings match a
+        # label or an invariant description.
+        wanted_keys = {t.key for t in targets if not isinstance(t, str)}
+        wanted_names = {t for t in targets if isinstance(t, str)}
+    target_checks = [
+        o.check
+        for o in _mismatched(outcomes)
+        if targets is None
+        or o.check.key in wanted_keys
+        or (o.check.label and o.check.label in wanted_names)
+        or o.check.describe() in wanted_names
+    ]
+    target_keys = {c.key for c in target_checks}
+    # Checks already failing at baseline but NOT targeted are known-
+    # broken, not collateral damage: they neither block acceptance nor
+    # count as regressions (repairing a subset must stay possible).
+    ignored_keys = {
+        o.check.key
+        for o in _mismatched(outcomes)
+        if o.check.key not in target_keys
+    }
+    labels = tuple(c.describe() for c in target_checks)
+    result = RepairResult(ok=False, targets=labels)
+
+    if not target_checks:
+        result.ok = True
+        result.patch = DeltaSequence(())
+        result.patch_cost = 0
+        result.note = "no mismatched checks — nothing to repair"
+        result.seconds = time.perf_counter() - started
+        return result
+
+    generator = CandidateGenerator(max_edits=max_edits)
+    queue: List[tuple] = []
+    serial = 0
+    seen_keys = set()
+
+    def push(cands: List[Candidate]) -> int:
+        nonlocal serial
+        fresh = 0
+        for cand in cands:
+            key = cand.key
+            if key in seen_keys:
+                continue
+            seen_keys.add(key)
+            heapq.heappush(
+                queue, (cand.cost, -cand.relevance, serial, cand)
+            )
+            serial += 1
+            fresh += 1
+        result.candidates_generated += fresh
+        return fresh
+
+    for hints in _target_hints(screen, outcomes, target_keys):
+        push(generator.propose(screen.vmn, hints))
+    result.rounds = 1
+
+    best_mismatches = len(target_checks)
+
+    while queue and len(result.attempts) < max_candidates:
+        _, _, _, cand = heapq.heappop(queue)
+        try:
+            outcomes = screen.screen(cand.deltas)
+        except DeltaError:
+            continue  # patch no longer applies to this version shape
+        runs, hits, carried, spent = screen.last
+        wrong = [
+            o for o in _mismatched(outcomes)
+            if o.check.key not in ignored_keys
+        ]
+        attempt = CandidateOutcome(
+            label=cand.label,
+            cost=cand.cost,
+            status=UNFIXED,
+            deltas=tuple(d.describe() for d in cand.deltas),
+            mismatches=len(wrong),
+            solver_runs=runs,
+            cache_hits=hits,
+            carried=carried,
+            solve_seconds=spent,
+        )
+        result.attempts.append(attempt)
+
+        if not wrong:
+            accepted, rows, certs, certify_seconds, certify_checks = \
+                _certify_targets(
+                    screen, outcomes, target_keys, require_certificate
+                )
+            result.certify_solve_seconds += certify_seconds
+            result.solver_checks += certify_checks
+            if accepted:
+                attempt.status = ACCEPTED
+                screen.keep()
+                result.ok = True
+                result.patch = DeltaSequence(cand.deltas)
+                result.patch_cost = cand.cost
+                result.certificates = certs
+                result.certificate_rows = rows
+                result.note = f"accepted after {len(result.attempts)} candidate(s)"
+                break
+            attempt.status = UNCERTIFIED
+            # Zero remaining mismatches always beats any unfixed patch
+            # on the anytime ladder, even without a certificate.
+            if best_mismatches > 0:
+                best_mismatches = 0
+                result.best_effort = attempt
+            screen.revert()
+        else:
+            regressed = any(o.check.key not in target_keys for o in wrong)
+            if regressed:
+                attempt.status = REGRESSED
+            else:
+                # CEGIS: the surviving counterexamples (read against the
+                # patched network) seed the next candidate generation —
+                # both standalone and composed with this patch.
+                if result.rounds < max_rounds:
+                    new_hints = _target_hints(screen, outcomes, target_keys)
+                    screen.revert()
+                    fresh = 0
+                    for hints in new_hints:
+                        proposals = generator.propose(screen.vmn, hints)
+                        fresh += push(proposals)
+                        combos = [
+                            combo
+                            for p in proposals[:4]
+                            if (combo := generator.combine(cand, p))
+                        ]
+                        fresh += push(combos)
+                    if fresh:
+                        result.rounds += 1
+                    if len(wrong) < best_mismatches or (
+                        len(wrong) == best_mismatches
+                        and (result.best_effort is None
+                             or cand.cost < result.best_effort.cost)
+                    ):
+                        best_mismatches = len(wrong)
+                        result.best_effort = attempt
+                    continue  # already reverted
+            # A regressing patch is never "best effort" — it trades one
+            # correct verdict for another.
+            if not regressed and len(wrong) < best_mismatches:
+                best_mismatches = len(wrong)
+                result.best_effort = attempt
+            screen.revert()
+
+    result.screen_solver_runs = screen.solver_runs
+    result.screen_cache_hits = screen.cache_hits
+    result.screen_carried = screen.carried
+    result.screen_solve_seconds = screen.solve_seconds
+    if not result.ok and not result.note:
+        result.note = (
+            "budget exhausted"
+            if len(result.attempts) >= max_candidates
+            else "candidate space exhausted"
+        )
+    result.seconds = time.perf_counter() - started
+    return result
+
+
+def _certify_targets(screen, outcomes, target_keys, require_certificate):
+    """Upgrade every repaired check to a conclusive verdict.
+
+    ``holds`` expectations need an inductive certificate that passed
+    its independent cold re-check; ``violated`` expectations are
+    conclusively witnessed by their counterexample schedule already.
+    The first failed certification dooms the candidate, so remaining
+    targets are not proven (a full proof search each — the dominant
+    cost on multi-target repairs).  Returns
+    ``(all_certified, rows, certificates, solve_seconds, solver_checks)``.
+    """
+    rows: Dict[str, dict] = {}
+    certs: Dict[str, object] = {}
+    seconds = 0.0
+    checks = 0
+    ok = True
+    for o in outcomes:
+        if o.check.key not in target_keys:
+            continue
+        label = o.check.describe()
+        if o.check.expected == VIOLATED:
+            rows[label] = {
+                "kind": "witness",
+                "summary": f"counterexample schedule at depth {o.result.depth}",
+            }
+            continue
+        proved = screen.certify(o.check, o.result)
+        seconds += proved.solve_seconds
+        stats = proved.stats
+        checks += stats.get("solver_checks") or 0
+        cert = stats.get("certificate")
+        certified = (
+            proved.status == HOLDS
+            and stats.get("guarantee") == "unbounded"
+            and cert is not None
+            and stats.get("recheck_ok") is not False
+        )
+        if not certified and require_certificate:
+            ok = False
+            break
+        if cert is not None:
+            certs[label] = cert
+            rows[label] = {
+                "kind": cert.kind,
+                "summary": cert.summary(),
+                "engine": stats.get("proof_engine"),
+                "recheck_ok": stats.get("recheck_ok"),
+            }
+            shrunk = stats.get("certificate_minimized")
+            if shrunk is not None:
+                rows[label]["minimized"] = shrunk
+    return ok, rows, certs, seconds, checks

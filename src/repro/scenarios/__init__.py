@@ -15,6 +15,7 @@ from .datacenter import (
     datacenter_with_caches,
 )
 from .enterprise import SUBNET_TYPES, enterprise
+from .faults import FAULTS, InjectedFault, build_fault, fault_names
 from .isp import isp
 from .multitenant import multitenant
 
@@ -33,4 +34,8 @@ __all__ = [
     "SUBNET_TYPES",
     "isp",
     "multitenant",
+    "FAULTS",
+    "InjectedFault",
+    "build_fault",
+    "fault_names",
 ]

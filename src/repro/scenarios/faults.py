@@ -1,0 +1,269 @@
+"""Fault injection: break the §5 scenarios in labeled, repairable ways.
+
+The §5.1-style misconfiguration knobs (``delete_rules=``,
+``deny_deleted_for=``) bake the breakage into scenario construction —
+useful for detection experiments, but the *expected labels* get
+rewritten to match the broken config.  Repair needs the opposite
+framing: a **clean** bundle (expected labels say what correct operation
+looks like) whose network is then broken by applying
+:class:`repro.incremental.NetworkDelta` edits, so the mismatch set *is*
+the repair target and the ground-truth fix is the recorded inverse.
+
+Each :class:`InjectedFault` couples one seed scenario with one labeled
+breakage drawn from the delta vocabulary — dropped protective rules,
+an over-broad deny push, a steering chain that bypasses the stateful
+firewall, a config push that wiped a firewall's rule list — all
+repairable within the default edit budget.  ``FAULTS`` registers them
+by ``scenario/fault`` name for ``repro repair --fault``.
+
+Everything is deterministic in ``(scenario size, seed)``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..incremental.delta import (
+    EditPolicyRules,
+    NetworkDelta,
+    ReplaceMiddlebox,
+    SetChain,
+)
+from .common import ScenarioBundle
+from .datacenter import datacenter
+from .enterprise import enterprise
+from .isp import isp
+from .multitenant import multitenant
+
+__all__ = ["InjectedFault", "FAULTS", "fault_names", "build_fault"]
+
+
+@dataclass
+class InjectedFault:
+    """A clean scenario broken by a recorded, reversible edit."""
+
+    name: str  # "scenario/fault-label"
+    description: str
+    #: The faulted network with the *clean* expected labels — the
+    #: mismatches a fresh audit reports are the repair targets.
+    bundle: ScenarioBundle
+    #: What broke it (already applied to ``bundle``'s network).
+    fault: NetworkDelta
+    #: The recorded inverse — the ground-truth repair, for tests and
+    #: benchmarks (a found patch need not equal it, only re-establish
+    #: every expected label).
+    ground_truth: Optional[NetworkDelta] = field(repr=False, default=None)
+
+    @property
+    def scenario(self) -> str:
+        return self.name.split("/", 1)[0]
+
+
+def _inject(name: str, description: str, bundle: ScenarioBundle,
+            fault: NetworkDelta) -> InjectedFault:
+    steering, inverse = fault.apply(bundle.topology, bundle.steering)
+    bundle.steering = steering
+    return InjectedFault(
+        name=name,
+        description=description,
+        bundle=bundle,
+        fault=fault,
+        ground_truth=inverse,
+    )
+
+
+# ----------------------------------------------------------------------
+# Enterprise (Fig 6, §5.3.1)
+# ----------------------------------------------------------------------
+def enterprise_deny_dropped(size: int = 3, seed: int = 0) -> InjectedFault:
+    """A quarantined host's protective deny pair is deleted in both
+    directions — the §5.1 "Rules" misconfiguration as a live edit."""
+    bundle = enterprise(n_subnets=max(size, 3))
+    rng = random.Random(seed)
+    victims = sorted(
+        h.name for h in bundle.topology.hosts if h.name.startswith("quar")
+    )
+    victim = rng.choice(victims)
+    fault = EditPolicyRules(
+        "fw", remove=(("internet", victim), (victim, "internet"))
+    )
+    return _inject(
+        "enterprise/deny-dropped",
+        f"quarantine deny rules for {victim} deleted at fw",
+        bundle, fault,
+    )
+
+
+def enterprise_overblock(size: int = 3, seed: int = 0) -> InjectedFault:
+    """An over-broad deny push cuts a public host off from the
+    Internet — the repair must *remove* rules, not add them."""
+    bundle = enterprise(n_subnets=max(size, 3))
+    rng = random.Random(seed)
+    victims = sorted(
+        h.name for h in bundle.topology.hosts if h.name.startswith("publ")
+    )
+    victim = rng.choice(victims)
+    fault = EditPolicyRules(
+        "fw", add=(("internet", victim), (victim, "internet"))
+    )
+    return _inject(
+        "enterprise/overblock",
+        f"over-broad deny push blocks public host {victim}",
+        bundle, fault,
+    )
+
+
+# ----------------------------------------------------------------------
+# Datacenter (Fig 1, §5.1)
+# ----------------------------------------------------------------------
+def datacenter_deny_dropped(size: int = 2, seed: int = 0) -> InjectedFault:
+    """One cross-group deny entry vanishes from the primary firewall
+    (hole punching then violates isolation in both directions)."""
+    bundle = datacenter(n_groups=max(size, 2))
+    rng = random.Random(seed)
+    groups = sorted({
+        h.policy_group for h in bundle.topology.hosts
+        if h.policy_group and h.policy_group.startswith("g")
+    })
+    gi = rng.randrange(len(groups))
+    a = f"h{gi}_0"
+    b = f"h{(gi + 1) % len(groups)}_0"
+    fault = EditPolicyRules("fw1", remove=((a, b),))
+    return _inject(
+        "datacenter/deny-dropped",
+        f"cross-group deny {a}->{b} deleted at fw1",
+        bundle, fault,
+    )
+
+
+def datacenter_config_drift(size: int = 2, seed: int = 0) -> InjectedFault:
+    """A config push wipes the primary firewall's deny list entirely —
+    the classic fat-fingered rollout.  Fixing it pair-by-pair blows the
+    edit budget; syncing the config from the identically-configured
+    backup (``fw2``) is the in-budget repair."""
+    bundle = datacenter(n_groups=max(size, 2))
+    del seed  # the wipe is total; nothing to randomize
+    broken = bundle.topology.node("fw1").model.edit_rules(
+        remove=tuple(
+            (a, b) for _, a, b in
+            bundle.topology.node("fw1").model.config_pairs()
+        )
+    )
+    fault = ReplaceMiddlebox(broken)
+    return _inject(
+        "datacenter/config-drift",
+        "fw1's deny list wiped by a bad config push",
+        bundle, fault,
+    )
+
+
+# ----------------------------------------------------------------------
+# Multi-tenant (§5.3.2)
+# ----------------------------------------------------------------------
+def multitenant_sg_hole(size: int = 2, seed: int = 0) -> InjectedFault:
+    """A tenant's security group loses the entry shielding its private
+    VM from a neighbour tenant's private VM."""
+    bundle = multitenant(n_tenants=max(size, 2))
+    rng = random.Random(seed)
+    tenants = sorted({
+        int(mb.name[1:-2]) for mb in bundle.topology.middleboxes
+        if mb.name.endswith("fw")
+    })
+    u = rng.choice(tenants)
+    t = tenants[(tenants.index(u) + 1) % len(tenants)]
+    fault = EditPolicyRules(
+        f"t{u}fw", remove=((f"t{t}priv0", f"t{u}priv0"),)
+    )
+    return _inject(
+        "multitenant/sg-hole",
+        f"t{u}'s security group lost its deny for t{t}priv0",
+        bundle, fault,
+    )
+
+
+# ----------------------------------------------------------------------
+# ISP (Fig 9a, §5.3.3)
+# ----------------------------------------------------------------------
+def isp_chain_bypass(size: int = 3, seed: int = 0) -> InjectedFault:
+    """A private subnet's inbound pipeline loses its stateful firewall
+    stage — traffic is steered through the IDS only.  The repair is a
+    steering edit, not a rule edit."""
+    bundle = isp(n_subnets=max(size, 3))
+    rng = random.Random(seed)
+    victims = sorted(
+        h for h, chain in bundle.steering.chains.items()
+        if h.startswith("priv") and len(chain) > 1
+    )
+    victim = rng.choice(victims)
+    chain = bundle.steering.chains[victim]
+    fault = SetChain(victim, chain[:1])  # keep the IDS, drop the firewall
+    return _inject(
+        "isp/chain-bypass",
+        f"steering for {victim} bypasses its stateful firewall",
+        bundle, fault,
+    )
+
+
+def isp_deny_dropped(size: int = 3, seed: int = 0) -> InjectedFault:
+    """A private subnet's peer-deny entries vanish from its peering
+    point's firewall."""
+    bundle = isp(n_subnets=max(size, 3))
+    rng = random.Random(seed)
+    victims = sorted(
+        h.name for h in bundle.topology.hosts if h.name.startswith("priv")
+    )
+    victim = rng.choice(victims)
+    fw = bundle.steering.chains[victim][-1]
+    model = bundle.topology.node(fw).model
+    pairs = tuple(
+        (a, b) for _, a, b in model.config_pairs() if b == victim
+    )
+    fault = EditPolicyRules(fw, remove=pairs)
+    return _inject(
+        "isp/deny-dropped",
+        f"peer deny rules for {victim} deleted at {fw}",
+        bundle, fault,
+    )
+
+
+#: ``scenario/fault-label`` -> builder(size, seed).  The first entry per
+#: scenario is its default for ``repro repair`` without ``--fault``.
+FAULTS: Dict[str, Callable[[int, int], InjectedFault]] = {
+    "enterprise/deny-dropped": enterprise_deny_dropped,
+    "enterprise/overblock": enterprise_overblock,
+    "datacenter/deny-dropped": datacenter_deny_dropped,
+    "datacenter/config-drift": datacenter_config_drift,
+    "multitenant/sg-hole": multitenant_sg_hole,
+    "isp/chain-bypass": isp_chain_bypass,
+    "isp/deny-dropped": isp_deny_dropped,
+}
+
+
+def fault_names(scenario: str) -> List[str]:
+    """Fault labels registered for one scenario, default first."""
+    prefix = scenario + "/"
+    return [name for name in FAULTS if name.startswith(prefix)]
+
+
+def build_fault(scenario: str, fault: Optional[str] = None,
+                size: Optional[int] = None, seed: int = 0) -> InjectedFault:
+    """Build one injected fault; ``fault`` may be the bare label or the
+    full ``scenario/label`` name (default: the scenario's first)."""
+    names = fault_names(scenario)
+    if not names:
+        raise KeyError(f"no faults registered for scenario {scenario!r}")
+    if fault is None:
+        name = names[0]
+    else:
+        name = fault if "/" in fault else f"{scenario}/{fault}"
+        if name not in FAULTS:
+            raise KeyError(
+                f"unknown fault {fault!r} for {scenario!r}; "
+                f"available: {', '.join(n.split('/', 1)[1] for n in names)}"
+            )
+    builder = FAULTS[name]
+    if size is None:
+        return builder(seed=seed)
+    return builder(size=size, seed=seed)

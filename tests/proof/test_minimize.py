@@ -1,0 +1,116 @@
+"""Certificate minimization: the greedy drop-a-clause shrink pass.
+
+Validity is the invariant under test: whatever the pass drops, the
+surviving clause set must still satisfy initiation (free — dropping
+only weakens the conjunction), consecution and property implication,
+certified by the same cold re-check a fresh proof goes through.
+"""
+
+
+from repro.core.invariants import FlowIsolation
+from repro.proof.certificate import (
+    ProofCertificate,
+    minimize_certificate,
+    recheck_certificate,
+)
+from repro.proof.portfolio import prove_portfolio
+from repro.scenarios import multitenant
+
+
+PARAMS = {"n_packets": 2, "failure_budget": 0, "n_ports": 6, "n_tags": 4}
+
+
+def proven_slice():
+    """(net, invariant, full certificate): an IC3-proven FlowIsolation
+    on the multi-tenant slice, with minimization disabled so the raw
+    fixpoint comes back."""
+    bundle = multitenant(n_tenants=2)
+    vmn = bundle.vmn()
+    inv = next(
+        c.invariant for c in bundle.checks
+        if isinstance(c.invariant, FlowIsolation)
+    )
+    net, _ = vmn.network_for(inv)
+    result = prove_portfolio(net, inv, minimize=False, **PARAMS)
+    assert result.holds and result.certificate is not None
+    return net, inv, result.certificate
+
+
+class TestMinimizePass:
+    def test_shrinks_and_still_rechecks_cold(self):
+        net, inv, cert = proven_slice()
+        assert cert.kind == "ic3"
+        report = minimize_certificate(net, inv, cert, PARAMS)
+        assert report.clauses_after < report.clauses_before
+        assert report.shrink_ratio > 1.0
+        assert report.literals_after < report.literals_before
+        assert not report.budget_exhausted
+        # The shrunk certificate stands on its own, cold.
+        recheck = recheck_certificate(net, inv, report.certificate, PARAMS)
+        assert recheck.ok, recheck.reason
+
+    def test_zero_budget_returns_the_certificate_unchanged(self):
+        net, inv, cert = proven_slice()
+        report = minimize_certificate(net, inv, cert, PARAMS, max_queries=0)
+        assert report.budget_exhausted
+        assert report.certificate is cert
+        assert report.clauses_after == report.clauses_before
+
+    def test_partial_budget_still_yields_a_valid_certificate(self):
+        net, inv, cert = proven_slice()
+        report = minimize_certificate(net, inv, cert, PARAMS, max_queries=6)
+        assert report.solver_checks <= 6 + 1  # tested between drops
+        recheck = recheck_certificate(net, inv, report.certificate, PARAMS)
+        assert recheck.ok, recheck.reason
+
+    def test_kinduction_certificates_pass_through(self):
+        bundle = multitenant(n_tenants=2)
+        vmn = bundle.vmn()
+        inv = bundle.checks[0].invariant
+        net, _ = vmn.network_for(inv)
+        cert = ProofCertificate(kind="kinduction", k=1)
+        report = minimize_certificate(net, inv, cert, PARAMS)
+        assert report.certificate is cert
+        assert report.solver_checks == 0
+
+    def test_to_json_shape(self):
+        net, inv, cert = proven_slice()
+        row = minimize_certificate(net, inv, cert, PARAMS).to_json()
+        assert set(row) == {
+            "clauses_before", "clauses_after", "literals_before",
+            "literals_after", "shrink_ratio", "solver_checks",
+            "budget_exhausted",
+        }
+
+
+class TestPortfolioWiring:
+    def test_portfolio_ships_the_minimized_certificate(self):
+        bundle = multitenant(n_tenants=2)
+        vmn = bundle.vmn()
+        inv = next(
+            c.invariant for c in bundle.checks
+            if isinstance(c.invariant, FlowIsolation)
+        )
+        net, _ = vmn.network_for(inv)
+        full = prove_portfolio(net, inv, minimize=False, **PARAMS)
+        small = prove_portfolio(net, inv, **PARAMS)
+        assert small.holds and small.minimize is not None
+        assert len(small.certificate.clauses) \
+            < len(full.certificate.clauses)
+        assert small.minimize.clauses_after == len(small.certificate.clauses)
+        # The recheck the result carries is the *minimized* set's.
+        assert small.recheck is not None and small.recheck.ok
+        assert small.recheck.certificate is small.certificate
+
+
+def test_minimize_is_monotone_and_stays_valid_under_iteration():
+    """Greedy drop-a-clause is single-pass, not a fixpoint: a clause
+    kept early can become droppable after later drops, so a second
+    pass may shrink further — but never grow, and every iterate must
+    still re-check cold."""
+    net, inv, cert = proven_slice()
+    once = minimize_certificate(net, inv, cert, PARAMS)
+    twice = minimize_certificate(net, inv, once.certificate, PARAMS)
+    assert twice.clauses_after <= once.clauses_after
+    recheck = recheck_certificate(net, inv, twice.certificate, PARAMS)
+    assert recheck.ok, recheck.reason

@@ -1,0 +1,195 @@
+"""Candidate generation: polarity, budgets, dedup, composition."""
+
+from repro.core.vmn import VMN
+from repro.incremental.delta import (
+    EditPolicyRules,
+    ReplaceMiddlebox,
+    SetChain,
+)
+from repro.mboxes import AclFirewall, LearningFirewall
+from repro.network import SteeringPolicy, Topology
+from repro.repair.candidates import Candidate, CandidateGenerator
+from repro.repair.hints import ALLOW, BLOCK, RepairHints
+
+
+def network(*boxes, chains=None):
+    topo = Topology()
+    topo.add_switch("sw")
+    topo.add_host("a", policy_group="g1")
+    topo.add_host("b", policy_group="g1")
+    for box in boxes:
+        topo.add_middlebox(box)
+    for n in ("a", "b", *(box.name for box in boxes)):
+        topo.add_link(n, "sw")
+    return VMN(topo, SteeringPolicy(chains=dict(chains or {})))
+
+
+def hints(direction=BLOCK, boxes=("fw",), pairs=(("a", "b"), ("b", "a")),
+          config_matches=()):
+    return RepairHints(
+        target="t", direction=direction, suspect_boxes=tuple(boxes),
+        suspect_pairs=tuple(pairs), config_matches=tuple(config_matches),
+    )
+
+
+class TestPolarity:
+    def test_deny_list_box_blocks_by_adding(self):
+        vmn = network(LearningFirewall("fw", deny=[], default_allow=True))
+        cands = CandidateGenerator().propose(vmn, hints())
+        edits = [c.deltas[0] for c in cands
+                 if isinstance(c.deltas[0], EditPolicyRules)]
+        assert any(("a", "b") in e.add for e in edits)
+        assert all(not e.remove for e in edits)
+
+    def test_allow_list_box_blocks_by_removing(self):
+        vmn = network(AclFirewall("fw", acl=[("a", "b"), ("b", "a")]))
+        cands = CandidateGenerator().propose(vmn, hints())
+        edits = [c.deltas[0] for c in cands
+                 if isinstance(c.deltas[0], EditPolicyRules)]
+        assert any(("a", "b") in e.remove for e in edits)
+        assert all(not e.add for e in edits)
+
+    def test_allow_direction_flips_both(self):
+        deny_vmn = network(
+            LearningFirewall("fw", deny=[("a", "b")], default_allow=True)
+        )
+        cands = CandidateGenerator().propose(
+            deny_vmn, hints(direction=ALLOW, pairs=(("a", "b"),))
+        )
+        edits = [c.deltas[0] for c in cands
+                 if isinstance(c.deltas[0], EditPolicyRules)]
+        assert any(("a", "b") in e.remove for e in edits)
+
+    def test_noop_edits_are_dropped(self):
+        # The deny entry already exists: adding it again is a no-op and
+        # must not waste a screening run.
+        vmn = network(
+            LearningFirewall("fw", deny=[("a", "b"), ("b", "a")],
+                             default_allow=True)
+        )
+        cands = CandidateGenerator().propose(vmn, hints())
+        assert not any(isinstance(c.deltas[0], EditPolicyRules)
+                       for c in cands)
+
+    def test_boxes_without_rule_edit_support_are_skipped(self):
+        from repro.mboxes import Gateway
+
+        vmn = network(Gateway("gw"))
+        cands = CandidateGenerator().propose(vmn, hints(boxes=("gw",)))
+        assert not any(isinstance(c.deltas[0], EditPolicyRules)
+                       for c in cands)
+
+
+class TestRankingAndBudget:
+    def test_cheapest_first_then_most_relevant(self):
+        vmn = network(LearningFirewall("fw", deny=[], default_allow=True))
+        cands = CandidateGenerator().propose(vmn, hints())
+        costs = [c.cost for c in cands]
+        assert costs == sorted(costs)
+        # The top hint pair comes before lower-ranked pairs.
+        first_edit = next(c for c in cands
+                          if isinstance(c.deltas[0], EditPolicyRules))
+        assert ("a", "b") in first_edit.deltas[0].add
+
+    def test_both_directions_candidate_exists(self):
+        vmn = network(LearningFirewall("fw", deny=[], default_allow=True))
+        cands = CandidateGenerator().propose(vmn, hints())
+        assert any(
+            isinstance(c.deltas[0], EditPolicyRules)
+            and set(c.deltas[0].add) == {("a", "b"), ("b", "a")}
+            for c in cands
+        )
+
+    def test_edit_budget_filters_candidates(self):
+        vmn = network(LearningFirewall("fw", deny=[], default_allow=True))
+        cands = CandidateGenerator(max_edits=1).propose(vmn, hints())
+        assert all(c.cost <= 1 for c in cands)
+
+    def test_structural_dedup(self):
+        vmn = network(LearningFirewall("fw", deny=[], default_allow=True))
+        cands = CandidateGenerator().propose(vmn, hints())
+        keys = [c.key for c in cands]
+        assert len(keys) == len(set(keys))
+
+
+class TestChainAndSyncCandidates:
+    def test_splice_in_the_box_that_would_block(self):
+        fw = LearningFirewall("fw", deny=[("a", "b")], default_allow=True)
+        vmn = network(fw, chains={"b": ()})
+        cands = CandidateGenerator().propose(
+            vmn, hints(boxes=(), config_matches=(("fw", (("a", "b"),)),))
+        )
+        chains = [c.deltas[0] for c in cands
+                  if isinstance(c.deltas[0], SetChain)]
+        assert any(s.dst == "b" and s.chain == ("fw",) for s in chains)
+
+    def test_adopt_policy_group_peers_chain(self):
+        fw = LearningFirewall("fw", deny=[], default_allow=True)
+        vmn = network(fw, chains={"a": ("fw",), "b": ()})
+        cands = CandidateGenerator().propose(vmn, hints(boxes=()))
+        chains = [c.deltas[0] for c in cands
+                  if isinstance(c.deltas[0], SetChain)]
+        assert any(s.dst == "b" and s.chain == ("fw",) for s in chains)
+
+    def test_config_sync_from_same_type_peer(self):
+        broken = LearningFirewall("fw", deny=[], default_allow=True)
+        peer = LearningFirewall("fw2", deny=[("a", "b")], default_allow=True)
+        vmn = network(broken, peer)
+        cands = CandidateGenerator().propose(vmn, hints(pairs=()))
+        syncs = [c.deltas[0] for c in cands
+                 if isinstance(c.deltas[0], ReplaceMiddlebox)]
+        assert any(
+            s.model.name == "fw" and s.model.deny == frozenset({("a", "b")})
+            for s in syncs
+        )
+
+
+class TestCombine:
+    def test_merges_rule_edits_on_the_same_box(self):
+        gen = CandidateGenerator()
+        base = Candidate(
+            deltas=(EditPolicyRules("fw", add=(("a", "b"),)),),
+            cost=1, relevance=1.0, label="one",
+        )
+        extra = Candidate(
+            deltas=(EditPolicyRules("fw", add=(("b", "a"),)),),
+            cost=1, relevance=0.5, label="two",
+        )
+        combo = gen.combine(base, extra)
+        assert combo is not None
+        assert len(combo.deltas) == 1
+        assert set(combo.deltas[0].add) == {("a", "b"), ("b", "a")}
+        assert combo.cost == 2
+
+    def test_appends_edits_on_other_boxes(self):
+        gen = CandidateGenerator()
+        base = Candidate(
+            deltas=(EditPolicyRules("fw", add=(("a", "b"),)),),
+            cost=1, relevance=1.0, label="one",
+        )
+        extra = Candidate(
+            deltas=(SetChain("b", ("fw",)),), cost=1, relevance=0.5,
+            label="chain",
+        )
+        combo = gen.combine(base, extra)
+        assert combo is not None and len(combo.deltas) == 2
+
+    def test_respects_the_edit_budget(self):
+        gen = CandidateGenerator(max_edits=2)
+        base = Candidate(
+            deltas=(EditPolicyRules("fw", add=(("a", "b"), ("b", "a"))),),
+            cost=2, relevance=1.0, label="full",
+        )
+        extra = Candidate(
+            deltas=(SetChain("b", ("fw",)),), cost=1, relevance=0.5,
+            label="chain",
+        )
+        assert gen.combine(base, extra) is None
+
+    def test_identical_extension_is_rejected(self):
+        gen = CandidateGenerator()
+        base = Candidate(
+            deltas=(EditPolicyRules("fw", add=(("a", "b"),)),),
+            cost=1, relevance=1.0, label="one",
+        )
+        assert gen.combine(base, base) is None

@@ -1,0 +1,98 @@
+"""Hint extraction from counterexample traces and from configs."""
+
+from repro.core.invariants import CanReach, NodeIsolation
+from repro.core.vmn import VMN
+from repro.mboxes import AclFirewall, LearningFirewall
+from repro.network import SteeringPolicy, Topology
+from repro.repair.hints import ALLOW, BLOCK, extract_hints
+
+
+def open_network():
+    """a and b behind a default-allow firewall with no deny rules —
+    everything reaches everything."""
+    topo = Topology()
+    topo.add_switch("sw")
+    topo.add_host("a", policy_group="g1")
+    topo.add_host("b", policy_group="g2")
+    topo.add_middlebox(LearningFirewall("fw", deny=[], default_allow=True))
+    for n in ("a", "b", "fw"):
+        topo.add_link(n, "sw")
+    return VMN(topo, SteeringPolicy(chains={"a": ("fw",), "b": ("fw",)}))
+
+
+def closed_network():
+    """Same shape, but an allow-list firewall with an empty ACL —
+    nothing reaches anything."""
+    topo = Topology()
+    topo.add_switch("sw")
+    topo.add_host("a", policy_group="g1")
+    topo.add_host("b", policy_group="g2")
+    topo.add_middlebox(AclFirewall("fw", acl=[]))
+    for n in ("a", "b", "fw"):
+        topo.add_link(n, "sw")
+    return VMN(topo, SteeringPolicy(chains={"a": ("fw",), "b": ("fw",)}))
+
+
+class TestBlockHints:
+    def test_trace_names_the_forwarding_box_and_pair(self):
+        vmn = open_network()
+        inv = NodeIsolation("b", "a")
+        result = vmn.verify(inv)
+        assert result.violated and result.trace is not None
+
+        hints = extract_hints(vmn, inv, trace=result.trace, direction=BLOCK)
+        assert hints.direction == BLOCK
+        assert "fw" in hints.suspect_boxes
+        assert ("a", "b") in hints.suspect_pairs
+        # Hole punching: the reverse direction is always a lead too.
+        assert ("b", "a") in hints.suspect_pairs
+        assert hints.trace_nodes >= {"a", "b"}
+
+    def test_fired_rules_deliver_to_the_protected_node(self):
+        vmn = open_network()
+        inv = NodeIsolation("b", "a")
+        result = vmn.verify(inv)
+        hints = extract_hints(vmn, inv, trace=result.trace)
+        assert hints.fired_rules
+        assert all(rule.to == "b" for rule in hints.fired_rules)
+
+    def test_suspects_are_real_middleboxes_only(self):
+        vmn = open_network()
+        inv = NodeIsolation("b", "a")
+        result = vmn.verify(inv)
+        hints = extract_hints(vmn, inv, trace=result.trace)
+        for box in hints.suspect_boxes:
+            assert vmn.topology.node(box).kind == "middlebox"
+
+
+class TestAllowHints:
+    def test_config_entries_blocking_the_flow_are_attributed(self):
+        topo = Topology()
+        topo.add_switch("sw")
+        topo.add_host("a", policy_group="g1")
+        topo.add_host("b", policy_group="g2")
+        topo.add_middlebox(
+            LearningFirewall("fw", deny=[("a", "b")], default_allow=True)
+        )
+        for n in ("a", "b", "fw"):
+            topo.add_link(n, "sw")
+        vmn = VMN(topo, SteeringPolicy(chains={"a": ("fw",), "b": ("fw",)}))
+
+        inv = CanReach("b", "a")  # expected reachable, currently blocked
+        hints = extract_hints(vmn, inv, trace=None, direction=ALLOW)
+        assert hints.direction == ALLOW
+        assert hints.suspect_pairs[0] == ("a", "b")
+        assert dict(hints.config_matches)["fw"] == (("a", "b"),)
+        assert "fw" in hints.suspect_boxes
+
+    def test_no_trace_needed(self):
+        vmn = closed_network()
+        hints = extract_hints(vmn, CanReach("b", "a"), direction=ALLOW)
+        assert hints.suspect_pairs == (("a", "b"), ("b", "a"))
+        assert hints.config_matches == ()  # empty ACL mentions nothing
+
+    def test_describe_is_compact(self):
+        vmn = closed_network()
+        hints = extract_hints(vmn, CanReach("b", "a"), direction=ALLOW)
+        assert "allow" in hints.describe()
+        assert "a->b" in hints.describe()

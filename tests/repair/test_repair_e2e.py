@@ -1,0 +1,48 @@
+"""Repair end-to-end on the four seed scenarios (slow: real proofs).
+
+The acceptance contract for the repair subsystem: for every scenario's
+default injected fault, the CEGIS loop finds a patch within the default
+edit budget such that
+
+* a cold from-scratch audit of the patched network matches the *clean*
+  scenario's expected labels (no repaired-in regressions), and
+* every repaired ``holds`` invariant carries an unbounded-proof
+  certificate that passed its independent cold re-check.
+"""
+
+import pytest
+
+from repro.incremental import IncrementalSession
+from repro.scenarios import build_fault
+
+pytestmark = pytest.mark.slow
+
+SCENARIOS = ("multitenant", "isp", "datacenter", "enterprise")
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_default_fault_is_repaired_with_certificates(scenario):
+    fault = build_fault(scenario)
+    session = IncrementalSession.from_bundle(fault.bundle)
+    session.baseline()
+    broken = [o.check.describe() for o in session.outcomes if o.ok is False]
+    assert broken, f"{fault.name} must actually break an expectation"
+
+    result = session.repair()
+    assert result.ok, f"{fault.name}: {result.note}"
+    assert result.patch_cost <= 3  # the default edit budget
+    assert set(result.targets) == set(broken)
+
+    # Certificates: every repaired holds-expectation is proof-backed.
+    for o in session.outcomes:
+        if o.check.describe() in result.targets and o.check.expected == "holds":
+            row = result.certificate_rows[o.check.describe()]
+            assert row["recheck_ok"] is True
+            assert result.certificates[o.check.describe()] is not None
+
+    # The full from-scratch audit of the patched network matches the
+    # clean scenario's labels.
+    full = session.audit_from_scratch()
+    wrong = {o.check.describe(): (o.status, o.check.expected)
+             for o in full if o.ok is False}
+    assert not wrong, f"{fault.name} left mismatches after repair: {wrong}"

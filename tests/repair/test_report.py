@@ -1,0 +1,89 @@
+"""RepairResult: picklability and the JSON schema."""
+
+import json
+import pickle
+
+from repro.incremental.delta import DeltaSequence, EditPolicyRules, SetChain
+from repro.proof.certificate import ProofCertificate
+from repro.repair.report import CandidateOutcome, RepairResult
+
+
+def sample_result():
+    cert = ProofCertificate(
+        kind="ic3", clauses=(((("rcv", "b", 0, False), True),),)
+    )
+    patch = DeltaSequence((
+        EditPolicyRules("fw", add=(("a", "b"),)),
+        SetChain("b", ("fw",)),
+    ))
+    return RepairResult(
+        ok=True,
+        targets=("iso b<-a",),
+        patch=patch,
+        patch_cost=2,
+        certificates={"iso b<-a": cert},
+        certificate_rows={"iso b<-a": {"kind": "ic3", "summary": "ic3(1)"}},
+        attempts=[
+            CandidateOutcome(label="deny a->b", cost=1, status="unfixed",
+                             deltas=("edit-rules fw (+1/-0)",),
+                             mismatches=1, solver_runs=2),
+            CandidateOutcome(label="deny both", cost=2, status="accepted",
+                             deltas=("edit-rules fw (+2/-0)",)),
+        ],
+        candidates_generated=5,
+        rounds=2,
+        note="accepted after 2 candidate(s)",
+        seconds=1.25,
+        screen_solver_runs=4,
+        screen_cache_hits=1,
+        screen_carried=7,
+    )
+
+
+def test_pickle_round_trip():
+    result = sample_result()
+    clone = pickle.loads(pickle.dumps(result))
+    assert clone.ok and clone.patch_cost == 2
+    assert clone.patch_deltas == result.patch_deltas
+    assert clone.certificates["iso b<-a"].kind == "ic3"
+    assert [a.status for a in clone.attempts] == ["unfixed", "accepted"]
+
+
+def test_to_json_is_json_serializable_and_complete():
+    payload = sample_result().to_json()
+    encoded = json.dumps(payload)  # must not raise
+    decoded = json.loads(encoded)
+    assert decoded["ok"] is True
+    assert decoded["patch"] == ["edit-rules fw (+1/-0)", "set-chain b via fw"]
+    assert decoded["candidates"] == {"generated": 5, "tried": 2, "rounds": 2}
+    assert decoded["attempts"][1]["status"] == "accepted"
+    assert decoded["screen"]["solver_runs"] == 4
+    # Wall-clock numbers live under the one strippable subtree.
+    assert "seconds" in decoded["timing"]
+    assert "seconds" not in decoded["screen"]
+
+
+def test_summary_lines():
+    ok = sample_result()
+    assert "repaired 1 check(s)" in ok.summary()
+    failed = RepairResult(ok=False, targets=("x", "y"), note="budget exhausted")
+    assert "no certified patch for 2 check(s)" in failed.summary()
+    assert failed.patch_deltas == ()
+    assert failed.to_json()["patch"] is None
+
+
+def test_single_delta_patch_describes_itself():
+    result = RepairResult(
+        ok=True, targets=("t",),
+        patch=EditPolicyRules("fw", add=(("a", "b"),)), patch_cost=1,
+    )
+    assert result.patch_deltas == ("edit-rules fw (+1/-0)",)
+
+
+def test_empty_patch_serializes_as_empty_list_not_null():
+    """An accepted no-op (nothing to repair) must be distinguishable
+    from 'no patch found': [] vs null."""
+    result = RepairResult(
+        ok=True, targets=(), patch=DeltaSequence(()), patch_cost=0,
+    )
+    assert result.to_json()["patch"] == []

@@ -1,0 +1,101 @@
+"""Fault injection: structural contracts (no solver).
+
+Verdict-level behaviour (faults cause the expected mismatches, repair
+restores them) is exercised end-to-end in ``tests/repair``; here we
+pin what must hold for *every* registered fault without touching the
+solver: clean expected labels, a recorded ground-truth inverse that
+restores the clean network byte-identically, and determinism in
+``(size, seed)``.
+"""
+
+import pytest
+
+from repro.incremental import network_fingerprint
+from repro.scenarios import (
+    FAULTS,
+    build_fault,
+    datacenter,
+    enterprise,
+    fault_names,
+    isp,
+    multitenant,
+)
+
+#: fault name -> the clean bundle its builder starts from (defaults).
+CLEAN = {
+    "enterprise/deny-dropped": lambda: enterprise(n_subnets=3),
+    "enterprise/overblock": lambda: enterprise(n_subnets=3),
+    "datacenter/deny-dropped": lambda: datacenter(n_groups=2),
+    "datacenter/config-drift": lambda: datacenter(n_groups=2),
+    "multitenant/sg-hole": lambda: multitenant(n_tenants=2),
+    "isp/chain-bypass": lambda: isp(n_subnets=3),
+    "isp/deny-dropped": lambda: isp(n_subnets=3),
+}
+
+
+@pytest.mark.parametrize("name", sorted(FAULTS))
+def test_ground_truth_inverse_restores_the_clean_network(name):
+    fault = FAULTS[name]()
+    clean = CLEAN[name]()
+    clean_fp = network_fingerprint(clean.topology, clean.steering)
+    broken_fp = network_fingerprint(fault.bundle.topology,
+                                    fault.bundle.steering)
+    assert broken_fp != clean_fp, "the fault must actually change the network"
+    steering, _ = fault.ground_truth.apply(fault.bundle.topology,
+                                           fault.bundle.steering)
+    assert network_fingerprint(fault.bundle.topology, steering) == clean_fp
+
+
+@pytest.mark.parametrize("name", sorted(FAULTS))
+def test_expected_labels_stay_clean(name):
+    """The faulted bundle keeps the *clean* scenario's expectations —
+    the mismatch set is the repair target, not a rewritten truth."""
+    fault = FAULTS[name]()
+    clean = CLEAN[name]()
+    assert [(c.label, c.expected) for c in fault.bundle.checks] == \
+        [(c.label, c.expected) for c in clean.checks]
+
+
+@pytest.mark.parametrize("name", sorted(FAULTS))
+def test_deterministic_in_seed(name):
+    one = FAULTS[name](seed=3)
+    two = FAULTS[name](seed=3)
+    assert one.description == two.description
+    assert one.fault.describe() == two.fault.describe()
+    assert network_fingerprint(one.bundle.topology, one.bundle.steering) == \
+        network_fingerprint(two.bundle.topology, two.bundle.steering)
+
+
+def test_every_fault_names_its_scenario():
+    for name, _ in FAULTS.items():
+        fault = FAULTS[name]()
+        assert fault.name == name
+        assert fault.scenario == name.split("/")[0]
+
+
+def test_fault_names_default_first():
+    assert fault_names("enterprise")[0] == "enterprise/deny-dropped"
+    assert fault_names("datacenter-redundancy") == []
+
+
+def test_build_fault_lookup():
+    by_label = build_fault("isp", "deny-dropped")
+    by_full = build_fault("isp", "isp/deny-dropped")
+    assert by_label.name == by_full.name == "isp/deny-dropped"
+    default = build_fault("multitenant")
+    assert default.name == "multitenant/sg-hole"
+    with pytest.raises(KeyError):
+        build_fault("isp", "nonsense")
+    with pytest.raises(KeyError):
+        build_fault("datacenter-redundancy")
+
+
+def test_seed_moves_the_victim():
+    """Somewhere in the seed space the injection must actually move —
+    that is what makes ``--seed`` a knob rather than a label."""
+    baseline = FAULTS["enterprise/deny-dropped"](size=6, seed=0).description
+    assert any(
+        FAULTS["enterprise/deny-dropped"](size=6, seed=s).description
+        != baseline
+        for s in range(1, 8)
+    )

@@ -1,10 +1,27 @@
 """Tests for the command-line interface."""
 
 import json
+import os
+import subprocess
+import sys
+from pathlib import Path
 
 import pytest
 
 from repro.cli import SCENARIOS, main
+
+
+def _run_cli(*args: str) -> str:
+    """Run the CLI in a fresh interpreter and return its stdout."""
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, env=env, check=False,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    return proc.stdout
 
 
 class TestList:
@@ -170,3 +187,74 @@ class TestWatch:
     def test_scenario_without_churn_generator(self, capsys):
         assert main(["watch", "isp"]) == 2
         assert "watchable" in capsys.readouterr().out
+
+
+class TestRepair:
+    def test_repairs_the_default_fault_and_reports_the_patch(self, capsys):
+        rc = main(["repair", "multitenant", "--size", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "injected: edit-rules t1fw" in out
+        assert "patch: edit-rules t1fw (+1/-0)" in out
+        assert "certified: Priv-Priv" in out
+        assert "0 mismatches" in out
+
+    def test_json_schema_round_trip(self, capsys):
+        rc = main(["repair", "multitenant", "--size", "2", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert payload["command"] == "repair"
+        assert payload["ok"] is True
+        assert payload["fault"]["name"] == "multitenant/sg-hole"
+        assert payload["patch"] == ["edit-rules t1fw (+1/-0)"]
+        assert payload["patch_cost"] == 1
+        for row in payload["certificates"].values():
+            assert row["kind"] in ("kinduction", "ic3", "witness")
+        cands = payload["candidates"]
+        assert cands["tried"] == len(payload["attempts"]) >= 1
+        assert cands["generated"] >= cands["tried"]
+        assert payload["attempts"][-1]["status"] == "accepted"
+        assert payload["final_audit"]["mismatches"] == 0
+        assert payload["screen"]["solver_runs"] >= 1
+        assert "seconds" in payload["timing"]
+
+    def test_stable_json_is_byte_reproducible(self):
+        """Same scenario, same seed, two *process* invocations: byte-
+        identical output (verdicts, patches and solver decisions are
+        deterministic from a fresh interpreter; wall clock is the one
+        nondeterministic piece and --stable-json strips it).  In-process
+        reruns are exempt: interned term tables persist across runs and
+        legitimately shift solver tie-breaking."""
+        outputs = [
+            _run_cli("repair", "multitenant", "--size", "2",
+                     "--seed", "1", "--stable-json")
+            for _ in range(2)
+        ]
+        assert outputs[0] == outputs[1]
+        payload = json.loads(outputs[0])
+        assert payload["ok"] is True
+        assert payload["seed"] == 1
+        assert "timing" not in payload
+        assert "seconds" not in json.dumps(payload)
+
+    def test_unknown_scenario_and_fault(self, capsys):
+        assert main(["repair", "nonsense"]) == 2
+        capsys.readouterr()
+        assert main(["repair", "multitenant", "--fault", "nonsense"]) == 2
+        assert "unknown fault" in capsys.readouterr().out
+
+    def test_scenario_without_faults(self, capsys):
+        assert main(["repair", "datacenter-redundancy"]) == 2
+        assert "repairable" in capsys.readouterr().out
+
+
+class TestStableWatchJson:
+    def test_stable_json_drops_wall_clock_fields(self, capsys):
+        rc = main(["watch", "enterprise", "--size", "3", "--deltas", "2",
+                   "--stable-json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert payload["command"] == "watch"
+        assert payload["seed"] == 0
+        assert "seconds" not in json.dumps(payload)
+        assert payload["totals"]["deltas"] == 2
