@@ -1,0 +1,700 @@
+"""The pre-rewrite CDCL solver, vendored as the benchmark oracle.
+
+This is a byte-for-byte copy of ``src/repro/smt/sat.py`` as it stood
+before the PR-6 arena rewrite.  ``bench_sat_core.py`` swaps it into the
+verification stack to certify that the rewritten core decides identical
+verdicts (and byte-identical canonical traces) at a multiple of the
+speed.  Do not "fix" or modernise this file — its value is being
+exactly the seed implementation.
+
+Original module docstring follows.
+
+This is the propositional core of the SMT substrate that replaces Z3 in
+this reproduction (Z3 is unavailable offline).  It is a conventional
+conflict-driven clause-learning solver:
+
+* two-watched-literal unit propagation,
+* first-UIP conflict analysis with recursive clause minimisation,
+* VSIDS branching with phase saving,
+* Luby restarts,
+* activity-driven learned-clause database reduction,
+* incremental solving under assumptions (MiniSat-style ``solve(assumps)``),
+* ``push()``/``pop()`` assertion scopes via activation literals.
+
+Scopes are the standard selector-variable construction: ``push()``
+allocates a fresh *selector* variable ``s`` and every clause added while
+the scope is active carries an extra ``¬s`` literal; ``solve`` assumes
+``s`` for every active scope, which switches the scope's clauses on.
+Conflict analysis resolves through those clauses, so any learned clause
+that *depends* on a scope automatically contains its ``¬s`` — learned
+clauses are therefore retained across ``pop()`` soundly: ``pop`` asserts
+``¬s`` permanently (deactivating the scope) and garbage-collects every
+clause, original or learned, that the assertion satisfies.  Learned
+clauses derived only from outer scopes survive and keep pruning later
+calls.
+
+Literal encoding: variable ``v`` (1-based) has positive literal ``2*v``
+and negative literal ``2*v + 1``; ``lit ^ 1`` negates.  DIMACS-style
+signed integers are accepted at the API boundary (:meth:`Solver.add_clause`
+takes ``+v`` / ``-v``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["SatSolver", "SAT", "UNSAT", "UNKNOWN", "luby"]
+
+SAT = "sat"
+UNSAT = "unsat"
+UNKNOWN = "unknown"
+
+_UNASSIGNED = -1
+
+
+def luby(i: int) -> int:
+    """The i-th element (1-based) of the Luby restart sequence."""
+    if i < 1:
+        raise ValueError("luby is 1-based")
+    while True:
+        k = 1
+        while (1 << k) - 1 < i:
+            k += 1
+        if (1 << k) - 1 == i:
+            return 1 << (k - 1)
+        i = i - (1 << (k - 1)) + 1
+
+
+class _Clause:
+    __slots__ = ("lits", "learnt", "activity")
+
+    def __init__(self, lits: List[int], learnt: bool):
+        self.lits = lits
+        self.learnt = learnt
+        self.activity = 0.0
+
+
+class SatSolver:
+    """Incremental CDCL solver over integer variables.
+
+    Usage::
+
+        s = SatSolver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([a, b])
+        s.add_clause([-a])
+        assert s.solve() == "sat"
+        assert s.value(b) is True
+    """
+
+    def __init__(self):
+        self.nvars = 0
+        self._clauses: List[_Clause] = []
+        self._learnts: List[_Clause] = []
+        self._watches: List[List[_Clause]] = [[], []]  # indexed by lit
+        self._assigns: List[int] = [_UNASSIGNED]  # indexed by var (1-based)
+        self._levels: List[int] = [0]
+        self._reasons: List[Optional[_Clause]] = [None]
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._qhead = 0
+        self._activity: List[float] = [0.0]
+        self._phase: List[bool] = [False]
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+        self._cla_inc = 1.0
+        self._cla_decay = 0.999
+        self._order: List[int] = []  # lazy max-heap of (-activity, var)
+        self._ok = True
+        self.model: List[Optional[bool]] = []
+        self.core: List[int] = []  # failed-assumption literals (signed)
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+        self.restarts = 0
+        self.learned_total = 0  # clauses ever learned (DB reduction ignores it)
+        self._scopes: List[int] = []  # active selector vars, outermost first
+        self._selector_vars: set = set()  # every selector ever allocated
+
+    # ------------------------------------------------------------------
+    # Variable and clause management
+    # ------------------------------------------------------------------
+    def new_var(self) -> int:
+        """Allocate a fresh variable, returning its positive DIMACS id."""
+        self.nvars += 1
+        self._assigns.append(_UNASSIGNED)
+        self._levels.append(0)
+        self._reasons.append(None)
+        self._activity.append(0.0)
+        self._phase.append(False)
+        self._watches.append([])
+        self._watches.append([])
+        self._heap_push(self.nvars)
+        return self.nvars
+
+    def _lit(self, signed: int) -> int:
+        v = abs(signed)
+        if v == 0 or v > self.nvars:
+            raise ValueError(f"unknown variable in literal {signed}")
+        return (v << 1) | (1 if signed < 0 else 0)
+
+    def add_clause(self, signed_lits: Iterable[int], permanent: bool = False) -> bool:
+        """Add a clause of signed literals.  Returns False if the solver
+        becomes trivially unsatisfiable.
+
+        Inside a ``push()`` scope the clause is retractable: it carries
+        the scope's selector and is removed by the matching ``pop()``.
+        ``permanent=True`` bypasses the scope (used for Tseitin
+        definitions, which are valid in every scope).
+        """
+        if not self._ok:
+            return False
+        if self._trail_lim:
+            raise RuntimeError("add_clause only at decision level 0")
+        if not permanent and self._scopes:
+            signed_lits = list(signed_lits) + [-self._scopes[-1]]
+        lits: List[int] = []
+        seen = set()
+        for signed in signed_lits:
+            lit = self._lit(signed)
+            if lit ^ 1 in seen:
+                return True  # tautology
+            if lit in seen:
+                continue
+            val = self._lit_value(lit)
+            if val is True:
+                return True  # already satisfied at level 0
+            if val is False:
+                continue  # falsified at level 0: drop the literal
+            seen.add(lit)
+            lits.append(lit)
+        if not lits:
+            self._ok = False
+            return False
+        if len(lits) == 1:
+            if not self._enqueue(lits[0], None):
+                self._ok = False
+                return False
+            self._ok = self.propagate() is None
+            return self._ok
+        clause = _Clause(lits, learnt=False)
+        self._clauses.append(clause)
+        self._attach(clause)
+        return True
+
+    def _attach(self, clause: _Clause) -> None:
+        self._watches[clause.lits[0] ^ 1].append(clause)
+        self._watches[clause.lits[1] ^ 1].append(clause)
+
+    # ------------------------------------------------------------------
+    # Assertion scopes (activation literals)
+    # ------------------------------------------------------------------
+    def push(self) -> int:
+        """Open an assertion scope; returns its selector variable.
+
+        Clauses added until the matching :meth:`pop` are guarded by the
+        selector and removed (with every learned clause depending on
+        them) when the scope closes.
+        """
+        if self._trail_lim:
+            raise RuntimeError("push only at decision level 0")
+        sel = self.new_var()
+        self._scopes.append(sel)
+        self._selector_vars.add(sel)
+        return sel
+
+    def pop(self) -> None:
+        """Close the innermost scope, retracting its clauses.
+
+        The selector is asserted false permanently; clauses guarded by
+        it (and learned clauses that resolved through them — they carry
+        the selector literal) become satisfied and are garbage-collected
+        from the clause database and watch lists.  Learned clauses that
+        do not mention the scope survive.
+        """
+        if not self._scopes:
+            raise RuntimeError("pop without matching push")
+        if self._trail_lim:
+            self._backtrack(0)
+        sel = self._scopes.pop()
+        self.add_clause([-sel], permanent=True)
+        self._gc_deactivated((sel << 1) | 1)
+
+    @property
+    def num_scopes(self) -> int:
+        return len(self._scopes)
+
+    def _gc_deactivated(self, dead_lit: int) -> None:
+        """Drop every clause containing ``dead_lit`` (now true forever)."""
+        removed = {
+            id(c)
+            for store in (self._clauses, self._learnts)
+            for c in store
+            if dead_lit in c.lits
+        }
+        if not removed:
+            return
+        self._clauses = [c for c in self._clauses if id(c) not in removed]
+        self._learnts = [c for c in self._learnts if id(c) not in removed]
+        for wl in self._watches:
+            wl[:] = [c for c in wl if id(c) not in removed]
+        for var in range(1, self.nvars + 1):
+            reason = self._reasons[var]
+            if reason is not None and id(reason) in removed:
+                # Level-0 facts need no justification; reasons are only
+                # consulted for literals above level 0.
+                self._reasons[var] = None
+
+    # ------------------------------------------------------------------
+    # Assignment helpers
+    # ------------------------------------------------------------------
+    def _lit_value(self, lit: int) -> Optional[bool]:
+        a = self._assigns[lit >> 1]
+        if a == _UNASSIGNED:
+            return None
+        return bool(a) ^ bool(lit & 1)
+
+    def _enqueue(self, lit: int, reason: Optional[_Clause]) -> bool:
+        val = self._lit_value(lit)
+        if val is not None:
+            return val
+        var = lit >> 1
+        self._assigns[var] = 0 if (lit & 1) else 1
+        self._levels[var] = len(self._trail_lim)
+        self._reasons[var] = reason
+        self._trail.append(lit)
+        return True
+
+    def propagate(self) -> Optional[_Clause]:
+        """Unit propagation; returns a conflicting clause or None.
+
+        This is the solver's hot loop: literal values are read inline
+        from a local reference to the assignment array (``assigns[var]``
+        is 0/1/-1; a literal is true when ``(assign ^ lit) & 1`` is set)
+        instead of going through method calls.
+        """
+        watches = self._watches
+        assigns = self._assigns
+        trail = self._trail
+        levels = self._levels
+        reasons = self._reasons
+        nprops = 0
+        while self._qhead < len(trail):
+            lit = trail[self._qhead]
+            self._qhead += 1
+            nprops += 1
+            wl = watches[lit]
+            i = 0
+            j = 0
+            n = len(wl)
+            falsified = lit ^ 1
+            while i < n:
+                clause = wl[i]
+                i += 1
+                lits = clause.lits
+                # Ensure the falsified literal is lits[1].
+                other = lits[0]
+                if other == falsified:
+                    other = lits[1]
+                    lits[0] = other
+                    lits[1] = falsified
+                a = assigns[other >> 1]
+                if a >= 0 and (a ^ other) & 1:  # other is already true
+                    wl[j] = clause
+                    j += 1
+                    continue
+                # Look for a new literal to watch.
+                found = False
+                for k in range(2, len(lits)):
+                    lk = lits[k]
+                    ak = assigns[lk >> 1]
+                    if ak < 0 or (ak ^ lk) & 1:  # unassigned or true
+                        lits[1] = lk
+                        lits[k] = falsified
+                        watches[lk ^ 1].append(clause)
+                        found = True
+                        break
+                if found:
+                    continue
+                # Clause is unit or conflicting.
+                wl[j] = clause
+                j += 1
+                if a >= 0:  # other is false: conflict
+                    while i < n:
+                        wl[j] = wl[i]
+                        j += 1
+                        i += 1
+                    del wl[j:]
+                    self._qhead = len(trail)
+                    self.propagations += nprops
+                    return clause
+                # Enqueue `other` (currently unassigned).
+                var = other >> 1
+                assigns[var] = 1 - (other & 1)
+                levels[var] = len(self._trail_lim)
+                reasons[var] = clause
+                trail.append(other)
+            del wl[j:]
+        self.propagations += nprops
+        return None
+
+    # ------------------------------------------------------------------
+    # Conflict analysis (first UIP)
+    # ------------------------------------------------------------------
+    def _analyze(self, conflict: _Clause) -> tuple:
+        learnt: List[int] = [0]  # placeholder for the asserting literal
+        seen = [False] * (self.nvars + 1)
+        counter = 0
+        lit = -1
+        reason: Optional[_Clause] = conflict
+        index = len(self._trail)
+        cur_level = len(self._trail_lim)
+
+        while True:
+            assert reason is not None
+            self._bump_clause(reason)
+            start = 0 if lit == -1 else 1
+            for q in reason.lits[start:] if lit != -1 else reason.lits:
+                var = q >> 1
+                if not seen[var] and self._levels[var] > 0:
+                    seen[var] = True
+                    self._bump_var(var)
+                    if self._levels[var] == cur_level:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            # Find next literal on the trail to resolve on.
+            while True:
+                index -= 1
+                lit = self._trail[index]
+                if seen[lit >> 1]:
+                    break
+            counter -= 1
+            if counter == 0:
+                break
+            reason = self._reasons[lit >> 1]
+            seen[lit >> 1] = False
+        learnt[0] = lit ^ 1
+
+        # Recursive minimisation: drop literals implied by the rest.
+        keep = [learnt[0]]
+        for q in learnt[1:]:
+            if not self._redundant(q, seen):
+                keep.append(q)
+        learnt = keep
+
+        # Backtrack level = second-highest level in the learnt clause.
+        if len(learnt) == 1:
+            bt_level = 0
+        else:
+            max_i = 1
+            for i in range(2, len(learnt)):
+                if self._levels[learnt[i] >> 1] > self._levels[learnt[max_i] >> 1]:
+                    max_i = i
+            learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
+            bt_level = self._levels[learnt[1] >> 1]
+        return learnt, bt_level
+
+    def _redundant(self, lit: int, seen: List[bool]) -> bool:
+        """Is ``lit`` implied by other marked literals (clause minimisation)?"""
+        reason = self._reasons[lit >> 1]
+        if reason is None:
+            return False
+        stack = [lit]
+        marked: List[int] = []
+        while stack:
+            p = stack.pop()
+            reason = self._reasons[p >> 1]
+            if reason is None:
+                for v in marked:
+                    seen[v] = False
+                return False
+            for q in reason.lits[1:]:
+                var = q >> 1
+                if not seen[var] and self._levels[var] > 0:
+                    seen[var] = True
+                    marked.append(var)
+                    stack.append(q)
+        return True
+
+    def _analyze_final(self, failed_lit: int, assume_lits: List[int]) -> None:
+        """Compute the subset of assumptions implying ``failed_lit``'s
+        negation (MiniSat's analyzeFinal): walk the implication graph
+        from the conflicting assumption back to assumption decisions."""
+        self._final_core([failed_lit >> 1], assume_lits)
+
+    def _final_core(self, seed_vars: Iterable[int], assume_lits: List[int]) -> None:
+        """The assumptions implying the (falsified) seed variables'
+        current values: walk the implication graph from the seeds back
+        to assumption decisions.  Covers both final-conflict shapes —
+        an assumption found false at placement, and a learnt clause
+        falsified at the assumption levels during search."""
+        assumption_vars = {lit >> 1 for lit in assume_lits}
+        seen = set(seed_vars)
+        # A seed that is itself an assumption contributes directly.
+        core_vars = seen & assumption_vars
+        for lit in reversed(self._trail):
+            var = lit >> 1
+            if var not in seen:
+                continue
+            reason = self._reasons[var]
+            if reason is None:
+                if var in assumption_vars:
+                    core_vars.add(var)
+            else:
+                for q in reason.lits:
+                    if self._levels[q >> 1] > 0:
+                        seen.add(q >> 1)
+        # Signed DIMACS form of the implicated assumptions.  Scope
+        # selectors are solver-internal: a conflict that implicates only
+        # them means "the (scoped) assertions are unsat on their own",
+        # which callers observe as an empty core.
+        self.core = [
+            (lit >> 1) if (lit & 1) == 0 else -(lit >> 1)
+            for lit in assume_lits
+            if (lit >> 1) in core_vars and (lit >> 1) not in self._selector_vars
+        ]
+
+    def _backtrack(self, level: int) -> None:
+        if len(self._trail_lim) <= level:
+            return
+        bound = self._trail_lim[level]
+        for lit in reversed(self._trail[bound:]):
+            var = lit >> 1
+            self._phase[var] = not (lit & 1)
+            self._assigns[var] = _UNASSIGNED
+            self._reasons[var] = None
+            self._heap_push(var)
+        del self._trail[bound:]
+        del self._trail_lim[level:]
+        self._qhead = len(self._trail)
+
+    # ------------------------------------------------------------------
+    # VSIDS
+    # ------------------------------------------------------------------
+    def _bump_var(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for v in range(1, self.nvars + 1):
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+        # Assigned variables re-enter the heap on backtrack with their
+        # final activity; pushing them here would only flood the heap
+        # with stale duplicates.
+        if self._assigns[var] == _UNASSIGNED:
+            self._heap_push(var)
+
+    def _bump_clause(self, clause: _Clause) -> None:
+        if clause.learnt:
+            clause.activity += self._cla_inc
+            if clause.activity > 1e20:
+                for c in self._learnts:
+                    c.activity *= 1e-20
+                self._cla_inc *= 1e-20
+
+    def _heap_push(self, var: int) -> None:
+        import heapq
+
+        heapq.heappush(self._order, (-self._activity[var], var))
+
+    def _pick_branch_var(self) -> int:
+        import heapq
+
+        # Entries may carry stale (lower) activities; accepting them
+        # costs a slightly suboptimal pick but avoids rebuilding the
+        # heap on every activity bump.
+        order = self._order
+        assigns = self._assigns
+        while order:
+            _, var = heapq.heappop(order)
+            if assigns[var] == _UNASSIGNED:
+                return var
+        for var in range(1, self.nvars + 1):
+            if assigns[var] == _UNASSIGNED:
+                return var
+        return 0
+
+    # ------------------------------------------------------------------
+    # Learned-clause database reduction
+    # ------------------------------------------------------------------
+    def _reduce_db(self) -> None:
+        self._learnts.sort(key=lambda c: c.activity)
+        locked = set()
+        for var in range(1, self.nvars + 1):
+            reason = self._reasons[var]
+            if reason is not None and reason.learnt:
+                locked.add(id(reason))
+        half = len(self._learnts) // 2
+        kept: List[_Clause] = []
+        removed = set()
+        for i, clause in enumerate(self._learnts):
+            if i < half and id(clause) not in locked and len(clause.lits) > 2:
+                removed.add(id(clause))
+            else:
+                kept.append(clause)
+        if not removed:
+            return
+        self._learnts = kept
+        for wl in self._watches:
+            wl[:] = [c for c in wl if id(c) not in removed]
+
+    # ------------------------------------------------------------------
+    # Main search
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        max_conflicts: Optional[int] = None,
+    ) -> str:
+        """Search for a model under the given assumptions.
+
+        Active scope selectors are assumed implicitly (before the user
+        assumptions), so scoped clauses are in force.  Conflict
+        backtracking never pops assumption levels, and learned clauses
+        are retained for the next call.  ``max_conflicts`` budgets *this
+        call* (the cumulative :attr:`conflicts` counter keeps growing
+        across calls).
+
+        Returns ``"sat"`` (model in :attr:`model`), ``"unsat"``, or
+        ``"unknown"`` if ``max_conflicts`` was exhausted.
+        """
+        self.core = []
+        if not self._ok:
+            return UNSAT
+        self._backtrack(0)
+        conflict = self.propagate()
+        if conflict is not None:
+            self._ok = False
+            return UNSAT
+
+        assume_lits = [sel << 1 for sel in self._scopes]
+        assume_lits += [self._lit(a) for a in assumptions]
+        self._n_assumptions = len(assume_lits)
+        try:
+            return self._search(assume_lits, max_conflicts)
+        finally:
+            self._n_assumptions = 0
+            self._backtrack(0)
+
+    def _search(self, assume_lits: List[int], max_conflicts: Optional[int]) -> str:
+        restart_count = 0
+        conflicts_this_run = 0
+        budget = luby(restart_count + 1) * 128
+        stop_at = None if max_conflicts is None else self.conflicts + max_conflicts
+        max_learnts = max(len(self._clauses) // 3, 1000)
+
+        while True:
+            conflict = self.propagate()
+            if conflict is not None:
+                self.conflicts += 1
+                conflicts_this_run += 1
+                if not self._trail_lim:
+                    self._ok = False
+                    return UNSAT
+                learnt, bt_level = self._analyze(conflict)
+                # Never backtrack past the assumptions.
+                self._backtrack(max(bt_level, self._assumption_level))
+                if len(learnt) == 1 and not self._trail_lim:
+                    self.learned_total += 1  # a level-0 fact, kept forever
+                    if not self._enqueue(learnt[0], None):
+                        self._ok = False
+                        return UNSAT
+                else:
+                    clause = _Clause(learnt, learnt=True)
+                    self._learnts.append(clause)
+                    self.learned_total += 1
+                    if len(learnt) >= 2:
+                        self._attach(clause)
+                    if not self._enqueue(learnt[0], clause):
+                        # The learnt clause is falsified at the pinned
+                        # assumption levels: the assumptions themselves
+                        # are inconsistent with the formula.
+                        self._final_core([q >> 1 for q in learnt], assume_lits)
+                        return UNSAT
+                self._var_inc /= self._var_decay
+                self._cla_inc /= self._cla_decay
+                if stop_at is not None and self.conflicts >= stop_at:
+                    self._backtrack(0)
+                    return UNKNOWN
+                if len(self._learnts) > max_learnts:
+                    self._reduce_db()
+                    max_learnts = int(max_learnts * 1.3)
+                continue
+
+            if conflicts_this_run >= budget:
+                restart_count += 1
+                self.restarts += 1
+                conflicts_this_run = 0
+                budget = luby(restart_count + 1) * 128
+                self._backtrack(self._assumption_level)
+                continue
+
+            # Place assumptions as pseudo-decisions in order.
+            next_lit = None
+            if len(self._trail_lim) < len(assume_lits):
+                lit = assume_lits[len(self._trail_lim)]
+                val = self._lit_value(lit)
+                if val is True:
+                    # Already implied: open an empty decision level.
+                    self._trail_lim.append(len(self._trail))
+                    continue
+                if val is False:
+                    self._analyze_final(lit, assume_lits)
+                    self._backtrack(0)
+                    return UNSAT  # assumptions are inconsistent
+                next_lit = lit
+            else:
+                var = self._pick_branch_var()
+                if var == 0:
+                    self._extract_model()
+                    self._backtrack(0)
+                    return SAT
+                self.decisions += 1
+                next_lit = (var << 1) | (0 if self._phase[var] else 1)
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(next_lit, None)
+
+    @property
+    def _assumption_level(self) -> int:
+        # During _search() the first len(assumptions) decision levels
+        # (scope selectors + user assumptions) are immovable.
+        return getattr(self, "_n_assumptions", 0)
+
+    def solve_with(self, assumptions: Sequence[int] = (), **kw) -> str:
+        """Historical alias of :meth:`solve` (which now always pins
+        assumption levels and restores decision level 0 on return)."""
+        return self.solve(assumptions, **kw)
+
+    def _extract_model(self) -> None:
+        self.model = [None] * (self.nvars + 1)
+        for var in range(1, self.nvars + 1):
+            a = self._assigns[var]
+            self.model[var] = bool(a) if a != _UNASSIGNED else self._phase[var]
+
+    def value(self, var: int) -> Optional[bool]:
+        """Model value of ``var`` after a ``sat`` answer."""
+        if not self.model:
+            return None
+        return self.model[abs(var)]
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Search statistics for benchmarking and debugging.
+
+        ``conflicts``/``decisions``/``propagations``/``restarts`` and
+        ``learned`` are *cumulative* across every :meth:`solve` call on
+        this instance (incremental calls never reset them); ``clauses``
+        and ``learnts`` are the current database sizes (they shrink on
+        DB reduction and scope pops).
+        """
+        return {
+            "vars": self.nvars,
+            "clauses": len(self._clauses),
+            "learnts": len(self._learnts),
+            "conflicts": self.conflicts,
+            "decisions": self.decisions,
+            "propagations": self.propagations,
+            "restarts": self.restarts,
+            "learned": self.learned_total,
+            "scopes": len(self._scopes),
+        }

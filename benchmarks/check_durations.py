@@ -1,0 +1,73 @@
+"""Fail CI when any single fast-suite test exceeds the duration budget.
+
+The fast (non-``slow``) suite is the feedback loop every PR waits on;
+a speed-pass PR must not silently smuggle minute-long tests into it.
+CI pipes ``pytest --durations=...`` output through this script, which
+parses the durations report and exits non-zero if any individual
+``call`` phase exceeds the budget (default 60s).  Setup/teardown rows
+are reported but not gated — fixtures are shared costs, and the slow
+job covers the ``slow``-marked tests.
+
+Usage (as in ``.github/workflows/ci.yml``)::
+
+    pytest -m "not slow" --durations=25 ... | tee pytest.out
+    python benchmarks/check_durations.py --max-seconds 60 < pytest.out
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+
+# e.g. "12.34s call     tests/smt/test_sat.py::TestBasics::test_unit_clause"
+_DURATION_ROW = re.compile(
+    r"^\s*(?P<seconds>\d+(?:\.\d+)?)s\s+"
+    r"(?P<phase>call|setup|teardown)\s+"
+    r"(?P<test>\S+)"
+)
+
+
+def parse_durations(lines):
+    """Yield ``(seconds, phase, test_id)`` from pytest --durations output."""
+    for line in lines:
+        match = _DURATION_ROW.match(line)
+        if match:
+            yield float(match.group("seconds")), match.group("phase"), match.group(
+                "test"
+            )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--max-seconds", type=float, default=60.0,
+                        help="per-test call-phase budget (default 60)")
+    parser.add_argument("file", nargs="?", default="-",
+                        help="pytest output to parse (default stdin)")
+    args = parser.parse_args(argv)
+
+    stream = sys.stdin if args.file == "-" else open(args.file)
+    try:
+        rows = list(parse_durations(stream))
+    finally:
+        if stream is not sys.stdin:
+            stream.close()
+
+    if not rows:
+        # A durations report with zero parsed rows means the pipeline is
+        # miswired (wrong file, --durations missing): fail loudly rather
+        # than green-light an ungated suite.
+        print("check_durations: no '--durations' rows found in input")
+        return 1
+
+    over = [(s, p, t) for s, p, t in rows if p == "call" and s > args.max_seconds]
+    slowest = max(rows, key=lambda r: r[0])
+    print(f"check_durations: {len(rows)} rows, slowest {slowest[0]:.2f}s "
+          f"({slowest[1]} {slowest[2]}), budget {args.max_seconds:.0f}s")
+    for seconds, phase, test in over:
+        print(f"  OVER BUDGET: {seconds:.2f}s {phase} {test}")
+    return 1 if over else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

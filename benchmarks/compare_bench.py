@@ -1,0 +1,195 @@
+"""Compare fresh ``BENCH_*.json`` reports against the committed baseline.
+
+The CI ``bench-compare`` job runs the fast benchmarks, then calls this
+script to diff every produced report against the snapshot committed in
+``benchmarks/baselines/``.  Three metric families, three rules — chosen
+to stay meaningful on noisy shared runners:
+
+* **seconds** (keys ending in ``_seconds``/``seconds``): machine- and
+  load-dependent, so gated with wide, variance-aware thresholds — fail
+  on a >25% regression, warn above 10%, and ignore entirely when both
+  sides are under the noise floor (default 1.0s; sub-second timings on
+  shared runners are mostly scheduler noise);
+* **ratios** (``speedup`` keys): both sides ran on the same machine in
+  the same job, so the quotient cancels machine speed — these are the
+  *reliable* signals.  Fail when a speedup drops below 75% of its
+  baseline, warn below 90%;
+* **certifications** (``*_identical``, ``certified``, ``all_valid``):
+  booleans; any true-in-baseline, false-now transition fails.
+
+Improvements are never penalised.  A fresh report with no baseline is
+reported informationally (new benchmark); a baseline with no fresh
+report warns (coverage loss) unless ``--allow-missing``.
+
+The comparison table is printed and, when ``$GITHUB_STEP_SUMMARY`` is
+set, appended there as a job-summary markdown table.
+
+Usage::
+
+    python benchmarks/compare_bench.py --results . \
+        --baselines benchmarks/baselines
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+OK = "ok"
+INFO = "info"
+WARN = "warn"
+FAIL = "FAIL"
+
+FAIL_RATIO = 1.25  # >25% more seconds than baseline
+WARN_RATIO = 1.10
+FAIL_SPEEDUP_DROP = 0.75  # speedup below 75% of baseline
+WARN_SPEEDUP_DROP = 0.90
+
+CERT_KEYS = ("identical", "certified", "all_valid", "valid")
+
+
+def _flatten(node, prefix=""):
+    """Yield ``(dotted.path, leaf)`` for every scalar in a JSON tree."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            yield from _flatten(value, f"{prefix}{key}.")
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            yield from _flatten(value, f"{prefix}{i}.")
+    else:
+        yield prefix[:-1], node
+
+
+def _metric_kind(path: str, base, new):
+    leaf = path.rsplit(".", 1)[-1]
+    if isinstance(base, bool) or isinstance(new, bool):
+        if any(leaf == k or leaf.endswith(f"_{k}") for k in CERT_KEYS):
+            return "cert"
+        return None
+    if not isinstance(base, (int, float)) or not isinstance(new, (int, float)):
+        return None
+    if leaf == "seconds" or leaf.endswith("_seconds"):
+        return "seconds"
+    if leaf == "speedup" or leaf.endswith("_speedup"):
+        return "speedup"
+    return None
+
+
+def compare_report(base: dict, new: dict, noise_floor: float):
+    """Compare one report pair; yields (status, path, baseline, current, note)."""
+    base_flat = dict(_flatten(base))
+    new_flat = dict(_flatten(new))
+    for path in sorted(base_flat):
+        if path not in new_flat:
+            continue
+        bval, nval = base_flat[path], new_flat[path]
+        kind = _metric_kind(path, bval, nval)
+        if kind == "cert":
+            if bval and not nval:
+                yield FAIL, path, bval, nval, "certification regressed"
+            elif nval and not bval:
+                yield INFO, path, bval, nval, "newly certified"
+        elif kind == "seconds":
+            if bval < noise_floor and nval < noise_floor:
+                continue  # both under the noise floor: scheduler jitter
+            if bval <= 0:
+                continue
+            ratio = nval / bval
+            note = f"{(ratio - 1) * 100:+.1f}%"
+            if ratio > FAIL_RATIO:
+                yield FAIL, path, bval, nval, note
+            elif ratio > WARN_RATIO:
+                yield WARN, path, bval, nval, note
+            else:
+                yield OK, path, bval, nval, note
+        elif kind == "speedup":
+            if bval <= 0:
+                continue
+            ratio = nval / bval
+            note = f"{(ratio - 1) * 100:+.1f}% of baseline ratio"
+            if ratio < FAIL_SPEEDUP_DROP:
+                yield FAIL, path, bval, nval, note
+            elif ratio < WARN_SPEEDUP_DROP:
+                yield WARN, path, bval, nval, note
+            else:
+                yield OK, path, bval, nval, note
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool):
+        return str(value).lower()
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--results", default=".",
+                        help="directory holding fresh BENCH_*.json (default .)")
+    parser.add_argument("--baselines", default="benchmarks/baselines",
+                        help="committed snapshot directory")
+    parser.add_argument("--noise-floor", type=float, default=1.0,
+                        help="ignore seconds-metrics when both sides are "
+                             "below this (default 1.0s)")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="do not warn when a baselined benchmark "
+                             "produced no fresh report")
+    args = parser.parse_args(argv)
+
+    baseline_files = sorted(glob.glob(os.path.join(args.baselines, "BENCH_*.json")))
+    if not baseline_files:
+        print(f"no baselines under {args.baselines}; nothing to compare")
+        return 0
+
+    rows = []  # (status, file, metric, baseline, current, note)
+    for bpath in baseline_files:
+        name = os.path.basename(bpath)
+        npath = os.path.join(args.results, name)
+        if not os.path.exists(npath):
+            if not args.allow_missing:
+                rows.append((WARN, name, "-", "-", "-", "no fresh report"))
+            continue
+        with open(bpath) as fh:
+            base = json.load(fh)
+        with open(npath) as fh:
+            new = json.load(fh)
+        for status, path, bval, nval, note in compare_report(
+            base, new, args.noise_floor
+        ):
+            rows.append((status, name, path, _fmt(bval), _fmt(nval), note))
+    for npath in sorted(glob.glob(os.path.join(args.results, "BENCH_*.json"))):
+        name = os.path.basename(npath)
+        if not os.path.exists(os.path.join(args.baselines, name)):
+            rows.append((INFO, name, "-", "-", "-",
+                         "no baseline (new benchmark?)"))
+
+    n_fail = sum(1 for r in rows if r[0] == FAIL)
+    n_warn = sum(1 for r in rows if r[0] == WARN)
+    verdict = (f"bench-compare: {n_fail} failing, {n_warn} warning, "
+               f"{len(rows)} metrics compared")
+
+    header = "| status | report | metric | baseline | current | Δ |"
+    sep = "|---|---|---|---|---|---|"
+    lines = [header, sep]
+    shown = [r for r in rows if r[0] != OK] or rows
+    for status, name, path, bval, nval, note in shown:
+        lines.append(f"| {status} | {name} | {path} | {bval} | {nval} | {note} |")
+    table = "\n".join(lines)
+
+    print(verdict)
+    print(table)
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as fh:
+            fh.write("### Benchmark regression gate\n\n")
+            fh.write(verdict + "\n\n")
+            fh.write(table + "\n")
+    return 1 if n_fail else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

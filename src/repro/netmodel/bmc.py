@@ -120,7 +120,15 @@ def default_depth(net: VerificationNetwork, n_packets: int, failure_budget: int)
 #: The solver's cumulative work counters, as reported by
 #: :meth:`repro.smt.Solver.stats`; per-check stats carry their deltas
 #: and ``repro audit --json`` totals them.
-SOLVER_COUNTERS = ("conflicts", "decisions", "propagations", "restarts", "learned")
+SOLVER_COUNTERS = (
+    "conflicts",
+    "decisions",
+    "propagations",
+    "restarts",
+    "learned",
+    "subsumed",
+    "strengthened",
+)
 _COUNTER_KEYS = SOLVER_COUNTERS
 
 
@@ -168,9 +176,15 @@ class IncrementalBMC:
         return self.model.depth
 
     def counters(self) -> dict:
-        """Cumulative solver counters (diff snapshots per check)."""
+        """Cumulative solver counters (diff snapshots per check).
+
+        Missing keys read as 0 so an older solver core (e.g. the
+        vendored pre-rewrite oracle in ``benchmarks/_sat_reference.py``,
+        which predates the inprocessing counters) still satisfies the
+        schema.
+        """
         stats = self.solver.stats()
-        return {k: stats[k] for k in _COUNTER_KEYS}
+        return {k: stats.get(k, 0) for k in _COUNTER_KEYS}
 
     def extend_to(self, k: int) -> None:
         """Assert the transition relation up to step ``k`` (exclusive

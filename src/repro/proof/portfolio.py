@@ -37,6 +37,7 @@ from typing import Optional
 
 from ..netmodel.bmc import (
     HOLDS,
+    SOLVER_COUNTERS,
     UNKNOWN,
     VIOLATED,
     CheckResult,
@@ -72,7 +73,7 @@ __all__ = [
 UNBOUNDED = "unbounded"
 BOUNDED = "bounded"
 
-_COUNTER_KEYS = ("conflicts", "decisions", "propagations", "restarts", "learned")
+_COUNTER_KEYS = SOLVER_COUNTERS
 
 
 @dataclass

@@ -39,6 +39,7 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..netmodel.bmc import SOLVER_COUNTERS
 from ..netmodel.packets import same_flow
 from ..netmodel.system import OMEGA, NetworkSMTModel, VerificationNetwork
 from ..smt import And, EnumConst, Eq, Implies, Not, Or, Solver, Term, Xor
@@ -250,11 +251,11 @@ class TransitionSystem:
         )
 
     def counters(self) -> dict:
+        """Cumulative solver counters, keyed like
+        :data:`repro.netmodel.bmc.SOLVER_COUNTERS` (``.get`` so a
+        pickled pre-inprocessing solver still satisfies the schema)."""
         stats = self.solver.stats()
-        return {
-            k: stats[k]
-            for k in ("conflicts", "decisions", "propagations", "restarts", "learned")
-        }
+        return {k: stats.get(k, 0) for k in SOLVER_COUNTERS}
 
     # ------------------------------------------------------------------
     # Simple-path strengthening

@@ -1,0 +1,270 @@
+"""ctypes loader and wrapper for the C SAT core (``satcore.c``).
+
+The C source ships with the package and is compiled on first use with
+whatever system C compiler is available (``cc``/``gcc``/``clang``) into
+a per-user cache directory keyed by a hash of the source, so rebuilds
+happen only when the source changes.  There is no build-time step and no
+third-party dependency: if no compiler is found (or the build fails for
+any reason) :func:`load` returns ``None`` and ``repro.smt.sat`` keeps
+exporting the pure-Python arena solver, which implements the same
+algorithm with the same observable behaviour.
+
+:class:`NativeSatSolver` mirrors the :class:`repro.smt.sat.SatSolver`
+public API exactly — ``new_var``/``add_clause``/``push``/``pop``/
+``solve``/``solve_with``/``value``/``core``/``stats`` — keeping the
+parts above the CNF level (scope selectors, DIMACS validation, core
+filtering) in Python where they are cheap, and delegating the search
+hot path to C.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import platform
+import shutil
+import subprocess
+import tempfile
+from typing import List, Optional, Sequence
+
+SAT = "sat"
+UNSAT = "unsat"
+UNKNOWN = "unknown"
+
+_SOURCE = os.path.join(os.path.dirname(__file__), "satcore.c")
+_LIB_SENTINEL = object()
+_LIB = _LIB_SENTINEL
+
+
+def _cache_dir() -> str:
+    override = os.environ.get("REPRO_SATCORE_CACHE")
+    if override:
+        return override
+    uid = os.getuid() if hasattr(os, "getuid") else 0
+    return os.path.join(tempfile.gettempdir(), f"repro-satcore-{uid}")
+
+
+def _build() -> Optional[str]:
+    """Compile satcore.c into the cache dir; return the .so path."""
+    compiler = None
+    for name in ("cc", "gcc", "clang"):
+        compiler = shutil.which(name)
+        if compiler:
+            break
+    if not compiler:
+        return None
+    try:
+        with open(_SOURCE, "rb") as fh:
+            source = fh.read()
+    except OSError:
+        return None
+    key = hashlib.sha256(source + platform.machine().encode()).hexdigest()[:16]
+    cache = _cache_dir()
+    lib_path = os.path.join(cache, f"satcore-{key}.so")
+    if os.path.exists(lib_path):
+        return lib_path
+    try:
+        os.makedirs(cache, exist_ok=True)
+        # Unique temp name + atomic rename: concurrent builders race
+        # benignly (last writer wins, all produce identical output).
+        fd, tmp = tempfile.mkstemp(suffix=".so", dir=cache)
+        os.close(fd)
+        result = subprocess.run(
+            [compiler, "-O2", "-std=c99", "-fPIC", "-shared", "-o", tmp, _SOURCE],
+            capture_output=True,
+            timeout=120,
+        )
+        if result.returncode != 0:
+            os.unlink(tmp)
+            return None
+        os.replace(tmp, lib_path)
+        return lib_path
+    except (OSError, subprocess.SubprocessError):
+        return None
+
+
+def load() -> Optional[ctypes.CDLL]:
+    """Build (if needed) and load the C core; None when unavailable."""
+    global _LIB
+    if _LIB is not _LIB_SENTINEL:
+        return _LIB
+    _LIB = None
+    lib_path = _build()
+    if lib_path is not None:
+        try:
+            lib = ctypes.CDLL(lib_path)
+            _bind(lib)
+            _LIB = lib
+        except OSError:
+            _LIB = None
+    return _LIB
+
+
+def _bind(lib: ctypes.CDLL) -> None:
+    i32 = ctypes.c_int32
+    p32 = ctypes.POINTER(ctypes.c_int32)
+    h = ctypes.c_void_p
+    lib.sat_new.restype = h
+    lib.sat_new.argtypes = []
+    lib.sat_free.restype = None
+    lib.sat_free.argtypes = [h]
+    lib.sat_new_var.restype = i32
+    lib.sat_new_var.argtypes = [h]
+    lib.sat_mark_selector.restype = None
+    lib.sat_mark_selector.argtypes = [h, i32]
+    lib.sat_add_clause.restype = ctypes.c_int
+    lib.sat_add_clause.argtypes = [h, p32, i32]
+    lib.sat_gc_lit.restype = None
+    lib.sat_gc_lit.argtypes = [h, i32]
+    lib.sat_solve.restype = ctypes.c_int
+    lib.sat_solve.argtypes = [h, p32, i32, ctypes.c_int64]
+    lib.sat_model_val.restype = i32
+    lib.sat_model_val.argtypes = [h, i32]
+    lib.sat_has_model.restype = ctypes.c_int
+    lib.sat_has_model.argtypes = [h]
+    lib.sat_core_len.restype = i32
+    lib.sat_core_len.argtypes = [h]
+    lib.sat_core_get.restype = None
+    lib.sat_core_get.argtypes = [h, p32]
+    lib.sat_stat.restype = ctypes.c_int64
+    lib.sat_stat.argtypes = [h, ctypes.c_int]
+
+
+class NativeSatSolver:
+    """Drop-in :class:`repro.smt.sat.SatSolver` backed by the C core."""
+
+    @staticmethod
+    def available() -> bool:
+        return load() is not None
+
+    def __init__(self):
+        lib = load()
+        if lib is None:
+            raise RuntimeError("native SAT core unavailable (no C compiler?)")
+        self._lib = lib
+        self._h = lib.sat_new()
+        self.nvars = 0
+        self._scopes: List[int] = []
+        self._selector_vars: set = set()
+        self.model: List[Optional[bool]] = []
+        self.core: List[int] = []
+        self._ok = True
+
+    def __del__(self):
+        h = getattr(self, "_h", None)
+        if h:
+            self._lib.sat_free(h)
+            self._h = None
+
+    # -- variables and clauses ----------------------------------------
+    def new_var(self) -> int:
+        self.nvars = int(self._lib.sat_new_var(self._h))
+        return self.nvars
+
+    def _check_lits(self, lits: Sequence[int]) -> None:
+        nvars = self.nvars
+        for signed in lits:
+            v = signed if signed >= 0 else -signed
+            if v == 0 or v > nvars:
+                raise ValueError(f"unknown variable in literal {signed}")
+
+    def add_clause(self, signed_lits, permanent: bool = False) -> bool:
+        if not self._ok:
+            return False
+        lits = list(signed_lits)
+        if not permanent and self._scopes:
+            lits.append(-self._scopes[-1])
+        self._check_lits(lits)
+        arr = (ctypes.c_int32 * max(len(lits), 1))(*lits)
+        result = self._lib.sat_add_clause(self._h, arr, len(lits))
+        if not result:
+            self._ok = False
+        return bool(result)
+
+    # -- assertion scopes ---------------------------------------------
+    def push(self) -> int:
+        sel = self.new_var()
+        self._lib.sat_mark_selector(self._h, sel)
+        self._scopes.append(sel)
+        self._selector_vars.add(sel)
+        return sel
+
+    def pop(self) -> None:
+        if not self._scopes:
+            raise RuntimeError("pop without matching push")
+        sel = self._scopes.pop()
+        self.add_clause([-sel], permanent=True)
+        self._lib.sat_gc_lit(self._h, -sel)
+
+    @property
+    def num_scopes(self) -> int:
+        return len(self._scopes)
+
+    # -- solving -------------------------------------------------------
+    def solve(self, assumptions: Sequence[int] = (), max_conflicts=None) -> str:
+        self.core = []
+        if not self._ok:
+            return UNSAT
+        assume = list(self._scopes) + [int(a) for a in assumptions]
+        self._check_lits(assume)
+        arr = (ctypes.c_int32 * max(len(assume), 1))(*assume)
+        budget = -1 if max_conflicts is None else int(max_conflicts)
+        result = self._lib.sat_solve(self._h, arr, len(assume), budget)
+        if result == 1:
+            lib, h = self._lib, self._h
+            self.model = [None] + [
+                bool(lib.sat_model_val(h, v)) for v in range(1, self.nvars + 1)
+            ]
+            return SAT
+        if result == 2:
+            return UNKNOWN
+        ncore = self._lib.sat_core_len(self._h)
+        if ncore:
+            buf = (ctypes.c_int32 * ncore)()
+            self._lib.sat_core_get(self._h, buf)
+            selectors = self._selector_vars
+            self.core = [int(q) for q in buf if abs(q) not in selectors]
+        return UNSAT
+
+    def solve_with(self, assumptions: Sequence[int] = (), **kw) -> str:
+        return self.solve(assumptions, **kw)
+
+    def value(self, var: int) -> Optional[bool]:
+        if not self.model:
+            return None
+        return self.model[abs(var)]
+
+    # -- statistics ----------------------------------------------------
+    @property
+    def conflicts(self) -> int:
+        return int(self._lib.sat_stat(self._h, 3))
+
+    @property
+    def decisions(self) -> int:
+        return int(self._lib.sat_stat(self._h, 4))
+
+    @property
+    def propagations(self) -> int:
+        return int(self._lib.sat_stat(self._h, 5))
+
+    @property
+    def restarts(self) -> int:
+        return int(self._lib.sat_stat(self._h, 6))
+
+    def stats(self) -> dict:
+        stat = self._lib.sat_stat
+        h = self._h
+        return {
+            "vars": self.nvars,
+            "clauses": int(stat(h, 1)),
+            "learnts": int(stat(h, 2)),
+            "conflicts": int(stat(h, 3)),
+            "decisions": int(stat(h, 4)),
+            "propagations": int(stat(h, 5)),
+            "restarts": int(stat(h, 6)),
+            "learned": int(stat(h, 7)),
+            "subsumed": int(stat(h, 8)),
+            "strengthened": int(stat(h, 9)),
+            "scopes": len(self._scopes),
+        }

@@ -22,6 +22,12 @@ the top-level unit clause of :meth:`assert_term` is scoped.  Popping a
 scope therefore never invalidates the memo tables: re-encoding a term
 seen in any earlier scope reuses its CNF — same variables, no new
 clauses — which is what keeps warm incremental solving cheap.
+
+Permanence also matters to the solver's clause arena: permanent
+definitions form the long-lived clause population that inprocessing
+(subsumption / self-subsuming resolution) is allowed to tighten, and
+stable variable numbering means a warm solver's learned clauses keep
+referring to the same subterms across every scope and deepening step.
 """
 
 from __future__ import annotations
@@ -100,21 +106,21 @@ class CnfConverter:
                 stack.append((node.args[0], flipped))
                 continue
             v = self._lit(node)
-            arg_lits = [self._lit(a) for a in node.args]
+            lit_of = self._lit
+            add = self.sat.add_clause
+            arg_lits = [lit_of(a) for a in node.args]
             if kind == "and":
                 if need & POS:  # v -> each arg
                     for lit in arg_lits:
-                        self.sat.add_clause([-v, lit], permanent=True)
+                        add([-v, lit], permanent=True)
                 if need & NEG:  # all args -> v
-                    self.sat.add_clause(
-                        [v] + [-lit for lit in arg_lits], permanent=True
-                    )
+                    add([v] + [-lit for lit in arg_lits], permanent=True)
             else:  # or
                 if need & POS:  # v -> some arg
-                    self.sat.add_clause([-v] + arg_lits, permanent=True)
+                    add([-v] + arg_lits, permanent=True)
                 if need & NEG:  # each arg -> v
                     for lit in arg_lits:
-                        self.sat.add_clause([v, -lit], permanent=True)
+                        add([v, -lit], permanent=True)
             for a in node.args:
                 stack.append((a, need))
 

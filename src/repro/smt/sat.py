@@ -1,16 +1,37 @@
-"""A CDCL SAT solver.
+"""A CDCL SAT solver over an int-encoded clause arena.
 
 This is the propositional core of the SMT substrate that replaces Z3 in
 this reproduction (Z3 is unavailable offline).  It is a conventional
-conflict-driven clause-learning solver:
+conflict-driven clause-learning solver, rewritten for raw single-core
+speed — every subsystem (slicing, warm BMC, the k-induction/IC3
+portfolio, CEGIS repair screening) bottoms out in this loop:
 
-* two-watched-literal unit propagation,
-* first-UIP conflict analysis with recursive clause minimisation,
-* VSIDS branching with phase saving,
-* Luby restarts,
-* activity-driven learned-clause database reduction,
-* incremental solving under assumptions (MiniSat-style ``solve(assumps)``),
-* ``push()``/``pop()`` assertion scopes via activation literals.
+* **clause arena** — all clauses live in one flat Python list of ints;
+  a clause reference is the index of its first literal, the word before
+  it packs ``size << 1 | learnt``.  No clause objects, no attribute
+  dispatch on the hot path;
+* **two-watched-literal propagation** with *blocker literals*: watch
+  entries are ``(cref, blocker)`` pairs, and a satisfied blocker skips
+  the clause without touching the arena at all;
+* **dedicated binary-clause watch lists** (``(other, cref)`` pairs):
+  two-literal clauses — the bulk of a Tseitin encoding — propagate with
+  a single per-literal value lookup and never move watches;
+* **per-literal value array** (``lvals[lit]`` is 1/0/-1 for
+  true/false/unassigned), so truth tests are one index instead of a
+  shift-and-xor on a per-variable array;
+* first-UIP conflict analysis with recursive clause minimisation over a
+  persistent ``seen`` byte array (no per-conflict allocation) and
+  abstract-level pruning;
+* VSIDS branching (lazy heap) with phase saving, Luby restarts,
+  activity-driven learned-clause database reduction;
+* incremental solving under assumptions (MiniSat-style
+  ``solve(assumps)``) with complete failed-assumption cores;
+* ``push()``/``pop()`` assertion scopes via activation literals;
+* **budget-capped inprocessing** between incremental calls: clauses
+  satisfied at level 0 are dropped, false literals are stripped, and a
+  forward pass of subsumption + self-subsuming resolution shrinks the
+  permanent clause database retained across calls (see
+  :meth:`SatSolver._simplify`).
 
 Scopes are the standard selector-variable construction: ``push()``
 allocates a fresh *selector* variable ``s`` and every clause added while
@@ -22,7 +43,8 @@ clauses are therefore retained across ``pop()`` soundly: ``pop`` asserts
 ``¬s`` permanently (deactivating the scope) and garbage-collects every
 clause, original or learned, that the assertion satisfies.  Learned
 clauses derived only from outer scopes survive and keep pruning later
-calls.
+calls.  Inprocessing never uses a clause guarded by a *live* selector
+as a subsumer, so nothing deduced from a scope outlives its ``pop()``.
 
 Literal encoding: variable ``v`` (1-based) has positive literal ``2*v``
 and negative literal ``2*v + 1``; ``lit ^ 1`` negates.  DIMACS-style
@@ -32,6 +54,7 @@ takes ``+v`` / ``-v``).
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
 from typing import Iterable, List, Optional, Sequence
 
 __all__ = ["SatSolver", "SAT", "UNSAT", "UNKNOWN", "luby"]
@@ -39,8 +62,6 @@ __all__ = ["SatSolver", "SAT", "UNSAT", "UNKNOWN", "luby"]
 SAT = "sat"
 UNSAT = "unsat"
 UNKNOWN = "unknown"
-
-_UNASSIGNED = -1
 
 
 def luby(i: int) -> int:
@@ -54,15 +75,6 @@ def luby(i: int) -> int:
         if (1 << k) - 1 == i:
             return 1 << (k - 1)
         i = i - (1 << (k - 1)) + 1
-
-
-class _Clause:
-    __slots__ = ("lits", "learnt", "activity")
-
-    def __init__(self, lits: List[int], learnt: bool):
-        self.lits = lits
-        self.learnt = learnt
-        self.activity = 0.0
 
 
 class SatSolver:
@@ -80,22 +92,30 @@ class SatSolver:
 
     def __init__(self):
         self.nvars = 0
-        self._clauses: List[_Clause] = []
-        self._learnts: List[_Clause] = []
-        self._watches: List[List[_Clause]] = [[], []]  # indexed by lit
-        self._assigns: List[int] = [_UNASSIGNED]  # indexed by var (1-based)
-        self._levels: List[int] = [0]
-        self._reasons: List[Optional[_Clause]] = [None]
+        # Clause arena: clause ref = index of the first literal;
+        # arena[ref - 1] packs ``size << 1 | learnt``.  Index 0 is a
+        # sentinel so 0 can mean "no clause" in reason slots.
+        self._arena: List[int] = [0]
+        self._clause_refs: List[int] = []
+        self._learnt_refs: List[int] = []
+        self._cla_act: dict = {}  # learnt cref -> activity
+        self._garbage = 0  # dead arena words; compacted when > half
+        self._watches: List[list] = [[], []]  # lit -> [(cref, blocker)]
+        self._bwatches: List[list] = [[], []]  # lit -> [(other, cref)]
+        self._lvals: List[int] = [-1, -1]  # lit -> 1 true / 0 false / -1
+        self._levels: List[int] = [0]  # indexed by var (1-based)
+        self._reasons: List[int] = [0]  # var -> cref (0 = none)
         self._trail: List[int] = []
         self._trail_lim: List[int] = []
         self._qhead = 0
         self._activity: List[float] = [0.0]
         self._phase: List[bool] = [False]
+        self._seen = bytearray(1)  # persistent conflict-analysis marks
         self._var_inc = 1.0
         self._var_decay = 0.95
         self._cla_inc = 1.0
         self._cla_decay = 0.999
-        self._order: List[int] = []  # lazy max-heap of (-activity, var)
+        self._order: List[tuple] = []  # lazy max-heap of (-activity, var)
         self._ok = True
         self.model: List[Optional[bool]] = []
         self.core: List[int] = []  # failed-assumption literals (signed)
@@ -104,8 +124,14 @@ class SatSolver:
         self.propagations = 0
         self.restarts = 0
         self.learned_total = 0  # clauses ever learned (DB reduction ignores it)
+        self.subsumed_total = 0  # clauses removed by inprocessing subsumption
+        self.strengthened_total = 0  # literals removed by inprocessing
         self._scopes: List[int] = []  # active selector vars, outermost first
         self._selector_vars: set = set()  # every selector ever allocated
+        # Inprocessing schedule: run when the permanent DB grew past the
+        # threshold, spending at most `_simplify_ticks` literal visits.
+        self._simplify_at = 2000
+        self._simplify_ticks = 400_000
 
     # ------------------------------------------------------------------
     # Variable and clause management
@@ -113,14 +139,17 @@ class SatSolver:
     def new_var(self) -> int:
         """Allocate a fresh variable, returning its positive DIMACS id."""
         self.nvars += 1
-        self._assigns.append(_UNASSIGNED)
         self._levels.append(0)
-        self._reasons.append(None)
+        self._reasons.append(0)
         self._activity.append(0.0)
         self._phase.append(False)
+        self._lvals.extend((-1, -1))
         self._watches.append([])
         self._watches.append([])
-        self._heap_push(self.nvars)
+        self._bwatches.append([])
+        self._bwatches.append([])
+        self._seen.append(0)
+        heappush(self._order, (-0.0, self.nvars))
         return self.nvars
 
     def _lit(self, signed: int) -> int:
@@ -144,6 +173,7 @@ class SatSolver:
             raise RuntimeError("add_clause only at decision level 0")
         if not permanent and self._scopes:
             signed_lits = list(signed_lits) + [-self._scopes[-1]]
+        lvals = self._lvals
         lits: List[int] = []
         seen = set()
         for signed in signed_lits:
@@ -152,10 +182,10 @@ class SatSolver:
                 return True  # tautology
             if lit in seen:
                 continue
-            val = self._lit_value(lit)
-            if val is True:
+            val = lvals[lit]
+            if val > 0:
                 return True  # already satisfied at level 0
-            if val is False:
+            if val == 0:
                 continue  # falsified at level 0: drop the literal
             seen.add(lit)
             lits.append(lit)
@@ -163,19 +193,34 @@ class SatSolver:
             self._ok = False
             return False
         if len(lits) == 1:
-            if not self._enqueue(lits[0], None):
+            if not self._enqueue(lits[0], 0):
                 self._ok = False
                 return False
             self._ok = self.propagate() is None
             return self._ok
-        clause = _Clause(lits, learnt=False)
-        self._clauses.append(clause)
-        self._attach(clause)
+        cref = self._new_clause(lits, 0)
+        self._clause_refs.append(cref)
+        self._attach(cref)
         return True
 
-    def _attach(self, clause: _Clause) -> None:
-        self._watches[clause.lits[0] ^ 1].append(clause)
-        self._watches[clause.lits[1] ^ 1].append(clause)
+    def _new_clause(self, lits: List[int], learnt: int) -> int:
+        arena = self._arena
+        arena.append((len(lits) << 1) | learnt)
+        cref = len(arena)
+        arena.extend(lits)
+        return cref
+
+    def _attach(self, cref: int) -> None:
+        arena = self._arena
+        size = arena[cref - 1] >> 1
+        l0 = arena[cref]
+        l1 = arena[cref + 1]
+        if size == 2:
+            self._bwatches[l0 ^ 1].append((l1, cref))
+            self._bwatches[l1 ^ 1].append((l0, cref))
+        else:
+            self._watches[l0 ^ 1].append((cref, l1))
+            self._watches[l1 ^ 1].append((cref, l0))
 
     # ------------------------------------------------------------------
     # Assertion scopes (activation literals)
@@ -217,100 +262,163 @@ class SatSolver:
 
     def _gc_deactivated(self, dead_lit: int) -> None:
         """Drop every clause containing ``dead_lit`` (now true forever)."""
-        removed = {
-            id(c)
-            for store in (self._clauses, self._learnts)
-            for c in store
-            if dead_lit in c.lits
-        }
+        arena = self._arena
+        removed = set()
+        for refs in (self._clause_refs, self._learnt_refs):
+            live = []
+            for cref in refs:
+                size = arena[cref - 1] >> 1
+                for k in range(cref, cref + size):
+                    if arena[k] == dead_lit:
+                        removed.add(cref)
+                        self._garbage += size + 1
+                        self._cla_act.pop(cref, None)
+                        break
+                else:
+                    live.append(cref)
+            refs[:] = live
         if not removed:
             return
-        self._clauses = [c for c in self._clauses if id(c) not in removed]
-        self._learnts = [c for c in self._learnts if id(c) not in removed]
         for wl in self._watches:
-            wl[:] = [c for c in wl if id(c) not in removed]
+            wl[:] = [p for p in wl if p[0] not in removed]
+        for bl in self._bwatches:
+            bl[:] = [p for p in bl if p[1] not in removed]
+        reasons = self._reasons
         for var in range(1, self.nvars + 1):
-            reason = self._reasons[var]
-            if reason is not None and id(reason) in removed:
+            if reasons[var] in removed:
                 # Level-0 facts need no justification; reasons are only
                 # consulted for literals above level 0.
-                self._reasons[var] = None
+                reasons[var] = 0
+
+    def _compact_arena(self) -> None:
+        """Rebuild the arena without dead words, remapping every ref.
+
+        Only sound at decision level 0 (reasons are dropped; level-0
+        facts need none).
+        """
+        arena = self._arena
+        new_arena = [0]
+        remap: dict = {}
+        for refs in (self._clause_refs, self._learnt_refs):
+            for cref in refs:
+                header = arena[cref - 1]
+                size = header >> 1
+                new_arena.append(header)
+                remap[cref] = len(new_arena)
+                new_arena.extend(arena[cref:cref + size])
+            refs[:] = [remap[c] for c in refs]
+        self._arena = new_arena
+        self._cla_act = {
+            remap[c]: a for c, a in self._cla_act.items() if c in remap
+        }
+        for wl in self._watches:
+            wl[:] = [(remap[p[0]], p[1]) for p in wl]
+        for bl in self._bwatches:
+            bl[:] = [(p[0], remap[p[1]]) for p in bl]
+        self._reasons = [0] * (self.nvars + 1)
+        self._garbage = 0
 
     # ------------------------------------------------------------------
     # Assignment helpers
     # ------------------------------------------------------------------
     def _lit_value(self, lit: int) -> Optional[bool]:
-        a = self._assigns[lit >> 1]
-        if a == _UNASSIGNED:
+        v = self._lvals[lit]
+        if v < 0:
             return None
-        return bool(a) ^ bool(lit & 1)
+        return v > 0
 
-    def _enqueue(self, lit: int, reason: Optional[_Clause]) -> bool:
-        val = self._lit_value(lit)
-        if val is not None:
-            return val
+    def _enqueue(self, lit: int, reason: int = 0) -> bool:
+        lvals = self._lvals
+        v = lvals[lit]
+        if v >= 0:
+            return v > 0
+        lvals[lit] = 1
+        lvals[lit ^ 1] = 0
         var = lit >> 1
-        self._assigns[var] = 0 if (lit & 1) else 1
         self._levels[var] = len(self._trail_lim)
         self._reasons[var] = reason
         self._trail.append(lit)
         return True
 
-    def propagate(self) -> Optional[_Clause]:
-        """Unit propagation; returns a conflicting clause or None.
+    def propagate(self) -> Optional[int]:
+        """Unit propagation; returns a conflicting clause ref or None.
 
-        This is the solver's hot loop: literal values are read inline
-        from a local reference to the assignment array (``assigns[var]``
-        is 0/1/-1; a literal is true when ``(assign ^ lit) & 1`` is set)
-        instead of going through method calls.
+        This is the solver's hot loop: binary clauses propagate off
+        their own watch lists with one value lookup each, and long
+        clauses are only inspected when their blocker literal is not
+        already satisfied.
         """
         watches = self._watches
-        assigns = self._assigns
+        bwatches = self._bwatches
+        lvals = self._lvals
+        arena = self._arena
         trail = self._trail
         levels = self._levels
         reasons = self._reasons
+        level = len(self._trail_lim)
+        qhead = self._qhead
         nprops = 0
-        while self._qhead < len(trail):
-            lit = trail[self._qhead]
-            self._qhead += 1
+        while qhead < len(trail):
+            lit = trail[qhead]
+            qhead += 1
             nprops += 1
+            for other, bcref in bwatches[lit]:
+                v = lvals[other]
+                if v > 0:
+                    continue
+                if v == 0:  # conflict
+                    self._qhead = len(trail)
+                    self.propagations += nprops
+                    return bcref
+                lvals[other] = 1
+                lvals[other ^ 1] = 0
+                bvar = other >> 1
+                levels[bvar] = level
+                reasons[bvar] = bcref
+                trail.append(other)
             wl = watches[lit]
+            if not wl:
+                continue
+            falsified = lit ^ 1
             i = 0
             j = 0
             n = len(wl)
-            falsified = lit ^ 1
             while i < n:
-                clause = wl[i]
+                pair = wl[i]
                 i += 1
-                lits = clause.lits
-                # Ensure the falsified literal is lits[1].
-                other = lits[0]
-                if other == falsified:
-                    other = lits[1]
-                    lits[0] = other
-                    lits[1] = falsified
-                a = assigns[other >> 1]
-                if a >= 0 and (a ^ other) & 1:  # other is already true
-                    wl[j] = clause
+                if lvals[pair[1]] > 0:  # blocker satisfies the clause
+                    wl[j] = pair
+                    j += 1
+                    continue
+                cref = pair[0]
+                # Ensure the falsified literal sits in the second slot.
+                first = arena[cref]
+                if first == falsified:
+                    first = arena[cref + 1]
+                    arena[cref] = first
+                    arena[cref + 1] = falsified
+                v = lvals[first]
+                if v > 0:  # the other watch is already true
+                    wl[j] = (cref, first)
                     j += 1
                     continue
                 # Look for a new literal to watch.
-                found = False
-                for k in range(2, len(lits)):
-                    lk = lits[k]
-                    ak = assigns[lk >> 1]
-                    if ak < 0 or (ak ^ lk) & 1:  # unassigned or true
-                        lits[1] = lk
-                        lits[k] = falsified
-                        watches[lk ^ 1].append(clause)
-                        found = True
+                end = cref + (arena[cref - 1] >> 1)
+                k = cref + 2
+                while k < end:
+                    if lvals[arena[k]] != 0:  # unassigned or true
                         break
-                if found:
+                    k += 1
+                if k < end:
+                    lk = arena[k]
+                    arena[cref + 1] = lk
+                    arena[k] = falsified
+                    watches[lk ^ 1].append((cref, first))
                     continue
                 # Clause is unit or conflicting.
-                wl[j] = clause
+                wl[j] = (cref, first)
                 j += 1
-                if a >= 0:  # other is false: conflict
+                if v == 0:  # first is false: conflict
                     while i < n:
                         wl[j] = wl[i]
                         j += 1
@@ -318,61 +426,90 @@ class SatSolver:
                     del wl[j:]
                     self._qhead = len(trail)
                     self.propagations += nprops
-                    return clause
-                # Enqueue `other` (currently unassigned).
-                var = other >> 1
-                assigns[var] = 1 - (other & 1)
-                levels[var] = len(self._trail_lim)
-                reasons[var] = clause
-                trail.append(other)
+                    return cref
+                # Enqueue `first` (currently unassigned).
+                lvals[first] = 1
+                lvals[first ^ 1] = 0
+                fvar = first >> 1
+                levels[fvar] = level
+                reasons[fvar] = cref
+                trail.append(first)
             del wl[j:]
+        self._qhead = qhead
         self.propagations += nprops
         return None
 
     # ------------------------------------------------------------------
     # Conflict analysis (first UIP)
     # ------------------------------------------------------------------
-    def _analyze(self, conflict: _Clause) -> tuple:
+    def _analyze(self, conflict: int) -> tuple:
+        arena = self._arena
+        levels = self._levels
+        reasons = self._reasons
+        trail = self._trail
+        seen = self._seen
+        activity = self._activity
+        var_inc = self._var_inc
+        cla_act = self._cla_act
         learnt: List[int] = [0]  # placeholder for the asserting literal
-        seen = [False] * (self.nvars + 1)
+        to_clear: List[int] = []
         counter = 0
         lit = -1
-        reason: Optional[_Clause] = conflict
-        index = len(self._trail)
+        cref = conflict
+        index = len(trail)
         cur_level = len(self._trail_lim)
 
         while True:
-            assert reason is not None
-            self._bump_clause(reason)
-            start = 0 if lit == -1 else 1
-            for q in reason.lits[start:] if lit != -1 else reason.lits:
+            header = arena[cref - 1]
+            if header & 1:  # bump learnt-clause activity
+                act = cla_act.get(cref, 0.0) + self._cla_inc
+                cla_act[cref] = act
+                if act > 1e20:
+                    self._rescale_clause_activity()
+            size = header >> 1
+            skip_var = lit >> 1  # -1 on the first (conflict) round
+            for k in range(cref, cref + size):
+                q = arena[k]
                 var = q >> 1
-                if not seen[var] and self._levels[var] > 0:
-                    seen[var] = True
-                    self._bump_var(var)
-                    if self._levels[var] == cur_level:
+                if var == skip_var or seen[var]:
+                    continue
+                lv = levels[var]
+                if lv > 0:
+                    seen[var] = 1
+                    to_clear.append(var)
+                    act = activity[var] + var_inc
+                    activity[var] = act
+                    if act > 1e100:
+                        self._rescale_var_activity()
+                        var_inc = self._var_inc
+                    if lv == cur_level:
                         counter += 1
                     else:
                         learnt.append(q)
             # Find next literal on the trail to resolve on.
             while True:
                 index -= 1
-                lit = self._trail[index]
+                lit = trail[index]
                 if seen[lit >> 1]:
                     break
             counter -= 1
             if counter == 0:
                 break
-            reason = self._reasons[lit >> 1]
-            seen[lit >> 1] = False
+            cref = reasons[lit >> 1]
+            seen[lit >> 1] = 0
         learnt[0] = lit ^ 1
 
         # Recursive minimisation: drop literals implied by the rest.
-        keep = [learnt[0]]
-        for q in learnt[1:]:
-            if not self._redundant(q, seen):
-                keep.append(q)
-        learnt = keep
+        if len(learnt) > 1:
+            level_set = {levels[q >> 1] for q in learnt[1:]}
+            keep = [learnt[0]]
+            for q in learnt[1:]:
+                if not self._redundant(q, level_set, to_clear):
+                    keep.append(q)
+            learnt = keep
+
+        for v in to_clear:
+            seen[v] = 0
 
         # Backtrack level = second-highest level in the learnt clause.
         if len(learnt) == 1:
@@ -380,32 +517,51 @@ class SatSolver:
         else:
             max_i = 1
             for i in range(2, len(learnt)):
-                if self._levels[learnt[i] >> 1] > self._levels[learnt[max_i] >> 1]:
+                if levels[learnt[i] >> 1] > levels[learnt[max_i] >> 1]:
                     max_i = i
             learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
-            bt_level = self._levels[learnt[1] >> 1]
+            bt_level = levels[learnt[1] >> 1]
         return learnt, bt_level
 
-    def _redundant(self, lit: int, seen: List[bool]) -> bool:
-        """Is ``lit`` implied by other marked literals (clause minimisation)?"""
-        reason = self._reasons[lit >> 1]
-        if reason is None:
+    def _redundant(self, lit: int, level_set: set, to_clear: List[int]) -> bool:
+        """Is ``lit`` implied by other marked literals (clause minimisation)?
+
+        Expansion prunes on abstract levels: a variable assigned at a
+        decision level absent from the learnt clause can never be
+        resolved away, so the walk aborts early.
+        """
+        reasons = self._reasons
+        if not reasons[lit >> 1]:
             return False
+        arena = self._arena
+        levels = self._levels
+        seen = self._seen
         stack = [lit]
         marked: List[int] = []
         while stack:
             p = stack.pop()
-            reason = self._reasons[p >> 1]
-            if reason is None:
+            cref = reasons[p >> 1]
+            if not cref:
                 for v in marked:
-                    seen[v] = False
+                    seen[v] = 0
                 return False
-            for q in reason.lits[1:]:
+            pvar = p >> 1
+            size = arena[cref - 1] >> 1
+            for k in range(cref, cref + size):
+                q = arena[k]
                 var = q >> 1
-                if not seen[var] and self._levels[var] > 0:
-                    seen[var] = True
+                if var == pvar or seen[var]:
+                    continue
+                lv = levels[var]
+                if lv > 0:
+                    if lv not in level_set:
+                        for v in marked:
+                            seen[v] = 0
+                        return False
+                    seen[var] = 1
                     marked.append(var)
                     stack.append(q)
+        to_clear.extend(marked)
         return True
 
     def _analyze_final(self, failed_lit: int, assume_lits: List[int]) -> None:
@@ -420,6 +576,8 @@ class SatSolver:
         to assumption decisions.  Covers both final-conflict shapes —
         an assumption found false at placement, and a learnt clause
         falsified at the assumption levels during search."""
+        arena = self._arena
+        levels = self._levels
         assumption_vars = {lit >> 1 for lit in assume_lits}
         seen = set(seed_vars)
         # A seed that is itself an assumption contributes directly.
@@ -428,13 +586,15 @@ class SatSolver:
             var = lit >> 1
             if var not in seen:
                 continue
-            reason = self._reasons[var]
-            if reason is None:
+            cref = self._reasons[var]
+            if not cref:
                 if var in assumption_vars:
                     core_vars.add(var)
             else:
-                for q in reason.lits:
-                    if self._levels[q >> 1] > 0:
+                size = arena[cref - 1] >> 1
+                for k in range(cref, cref + size):
+                    q = arena[k]
+                    if levels[q >> 1] > 0:
                         seen.add(q >> 1)
         # Signed DIMACS form of the implicated assumptions.  Scope
         # selectors are solver-internal: a conflict that implicates only
@@ -450,58 +610,51 @@ class SatSolver:
         if len(self._trail_lim) <= level:
             return
         bound = self._trail_lim[level]
-        for lit in reversed(self._trail[bound:]):
+        trail = self._trail
+        lvals = self._lvals
+        phase = self._phase
+        activity = self._activity
+        reasons = self._reasons
+        order = self._order
+        for idx in range(len(trail) - 1, bound - 1, -1):
+            lit = trail[idx]
             var = lit >> 1
-            self._phase[var] = not (lit & 1)
-            self._assigns[var] = _UNASSIGNED
-            self._reasons[var] = None
-            self._heap_push(var)
-        del self._trail[bound:]
+            phase[var] = not (lit & 1)
+            lvals[lit] = -1
+            lvals[lit ^ 1] = -1
+            reasons[var] = 0
+            heappush(order, (-activity[var], var))
+        del trail[bound:]
         del self._trail_lim[level:]
-        self._qhead = len(self._trail)
+        self._qhead = bound
 
     # ------------------------------------------------------------------
     # VSIDS
     # ------------------------------------------------------------------
-    def _bump_var(self, var: int) -> None:
-        self._activity[var] += self._var_inc
-        if self._activity[var] > 1e100:
-            for v in range(1, self.nvars + 1):
-                self._activity[v] *= 1e-100
-            self._var_inc *= 1e-100
-        # Assigned variables re-enter the heap on backtrack with their
-        # final activity; pushing them here would only flood the heap
-        # with stale duplicates.
-        if self._assigns[var] == _UNASSIGNED:
-            self._heap_push(var)
+    def _rescale_var_activity(self) -> None:
+        activity = self._activity
+        for v in range(1, self.nvars + 1):
+            activity[v] *= 1e-100
+        self._var_inc *= 1e-100
 
-    def _bump_clause(self, clause: _Clause) -> None:
-        if clause.learnt:
-            clause.activity += self._cla_inc
-            if clause.activity > 1e20:
-                for c in self._learnts:
-                    c.activity *= 1e-20
-                self._cla_inc *= 1e-20
-
-    def _heap_push(self, var: int) -> None:
-        import heapq
-
-        heapq.heappush(self._order, (-self._activity[var], var))
+    def _rescale_clause_activity(self) -> None:
+        act = self._cla_act
+        for c in act:
+            act[c] *= 1e-20
+        self._cla_inc *= 1e-20
 
     def _pick_branch_var(self) -> int:
-        import heapq
-
         # Entries may carry stale (lower) activities; accepting them
         # costs a slightly suboptimal pick but avoids rebuilding the
         # heap on every activity bump.
         order = self._order
-        assigns = self._assigns
+        lvals = self._lvals
         while order:
-            _, var = heapq.heappop(order)
-            if assigns[var] == _UNASSIGNED:
+            var = heappop(order)[1]
+            if lvals[var << 1] < 0:
                 return var
         for var in range(1, self.nvars + 1):
-            if assigns[var] == _UNASSIGNED:
+            if lvals[var << 1] < 0:
                 return var
         return 0
 
@@ -509,25 +662,207 @@ class SatSolver:
     # Learned-clause database reduction
     # ------------------------------------------------------------------
     def _reduce_db(self) -> None:
-        self._learnts.sort(key=lambda c: c.activity)
+        arena = self._arena
+        act = self._cla_act
+        learnts = self._learnt_refs
+        learnts.sort(key=lambda c: act.get(c, 0.0))
         locked = set()
-        for var in range(1, self.nvars + 1):
-            reason = self._reasons[var]
-            if reason is not None and reason.learnt:
-                locked.add(id(reason))
-        half = len(self._learnts) // 2
-        kept: List[_Clause] = []
+        reasons = self._reasons
+        for lit in self._trail:
+            cref = reasons[lit >> 1]
+            if cref and arena[cref - 1] & 1:
+                locked.add(cref)
+        half = len(learnts) // 2
+        kept: List[int] = []
         removed = set()
-        for i, clause in enumerate(self._learnts):
-            if i < half and id(clause) not in locked and len(clause.lits) > 2:
-                removed.add(id(clause))
+        for i, cref in enumerate(learnts):
+            size = arena[cref - 1] >> 1
+            if i < half and cref not in locked and size > 2:
+                removed.add(cref)
+                self._garbage += size + 1
+                act.pop(cref, None)
             else:
-                kept.append(clause)
+                kept.append(cref)
         if not removed:
             return
-        self._learnts = kept
+        self._learnt_refs = kept
+        # Binaries are never reduced, so their watch lists are untouched.
         for wl in self._watches:
-            wl[:] = [c for c in wl if id(c) not in removed]
+            wl[:] = [p for p in wl if p[0] not in removed]
+
+    # ------------------------------------------------------------------
+    # Inprocessing (between incremental calls, at decision level 0)
+    # ------------------------------------------------------------------
+    def _simplify(self) -> None:
+        """Budget-capped inprocessing over the retained clause database.
+
+        Three sound transformations, all performed at decision level 0:
+
+        1. clauses satisfied by a level-0 fact are dropped and false
+           literals are stripped (originals and learnts alike);
+        2. forward *subsumption*: a clause ``C ⊆ D`` deletes ``D``;
+        3. *self-subsuming resolution*: ``C = A ∪ {l}`` against
+           ``D ⊇ A ∪ {¬l}`` strengthens ``D`` by removing ``¬l``.
+
+        A clause guarded by a live scope selector is never used as a
+        subsumer — its deductions would not survive the scope's
+        ``pop()`` — but may be subsumed or strengthened (the guard
+        literal stays, so the result still dies with the scope).  The
+        pair scan is capped by ``_simplify_ticks`` literal visits, which
+        bounds the pause this pass can add to any single ``solve()``.
+        """
+        arena = self._arena
+        lvals = self._lvals
+        # Level-0 facts need no justification, and clause refs are about
+        # to be invalidated wholesale.
+        self._reasons = [0] * (self.nvars + 1)
+        units: List[int] = []
+
+        # ---- Phase 1: drop satisfied clauses, strip false literals.
+        for refs in (self._clause_refs, self._learnt_refs):
+            live = []
+            for cref in refs:
+                header = arena[cref - 1]
+                size = header >> 1
+                end = cref + size
+                satisfied = False
+                nfalse = 0
+                for k in range(cref, end):
+                    v = lvals[arena[k]]
+                    if v > 0:
+                        satisfied = True
+                        break
+                    if v == 0:
+                        nfalse += 1
+                if satisfied:
+                    self._garbage += size + 1
+                    self._cla_act.pop(cref, None)
+                    continue
+                if nfalse:
+                    new_lits = [
+                        arena[k] for k in range(cref, end) if lvals[arena[k]] < 0
+                    ]
+                    self.strengthened_total += nfalse
+                    if not new_lits:
+                        self._ok = False
+                        return
+                    if len(new_lits) == 1:
+                        units.append(new_lits[0])
+                        self._garbage += size + 1
+                        self._cla_act.pop(cref, None)
+                        continue
+                    arena[cref - 1] = (len(new_lits) << 1) | (header & 1)
+                    arena[cref:cref + len(new_lits)] = new_lits
+                    self._garbage += nfalse
+                elif size == 1:
+                    # An unattached unit learnt (created under pinned
+                    # assumption levels): promote it to a level-0 fact.
+                    units.append(arena[cref])
+                    self._garbage += 2
+                    self._cla_act.pop(cref, None)
+                    continue
+                live.append(cref)
+            refs[:] = live
+
+        # ---- Phase 2: forward subsumption + self-subsuming resolution
+        # over the permanent (original) clause database.
+        refs = self._clause_refs
+        deleted: set = set()
+        occ: dict = {}
+        sig: dict = {}
+        selectors = self._selector_vars
+        for cref in refs:
+            size = arena[cref - 1] >> 1
+            s = 0
+            for k in range(cref, cref + size):
+                q = arena[k]
+                occ.setdefault(q, []).append(cref)
+                s |= 1 << ((q >> 1) & 63)
+            sig[cref] = s
+        ticks = self._simplify_ticks
+        for cref in sorted(refs, key=lambda c: arena[c - 1] >> 1):
+            if ticks <= 0:
+                break
+            if cref in deleted:
+                continue
+            size = arena[cref - 1] >> 1
+            lits = arena[cref:cref + size]
+            if any((q >> 1) in selectors for q in lits):
+                continue  # scoped clause: unusable as a subsumer
+            cset = set(lits)
+            csig = sig[cref]
+            best = min(lits, key=lambda q: len(occ.get(q, ())))
+            # occ[best] catches every subsumption and every
+            # strengthening whose flipped literal is not `best`;
+            # occ[best ^ 1] catches the remaining flipped-on-best case.
+            for cand_list in (occ.get(best, ()), occ.get(best ^ 1, ())):
+                for d in cand_list:
+                    if ticks <= 0:
+                        break
+                    if d == cref or d in deleted:
+                        continue
+                    if csig & ~sig[d]:
+                        continue
+                    dheader = arena[d - 1]
+                    dsize = dheader >> 1
+                    if dsize < size:
+                        continue
+                    ticks -= dsize
+                    pos = 0
+                    nflip = 0
+                    flipped = 0
+                    for k in range(d, d + dsize):
+                        q = arena[k]
+                        if q in cset:
+                            pos += 1
+                        elif q ^ 1 in cset:
+                            nflip += 1
+                            if nflip > 1:
+                                break
+                            flipped = q
+                    if nflip > 1:
+                        continue
+                    if pos == size:
+                        deleted.add(d)
+                        self._garbage += dsize + 1
+                        self.subsumed_total += 1
+                    elif pos == size - 1 and nflip == 1:
+                        new_lits = [
+                            arena[k]
+                            for k in range(d, d + dsize)
+                            if arena[k] != flipped
+                        ]
+                        self.strengthened_total += 1
+                        if len(new_lits) == 1:
+                            units.append(new_lits[0])
+                            deleted.add(d)
+                            self._garbage += dsize + 1
+                        else:
+                            arena[d - 1] = (len(new_lits) << 1) | (dheader & 1)
+                            arena[d:d + len(new_lits)] = new_lits
+                            self._garbage += 1
+                            # sig[d] is now a superset signature — still
+                            # sound for the subset test, only less sharp.
+        if deleted:
+            refs[:] = [c for c in refs if c not in deleted]
+
+        # ---- Rebuild watches, replay units, restore invariants.
+        nlits = 2 * self.nvars + 2
+        self._watches = [[] for _ in range(nlits)]
+        self._bwatches = [[] for _ in range(nlits)]
+        for store in (self._clause_refs, self._learnt_refs):
+            for cref in store:
+                if arena[cref - 1] >> 1 >= 2:
+                    self._attach(cref)
+        for u in units:
+            if not self._enqueue(u, 0):
+                self._ok = False
+                return
+        if self.propagate() is not None:
+            self._ok = False
+            return
+        if self._garbage * 2 > len(self._arena):
+            self._compact_arena()
 
     # ------------------------------------------------------------------
     # Main search
@@ -557,6 +892,13 @@ class SatSolver:
         if conflict is not None:
             self._ok = False
             return UNSAT
+        if len(self._clause_refs) >= self._simplify_at:
+            self._simplify()
+            if not self._ok:
+                return UNSAT
+            self._simplify_at = max(2000, len(self._clause_refs) * 3 // 2)
+        if self._garbage * 2 > len(self._arena):
+            self._compact_arena()
 
         assume_lits = [sel << 1 for sel in self._scopes]
         assume_lits += [self._lit(a) for a in assumptions]
@@ -572,7 +914,7 @@ class SatSolver:
         conflicts_this_run = 0
         budget = luby(restart_count + 1) * 128
         stop_at = None if max_conflicts is None else self.conflicts + max_conflicts
-        max_learnts = max(len(self._clauses) // 3, 1000)
+        max_learnts = max(len(self._clause_refs) // 3, 1000)
 
         while True:
             conflict = self.propagate()
@@ -587,16 +929,16 @@ class SatSolver:
                 self._backtrack(max(bt_level, self._assumption_level))
                 if len(learnt) == 1 and not self._trail_lim:
                     self.learned_total += 1  # a level-0 fact, kept forever
-                    if not self._enqueue(learnt[0], None):
+                    if not self._enqueue(learnt[0], 0):
                         self._ok = False
                         return UNSAT
                 else:
-                    clause = _Clause(learnt, learnt=True)
-                    self._learnts.append(clause)
+                    cref = self._new_clause(learnt, 1)
+                    self._learnt_refs.append(cref)
                     self.learned_total += 1
                     if len(learnt) >= 2:
-                        self._attach(clause)
-                    if not self._enqueue(learnt[0], clause):
+                        self._attach(cref)
+                    if not self._enqueue(learnt[0], cref):
                         # The learnt clause is falsified at the pinned
                         # assumption levels: the assumptions themselves
                         # are inconsistent with the formula.
@@ -607,7 +949,7 @@ class SatSolver:
                 if stop_at is not None and self.conflicts >= stop_at:
                     self._backtrack(0)
                     return UNKNOWN
-                if len(self._learnts) > max_learnts:
+                if len(self._learnt_refs) > max_learnts:
                     self._reduce_db()
                     max_learnts = int(max_learnts * 1.3)
                 continue
@@ -624,12 +966,12 @@ class SatSolver:
             next_lit = None
             if len(self._trail_lim) < len(assume_lits):
                 lit = assume_lits[len(self._trail_lim)]
-                val = self._lit_value(lit)
-                if val is True:
+                val = self._lvals[lit]
+                if val > 0:
                     # Already implied: open an empty decision level.
                     self._trail_lim.append(len(self._trail))
                     continue
-                if val is False:
+                if val == 0:
                     self._analyze_final(lit, assume_lits)
                     self._backtrack(0)
                     return UNSAT  # assumptions are inconsistent
@@ -643,7 +985,7 @@ class SatSolver:
                 self.decisions += 1
                 next_lit = (var << 1) | (0 if self._phase[var] else 1)
             self._trail_lim.append(len(self._trail))
-            self._enqueue(next_lit, None)
+            self._enqueue(next_lit, 0)
 
     @property
     def _assumption_level(self) -> int:
@@ -657,10 +999,12 @@ class SatSolver:
         return self.solve(assumptions, **kw)
 
     def _extract_model(self) -> None:
-        self.model = [None] * (self.nvars + 1)
-        for var in range(1, self.nvars + 1):
-            a = self._assigns[var]
-            self.model[var] = bool(a) if a != _UNASSIGNED else self._phase[var]
+        lvals = self._lvals
+        phase = self._phase
+        self.model = [None] + [
+            (lvals[var << 1] > 0) if lvals[var << 1] >= 0 else phase[var]
+            for var in range(1, self.nvars + 1)
+        ]
 
     def value(self, var: int) -> Optional[bool]:
         """Model value of ``var`` after a ``sat`` answer."""
@@ -672,20 +1016,62 @@ class SatSolver:
     def stats(self) -> dict:
         """Search statistics for benchmarking and debugging.
 
-        ``conflicts``/``decisions``/``propagations``/``restarts`` and
-        ``learned`` are *cumulative* across every :meth:`solve` call on
-        this instance (incremental calls never reset them); ``clauses``
-        and ``learnts`` are the current database sizes (they shrink on
-        DB reduction and scope pops).
+        ``conflicts``/``decisions``/``propagations``/``restarts``,
+        ``learned``, ``subsumed`` and ``strengthened`` are *cumulative*
+        across every :meth:`solve` call on this instance (incremental
+        calls never reset them); ``clauses`` and ``learnts`` are the
+        current database sizes (they shrink on DB reduction, scope pops
+        and inprocessing).
         """
         return {
             "vars": self.nvars,
-            "clauses": len(self._clauses),
-            "learnts": len(self._learnts),
+            "clauses": len(self._clause_refs),
+            "learnts": len(self._learnt_refs),
             "conflicts": self.conflicts,
             "decisions": self.decisions,
             "propagations": self.propagations,
             "restarts": self.restarts,
             "learned": self.learned_total,
+            "subsumed": self.subsumed_total,
+            "strengthened": self.strengthened_total,
             "scopes": len(self._scopes),
         }
+
+
+# ---------------------------------------------------------------------------
+# Native acceleration
+# ---------------------------------------------------------------------------
+# satcore.c implements this exact solver in C; _native.py compiles it on
+# demand with the system C compiler and wraps it in the same public API.
+# When a compiler is available the module exports the native solver as
+# ``SatSolver``; otherwise (or with ``REPRO_SAT_NATIVE=0``) the
+# pure-Python arena solver above runs, with identical semantics.  The
+# Python implementation stays importable as ``PySatSolver`` either way.
+PySatSolver = SatSolver
+NATIVE_ENABLED = False
+
+
+def _load_native_solver():
+    import os
+
+    if os.environ.get("REPRO_SAT_NATIVE", "").strip().lower() in {"0", "false", "off", "no"}:
+        return None
+    try:
+        from ._native import NativeSatSolver
+    except Exception:
+        return None
+    try:
+        if NativeSatSolver.available():
+            return NativeSatSolver
+    except Exception:
+        return None
+    return None
+
+
+_native_cls = _load_native_solver()
+if _native_cls is not None:
+    SatSolver = _native_cls
+    NATIVE_ENABLED = True
+del _native_cls
+
+__all__ += ["PySatSolver", "NATIVE_ENABLED"]

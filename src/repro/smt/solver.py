@@ -183,9 +183,13 @@ class Solver:
     def stats(self) -> dict:
         """Cumulative search statistics (see :meth:`SatSolver.stats`).
 
-        Counters (``conflicts``, ``restarts``, ``learned``, ...) never
+        Counters (``conflicts``, ``restarts``, ``learned``, and the
+        inprocessing pair ``subsumed``/``strengthened``, ...) never
         reset between incremental :meth:`check` calls; diff two
-        snapshots to attribute work to one call.
+        snapshots to attribute work to one call.  The database gauges
+        (``clauses``, ``learnts``) are *current* sizes and may shrink —
+        on ``pop()``, on learned-DB reduction, and when the arena
+        solver's inprocessing pass tightens the permanent clause set.
         """
         return self.sat.stats()
 

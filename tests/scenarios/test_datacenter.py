@@ -51,6 +51,11 @@ class TestRules:
         labels = {c.label: c.expected for c in bundle.checks}
         assert labels["iso g0->g1"] == "violated"
         assert labels["iso g1->g0"] == "violated"
+        # ...and *only* those two iso labels flip: a deny-rule deletion
+        # must not touch any other isolation expectation.
+        flipped = sorted(lbl for lbl, exp in labels.items()
+                         if lbl.startswith("iso") and exp == "violated")
+        assert flipped == ["iso g0->g1", "iso g1->g0"]
         assert_expected(bundle)
 
     def test_label_fix_leaves_larger_sizes_one_directional(self):

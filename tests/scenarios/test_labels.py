@@ -1,0 +1,43 @@
+"""Expected-label construction regressions (fast: no BMC runs).
+
+Scenario builders compute the *expected* verdict of every check from
+the injected misconfiguration; getting a label wrong makes the audit
+report a phantom mismatch (or hide a real one) even when verification
+is perfect.  The slow integration suite re-verifies these labels end to
+end; this module pins the label computation itself so the fast suite
+catches regressions too.
+"""
+
+from repro.scenarios.datacenter import datacenter
+
+
+class TestDatacenterDeletionLabels:
+    def test_two_group_deletion_flips_both_directions(self):
+        """Regression for the PR-3-era quirk: with two groups, deleting
+        the g0->g1 deny rule also breaks the *reverse* iso check — the
+        learning firewall hole-punches the return direction when the
+        uncovered forward packet establishes flow state.  Both labels
+        must say violated, and nothing else may flip."""
+        bundle = datacenter(n_groups=2, delete_rules=1, seed=0)
+        labels = {c.label: c.expected for c in bundle.checks}
+        assert labels["iso g0->g1"] == "violated"
+        assert labels["iso g1->g0"] == "violated"
+        flipped = sorted(label for label, expected in labels.items()
+                         if label.startswith("iso") and expected == "violated")
+        assert flipped == ["iso g0->g1", "iso g1->g0"]
+
+    def test_larger_sizes_stay_one_directional(self):
+        """With more than two groups the reverse pair is never a
+        deletion candidate: exactly one iso label flips per deletion."""
+        for n_groups in (3, 4, 5):
+            bundle = datacenter(n_groups=n_groups, delete_rules=1, seed=0)
+            flipped = [c.label for c in bundle.checks
+                       if c.label.startswith("iso") and c.expected == "violated"]
+            assert len(flipped) == 1, f"n_groups={n_groups}: {flipped}"
+
+    def test_no_deletion_means_no_violated_iso_labels(self):
+        """(The ``CanReach`` check is expected-violated by construction:
+        its violation trace is the reachability witness.)"""
+        bundle = datacenter(n_groups=2, delete_rules=0)
+        assert all(c.expected == "holds" for c in bundle.checks
+                   if c.label.startswith("iso"))

@@ -41,9 +41,9 @@ class TestPolaritySharing:
         shared = Or(And(a, b), And(b, c))
         s1 = Solver()
         s1.add(shared)
-        n1 = len(s1.sat._clauses)
+        n1 = s1.stats()["clauses"]
         s1.add(Or(shared, a))
-        n2 = len(s1.sat._clauses)
+        n2 = s1.stats()["clauses"]
         # Second assertion reuses the encoding: only the new Or adds.
         assert n2 - n1 <= 3
 

@@ -1,0 +1,121 @@
+"""Tests for the C-accelerated SAT core and its Python fallback.
+
+The native core (``satcore.c`` via ``_native.py``) must be a perfect
+behavioural twin of the pure-Python arena solver: same verdicts, same
+models, same failed-assumption cores, same API.  These tests run the
+two implementations side by side; they are skipped when no C compiler
+is available (the package then runs on the Python solver alone).
+"""
+
+import random
+import subprocess
+import sys
+
+import pytest
+
+from repro.smt.sat import SAT, UNSAT, PySatSolver
+
+try:
+    from repro.smt._native import NativeSatSolver
+
+    HAVE_NATIVE = NativeSatSolver.available()
+except Exception:  # pragma: no cover - import failure means no native
+    HAVE_NATIVE = False
+
+needs_native = pytest.mark.skipif(not HAVE_NATIVE, reason="no C compiler")
+
+
+@needs_native
+class TestNativeMatchesPython:
+    def test_random_incremental_sessions_agree(self):
+        rng = random.Random(424242)
+        for _ in range(60):
+            nv = rng.randint(3, 12)
+            py, nat = PySatSolver(), NativeSatSolver()
+            for _ in range(nv):
+                py.new_var()
+                nat.new_var()
+            clauses = []
+            depth = 0
+            scoped = {0: []}
+            for _ in range(rng.randint(5, 30)):
+                op = rng.random()
+                if op < 0.6:
+                    k = rng.randint(1, min(4, nv))
+                    cl = [
+                        rng.choice([1, -1]) * v
+                        for v in rng.sample(range(1, nv + 1), k)
+                    ]
+                    assert py.add_clause(cl) == nat.add_clause(cl)
+                    scoped[depth].append(cl)
+                elif op < 0.7 and depth < 2:
+                    py.push()
+                    nat.push()
+                    depth += 1
+                    scoped[depth] = []
+                elif op < 0.78 and depth > 0:
+                    py.pop()
+                    nat.pop()
+                    scoped[depth] = []
+                    depth -= 1
+                else:
+                    na = rng.randint(0, 3)
+                    assumps = [
+                        rng.choice([1, -1]) * v
+                        for v in rng.sample(range(1, nv + 1), min(na, nv))
+                    ]
+                    r_py = py.solve(assumps)
+                    r_nat = nat.solve(assumps)
+                    assert r_py == r_nat
+                    clauses = [c for d in range(depth + 1) for c in scoped[d]]
+                    if r_nat == SAT:
+                        for cl in clauses:
+                            assert any(
+                                nat.value(abs(q)) is (q > 0) for q in cl
+                            ), f"native model violates {cl}"
+                    elif r_nat == UNSAT and assumps:
+                        assert set(map(abs, nat.core)) <= set(map(abs, assumps))
+
+    def test_core_is_really_unsat(self):
+        py, nat = PySatSolver(), NativeSatSolver()
+        for _ in range(4):
+            py.new_var()
+            nat.new_var()
+        for cl in ([1, 2], [-1, 3], [-2, 3], [4, -3]):
+            py.add_clause(cl)
+            nat.add_clause(cl)
+        assert nat.solve([-3, -4]) == UNSAT
+        assert nat.core and py.solve(nat.core) == UNSAT
+
+    def test_stats_shape_matches(self):
+        py, nat = PySatSolver(), NativeSatSolver()
+        for s in (py, nat):
+            a, b = s.new_var(), s.new_var()
+            s.add_clause([a, b])
+            s.solve()
+        assert set(py.stats()) == set(nat.stats())
+        assert nat.stats()["vars"] == 2
+        assert nat.conflicts >= 0 and nat.propagations >= 0
+
+    def test_native_is_default_when_enabled(self):
+        from repro.smt.sat import NATIVE_ENABLED, SatSolver
+
+        if NATIVE_ENABLED:
+            assert SatSolver is NativeSatSolver
+
+
+class TestFallbackSwitch:
+    def test_env_var_forces_pure_python(self):
+        code = (
+            "import repro.smt.sat as m; "
+            "assert m.SatSolver is m.PySatSolver, m.SatSolver; "
+            "assert not m.NATIVE_ENABLED"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            env={"PYTHONPATH": "src", "REPRO_SAT_NATIVE": "0", "PATH": ""},
+            capture_output=True,
+            text=True,
+            cwd=__file__.rsplit("/tests/", 1)[0],
+        )
+        assert proc.returncode == 0, proc.stderr

@@ -84,7 +84,7 @@ class TestAuditJson:
         payload = json.loads(capsys.readouterr().out)
         assert rc == 0
         counters = ("conflicts", "decisions", "propagations",
-                    "restarts", "learned")
+                    "restarts", "learned", "subsumed", "strengthened")
         totals = payload["solver_totals"]
         recomputed = {key: 0 for key in counters}
         for check in payload["checks"]:
