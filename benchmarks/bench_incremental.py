@@ -26,6 +26,11 @@ import json
 import os
 import sys
 
+try:
+    from helpers import attach_trace, bench_observe
+except ImportError:  # pragma: no cover - package-relative fallback
+    from .helpers import attach_trace, bench_observe
+
 from repro.incremental import IncrementalSession
 from repro.scenarios import enterprise, enterprise_firewall_churn
 
@@ -99,10 +104,15 @@ def main(argv=None) -> int:
                         help="worker processes for invalidated checks")
     parser.add_argument("--output", default="BENCH_incremental.json",
                         help="where to write the JSON report")
+    parser.add_argument("--trace", default=None, metavar="OUT.json",
+                        help="write the full span trace / run record here")
     args = parser.parse_args(argv)
 
-    payload = run(args.size, args.hosts_per_subnet, args.deltas, args.seed,
-                  args.jobs)
+    with bench_observe("incremental", size=args.size,
+                       deltas=args.deltas) as (tracer, registry):
+        payload = run(args.size, args.hosts_per_subnet, args.deltas,
+                      args.seed, args.jobs)
+        attach_trace(payload, tracer, registry, path=args.trace)
 
     with open(args.output, "w") as fh:
         json.dump(payload, fh, indent=2)

@@ -1,0 +1,149 @@
+"""Observability overhead gate: tracing must be (nearly) free when off.
+
+Two budgets, gated as CI booleans (keys ending in ``_valid`` so
+``compare_bench.py`` fails any true→false transition against the
+committed baseline):
+
+* **disabled ≤ 2%** — every instrumentation site pays one module-global
+  read plus a no-op context manager when observability is off.  A
+  direct A/B of sub-second audits cannot resolve 2% through scheduler
+  noise, so the gate is computed, not raced: microbenchmark the
+  disabled site cost, count the sites an instrumented run actually
+  hits (spans + instants recorded by an enabled run), and bound the
+  overhead as ``site_hits × per_site_cost / workload_seconds``.
+* **enabled ≤ 10%** — recording real spans must stay cheap enough to
+  leave on in CI.  Measured as a best-of-N A/B over the enterprise
+  audit workload (best-of filters scheduler noise; both sides get the
+  same treatment).
+
+Usage::
+
+    python benchmarks/bench_obs_overhead.py --output BENCH_obs_overhead.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro import obs
+from repro.core.engine import execute_jobs
+from repro.scenarios import enterprise
+
+DISABLED_BUDGET = 0.02
+ENABLED_BUDGET = 0.10
+
+
+def run_workload(size: int) -> None:
+    """One enterprise audit, built from scratch (no cross-run caches)."""
+    bundle = enterprise(n_subnets=size)
+    vmn = bundle.vmn()
+    jobs = [
+        vmn.job_for(check.invariant, index=i)
+        for i, check in enumerate(bundle.checks)
+    ]
+    execute_jobs(jobs, cache=vmn.result_cache, solver_pool=vmn.solver_pool)
+
+
+def best_of(n: int, fn) -> float:
+    best = float("inf")
+    for _ in range(n):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def site_cost_seconds(iterations: int = 200_000) -> float:
+    """Per-call cost of one *disabled* instrumentation site: the
+    global read, the no-op span handle, and the with-block."""
+    assert not obs.enabled()
+    started = time.perf_counter()
+    for _ in range(iterations):
+        with obs.get_tracer().span("site", cat="bench", depth=3) as s:
+            s.tag(result="sat")
+    return (time.perf_counter() - started) / iterations
+
+
+def count_site_hits(size: int) -> int:
+    """How many instrumentation sites one workload run actually
+    executes — every span and instant an enabled run records, plus the
+    registry touches (bounded by the same span count)."""
+    with obs.observe() as (tracer, registry):
+        run_workload(size)
+        # Each counter/histogram series write is one site; the span
+        # count dominates, but count both to keep the bound honest.
+        n_metric_writes = len(registry.snapshot())
+    return len(tracer.records()) + n_metric_writes
+
+
+def run(size: int, rounds: int) -> dict:
+    obs.disable()
+    disabled_seconds = best_of(rounds, lambda: run_workload(size))
+
+    def enabled_run():
+        with obs.observe():
+            run_workload(size)
+
+    enabled_seconds = best_of(rounds, enabled_run)
+
+    per_site = site_cost_seconds()
+    site_hits = count_site_hits(size)
+    disabled_overhead = per_site * site_hits / disabled_seconds
+    enabled_overhead = enabled_seconds / disabled_seconds - 1
+
+    return {
+        "benchmark": "obs_overhead",
+        "workload": f"enterprise(n_subnets={size}) audit",
+        "rounds": rounds,
+        "workload_seconds": round(disabled_seconds, 4),
+        "enabled_workload_seconds": round(enabled_seconds, 4),
+        "site_hits": site_hits,
+        "per_site_nanos": round(per_site * 1e9, 1),
+        "disabled_overhead_fraction": round(disabled_overhead, 5),
+        "enabled_overhead_fraction": round(max(enabled_overhead, 0.0), 4),
+        "budgets": {
+            "disabled": DISABLED_BUDGET,
+            "enabled": ENABLED_BUDGET,
+        },
+        "disabled_overhead_valid": disabled_overhead <= DISABLED_BUDGET,
+        "enabled_overhead_valid": enabled_overhead <= ENABLED_BUDGET,
+        "all_valid": (
+            disabled_overhead <= DISABLED_BUDGET
+            and enabled_overhead <= ENABLED_BUDGET
+        ),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--size", type=int, default=3,
+                        help="enterprise subnets (default: 3)")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="A/B repetitions, best-of (default: 3)")
+    parser.add_argument("--output", default=None,
+                        help="write the JSON report here")
+    args = parser.parse_args(argv)
+
+    report = run(args.size, args.rounds)
+
+    payload = json.dumps(report, indent=2)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(payload + "\n")
+    print(payload)
+    print(
+        f"disabled overhead {report['disabled_overhead_fraction'] * 100:.3f}% "
+        f"(budget {DISABLED_BUDGET * 100:.0f}%), enabled "
+        f"{report['enabled_overhead_fraction'] * 100:.1f}% "
+        f"(budget {ENABLED_BUDGET * 100:.0f}%): "
+        f"{'ok' if report['all_valid'] else 'OVER BUDGET'}",
+        file=sys.stderr,
+    )
+    return 0 if report["all_valid"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

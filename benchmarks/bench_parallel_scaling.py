@@ -31,9 +31,9 @@ from repro.scenarios import enterprise
 
 if __package__ in (None, ""):  # running as a script
     sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
-    from helpers import timed_verify_all
+    from helpers import attach_trace, bench_observe, timed_verify_all
 else:
-    from .helpers import timed_verify_all
+    from .helpers import attach_trace, bench_observe, timed_verify_all
 
 
 def run(n_subnets: int, hosts_per_subnet: int, job_counts) -> dict:
@@ -90,10 +90,15 @@ def main(argv=None) -> int:
                         help="comma-separated worker counts (default: 2,4)")
     parser.add_argument("--output", default="BENCH_parallel_scaling.json",
                         help="where to write the JSON report")
+    parser.add_argument("--trace", default=None, metavar="OUT.json",
+                        help="write the full span trace / run record here")
     args = parser.parse_args(argv)
 
     job_counts = [int(j) for j in args.jobs.split(",") if j.strip()]
-    payload = run(args.size, args.hosts_per_subnet, job_counts)
+    with bench_observe("parallel_scaling",
+                       size=args.size) as (tracer, registry):
+        payload = run(args.size, args.hosts_per_subnet, job_counts)
+        attach_trace(payload, tracer, registry, path=args.trace)
 
     with open(args.output, "w") as fh:
         json.dump(payload, fh, indent=2)

@@ -19,7 +19,11 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
+
+try:
+    from helpers import attach_trace, bench_observe, timed_span
+except ImportError:  # pragma: no cover - package-relative fallback
+    from .helpers import attach_trace, bench_observe, timed_span
 
 from repro.core.engine import resolve_bmc_params
 from repro.netmodel.bmc import SolverPool, check
@@ -50,15 +54,16 @@ def run_scenario(name: str, size: int, max_checks, verbose: bool) -> dict:
             for key in ("n_packets", "failure_budget", "n_ports", "n_tags")
         }
 
-        started = time.perf_counter()
-        bmc = check(net, item.invariant, **kwargs)
-        bmc_seconds = time.perf_counter() - started
+        with timed_span("bmc-side", scenario=name, check=item.label) as t:
+            bmc = check(net, item.invariant, **kwargs)
+        bmc_seconds = t.seconds
 
-        started = time.perf_counter()
-        proof = prove_portfolio(
-            net, item.invariant, warm=pool, max_checks=max_checks, **kwargs
-        )
-        proof_seconds = time.perf_counter() - started
+        with timed_span("portfolio-side", scenario=name,
+                        check=item.label) as t:
+            proof = prove_portfolio(
+                net, item.invariant, warm=pool, max_checks=max_checks, **kwargs
+            )
+        proof_seconds = t.seconds
 
         same = bmc.status == proof.status == item.expected
         identical = identical and same
@@ -114,28 +119,33 @@ def main(argv=None) -> int:
                              "(default: run every proof to completion)")
     parser.add_argument("--output", default=None,
                         help="write the JSON report here")
+    parser.add_argument("--trace", default=None, metavar="OUT.json",
+                        help="write the full span trace / run record here")
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
 
     report = {"benchmark": "proof_portfolio", "scenarios": {}}
     ok = True
-    for name in args.scenarios.split(","):
-        name = name.strip()
-        if name not in SCENARIOS:
-            print(f"unknown scenario {name!r}")
-            return 2
-        if not args.quiet:
-            print(f"{name} (size {args.size}):")
-        result = run_scenario(name, args.size, args.max_checks,
-                              verbose=not args.quiet)
-        report["scenarios"][name] = result
-        ok = ok and result["verdicts_identical"]
-        if not args.quiet:
-            print(f"  -> {result['holds_upgraded']} holds upgraded to "
-                  f"unbounded, {result['holds_bounded']} left bounded; "
-                  f"bmc {result['bmc_seconds']}s vs portfolio "
-                  f"{result['portfolio_seconds']}s")
-    report["verdicts_identical"] = ok
+    with bench_observe("proof_portfolio", size=args.size) as (tracer, registry):
+        for name in args.scenarios.split(","):
+            name = name.strip()
+            if name not in SCENARIOS:
+                print(f"unknown scenario {name!r}")
+                return 2
+            if not args.quiet:
+                print(f"{name} (size {args.size}):")
+            with tracer.span("scenario", cat="bench", scenario=name):
+                result = run_scenario(name, args.size, args.max_checks,
+                                      verbose=not args.quiet)
+            report["scenarios"][name] = result
+            ok = ok and result["verdicts_identical"]
+            if not args.quiet:
+                print(f"  -> {result['holds_upgraded']} holds upgraded to "
+                      f"unbounded, {result['holds_bounded']} left bounded; "
+                      f"bmc {result['bmc_seconds']}s vs portfolio "
+                      f"{result['portfolio_seconds']}s")
+        report["verdicts_identical"] = ok
+        attach_trace(report, tracer, registry, path=args.trace)
 
     payload = json.dumps(report, indent=2)
     if args.output:

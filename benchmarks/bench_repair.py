@@ -31,6 +31,11 @@ import json
 import os
 import sys
 
+try:
+    from helpers import attach_trace, bench_observe, timed_span
+except ImportError:  # pragma: no cover - package-relative fallback
+    from .helpers import attach_trace, bench_observe, timed_span
+
 from repro.incremental import IncrementalSession
 from repro.scenarios import build_fault
 
@@ -40,7 +45,9 @@ def run_one(scenario: str, fault_name, size, seed: int, cold: bool) -> dict:
     session = IncrementalSession.from_bundle(
         fault.bundle, bmc_kwargs={"canonical_trace": True}
     )
-    result = session.repair(cold=cold)
+    with timed_span("repair-side", scenario=scenario,
+                    side="cold" if cold else "warm"):
+        result = session.repair(cold=cold)
     full = session.audit_from_scratch()
     return {
         "fault": fault.name,
@@ -104,9 +111,14 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--output", default="BENCH_repair.json",
                         help="where to write the JSON report")
+    parser.add_argument("--trace", default=None, metavar="OUT.json",
+                        help="write the full span trace / run record here")
     args = parser.parse_args(argv)
 
-    payload = run(args.scenario, args.fault, args.size, args.seed)
+    with bench_observe("repair", scenario=args.scenario,
+                       size=args.size) as (tracer, registry):
+        payload = run(args.scenario, args.fault, args.size, args.seed)
+        attach_trace(payload, tracer, registry, path=args.trace)
 
     with open(args.output, "w") as fh:
         json.dump(payload, fh, indent=2)

@@ -9,6 +9,8 @@
     python -m repro prove isp --size 3 --json
     python -m repro watch enterprise --deltas 10
     python -m repro audit enterprise --json > verdicts.json
+    python -m repro audit enterprise --trace run.json --metrics
+    python -m repro stats run.json --top 15
 
 ``audit`` builds the scenario (optionally with its §5.1/§5.2
 misconfiguration injected), verifies every invariant in its check list,
@@ -30,6 +32,14 @@ verdicts the warm cache answered, and how many solver runs were left.
 Both commands take ``--json`` to emit machine-readable verdicts and
 timings on stdout (CI and the benchmarks consume this instead of
 parsing text).
+
+Every verification command also takes ``--trace OUT.json`` (record a
+hierarchical span trace — the file loads directly in
+``chrome://tracing``/Perfetto and doubles as the stable run record) and
+``--metrics [OUT.prom]`` (dump the Prometheus-style metrics text; to
+stderr when no path is given, so ``--json`` stdout stays clean).
+``repro stats OUT.json`` renders the exclusive-time cost breakdown of
+a recorded trace.
 """
 
 from __future__ import annotations
@@ -39,8 +49,10 @@ import json
 import random
 import sys
 import time
+from contextlib import contextmanager
 from typing import Callable, Dict, Optional
 
+from . import obs
 from .core.engine import default_workers, execute_jobs
 from .incremental import IncrementalSession
 from .netmodel.bmc import SOLVER_COUNTERS
@@ -120,6 +132,63 @@ _DEFAULT_SIZES = {
     "multitenant": 2,
     "isp": 3,
 }
+
+
+def _add_obs_flags(parser) -> None:
+    """``--trace`` / ``--metrics`` on every verification subcommand."""
+    parser.add_argument("--trace", default=None, metavar="OUT.json",
+                        help="record a span trace + run record to OUT.json "
+                             "(Chrome-trace compatible; see `repro stats`)")
+    parser.add_argument("--metrics", nargs="?", const="-", default=None,
+                        metavar="OUT.prom",
+                        help="dump Prometheus-style metrics text (to stderr "
+                             "when no path is given, keeping --json stdout "
+                             "clean)")
+
+
+@contextmanager
+def _observability(args):
+    """Enable tracing/metrics around one CLI command when ``--trace`` or
+    ``--metrics`` was given; write the outputs on exit.
+
+    The root span is named after the command and opened *before* the
+    scenario is built, so the recorded tree attributes (nearly) all of
+    the command's wall time — ``repro stats`` reports the coverage.
+    """
+    trace_out = getattr(args, "trace", None)
+    metrics_out = getattr(args, "metrics", None)
+    if trace_out is None and metrics_out is None:
+        yield
+        return
+    meta = {"command": args.command, "scenario": getattr(args, "scenario", None),
+            "seed": getattr(args, "seed", None)}
+    started = time.perf_counter()
+    with obs.observe(meta=dict(meta)) as (tracer, registry):
+        try:
+            with tracer.span(args.command, cat="cli",
+                             scenario=meta["scenario"]):
+                yield
+        finally:
+            meta["wall_seconds"] = round(time.perf_counter() - started, 6)
+            if trace_out is not None:
+                obs.write_run_record(trace_out, tracer, registry, meta=meta)
+            if metrics_out is not None:
+                text = registry.to_prometheus()
+                if metrics_out == "-":
+                    sys.stderr.write(text)
+                else:
+                    with open(metrics_out, "w", encoding="utf-8") as fh:
+                        fh.write(text)
+
+
+def _cmd_stats(args) -> int:
+    try:
+        payload = obs.load_trace(args.trace)
+    except (OSError, ValueError) as err:
+        print(f"cannot load trace {args.trace!r}: {err}")
+        return 2
+    print(obs.render_stats(payload, top=args.top, by=args.by))
+    return 0
 
 
 def _cmd_list(_args) -> int:
@@ -321,6 +390,8 @@ def _report_row(report) -> dict:
         "carried": report.carried,
         "cache_hits": report.cache_hits,
         "solver_runs": report.solver_runs,
+        "certificates_reused": report.certificates_reused,
+        "metrics": report.metrics,
         "retired": [c.describe() for c in report.retired],
         "added": report.added,
         "seconds": round(report.seconds, 3),
@@ -371,6 +442,7 @@ def _cmd_watch(args) -> int:
         "checks_carried": sum(r.carried for r in churn),
         "cache_hits": sum(r.cache_hits for r in churn),
         "solver_runs": sum(r.solver_runs for r in churn),
+        "certificates_reused": sum(r.certificates_reused for r in churn),
         "seconds": round(sum(r.seconds for r in churn), 3),
         "full_audit_equivalent_checks": sum(len(r) for r in churn),
     }
@@ -406,6 +478,9 @@ _UNSTABLE_KEYS = frozenset({
     "seconds", "solve_seconds", "elapsed_seconds", "encode_seconds",
     "timing",
     "summary", "minimized", "solver_checks", "engine",
+    # Per-delta registry deltas include timing histograms and solver
+    # effort counters — faithful, but not byte-stable across runs.
+    "metrics",
 })
 
 
@@ -534,6 +609,7 @@ def main(argv=None) -> int:
                        help="print counterexample schedules")
     audit.add_argument("--json", action="store_true",
                        help="emit structured verdicts/timings as JSON")
+    _add_obs_flags(audit)
 
     prove = sub.add_parser(
         "prove",
@@ -565,6 +641,7 @@ def main(argv=None) -> int:
                        help="print counterexample schedules")
     prove.add_argument("--json", action="store_true",
                        help="emit structured verdicts/guarantees as JSON")
+    _add_obs_flags(prove)
 
     repair = sub.add_parser(
         "repair",
@@ -603,6 +680,7 @@ def main(argv=None) -> int:
     repair.add_argument("--stable-json", action="store_true",
                         help="like --json but without wall-clock fields: "
                              "byte-reproducible for a fixed --seed")
+    _add_obs_flags(repair)
 
     watch = sub.add_parser(
         "watch",
@@ -625,19 +703,35 @@ def main(argv=None) -> int:
     watch.add_argument("--stable-json", action="store_true",
                        help="like --json but without wall-clock fields: "
                             "byte-reproducible for a fixed --seed")
+    _add_obs_flags(watch)
+
+    stats = sub.add_parser(
+        "stats",
+        help="cost breakdown of a recorded trace (top spans by "
+             "exclusive time)",
+    )
+    stats.add_argument("trace", help="trace file written by --trace")
+    stats.add_argument("--top", type=int, default=20, metavar="K",
+                       help="rows to show (default: 20)")
+    stats.add_argument("--by", default="name", metavar="KEY",
+                       help="aggregation key: name, cat, or tag:<key> "
+                            "(default: name)")
 
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
     if args.jobs < 0:
         parser.error("--jobs must be >= 0")
-    if args.command == "repair":
-        return _cmd_repair(args)
-    if args.command == "watch":
-        return _cmd_watch(args)
-    if args.command == "prove":
-        return _cmd_audit(args, prove="portfolio")
-    return _cmd_audit(args)
+    with _observability(args):
+        if args.command == "repair":
+            return _cmd_repair(args)
+        if args.command == "watch":
+            return _cmd_watch(args)
+        if args.command == "prove":
+            return _cmd_audit(args, prove="portfolio")
+        return _cmd_audit(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

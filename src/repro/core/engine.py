@@ -51,6 +51,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..netmodel.bmc import CheckResult, SolverPool, check, default_depth, encoding_key
 from ..netmodel.canon import Unfingerprintable
 from ..netmodel.canon import canon as _canon
@@ -247,9 +248,39 @@ class VerificationJob:
         )
 
 
-def _execute_job(job: VerificationJob) -> Tuple[int, CheckResult]:
-    """Pool worker entry point (top-level so it pickles under spawn)."""
-    return job.index, job.run()
+def _execute_job(job: VerificationJob) -> Tuple[int, CheckResult, Optional[dict]]:
+    """Pool worker entry point (top-level so it pickles under spawn).
+
+    Under ``fork`` the worker inherits the parent's *enabled* tracer,
+    but spans recorded into that inherited copy would die with the
+    process — so an observed worker builds a fresh tracer/registry
+    pair, runs the job under them, and ships the picklable span
+    records and metric series back for the parent to merge
+    (:meth:`repro.obs.Tracer.adopt` in job-index order, so the merged
+    trace is deterministic regardless of pool scheduling).  Under
+    ``spawn`` the worker starts with observability disabled and ships
+    nothing.
+    """
+    if not obs.enabled():
+        return job.index, job.run(), None
+    tracer = obs.Tracer(meta={"job": job.index})
+    registry = obs.MetricsRegistry()
+    with obs.observe(tracer=tracer, registry=registry):
+        with tracer.span(
+            "job",
+            cat="engine",
+            job=job.index,
+            invariant=type(job.invariant).__name__,
+            slice_size=job.slice_size,
+        ):
+            result = job.run()
+    ship = {
+        "records": tracer.records(),
+        "wall_epoch": tracer.wall_epoch,
+        "metrics": registry.dump(),
+        "pid": tracer.pid,
+    }
+    return job.index, result, ship
 
 
 def _rebind(result: CheckResult, job: VerificationJob, cached: bool) -> CheckResult:
@@ -297,32 +328,76 @@ def execute_jobs(
     leaders: Dict[str, int] = {}  # fingerprint -> index of the job that runs
     followers: List[Tuple[VerificationJob, int]] = []
 
-    for job in jobs:
-        fp = job.fingerprint
-        if fp is not None:
-            hit = cache.get(fp) if cache is not None else None
-            if hit is not None:
-                results[job.index] = _rebind(hit, job, cached=True)
-                continue
-            leader = leaders.get(fp)
-            if leader is not None:
-                followers.append((job, leader))
-                if cache is not None:
-                    cache.hits += 1  # same-batch reuse is a cache hit too
-                continue
-            leaders[fp] = job.index
-        to_run.append(job)
+    tracer = obs.get_tracer()
+    registry = obs.get_registry()
+    with tracer.span(
+        "execute-jobs", cat="engine", jobs=len(jobs), workers=workers
+    ) as batch_span:
+        for job in jobs:
+            fp = job.fingerprint
+            if fp is not None:
+                hit = cache.get(fp) if cache is not None else None
+                if hit is not None:
+                    results[job.index] = _rebind(hit, job, cached=True)
+                    continue
+                leader = leaders.get(fp)
+                if leader is not None:
+                    followers.append((job, leader))
+                    if cache is not None:
+                        cache.hits += 1  # same-batch reuse is a cache hit too
+                    continue
+                leaders[fp] = job.index
+            to_run.append(job)
 
-    if len(to_run) > 1 and workers > 1:
-        ctx = _pool_context()
-        with ctx.Pool(processes=min(workers, len(to_run))) as pool:
-            for index, result in pool.imap_unordered(_execute_job, to_run):
-                results[index] = result
-            pool.close()
-            pool.join()
-    else:
-        for job in to_run:
-            results[job.index] = job.run(solver_pool)
+        cached_hits = len(jobs) - len(to_run)
+        if cached_hits:
+            registry.counter(
+                "repro_engine_cache_hits_total",
+                "verification jobs answered from the result cache",
+            ).inc(cached_hits)
+        if to_run:
+            registry.counter(
+                "repro_engine_jobs_total", "verification jobs dispatched"
+            ).inc(len(to_run))
+
+        ships: Dict[int, dict] = {}
+        if len(to_run) > 1 and workers > 1:
+            ctx = _pool_context()
+            with ctx.Pool(processes=min(workers, len(to_run))) as pool:
+                for index, result, ship in pool.imap_unordered(
+                    _execute_job, to_run
+                ):
+                    results[index] = result
+                    if ship is not None:
+                        ships[index] = ship
+                pool.close()
+                pool.join()
+            # Merge worker telemetry in job-index order — a
+            # deterministic id remapping no matter how the pool
+            # scheduled the jobs.
+            for job in to_run:
+                ship = ships.get(job.index)
+                if ship is None:
+                    continue
+                tracer.adopt(
+                    ship["records"],
+                    wall_epoch=ship["wall_epoch"],
+                    parent=getattr(batch_span, "id", None),
+                    tid=ship["pid"],
+                )
+                registry.merge(ship["metrics"])
+        else:
+            for job in to_run:
+                with tracer.span(
+                    "job",
+                    cat="engine",
+                    job=job.index,
+                    invariant=type(job.invariant).__name__,
+                    slice_size=job.slice_size,
+                ):
+                    results[job.index] = job.run(solver_pool)
+
+        batch_span.tag(cache_hits=cached_hits, ran=len(to_run))
 
     for job in to_run:
         # Reattach the caller's invariant object (pool results carry an

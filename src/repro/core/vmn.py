@@ -34,6 +34,7 @@ from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
 
 from ..netmodel.bmc import CheckResult
 from ..netmodel.system import VerificationNetwork
+from ..obs import get_registry, get_tracer
 from ..network.failures import NO_FAILURE, FailureScenario
 from ..network.forwarding import ForwardingState, shortest_path_tables
 from ..network.topology import Topology
@@ -191,15 +192,19 @@ class VMN:
         cached = self._slice_cache.get(key)
         if cached is None:
             try:
-                cached = build_slice(
-                    self.topology,
-                    self.rules,
-                    self.steering,
-                    self.policy_classes,
-                    invariant,
-                    self.scenario,
-                    allow_spoofing=self.allow_spoofing,
-                )
+                with get_tracer().span(
+                    "slice", cat="audit", mentions=len(key)
+                ) as span:
+                    cached = build_slice(
+                        self.topology,
+                        self.rules,
+                        self.steering,
+                        self.policy_classes,
+                        invariant,
+                        self.scenario,
+                        allow_spoofing=self.allow_spoofing,
+                    )
+                    span.tag(size=cached.size)
             except SliceClosureError as err:
                 cached = err
             self._slice_cache[key] = cached
@@ -305,30 +310,35 @@ class VMN:
         """
         started = time.perf_counter()
         report = Report()
-        if self.use_symmetry:
-            groups = group_invariants(invariants, self.policy_classes)
-        else:
-            groups = [
-                g
-                for inv in invariants
-                for g in group_invariants([inv], self.policy_classes)
+        with get_tracer().span(
+            "verify-all", cat="audit", invariants=len(invariants)
+        ) as span:
+            if self.use_symmetry:
+                groups = group_invariants(invariants, self.policy_classes)
+            else:
+                groups = [
+                    g
+                    for inv in invariants
+                    for g in group_invariants([inv], self.policy_classes)
+                ]
+            if cache is None:
+                cache = self.result_cache
+            job_list = [
+                self.job_for(
+                    group.representative,
+                    index=i,
+                    with_fingerprint=cache is not None,
+                    prove=prove,
+                    **bmc_kwargs,
+                )
+                for i, group in enumerate(groups)
             ]
-        if cache is None:
-            cache = self.result_cache
-        job_list = [
-            self.job_for(
-                group.representative,
-                index=i,
-                with_fingerprint=cache is not None,
-                prove=prove,
-                **bmc_kwargs,
+            results = execute_jobs(
+                job_list, workers=jobs or 1, cache=cache,
+                solver_pool=self.solver_pool,
             )
-            for i, group in enumerate(groups)
-        ]
-        results = execute_jobs(
-            job_list, workers=jobs or 1, cache=cache,
-            solver_pool=self.solver_pool,
-        )
+            span.tag(groups=len(groups))
+        registry = get_registry()
         for group, job, result in zip(groups, job_list, results):
             report.groups_verified += 1
             for i, inv in enumerate(group.invariants):
@@ -341,6 +351,11 @@ class VMN:
                         via_cache=bool(result.stats.get("cache_hit")),
                     )
                 )
+                if i > 0:
+                    registry.counter(
+                        "repro_symmetry_inherited_total",
+                        "verdicts inherited from a symmetry representative",
+                    ).inc()
         report.total_seconds = time.perf_counter() - started
         return report
 

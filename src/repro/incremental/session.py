@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.engine import ResultCache, SolverPool, execute_jobs, resolve_bmc_params
+from ..obs import get_registry, get_tracer
 from ..core.slicing import SliceClosureError
 from ..core.vmn import VMN
 from ..netmodel.bmc import HOLDS, CheckResult
@@ -101,6 +102,10 @@ class DeltaReport:
     retired: List[TrackedCheck] = field(default_factory=list)
     added: int = 0
     seconds: float = 0.0
+    #: Per-delta registry attribution — the delta of every ``repro_*``
+    #: metric series over this version's re-verification (empty when
+    #: observability is disabled).  ``repro watch --metrics`` prints it.
+    metrics: Dict[str, float] = field(default_factory=dict)
 
     def __iter__(self):
         return iter(self.outcomes)
@@ -150,6 +155,7 @@ class DeltaReport:
             f"v{self.version} [{what}]: {len(self.outcomes)} checks — "
             f"{self.carried} carried, {self.cache_hits} cache hits, "
             f"{self.solver_runs} solver runs"
+            f"{f', {self.certificates_reused} certs reused' if self.certificates_reused else ''}"
             f"{f', {len(self.retired)} retired' if self.retired else ''}"
             f" ({self.seconds:.2f}s)"
         )
@@ -319,11 +325,15 @@ class IncrementalSession:
         started = time.perf_counter()
         net, _ = self.vmn.network_for(invariant)
         params = resolve_bmc_params(net, invariant, {})
-        report = recheck_certificate(
-            net, invariant, cert,
-            {k: params[k] for k in
-             ("n_packets", "failure_budget", "n_ports", "n_tags")},
-        )
+        with get_tracer().span(
+            "certificate-reuse", cat="incremental", check=key
+        ) as span:
+            report = recheck_certificate(
+                net, invariant, cert,
+                {k: params[k] for k in
+                 ("n_packets", "failure_budget", "n_ports", "n_tags")},
+            )
+            span.tag(ok=report.ok)
         if not report.ok:
             self._certificates.pop(key, None)
             return None
@@ -365,14 +375,45 @@ class IncrementalSession:
         self.reports.append(report)
         return report
 
+    def _publish(self, report: DeltaReport) -> None:
+        """Fold one report's cost split into the metrics registry —
+        the series ``repro watch --metrics`` and a future ``repro
+        serve`` ``/metrics`` endpoint read."""
+        registry = get_registry()
+        if not registry.enabled:
+            return
+        counts = {
+            "carried": report.carried,
+            "invalidated": report.invalidated,
+            "cache_hits": report.cache_hits,
+            "solver_runs": report.solver_runs,
+            "certificates_reused": report.certificates_reused,
+        }
+        for name, n in counts.items():
+            if n:
+                registry.counter(
+                    f"repro_session_{name}_total",
+                    f"incremental session: {name.replace('_', ' ')} "
+                    "summed across deltas",
+                ).inc(n)
+        registry.gauge(
+            "repro_session_version", "current session version"
+        ).set(self.version)
+
     def baseline(self) -> DeltaReport:
         """Version 0: verify every tracked check from scratch (this is
         the one unavoidable full audit; it also warms the cache)."""
         started = time.perf_counter()
+        registry = get_registry()
+        before = registry.snapshot()
         keys = sorted(self._checks)
-        self._verify_keys(keys)
-        return self._report(None, keys, [], len(keys),
-                            time.perf_counter() - started)
+        with get_tracer().span("baseline", cat="incremental", checks=len(keys)):
+            self._verify_keys(keys)
+        report = self._report(None, keys, [], len(keys),
+                              time.perf_counter() - started)
+        self._publish(report)
+        report.metrics = registry.delta_since(before)
+        return report
 
     # ------------------------------------------------------------------
     # The delta loop
@@ -391,6 +432,27 @@ class IncrementalSession:
     def _apply(self, delta: NetworkDelta,
                new_checks: Sequence[Tuple[object, str, Optional[str]]],
                record: bool) -> DeltaReport:
+        registry = get_registry()
+        before = registry.snapshot()
+        with get_tracer().span(
+            "apply-delta", cat="incremental",
+            delta=delta.describe(), version=self.version + 1,
+        ) as span:
+            report = self._apply_impl(delta, new_checks, record)
+            span.tag(
+                carried=report.carried,
+                invalidated=report.invalidated,
+                cache_hits=report.cache_hits,
+                solver_runs=report.solver_runs,
+                certificates_reused=report.certificates_reused,
+            )
+        self._publish(report)
+        report.metrics = registry.delta_since(before)
+        return report
+
+    def _apply_impl(self, delta: NetworkDelta,
+                    new_checks: Sequence[Tuple[object, str, Optional[str]]],
+                    record: bool) -> DeltaReport:
         started = time.perf_counter()
         old_vmn = self.vmn
         # Snapshot before the in-place mutation: both VMNs alias the

@@ -47,6 +47,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
+from ..obs import SOLVER_COUNTER_KEYS, get_registry, get_tracer, solver_counter_snapshot
 from ..smt import SAT, UNSAT, EnumConst, Eq, Solver, Term
 from .canon import Unfingerprintable, canon
 from .events import EventKind
@@ -119,16 +120,12 @@ def default_depth(net: VerificationNetwork, n_packets: int, failure_budget: int)
 # ----------------------------------------------------------------------
 #: The solver's cumulative work counters, as reported by
 #: :meth:`repro.smt.Solver.stats`; per-check stats carry their deltas
-#: and ``repro audit --json`` totals them.
-SOLVER_COUNTERS = (
-    "conflicts",
-    "decisions",
-    "propagations",
-    "restarts",
-    "learned",
-    "subsumed",
-    "strengthened",
-)
+#: and ``repro audit --json`` totals them.  The canonical definition
+#: lives in :data:`repro.obs.SOLVER_COUNTER_KEYS` (one source of truth
+#: for every layer that diffs snapshots — re-exported here for the
+#: historical import path); a contract test keeps it in sync with
+#: ``SatSolver.stats()``.
+SOLVER_COUNTERS = SOLVER_COUNTER_KEYS
 _COUNTER_KEYS = SOLVER_COUNTERS
 
 
@@ -156,19 +153,22 @@ class IncrementalBMC:
     ):
         started = time.perf_counter()
         self.net = net
-        self.model = NetworkSMTModel(
-            net,
-            n_packets=n_packets,
-            depth=depth,
-            failure_budget=failure_budget,
-            n_ports=n_ports,
-            n_tags=n_tags,
-        )
-        self.solver = Solver()
-        self.asserted_depth = 0
-        self.checks = 0
-        for axiom in self.model.base_axioms():
-            self.solver.add(axiom)
+        with get_tracer().span(
+            "encode", cat="bmc", depth=depth, n_packets=n_packets
+        ):
+            self.model = NetworkSMTModel(
+                net,
+                n_packets=n_packets,
+                depth=depth,
+                failure_budget=failure_budget,
+                n_ports=n_ports,
+                n_tags=n_tags,
+            )
+            self.solver = Solver()
+            self.asserted_depth = 0
+            self.checks = 0
+            for axiom in self.model.base_axioms():
+                self.solver.add(axiom)
         self.encode_seconds = time.perf_counter() - started
 
     @property
@@ -183,8 +183,7 @@ class IncrementalBMC:
         which predates the inprocessing counters) still satisfies the
         schema.
         """
-        stats = self.solver.stats()
-        return {k: stats.get(k, 0) for k in _COUNTER_KEYS}
+        return solver_counter_snapshot(self.solver.stats())
 
     def extend_to(self, k: int) -> None:
         """Assert the transition relation up to step ``k`` (exclusive
@@ -193,9 +192,12 @@ class IncrementalBMC:
         if k <= self.asserted_depth:
             return
         started = time.perf_counter()
-        for t in range(self.asserted_depth, k):
-            for axiom in self.model.step_axioms(t):
-                self.solver.add(axiom)
+        with get_tracer().span(
+            "extend", cat="bmc", from_depth=self.asserted_depth, to_depth=k
+        ):
+            for t in range(self.asserted_depth, k):
+                for axiom in self.model.step_axioms(t):
+                    self.solver.add(axiom)
         self.asserted_depth = k
         self.encode_seconds += time.perf_counter() - started
 
@@ -218,10 +220,13 @@ class IncrementalBMC:
             raise ValueError(f"depth {k} outside [0, {self.model.depth}]")
         self.extend_to(k)
         self.checks += 1
-        return self.solver.check(
-            assumptions=self.assumptions_at(invariant, k),
-            max_conflicts=max_conflicts,
-        )
+        with get_tracer().span("check-at", cat="bmc", depth=k) as span:
+            result = self.solver.check(
+                assumptions=self.assumptions_at(invariant, k),
+                max_conflicts=max_conflicts,
+            )
+            span.tag(result=result)
+        return result
 
     def decode(self) -> Trace:
         """The counterexample of the last ``sat`` answer."""
@@ -414,48 +419,59 @@ def check(
             n_tags=n_tags,
         )
 
-    driver, was_warm = None, False
-    if warm is not None:
-        key = warm_key
-        if key is None:
-            key = encoding_key(
-                net,
-                {
-                    "n_packets": n_packets,
-                    "failure_budget": failure_budget,
-                    "n_ports": n_ports,
-                    "n_tags": n_tags,
-                },
-            )
-        if key is not None:
-            driver, was_warm = warm.lease(key, depth, build)
-    if driver is None:
-        driver = build()
+    with get_tracer().span(
+        "check",
+        cat="bmc",
+        invariant=type(invariant).__name__,
+        depth=depth,
+        n_packets=n_packets,
+    ) as span:
+        driver, was_warm = None, False
+        if warm is not None:
+            key = warm_key
+            if key is None:
+                key = encoding_key(
+                    net,
+                    {
+                        "n_packets": n_packets,
+                        "failure_budget": failure_budget,
+                        "n_ports": n_ports,
+                        "n_tags": n_tags,
+                    },
+                )
+            if key is not None:
+                driver, was_warm = warm.lease(key, depth, build)
+        if driver is None:
+            driver = build()
 
-    before = driver.counters()
-    encode_before = driver.encode_seconds
-    schedule = list(range(1, depth + 1)) if deepen else [depth]
-    status = HOLDS
-    trace: Optional[Trace] = None
-    found_depth = depth
-    remaining = max_conflicts
-    for k in schedule:
-        result = driver.check_at(invariant, k, max_conflicts=remaining)
-        if max_conflicts is not None:
-            used = driver.counters()["conflicts"] - before["conflicts"]
-            remaining = max(0, max_conflicts - used)
-        if result == SAT:
-            status = VIOLATED
-            found_depth = k
-            trace = (
-                driver.canonical_trace(invariant, k, presolved=True)
-                if canonical_trace
-                else driver.decode()
-            )
-            break
-        if result != UNSAT:
-            status = UNKNOWN
-            break
+        before = driver.counters()
+        encode_before = driver.encode_seconds
+        schedule = list(range(1, depth + 1)) if deepen else [depth]
+        status = HOLDS
+        trace: Optional[Trace] = None
+        found_depth = depth
+        remaining = max_conflicts
+        for k in schedule:
+            result = driver.check_at(invariant, k, max_conflicts=remaining)
+            if max_conflicts is not None:
+                used = driver.counters()["conflicts"] - before["conflicts"]
+                remaining = max(0, max_conflicts - used)
+            if result == SAT:
+                status = VIOLATED
+                found_depth = k
+                trace = (
+                    driver.canonical_trace(invariant, k, presolved=True)
+                    if canonical_trace
+                    else driver.decode()
+                )
+                break
+            if result != UNSAT:
+                status = UNKNOWN
+                break
+        span.tag(status=status, found_depth=found_depth, warm=was_warm)
+    get_registry().counter(
+        "repro_bmc_checks_total", "BMC invariant checks by status"
+    ).inc(status=status, warm=str(was_warm).lower())
     elapsed = time.perf_counter() - started
 
     after = driver.counters()

@@ -1,0 +1,122 @@
+"""``repro.obs`` — the telemetry subsystem.
+
+Dependency-free span tracing (:mod:`repro.obs.trace`), a typed metrics
+registry (:mod:`repro.obs.metrics`), exports (Chrome trace JSON, stable
+run records, Prometheus text — :mod:`repro.obs.export`), and the cost
+breakdown behind ``repro stats`` (:mod:`repro.obs.stats`).
+
+The module owns one process-global ``(tracer, registry)`` pair.  By
+default both are no-op singletons: every instrumentation site in the
+stack calls :func:`get_tracer` / :func:`get_registry` unconditionally
+and pays only a module-global read when observability is off (the <2%
+disabled-overhead budget gated by ``benchmarks/bench_obs_overhead.py``).
+:func:`enable` swaps in live instances; :func:`observe` is the scoped
+form the CLI uses::
+
+    with observe(meta={"command": "audit"}) as (tracer, registry):
+        ...                       # every layer records spans/counters
+    record = run_record(tracer, registry)
+
+**No other repro module may be imported from here** — ``repro.smt``
+(the hottest layer) imports ``repro.obs``, so the dependency arrow
+points one way only.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Optional, Tuple, Union
+
+from .export import (
+    SCHEMA,
+    load_spans,
+    run_record,
+    to_chrome_events,
+    write_run_record,
+)
+from .hooks import SolverEventSink
+from .metrics import (
+    NULL_REGISTRY,
+    SOLVER_COUNTER_KEYS,
+    SOLVER_GAUGE_KEYS,
+    MetricsRegistry,
+    NullRegistry,
+    solver_counter_snapshot,
+)
+from .stats import aggregate, coverage, load_trace, render_stats
+from .trace import NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "SCHEMA",
+    "SOLVER_COUNTER_KEYS",
+    "SOLVER_GAUGE_KEYS",
+    "Tracer",
+    "NullTracer",
+    "MetricsRegistry",
+    "NullRegistry",
+    "SolverEventSink",
+    "solver_counter_snapshot",
+    "get_tracer",
+    "get_registry",
+    "enabled",
+    "enable",
+    "disable",
+    "observe",
+    "run_record",
+    "write_run_record",
+    "to_chrome_events",
+    "load_spans",
+    "load_trace",
+    "aggregate",
+    "coverage",
+    "render_stats",
+]
+
+_tracer: Union[Tracer, NullTracer] = NULL_TRACER
+_registry: Union[MetricsRegistry, NullRegistry] = NULL_REGISTRY
+
+
+def get_tracer() -> Union[Tracer, NullTracer]:
+    """The process-global tracer (the no-op singleton when disabled)."""
+    return _tracer
+
+
+def get_registry() -> Union[MetricsRegistry, NullRegistry]:
+    """The process-global metrics registry (no-op when disabled)."""
+    return _registry
+
+
+def enabled() -> bool:
+    return _tracer.enabled
+
+
+def enable(tracer: Optional[Tracer] = None,
+           registry: Optional[MetricsRegistry] = None,
+           meta: Optional[dict] = None) -> Tuple[Tracer, MetricsRegistry]:
+    """Install a live tracer + registry; returns them."""
+    global _tracer, _registry
+    _tracer = tracer if tracer is not None else Tracer(meta=meta)
+    _registry = registry if registry is not None else MetricsRegistry()
+    return _tracer, _registry
+
+
+def disable() -> None:
+    """Restore the no-op singletons."""
+    global _tracer, _registry
+    _tracer = NULL_TRACER
+    _registry = NULL_REGISTRY
+
+
+@contextmanager
+def observe(meta: Optional[dict] = None,
+            tracer: Optional[Tracer] = None,
+            registry: Optional[MetricsRegistry] = None):
+    """Scoped observability: enable on entry, restore the previous
+    state on exit.  Yields ``(tracer, registry)``."""
+    global _tracer, _registry
+    prev = (_tracer, _registry)
+    pair = enable(tracer=tracer, registry=registry, meta=meta)
+    try:
+        yield pair
+    finally:
+        _tracer, _registry = prev

@@ -1,0 +1,127 @@
+"""Trace and metrics export: Chrome trace JSON, run records, files.
+
+One file serves every consumer: the run record is a JSON object whose
+``traceEvents`` key is a valid Chrome trace (``chrome://tracing`` and
+Perfetto load the file directly — both ignore unknown top-level keys),
+while ``spans``, ``metrics`` and ``meta`` carry the stable
+machine-readable schema that ``repro stats``, the benchmarks and tests
+consume::
+
+    {
+      "schema": "repro.trace/1",
+      "meta": {"argv": [...], "wall_seconds": 1.93, ...},
+      "traceEvents": [{"name", "cat", "ph", "ts", "dur", "pid", "tid",
+                       "args"}, ...],
+      "spans": [{"name", "cat", "ts", "dur", "id", "parent", "pid",
+                 "args"}, ...],
+      "metrics": {"schema": "repro.metrics/1", "series": {...}}
+    }
+
+Span timestamps are seconds relative to the tracer epoch; Chrome events
+are the same instants in integer microseconds (the ``cat/ph/ts/dur``
+event schema, phase ``X`` for complete spans and ``i`` for instants).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, List, Optional, Union
+
+from .metrics import MetricsRegistry, NullRegistry
+from .trace import Tracer
+
+__all__ = [
+    "SCHEMA",
+    "to_chrome_events",
+    "run_record",
+    "write_run_record",
+    "load_spans",
+]
+
+SCHEMA = "repro.trace/1"
+
+Registry = Union[MetricsRegistry, NullRegistry]
+
+
+def to_chrome_events(spans: List[dict]) -> List[dict]:
+    """Chrome-trace ``traceEvents`` for a list of span records."""
+    events = []
+    for rec in spans:
+        event = {
+            "name": rec["name"],
+            "cat": rec.get("cat", "repro"),
+            "ph": rec.get("ph", "X"),
+            "ts": int(rec["ts"] * 1e6),
+            "pid": rec.get("pid", 0),
+            "tid": rec.get("tid", rec.get("pid", 0)),
+            "args": rec.get("args") or {},
+        }
+        if event["ph"] == "X":
+            event["dur"] = int((rec.get("dur") or 0.0) * 1e6)
+        else:
+            # Instant events scope to their thread.
+            event["s"] = "t"
+        events.append(event)
+    return events
+
+
+def run_record(tracer: Tracer, registry: Optional[Registry] = None,
+               meta: Optional[dict] = None) -> dict:
+    """The full run record (Chrome-loadable, see module docstring)."""
+    spans = tracer.records()
+    record_meta = dict(tracer.meta)
+    if meta:
+        record_meta.update(meta)
+    record = {
+        "schema": SCHEMA,
+        "meta": record_meta,
+        "traceEvents": to_chrome_events(spans),
+        "spans": spans,
+    }
+    if registry is not None:
+        record["metrics"] = registry.to_json()
+    return record
+
+
+def write_run_record(dst: Union[str, IO], tracer: Tracer,
+                     registry: Optional[Registry] = None,
+                     meta: Optional[dict] = None) -> dict:
+    """Serialize the run record to a path or file object; returns it."""
+    record = run_record(tracer, registry, meta)
+    if hasattr(dst, "write"):
+        json.dump(record, dst, indent=1, default=str)
+        dst.write("\n")
+    else:
+        with open(dst, "w") as fh:
+            json.dump(record, fh, indent=1, default=str)
+            fh.write("\n")
+    return record
+
+
+def load_spans(payload: dict) -> List[dict]:
+    """Span records from a loaded trace file.
+
+    Accepts the native run record (``spans`` key) and falls back to
+    reconstructing records from bare Chrome ``traceEvents`` (either the
+    array form or the object form), so ``repro stats`` can read traces
+    produced by other tools too.
+    """
+    if isinstance(payload, dict) and "spans" in payload:
+        return payload["spans"]
+    events = payload if isinstance(payload, list) else payload.get("traceEvents", [])
+    spans = []
+    for i, event in enumerate(events):
+        if event.get("ph") not in (None, "X", "i"):
+            continue
+        spans.append({
+            "name": event.get("name", "?"),
+            "cat": event.get("cat", "repro"),
+            "ph": event.get("ph", "X"),
+            "ts": event.get("ts", 0) / 1e6,
+            "dur": event.get("dur", 0) / 1e6,
+            "id": event.get("id", i + 1),
+            "parent": None,  # bare Chrome events carry no parent links
+            "pid": event.get("pid", 0),
+            "args": event.get("args") or None,
+        })
+    return spans

@@ -1,0 +1,66 @@
+"""Solver event hooks: the bridge from the CDCL cores to the tracer.
+
+The SAT cores expose an optional ``events`` attribute (``None`` by
+default — one predicate test on the restart path, nothing on the unit
+path).  When observability is enabled, :class:`repro.smt.solver.Solver`
+installs a :class:`SolverEventSink`, which turns solver-internal
+moments into trace instants and registry counters:
+
+* ``restart()`` — emitted by the pure-Python core at the actual restart
+  moment (timeline-accurate instants);
+* ``inprocessing(subsumed, strengthened)`` — after a budgeted
+  inprocessing pass;
+* ``ticks(...)`` — synthesized per-solve deltas for the C core, which
+  cannot call back into Python mid-search.
+"""
+
+from __future__ import annotations
+
+from .metrics import MetricsRegistry
+from .trace import Tracer
+
+__all__ = ["SolverEventSink"]
+
+
+class SolverEventSink:
+    """Receives solver-internal events; writes instants + counters."""
+
+    __slots__ = ("tracer", "registry", "_restarts", "_inprocessing")
+
+    def __init__(self, tracer: Tracer, registry: MetricsRegistry):
+        self.tracer = tracer
+        self.registry = registry
+        self._restarts = registry.counter(
+            "repro_solver_restart_events_total",
+            "restart events observed via the solver hook",
+        )
+        self._inprocessing = registry.counter(
+            "repro_solver_inprocessing_passes_total",
+            "budgeted inprocessing passes between incremental calls",
+        )
+
+    def restart(self) -> None:
+        self._restarts.inc()
+        self.tracer.instant("restart", cat="sat")
+
+    def inprocessing(self, subsumed: int, strengthened: int) -> None:
+        self._inprocessing.inc()
+        self.tracer.instant(
+            "inprocessing", cat="sat",
+            subsumed=subsumed, strengthened=strengthened,
+        )
+
+    def ticks(self, restarts: int = 0, inprocessing: int = 0,
+              subsumed: int = 0, strengthened: int = 0) -> None:
+        """Post-solve deltas from a core that cannot call back mid-
+        search (the native solver): counts are exact, instants are
+        pinned to the end of the solve."""
+        if restarts:
+            self._restarts.inc(restarts)
+            self.tracer.instant("restarts", cat="sat", n=restarts)
+        if inprocessing or subsumed or strengthened:
+            self._inprocessing.inc(max(1, inprocessing))
+            self.tracer.instant(
+                "inprocessing", cat="sat",
+                subsumed=subsumed, strengthened=strengthened,
+            )

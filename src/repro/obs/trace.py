@@ -1,0 +1,232 @@
+"""Hierarchical span tracing with bounded disabled-path overhead.
+
+A :class:`Tracer` produces a tree of **spans** — named, tagged,
+monotonic-clock intervals — that mirrors the call structure of a
+verification run::
+
+    audit > slice > check > solve
+    prove > engine-round > query
+    repair > generation > candidate-screen
+
+Spans nest through an explicit stack (``with tracer.span(...)``), close
+correctly when an exception unwinds through them (the error is recorded
+as a tag, so a solver-budget blowup mid-span still yields a loadable
+trace), and are recorded as flat, picklable dicts — which is what lets
+:func:`repro.core.engine.execute_jobs` ship worker-process spans back
+to the parent and merge them deterministically (:meth:`Tracer.adopt`).
+
+The **disabled** path is the design constraint: every hot layer calls
+``get_tracer()`` unconditionally, so when tracing is off the call must
+cost a global read plus a no-op context manager — the
+:class:`NullTracer` singleton returns one preallocated handle from
+every ``span()`` call and allocates nothing per call (regression-tested
+in ``tests/obs/test_obs_trace.py``).
+
+Timestamps are ``time.perf_counter()`` relative to the tracer's epoch
+(monotonic — never wallclock arithmetic between spans); the epoch's
+wall-clock instant is kept only to rebase spans merged from other
+processes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+from typing import Dict, List, Optional
+
+__all__ = [
+    "SpanHandle",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+]
+
+
+class SpanHandle:
+    """One open span: a reentrant-unsafe, single-use context manager."""
+
+    __slots__ = ("tracer", "name", "cat", "id", "parent", "start", "args", "dur")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str,
+                 parent: Optional[int], args: Optional[dict]):
+        self.tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.id = next(tracer._ids)
+        self.parent = parent
+        self.args = args
+        self.start = 0.0
+        self.dur: Optional[float] = None
+
+    def tag(self, **tags) -> "SpanHandle":
+        """Attach structural tags (invariant id, cache hit, verdict…)."""
+        if self.args is None:
+            self.args = tags
+        else:
+            self.args.update(tags)
+        return self
+
+    def __enter__(self) -> "SpanHandle":
+        self.start = time.perf_counter() - self.tracer.epoch
+        self.tracer._stack.append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            # An exception unwinding through a span still closes it —
+            # and says so, so a partial trace explains itself.
+            self.tag(error=exc_type.__name__)
+        self.tracer._close(self)
+        return False
+
+
+class Tracer:
+    """Span recorder.  One per process; workers create their own and
+    ship records back (see :meth:`records` / :meth:`adopt`)."""
+
+    enabled = True
+
+    def __init__(self, meta: Optional[dict] = None):
+        self.epoch = time.perf_counter()
+        self.wall_epoch = time.time()
+        self.meta = dict(meta or {})
+        self.pid = os.getpid()
+        self.spans: List[dict] = []  # closed spans, in close order
+        self._stack: List[SpanHandle] = []
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, cat: str = "repro", **tags) -> SpanHandle:
+        """Open a span as a context manager; nests under the innermost
+        open span."""
+        parent = self._stack[-1].id if self._stack else None
+        return SpanHandle(self, name, cat, parent, tags or None)
+
+    def instant(self, name: str, cat: str = "repro", **tags) -> None:
+        """A zero-duration event pinned to the current moment (solver
+        restarts, inprocessing ticks)."""
+        self.spans.append({
+            "name": name,
+            "cat": cat,
+            "ph": "i",
+            "ts": time.perf_counter() - self.epoch,
+            "dur": 0.0,
+            "id": next(self._ids),
+            "parent": self._stack[-1].id if self._stack else None,
+            "pid": self.pid,
+            "args": tags or None,
+        })
+
+    def _close(self, handle: SpanHandle) -> None:
+        now = time.perf_counter() - self.epoch
+        # Exceptions may unwind through several spans at once; close
+        # every span opened after (and including) this handle so the
+        # stack never leaks an open frame.
+        while self._stack:
+            top = self._stack.pop()
+            top.dur = now - top.start
+            self.spans.append({
+                "name": top.name,
+                "cat": top.cat,
+                "ph": "X",
+                "ts": top.start,
+                "dur": top.dur,
+                "id": top.id,
+                "parent": top.parent,
+                "pid": self.pid,
+                "args": top.args,
+            })
+            if top is handle:
+                break
+
+    @property
+    def open_spans(self) -> int:
+        return len(self._stack)
+
+    # ------------------------------------------------------------------
+    # Cross-process merging
+    # ------------------------------------------------------------------
+    def records(self) -> List[dict]:
+        """The closed spans as plain picklable dicts (shipping format
+        for worker processes)."""
+        return list(self.spans)
+
+    def adopt(self, records: List[dict], wall_epoch: Optional[float] = None,
+              parent: Optional[int] = None, tid: Optional[int] = None) -> None:
+        """Merge spans recorded by another tracer (typically a worker
+        process) into this timeline.
+
+        Ids are remapped onto this tracer's sequence **in record
+        order**, so adopting workers' records sorted by job index gives
+        a deterministic merged trace regardless of scheduling.
+        ``wall_epoch`` (the worker tracer's :attr:`wall_epoch`) rebases
+        the foreign timestamps onto this tracer's clock; orphan spans
+        are attached under ``parent``.
+        """
+        offset = 0.0
+        if wall_epoch is not None:
+            offset = wall_epoch - self.wall_epoch
+        # Records arrive in *close* order (children before parents), so
+        # ids must all be assigned before any parent link is rewritten.
+        remap: Dict[int, int] = {}
+        for rec in records:
+            remap[rec["id"]] = next(self._ids)
+        for rec in records:
+            new_parent = rec.get("parent")
+            new_parent = remap.get(new_parent, None) if new_parent else None
+            self.spans.append({
+                **rec,
+                "ts": rec["ts"] + offset,
+                "id": remap[rec["id"]],
+                "parent": new_parent if new_parent is not None else parent,
+                "tid": rec.get("tid") if tid is None else tid,
+            })
+
+
+class _NullSpan:
+    """The shared no-op span: `with` costs two attribute calls, and the
+    handle is one process-wide singleton — repeated disabled-path calls
+    allocate nothing."""
+
+    __slots__ = ()
+
+    def tag(self, **tags):
+        return self
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: every ``span()``/``instant()`` resolves to
+    the shared no-op handle.  Installed by default."""
+
+    enabled = False
+    spans: List[dict] = []
+    meta: dict = {}
+
+    def span(self, name, cat="repro", **tags):
+        return _NULL_SPAN
+
+    def instant(self, name, cat="repro", **tags):
+        return None
+
+    def records(self):
+        return []
+
+    def adopt(self, records, wall_epoch=None, parent=None, tid=None):
+        return None
+
+    @property
+    def open_spans(self):
+        return 0
+
+
+NULL_TRACER = NullTracer()

@@ -44,6 +44,7 @@ import heapq
 import itertools
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..obs import get_registry
 from ..smt import SAT, UNSAT, BoolVar, Implies, Term
 from .certificate import ProofCertificate
 from .kinduction import CEX, HOLDS, STALLED, EngineOutcome
@@ -276,6 +277,10 @@ class IC3Engine:
                 if result == UNSAT:
                     self.frames[i].remove(cube)
                     self._store_clause(i + 1, cube)
+                    get_registry().counter(
+                        "repro_ic3_clause_pushes_total",
+                        "IC3 blocking clauses pushed to a higher frame",
+                    ).inc()
                 elif result != SAT:
                     return False
             if not self.frames[i]:
@@ -341,6 +346,14 @@ class IC3Engine:
                 if self.outcome is None:
                     self.N += 1
                     self.frames.append([])
+                    registry = get_registry()
+                    registry.counter(
+                        "repro_ic3_frame_extensions_total",
+                        "new IC3 frames opened",
+                    ).inc()
+                    registry.gauge(
+                        "repro_ic3_frames", "current IC3 frame count"
+                    ).set(self.N)
                     if self.N > self.max_frames:
                         self.outcome = EngineOutcome(
                             status=STALLED,

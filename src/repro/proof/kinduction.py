@@ -34,6 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
+from ..obs import get_registry
 from ..smt import Not, Term, UNSAT, SAT
 from .certificate import ProofCertificate
 from .transition import TransitionSystem
@@ -137,4 +138,8 @@ class KInductionEngine:
             return None
         if result == SAT:
             self.k += 1  # counterexample-to-induction: deepen
+            get_registry().counter(
+                "repro_kinduction_deepenings_total",
+                "k-induction counterexamples-to-induction (k increments)",
+            ).inc()
         return None  # unknown: budget exhausted, retry this k warm

@@ -49,6 +49,7 @@ from ..netmodel.bmc import (
 )
 from ..netmodel.system import VerificationNetwork
 from ..netmodel.trace import Trace
+from ..obs import get_registry, get_tracer
 from ..smt import SAT, UNSAT
 from .certificate import (
     MinimizeReport,
@@ -174,24 +175,8 @@ def _resolve(net: VerificationNetwork, invariant, depth, n_packets,
     return depth, n_packets, failure_budget
 
 
-def prove_portfolio(
-    net: VerificationNetwork,
-    invariant,
-    depth: Optional[int] = None,
-    n_packets: Optional[int] = None,
-    failure_budget: Optional[int] = None,
-    n_ports: int = 6,
-    n_tags: int = 4,
-    max_conflicts: Optional[int] = None,
-    max_checks: Optional[int] = None,
-    chunk_conflicts: int = 2000,
-    max_k: int = 4,
-    warm: Optional[SolverPool] = None,
-    warm_key: Optional[str] = None,
-    recheck: bool = True,
-    minimize: bool = True,
-    canonical_trace: bool = False,
-) -> PortfolioResult:
+def prove_portfolio(net: VerificationNetwork, invariant, *args, **kwargs
+                    ) -> PortfolioResult:
     """Decide ``invariant`` on ``net`` with an unbounded-proof attempt.
 
     ``max_conflicts`` is the *shared* conflict budget across all three
@@ -212,8 +197,53 @@ def prove_portfolio(
     the incremental session's certificate store, and repair results all
     carry the small certificate.  The shrunk set is only trusted after
     its own cold re-check; on failure the original certificate stands.
+
+    See :func:`_prove_portfolio` for the full parameter list; this
+    wrapper adds the ``prove`` root span and verdict counters when
+    observability is enabled.
     """
+    tracer = get_tracer()
+    if not tracer.enabled:
+        return _prove_portfolio(net, invariant, *args, **kwargs)
+    with tracer.span(
+        "prove", cat="proof", invariant=type(invariant).__name__
+    ) as span:
+        result = _prove_portfolio(net, invariant, *args, **kwargs)
+        span.tag(
+            status=result.status,
+            guarantee=result.guarantee,
+            engine=result.engine,
+            depth=result.depth,
+        )
+    get_registry().counter(
+        "repro_proof_verdicts_total",
+        "portfolio verdicts by engine, status, and guarantee strength",
+    ).inc(engine=result.engine, status=result.status, guarantee=result.guarantee)
+    return result
+
+
+def _prove_portfolio(
+    net: VerificationNetwork,
+    invariant,
+    depth: Optional[int] = None,
+    n_packets: Optional[int] = None,
+    failure_budget: Optional[int] = None,
+    n_ports: int = 6,
+    n_tags: int = 4,
+    max_conflicts: Optional[int] = None,
+    max_checks: Optional[int] = None,
+    chunk_conflicts: int = 2000,
+    max_k: int = 4,
+    warm: Optional[SolverPool] = None,
+    warm_key: Optional[str] = None,
+    recheck: bool = True,
+    minimize: bool = True,
+    canonical_trace: bool = False,
+) -> PortfolioResult:
+    """The portfolio round-robin itself (see :func:`prove_portfolio`)."""
     started = time.perf_counter()
+    tracer = get_tracer()
+    registry = get_registry()
     depth, n_packets, failure_budget = _resolve(
         net, invariant, depth, n_packets, failure_budget
     )
@@ -318,23 +348,45 @@ def prove_portfolio(
         if max_checks is not None and spent_checks() >= max_checks:
             budget_out = True
             break
-        bmc_outcome = bmc_engine.step(chunk())
+        with tracer.span("engine-round", cat="proof", engine="bmc") as rspan:
+            bmc_outcome = bmc_engine.step(chunk())
+            rspan.tag(clean=bmc_engine.clean)
+        registry.counter(
+            "repro_proof_rounds_total", "portfolio round-robin turns per engine"
+        ).inc(engine="bmc")
         if bmc_outcome is not None and bmc_outcome.status == VIOLATED:
             winner = ("bmc", bmc_outcome)
             break
         for prover in list(provers):
-            if isinstance(prover, IC3Engine):
-                outcome = prover.step(chunk(), max_queries=turn_queries())
-            else:
-                outcome = prover.step(chunk())
+            with tracer.span(
+                "engine-round", cat="proof", engine=prover.name
+            ) as rspan:
+                if isinstance(prover, IC3Engine):
+                    outcome = prover.step(chunk(), max_queries=turn_queries())
+                else:
+                    outcome = prover.step(chunk())
+                if outcome is not None:
+                    rspan.tag(outcome=outcome.status)
+            registry.counter(
+                "repro_proof_rounds_total",
+                "portfolio round-robin turns per engine",
+            ).inc(engine=prover.name)
             if outcome is None:
                 continue
             if outcome.status == ENGINE_HOLDS:
                 report = None
                 if recheck:
-                    report = recheck_certificate(
-                        net, invariant, outcome.certificate, params
-                    )
+                    with tracer.span(
+                        "recheck", cat="proof", engine=prover.name
+                    ) as cspan:
+                        report = recheck_certificate(
+                            net, invariant, outcome.certificate, params
+                        )
+                        cspan.tag(ok=report.ok)
+                    registry.counter(
+                        "repro_proof_rechecks_total",
+                        "independent cold certificate re-checks",
+                    ).inc(engine=prover.name, ok=str(report.ok).lower())
                 if report is None or report.ok:
                     winner = (prover.name, outcome)
                     winner_cert = outcome.certificate
@@ -347,20 +399,41 @@ def prove_portfolio(
                             else max(0, max_checks - spent_checks())
                         )
                         if remaining is None or remaining > 0:
-                            shrink = minimize_certificate(
-                                net, invariant, winner_cert, params,
-                                ts=ts, max_queries=remaining,
-                            )
+                            with tracer.span(
+                                "minimize", cat="proof", engine=prover.name
+                            ) as mspan:
+                                shrink = minimize_certificate(
+                                    net, invariant, winner_cert, params,
+                                    ts=ts, max_queries=remaining,
+                                )
+                                mspan.tag(
+                                    kept=len(shrink.certificate.clauses),
+                                    dropped=len(winner_cert.clauses)
+                                    - len(shrink.certificate.clauses),
+                                )
                             minimize_report = shrink
                             if shrink.certificate is not winner_cert:
-                                shrunk_report = (
-                                    recheck_certificate(
-                                        net, invariant, shrink.certificate,
-                                        params,
+                                with tracer.span(
+                                    "recheck", cat="proof",
+                                    engine=prover.name, shrunk=True,
+                                ):
+                                    shrunk_report = (
+                                        recheck_certificate(
+                                            net, invariant,
+                                            shrink.certificate, params,
+                                        )
+                                        if recheck
+                                        else None
                                     )
-                                    if recheck
-                                    else None
-                                )
+                                if shrunk_report is not None:
+                                    registry.counter(
+                                        "repro_proof_rechecks_total",
+                                        "independent cold certificate "
+                                        "re-checks",
+                                    ).inc(
+                                        engine=prover.name,
+                                        ok=str(shrunk_report.ok).lower(),
+                                    )
                                 if shrunk_report is None or shrunk_report.ok:
                                     winner_cert = shrink.certificate
                                     recheck_report = shrunk_report or report

@@ -39,7 +39,7 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..netmodel.bmc import SOLVER_COUNTERS
+from ..obs import solver_counter_snapshot
 from ..netmodel.packets import same_flow
 from ..netmodel.system import OMEGA, NetworkSMTModel, VerificationNetwork
 from ..smt import And, EnumConst, Eq, Implies, Not, Or, Solver, Term, Xor
@@ -251,11 +251,10 @@ class TransitionSystem:
         )
 
     def counters(self) -> dict:
-        """Cumulative solver counters, keyed like
-        :data:`repro.netmodel.bmc.SOLVER_COUNTERS` (``.get`` so a
+        """Cumulative solver counters, keyed by the canonical
+        :data:`repro.obs.SOLVER_COUNTER_KEYS` (missing keys read 0 so a
         pickled pre-inprocessing solver still satisfies the schema)."""
-        stats = self.solver.stats()
-        return {k: stats.get(k, 0) for k in SOLVER_COUNTERS}
+        return solver_counter_snapshot(self.solver.stats())
 
     # ------------------------------------------------------------------
     # Simple-path strengthening

@@ -42,6 +42,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.engine import execute_jobs
 from ..core.vmn import VMN
+from ..obs import get_registry, get_tracer
 from ..incremental.delta import DeltaError, DeltaSequence
 from ..netmodel.bmc import HOLDS, VIOLATED, CheckResult
 from .candidates import Candidate, CandidateGenerator
@@ -226,15 +227,7 @@ def _target_hints(screen, outcomes, target_keys):
     return hints
 
 
-def repair_session(
-    session,
-    targets: Optional[Sequence] = None,
-    max_edits: int = 3,
-    max_candidates: int = 32,
-    max_rounds: int = 6,
-    require_certificate: bool = True,
-    cold: bool = False,
-) -> RepairResult:
+def repair_session(session, *args, **kwargs) -> RepairResult:
     """Synthesize a certified patch for ``session``'s failing checks.
 
     ``targets`` restricts repair to the given :class:`TrackedCheck`
@@ -249,8 +242,37 @@ def repair_session(
     On success the patch remains applied to the session's network; on
     failure every candidate has been reverted and the network is
     byte-identical to where it started.
+
+    See :func:`_repair_session` for the full parameter list; this
+    wrapper adds the ``repair`` root span when observability is on.
     """
+    tracer = get_tracer()
+    if not tracer.enabled:
+        return _repair_session(session, *args, **kwargs)
+    with tracer.span("repair", cat="repair") as span:
+        result = _repair_session(session, *args, **kwargs)
+        span.tag(
+            ok=result.ok,
+            attempts=len(result.attempts),
+            rounds=result.rounds,
+            candidates=result.candidates_generated,
+        )
+    return result
+
+
+def _repair_session(
+    session,
+    targets: Optional[Sequence] = None,
+    max_edits: int = 3,
+    max_candidates: int = 32,
+    max_rounds: int = 6,
+    require_certificate: bool = True,
+    cold: bool = False,
+) -> RepairResult:
+    """The CEGIS loop itself (see :func:`repair_session`)."""
     started = time.perf_counter()
+    tracer = get_tracer()
+    registry = get_registry()
     screen = _ColdScreen(session) if cold else _WarmScreen(session)
     outcomes = screen.baseline()
 
@@ -310,19 +332,43 @@ def repair_session(
         result.candidates_generated += fresh
         return fresh
 
-    for hints in _target_hints(screen, outcomes, target_keys):
-        push(generator.propose(screen.vmn, hints))
+    with tracer.span("generation", cat="repair", round=1) as gspan:
+        fresh_initial = 0
+        for hints in _target_hints(screen, outcomes, target_keys):
+            fresh_initial += push(generator.propose(screen.vmn, hints))
+        gspan.tag(fresh=fresh_initial)
+    registry.histogram(
+        "repro_repair_round_candidates",
+        "fresh candidates produced per CEGIS generation round",
+        buckets=(1, 2, 4, 8, 16, 32, 64, 128),
+    ).observe(fresh_initial)
     result.rounds = 1
 
     best_mismatches = len(target_checks)
 
     while queue and len(result.attempts) < max_candidates:
         _, _, _, cand = heapq.heappop(queue)
-        try:
-            outcomes = screen.screen(cand.deltas)
-        except DeltaError:
-            continue  # patch no longer applies to this version shape
+        with tracer.span(
+            "candidate-screen", cat="repair",
+            candidate=cand.label, cost=cand.cost,
+        ) as sspan:
+            try:
+                outcomes = screen.screen(cand.deltas)
+            except DeltaError:
+                # Patch no longer applies to this version shape.
+                sspan.tag(error="DeltaError")
+                outcomes = None
+        if outcomes is None:
+            continue
         runs, hits, carried, spent = screen.last
+        registry.histogram(
+            "repro_repair_screen_seconds",
+            "per-candidate screening solve seconds",
+        ).observe(spent)
+        registry.counter(
+            "repro_repair_candidates_screened_total",
+            "repair candidates screened against the tracked set",
+        ).inc()
         wrong = [
             o for o in _mismatched(outcomes)
             if o.check.key not in ignored_keys
@@ -375,17 +421,27 @@ def repair_session(
                 if result.rounds < max_rounds:
                     new_hints = _target_hints(screen, outcomes, target_keys)
                     screen.revert()
-                    fresh = 0
-                    for hints in new_hints:
-                        proposals = generator.propose(screen.vmn, hints)
-                        fresh += push(proposals)
-                        combos = [
-                            combo
-                            for p in proposals[:4]
-                            if (combo := generator.combine(cand, p))
-                        ]
-                        fresh += push(combos)
+                    with tracer.span(
+                        "generation", cat="repair", round=result.rounds + 1
+                    ) as gspan:
+                        fresh = 0
+                        for hints in new_hints:
+                            proposals = generator.propose(screen.vmn, hints)
+                            fresh += push(proposals)
+                            combos = [
+                                combo
+                                for p in proposals[:4]
+                                if (combo := generator.combine(cand, p))
+                            ]
+                            fresh += push(combos)
+                        gspan.tag(fresh=fresh)
                     if fresh:
+                        registry.histogram(
+                            "repro_repair_round_candidates",
+                            "fresh candidates produced per CEGIS "
+                            "generation round",
+                            buckets=(1, 2, 4, 8, 16, 32, 64, 128),
+                        ).observe(fresh)
                         result.rounds += 1
                     if len(wrong) < best_mismatches or (
                         len(wrong) == best_mismatches

@@ -150,6 +150,10 @@ class NativeSatSolver:
         self.model: List[Optional[bool]] = []
         self.core: List[int] = []
         self._ok = True
+        # Optional telemetry sink (repro.obs.SolverEventSink).  The C
+        # core cannot call back mid-search, so solve() synthesizes
+        # post-solve tick events from the counter deltas instead.
+        self.events = None
 
     def __del__(self):
         h = getattr(self, "_h", None)
@@ -210,7 +214,18 @@ class NativeSatSolver:
         self._check_lits(assume)
         arr = (ctypes.c_int32 * max(len(assume), 1))(*assume)
         budget = -1 if max_conflicts is None else int(max_conflicts)
+        events = self.events
+        if events is not None:
+            stat, h = self._lib.sat_stat, self._h
+            before = (int(stat(h, 6)), int(stat(h, 8)), int(stat(h, 9)))
         result = self._lib.sat_solve(self._h, arr, len(assume), budget)
+        if events is not None:
+            after = (int(stat(h, 6)), int(stat(h, 8)), int(stat(h, 9)))
+            events.ticks(
+                restarts=after[0] - before[0],
+                subsumed=after[1] - before[1],
+                strengthened=after[2] - before[2],
+            )
         if result == 1:
             lib, h = self._lib, self._h
             self.model = [None] + [

@@ -132,6 +132,11 @@ class SatSolver:
         # threshold, spending at most `_simplify_ticks` literal visits.
         self._simplify_at = 2000
         self._simplify_ticks = 400_000
+        # Optional telemetry sink (repro.obs.SolverEventSink): restart
+        # and inprocessing moments are reported when set.  ``None`` by
+        # default — the hot paths pay one predicate test at restart
+        # granularity, nothing per conflict or propagation.
+        self.events = None
 
     # ------------------------------------------------------------------
     # Variable and clause management
@@ -893,7 +898,13 @@ class SatSolver:
             self._ok = False
             return UNSAT
         if len(self._clause_refs) >= self._simplify_at:
+            sub0, str0 = self.subsumed_total, self.strengthened_total
             self._simplify()
+            if self.events is not None:
+                self.events.inprocessing(
+                    self.subsumed_total - sub0,
+                    self.strengthened_total - str0,
+                )
             if not self._ok:
                 return UNSAT
             self._simplify_at = max(2000, len(self._clause_refs) * 3 // 2)
@@ -957,6 +968,8 @@ class SatSolver:
             if conflicts_this_run >= budget:
                 restart_count += 1
                 self.restarts += 1
+                if self.events is not None:
+                    self.events.restart()
                 conflicts_this_run = 0
                 budget = luby(restart_count + 1) * 128
                 self._backtrack(self._assumption_level)

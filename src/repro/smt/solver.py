@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional
 
+from ..obs import SolverEventSink, get_registry, get_tracer, solver_counter_snapshot
 from .cnf import CnfConverter
 from .encode import EnumLowering, bit_name
 from .sat import SAT, UNKNOWN, UNSAT, SatSolver
@@ -156,7 +157,37 @@ class Solver:
             lit = self._cnf.literal(lowered)
             lits.append(lit)
             self._assumption_terms[lit] = term
-        self._result = self.sat.solve_with(lits, max_conflicts=max_conflicts)
+        tracer = get_tracer()
+        if not tracer.enabled:
+            # getattr: stand-in solvers (the vendored pre-rewrite SAT
+            # core in benchmarks/_sat_reference.py) predate the event
+            # sink and carry no ``events`` slot.
+            if getattr(self.sat, "events", None) is not None:
+                self.sat.events = None  # observe() scope ended; detach
+            self._result = self.sat.solve_with(lits, max_conflicts=max_conflicts)
+            return self._result
+        # Observability path: one span per solver query, its counter
+        # deltas as tags and absorbed into the registry, with the
+        # restart/inprocessing event sink attached for the duration.
+        registry = get_registry()
+        sink = getattr(self.sat, "events", None)
+        if sink is None or sink.tracer is not tracer:
+            try:
+                self.sat.events = SolverEventSink(tracer, registry)
+            except AttributeError:  # __slots__ solver without the field
+                pass
+        before = solver_counter_snapshot(self.sat.stats())
+        with tracer.span("solve", cat="smt", assumptions=len(lits)) as span:
+            self._result = self.sat.solve_with(lits, max_conflicts=max_conflicts)
+            delta = {
+                k: v - before[k]
+                for k, v in solver_counter_snapshot(self.sat.stats()).items()
+            }
+            registry.record_solver(delta)
+            registry.counter(
+                "repro_solver_queries_total", "solver queries issued"
+            ).inc(result=self._result)
+            span.tag(result=self._result, **delta)
         return self._result
 
     def unsat_core(self) -> List[Term]:

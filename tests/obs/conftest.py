@@ -1,0 +1,12 @@
+"""Observability tests never leak an enabled tracer into other tests."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _obs_disabled():
+    obs.disable()
+    yield
+    obs.disable()

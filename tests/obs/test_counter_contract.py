@@ -1,0 +1,51 @@
+"""The solver-counter contract between the registry and the stack.
+
+``repro.obs.SOLVER_COUNTER_KEYS`` is THE definition of the solver's
+cumulative work counters; ``repro.netmodel.bmc.SOLVER_COUNTERS`` (the
+historical import path used by the CLI and the proof portfolio) must be
+the very same tuple, and every key must exist in ``SatSolver.stats()``.
+This pins the invariant that retired the PR-6 bug class of three
+modules each holding a drifting private ``_COUNTER_KEYS`` copy.
+"""
+
+from repro.netmodel import bmc
+from repro.obs import SOLVER_COUNTER_KEYS, SOLVER_GAUGE_KEYS
+from repro.obs.metrics import MetricsRegistry, solver_counter_snapshot
+from repro.proof import portfolio, transition
+from repro.smt.sat import SatSolver
+
+
+class TestSingleDefinition:
+    def test_bmc_reexport_is_the_same_object(self):
+        assert bmc.SOLVER_COUNTERS is SOLVER_COUNTER_KEYS
+
+    def test_portfolio_keys_off_the_same_tuple(self):
+        assert portfolio._COUNTER_KEYS is SOLVER_COUNTER_KEYS
+
+    def test_transition_projects_through_the_canonical_snapshot(self):
+        assert transition.solver_counter_snapshot is solver_counter_snapshot
+
+    def test_stats_keys_are_exactly_counters_plus_gauges(self):
+        stats = SatSolver().stats()
+        assert set(stats) == set(SOLVER_COUNTER_KEYS) | set(SOLVER_GAUGE_KEYS)
+        assert not set(SOLVER_COUNTER_KEYS) & set(SOLVER_GAUGE_KEYS)
+
+
+class TestSnapshotProjection:
+    def test_projection_covers_every_counter(self):
+        snap = solver_counter_snapshot(SatSolver().stats())
+        assert tuple(snap) == SOLVER_COUNTER_KEYS
+
+    def test_missing_keys_read_zero(self):
+        """Pickled pre-inprocessing solver stats still project."""
+        snap = solver_counter_snapshot({"conflicts": 3})
+        assert snap["conflicts"] == 3
+        assert snap["subsumed"] == 0
+
+    def test_registry_absorbs_a_delta(self):
+        r = MetricsRegistry()
+        r.record_solver({"conflicts": 7, "restarts": 2, "decisions": 0})
+        assert r.counter("repro_solver_conflicts_total").value() == 7
+        assert r.counter("repro_solver_restarts_total").value() == 2
+        # Zero deltas declare nothing — the snapshot stays sparse.
+        assert r.get("repro_solver_decisions_total") is None

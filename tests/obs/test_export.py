@@ -1,0 +1,116 @@
+"""Run-record export: Chrome trace-event schema, JSON round-trips, and
+the ``repro stats`` aggregation over reloaded traces."""
+
+import json
+
+from repro import obs
+from repro.obs.trace import Tracer
+
+
+def _sample_tracer():
+    t = Tracer(meta={"command": "test"})
+    with t.span("root", cat="cli"):
+        with t.span("check", cat="bmc", depth=3):
+            t.instant("restart", cat="smt")
+        with t.span("solve", cat="smt"):
+            pass
+    return t
+
+
+class TestChromeSchema:
+    def test_complete_events_carry_cat_ph_ts_dur(self):
+        events = obs.to_chrome_events(_sample_tracer().records())
+        assert len(events) == 4
+        for ev in events:
+            assert set(ev) >= {"name", "cat", "ph", "ts", "pid", "tid"}
+            assert isinstance(ev["ts"], int)
+        complete = [ev for ev in events if ev["ph"] == "X"]
+        assert len(complete) == 3
+        for ev in complete:
+            assert isinstance(ev["dur"], int)
+            assert ev["dur"] >= 0
+
+    def test_timestamps_are_microseconds(self):
+        t = Tracer()
+        with t.span("s"):
+            pass
+        rec = t.records()[0]
+        ev = obs.to_chrome_events(t.records())[0]
+        assert ev["ts"] == int(rec["ts"] * 1e6)
+
+    def test_instants_are_thread_scoped(self):
+        events = obs.to_chrome_events(_sample_tracer().records())
+        instant, = [ev for ev in events if ev["ph"] == "i"]
+        assert instant["s"] == "t"
+
+
+class TestRunRecord:
+    def test_record_is_json_serializable_and_self_describing(self):
+        t = _sample_tracer()
+        registry = obs.MetricsRegistry()
+        registry.counter("repro_x_total").inc(2)
+        record = obs.run_record(t, registry, meta={"wall_seconds": 1.5})
+        payload = json.loads(json.dumps(record, default=str))
+        assert payload["schema"] == obs.SCHEMA
+        assert payload["meta"]["command"] == "test"
+        assert payload["meta"]["wall_seconds"] == 1.5
+        assert payload["metrics"]["series"]["repro_x_total"] == 2
+        assert len(payload["traceEvents"]) == len(payload["spans"])
+
+    def test_write_and_reload_round_trip(self, tmp_path):
+        t = _sample_tracer()
+        dst = tmp_path / "run.json"
+        obs.write_run_record(dst, t)
+        payload = obs.load_trace(dst)
+        spans = obs.load_spans(payload)
+        assert {s["name"] for s in spans} == {"root", "check", "solve",
+                                              "restart"}
+
+    def test_bare_chrome_trace_is_loadable(self, tmp_path):
+        """A file holding only traceEvents (e.g. hand-exported from
+        DevTools) reconstructs spans with seconds-domain timestamps."""
+        t = _sample_tracer()
+        dst = tmp_path / "chrome.json"
+        dst.write_text(json.dumps(
+            {"traceEvents": obs.to_chrome_events(t.records())}
+        ))
+        spans = obs.load_spans(obs.load_trace(dst))
+        root = [s for s in spans if s["name"] == "root"][0]
+        orig = [s for s in t.records() if s["name"] == "root"][0]
+        assert abs(root["dur"] - orig["dur"]) < 1e-5
+
+
+class TestStats:
+    def test_exclusive_time_partitions_the_root(self):
+        t = Tracer()
+        with t.span("root"):
+            with t.span("a"):
+                pass
+            with t.span("b"):
+                pass
+        rows = {r.key: r for r in obs.aggregate(t.records())}
+        root = rows["repro:root"]
+        assert root.exclusive == root.total - rows["repro:a"].total \
+            - rows["repro:b"].total
+        total_exclusive = sum(r.exclusive for r in rows.values())
+        assert abs(total_exclusive - root.total) < 1e-9
+
+    def test_aggregate_by_category_and_tag(self):
+        t = _sample_tracer()
+        by_cat = {r.key for r in obs.aggregate(t.records(), by="cat")}
+        assert by_cat == {"cli", "bmc", "smt"}
+        by_depth = {r.key for r in obs.aggregate(t.records(), by="tag:depth")}
+        assert "3" in by_depth
+
+    def test_coverage_accounts_recorded_wall_time(self):
+        t = _sample_tracer()
+        cov = obs.coverage(t.records(), wall_seconds=None)
+        assert cov["n_roots"] == 1
+        assert cov["child_coverage"] <= 1.0 + 1e-9
+
+    def test_render_stats_mentions_top_spans(self):
+        t = _sample_tracer()
+        record = obs.run_record(t, meta={"wall_seconds": 0.5})
+        text = obs.render_stats(record, top=5)
+        assert "bmc:check" in text
+        assert "excl" in text

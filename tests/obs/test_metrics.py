@@ -1,0 +1,135 @@
+"""MetricsRegistry semantics: typed declaration, label series,
+delta-snapshots, cross-process merge, and the text exposition."""
+
+import pytest
+
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestDeclaration:
+    def test_redeclaration_returns_the_same_object(self):
+        r = MetricsRegistry()
+        a = r.counter("repro_x_total", "help text")
+        b = r.counter("repro_x_total")
+        assert a is b
+
+    def test_kind_mismatch_is_a_type_error(self):
+        r = MetricsRegistry()
+        r.counter("repro_x_total")
+        with pytest.raises(TypeError):
+            r.gauge("repro_x_total")
+
+    def test_counters_cannot_decrease(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+
+class TestLabels:
+    def test_each_label_set_is_an_independent_series(self):
+        c = Counter("c")
+        c.inc(2, engine="ic3")
+        c.inc(3, engine="kind")
+        c.inc()
+        assert c.value(engine="ic3") == 2
+        assert c.value(engine="kind") == 3
+        assert c.value() == 1
+
+    def test_label_order_does_not_matter(self):
+        g = Gauge("g")
+        g.set(7, a="1", b="2")
+        assert g.value(b="2", a="1") == 7
+
+
+class TestHistogram:
+    def test_observations_land_in_their_bucket(self):
+        h = Histogram("h", buckets=(1, 10, 100))
+        for v in (0.5, 5, 5, 500):
+            h.observe(v)
+        assert h.summary() == {"count": 4, "sum": 510.5}
+        (key, series), = h.series()
+        assert series.counts == [1, 2, 0]  # 500 overflows to +Inf only
+
+
+class TestSnapshots:
+    def test_delta_since_attributes_only_new_work(self):
+        r = MetricsRegistry()
+        r.counter("repro_a_total").inc(5)
+        before = r.snapshot()
+        r.counter("repro_a_total").inc(2)
+        r.counter("repro_b_total").inc(1, kind="x")
+        delta = r.delta_since(before)
+        assert delta == {"repro_a_total": 2, 'repro_b_total{kind="x"}': 1}
+
+    def test_unchanged_series_are_dropped_from_the_delta(self):
+        r = MetricsRegistry()
+        r.gauge("repro_v").set(3)
+        before = r.snapshot()
+        assert r.delta_since(before) == {}
+
+
+class TestMergeRoundTrip:
+    def test_dump_merge_adds_counters_and_histograms(self):
+        worker = MetricsRegistry()
+        worker.counter("repro_jobs_total", "jobs").inc(4, engine="bmc")
+        worker.gauge("repro_depth").set(9)
+        worker.histogram("repro_secs", buckets=(1, 10)).observe(0.5)
+
+        parent = MetricsRegistry()
+        parent.counter("repro_jobs_total").inc(1, engine="bmc")
+        parent.merge(worker.dump())
+        parent.merge(worker.dump())
+
+        assert parent.counter("repro_jobs_total").value(engine="bmc") == 9
+        assert parent.gauge("repro_depth").value() == 9
+        assert parent.histogram("repro_secs",
+                                buckets=(1, 10)).summary() == {
+            "count": 2, "sum": 1.0,
+        }
+
+    def test_dump_is_json_shaped(self):
+        import json
+
+        r = MetricsRegistry()
+        r.counter("repro_a_total").inc(1, k="v")
+        r.histogram("repro_h").observe(2.5)
+        assert json.loads(json.dumps(r.dump())) == r.dump()
+
+
+class TestExposition:
+    def test_prometheus_text_structure(self):
+        r = MetricsRegistry()
+        r.counter("repro_x_total", "things").inc(3, kind="a")
+        r.histogram("repro_s", "seconds", buckets=(1.0, 10.0)).observe(0.5)
+        text = r.to_prometheus()
+        assert "# HELP repro_x_total things" in text
+        assert "# TYPE repro_x_total counter" in text
+        assert 'repro_x_total{kind="a"} 3' in text
+        assert 'repro_s_bucket{le="1.0"} 1' in text
+        assert 'repro_s_bucket{le="+Inf"} 1' in text
+        assert "repro_s_sum 0.5" in text
+        assert "repro_s_count 1" in text
+        assert text.endswith("\n")
+
+    def test_bucket_counts_are_cumulative(self):
+        r = MetricsRegistry()
+        h = r.histogram("repro_s", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        h.observe(5.0)
+        text = r.to_prometheus()
+        assert 'repro_s_bucket{le="1.0"} 1' in text
+        assert 'repro_s_bucket{le="10.0"} 2' in text
+
+
+class TestNullRegistry:
+    def test_null_registry_is_inert_and_shared(self):
+        assert NULL_REGISTRY.counter("a") is NULL_REGISTRY.counter("b")
+        NULL_REGISTRY.counter("a").inc(5)
+        assert NULL_REGISTRY.snapshot() == {}
+        assert NULL_REGISTRY.to_prometheus() == ""
+        assert NULL_REGISTRY.dump() == []

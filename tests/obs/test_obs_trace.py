@@ -1,0 +1,181 @@
+"""Trace integrity: nesting, exception unwinding, the disabled no-op
+path, and deterministic cross-process merging."""
+
+import pickle
+import tracemalloc
+
+import pytest
+
+from repro import obs
+from repro.obs.trace import NULL_TRACER, Tracer
+
+
+def _by_name(tracer_or_records, name):
+    records = (tracer_or_records.records()
+               if hasattr(tracer_or_records, "records")
+               else tracer_or_records)
+    return [r for r in records if r["name"] == name]
+
+
+class TestNesting:
+    def test_children_record_their_parent(self):
+        t = Tracer()
+        with t.span("outer", cat="x") as outer:
+            with t.span("inner", cat="x"):
+                pass
+        inner, = _by_name(t, "inner")
+        assert inner["parent"] == outer.id
+        assert t.open_spans == 0
+
+    def test_sibling_spans_share_a_parent(self):
+        t = Tracer()
+        with t.span("root") as root:
+            with t.span("a"):
+                pass
+            with t.span("b"):
+                pass
+        a, = _by_name(t, "a")
+        b, = _by_name(t, "b")
+        assert a["parent"] == b["parent"] == root.id
+
+    def test_timestamps_are_monotone_and_nested(self):
+        t = Tracer()
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+        inner, = _by_name(t, "inner")
+        outer, = _by_name(t, "outer")
+        assert outer["ts"] <= inner["ts"]
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"] + 1e-9
+
+    def test_tags_merge(self):
+        t = Tracer()
+        with t.span("s", cat="c", first=1) as span:
+            span.tag(second=2)
+        rec, = _by_name(t, "s")
+        assert rec["args"] == {"first": 1, "second": 2}
+
+    def test_instant_events_attach_to_the_open_span(self):
+        t = Tracer()
+        with t.span("s") as span:
+            t.instant("tick", cat="c", n=3)
+        tick, = _by_name(t, "tick")
+        assert tick["ph"] == "i"
+        assert tick["parent"] == span.id
+        assert tick["args"] == {"n": 3}
+
+
+class TestExceptionClosure:
+    def test_exception_closes_the_span_and_tags_the_error(self):
+        t = Tracer()
+        with pytest.raises(ValueError):
+            with t.span("doomed"):
+                raise ValueError("boom")
+        rec, = _by_name(t, "doomed")
+        assert rec["args"]["error"] == "ValueError"
+        assert rec["dur"] is not None
+        assert t.open_spans == 0
+
+    def test_exception_unwinding_through_several_spans_closes_all(self):
+        t = Tracer()
+        with pytest.raises(RuntimeError):
+            with t.span("a"):
+                with t.span("b"):
+                    with t.span("c"):
+                        raise RuntimeError
+        assert t.open_spans == 0
+        assert {r["name"] for r in t.records()} == {"a", "b", "c"}
+        # Innermost closes first (close order is record order).
+        assert [r["name"] for r in t.records()] == ["c", "b", "a"]
+
+    def test_partial_trace_is_still_exportable(self):
+        t = Tracer()
+        with pytest.raises(ValueError):
+            with t.span("root"):
+                with t.span("child"):
+                    raise ValueError
+        record = obs.run_record(t)
+        assert len(record["traceEvents"]) == 2
+
+
+class TestDisabledPath:
+    def test_null_tracer_returns_one_shared_handle(self):
+        a = NULL_TRACER.span("a", cat="x", tag=1)
+        b = NULL_TRACER.span("b")
+        assert a is b  # the preallocated singleton — nothing per call
+
+    def test_disabled_span_allocates_nothing(self):
+        spans = [NULL_TRACER.span("warm")]  # warm any lazy state
+        tracemalloc.start()
+        before = tracemalloc.take_snapshot()
+        for _ in range(1000):
+            with NULL_TRACER.span("hot", cat="smt", depth=3) as s:
+                s.tag(result="sat")
+        after = tracemalloc.take_snapshot()
+        tracemalloc.stop()
+        growth = sum(d.size_diff for d in after.compare_to(before, "lineno")
+                     if d.size_diff > 0)
+        # tracemalloc's own bookkeeping costs a few KiB; 1000 recorded
+        # spans would cost hundreds of KiB.
+        assert growth < 64 * 1024
+        assert spans  # keepalive
+
+    def test_module_defaults_to_disabled(self):
+        assert not obs.enabled()
+        assert obs.get_tracer() is NULL_TRACER
+
+    def test_observe_restores_previous_state(self):
+        with obs.observe() as (tracer, registry):
+            assert obs.enabled()
+            assert obs.get_tracer() is tracer
+            assert obs.get_registry() is registry
+        assert not obs.enabled()
+
+    def test_observe_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with obs.observe():
+                raise RuntimeError
+        assert not obs.enabled()
+
+
+class TestAdopt:
+    def _worker_records(self):
+        w = Tracer()
+        with w.span("job", cat="engine"):
+            with w.span("check", cat="bmc"):
+                with w.span("solve", cat="smt"):
+                    pass
+        return w.records(), w.wall_epoch
+
+    def test_adopt_preserves_intra_worker_links(self):
+        records, wall = self._worker_records()
+        parent_t = Tracer()
+        with parent_t.span("batch") as batch:
+            pass
+        parent_t.adopt(records, wall_epoch=wall, parent=batch.id, tid=4242)
+        job, = _by_name(parent_t, "job")
+        check, = _by_name(parent_t, "check")
+        solve, = _by_name(parent_t, "solve")
+        assert job["parent"] == batch.id  # orphan root reattached
+        assert check["parent"] == job["id"]
+        assert solve["parent"] == check["id"]
+        assert job["tid"] == 4242
+
+    def test_adopt_is_deterministic_in_record_order(self):
+        """Adopting the same worker payloads in the same order yields
+        the same ids/links regardless of when workers finished."""
+        payloads = [self._worker_records() for _ in range(3)]
+
+        def merged():
+            t = Tracer()
+            with t.span("batch") as b:
+                pass
+            for records, wall in payloads:
+                t.adopt(records, wall_epoch=wall, parent=b.id)
+            return [(r["id"], r["parent"], r["name"]) for r in t.records()]
+
+        assert merged() == merged()
+
+    def test_records_are_picklable(self):
+        records, _ = self._worker_records()
+        assert pickle.loads(pickle.dumps(records)) == records
