@@ -11,27 +11,39 @@
     python -m repro audit enterprise --json > verdicts.json
     python -m repro audit enterprise --trace run.json --metrics
     python -m repro stats run.json --top 15
+    python -m repro serve start --port 8642 --store-dir ~/.repro-store
+    python -m repro audit enterprise --server :8642
 
 ``audit`` builds the scenario (optionally with its §5.1/§5.2
 misconfiguration injected), verifies every invariant in its check list,
-compares against the expected verdicts, and exits non-zero when any
-verdict is unexpected — usable as a regression gate.
+and compares against the expected verdicts.  ``prove`` is ``audit``
+with the unbounded proof portfolio (:mod:`repro.proof`): every check
+runs BMC-for-bugs alongside k-induction and IC3/PDR, and each row
+reports its guarantee strength.  ``watch`` replays a churn stream (a
+generated sequence of network deltas) through an incremental
+re-verification session and reports what each delta cost to absorb.
 
-``prove`` is ``audit`` with the unbounded proof portfolio
-(:mod:`repro.proof`): every check runs BMC-for-bugs alongside
-k-induction and IC3/PDR, and each row reports its guarantee strength —
-``holds (unbounded)`` backed by an independently re-checked inductive
-certificate, or ``bounded`` with the limiting engines' reason.
+**Exit codes** (audit / prove / watch / repair): ``0`` — every verdict
+matches its expectation and nothing is violated; ``1`` — at least one
+invariant is violated or a verdict mismatches its expectation (for
+``watch``: judged on the churn stream's final version; for ``repair``:
+no certified patch, or mismatches remain after it); ``2`` — usage or
+transport errors (unknown scenario, unreachable ``--server``, bad
+flags).  Scripts and CI can gate on the exit code alone.
 
-``watch`` replays a churn stream (a generated sequence of network
-deltas — firewall-rule edits, host/tenant provisioning, link flaps)
-through an incremental re-verification session and reports what each
-delta cost to absorb: how many checks were invalidated, how many
-verdicts the warm cache answered, and how many solver runs were left.
+Every verification command takes ``--json`` (machine-readable verdicts
+and timings on stdout) and ``--server URL`` (execute on a resident
+``repro serve`` daemon, reusing its warm caches, solvers, and persisted
+certificate store — verdict-identical to running in-process, and
+byte-identical under ``--stable-json``).  Without ``--server`` the
+command runs in-process, exactly as before the daemon existed.
 
-Both commands take ``--json`` to emit machine-readable verdicts and
-timings on stdout (CI and the benchmarks consume this instead of
-parsing text).
+``audit``/``prove``/``watch``/``repair`` also take ``--stable-json``:
+like ``--json`` but with wall-clock timings and warm-state-dependent
+fields (cache-hit flags, solver-effort counters, proof-search
+artifacts) stripped, making the output byte-reproducible for a fixed
+``--seed`` across process invocations *and* across warm/cold execution
+paths.
 
 Every verification command also takes ``--trace OUT.json`` (record a
 hierarchical span trace — the file loads directly in
@@ -46,92 +58,28 @@ from __future__ import annotations
 
 import argparse
 import json
-import random
 import sys
 import time
 from contextlib import contextmanager
-from typing import Callable, Dict, Optional
 
 from . import obs
-from .core.engine import default_workers, execute_jobs
-from .incremental import IncrementalSession
-from .netmodel.bmc import SOLVER_COUNTERS
-from .scenarios import (
-    CHURN_GENERATORS,
-    ScenarioBundle,
-    datacenter,
-    datacenter_redundancy,
-    datacenter_traversal,
-    datacenter_with_caches,
-    enterprise,
-    isp,
-    multitenant,
+from .scenarios import CHURN_GENERATORS, SCENARIOS
+from .serve.client import (
+    DEFAULT_PORT,
+    ServerError,
+    request as _server_request,
+    server_status,
+    shutdown_server,
+)
+from .serve.service import (
+    BadRequest,
+    payload_exit_code,
+    run_audit,
+    run_repair,
+    run_watch,
 )
 
 __all__ = ["main", "SCENARIOS"]
-
-
-def _build_datacenter(size: int, misconfig: bool, seed: int) -> ScenarioBundle:
-    return datacenter(n_groups=size, delete_rules=size // 2 if misconfig else 0,
-                      seed=seed)
-
-
-def _build_redundancy(size: int, misconfig: bool, seed: int) -> ScenarioBundle:
-    return datacenter_redundancy(n_groups=size, backup_broken=misconfig, seed=seed)
-
-
-def _build_traversal(size: int, misconfig: bool, seed: int) -> ScenarioBundle:
-    return datacenter_traversal(n_groups=size,
-                                reroute_hosts=size if misconfig else 0, seed=seed)
-
-
-def _build_caches(size: int, misconfig: bool, seed: int) -> ScenarioBundle:
-    return datacenter_with_caches(n_groups=size,
-                                  delete_cache_acls=1 if misconfig else 0, seed=seed)
-
-
-def _build_enterprise(size: int, misconfig: bool, seed: int) -> ScenarioBundle:
-    deleted = ()
-    if misconfig:
-        bundle = enterprise(n_subnets=size)
-        quarantined = sorted(
-            h.name for h in bundle.topology.hosts if h.name.startswith("quar")
-        )
-        # Seeded victim choice: library callers could always pick any
-        # host; the CLI's injection is now reproducible per --seed too.
-        deleted = (random.Random(seed).choice(quarantined),)
-    return enterprise(n_subnets=size, deny_deleted_for=deleted)
-
-
-def _build_multitenant(size: int, misconfig: bool, seed: int) -> ScenarioBundle:
-    if misconfig:
-        raise SystemExit("multitenant has no misconfiguration injector")
-    return multitenant(n_tenants=size)
-
-
-def _build_isp(size: int, misconfig: bool, seed: int) -> ScenarioBundle:
-    return isp(n_subnets=size, scrubber_bypasses_fw=misconfig)
-
-
-SCENARIOS: Dict[str, Callable[[int, bool, int], ScenarioBundle]] = {
-    "datacenter": _build_datacenter,
-    "datacenter-redundancy": _build_redundancy,
-    "datacenter-traversal": _build_traversal,
-    "datacenter-caches": _build_caches,
-    "enterprise": _build_enterprise,
-    "multitenant": _build_multitenant,
-    "isp": _build_isp,
-}
-
-_DEFAULT_SIZES = {
-    "datacenter": 3,
-    "datacenter-redundancy": 3,
-    "datacenter-traversal": 2,
-    "datacenter-caches": 2,
-    "enterprise": 3,
-    "multitenant": 2,
-    "isp": 3,
-}
 
 
 def _add_obs_flags(parser) -> None:
@@ -144,6 +92,17 @@ def _add_obs_flags(parser) -> None:
                         help="dump Prometheus-style metrics text (to stderr "
                              "when no path is given, keeping --json stdout "
                              "clean)")
+
+
+def _add_server_flag(parser) -> None:
+    parser.add_argument("--server", default=None, metavar="URL",
+                        help="execute on a resident `repro serve` daemon "
+                             "(e.g. http://127.0.0.1:8642 or just :8642), "
+                             "reusing its warm caches and persisted store; "
+                             "verdicts are identical to in-process runs and "
+                             "--stable-json output is byte-identical. "
+                             "An unreachable server is an error (exit 2), "
+                             "never a silent cold fallback")
 
 
 @contextmanager
@@ -208,272 +167,49 @@ def _cmd_list(_args) -> int:
     return 0
 
 
-def _build_bundle(args):
-    """The scenario bundle for ``args``, or ``None`` (with a message)
-    when the scenario name is unknown — callers exit 2."""
-    builder = SCENARIOS.get(args.scenario)
-    if builder is None:
-        print(f"unknown scenario {args.scenario!r}; see `python -m repro list`")
-        return None
-    size = args.size if args.size is not None else _DEFAULT_SIZES[args.scenario]
-    misconfig = getattr(args, "misconfig", False)
-    return builder(size, misconfig, args.seed)
-
-
-def _certificate_row(stats) -> Optional[dict]:
-    """Compact certificate summary for ``prove --json`` rows."""
-    cert = stats.get("certificate")
-    if cert is None:
-        return None
-    row = {"kind": cert.kind, "summary": cert.summary()}
-    if cert.kind == "kinduction":
-        row["k"] = cert.k
-    else:
-        row["n_clauses"] = len(cert.clauses)
-        row["n_literals"] = sum(len(c) for c in cert.clauses)
-        shrink = stats.get("certificate_minimized")
-        if shrink is not None:
-            row["minimized"] = shrink
-    return row
-
-
-def _cmd_audit(args, prove: Optional[str] = None) -> int:
-    bundle = _build_bundle(args)
-    if bundle is None:
-        return 2
-    vmn = bundle.vmn(use_slicing=not args.no_slicing,
-                     use_cache=not args.no_cache)
-    if not args.json:
-        print(f"{bundle.name}: {bundle.topology.describe()}")
-        print(f"policy equivalence classes: {vmn.policy_classes.count}")
-
-    workers = args.jobs if args.jobs > 0 else None  # None = one per CPU
-    bmc_kwargs = {}
-    if prove and getattr(args, "budget", None):
-        bmc_kwargs["max_conflicts"] = args.budget
-    if prove and getattr(args, "max_checks", None):
-        bmc_kwargs["max_checks"] = args.max_checks
-    started = time.perf_counter()
-    job_list = [
-        vmn.job_for(check.invariant, index=i, prove=prove, **bmc_kwargs)
-        for i, check in enumerate(bundle.checks)
-    ]
-    results = execute_jobs(job_list, workers=workers, cache=vmn.result_cache,
-                           solver_pool=vmn.solver_pool)
-    elapsed = time.perf_counter() - started
-
-    mismatches = 0
-    rows = []
-    solver_totals = {k: 0 for k in _SOLVER_COUNTERS}
-    guarantees = {"unbounded": 0, "bounded": 0}
-    shrink_totals = {"clauses_before": 0, "clauses_after": 0}
-    for check, job, result in zip(bundle.checks, job_list, results):
-        ok = result.status == check.expected
-        mismatches += 0 if ok else 1
-        solver = _solver_row(result)
-        if solver is not None and not result.cache_hit:
-            for key in _SOLVER_COUNTERS:
-                solver_totals[key] += solver[key]
-        row = {
-            "label": check.label,
-            "invariant": check.invariant.describe(),
-            "status": result.status,
-            "expected": check.expected,
-            "ok": ok,
-            "slice_size": job.slice_size,
-            "cached": result.cache_hit,
-            "solve_seconds": round(result.solve_seconds, 4),
-            "solver": solver,
-            "trace": str(result.trace) if result.trace is not None else None,
-        }
-        if prove:
-            stats = result.stats
-            guarantee = stats.get("guarantee", "bounded")
-            guarantees[guarantee] = guarantees.get(guarantee, 0) + 1
-            shrunk = stats.get("certificate_minimized")
-            if shrunk is not None and not result.cache_hit:
-                shrink_totals["clauses_before"] += shrunk["clauses_before"]
-                shrink_totals["clauses_after"] += shrunk["clauses_after"]
-            row.update({
-                "guarantee": guarantee,
-                "engine": stats.get("proof_engine"),
-                "note": stats.get("proof_note"),
-                "certificate": _certificate_row(stats),
-                "recheck_ok": stats.get("recheck_ok"),
-                "solver_checks": stats.get("solver_checks"),
-            })
-        rows.append(row)
-        if args.json:
-            continue
-        where = f"slice={job.slice_size}" if job.slice_size else "whole-net"
-        cached = ", cached" if result.cache_hit else ""
-        strength = ""
-        if prove:
-            strength = (
-                f" [{row['guarantee']}"
-                + (f" via {row['engine']}" if row["engine"] else "")
-                + "]"
-            )
-        print(f"  {check.label:30s} {result.status:9s}{strength} "
-              f"({where}, {result.solve_seconds:.2f}s{cached})"
-              f"{'' if ok else f'  EXPECTED {check.expected}'}")
-        if args.show_traces and result.trace is not None:
-            for line in str(result.trace).splitlines()[1:]:
-                print("     ", line)
-
-    if args.json:
-        payload = {
-            "command": "prove" if prove else "audit",
-            "scenario": bundle.name,
-            "policy_classes": vmn.policy_classes.count,
-            "n_checks": len(rows),
-            "mismatches": mismatches,
-            "elapsed_seconds": round(elapsed, 3),
-            "solver_totals": solver_totals,
-            "checks": rows,
-        }
-        if prove:
-            payload["guarantees"] = guarantees
-            payload["certificate_shrink"] = {
-                **shrink_totals,
-                "ratio": (
-                    round(
-                        shrink_totals["clauses_before"]
-                        / shrink_totals["clauses_after"],
-                        2,
-                    )
-                    if shrink_totals["clauses_after"]
-                    else None
-                ),
-            }
-        json.dump(payload, sys.stdout, indent=2)
-        sys.stdout.write("\n")
-    else:
-        tail = ""
-        if prove:
-            tail = (f"; {guarantees['unbounded']} unbounded / "
-                    f"{guarantees['bounded']} bounded guarantees")
-        print(f"{len(bundle.checks)} invariants in {elapsed:.1f}s; "
-              f"{mismatches} unexpected verdicts{tail}")
-    return 0 if mismatches == 0 else 1
-
-
-#: Per-check solver-work counters surfaced in ``audit --json``.  These
-#: are this check's *deltas* of the solver's cumulative counters (the
-#: incremental solver never resets them — ``cumulative`` in each row
-#: carries the running totals of the warm solver that served it).
-_SOLVER_COUNTERS = SOLVER_COUNTERS
-
-
-def _solver_row(result) -> Optional[dict]:
-    """Solver statistics of one check, or ``None`` for pre-solver-era
-    cached results that carry no counters."""
-    stats = result.stats
-    if not all(key in stats for key in _SOLVER_COUNTERS):
-        return None
-    row = {key: stats[key] for key in _SOLVER_COUNTERS}
-    row.update(
-        vars=stats.get("vars"),
-        clauses=stats.get("clauses"),
-        learnts=stats.get("learnts"),
-        warm=bool(stats.get("warm")),
-        cumulative=stats.get("cumulative"),
-    )
-    return row
-
-
-def _report_row(report) -> dict:
+# ----------------------------------------------------------------------
+# Request specs + dispatch (in-process or --server)
+# ----------------------------------------------------------------------
+def _spec_from_args(args, command: str) -> dict:
+    """The request spec for one CLI invocation — the exact dict a
+    ``--server`` run POSTs to the daemon, so both paths verify the
+    same problem by construction."""
     return {
-        "version": report.version,
-        "delta": report.delta,
-        "n_checks": len(report),
-        "carried": report.carried,
-        "cache_hits": report.cache_hits,
-        "solver_runs": report.solver_runs,
-        "certificates_reused": report.certificates_reused,
-        "metrics": report.metrics,
-        "retired": [c.describe() for c in report.retired],
-        "added": report.added,
-        "seconds": round(report.seconds, 3),
-        "drift": [
-            {"label": o.check.describe(), "status": o.status,
-             "expected": o.check.expected}
-            for o in report if o.ok is False
-        ],
-        "checks": {o.check.describe(): o.status for o in report},
+        "command": command,
+        "scenario": args.scenario,
+        "size": getattr(args, "size", None),
+        "misconfig": getattr(args, "misconfig", False),
+        "seed": args.seed,
+        "no_slicing": getattr(args, "no_slicing", False),
+        "no_cache": getattr(args, "no_cache", False),
+        "jobs": args.jobs,
+        "stable": getattr(args, "stable_json", False),
+        "budget": getattr(args, "budget", None),
+        "max_checks": getattr(args, "max_checks", None),
+        "deltas": getattr(args, "deltas", 10),
+        "prove": getattr(args, "prove", False),
+        "fault": getattr(args, "fault", None),
+        "max_edits": getattr(args, "max_edits", 3),
+        "max_candidates": getattr(args, "max_candidates", 32),
     }
 
 
-def _cmd_watch(args) -> int:
-    generator = CHURN_GENERATORS.get(args.scenario)
-    if generator is None and args.scenario in SCENARIOS:
-        print(f"no churn generator for {args.scenario!r}; watchable: "
-              + ", ".join(sorted(CHURN_GENERATORS)))
-        return 2
-    bundle = _build_bundle(args)
-    if bundle is None:
-        return 2
-    events = generator(bundle, n_events=args.deltas, seed=args.seed)
-    json_mode = args.json or args.stable_json
-
-    session = IncrementalSession.from_bundle(
-        bundle,
-        # The session treats jobs=None as sequential (like verify_all),
-        # so "0 = one per CPU" is resolved here.
-        jobs=args.jobs if args.jobs > 0 else default_workers(),
-        use_cache=not args.no_cache,
-    )
-    reports = [session.baseline()]
-    if not json_mode:
-        print(f"{bundle.name}: watching {len(events)} deltas "
-              f"over {len(session.checks)} checks")
-        print("  " + reports[0].summary())
-    for event in events:
-        report = session.apply(event.delta, new_checks=event.new_checks)
-        reports.append(report)
-        if not json_mode:
-            drift = f"; DRIFT: {report.mismatches}" if report.mismatches else ""
-            print("  " + report.summary() + drift)
-
-    churn = reports[1:]
-    totals = {
-        "deltas": len(churn),
-        "checks_reverified": sum(r.invalidated for r in churn),
-        "checks_carried": sum(r.carried for r in churn),
-        "cache_hits": sum(r.cache_hits for r in churn),
-        "solver_runs": sum(r.solver_runs for r in churn),
-        "certificates_reused": sum(r.certificates_reused for r in churn),
-        "seconds": round(sum(r.seconds for r in churn), 3),
-        "full_audit_equivalent_checks": sum(len(r) for r in churn),
-    }
-    if json_mode:
-        _emit_json({
-            "command": "watch",
-            "scenario": bundle.name,
-            "seed": args.seed,
-            "baseline": _report_row(reports[0]),
-            "versions": [_report_row(r) for r in churn],
-            "totals": totals,
-        }, args.stable_json)
-    else:
-        print(f"absorbed {totals['deltas']} deltas with "
-              f"{totals['solver_runs']} solver runs "
-              f"(vs {totals['full_audit_equivalent_checks']} checks across "
-              f"full re-audits); {totals['cache_hits']} cache hits, "
-              f"{totals['checks_carried']} verdicts carried, "
-              f"{totals['seconds']}s total")
-    drifted = sum(r.mismatches for r in churn[-1:])
-    return 0 if drifted == 0 else 1
+def _execute_spec(spec: dict, args, runner) -> dict:
+    """The payload for ``spec`` — from the daemon when ``--server`` was
+    given, in-process otherwise.  The server returns the *full* payload
+    (timings and all); any ``--stable-json`` stripping happens here on
+    the client, with the same code either way."""
+    server = getattr(args, "server", None)
+    if server:
+        return _server_request(server, spec)["payload"]
+    return runner(spec)
 
 
 #: Keys dropped by ``--stable-json``: wall-clock fields, plus solver-
 #: *internal* artifacts (clause counts of learned certificates, shrink
 #: statistics, proof-engine identity) whose exact values depend on the
 #: process's memory layout (term interning keys hash object ids, so
-#: search tie-breaking varies run to run).  Everything that remains —
-#: verdicts, patches, costs, attempt sequence, screening work counts —
-#: is deterministic for a pinned ``--seed``, making the stripped output
-#: byte-reproducible across process invocations.
+#: search tie-breaking varies run to run).
 _UNSTABLE_KEYS = frozenset({
     "seconds", "solve_seconds", "elapsed_seconds", "encode_seconds",
     "timing",
@@ -483,101 +219,193 @@ _UNSTABLE_KEYS = frozenset({
     "metrics",
 })
 
+#: Also dropped by ``--stable-json``: fields that depend on *warm
+#: state* — whether a verdict came from the cache, how much solver
+#: effort it took, whether a persisted certificate was revalidated.
+#: A warm ``--server`` run and a cold in-process run legitimately
+#: differ here while agreeing on every verdict; stripping them is what
+#: upgrades the parity guarantee from "same verdicts" to "same bytes".
+_WARM_STATE_KEYS = frozenset({
+    "cached", "solver", "solver_totals",
+    "cache_hits", "solver_runs", "certificates_reused",
+    "certificate", "recheck_ok", "certificate_shrink", "note",
+})
 
-def _strip_timing(payload):
+_STABLE_DROPPED = _UNSTABLE_KEYS | _WARM_STATE_KEYS
+
+
+def _strip_unstable(payload):
     """A copy of a JSON payload with every unstable field removed."""
     if isinstance(payload, dict):
         return {
-            k: _strip_timing(v)
+            k: _strip_unstable(v)
             for k, v in payload.items()
-            if k not in _UNSTABLE_KEYS
+            if k not in _STABLE_DROPPED
         }
     if isinstance(payload, list):
-        return [_strip_timing(v) for v in payload]
+        return [_strip_unstable(v) for v in payload]
     return payload
 
 
 def _emit_json(payload, stable: bool) -> None:
     if stable:
-        payload = _strip_timing(payload)
+        payload = _strip_unstable(payload)
     json.dump(payload, sys.stdout, indent=2)
     sys.stdout.write("\n")
 
 
-def _cmd_repair(args) -> int:
-    from .scenarios.faults import FAULTS, build_fault, fault_names
+# ----------------------------------------------------------------------
+# Text renderers (consume the same payloads --json emits)
+# ----------------------------------------------------------------------
+def _render_audit_text(payload: dict, show_traces: bool, prove: bool) -> None:
+    print(f"{payload['scenario']}: {payload['topology']}")
+    print(f"policy equivalence classes: {payload['policy_classes']}")
+    for row in payload["checks"]:
+        where = (f"slice={row['slice_size']}" if row["slice_size"]
+                 else "whole-net")
+        cached = ", cached" if row["cached"] else ""
+        strength = ""
+        if prove:
+            strength = (
+                f" [{row['guarantee']}"
+                + (f" via {row['engine']}" if row["engine"] else "")
+                + "]"
+            )
+        expected = "" if row["ok"] else f"  EXPECTED {row['expected']}"
+        print(f"  {row['label']:30s} {row['status']:9s}{strength} "
+              f"({where}, {row['solve_seconds']:.2f}s{cached}){expected}")
+        if show_traces and row["trace"] is not None:
+            for line in row["trace"].splitlines()[1:]:
+                print("     ", line)
+    tail = ""
+    if prove:
+        guarantees = payload["guarantees"]
+        tail = (f"; {guarantees['unbounded']} unbounded / "
+                f"{guarantees['bounded']} bounded guarantees")
+    print(f"{payload['n_checks']} invariants in "
+          f"{payload['elapsed_seconds']:.1f}s; "
+          f"{payload['mismatches']} unexpected verdicts{tail}")
 
-    if args.scenario not in SCENARIOS:
-        print(f"unknown scenario {args.scenario!r}; see `python -m repro list`")
-        return 2
-    if not fault_names(args.scenario):
-        repairable = sorted({name.split("/", 1)[0] for name in FAULTS})
-        print(f"no faults registered for {args.scenario!r}; repairable: "
-              + ", ".join(repairable))
-        return 2
+
+def _render_watch_text(payload: dict) -> None:
+    versions = payload["versions"]
+    print(f"{payload['scenario']}: watching {len(versions)} deltas "
+          f"over {payload['baseline']['n_checks']} checks")
+    print("  " + payload["baseline"]["summary"])
+    for row in versions:
+        drift = f"; DRIFT: {len(row['drift'])}" if row["drift"] else ""
+        print("  " + row["summary"] + drift)
+    totals = payload["totals"]
+    print(f"absorbed {totals['deltas']} deltas with "
+          f"{totals['solver_runs']} solver runs "
+          f"(vs {totals['full_audit_equivalent_checks']} checks across "
+          f"full re-audits); {totals['cache_hits']} cache hits, "
+          f"{totals['checks_carried']} verdicts carried, "
+          f"{totals['seconds']}s total")
+
+
+def _render_repair_text(payload: dict) -> None:
+    fault = payload["fault"]
+    print(f"{payload['scenario']}: {fault['description']}")
+    print(f"  injected: {fault['deltas'][0]}")
+    tried = payload["candidates"]["tried"]
+    if payload["ok"]:
+        summary = (f"repaired {len(payload['targets'])} check(s) with "
+                   f"{len(payload['patch'])} edit(s) "
+                   f"(cost {payload['patch_cost']}) "
+                   f"after {tried} candidate(s)")
+    else:
+        summary = (f"no certified patch for {len(payload['targets'])} "
+                   f"check(s) after {tried} candidate(s): {payload['note']}")
+    print(f"  {summary}")
+    for desc in payload["patch"] or ():
+        print(f"    patch: {desc}")
+    for label, row in payload["certificates"].items():
+        print(f"    certified: {label} [{row['summary']}]")
+    best = payload.get("best_effort")
+    if best and not payload["ok"]:
+        print(f"    best effort: {best['label']} "
+              f"({best['mismatches']} mismatch(es) left)")
+    final = payload["final_audit"]
+    print(f"  {final['n_checks']} checks after repair; "
+          f"{final['mismatches']} mismatches; "
+          f"{tried} candidates screened in "
+          f"{payload['timing']['seconds']:.1f}s")
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+def _cmd_audit(args, prove=None) -> int:
+    spec = _spec_from_args(args, "prove" if prove else "audit")
     try:
-        fault = build_fault(args.scenario, args.fault, args.size, args.seed)
-    except KeyError as err:
-        print(str(err.args[0]))
+        payload = _execute_spec(spec, args, run_audit)
+    except (BadRequest, ServerError) as err:
+        print(str(err))
         return 2
-    bundle = fault.bundle
-    json_mode = args.json or args.stable_json
-    if not json_mode:
-        print(f"{bundle.name}: {fault.description}")
-        print(f"  injected: {fault.fault.describe()}")
-
-    # Canonical (lex-minimal) counterexamples make hint extraction —
-    # and therefore the candidate stream and the accepted patch —
-    # reproducible across runs, not just the verdicts.
-    bmc_kwargs = {"canonical_trace": True}
-    if args.budget:
-        bmc_kwargs["max_conflicts"] = args.budget
-    session = IncrementalSession.from_bundle(
-        bundle,
-        jobs=args.jobs if args.jobs > 0 else default_workers(),
-        use_cache=not args.no_cache,
-        bmc_kwargs=bmc_kwargs,
-    )
-    result = session.repair(
-        max_edits=args.max_edits,
-        max_candidates=args.max_candidates,
-    )
-    # Post-patch verdicts of every tracked check (the patch, when
-    # accepted, is already applied to the session's network).
-    final_mismatches = sum(1 for o in session.outcomes if o.ok is False)
-
-    if json_mode:
-        payload = {
-            "command": "repair",
-            "scenario": bundle.name,
-            "fault": {
-                "name": fault.name,
-                "description": fault.description,
-                "deltas": [fault.fault.describe()],
-            },
-            "seed": args.seed,
-            **result.to_json(),
-            "final_audit": {
-                "n_checks": len(session.outcomes),
-                "mismatches": final_mismatches,
-            },
-        }
+    if args.json or args.stable_json:
         _emit_json(payload, args.stable_json)
     else:
-        print(f"  {result.summary()}")
-        for desc in result.patch_deltas:
-            print(f"    patch: {desc}")
-        for label, row in sorted(result.certificate_rows.items()):
-            print(f"    certified: {label} [{row['summary']}]")
-        if result.best_effort and not result.ok:
-            best = result.best_effort
-            print(f"    best effort: {best.label} "
-                  f"({best.mismatches} mismatch(es) left)")
-        print(f"  {len(session.outcomes)} checks after repair; "
-              f"{final_mismatches} mismatches; "
-              f"{result.candidates_tried} candidates screened in "
-              f"{result.seconds:.1f}s")
-    return 0 if result.ok and final_mismatches == 0 else 1
+        _render_audit_text(payload, show_traces=args.show_traces,
+                           prove=bool(prove))
+    return payload_exit_code(payload)
+
+
+def _cmd_watch(args) -> int:
+    spec = _spec_from_args(args, "watch")
+    try:
+        payload = _execute_spec(spec, args, run_watch)
+    except (BadRequest, ServerError) as err:
+        print(str(err))
+        return 2
+    if args.json or args.stable_json:
+        _emit_json(payload, args.stable_json)
+    else:
+        _render_watch_text(payload)
+    return payload_exit_code(payload)
+
+
+def _cmd_repair(args) -> int:
+    spec = _spec_from_args(args, "repair")
+    try:
+        payload = _execute_spec(spec, args, run_repair)
+    except (BadRequest, ServerError) as err:
+        print(str(err))
+        return 2
+    if args.json or args.stable_json:
+        _emit_json(payload, args.stable_json)
+    else:
+        _render_repair_text(payload)
+    return payload_exit_code(payload)
+
+
+def _cmd_serve(args) -> int:
+    if args.serve_command == "start":
+        from .serve.server import run_server
+
+        return run_server(
+            host=args.host,
+            port=args.port,
+            store_dir=args.store_dir,
+            cache_entries=args.cache_entries,
+            max_shards=args.max_shards,
+            max_inflight=args.max_inflight,
+            queue_depth=args.queue_depth,
+            quiet=args.quiet,
+        )
+    server = args.server or f"127.0.0.1:{DEFAULT_PORT}"
+    try:
+        if args.serve_command == "stop":
+            shutdown_server(server)
+            print(f"stopped {server}")
+            return 0
+        status = server_status(server)
+    except ServerError as err:
+        print(str(err))
+        return 2
+    json.dump(status, sys.stdout, indent=2)
+    sys.stdout.write("\n")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -585,6 +413,9 @@ def main(argv=None) -> int:
         prog="repro",
         description="VMN reproduction — verify reachability in networks "
                     "with mutable datapaths",
+        epilog="exit codes: 0 all verdicts as expected and none violated; "
+               "1 violated invariants or unexpected verdicts; "
+               "2 usage/transport errors",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -609,6 +440,11 @@ def main(argv=None) -> int:
                        help="print counterexample schedules")
     audit.add_argument("--json", action="store_true",
                        help="emit structured verdicts/timings as JSON")
+    audit.add_argument("--stable-json", action="store_true",
+                       help="like --json but without wall-clock and "
+                            "warm-state fields: byte-reproducible for a "
+                            "fixed --seed, in-process or via --server")
+    _add_server_flag(audit)
     _add_obs_flags(audit)
 
     prove = sub.add_parser(
@@ -641,6 +477,11 @@ def main(argv=None) -> int:
                        help="print counterexample schedules")
     prove.add_argument("--json", action="store_true",
                        help="emit structured verdicts/guarantees as JSON")
+    prove.add_argument("--stable-json", action="store_true",
+                       help="like --json but without wall-clock and "
+                            "warm-state fields: byte-reproducible for a "
+                            "fixed --seed, in-process or via --server")
+    _add_server_flag(prove)
     _add_obs_flags(prove)
 
     repair = sub.add_parser(
@@ -680,6 +521,7 @@ def main(argv=None) -> int:
     repair.add_argument("--stable-json", action="store_true",
                         help="like --json but without wall-clock fields: "
                              "byte-reproducible for a fixed --seed")
+    _add_server_flag(repair)
     _add_obs_flags(repair)
 
     watch = sub.add_parser(
@@ -693,6 +535,12 @@ def main(argv=None) -> int:
                        help="number of churn deltas to replay (default: 10)")
     watch.add_argument("--seed", type=int, default=0,
                        help="seed for the churn stream")
+    watch.add_argument("--prove", action="store_true",
+                       help="keep tracked checks continuously *proven* "
+                            "(portfolio mode): holds verdicts carry "
+                            "certificates that later deltas — and, with a "
+                            "server-side store, later processes — "
+                            "revalidate instead of re-proving")
     watch.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="re-verify invalidated checks on N workers "
                             "(0 = one per CPU; default: sequential)")
@@ -703,6 +551,7 @@ def main(argv=None) -> int:
     watch.add_argument("--stable-json", action="store_true",
                        help="like --json but without wall-clock fields: "
                             "byte-reproducible for a fixed --seed")
+    _add_server_flag(watch)
     _add_obs_flags(watch)
 
     stats = sub.add_parser(
@@ -717,11 +566,53 @@ def main(argv=None) -> int:
                        help="aggregation key: name, cat, or tag:<key> "
                             "(default: name)")
 
+    serve = sub.add_parser(
+        "serve",
+        help="resident verification daemon: warm caches, solvers, and a "
+             "persistent certificate store shared across client runs",
+    )
+    serve_sub = serve.add_subparsers(dest="serve_command", required=True)
+    start = serve_sub.add_parser("start", help="run the daemon (foreground)")
+    start.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    start.add_argument("--port", type=int, default=DEFAULT_PORT,
+                       help=f"bind port; 0 = ephemeral, printed on stdout "
+                            f"(default: {DEFAULT_PORT})")
+    start.add_argument("--store-dir", default=None, metavar="DIR",
+                       help="persist verdicts + proof certificates here "
+                            "(one store file per network shard); omit to "
+                            "keep warm state in memory only")
+    start.add_argument("--cache-entries", type=int, default=4096, metavar="N",
+                       help="per-shard result-cache LRU bound "
+                            "(default: 4096)")
+    start.add_argument("--max-shards", type=int, default=8, metavar="N",
+                       help="resident network shards before LRU eviction "
+                            "(default: 8)")
+    start.add_argument("--max-inflight", type=int, default=2, metavar="N",
+                       help="concurrent verification requests "
+                            "(default: 2)")
+    start.add_argument("--queue-depth", type=int, default=16, metavar="N",
+                       help="waiting requests before the daemon answers "
+                            "busy/503 (default: 16)")
+    start.add_argument("--quiet", action="store_true",
+                       help="suppress per-request access logging")
+    stop = serve_sub.add_parser("stop", help="checkpoint stores and stop")
+    stop.add_argument("--server", default=None, metavar="URL",
+                      help=f"daemon to stop (default: "
+                           f"127.0.0.1:{DEFAULT_PORT})")
+    status = serve_sub.add_parser("status",
+                                  help="daemon + per-shard statistics")
+    status.add_argument("--server", default=None, metavar="URL",
+                        help=f"daemon to query (default: "
+                             f"127.0.0.1:{DEFAULT_PORT})")
+
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list(args)
     if args.command == "stats":
         return _cmd_stats(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.jobs < 0:
         parser.error("--jobs must be >= 0")
     with _observability(args):

@@ -48,6 +48,7 @@ from __future__ import annotations
 import dataclasses
 import multiprocessing
 import os
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -141,12 +142,25 @@ class ResultCache:
     One instance is owned by each :class:`repro.core.vmn.VMN` by
     default; share an instance across VMNs (e.g. across failure
     scenarios) to reuse verdicts between them.
+
+    ``max_entries`` bounds the cache LRU-style (mirroring
+    :class:`repro.netmodel.bmc.SolverPool`): when set, inserting past
+    the bound evicts the least-recently-*used* entry — ``get`` and
+    ``put`` both refresh recency, ``contains`` peeks without touching
+    it.  The default (``None``) is unbounded, which is right for
+    one-shot audits; long-lived owners — incremental sessions and the
+    ``repro serve`` daemon — pass a bound so memory stays flat as the
+    network churns through versions.
     """
 
-    def __init__(self):
-        self._store: Dict[str, CheckResult] = {}
+    def __init__(self, max_entries: Optional[int] = None):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 (or None)")
+        self.max_entries = max_entries
+        self._store: "OrderedDict[str, CheckResult]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def get(self, key: str) -> Optional[CheckResult]:
         result = self._store.get(key)
@@ -154,20 +168,33 @@ class ResultCache:
             self.misses += 1
         else:
             self.hits += 1
+            self._store.move_to_end(key)
         return result
 
     def contains(self, key: str) -> bool:
-        """Peek without touching the hit/miss counters (used by callers
-        deciding whether a solver-free path is even worth trying)."""
+        """Peek without touching the hit/miss counters or LRU order
+        (used by callers deciding whether a solver-free path is even
+        worth trying)."""
         return key in self._store
 
     def put(self, key: str, result: CheckResult) -> None:
         self._store[key] = result
+        self._store.move_to_end(key)
+        if self.max_entries is not None:
+            while len(self._store) > self.max_entries:
+                self._store.popitem(last=False)
+                self.evictions += 1
+
+    def items(self) -> List[Tuple[str, CheckResult]]:
+        """Current (fingerprint, result) pairs, LRU-oldest first —
+        what a persistent store absorbs on checkpoint."""
+        return list(self._store.items())
 
     def clear(self) -> None:
         self._store.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._store)

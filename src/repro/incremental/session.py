@@ -43,7 +43,8 @@ from ..obs import get_registry, get_tracer
 from ..core.slicing import SliceClosureError
 from ..core.vmn import VMN
 from ..netmodel.bmc import HOLDS, CheckResult
-from ..proof.certificate import recheck_certificate
+from ..netmodel.canon import Unfingerprintable, invariant_fingerprint
+from ..proof.certificate import RecheckReport, recheck_certificate
 from ..network.failures import NO_FAILURE, FailureScenario
 from ..network.topology import Topology
 from ..network.transfer import SteeringPolicy
@@ -173,6 +174,9 @@ class IncrementalSession:
         cache: Optional[ResultCache] = None,
         prove: Optional[str] = None,
         bmc_kwargs: Optional[dict] = None,
+        store=None,
+        solver_pool: Optional[SolverPool] = None,
+        cache_entries: Optional[int] = 4096,
         **vmn_kwargs,
     ):
         self.topology = topology
@@ -194,17 +198,31 @@ class IncrementalSession:
         self.vmn_kwargs = dict(vmn_kwargs)
         self.vmn_kwargs.pop("cache", None)
         self.vmn_kwargs.setdefault("use_cache", True)
+        # Sessions live long, so their cache is LRU-bounded by default
+        # (cache_entries; None = unbounded) — one-shot VMN audits keep
+        # the unbounded default of ResultCache itself.
         self.cache = cache if cache is not None else (
-            ResultCache() if self.vmn_kwargs["use_cache"] else None
+            ResultCache(max_entries=cache_entries)
+            if self.vmn_kwargs["use_cache"] else None
         )
         #: Warm solvers shared across versions: slices a delta does not
         #: rebuild keep their live encodings, so re-verification after
-        #: a delta reuses both learned clauses and CNF.
+        #: a delta reuses both learned clauses and CNF.  Pass
+        #: ``solver_pool=`` to share one pool across sessions (the
+        #: serve daemon's per-network shard does).
         self.solver_pool: Optional[SolverPool] = (
-            SolverPool()
-            if self.vmn_kwargs.pop("use_warm", True)
-            else None
+            solver_pool
+            if solver_pool is not None
+            else (SolverPool() if self.vmn_kwargs.pop("use_warm", True) else None)
         )
+        self.vmn_kwargs.pop("use_warm", None)
+        #: Optional :class:`repro.store.VerdictStore`: verdicts persisted
+        #: by an earlier process preload the warm cache, stored proof
+        #: certificates seed certificate reuse, and :meth:`checkpoint`
+        #: flushes the session's accumulated state back to disk.
+        self.store = store
+        if store is not None and self.cache is not None:
+            store.preload_cache(self.cache)
         self.index = ChangeImpactIndex()
         self.version = 0
         self._keys = itertools.count()
@@ -313,14 +331,39 @@ class IncrementalSession:
                 cert = result.stats.get("certificate")
                 if result.status == HOLDS and cert is not None:
                     self._certificates[key] = cert
+                    self._store_certificate(self._checks[key].invariant, cert)
                 else:
                     self._certificates.pop(key, None)
+
+    def _invariant_key(self, invariant) -> Optional[str]:
+        try:
+            return invariant_fingerprint(invariant)
+        except Unfingerprintable:
+            return None
+
+    def _store_certificate(self, invariant, cert) -> None:
+        if self.store is None:
+            return
+        inv_key = self._invariant_key(invariant)
+        if inv_key is not None:
+            self.store.put_certificate(inv_key, cert)
 
     def _reuse_certificate(self, key: int, invariant) -> Optional[CheckResult]:
         """Try the cached certificate against the current version;
         ``None`` when there is none or it no longer validates."""
+        if not self.prove:
+            return None
         cert = self._certificates.get(key)
-        if cert is None or not self.prove:
+        if cert is None and self.store is not None:
+            # A certificate persisted by an earlier process: file it
+            # under this session's check key and re-validate it below
+            # exactly like a certificate this session proved itself.
+            inv_key = self._invariant_key(invariant)
+            if inv_key is not None:
+                cert = self.store.certificate_for(inv_key)
+                if cert is not None:
+                    self._certificates[key] = cert
+        if cert is None:
             return None
         started = time.perf_counter()
         net, _ = self.vmn.network_for(invariant)
@@ -328,11 +371,18 @@ class IncrementalSession:
         with get_tracer().span(
             "certificate-reuse", cat="incremental", check=key
         ) as span:
-            report = recheck_certificate(
-                net, invariant, cert,
-                {k: params[k] for k in
-                 ("n_packets", "failure_budget", "n_ports", "n_tags")},
-            )
+            try:
+                report = recheck_certificate(
+                    net, invariant, cert,
+                    {k: params[k] for k in
+                     ("n_packets", "failure_budget", "n_ports", "n_tags")},
+                )
+            except (KeyError, ValueError):
+                # A certificate that cannot even be expressed against
+                # this version's encoding (stale vocabulary from a
+                # persisted store) is simply not reusable — fall back
+                # to a fresh proof, never poison the verdict.
+                report = RecheckReport(False, 0, "certificate unencodable")
             span.tag(ok=report.ok)
         if not report.ok:
             self._certificates.pop(key, None)
@@ -510,6 +560,21 @@ class IncrementalSession:
             new_checks=[(c.invariant, c.label, c.expected) for c in retired],
             record=False,
         )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> Optional[dict]:
+        """Flush the session's warm state to its persistent store:
+        absorb every cached verdict (certificates are filed as they are
+        proven) and atomically rewrite the store file.  No-op without a
+        store.  Returns the store's stats, or ``None``."""
+        if self.store is None:
+            return None
+        if self.cache is not None:
+            self.store.absorb_cache(self.cache)
+        self.store.flush()
+        return self.store.stats()
 
     # ------------------------------------------------------------------
     # Cross-checking

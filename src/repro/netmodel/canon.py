@@ -20,7 +20,13 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Tuple
 
-__all__ = ["Unfingerprintable", "canon", "collect_names", "field_values"]
+__all__ = [
+    "Unfingerprintable",
+    "canon",
+    "collect_names",
+    "field_values",
+    "invariant_fingerprint",
+]
 
 
 class Unfingerprintable(Exception):
@@ -51,6 +57,25 @@ def field_values(obj) -> List[Tuple[str, object]]:
     if dataclasses.is_dataclass(obj):
         return [(f.name, getattr(obj, f.name)) for f in dataclasses.fields(obj)]
     return sorted(vars(obj).items())
+
+
+def invariant_fingerprint(invariant) -> str:
+    """An *exact* structural key of one invariant (no node renaming).
+
+    This is the identity under which a persistent store files an
+    invariant's proof certificate: stable across process restarts,
+    ``PYTHONHASHSEED`` values, and Python versions (it is built from
+    sorted/`repr`-stable canonical forms only), and — unlike the result
+    cache's check fingerprint — independent of the network version, so
+    a certificate filed under it can be re-validated against any later
+    version of the network.
+    """
+    return repr((
+        "inv",
+        type(invariant).__module__,
+        type(invariant).__qualname__,
+        tuple((n, canon(v, {})) for n, v in field_values(invariant)),
+    ))
 
 
 def canon(value, rename: Dict[str, str]):

@@ -168,8 +168,15 @@ def _recheck_ic3(
                     False, 0, f"certificate names unknown state {key!r}"
                 )
     ts.extend_to(1)
-    clauses0 = [clause_term(ts, cube, 0) for cube in cert.clauses]
-    clauses1 = [clause_term(ts, cube, 1) for cube in cert.clauses]
+    try:
+        clauses0 = [clause_term(ts, cube, 0) for cube in cert.clauses]
+        clauses1 = [clause_term(ts, cube, 1) for cube in cert.clauses]
+    except ValueError as err:
+        # The atom *keys* all exist, but a literal's value may still be
+        # outside this encoding's enum domain (e.g. a certificate from
+        # another network version naming an address its slice no longer
+        # carries).  That is a failed validation, not an error.
+        return RecheckReport(False, 0, f"certificate vocabulary mismatch: {err}")
     checks = 0
     # (1) Initiation: the empty start satisfies every clause.
     if clauses0:

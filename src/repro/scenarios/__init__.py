@@ -18,8 +18,13 @@ from .enterprise import SUBNET_TYPES, enterprise
 from .faults import FAULTS, InjectedFault, build_fault, fault_names
 from .isp import isp
 from .multitenant import multitenant
+from .registry import DEFAULT_SIZES, SCENARIOS, ScenarioError, build_scenario
 
 __all__ = [
+    "SCENARIOS",
+    "DEFAULT_SIZES",
+    "ScenarioError",
+    "build_scenario",
     "ExpectedCheck",
     "ScenarioBundle",
     "ChurnEvent",

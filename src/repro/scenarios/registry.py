@@ -1,0 +1,107 @@
+"""The named scenario registry shared by the CLI and the serve daemon.
+
+Every entry point that turns ``(scenario name, size, misconfig, seed)``
+into a :class:`repro.scenarios.common.ScenarioBundle` — ``repro audit``
+and friends in-process, and the ``repro serve`` request handlers — goes
+through :func:`build_scenario`, so a client and a server given the same
+request spec construct byte-identical verification problems.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict
+
+from .common import ScenarioBundle
+from .datacenter import (
+    datacenter,
+    datacenter_redundancy,
+    datacenter_traversal,
+    datacenter_with_caches,
+)
+from .enterprise import enterprise
+from .isp import isp
+from .multitenant import multitenant
+
+__all__ = ["SCENARIOS", "DEFAULT_SIZES", "ScenarioError", "build_scenario"]
+
+
+class ScenarioError(ValueError):
+    """Unknown scenario name or unsupported option combination."""
+
+
+def _build_datacenter(size: int, misconfig: bool, seed: int) -> ScenarioBundle:
+    return datacenter(n_groups=size, delete_rules=size // 2 if misconfig else 0,
+                      seed=seed)
+
+
+def _build_redundancy(size: int, misconfig: bool, seed: int) -> ScenarioBundle:
+    return datacenter_redundancy(n_groups=size, backup_broken=misconfig, seed=seed)
+
+
+def _build_traversal(size: int, misconfig: bool, seed: int) -> ScenarioBundle:
+    return datacenter_traversal(n_groups=size,
+                                reroute_hosts=size if misconfig else 0, seed=seed)
+
+
+def _build_caches(size: int, misconfig: bool, seed: int) -> ScenarioBundle:
+    return datacenter_with_caches(n_groups=size,
+                                  delete_cache_acls=1 if misconfig else 0, seed=seed)
+
+
+def _build_enterprise(size: int, misconfig: bool, seed: int) -> ScenarioBundle:
+    deleted = ()
+    if misconfig:
+        bundle = enterprise(n_subnets=size)
+        quarantined = sorted(
+            h.name for h in bundle.topology.hosts if h.name.startswith("quar")
+        )
+        # Seeded victim choice: library callers could always pick any
+        # host; the CLI's injection is now reproducible per --seed too.
+        deleted = (random.Random(seed).choice(quarantined),)
+    return enterprise(n_subnets=size, deny_deleted_for=deleted)
+
+
+def _build_multitenant(size: int, misconfig: bool, seed: int) -> ScenarioBundle:
+    if misconfig:
+        raise ScenarioError("multitenant has no misconfiguration injector")
+    return multitenant(n_tenants=size)
+
+
+def _build_isp(size: int, misconfig: bool, seed: int) -> ScenarioBundle:
+    return isp(n_subnets=size, scrubber_bypasses_fw=misconfig)
+
+
+SCENARIOS: Dict[str, Callable[[int, bool, int], ScenarioBundle]] = {
+    "datacenter": _build_datacenter,
+    "datacenter-redundancy": _build_redundancy,
+    "datacenter-traversal": _build_traversal,
+    "datacenter-caches": _build_caches,
+    "enterprise": _build_enterprise,
+    "multitenant": _build_multitenant,
+    "isp": _build_isp,
+}
+
+DEFAULT_SIZES: Dict[str, int] = {
+    "datacenter": 3,
+    "datacenter-redundancy": 3,
+    "datacenter-traversal": 2,
+    "datacenter-caches": 2,
+    "enterprise": 3,
+    "multitenant": 2,
+    "isp": 3,
+}
+
+
+def build_scenario(name: str, size=None, misconfig: bool = False,
+                   seed: int = 0) -> ScenarioBundle:
+    """Build one registered scenario; raises :class:`ScenarioError` for
+    an unknown name (callers map that to exit code 2 / HTTP 400)."""
+    builder = SCENARIOS.get(name)
+    if builder is None:
+        raise ScenarioError(
+            f"unknown scenario {name!r}; see `python -m repro list`"
+        )
+    if size is None:
+        size = DEFAULT_SIZES[name]
+    return builder(int(size), bool(misconfig), int(seed))

@@ -1,0 +1,41 @@
+"""The resident verification service (``repro serve``).
+
+Three layers:
+
+* :mod:`repro.serve.service` — the transport-independent core: request
+  specs, the spec runners every execution path shares (in-process CLI,
+  daemon, tests), and :class:`VerificationService` — per-network shards
+  of warm verification state with admission control.
+* :mod:`repro.serve.server` — the stdlib HTTP daemon wrapping one
+  service instance (``repro serve start``).
+* :mod:`repro.serve.client` — the thin client the ``--server`` flag of
+  ``audit``/``prove``/``watch``/``repair`` dispatches through.
+
+The contract that makes the thin clients trustworthy is **verdict
+parity**: a server-mediated command and a cold in-process run of the
+same request spec emit byte-identical ``--stable-json`` output (the
+stable mode strips exactly the warm-state-dependent fields: wall-clock
+timings, cache-hit flags, solver-effort counters, and proof-search
+artifacts like which portfolio engine won).
+"""
+
+from .client import ServerError, request, server_status, shutdown_server
+from .service import (
+    VerificationService,
+    payload_exit_code,
+    run_audit,
+    run_repair,
+    run_watch,
+)
+
+__all__ = [
+    "VerificationService",
+    "run_audit",
+    "run_watch",
+    "run_repair",
+    "payload_exit_code",
+    "request",
+    "server_status",
+    "shutdown_server",
+    "ServerError",
+]

@@ -1,0 +1,105 @@
+"""Thin client for the resident daemon (the ``--server`` flag).
+
+The client never post-processes verdicts: it POSTs the same request
+spec the in-process path would execute, gets back the *full* payload
+(timings, cache flags and all), and the CLI renders it with the very
+same code — JSON stripping for ``--stable-json`` happens client-side.
+That is what makes server parity a byte-for-byte property instead of a
+semantic one.
+
+An unreachable or misbehaving server raises :class:`ServerError`; the
+CLI maps it to exit code 2.  There is no silent fallback to in-process
+execution — if you asked for the server, you get the server's warm
+state or an error, never an unannounced cold run.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Optional
+
+__all__ = ["ServerError", "request", "server_status", "shutdown_server"]
+
+DEFAULT_PORT = 8642
+DEFAULT_TIMEOUT = 600.0
+
+
+class ServerError(Exception):
+    """The daemon is unreachable, rejected the request, or failed."""
+
+    def __init__(self, message: str, status: Optional[int] = None):
+        super().__init__(message)
+        self.status = status
+
+
+def normalize_url(server: str) -> str:
+    """Accept ``http://host:port``, ``host:port``, ``:port``, or a bare
+    port number."""
+    server = server.strip().rstrip("/")
+    if server.isdigit():
+        server = f"127.0.0.1:{server}"
+    elif server.startswith(":"):
+        server = f"127.0.0.1{server}"
+    if "://" not in server:
+        server = f"http://{server}"
+    return server
+
+
+def _call(server: str, path: str, body: Optional[dict],
+          timeout: float) -> dict:
+    url = normalize_url(server) + path
+    data = None
+    headers = {"Accept": "application/json"}
+    if body is not None:
+        data = json.dumps(body).encode("utf-8")
+        headers["Content-Type"] = "application/json"
+    req = urllib.request.Request(url, data=data, headers=headers,
+                                 method="POST" if body is not None else "GET")
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            raw = resp.read()
+    except urllib.error.HTTPError as err:
+        raw = err.read()
+        try:
+            detail = json.loads(raw.decode("utf-8")).get("error", "")
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            detail = raw.decode("utf-8", "replace")[:200]
+        raise ServerError(
+            f"server {url} answered {err.code}: {detail or err.reason}",
+            status=err.code,
+        ) from err
+    except (urllib.error.URLError, OSError) as err:
+        reason = getattr(err, "reason", err)
+        raise ServerError(
+            f"cannot reach server {url}: {reason} "
+            "(is `repro serve start` running?)"
+        ) from err
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as err:
+        raise ServerError(f"server {url} sent non-JSON: {err}") from err
+    if not isinstance(payload, dict) or not payload.get("ok", False):
+        raise ServerError(f"server {url} error: {payload!r}")
+    return payload
+
+
+def request(server: str, spec: dict,
+            timeout: float = DEFAULT_TIMEOUT) -> dict:
+    """Execute one request spec on the daemon.
+
+    Returns the response envelope ``{"protocol", "payload",
+    "exit_code", ...}``; the payload inside is exactly what the
+    in-process runner for ``spec`` would have produced."""
+    return _call(server, "/v1/run", spec, timeout)
+
+
+def server_status(server: str, timeout: float = 10.0) -> dict:
+    """GET /status — daemon + per-shard statistics."""
+    return _call(server, "/status", None, timeout)
+
+
+def shutdown_server(server: str, timeout: float = 10.0) -> dict:
+    """POST /v1/shutdown — checkpoint stores and stop serving."""
+    return _call(server, "/v1/shutdown", {}, timeout)

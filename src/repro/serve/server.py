@@ -1,0 +1,199 @@
+"""The stdlib HTTP daemon behind ``repro serve start``.
+
+One :class:`repro.serve.service.VerificationService` instance wrapped
+in a :class:`http.server.ThreadingHTTPServer` bound to localhost.  The
+transport layer is deliberately thin — every routing decision that
+matters (sharding, admission, checkpointing) lives in the service, so
+tests can drive it without sockets.
+
+Endpoints::
+
+    GET  /healthz        liveness probe: {"ok": true, "protocol": ...}
+    GET  /status         service + per-shard statistics
+    GET  /metrics        Prometheus text (repro_serve_* + solver metrics)
+    POST /v1/run         body: a request spec; 200 -> response envelope
+                         {"ok": true, "protocol", "payload", "exit_code"}
+                         400 bad spec | 503 admission queue full
+    POST /v1/checkpoint  flush every shard's store to disk now
+    POST /v1/shutdown    checkpoint, then stop serving
+
+Verification requests carry solver work, so the daemon enables the
+metrics registry for its whole lifetime but keeps span tracing off
+(a tracer accumulates spans in memory for the life of the process —
+fine for one CLI command, not for a resident service).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from .. import obs
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import NULL_TRACER
+from .service import (
+    PROTOCOL,
+    BadRequest,
+    ServiceBusy,
+    VerificationService,
+)
+
+__all__ = ["ReproServer", "run_server"]
+
+#: Cap request bodies well above any real spec (a spec is a flat dict
+#: of scalars) but low enough that a misdirected upload can't balloon.
+MAX_BODY = 1 << 20
+
+
+class ReproServer(ThreadingHTTPServer):
+    """HTTP front end owning one :class:`VerificationService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int],
+                 service: VerificationService, quiet: bool = True):
+        self.service = service
+        self.quiet = quiet
+        super().__init__(address, _Handler)
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def shutdown_soon(self) -> None:
+        """Stop the serve loop from a handler thread (``shutdown()``
+        deadlocks when called from the thread the loop is feeding)."""
+        threading.Thread(target=self.shutdown, daemon=True).start()
+
+    def close(self) -> None:
+        self.service.close()
+        self.server_close()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve"
+
+    # -- plumbing ------------------------------------------------------
+    def log_message(self, fmt, *args):  # noqa: N802 (stdlib name)
+        if not self.server.quiet:
+            sys.stderr.write("serve: %s\n" % (fmt % args))
+
+    def _send_json(self, status: int, obj: dict) -> None:
+        body = (json.dumps(obj, indent=2) + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_spec(self) -> Optional[dict]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY:
+            self._send_json(413, {"ok": False,
+                                  "error": f"body over {MAX_BODY} bytes"})
+            return None
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            spec = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as err:
+            self._send_json(400, {"ok": False, "error": f"bad JSON: {err}"})
+            return None
+        if not isinstance(spec, dict):
+            self._send_json(400, {"ok": False,
+                                  "error": "request body must be an object"})
+            return None
+        return spec
+
+    # -- routes --------------------------------------------------------
+    def do_GET(self):  # noqa: N802 (stdlib name)
+        if self.path == "/healthz":
+            self._send_json(200, {"ok": True, "protocol": PROTOCOL})
+        elif self.path == "/status":
+            self._send_json(200, {"ok": True, **self.server.service.status()})
+        elif self.path == "/metrics":
+            self._send_text(200, obs.get_registry().to_prometheus())
+        else:
+            self._send_json(404, {"ok": False,
+                                  "error": f"no such path {self.path!r}"})
+
+    def do_POST(self):  # noqa: N802 (stdlib name)
+        if self.path == "/v1/run":
+            spec = self._read_spec()
+            if spec is None:
+                return
+            try:
+                envelope = self.server.service.handle(spec)
+            except BadRequest as err:
+                self._send_json(400, {"ok": False, "error": str(err)})
+            except ServiceBusy as err:
+                self._send_json(503, {"ok": False, "error": str(err)})
+            except Exception as err:  # verification bug — report, stay up
+                self._send_json(500, {"ok": False,
+                                      "error": f"{type(err).__name__}: {err}"})
+            else:
+                self._send_json(200, {"ok": True, **envelope})
+        elif self.path == "/v1/checkpoint":
+            self._send_json(200, {"ok": True,
+                                  "shards": self.server.service.checkpoint()})
+        elif self.path == "/v1/shutdown":
+            self._send_json(200, {"ok": True})
+            self.server.shutdown_soon()
+        else:
+            self._send_json(404, {"ok": False,
+                                  "error": f"no such path {self.path!r}"})
+
+
+def run_server(
+    host: str = "127.0.0.1",
+    port: int = 8642,
+    store_dir: Optional[str] = None,
+    cache_entries: int = 4096,
+    max_shards: int = 8,
+    max_inflight: int = 2,
+    queue_depth: int = 16,
+    quiet: bool = False,
+    ready: Optional[threading.Event] = None,
+) -> int:
+    """Bind, serve until shutdown, checkpoint on the way out.
+
+    ``port=0`` binds an ephemeral port (printed on stdout so scripts
+    can scrape it).  ``ready`` is set once the socket is listening —
+    in-process tests use it instead of polling /healthz.
+    """
+    service = VerificationService(
+        store_dir=store_dir,
+        cache_entries=cache_entries,
+        max_shards=max_shards,
+        max_inflight=max_inflight,
+        queue_depth=queue_depth,
+    )
+    server = ReproServer((host, port), service, quiet=quiet)
+    obs.enable(tracer=NULL_TRACER, registry=MetricsRegistry())
+    try:
+        print(f"serving on {server.url}"
+              + (f" (store: {store_dir})" if store_dir else ""),
+              flush=True)
+        if ready is not None:
+            ready.set()
+        try:
+            server.serve_forever(poll_interval=0.1)
+        except KeyboardInterrupt:
+            pass
+        return 0
+    finally:
+        server.close()
+        obs.disable()

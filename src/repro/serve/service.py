@@ -1,0 +1,695 @@
+"""Transport-independent core of the resident verification service.
+
+**Request specs** are plain JSON dicts — ``{"command": "audit",
+"scenario": "enterprise", "size": 3, "seed": 0, ...}`` — normalized by
+:func:`normalize_spec`.  The CLI builds one from its flags; the HTTP
+daemon receives one as a POST body.  Both hand it to the same runner
+(:func:`run_audit` / :func:`run_watch` / :func:`run_repair`), which
+returns the full JSON payload the command emits, so a server-mediated
+run and an in-process run produce the same bytes by construction.
+
+**Shards** (:class:`VerificationService`) are the resident warm state:
+one per network version, keyed by the exact structural
+:func:`repro.incremental.delta.network_fingerprint` of the request's
+baseline topology + steering.  A shard owns an LRU-bounded
+:class:`repro.core.engine.ResultCache`, a warm
+:class:`repro.netmodel.bmc.SolverPool`, and (when the service was
+given a store directory) a :class:`repro.store.VerdictStore` persisted
+per shard — preloaded when the shard is created, checkpointed after
+every request that touched it.  Requests for the same network reuse the
+shard's live solvers and verdicts; requests for different networks
+cannot alias (the fingerprint is exact, not canonical-up-to-renaming).
+
+**Admission**: at most ``max_inflight`` requests verify concurrently
+(per-shard locks additionally serialize same-network requests, since
+warm solvers are single-threaded); up to ``queue_depth`` more may wait.
+Beyond that the service answers *busy* immediately — the HTTP layer
+maps it to 503 — instead of stacking unbounded work behind a slow
+solver run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .. import obs
+from ..core.engine import ResultCache, SolverPool, execute_jobs
+from ..incremental import IncrementalSession
+from ..incremental.delta import network_fingerprint
+from ..netmodel.bmc import SOLVER_COUNTERS, VIOLATED
+from ..scenarios import CHURN_GENERATORS, ScenarioError, build_scenario
+from ..store import VerdictStore
+
+__all__ = [
+    "ServiceBusy",
+    "BadRequest",
+    "normalize_spec",
+    "run_audit",
+    "run_watch",
+    "run_repair",
+    "payload_exit_code",
+    "VerificationService",
+]
+
+#: Protocol version of the request/response schema; bumped on breaking
+#: payload changes so mismatched client/daemon pairs fail loudly.
+PROTOCOL = "repro-serve/1"
+
+
+class ServiceBusy(Exception):
+    """Admission queue full — retry later (HTTP 503)."""
+
+
+class BadRequest(Exception):
+    """Malformed or unserviceable request spec (HTTP 400)."""
+
+
+# ----------------------------------------------------------------------
+# Request specs
+# ----------------------------------------------------------------------
+_SPEC_DEFAULTS = {
+    "size": None,
+    "misconfig": False,
+    "seed": 0,
+    "no_slicing": False,
+    "no_cache": False,
+    "jobs": 1,
+    "stable": False,
+    # prove
+    "budget": None,
+    "max_checks": None,
+    # watch
+    "deltas": 10,
+    "prove": False,
+    # repair
+    "fault": None,
+    "max_edits": 3,
+    "max_candidates": 32,
+}
+
+_COMMANDS = ("audit", "prove", "watch", "repair")
+
+
+def normalize_spec(spec: dict) -> dict:
+    """A complete, defaulted copy of a request spec.
+
+    Raises :class:`BadRequest` on a missing/unknown command or scenario
+    so transports can answer 400 without running anything.
+    """
+    if not isinstance(spec, dict):
+        raise BadRequest("request spec must be a JSON object")
+    command = spec.get("command")
+    if command not in _COMMANDS:
+        raise BadRequest(f"unknown command {command!r} (one of {_COMMANDS})")
+    if not spec.get("scenario"):
+        raise BadRequest("request spec needs a scenario")
+    out = dict(_SPEC_DEFAULTS)
+    out.update({k: spec[k] for k in spec if k in _SPEC_DEFAULTS})
+    out["command"] = command
+    out["scenario"] = str(spec["scenario"])
+    return out
+
+
+def _bundle_for(spec: dict):
+    try:
+        return build_scenario(
+            spec["scenario"], size=spec["size"],
+            misconfig=spec["misconfig"], seed=spec["seed"],
+        )
+    except ScenarioError as err:
+        raise BadRequest(str(err)) from err
+
+
+# ----------------------------------------------------------------------
+# Row helpers (shared with the CLI's text renderers)
+# ----------------------------------------------------------------------
+def solver_row(result) -> Optional[dict]:
+    """Solver statistics of one check, or ``None`` for pre-solver-era
+    cached results that carry no counters."""
+    stats = result.stats
+    if not all(key in stats for key in SOLVER_COUNTERS):
+        return None
+    row = {key: stats[key] for key in SOLVER_COUNTERS}
+    row.update(
+        vars=stats.get("vars"),
+        clauses=stats.get("clauses"),
+        learnts=stats.get("learnts"),
+        warm=bool(stats.get("warm")),
+        cumulative=stats.get("cumulative"),
+    )
+    return row
+
+
+def certificate_row(stats) -> Optional[dict]:
+    """Compact certificate summary for ``prove --json`` rows."""
+    cert = stats.get("certificate")
+    if cert is None:
+        return None
+    row = {"kind": cert.kind, "summary": cert.summary()}
+    if cert.kind == "kinduction":
+        row["k"] = cert.k
+    else:
+        row["n_clauses"] = len(cert.clauses)
+        row["n_literals"] = sum(len(c) for c in cert.clauses)
+        shrink = stats.get("certificate_minimized")
+        if shrink is not None:
+            row["minimized"] = shrink
+    return row
+
+
+def report_row(report) -> dict:
+    """One ``repro watch`` version row."""
+    return {
+        "version": report.version,
+        "delta": report.delta,
+        "n_checks": len(report),
+        "carried": report.carried,
+        "cache_hits": report.cache_hits,
+        "solver_runs": report.solver_runs,
+        "certificates_reused": report.certificates_reused,
+        "mismatches": report.mismatches,
+        "metrics": report.metrics,
+        "retired": [c.describe() for c in report.retired],
+        "added": report.added,
+        "seconds": round(report.seconds, 3),
+        "summary": report.summary(),
+        "drift": [
+            {"label": o.check.describe(), "status": o.status,
+             "expected": o.check.expected}
+            for o in report if o.ok is False
+        ],
+        "checks": {o.check.describe(): o.status for o in report},
+    }
+
+
+# ----------------------------------------------------------------------
+# Spec runners — one per command, shared by every execution path
+# ----------------------------------------------------------------------
+def run_audit(
+    spec: dict,
+    cache: Optional[ResultCache] = None,
+    solver_pool: Optional[SolverPool] = None,
+) -> dict:
+    """Run an ``audit`` (or ``prove``) spec and return its payload.
+
+    ``cache``/``solver_pool`` supply a shard's resident warm state; the
+    cold in-process path leaves them ``None`` and gets the VMN's own
+    per-run instances.  Warmth changes cost fields only (``cached``,
+    solver counters, timings) — exactly the fields ``--stable-json``
+    strips — never verdicts.
+    """
+    spec = normalize_spec(spec)
+    prove = "portfolio" if spec["command"] == "prove" else None
+    bundle = _bundle_for(spec)
+    use_cache = not spec["no_cache"]
+    vmn = bundle.vmn(
+        use_slicing=not spec["no_slicing"],
+        use_cache=use_cache,
+        cache=cache if use_cache else None,
+        solver_pool=solver_pool,
+    )
+
+    workers = spec["jobs"] if spec["jobs"] > 0 else None
+    bmc_kwargs = {}
+    if prove and spec["budget"]:
+        bmc_kwargs["max_conflicts"] = spec["budget"]
+    if prove and spec["max_checks"]:
+        bmc_kwargs["max_checks"] = spec["max_checks"]
+    if spec["stable"]:
+        # Lex-minimal counterexample extraction is what makes traces
+        # byte-identical across warm/cold solver states — the parity
+        # guarantee stable mode advertises.
+        bmc_kwargs["canonical_trace"] = True
+    started = time.perf_counter()
+    job_list = [
+        vmn.job_for(check.invariant, index=i, prove=prove, **bmc_kwargs)
+        for i, check in enumerate(bundle.checks)
+    ]
+    results = execute_jobs(job_list, workers=workers, cache=vmn.result_cache,
+                           solver_pool=vmn.solver_pool)
+    elapsed = time.perf_counter() - started
+
+    mismatches = 0
+    violated = 0
+    rows = []
+    solver_totals = {k: 0 for k in SOLVER_COUNTERS}
+    guarantees = {"unbounded": 0, "bounded": 0}
+    shrink_totals = {"clauses_before": 0, "clauses_after": 0}
+    for check, job, result in zip(bundle.checks, job_list, results):
+        ok = result.status == check.expected
+        mismatches += 0 if ok else 1
+        violated += 1 if result.status == VIOLATED else 0
+        solver = solver_row(result)
+        if solver is not None and not result.cache_hit:
+            for key in SOLVER_COUNTERS:
+                solver_totals[key] += solver[key]
+        row = {
+            "label": check.label,
+            "invariant": check.invariant.describe(),
+            "status": result.status,
+            "expected": check.expected,
+            "ok": ok,
+            "slice_size": job.slice_size,
+            "cached": result.cache_hit,
+            "solve_seconds": round(result.solve_seconds, 4),
+            "solver": solver,
+            "trace": str(result.trace) if result.trace is not None else None,
+        }
+        if prove:
+            stats = result.stats
+            guarantee = stats.get("guarantee", "bounded")
+            guarantees[guarantee] = guarantees.get(guarantee, 0) + 1
+            shrunk = stats.get("certificate_minimized")
+            if shrunk is not None and not result.cache_hit:
+                shrink_totals["clauses_before"] += shrunk["clauses_before"]
+                shrink_totals["clauses_after"] += shrunk["clauses_after"]
+            row.update({
+                "guarantee": guarantee,
+                "engine": stats.get("proof_engine"),
+                "note": stats.get("proof_note"),
+                "certificate": certificate_row(stats),
+                "recheck_ok": stats.get("recheck_ok"),
+                "solver_checks": stats.get("solver_checks"),
+            })
+        rows.append(row)
+
+    payload = {
+        "command": spec["command"],
+        "scenario": bundle.name,
+        "seed": spec["seed"],
+        "topology": bundle.topology.describe(),
+        "policy_classes": vmn.policy_classes.count,
+        "n_checks": len(rows),
+        "mismatches": mismatches,
+        "violated": violated,
+        "elapsed_seconds": round(elapsed, 3),
+        "solver_totals": solver_totals,
+        "checks": rows,
+    }
+    if prove:
+        payload["guarantees"] = guarantees
+        payload["certificate_shrink"] = {
+            **shrink_totals,
+            "ratio": (
+                round(
+                    shrink_totals["clauses_before"]
+                    / shrink_totals["clauses_after"],
+                    2,
+                )
+                if shrink_totals["clauses_after"]
+                else None
+            ),
+        }
+    return payload
+
+
+def run_watch(
+    spec: dict,
+    cache: Optional[ResultCache] = None,
+    solver_pool: Optional[SolverPool] = None,
+    store: Optional[VerdictStore] = None,
+) -> dict:
+    """Replay a churn stream; returns the ``repro watch`` payload.
+
+    ``spec["prove"]`` keeps every tracked check continuously *proven*
+    (portfolio mode): holds-verdicts carry certificates, and with a
+    ``store`` those certificates persist — a later process re-validates
+    them (three solver queries) instead of re-running proof searches,
+    surfacing as ``certificates_reused`` in the per-version rows.
+    """
+    spec = normalize_spec(spec)
+    bundle = _bundle_for(spec)  # unknown scenarios report as such first
+    generator = CHURN_GENERATORS.get(spec["scenario"])
+    if generator is None:
+        raise BadRequest(
+            f"no churn generator for {spec['scenario']!r}; watchable: "
+            + ", ".join(sorted(CHURN_GENERATORS))
+        )
+    events = generator(bundle, n_events=spec["deltas"], seed=spec["seed"])
+
+    from ..core.engine import default_workers
+
+    session = IncrementalSession.from_bundle(
+        bundle,
+        jobs=spec["jobs"] if spec["jobs"] > 0 else default_workers(),
+        use_cache=not spec["no_cache"],
+        cache=cache if not spec["no_cache"] else None,
+        solver_pool=solver_pool,
+        store=store,
+        prove="portfolio" if spec["prove"] else None,
+    )
+    reports = [session.baseline()]
+    for event in events:
+        reports.append(session.apply(event.delta, new_checks=event.new_checks))
+    session.checkpoint()
+
+    churn = reports[1:]
+    totals = {
+        "deltas": len(churn),
+        "checks_reverified": sum(r.invalidated for r in churn),
+        "checks_carried": sum(r.carried for r in churn),
+        "cache_hits": sum(r.cache_hits for r in churn),
+        "solver_runs": sum(r.solver_runs for r in churn),
+        "certificates_reused": sum(r.certificates_reused for r in churn),
+        "seconds": round(sum(r.seconds for r in churn), 3),
+        "full_audit_equivalent_checks": sum(len(r) for r in churn),
+    }
+    return {
+        "command": "watch",
+        "scenario": bundle.name,
+        "seed": spec["seed"],
+        "baseline": report_row(reports[0]),
+        "versions": [report_row(r) for r in churn],
+        "totals": totals,
+    }
+
+
+def run_repair(
+    spec: dict,
+    cache: Optional[ResultCache] = None,
+    solver_pool: Optional[SolverPool] = None,
+    store: Optional[VerdictStore] = None,
+) -> dict:
+    """Synthesize a certified patch; returns the ``repro repair`` payload."""
+    from ..scenarios.faults import FAULTS, build_fault, fault_names
+
+    spec = normalize_spec(spec)
+    scenario = spec["scenario"]
+    from ..scenarios import SCENARIOS
+
+    if scenario not in SCENARIOS:
+        raise BadRequest(
+            f"unknown scenario {scenario!r}; see `python -m repro list`"
+        )
+    if not fault_names(scenario):
+        repairable = sorted({name.split("/", 1)[0] for name in FAULTS})
+        raise BadRequest(
+            f"no faults registered for {scenario!r}; repairable: "
+            + ", ".join(repairable)
+        )
+    try:
+        fault = build_fault(scenario, spec["fault"], spec["size"], spec["seed"])
+    except KeyError as err:
+        raise BadRequest(str(err.args[0])) from err
+    bundle = fault.bundle
+
+    from ..core.engine import default_workers
+
+    # Canonical (lex-minimal) counterexamples make hint extraction —
+    # and therefore the candidate stream and the accepted patch —
+    # reproducible across runs, not just the verdicts.
+    bmc_kwargs = {"canonical_trace": True}
+    if spec["budget"]:
+        bmc_kwargs["max_conflicts"] = spec["budget"]
+    session = IncrementalSession.from_bundle(
+        bundle,
+        jobs=spec["jobs"] if spec["jobs"] > 0 else default_workers(),
+        use_cache=not spec["no_cache"],
+        cache=cache if not spec["no_cache"] else None,
+        solver_pool=solver_pool,
+        store=store,
+        bmc_kwargs=bmc_kwargs,
+    )
+    result = session.repair(
+        max_edits=spec["max_edits"],
+        max_candidates=spec["max_candidates"],
+    )
+    session.checkpoint()
+    final_mismatches = sum(1 for o in session.outcomes if o.ok is False)
+    return {
+        "command": "repair",
+        "scenario": bundle.name,
+        "fault": {
+            "name": fault.name,
+            "description": fault.description,
+            "deltas": [fault.fault.describe()],
+        },
+        "seed": spec["seed"],
+        **result.to_json(),
+        "final_audit": {
+            "n_checks": len(session.outcomes),
+            "mismatches": final_mismatches,
+        },
+    }
+
+
+_RUNNERS = {
+    "audit": run_audit,
+    "prove": run_audit,
+    "watch": run_watch,
+    "repair": run_repair,
+}
+
+
+def payload_exit_code(payload: dict) -> int:
+    """The process exit code a payload implies, shared by the local and
+    server-mediated paths: 0 all clean, 1 when any invariant is
+    violated or any verdict mismatches its expectation (``watch``
+    judges the stream's *final* version; earlier churn may transiently
+    violate and heal).  Transport/usage errors exit 2 before a payload
+    exists, so they never reach here."""
+    command = payload.get("command")
+    if command in ("audit", "prove"):
+        if payload.get("mismatches") or payload.get("violated"):
+            return 1
+        if any(row["status"] == VIOLATED for row in payload.get("checks", ())):
+            return 1
+        return 0
+    if command == "watch":
+        versions = payload.get("versions") or []
+        last = versions[-1] if versions else payload.get("baseline") or {}
+        if last.get("drift"):
+            return 1
+        if any(s == VIOLATED for s in last.get("checks", {}).values()):
+            return 1
+        return 0
+    if command == "repair":
+        ok = payload.get("ok") and not payload.get("final_audit", {}).get(
+            "mismatches"
+        )
+        return 0 if ok else 1
+    return 0
+
+
+# ----------------------------------------------------------------------
+# The resident service
+# ----------------------------------------------------------------------
+@dataclass
+class _Shard:
+    """Warm verification state for one exact network version."""
+
+    key: str
+    scenario: str
+    cache: ResultCache
+    pool: SolverPool
+    store: Optional[VerdictStore]
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    created: float = field(default_factory=time.time)
+    last_used: float = field(default_factory=time.time)
+    requests: int = 0
+
+    def stats(self) -> dict:
+        row = {
+            "scenario": self.scenario,
+            "requests": self.requests,
+            "cache_entries": len(self.cache),
+            "cache_hits": self.cache.hits,
+            "cache_evictions": self.cache.evictions,
+            "warm_solvers": len(self.pool),
+            "uptime_seconds": round(time.time() - self.created, 1),
+        }
+        if self.store is not None:
+            row["store"] = self.store.stats()
+        return row
+
+
+class VerificationService:
+    """Sharded warm verification state behind an admission gate."""
+
+    def __init__(
+        self,
+        store_dir: Optional[str] = None,
+        cache_entries: int = 4096,
+        max_shards: int = 8,
+        max_inflight: int = 2,
+        queue_depth: int = 16,
+    ):
+        self.store_dir = store_dir
+        self.cache_entries = cache_entries
+        self.max_shards = max_shards
+        self.max_inflight = max_inflight
+        self.queue_depth = queue_depth
+        self.started = time.time()
+        self.requests = 0
+        self.rejected = 0
+        self.errors = 0
+        self._shards: "OrderedDict[str, _Shard]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._waiting = 0
+        self._slots = threading.Semaphore(max_inflight)
+        if store_dir is not None:
+            os.makedirs(store_dir, exist_ok=True)
+
+    # -- sharding ------------------------------------------------------
+    def _store_path(self, key: str) -> Optional[str]:
+        if self.store_dir is None:
+            return None
+        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()[:24]
+        return os.path.join(self.store_dir, f"shard-{digest}.store")
+
+    def shard_for(self, bundle) -> _Shard:
+        """The shard of a request's baseline network (created — and its
+        persisted store loaded — on first use; LRU-evicted past
+        ``max_shards``, checkpointing the evictee's store)."""
+        key = network_fingerprint(bundle.topology, bundle.steering)
+        with self._lock:
+            shard = self._shards.get(key)
+            if shard is None:
+                store = None
+                path = self._store_path(key)
+                if path is not None:
+                    store = VerdictStore.open(path)
+                shard = _Shard(
+                    key=key,
+                    scenario=bundle.name,
+                    cache=ResultCache(max_entries=self.cache_entries),
+                    pool=SolverPool(),
+                    store=store,
+                )
+                if store is not None:
+                    store.preload_cache(shard.cache)
+                self._shards[key] = shard
+            self._shards.move_to_end(key)
+            evicted = []
+            while len(self._shards) > self.max_shards:
+                _, old = self._shards.popitem(last=False)
+                evicted.append(old)
+        for old in evicted:
+            with old.lock:  # let an in-flight request finish first
+                self._checkpoint_shard(old)
+        return shard
+
+    @staticmethod
+    def _checkpoint_shard(shard: _Shard) -> None:
+        if shard.store is not None:
+            shard.store.absorb_cache(shard.cache)
+            shard.store.flush()
+
+    # -- admission -----------------------------------------------------
+    def _admit(self) -> None:
+        with self._lock:
+            if self._waiting >= self.queue_depth:
+                self.rejected += 1
+                raise ServiceBusy(
+                    f"admission queue full ({self.queue_depth} waiting)"
+                )
+            self._waiting += 1
+        self._slots.acquire()
+        with self._lock:
+            self._waiting -= 1
+
+    def _release(self) -> None:
+        self._slots.release()
+
+    # -- request handling ----------------------------------------------
+    def handle(self, spec: dict) -> dict:
+        """Serve one request spec; returns the response envelope
+        ``{"protocol", "payload", "exit_code"}``.  Raises
+        :class:`BadRequest` / :class:`ServiceBusy` for the transport to
+        map onto status codes."""
+        spec = normalize_spec(spec)
+        runner = _RUNNERS[spec["command"]]
+        bundle = _bundle_for(spec)
+        registry = obs.get_registry()
+        self._admit()
+        try:
+            started = time.perf_counter()
+            with obs.get_tracer().span(
+                f"serve:{spec['command']}", cat="serve",
+                scenario=spec["scenario"],
+            ):
+                shard = self.shard_for(bundle)
+                with shard.lock:
+                    shard.requests += 1
+                    shard.last_used = time.time()
+                    if spec["command"] in ("audit", "prove"):
+                        payload = runner(
+                            spec, cache=shard.cache, solver_pool=shard.pool
+                        )
+                    else:
+                        payload = runner(
+                            spec, cache=shard.cache, solver_pool=shard.pool,
+                            store=shard.store,
+                        )
+                    self._checkpoint_shard(shard)
+            with self._lock:
+                self.requests += 1
+            if registry.enabled:
+                registry.counter(
+                    "repro_serve_requests_total",
+                    "requests served by the resident verification service",
+                ).inc(command=spec["command"])
+                registry.histogram(
+                    "repro_serve_request_seconds",
+                    "request service time",
+                ).observe(time.perf_counter() - started,
+                          command=spec["command"])
+                registry.gauge(
+                    "repro_serve_shards", "resident warm shards"
+                ).set(len(self._shards))
+            return {
+                "protocol": PROTOCOL,
+                "payload": payload,
+                "exit_code": payload_exit_code(payload),
+            }
+        except (BadRequest, ServiceBusy):
+            raise
+        except Exception:
+            with self._lock:
+                self.errors += 1
+            raise
+        finally:
+            self._release()
+
+    # -- lifecycle -----------------------------------------------------
+    def checkpoint(self) -> List[dict]:
+        """Flush every shard's store; returns their stats."""
+        with self._lock:
+            shards = list(self._shards.values())
+        out = []
+        for shard in shards:
+            with shard.lock:
+                self._checkpoint_shard(shard)
+                out.append(shard.stats())
+        return out
+
+    def status(self) -> dict:
+        with self._lock:
+            # Fingerprints share a long repr prefix; key the report by
+            # digest so distinct shards never collapse into one row.
+            shards = {
+                hashlib.sha256(s.key.encode("utf-8")).hexdigest()[:12]:
+                    s.stats()
+                for s in self._shards.values()
+            }
+            return {
+                "protocol": PROTOCOL,
+                "pid": os.getpid(),
+                "uptime_seconds": round(time.time() - self.started, 1),
+                "requests": self.requests,
+                "rejected": self.rejected,
+                "errors": self.errors,
+                "max_inflight": self.max_inflight,
+                "queue_depth": self.queue_depth,
+                "store_dir": self.store_dir,
+                "shards": shards,
+            }
+
+    def close(self) -> None:
+        self.checkpoint()

@@ -64,11 +64,15 @@ def _build() -> Optional[str]:
     lib_path = os.path.join(cache, f"satcore-{key}.so")
     if os.path.exists(lib_path):
         return lib_path
+    tmp = None
     try:
         os.makedirs(cache, exist_ok=True)
         # Unique temp name + atomic rename: concurrent builders race
-        # benignly (last writer wins, all produce identical output).
-        fd, tmp = tempfile.mkstemp(suffix=".so", dir=cache)
+        # benignly (last writer wins, all produce identical output),
+        # and no loader can ever observe a half-written .so at
+        # lib_path.  The finally-unlink keeps a failed or timed-out
+        # compile from leaking its temp file into the cache dir.
+        fd, tmp = tempfile.mkstemp(suffix=".so.tmp", dir=cache)
         os.close(fd)
         result = subprocess.run(
             [compiler, "-O2", "-std=c99", "-fPIC", "-shared", "-o", tmp, _SOURCE],
@@ -76,12 +80,18 @@ def _build() -> Optional[str]:
             timeout=120,
         )
         if result.returncode != 0:
-            os.unlink(tmp)
             return None
         os.replace(tmp, lib_path)
+        tmp = None
         return lib_path
     except (OSError, subprocess.SubprocessError):
         return None
+    finally:
+        if tmp is not None:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
 
 
 def load() -> Optional[ctypes.CDLL]:

@@ -1,0 +1,18 @@
+"""Persistent on-disk verdict + certificate store.
+
+Everything the warm in-memory layers hold — fingerprint-keyed
+:class:`repro.core.engine.ResultCache` verdicts and per-invariant proof
+certificates — evaporates when the process exits.  This package makes
+that state durable: a :class:`VerdictStore` snapshots both maps into a
+single checksummed file, an :class:`IncrementalSession` (or the
+``repro serve`` daemon) preloads it on start and flushes it on
+checkpoint, so warm verification state survives restarts and is shared
+across CI runs.
+
+See :mod:`repro.store.filestore` for the file format and its
+corruption-rejection contract.
+"""
+
+from .filestore import MAGIC, StoreCorruption, VerdictStore
+
+__all__ = ["VerdictStore", "StoreCorruption", "MAGIC"]

@@ -1,0 +1,216 @@
+"""Single-file persistent store for verdicts and proof certificates.
+
+File format (``repro-store/1``)::
+
+    line 1:  b"repro-store/1\\n"          magic + format version
+    line 2:  <64 hex chars> b"\\n"        sha256 of the payload
+    rest:    payload                      pickle of one snapshot dict
+
+The snapshot dict is ``{"results": {fingerprint: CheckResult},
+"certificates": {invariant_fingerprint: ProofCertificate},
+"meta": {...}}``.  Both key spaces are the *exact* structural
+fingerprints the in-memory layers already use — ``repr``-stable
+canonical forms with no memory addresses or hash-seed dependence — so
+a store written by one process is meaningful to every later one.
+
+Durability and corruption are handled the way the solver artifacts'
+compile cache handles them:
+
+* **writes are atomic** — the snapshot goes to a temp file in the same
+  directory, is fsynced, and is ``os.replace``d over the store path, so
+  a reader can never observe a half-written store and a crash mid-flush
+  leaves the previous snapshot intact;
+* **reads are all-or-nothing** — a missing magic, a checksum mismatch
+  (truncation, bit rot, a partial copy), or an unpicklable payload
+  raises :class:`StoreCorruption`; :meth:`VerdictStore.open` translates
+  that into an *empty* store (flagged ``corrupt``), so a damaged file
+  can never poison a verdict — the worst case is re-verifying from
+  scratch, exactly as if the store did not exist.
+
+The store is a plain dict in memory between :meth:`flush` calls; owners
+(`IncrementalSession.checkpoint`, the serve daemon's per-request
+checkpoint) decide when to persist.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+import time
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["VerdictStore", "StoreCorruption", "MAGIC"]
+
+MAGIC = b"repro-store/1\n"
+
+
+class StoreCorruption(Exception):
+    """The store file exists but cannot be trusted."""
+
+
+def _checksum(payload: bytes) -> bytes:
+    return hashlib.sha256(payload).hexdigest().encode("ascii")
+
+
+class VerdictStore:
+    """Durable ``{fingerprint: verdict}`` + ``{invariant: certificate}``.
+
+    Construct directly for an in-memory-until-flushed store, or via
+    :meth:`open` to load whatever a previous process persisted.
+    """
+
+    def __init__(self, path: str):
+        self.path = str(path)
+        self.results: Dict[str, object] = {}
+        self.certificates: Dict[str, object] = {}
+        #: True when :meth:`open` found a file it had to reject.
+        self.corrupt = False
+        self.loaded = 0  # entries read from disk at open()
+        self.dirty = False
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(cls, path: str) -> "VerdictStore":
+        """Load ``path`` if present and intact; otherwise an empty
+        store (``corrupt`` set when a file existed but was rejected).
+        Never raises on bad contents — a damaged store is worth exactly
+        as much as no store."""
+        store = cls(path)
+        try:
+            raw = open(path, "rb").read()
+        except FileNotFoundError:
+            return store
+        except OSError:
+            store.corrupt = True
+            return store
+        try:
+            store._load_bytes(raw)
+        except StoreCorruption:
+            store.results = {}
+            store.certificates = {}
+            store.corrupt = True
+        return store
+
+    def _load_bytes(self, raw: bytes) -> None:
+        if not raw.startswith(MAGIC):
+            raise StoreCorruption(f"{self.path}: bad magic/format")
+        rest = raw[len(MAGIC):]
+        digest, sep, payload = rest.partition(b"\n")
+        if not sep or len(digest) != 64:
+            raise StoreCorruption(f"{self.path}: truncated header")
+        if _checksum(payload) != digest:
+            raise StoreCorruption(f"{self.path}: checksum mismatch")
+        try:
+            snapshot = pickle.loads(payload)
+            results = dict(snapshot["results"])
+            certificates = dict(snapshot["certificates"])
+        except Exception as err:  # unpicklable / wrong shape
+            raise StoreCorruption(f"{self.path}: bad payload: {err}") from err
+        self.results = results
+        self.certificates = certificates
+        self.loaded = len(results) + len(certificates)
+
+    # ------------------------------------------------------------------
+    # In-memory accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.results) + len(self.certificates)
+
+    def result_for(self, fingerprint: str):
+        return self.results.get(fingerprint)
+
+    def certificate_for(self, invariant_key: str):
+        return self.certificates.get(invariant_key)
+
+    def put_result(self, fingerprint: str, result) -> None:
+        if self.results.get(fingerprint) is not result:
+            self.results[fingerprint] = result
+            self.dirty = True
+
+    def put_certificate(self, invariant_key: str, certificate) -> None:
+        if self.certificates.get(invariant_key) is not certificate:
+            self.certificates[invariant_key] = certificate
+            self.dirty = True
+
+    # ------------------------------------------------------------------
+    # Sync with the in-memory cache layers
+    # ------------------------------------------------------------------
+    def preload_cache(self, cache) -> int:
+        """Seed a :class:`repro.core.engine.ResultCache` with every
+        stored verdict (marked as cache entries, not re-verified).
+        Returns how many entries were loaded."""
+        n = 0
+        for key, result in self.results.items():
+            if not cache.contains(key):
+                cache.put(key, result)
+                n += 1
+        return n
+
+    def absorb_cache(self, cache) -> int:
+        """Pull every verdict the cache holds into the store (new keys
+        plus changed entries).  Returns how many were new."""
+        n = 0
+        for key, result in cache.items():
+            if key not in self.results:
+                n += 1
+            self.put_result(key, result)
+        return n
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def flush(self, force: bool = False) -> bool:
+        """Atomically persist the snapshot; returns whether a write
+        happened (skipped when nothing changed, unless ``force``)."""
+        if not (self.dirty or force):
+            return False
+        snapshot = {
+            "results": self.results,
+            "certificates": self.certificates,
+            "meta": {
+                "format": MAGIC.decode().strip(),
+                "written_at": time.time(),
+                "n_results": len(self.results),
+                "n_certificates": len(self.certificates),
+            },
+        }
+        payload = pickle.dumps(snapshot, protocol=pickle.HIGHEST_PROTOCOL)
+        blob = MAGIC + _checksum(payload) + b"\n" + payload
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(prefix=".store-", dir=directory)
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(blob)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.dirty = False
+        self.corrupt = False
+        return True
+
+    def stats(self) -> dict:
+        return {
+            "path": self.path,
+            "results": len(self.results),
+            "certificates": len(self.certificates),
+            "loaded": self.loaded,
+            "corrupt": self.corrupt,
+            "dirty": self.dirty,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"VerdictStore({self.path!r}, {len(self.results)} results, "
+            f"{len(self.certificates)} certificates)"
+        )

@@ -3,6 +3,8 @@ result cache, job dispatch)."""
 
 import pickle
 
+import pytest
+
 from repro.core import VMN, CanReach, FlowIsolation, NodeIsolation
 from repro.core.engine import (
     ResultCache,
@@ -130,6 +132,83 @@ class TestResultCache:
         assert cache.hits == 1
         cache.clear()
         assert len(cache) == 0 and cache.hits == 0 and cache.misses == 0
+
+
+class TestResultCacheEviction:
+    """LRU bound on the verdict cache, mirroring the SolverPool tests
+    in tests/netmodel/test_bmc_warm.py::TestSolverPoolEviction."""
+
+    def test_unbounded_by_default(self):
+        cache = ResultCache()
+        for i in range(100):
+            cache.put(f"k{i}", i)
+        assert len(cache) == 100 and cache.evictions == 0
+
+    def test_insert_past_bound_evicts_oldest(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)  # evicts "a"
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert cache.get("a") is None
+        assert cache.get("b") == 2 and cache.get("c") == 3
+
+    def test_get_refreshes_recency(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # "b" becomes the LRU entry
+        cache.put("c", 3)  # evicts "b", not "a"
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+
+    def test_put_refreshes_recency(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # rewrite refreshes "a"; "b" is now LRU
+        cache.put("c", 3)  # evicts "b"
+        assert cache.get("b") is None
+        assert cache.get("a") == 10 and cache.get("c") == 3
+
+    def test_contains_peeks_without_touching_order(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.contains("a")  # must NOT refresh "a"
+        hits, misses = cache.hits, cache.misses
+        cache.put("c", 3)  # "a" is still LRU → evicted
+        assert not cache.contains("a")
+        assert cache.contains("b") and cache.contains("c")
+        assert (cache.hits, cache.misses) == (hits, misses)
+
+    def test_items_is_lru_oldest_first(self):
+        cache = ResultCache(max_entries=3)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        cache.get("a")
+        assert [k for k, _ in cache.items()] == ["b", "c", "a"]
+
+    def test_bound_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ResultCache(max_entries=0)
+
+    def test_verdicts_survive_eviction_pressure(self, enterprise):
+        """A bound-1 cache still returns correct verdicts — eviction
+        must only cost recomputation, never correctness."""
+        topo, steering = enterprise(2)
+        tight = ResultCache(max_entries=1)
+        vmn = VMN(topo, steering, cache=tight, use_symmetry=False)
+        invariants = [
+            CanReach("internet", "h0_0"),
+            NodeIsolation("h1_0", "internet"),
+        ]
+        first = [vmn.verify(inv) for inv in invariants]
+        second = [vmn.verify(inv) for inv in invariants]
+        assert [r.status for r in first] == [r.status for r in second]
+        assert len(tight) == 1 and tight.evictions >= 1
 
 
 class TestExecuteJobs:

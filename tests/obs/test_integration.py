@@ -139,7 +139,7 @@ class TestCliRoundTrip:
         prom = tmp_path / "run.prom"
         rc = main(["audit", "enterprise", "--json",
                    "--trace", str(trace), "--metrics", str(prom)])
-        assert rc == 0
+        assert rc == 1  # expected violations in the scenario
         payload = json.loads(capsys.readouterr().out)
         assert payload["mismatches"] == 0
 
@@ -170,7 +170,7 @@ class TestCliRoundTrip:
 
     def test_watch_surfaces_reuse_counters(self, capsys):
         rc = main(["watch", "enterprise", "--deltas", "2", "--json"])
-        assert rc == 0
+        assert rc == 1  # expected violations in the scenario
         payload = json.loads(capsys.readouterr().out)
         assert "certificates_reused" in payload["totals"]
         for row in [payload["baseline"], *payload["versions"]]:
@@ -180,7 +180,7 @@ class TestCliRoundTrip:
     def test_watch_metrics_populated_when_traced(self, tmp_path, capsys):
         rc = main(["watch", "enterprise", "--deltas", "2", "--json",
                    "--trace", str(tmp_path / "w.json")])
-        assert rc == 0
+        assert rc == 1  # expected violations in the scenario
         payload = json.loads(capsys.readouterr().out)
         assert payload["baseline"]["metrics"]  # registry deltas attached
         record = json.loads((tmp_path / "w.json").read_text())
@@ -192,6 +192,6 @@ class TestCliRoundTrip:
 
     def test_stable_json_drops_metrics(self, capsys):
         rc = main(["watch", "enterprise", "--deltas", "2", "--stable-json"])
-        assert rc == 0
+        assert rc == 1  # expected violations in the scenario
         payload = json.loads(capsys.readouterr().out)
         assert "metrics" not in payload["baseline"]

@@ -1,0 +1,141 @@
+"""HTTP transport tests: a real ReproServer on an ephemeral port driven
+through the real client.
+
+These cover only what the socket adds on top of the service — routing,
+status-code mapping, body limits, the shutdown handshake.  Verification
+semantics (parity, sharding, persistence) are tested socket-free in
+test_service.py / test_persistence.py.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve.client import (
+    ServerError,
+    normalize_url,
+    request,
+    server_status,
+    shutdown_server,
+)
+from repro.serve.server import MAX_BODY, ReproServer
+from repro.serve.service import PROTOCOL, VerificationService
+
+
+@pytest.fixture
+def server():
+    """A live daemon on an ephemeral localhost port."""
+    srv = ReproServer(("127.0.0.1", 0), VerificationService(), quiet=True)
+    thread = threading.Thread(target=srv.serve_forever,
+                              kwargs={"poll_interval": 0.05}, daemon=True)
+    thread.start()
+    try:
+        yield srv
+    finally:
+        srv.shutdown()
+        thread.join(timeout=10)
+        srv.close()
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        return resp.status, json.loads(resp.read().decode("utf-8"))
+
+
+class TestNormalizeUrl:
+    def test_accepted_spellings(self):
+        assert normalize_url("8642") == "http://127.0.0.1:8642"
+        assert normalize_url(":8642") == "http://127.0.0.1:8642"
+        assert normalize_url("box:8642") == "http://box:8642"
+        assert normalize_url("http://box:8642/") == "http://box:8642"
+
+
+class TestEndpoints:
+    def test_healthz(self, server):
+        status, body = _get(server.url + "/healthz")
+        assert status == 200
+        assert body == {"ok": True, "protocol": PROTOCOL}
+
+    def test_status_roundtrip(self, server):
+        body = server_status(server.url)
+        assert body["ok"] and body["protocol"] == PROTOCOL
+        assert body["requests"] == 0 and body["shards"] == {}
+
+    def test_unknown_path_404(self, server):
+        with pytest.raises(ServerError) as exc:
+            server_status(server.url + "/nope")
+        assert exc.value.status == 404
+
+    def test_run_audit_over_http(self, server):
+        envelope = request(server.url, {
+            "command": "audit", "scenario": "enterprise", "size": 2,
+            "stable": True,
+        })
+        assert envelope["ok"] and envelope["protocol"] == PROTOCOL
+        payload = envelope["payload"]
+        assert payload["command"] == "audit"
+        assert payload["checks"]
+        assert envelope["exit_code"] in (0, 1)
+        assert server_status(server.url)["requests"] == 1
+
+    def test_bad_spec_maps_to_400(self, server):
+        with pytest.raises(ServerError) as exc:
+            request(server.url, {"command": "explode", "scenario": "isp"})
+        assert exc.value.status == 400
+        # The daemon stays up and healthy afterwards.
+        assert _get(server.url + "/healthz")[0] == 200
+
+    def test_malformed_json_maps_to_400(self, server):
+        req = urllib.request.Request(
+            server.url + "/v1/run", data=b"{not json",
+            headers={"Content-Type": "application/json"}, method="POST")
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(req, timeout=10)
+        assert exc.value.code == 400
+
+    def test_oversized_body_maps_to_413(self, server):
+        req = urllib.request.Request(
+            server.url + "/v1/run", data=b"x",
+            headers={"Content-Type": "application/json",
+                     "Content-Length": str(MAX_BODY + 1)}, method="POST")
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(req, timeout=10)
+        assert exc.value.code == 413
+
+    def test_checkpoint_endpoint(self, server):
+        req = urllib.request.Request(server.url + "/v1/checkpoint",
+                                     data=b"{}", method="POST")
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            body = json.loads(resp.read().decode("utf-8"))
+        assert body == {"ok": True, "shards": []}
+
+
+class TestClientErrors:
+    def test_unreachable_server_raises_not_falls_back(self):
+        """--server must never silently degrade to a cold in-process
+        run; an unreachable daemon is an error (CLI exit 2)."""
+        with pytest.raises(ServerError) as exc:
+            request("127.0.0.1:1", {"command": "audit", "scenario": "isp"},
+                    timeout=2)
+        assert "cannot reach" in str(exc.value)
+
+
+class TestShutdown:
+    def test_shutdown_stops_the_loop(self):
+        srv = ReproServer(("127.0.0.1", 0), VerificationService(),
+                          quiet=True)
+        done = threading.Event()
+
+        def serve():
+            srv.serve_forever(poll_interval=0.05)
+            done.set()
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        assert shutdown_server(srv.url)["ok"]
+        assert done.wait(timeout=10)
+        thread.join(timeout=10)
+        srv.close()

@@ -7,6 +7,7 @@ two implementations side by side; they are skipped when no C compiler
 is available (the package then runs on the Python solver alone).
 """
 
+import os
 import random
 import subprocess
 import sys
@@ -119,3 +120,62 @@ class TestFallbackSwitch:
             cwd=__file__.rsplit("/tests/", 1)[0],
         )
         assert proc.returncode == 0, proc.stderr
+
+
+@needs_native
+class TestCompileCacheRace:
+    """Concurrent first-use builds must not corrupt the compile cache.
+
+    Regression test for the compile-cache race: multiple processes that
+    all find the cache cold and compile simultaneously must each end up
+    with a working solver, and the cache directory must hold exactly the
+    finished .so — no partially written library (the atomic-rename
+    guarantee) and no leaked mkstemp temp files (the failure-path
+    cleanup guarantee).
+    """
+
+    def _spawn_builders(self, cache_dir, nprocs=4):
+        code = (
+            "from repro.smt._native import NativeSatSolver; "
+            "s = NativeSatSolver(); "
+            "v = s.new_var(); "
+            "s.add_clause([v]); "
+            "assert s.solve() == 'sat'; "
+            "assert s.value(v) is True"
+        )
+        repo_root = __file__.rsplit("/tests/", 1)[0]
+        env = dict(os.environ)
+        env.update({"PYTHONPATH": "src", "REPRO_SATCORE_CACHE": str(cache_dir)})
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", code],
+                env=env,
+                cwd=repo_root,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+            )
+            for _ in range(nprocs)
+        ]
+        for proc in procs:
+            _, err = proc.communicate(timeout=300)
+            assert proc.returncode == 0, err.decode()
+
+    def test_concurrent_cold_builds_all_succeed(self, tmp_path):
+        cache = tmp_path / "satcore-cache"
+        self._spawn_builders(cache)
+        entries = sorted(p.name for p in cache.iterdir())
+        libs = [n for n in entries if n.endswith(".so")]
+        leftovers = [n for n in entries if not n.endswith(".so")]
+        assert len(libs) == 1, entries
+        assert libs[0].startswith("satcore-")
+        assert not leftovers, f"leaked temp files: {leftovers}"
+
+    def test_rebuild_over_warm_cache_is_stable(self, tmp_path):
+        cache = tmp_path / "satcore-cache"
+        self._spawn_builders(cache, nprocs=2)
+        before = sorted(p.name for p in cache.iterdir())
+        # Second wave finds the cache warm; contents must not change.
+        self._spawn_builders(cache, nprocs=2)
+        after = sorted(p.name for p in cache.iterdir())
+        assert before == after == [before[0]]
+        assert before[0].endswith(".so")

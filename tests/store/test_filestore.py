@@ -1,0 +1,232 @@
+"""Tests for the persistent verdict/certificate store (``repro.store``).
+
+The store's whole value is surviving process death: verdicts written by
+one run must be readable — and *trustworthy* — in the next.  These
+tests cover the three legs of that contract: round-trips across
+processes, all-or-nothing rejection of damaged files, and fingerprint
+keys that are stable across interpreter invocations (no hash-seed or
+memory-address dependence).
+"""
+
+import os
+import pickle
+import subprocess
+import sys
+
+import pytest
+
+from repro.core import VMN
+from repro.core.engine import ResultCache
+from repro.scenarios import build_scenario
+from repro.store import MAGIC, StoreCorruption, VerdictStore
+
+REPO_ROOT = __file__.rsplit("/tests/", 1)[0]
+
+
+def _subprocess_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    return env
+
+
+class TestRoundTrip:
+    def test_flush_and_reopen(self, tmp_path):
+        path = tmp_path / "verdicts.store"
+        store = VerdictStore(str(path))
+        store.put_result("fp-1", {"status": "holds"})
+        store.put_certificate("inv-1", {"kind": "inductive"})
+        assert store.dirty
+        assert store.flush()
+        assert not store.dirty
+
+        again = VerdictStore.open(str(path))
+        assert not again.corrupt
+        assert again.loaded == 2
+        assert again.result_for("fp-1") == {"status": "holds"}
+        assert again.certificate_for("inv-1") == {"kind": "inductive"}
+
+    def test_missing_file_is_empty_not_corrupt(self, tmp_path):
+        store = VerdictStore.open(str(tmp_path / "nope.store"))
+        assert len(store) == 0
+        assert not store.corrupt
+
+    def test_flush_skips_when_clean(self, tmp_path):
+        path = tmp_path / "v.store"
+        store = VerdictStore(str(path))
+        store.put_result("k", 1)
+        assert store.flush()
+        assert not store.flush()  # nothing changed
+        assert store.flush(force=True)
+
+    def test_put_same_object_does_not_dirty(self, tmp_path):
+        store = VerdictStore(str(tmp_path / "v.store"))
+        result = {"status": "holds"}
+        store.put_result("k", result)
+        store.flush()
+        store.put_result("k", result)  # identical object
+        assert not store.dirty
+
+    def test_real_verdicts_round_trip(self, tmp_path):
+        """End-to-end: CheckResults produced by the engine survive a
+        flush/reopen and seed a fresh ResultCache."""
+        bundle = build_scenario("enterprise", size=2)
+        topo, steering = bundle.topology, bundle.steering
+        inv = bundle.invariants[0]
+        cache = ResultCache()
+        vmn = VMN(topo, steering, cache=cache, use_symmetry=False)
+        vmn.verify(inv)
+
+        path = tmp_path / "verdicts.store"
+        store = VerdictStore(str(path))
+        assert store.absorb_cache(cache) == len(cache) > 0
+        store.flush()
+
+        reopened = VerdictStore.open(str(path))
+        fresh = ResultCache()
+        assert reopened.preload_cache(fresh) == len(cache)
+        warm_vmn = VMN(topo, steering, cache=fresh, use_symmetry=False)
+        result = warm_vmn.verify(inv)
+        assert result.cache_hit
+
+    def test_round_trip_across_processes(self, tmp_path):
+        """A store written by a different interpreter process loads
+        cleanly here (the on-disk format is process-independent)."""
+        path = tmp_path / "cross.store"
+        code = (
+            "import sys; "
+            "from repro.store import VerdictStore; "
+            "s = VerdictStore(sys.argv[1]); "
+            "s.put_result('fp-x', {'status': 'violated'}); "
+            "s.put_certificate('inv-y', [1, 2, 3]); "
+            "s.flush()"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code, str(path)],
+            env=_subprocess_env(),
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stderr
+        store = VerdictStore.open(str(path))
+        assert not store.corrupt
+        assert store.result_for("fp-x") == {"status": "violated"}
+        assert store.certificate_for("inv-y") == [1, 2, 3]
+
+
+class TestCorruptionRejection:
+    def _valid_blob(self, tmp_path):
+        path = tmp_path / "good.store"
+        store = VerdictStore(str(path))
+        store.put_result("fp", {"status": "holds"})
+        store.flush()
+        return path.read_bytes()
+
+    def test_bad_magic_rejected(self, tmp_path):
+        blob = self._valid_blob(tmp_path)
+        bad = tmp_path / "bad.store"
+        bad.write_bytes(b"not-a-store/9\n" + blob[len(MAGIC):])
+        store = VerdictStore.open(str(bad))
+        assert store.corrupt and len(store) == 0
+
+    def test_truncated_file_rejected(self, tmp_path):
+        blob = self._valid_blob(tmp_path)
+        for cut in (5, len(MAGIC) + 10, len(blob) - 3):
+            bad = tmp_path / f"cut{cut}.store"
+            bad.write_bytes(blob[:cut])
+            store = VerdictStore.open(str(bad))
+            assert store.corrupt, f"cut at {cut} accepted"
+            assert len(store) == 0
+
+    def test_bitflip_rejected_by_checksum(self, tmp_path):
+        blob = self._valid_blob(tmp_path)
+        flipped = bytearray(blob)
+        flipped[-1] ^= 0xFF  # damage the payload, not the header
+        bad = tmp_path / "flip.store"
+        bad.write_bytes(bytes(flipped))
+        store = VerdictStore.open(str(bad))
+        assert store.corrupt and len(store) == 0
+
+    def test_unpicklable_payload_rejected(self, tmp_path):
+        payload = b"\x80\x04danger"  # checksummed but not a snapshot
+        blob = MAGIC + __import__("hashlib").sha256(payload).hexdigest().encode() + b"\n" + payload
+        bad = tmp_path / "pickle.store"
+        bad.write_bytes(blob)
+        store = VerdictStore.open(str(bad))
+        assert store.corrupt and len(store) == 0
+
+    def test_load_bytes_raises_store_corruption(self, tmp_path):
+        store = VerdictStore(str(tmp_path / "x.store"))
+        with pytest.raises(StoreCorruption):
+            store._load_bytes(b"garbage")
+        with pytest.raises(StoreCorruption):
+            store._load_bytes(MAGIC + b"00" * 32 + b"\n" + b"tampered")
+
+    def test_corrupt_store_recovers_on_next_flush(self, tmp_path):
+        """A rejected store is writable again: the next flush replaces
+        the damaged file with a valid snapshot."""
+        bad = tmp_path / "heal.store"
+        bad.write_bytes(b"garbage")
+        store = VerdictStore.open(str(bad))
+        assert store.corrupt
+        store.put_result("fp", 1)
+        store.flush()
+        assert not store.corrupt
+        healed = VerdictStore.open(str(bad))
+        assert not healed.corrupt and healed.result_for("fp") == 1
+
+    def test_flush_is_atomic_no_temp_left_behind(self, tmp_path):
+        path = tmp_path / "atomic.store"
+        store = VerdictStore(str(path))
+        store.put_result("fp", {"status": "holds"})
+        store.flush()
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == ["atomic.store"]
+
+
+class TestFingerprintStability:
+    """Store keys are the structural fingerprints — they must be byte-
+    identical across interpreter processes (different hash seeds,
+    different heap layouts), or a persisted store would never hit."""
+
+    def _fingerprints_in_subprocess(self, hashseed):
+        code = (
+            "from tests.store.test_filestore import compute_fingerprints; "
+            "import json; print(json.dumps(compute_fingerprints()))"
+        )
+        env = _subprocess_env()
+        env["PYTHONHASHSEED"] = hashseed
+        env["PYTHONPATH"] += os.pathsep + REPO_ROOT
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            env=env,
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+        )
+        assert proc.returncode == 0, proc.stderr
+        import json
+
+        return json.loads(proc.stdout)
+
+    def test_fingerprints_stable_across_hash_seeds(self):
+        a = self._fingerprints_in_subprocess("0")
+        b = self._fingerprints_in_subprocess("424242")
+        assert a == b
+        assert a["check"] and a["invariant"] and a["network"]
+
+
+def compute_fingerprints():
+    """Helper executed inside the stability subprocesses."""
+    from repro.core import VMN
+    from repro.incremental.delta import network_fingerprint
+    from repro.netmodel.canon import invariant_fingerprint
+    from repro.scenarios import build_scenario
+
+    bundle = build_scenario("enterprise", size=2)
+    vmn = VMN(bundle.topology, bundle.steering, use_symmetry=False)
+    inv = bundle.invariants[0]
+    return {
+        "check": vmn.job_for(inv).fingerprint,
+        "invariant": invariant_fingerprint(inv),
+        "network": network_fingerprint(bundle.topology, bundle.steering),
+    }

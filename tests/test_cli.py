@@ -6,12 +6,10 @@ import subprocess
 import sys
 from pathlib import Path
 
-import pytest
-
 from repro.cli import SCENARIOS, main
 
 
-def _run_cli(*args: str) -> str:
+def _run_cli(*args: str, expect_rc: int = 0) -> str:
     """Run the CLI in a fresh interpreter and return its stdout."""
     env = dict(os.environ)
     src = str(Path(__file__).resolve().parent.parent / "src")
@@ -20,7 +18,7 @@ def _run_cli(*args: str) -> str:
         [sys.executable, "-m", "repro", *args],
         capture_output=True, text=True, env=env, check=False,
     )
-    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert proc.returncode == expect_rc, proc.stdout + proc.stderr
     return proc.stdout
 
 
@@ -33,38 +31,50 @@ class TestList:
 
 
 class TestAudit:
-    def test_correct_scenario_exits_zero(self, capsys):
-        rc = main(["audit", "isp", "--size", "3"])
+    def test_all_clean_scenario_exits_zero(self, capsys):
+        """Exit 0 is reserved for 'no mismatches AND nothing violated';
+        datacenter-traversal is the seed scenario with no expected
+        violations."""
+        rc = main(["audit", "datacenter-traversal"])
         out = capsys.readouterr().out
         assert rc == 0
         assert "0 unexpected verdicts" in out
 
-    def test_misconfigured_scenario_still_exits_zero(self, capsys):
-        """Expected violations are not mismatches."""
+    def test_expected_violations_exit_one(self, capsys):
+        """The ISP scenario contains deliberately violated checks:
+        verdicts match expectations (no mismatch) but something is
+        violated, so scripts get exit 1."""
+        rc = main(["audit", "isp", "--size", "3"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "0 unexpected verdicts" in out
+
+    def test_misconfigured_scenario_exits_one(self, capsys):
+        """Expected violations are not mismatches, but they are still
+        violations — exit 1 either way."""
         rc = main(["audit", "isp", "--size", "3", "--misconfig"])
         out = capsys.readouterr().out
-        assert rc == 0
+        assert rc == 1
         assert "violated" in out
 
     def test_show_traces(self, capsys):
         rc = main(["audit", "isp", "--size", "3", "--misconfig", "--show-traces"])
         out = capsys.readouterr().out
-        assert rc == 0
+        assert rc == 1
         assert "sends" in out  # a schedule was printed
 
     def test_unknown_scenario(self, capsys):
         assert main(["audit", "nonsense"]) == 2
 
-    def test_multitenant_has_no_injector(self):
-        with pytest.raises(SystemExit):
-            main(["audit", "multitenant", "--misconfig"])
+    def test_multitenant_has_no_injector(self, capsys):
+        assert main(["audit", "multitenant", "--misconfig"]) == 2
 
 
 class TestAuditJson:
     def test_structured_verdicts(self, capsys):
         rc = main(["audit", "isp", "--size", "2", "--json"])
         payload = json.loads(capsys.readouterr().out)
-        assert rc == 0
+        assert rc == 1  # the scenario's expected violations
         assert payload["command"] == "audit"
         assert payload["mismatches"] == 0
         assert payload["n_checks"] == len(payload["checks"])
@@ -82,7 +92,7 @@ class TestAuditJson:
         cumulative counters that never decrease on a warm solver."""
         rc = main(["audit", "isp", "--size", "2", "--json"])
         payload = json.loads(capsys.readouterr().out)
-        assert rc == 0
+        assert rc == 1  # the scenario's expected violations
         counters = ("conflicts", "decisions", "propagations",
                     "restarts", "learned", "subsumed", "strengthened")
         totals = payload["solver_totals"]
@@ -114,7 +124,7 @@ class TestProveJson:
         with a trace."""
         rc = main(["prove", "isp", "--size", "2", "--json"])
         payload = json.loads(capsys.readouterr().out)
-        assert rc == 0
+        assert rc == 1  # the scenario's expected violations
         assert payload["command"] == "prove"
         assert payload["mismatches"] == 0
         assert payload["n_checks"] == len(payload["checks"])
@@ -146,7 +156,7 @@ class TestProveJson:
         rc = main(["prove", "isp", "--size", "2", "--max-checks", "64",
                    "--json"])
         payload = json.loads(capsys.readouterr().out)
-        assert rc == 0
+        assert rc == 1  # the scenario's expected violations
         assert payload["mismatches"] == 0
         for check in payload["checks"]:
             assert check["status"] == check["expected"]
@@ -154,7 +164,7 @@ class TestProveJson:
     def test_text_output_reports_guarantees(self, capsys):
         rc = main(["prove", "isp", "--size", "2"])
         out = capsys.readouterr().out
-        assert rc == 0
+        assert rc == 1  # the scenario's expected violations
         assert "unbounded" in out
         assert "guarantees" in out
 
@@ -163,7 +173,7 @@ class TestWatch:
     def test_replays_churn_stream(self, capsys):
         rc = main(["watch", "enterprise", "--size", "3", "--deltas", "2"])
         out = capsys.readouterr().out
-        assert rc == 0
+        assert rc == 1  # the final version carries expected violations
         assert "DRIFT" in out          # the misconfig delta is flagged...
         assert "absorbed 2 deltas" in out  # ...and the stream completes
 
@@ -171,7 +181,7 @@ class TestWatch:
         rc = main(["watch", "enterprise", "--size", "3", "--deltas", "2",
                    "--json"])
         payload = json.loads(capsys.readouterr().out)
-        assert rc == 0
+        assert rc == 1  # the final version carries expected violations
         assert payload["command"] == "watch"
         assert len(payload["versions"]) == 2
         totals = payload["totals"]
@@ -248,12 +258,67 @@ class TestRepair:
         assert "repairable" in capsys.readouterr().out
 
 
+class TestExitCodes:
+    """The documented contract: 0 all clean, 1 when any invariant is
+    violated or any verdict mismatches its expectation, 2 on usage or
+    transport errors.  Exercised through real process exit codes so
+    shell `&&`/`if` behaviour is what is actually tested."""
+
+    def _rc(self, *args: str) -> int:
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *args],
+            capture_output=True, env=env, check=False,
+        ).returncode
+
+    def test_clean_audit_is_zero(self):
+        assert self._rc("audit", "datacenter-traversal") == 0
+
+    def test_violations_are_one(self):
+        assert self._rc("audit", "isp", "--size", "2") == 1
+
+    def test_usage_errors_are_two(self):
+        assert self._rc("audit", "nonsense") == 2
+        assert self._rc("watch", "isp") == 2  # no churn generator
+
+    def test_unreachable_server_is_two(self):
+        # Port 1 is never a repro daemon; --server must not silently
+        # fall back to an in-process run.
+        assert self._rc("audit", "datacenter-traversal",
+                        "--server", "127.0.0.1:1") == 2
+
+    def test_successful_repair_is_zero(self):
+        assert self._rc("repair", "multitenant", "--size", "2") == 0
+
+
+class TestStableAuditJson:
+    def test_stable_json_is_byte_reproducible(self):
+        """Two fresh-process audits of the same spec emit identical
+        bytes under --stable-json — the parity baseline the resident
+        server is held to."""
+        outputs = [
+            _run_cli("audit", "isp", "--size", "2", "--stable-json",
+                     expect_rc=1)
+            for _ in range(2)
+        ]
+        assert outputs[0] == outputs[1]
+        payload = json.loads(outputs[0])
+        assert payload["command"] == "audit"
+        assert "seconds" not in json.dumps(payload)
+        # Warm-state cost fields are stripped too: a cold and a warm
+        # run of this spec must serialize identically.
+        for noisy in ("cached", "solver", "solver_totals"):
+            assert noisy not in payload
+
+
 class TestStableWatchJson:
     def test_stable_json_drops_wall_clock_fields(self, capsys):
         rc = main(["watch", "enterprise", "--size", "3", "--deltas", "2",
                    "--stable-json"])
         payload = json.loads(capsys.readouterr().out)
-        assert rc == 0
+        assert rc == 1  # the final version carries expected violations
         assert payload["command"] == "watch"
         assert payload["seed"] == 0
         assert "seconds" not in json.dumps(payload)
