@@ -16,6 +16,18 @@ committed baseline):
   audit workload (best-of filters scheduler noise; both sides get the
   same treatment).
 
+The structured event log gets the same treatment over the *service*
+workload (one cold :class:`VerificationService` audit request — the
+path that actually emits events):
+
+* **logging disabled ≤ 2%** — computed like the tracing gate:
+  microbenchmark one :class:`NullLogger` event call, count the events
+  an enabled run emits, bound the product against the workload.
+* **logging enabled ≤ 10%** — best-of-N A/B of the service request
+  with a file-backed :class:`EventLogger` plus request-scoped tracing
+  versus with both off: the full resident-daemon instrumentation must
+  stay affordable.
+
 Usage::
 
     python benchmarks/bench_obs_overhead.py --output BENCH_obs_overhead.json
@@ -25,15 +37,20 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import tempfile
 import time
 
 from repro import obs
 from repro.core.engine import execute_jobs
+from repro.obs.log import EventLogger
 from repro.scenarios import enterprise
 
 DISABLED_BUDGET = 0.02
 ENABLED_BUDGET = 0.10
+LOG_DISABLED_BUDGET = 0.02
+LOG_ENABLED_BUDGET = 0.10
 
 
 def run_workload(size: int) -> None:
@@ -79,6 +96,43 @@ def count_site_hits(size: int) -> int:
     return len(tracer.records()) + n_metric_writes
 
 
+def service_workload(size: int, logger=None, trace_requests=False) -> None:
+    """One cold service-mediated audit request — the codepath that
+    emits structured events (admission, shard create, checkpoint,
+    request summary) and runs the request-scoped tracer."""
+    from repro.serve.service import VerificationService
+
+    service = VerificationService(
+        trace_requests=trace_requests,
+        soft_deadline_seconds=0,
+        logger=logger,
+    )
+    try:
+        service.handle(
+            {"command": "audit", "scenario": "enterprise", "size": size}
+        )
+    finally:
+        service.close()
+
+
+def log_site_cost_seconds(iterations: int = 200_000) -> float:
+    """Per-call cost of one *disabled* log site: the thread-local
+    lookup plus the :class:`NullLogger` no-op."""
+    assert not obs.get_logger().enabled
+    started = time.perf_counter()
+    for _ in range(iterations):
+        obs.get_logger().info("bench-event", shard="abc", seconds=0.1)
+    return (time.perf_counter() - started) / iterations
+
+
+def count_log_events(size: int) -> int:
+    """How many events one enabled service workload emits (counted at
+    ``debug``, the most verbose tier, to keep the bound honest)."""
+    logger, buffer = EventLogger.to_buffer(level="debug")
+    service_workload(size, logger=logger)
+    return sum(1 for line in buffer.getvalue().splitlines() if line)
+
+
 def run(size: int, rounds: int) -> dict:
     obs.disable()
     disabled_seconds = best_of(rounds, lambda: run_workload(size))
@@ -94,6 +148,23 @@ def run(size: int, rounds: int) -> dict:
     disabled_overhead = per_site * site_hits / disabled_seconds
     enabled_overhead = enabled_seconds / disabled_seconds - 1
 
+    # Logging bounds, over the service workload (the event-emitting path).
+    log_off_seconds = best_of(rounds, lambda: service_workload(size))
+    with tempfile.TemporaryDirectory() as tmp:
+        def log_on_run():
+            logger = EventLogger(path=os.path.join(tmp, "events.jsonl"),
+                                 level="info")
+            try:
+                service_workload(size, logger=logger, trace_requests=True)
+            finally:
+                logger.close()
+
+        log_on_seconds = best_of(rounds, log_on_run)
+    per_log_event = log_site_cost_seconds()
+    log_events = count_log_events(size)
+    log_disabled_overhead = per_log_event * log_events / log_off_seconds
+    log_enabled_overhead = log_on_seconds / log_off_seconds - 1
+
     return {
         "benchmark": "obs_overhead",
         "workload": f"enterprise(n_subnets={size}) audit",
@@ -104,15 +175,33 @@ def run(size: int, rounds: int) -> dict:
         "per_site_nanos": round(per_site * 1e9, 1),
         "disabled_overhead_fraction": round(disabled_overhead, 5),
         "enabled_overhead_fraction": round(max(enabled_overhead, 0.0), 4),
+        "service_workload_seconds": round(log_off_seconds, 4),
+        "log_enabled_workload_seconds": round(log_on_seconds, 4),
+        "log_events": log_events,
+        "per_log_event_nanos": round(per_log_event * 1e9, 1),
+        "log_disabled_overhead_fraction": round(log_disabled_overhead, 5),
+        "log_enabled_overhead_fraction": round(
+            max(log_enabled_overhead, 0.0), 4
+        ),
         "budgets": {
             "disabled": DISABLED_BUDGET,
             "enabled": ENABLED_BUDGET,
+            "log_disabled": LOG_DISABLED_BUDGET,
+            "log_enabled": LOG_ENABLED_BUDGET,
         },
         "disabled_overhead_valid": disabled_overhead <= DISABLED_BUDGET,
         "enabled_overhead_valid": enabled_overhead <= ENABLED_BUDGET,
+        "log_disabled_overhead_valid": (
+            log_disabled_overhead <= LOG_DISABLED_BUDGET
+        ),
+        "log_enabled_overhead_valid": (
+            log_enabled_overhead <= LOG_ENABLED_BUDGET
+        ),
         "all_valid": (
             disabled_overhead <= DISABLED_BUDGET
             and enabled_overhead <= ENABLED_BUDGET
+            and log_disabled_overhead <= LOG_DISABLED_BUDGET
+            and log_enabled_overhead <= LOG_ENABLED_BUDGET
         ),
     }
 
@@ -135,10 +224,15 @@ def main(argv=None) -> int:
             fh.write(payload + "\n")
     print(payload)
     print(
-        f"disabled overhead {report['disabled_overhead_fraction'] * 100:.3f}% "
+        f"tracing: disabled "
+        f"{report['disabled_overhead_fraction'] * 100:.3f}% "
         f"(budget {DISABLED_BUDGET * 100:.0f}%), enabled "
         f"{report['enabled_overhead_fraction'] * 100:.1f}% "
-        f"(budget {ENABLED_BUDGET * 100:.0f}%): "
+        f"(budget {ENABLED_BUDGET * 100:.0f}%); logging: disabled "
+        f"{report['log_disabled_overhead_fraction'] * 100:.3f}% "
+        f"(budget {LOG_DISABLED_BUDGET * 100:.0f}%), enabled "
+        f"{report['log_enabled_overhead_fraction'] * 100:.1f}% "
+        f"(budget {LOG_ENABLED_BUDGET * 100:.0f}%): "
         f"{'ok' if report['all_valid'] else 'OVER BUDGET'}",
         file=sys.stderr,
     )

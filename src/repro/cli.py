@@ -13,6 +13,8 @@
     python -m repro stats run.json --top 15
     python -m repro serve start --port 8642 --store-dir ~/.repro-store
     python -m repro audit enterprise --server :8642
+    python -m repro top --server :8642
+    python -m repro tail --server :8642 --follow
 
 ``audit`` builds the scenario (optionally with its §5.1/§5.2
 misconfiguration injected), verifies every invariant in its check list,
@@ -58,6 +60,8 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import re
 import sys
 import time
 from contextlib import contextmanager
@@ -67,7 +71,10 @@ from .scenarios import CHURN_GENERATORS, SCENARIOS
 from .serve.client import (
     DEFAULT_PORT,
     ServerError,
+    normalize_url,
+    recent_requests,
     request as _server_request,
+    server_metrics,
     server_status,
     shutdown_server,
 )
@@ -392,6 +399,12 @@ def _cmd_serve(args) -> int:
             max_inflight=args.max_inflight,
             queue_depth=args.queue_depth,
             quiet=args.quiet,
+            trace_requests=not args.no_request_traces,
+            slow_trace_seconds=args.slow_trace,
+            soft_deadline_seconds=args.soft_deadline,
+            recorder_capacity=args.recorder_capacity,
+            max_retained_traces=args.retained_traces,
+            log_file=args.log_file,
         )
     server = args.server or f"127.0.0.1:{DEFAULT_PORT}"
     try:
@@ -406,6 +419,214 @@ def _cmd_serve(args) -> int:
     json.dump(status, sys.stdout, indent=2)
     sys.stdout.write("\n")
     return 0
+
+
+# ----------------------------------------------------------------------
+# Live introspection: `repro top` / `repro tail`
+# ----------------------------------------------------------------------
+def _parse_prom(text: str) -> dict:
+    """Series name (labels included) -> value, from Prometheus text."""
+    series = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        try:
+            name, value = line.rsplit(None, 1)
+            series[name] = float(value)
+        except ValueError:
+            continue
+    return series
+
+
+_PROM_LATENCY = re.compile(
+    r'^repro_serve_request_seconds_(?P<part>p50|p95|p99)'
+    r'\{command="(?P<command>[^"]+)"\}$'
+)
+
+
+def _render_top(server: str, status: dict, prom: dict,
+                prev_requests=None) -> None:
+    requests = status.get("requests", 0)
+    delta = "" if prev_requests is None else f" (+{requests - prev_requests})"
+    inflight = status.get("inflight") or []
+    print(f"repro top — {normalize_url(server)}  "
+          f"uptime {status.get('uptime_seconds', 0):.0f}s  "
+          f"pid {status.get('pid', '?')}")
+    print(f"requests {requests}{delta}  errors {status.get('errors', 0)}  "
+          f"rejected {status.get('rejected', 0)}  "
+          f"stalls {status.get('stalls', 0)}  "
+          f"inflight {len(inflight)}/{status.get('max_inflight', '?')}  "
+          f"waiting {status.get('waiting', 0)}")
+    recorder = status.get("recorder") or {}
+    if recorder:
+        print(f"flight recorder: {recorder.get('entries', 0)}"
+              f"/{recorder.get('capacity', 0)} entries "
+              f"({recorder.get('recorded', 0)} recorded), "
+              f"{recorder.get('retained_traces', 0)} slow traces retained")
+    latency = {}
+    for key, value in prom.items():
+        match = _PROM_LATENCY.match(key)
+        if match is not None:
+            latency.setdefault(match.group("command"), {})[
+                match.group("part")] = value
+    if latency:
+        print("request seconds (bucket-estimated):")
+        for command in sorted(latency):
+            parts = latency[command]
+            count = prom.get(
+                f'repro_serve_request_seconds_count{{command="{command}"}}',
+                0,
+            )
+            print(f"  {command:8s} n={int(count):<6d} "
+                  f"p50 {parts.get('p50', 0.0):8.3f}s  "
+                  f"p95 {parts.get('p95', 0.0):8.3f}s  "
+                  f"p99 {parts.get('p99', 0.0):8.3f}s")
+    shards = status.get("shards") or {}
+    print(f"shards ({len(shards)} resident):")
+    for digest, row in shards.items():
+        rate = row.get("cache_hit_rate")
+        rate_text = f"{rate:.1%}" if isinstance(rate, (int, float)) else "-"
+        age = row.get("checkpoint_age_seconds")
+        age_text = f"  ckpt {age:.0f}s ago" if age is not None else ""
+        print(f"  {digest}  {row.get('scenario', '?'):16s} "
+              f"requests {row.get('requests', 0):<5d} "
+              f"hit-rate {rate_text:>6s}  "
+              f"entries {row.get('cache_entries', 0)}{age_text}")
+    for row in inflight:
+        flag = "  STALLED" if row.get("stalled") else ""
+        print(f"  running: {row.get('request_id')}  {row.get('command')} "
+              f"{row.get('scenario')}  {row.get('seconds', 0.0):.1f}s{flag}")
+
+
+def _cmd_top(args) -> int:
+    server = args.server or f"127.0.0.1:{DEFAULT_PORT}"
+    prev_requests = None
+    iteration = 0
+    try:
+        while True:
+            iteration += 1
+            try:
+                status = server_status(server)
+                prom = _parse_prom(server_metrics(server))
+            except ServerError as err:
+                print(str(err))
+                return 2
+            if sys.stdout.isatty():
+                sys.stdout.write("\x1b[2J\x1b[H")
+            _render_top(server, status, prom, prev_requests)
+            prev_requests = status.get("requests", 0)
+            if args.iterations and iteration >= args.iterations:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+def _format_event_line(record: dict) -> str:
+    ts = record.get("ts")
+    when = (time.strftime("%H:%M:%S", time.localtime(ts))
+            if isinstance(ts, (int, float)) else "--:--:--")
+    extras = " ".join(
+        f"{key}={record[key]}" for key in record
+        if key not in ("ts", "level", "event")
+    )
+    return (f"{when} {record.get('level', '?'):7s} "
+            f"{record.get('event', '?'):18s} {extras}").rstrip()
+
+
+def _print_event(line: str) -> None:
+    line = line.strip()
+    if not line:
+        return
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError:
+        print(line)
+        return
+    print(_format_event_line(record))
+
+
+def _format_request_line(row: dict) -> str:
+    ts = row.get("ts")
+    when = (time.strftime("%H:%M:%S", time.localtime(ts))
+            if isinstance(ts, (int, float)) else "--:--:--")
+    base = (f"{when}  {row.get('request_id', '?'):16s} "
+            f"{row.get('command', '?'):6s} "
+            f"{row.get('scenario', '?'):16s} "
+            f"{row.get('seconds', 0.0):8.3f}s  "
+            f"exit {row.get('exit_code', '?')}")
+    if row.get("error"):
+        base += f"  ERROR {row['error']}"
+    else:
+        base += (f"  checks {row.get('checks', 0)} "
+                 f"hits {row.get('cache_hits', 0)} "
+                 f"solver {row.get('solver_runs', 0)}")
+    if row.get("slow"):
+        base += "  SLOW"
+        if row.get("trace"):
+            base += f" trace={row['trace']}"
+    return base
+
+
+def _tail_log(args) -> int:
+    path = args.log
+    try:
+        with open(path, encoding="utf-8") as fh:
+            for line in fh.readlines()[-args.lines:]:
+                _print_event(line)
+            offset = fh.tell()
+    except OSError as err:
+        print(f"cannot read {path!r}: {err}")
+        return 2
+    if not args.follow:
+        return 0
+    try:
+        while True:
+            time.sleep(args.interval)
+            try:
+                if os.path.getsize(path) < offset:
+                    offset = 0  # rotated underneath us — start over
+                with open(path, encoding="utf-8") as fh:
+                    fh.seek(offset)
+                    for line in fh:
+                        _print_event(line)
+                    offset = fh.tell()
+            except OSError:
+                continue
+    except KeyboardInterrupt:
+        return 0
+
+
+def _tail_server(args) -> int:
+    server = args.server or f"127.0.0.1:{DEFAULT_PORT}"
+    seen = set()
+    try:
+        while True:
+            try:
+                rows = recent_requests(server, n=args.lines)["requests"]
+            except ServerError as err:
+                print(str(err))
+                return 2
+            for row in reversed(rows):  # oldest first, like tail(1)
+                request_id = row.get("request_id")
+                if request_id in seen:
+                    continue
+                seen.add(request_id)
+                print(_format_request_line(row), flush=True)
+            if not args.follow:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_tail(args) -> int:
+    if args.log and args.server:
+        print("pass --log FILE or --server URL, not both")
+        return 2
+    if args.log:
+        return _tail_log(args)
+    return _tail_server(args)
 
 
 def main(argv=None) -> int:
@@ -595,7 +816,35 @@ def main(argv=None) -> int:
                        help="waiting requests before the daemon answers "
                             "busy/503 (default: 16)")
     start.add_argument("--quiet", action="store_true",
-                       help="suppress per-request access logging")
+                       help="raise the stderr event threshold to warning "
+                            "(the JSONL event log still records access "
+                            "events)")
+    start.add_argument("--log-file", default=None, metavar="FILE",
+                       help="structured JSONL event log (default: "
+                            "<store-dir>/events.jsonl when --store-dir is "
+                            "set, else stderr only)")
+    start.add_argument("--slow-trace", type=float, default=5.0,
+                       metavar="SECONDS",
+                       help="retain the full span trace of requests slower "
+                            "than this, served by /v1/requests/<id>/trace "
+                            "(default: 5.0)")
+    start.add_argument("--soft-deadline", type=float, default=60.0,
+                       metavar="SECONDS",
+                       help="watchdog flags in-flight requests older than "
+                            "this: a request-stall event + the "
+                            "repro_serve_slow_requests_total metric "
+                            "(0 disables; default: 60)")
+    start.add_argument("--recorder-capacity", type=int, default=256,
+                       metavar="N",
+                       help="flight-recorder ring size: recent request "
+                            "summaries kept in memory for /v1/requests "
+                            "(default: 256)")
+    start.add_argument("--retained-traces", type=int, default=16, metavar="N",
+                       help="slow-request traces kept on disk before the "
+                            "oldest is deleted (default: 16)")
+    start.add_argument("--no-request-traces", action="store_true",
+                       help="disable per-request span tracing (slow "
+                            "requests then retain no trace)")
     stop = serve_sub.add_parser("stop", help="checkpoint stores and stop")
     stop.add_argument("--server", default=None, metavar="URL",
                       help=f"daemon to stop (default: "
@@ -606,6 +855,39 @@ def main(argv=None) -> int:
                         help=f"daemon to query (default: "
                              f"127.0.0.1:{DEFAULT_PORT})")
 
+    top = sub.add_parser(
+        "top",
+        help="live daemon dashboard: requests, latency percentiles, "
+             "shards, in-flight work (polls /status and /metrics)",
+    )
+    top.add_argument("--server", default=None, metavar="URL",
+                     help=f"daemon to watch (default: "
+                          f"127.0.0.1:{DEFAULT_PORT})")
+    top.add_argument("--interval", type=float, default=2.0, metavar="SECONDS",
+                     help="refresh period (default: 2.0)")
+    top.add_argument("-n", "--iterations", type=int, default=0, metavar="N",
+                     help="stop after N refreshes (default: run until "
+                          "interrupted)")
+
+    tail = sub.add_parser(
+        "tail",
+        help="follow the daemon's request history (/v1/requests) or a "
+             "structured JSONL event log",
+    )
+    tail.add_argument("--server", default=None, metavar="URL",
+                      help=f"daemon whose recent requests to print "
+                           f"(default: 127.0.0.1:{DEFAULT_PORT})")
+    tail.add_argument("--log", default=None, metavar="FILE",
+                      help="read a JSONL event log file instead of asking "
+                           "a daemon")
+    tail.add_argument("-n", "--lines", type=int, default=20, metavar="N",
+                      help="entries to print (default: 20)")
+    tail.add_argument("-f", "--follow", action="store_true",
+                      help="keep polling for new entries until interrupted")
+    tail.add_argument("--interval", type=float, default=1.0,
+                      metavar="SECONDS",
+                      help="poll period with --follow (default: 1.0)")
+
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list(args)
@@ -613,6 +895,10 @@ def main(argv=None) -> int:
         return _cmd_stats(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "top":
+        return _cmd_top(args)
+    if args.command == "tail":
+        return _cmd_tail(args)
     if args.jobs < 0:
         parser.error("--jobs must be >= 0")
     with _observability(args):

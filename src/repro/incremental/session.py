@@ -39,7 +39,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.engine import ResultCache, SolverPool, execute_jobs, resolve_bmc_params
-from ..obs import get_registry, get_tracer
+from ..obs import get_logger, get_registry, get_tracer
 from ..core.slicing import SliceClosureError
 from ..core.vmn import VMN
 from ..netmodel.bmc import HOLDS, CheckResult
@@ -386,7 +386,15 @@ class IncrementalSession:
             span.tag(ok=report.ok)
         if not report.ok:
             self._certificates.pop(key, None)
+            get_logger().info(
+                "certificate-fallback", check=key, kind=cert.kind,
+                reason=report.reason,
+            )
             return None
+        get_logger().debug(
+            "certificate-reused", check=key, kind=cert.kind,
+            solver_checks=report.solver_checks,
+        )
         return CheckResult(
             status=HOLDS,
             invariant=invariant,

@@ -24,6 +24,7 @@ points one way only.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Optional, Tuple, Union
 
@@ -35,6 +36,7 @@ from .export import (
     write_run_record,
 )
 from .hooks import SolverEventSink
+from .log import NULL_LOGGER, EventLogger, JsonlSink, NullLogger
 from .metrics import (
     NULL_REGISTRY,
     SOLVER_COUNTER_KEYS,
@@ -54,14 +56,20 @@ __all__ = [
     "NullTracer",
     "MetricsRegistry",
     "NullRegistry",
+    "EventLogger",
+    "NullLogger",
+    "JsonlSink",
     "SolverEventSink",
     "solver_counter_snapshot",
     "get_tracer",
     "get_registry",
+    "get_logger",
+    "set_logger",
     "enabled",
     "enable",
     "disable",
     "observe",
+    "request_scope",
     "run_record",
     "write_run_record",
     "to_chrome_events",
@@ -74,20 +82,52 @@ __all__ = [
 
 _tracer: Union[Tracer, NullTracer] = NULL_TRACER
 _registry: Union[MetricsRegistry, NullRegistry] = NULL_REGISTRY
+_logger: Union[EventLogger, NullLogger] = NULL_LOGGER
+
+#: Per-thread overrides installed by :func:`request_scope`.  A resident
+#: daemon serves many requests concurrently from one process; scoping
+#: the tracer/logger per *thread* gives each request its own bounded
+#: span tree and request-id-bound log context while the process-global
+#: pair keeps serving every other caller.
+_scope = threading.local()
 
 
 def get_tracer() -> Union[Tracer, NullTracer]:
-    """The process-global tracer (the no-op singleton when disabled)."""
-    return _tracer
+    """The active tracer: this thread's :func:`request_scope` override
+    when one is installed, else the process-global tracer (the no-op
+    singleton when disabled)."""
+    tracer = getattr(_scope, "tracer", None)
+    return tracer if tracer is not None else _tracer
 
 
 def get_registry() -> Union[MetricsRegistry, NullRegistry]:
-    """The process-global metrics registry (no-op when disabled)."""
+    """The process-global metrics registry (no-op when disabled).
+    Deliberately *not* request-scoped: metrics are daemon-lifetime
+    aggregates, so every request folds into the same registry."""
     return _registry
 
 
+def get_logger() -> Union[EventLogger, NullLogger]:
+    """The active structured event logger: this thread's
+    :func:`request_scope` override (typically bound to a request id)
+    when one is installed, else the process-global logger."""
+    logger = getattr(_scope, "logger", None)
+    return logger if logger is not None else _logger
+
+
+def set_logger(
+    logger: Optional[Union[EventLogger, NullLogger]],
+) -> Union[EventLogger, NullLogger]:
+    """Install the process-global event logger (``None`` restores the
+    no-op singleton); returns the previous one."""
+    global _logger
+    previous = _logger
+    _logger = logger if logger is not None else NULL_LOGGER
+    return previous
+
+
 def enabled() -> bool:
-    return _tracer.enabled
+    return get_tracer().enabled
 
 
 def enable(tracer: Optional[Tracer] = None,
@@ -120,3 +160,29 @@ def observe(meta: Optional[dict] = None,
         yield pair
     finally:
         _tracer, _registry = prev
+
+
+@contextmanager
+def request_scope(tracer: Optional[Union[Tracer, NullTracer]] = None,
+                  logger: Optional[Union[EventLogger, NullLogger]] = None):
+    """Thread-local observability scope for one request.
+
+    Inside the block, :func:`get_tracer` / :func:`get_logger` on *this
+    thread* resolve to the given instances (``None`` leaves that slot
+    on the process-global default); other threads are untouched.  This
+    is how ``repro serve`` gives each in-flight request its own
+    bounded-lifetime tracer and request-id-bound logger: every
+    instrumentation site below — engine, session, solver — keeps
+    calling the same module-global accessors and transparently lands
+    in the request's scope.  Scopes nest; the previous override is
+    restored on exit even when the request unwinds with an error.
+    """
+    prev = (getattr(_scope, "tracer", None), getattr(_scope, "logger", None))
+    if tracer is not None:
+        _scope.tracer = tracer
+    if logger is not None:
+        _scope.logger = logger
+    try:
+        yield
+    finally:
+        _scope.tracer, _scope.logger = prev

@@ -1,0 +1,250 @@
+"""Structured event logging: leveled JSONL with bound context fields.
+
+The third leg of ``repro.obs`` next to spans and metrics.  A **span**
+answers "where did the time go", a **metric** answers "how much work
+happened", an **event** answers "what happened, when, with which
+request" — the discrete facts an operator greps for after the fact
+(a request was admitted, a shard was evicted, a certificate failed to
+revalidate, a request stalled past its deadline).
+
+One :class:`EventLogger` owns up to two sinks:
+
+* a **file sink** — append-only JSONL with size-based rotation
+  (:class:`JsonlSink`), the durable log a resident daemon writes next
+  to its store;
+* an **echo stream** — typically ``stderr``, with its own level
+  threshold, so a foreground daemon shows traffic while ``--quiet``
+  raises the threshold to warnings without touching the file log.
+
+:meth:`EventLogger.bind` returns a child logger sharing the sinks with
+extra fields merged into every record — the serve layer binds the
+request id once and every event logged below it (admission, shard
+routing, certificate reuse deep in the incremental session) carries it
+automatically.
+
+The **disabled** path is the usual ``repro.obs`` contract: every call
+site logs unconditionally through :func:`repro.obs.get_logger`, so the
+default :class:`NullLogger` singleton must cost a method call and
+nothing else (no dict building, no level comparison on attributes it
+does not have).
+
+Like the rest of ``repro.obs`` this module is dependency-free and must
+never import other ``repro`` modules.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import threading
+import time
+from typing import IO, Optional
+
+__all__ = [
+    "LEVELS",
+    "JsonlSink",
+    "EventLogger",
+    "NullLogger",
+    "NULL_LOGGER",
+]
+
+#: Numeric severities, Python-logging-shaped so thresholds compare.
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+class JsonlSink:
+    """Thread-safe append-only JSONL file with size-based rotation.
+
+    When the file would exceed ``max_bytes`` the sink shifts
+    ``path -> path.1 -> ... -> path.N`` (dropping the oldest) and
+    starts fresh, so a long-running daemon's log footprint is bounded
+    by ``(backups + 1) * max_bytes`` no matter how much traffic it
+    serves.  Rotation is size-*triggered*, not size-exact: one record
+    never splits across files.
+    """
+
+    def __init__(self, path: str, max_bytes: int = 4 << 20,
+                 backups: int = 1):
+        self.path = path
+        self.max_bytes = max_bytes
+        self.backups = backups
+        self.rotations = 0
+        self._lock = threading.Lock()
+        self._fh: Optional[IO[str]] = None
+        self._size = 0
+
+    def _open(self) -> None:
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self._size = self._fh.tell()
+
+    def _rotate(self) -> None:
+        self._fh.close()
+        self._fh = None
+        if self.backups == 0:
+            os.remove(self.path)
+        else:
+            for i in range(self.backups, 0, -1):
+                src = self.path if i == 1 else f"{self.path}.{i - 1}"
+                dst = f"{self.path}.{i}"
+                if os.path.exists(src):
+                    os.replace(src, dst)
+        self.rotations += 1
+        self._open()
+
+    def write_line(self, line: str) -> None:
+        data = line + "\n"
+        with self._lock:
+            if self._fh is None:
+                self._open()
+            if (self.max_bytes
+                    and self._size
+                    and self._size + len(data) > self.max_bytes):
+                self._rotate()
+            self._fh.write(data)
+            self._fh.flush()
+            self._size += len(data)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+
+class EventLogger:
+    """Leveled JSONL logger with bound context fields.
+
+    Records are flat JSON objects, one per line::
+
+        {"ts": 1754650000.123456, "level": "info", "event": "access",
+         "request_id": "r1a2b-000007", "method": "POST", ...}
+
+    ``ts`` is wall-clock seconds (events are for correlating with the
+    outside world; spans keep the monotonic clock).  Bound fields are
+    merged first, call fields win on collision.
+    """
+
+    enabled = True
+
+    def __init__(self, path: Optional[str] = None,
+                 stream: Optional[IO[str]] = None,
+                 level: str = "info",
+                 stream_level: Optional[str] = None,
+                 max_bytes: int = 4 << 20,
+                 backups: int = 1,
+                 _sink: Optional[JsonlSink] = None,
+                 _bound: Optional[dict] = None):
+        self._sink = _sink if _sink is not None else (
+            JsonlSink(path, max_bytes=max_bytes, backups=backups)
+            if path else None
+        )
+        self._stream = stream
+        self._level = LEVELS[level]
+        self._stream_level = LEVELS[stream_level if stream_level else level]
+        self._bound = dict(_bound or {})
+        self._floor = min(
+            self._level if self._sink is not None else LEVELS["error"] + 1,
+            self._stream_level if stream is not None else LEVELS["error"] + 1,
+        )
+
+    # ------------------------------------------------------------------
+    def bind(self, **fields) -> "EventLogger":
+        """A child logger sharing this logger's sinks with ``fields``
+        stamped onto every record it emits."""
+        child = EventLogger.__new__(EventLogger)
+        child._sink = self._sink
+        child._stream = self._stream
+        child._level = self._level
+        child._stream_level = self._stream_level
+        child._bound = {**self._bound, **fields}
+        child._floor = self._floor
+        return child
+
+    @property
+    def bound(self) -> dict:
+        return dict(self._bound)
+
+    # ------------------------------------------------------------------
+    def event(self, level: str, event: str, **fields) -> Optional[dict]:
+        """Emit one event record; returns it (or ``None`` when the
+        level clears no sink)."""
+        severity = LEVELS[level]
+        if severity < self._floor:
+            return None
+        record = {"ts": round(time.time(), 6), "level": level, "event": event}
+        if self._bound:
+            record.update(self._bound)
+        if fields:
+            record.update(fields)
+        line = json.dumps(record, separators=(",", ":"), default=str)
+        if self._sink is not None and severity >= self._level:
+            self._sink.write_line(line)
+        if self._stream is not None and severity >= self._stream_level:
+            try:
+                self._stream.write(line + "\n")
+            except (ValueError, OSError):  # closed stream — never fatal
+                pass
+        return record
+
+    def debug(self, event: str, **fields):
+        return self.event("debug", event, **fields)
+
+    def info(self, event: str, **fields):
+        return self.event("info", event, **fields)
+
+    def warning(self, event: str, **fields):
+        return self.event("warning", event, **fields)
+
+    def error(self, event: str, **fields):
+        return self.event("error", event, **fields)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._sink is not None:
+            self._sink.close()
+
+    @classmethod
+    def to_buffer(cls, level: str = "debug") -> "tuple[EventLogger, io.StringIO]":
+        """A logger writing to an in-memory buffer — test plumbing."""
+        buf = io.StringIO()
+        return cls(stream=buf, level=level, stream_level=level), buf
+
+
+class NullLogger:
+    """The disabled logger: every call is a constant-time no-op and
+    ``bind`` returns the same singleton, so unconditional call sites in
+    hot layers cost one method call when logging is off."""
+
+    enabled = False
+
+    def bind(self, **fields) -> "NullLogger":
+        return self
+
+    @property
+    def bound(self) -> dict:
+        return {}
+
+    def event(self, level, event, **fields):
+        return None
+
+    def debug(self, event, **fields):
+        return None
+
+    def info(self, event, **fields):
+        return None
+
+    def warning(self, event, **fields):
+        return None
+
+    def error(self, event, **fields):
+        return None
+
+    def close(self) -> None:
+        return None
+
+
+NULL_LOGGER = NullLogger()

@@ -183,12 +183,47 @@ class Histogram(_Metric):
     def series(self):
         return self._series.items()
 
-    def summary(self, **labels) -> dict:
-        """``{count, sum}`` for one label set (0s when unobserved)."""
+    def _percentile(self, series: _HistogramSeries, q: float) -> float:
+        """Prometheus-style estimate of the ``q``-quantile from the
+        bucket counts: linear interpolation inside the bucket the
+        target observation falls in; observations past the largest
+        finite bucket clamp to that bound (the histogram records no
+        maximum, so the bound is the honest answer)."""
+        if series.count == 0:
+            return 0.0
+        target = q * series.count
+        cumulative = 0.0
+        lower = 0.0
+        for bound, n in zip(self.buckets, series.counts):
+            if n and cumulative + n >= target:
+                frac = (target - cumulative) / n
+                return lower + frac * (bound - lower)
+            cumulative += n
+            lower = bound
+        return float(self.buckets[-1])
+
+    def percentile(self, q: float, **labels) -> float:
+        """Estimated ``q``-quantile (``0 < q <= 1``) for one label set;
+        0 when unobserved."""
         series = self._series.get(_label_key(labels))
         if series is None:
-            return {"count": 0, "sum": 0.0}
-        return {"count": series.count, "sum": series.total}
+            return 0.0
+        return self._percentile(series, q)
+
+    def summary(self, **labels) -> dict:
+        """``{count, sum, p50, p95, p99}`` for one label set (0s when
+        unobserved)."""
+        series = self._series.get(_label_key(labels))
+        if series is None:
+            return {"count": 0, "sum": 0.0, "p50": 0.0, "p95": 0.0,
+                    "p99": 0.0}
+        return {
+            "count": series.count,
+            "sum": series.total,
+            "p50": self._percentile(series, 0.50),
+            "p95": self._percentile(series, 0.95),
+            "p99": self._percentile(series, 0.99),
+        }
 
 
 def _fmt_value(v: float) -> str:
@@ -270,6 +305,11 @@ class MetricsRegistry:
                     suffix = _fmt_labels(key)
                     out[f"{metric.name}_count{suffix}"] = series.count
                     out[f"{metric.name}_sum{suffix}"] = series.total
+                    for q, label in ((0.50, "p50"), (0.95, "p95"),
+                                     (0.99, "p99")):
+                        out[f"{metric.name}_{label}{suffix}"] = round(
+                            metric._percentile(series, q), 6
+                        )
             else:
                 for key, value in metric.series():
                     out[f"{metric.name}{_fmt_labels(key)}"] = value
@@ -386,6 +426,17 @@ class MetricsRegistry:
                     lines.append(
                         f"{metric.name}_count{_fmt_labels(key)} {series.count}"
                     )
+                    # Bucket-estimated percentiles, exported as plain
+                    # series (`<name>_p95{...}`) so text-scraping
+                    # consumers — `repro top`, shell one-liners — read
+                    # latency quantiles without reconstructing them
+                    # from the cumulative buckets.
+                    for q, label in ((0.50, "p50"), (0.95, "p95"),
+                                     (0.99, "p99")):
+                        lines.append(
+                            f"{metric.name}_{label}{_fmt_labels(key)} "
+                            f"{_fmt_value(round(metric._percentile(series, q), 6))}"
+                        )
             else:
                 for key, value in sorted(metric.series()):
                     lines.append(
@@ -423,7 +474,10 @@ class _NullMetric:
         return 0
 
     def summary(self, **labels):
-        return {"count": 0, "sum": 0.0}
+        return {"count": 0, "sum": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def percentile(self, q, **labels):
+        return 0.0
 
 
 _NULL_METRIC = _NullMetric()

@@ -11,11 +11,13 @@ table.  Exclusive times partition each root span exactly, so the
 from __future__ import annotations
 
 import json
+import re
 from typing import Dict, List, Optional
 
 from .export import load_spans
 
-__all__ = ["SpanStats", "aggregate", "coverage", "render_stats", "load_trace"]
+__all__ = ["SpanStats", "aggregate", "coverage", "histogram_summaries",
+           "render_stats", "load_trace"]
 
 
 def load_trace(path: str) -> dict:
@@ -109,6 +111,35 @@ def coverage(spans: List[dict], wall_seconds: Optional[float] = None) -> dict:
     return out
 
 
+_HIST_KEY = re.compile(
+    r"^(?P<name>.+)_(?P<part>count|sum|p50|p95|p99)(?P<labels>\{.*\})?$"
+)
+
+_HIST_PARTS = frozenset({"count", "sum", "p50", "p95", "p99"})
+
+
+def histogram_summaries(series: Dict[str, float]) -> List[dict]:
+    """Histogram rows reconstructed from a flat metrics snapshot.
+
+    A histogram contributes ``<name>_count/_sum/_p50/_p95/_p99`` per
+    label set to :meth:`MetricsRegistry.snapshot`; a series group is
+    only reported as a histogram when all five parts are present, so
+    counters that merely end in ``_count`` never alias."""
+    groups: Dict[tuple, Dict[str, float]] = {}
+    for key, value in series.items():
+        match = _HIST_KEY.match(key)
+        if match is None:
+            continue
+        gkey = (match.group("name"), match.group("labels") or "")
+        groups.setdefault(gkey, {})[match.group("part")] = value
+    out = []
+    for (name, labels), parts in sorted(groups.items()):
+        if not _HIST_PARTS <= parts.keys():
+            continue
+        out.append({"name": name + labels, **parts})
+    return out
+
+
 def render_stats(payload: dict, top: int = 20, by: str = "name") -> str:
     """The human-readable breakdown table for one loaded trace."""
     spans = load_spans(payload)
@@ -137,4 +168,19 @@ def render_stats(payload: dict, top: int = 20, by: str = "name") -> str:
         rest = sum(r.exclusive for r in rows[top:])
         lines.append(f"{'(other)':<{width}}  {sum(r.count for r in rows[top:]):>7}  "
                      f"{'':>9}  {rest:>9.3f}  {rest / total_excl:>6.1%}")
+
+    metrics = payload.get("metrics") if isinstance(payload, dict) else None
+    hists = histogram_summaries((metrics or {}).get("series", {}))
+    if hists:
+        hwidth = max([len(h["name"]) for h in hists] + [9])
+        lines.append("")
+        lines.append("histograms (bucket-estimated percentiles):")
+        lines.append(f"{'series':<{hwidth}}  {'count':>7}  {'sum':>10}  "
+                     f"{'p50':>9}  {'p95':>9}  {'p99':>9}")
+        for h in hists:
+            lines.append(
+                f"{h['name']:<{hwidth}}  {int(h['count']):>7}  "
+                f"{h['sum']:>10.3f}  {h['p50']:>9.4f}  {h['p95']:>9.4f}  "
+                f"{h['p99']:>9.4f}"
+            )
     return "\n".join(lines)

@@ -20,7 +20,15 @@ import urllib.error
 import urllib.request
 from typing import Optional
 
-__all__ = ["ServerError", "request", "server_status", "shutdown_server"]
+__all__ = [
+    "ServerError",
+    "request",
+    "server_status",
+    "server_metrics",
+    "recent_requests",
+    "request_trace",
+    "shutdown_server",
+]
 
 DEFAULT_PORT = 8642
 DEFAULT_TIMEOUT = 600.0
@@ -98,6 +106,61 @@ def request(server: str, spec: dict,
 def server_status(server: str, timeout: float = 10.0) -> dict:
     """GET /status — daemon + per-shard statistics."""
     return _call(server, "/status", None, timeout)
+
+
+def server_metrics(server: str, timeout: float = 10.0) -> str:
+    """GET /metrics — the raw Prometheus text exposition."""
+    url = normalize_url(server) + "/metrics"
+    req = urllib.request.Request(url, headers={"Accept": "text/plain"})
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.read().decode("utf-8", "replace")
+    except urllib.error.HTTPError as err:
+        raise ServerError(
+            f"server {url} answered {err.code}: {err.reason}",
+            status=err.code,
+        ) from err
+    except (urllib.error.URLError, OSError) as err:
+        reason = getattr(err, "reason", err)
+        raise ServerError(
+            f"cannot reach server {url}: {reason} "
+            "(is `repro serve start` running?)"
+        ) from err
+
+
+def recent_requests(server: str, n: Optional[int] = None,
+                    timeout: float = 10.0) -> dict:
+    """GET /v1/requests — flight-recorder summaries, newest first."""
+    path = "/v1/requests" + (f"?n={n}" if n else "")
+    return _call(server, path, None, timeout)
+
+
+def request_trace(server: str, request_id: str,
+                  timeout: float = 10.0) -> dict:
+    """GET /v1/requests/<id>/trace — a retained slow-request trace
+    (the same run-record JSON ``repro stats`` loads)."""
+    url = normalize_url(server) + f"/v1/requests/{request_id}/trace"
+    req = urllib.request.Request(url, headers={"Accept": "application/json"})
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            raw = resp.read()
+    except urllib.error.HTTPError as err:
+        raw = err.read()
+        try:
+            detail = json.loads(raw.decode("utf-8")).get("error", "")
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            detail = raw.decode("utf-8", "replace")[:200]
+        raise ServerError(
+            f"server {url} answered {err.code}: {detail or err.reason}",
+            status=err.code,
+        ) from err
+    except (urllib.error.URLError, OSError) as err:
+        reason = getattr(err, "reason", err)
+        raise ServerError(f"cannot reach server {url}: {reason}") from err
+    try:
+        return json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as err:
+        raise ServerError(f"server {url} sent non-JSON: {err}") from err
 
 
 def shutdown_server(server: str, timeout: float = 10.0) -> dict:

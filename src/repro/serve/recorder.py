@@ -1,0 +1,220 @@
+"""The flight recorder: bounded per-request history + slow-trace capture.
+
+A resident daemon must be able to answer "which request was slow, on
+which shard, and where did the time go?" *after the fact* without
+having been restarted with debug flags.  The
+:class:`FlightRecorder` keeps that answer bounded three ways:
+
+* an in-memory **ring** of the last ``capacity`` request summaries
+  (latency, shard, cache hits, solver-seconds, verdict counts, exit
+  code) — what ``GET /v1/requests`` and ``repro tail`` serve;
+* the same summaries appended to a **JSONL file** next to the store
+  (size-rotated via :class:`repro.obs.log.JsonlSink`), so history
+  survives a restart and ``grep`` works on it;
+* full Chrome-loadable **span traces retained on disk** only for
+  requests whose latency crossed the ``slow_seconds`` threshold,
+  capped at ``max_retained_traces`` files (oldest deleted first) —
+  ``GET /v1/requests/<id>/trace`` serves them back.
+
+Every bound is enforced at record time, so sustained traffic cannot
+grow the daemon's memory or its trace directory without limit
+(asserted by ``tests/serve/test_observability.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import deque
+from typing import Deque, List, Optional
+
+from .. import obs
+from ..obs.log import JsonlSink
+
+__all__ = ["FlightRecorder", "summarize_payload"]
+
+
+def summarize_payload(payload: dict) -> dict:
+    """The flight-recorder cost/verdict digest of one response payload.
+
+    Shared vocabulary across commands: ``checks`` (how many verdicts
+    the request established), ``verdicts`` (status counts),
+    ``mismatches``, ``cache_hits``, ``solver_runs`` and
+    ``solver_seconds`` (what the request actually cost the shard).
+    """
+    command = payload.get("command")
+    out = {
+        "checks": 0,
+        "mismatches": 0,
+        "cache_hits": 0,
+        "solver_runs": 0,
+        "solver_seconds": 0.0,
+        "verdicts": {},
+    }
+    if command in ("audit", "prove"):
+        rows = payload.get("checks") or []
+        out["checks"] = len(rows)
+        out["mismatches"] = payload.get("mismatches", 0)
+        for row in rows:
+            status = row.get("status", "?")
+            out["verdicts"][status] = out["verdicts"].get(status, 0) + 1
+            if row.get("cached"):
+                out["cache_hits"] += 1
+            else:
+                out["solver_runs"] += 1
+            out["solver_seconds"] += row.get("solve_seconds") or 0.0
+    elif command == "watch":
+        totals = payload.get("totals") or {}
+        versions = payload.get("versions") or []
+        last = versions[-1] if versions else payload.get("baseline") or {}
+        for status in (last.get("checks") or {}).values():
+            out["verdicts"][status] = out["verdicts"].get(status, 0) + 1
+        out["checks"] = last.get("n_checks", 0)
+        out["mismatches"] = len(last.get("drift") or ())
+        out["cache_hits"] = totals.get("cache_hits", 0)
+        out["solver_runs"] = totals.get("solver_runs", 0)
+        out["solver_seconds"] = totals.get("seconds", 0.0)
+    elif command == "repair":
+        final = payload.get("final_audit") or {}
+        out["checks"] = final.get("n_checks", 0)
+        out["mismatches"] = final.get("mismatches", 0)
+        out["verdicts"]["repaired" if payload.get("ok") else "unrepaired"] = 1
+        out["solver_seconds"] = (payload.get("timing") or {}).get(
+            "seconds", 0.0
+        )
+    out["solver_seconds"] = round(out["solver_seconds"], 4)
+    return out
+
+
+class FlightRecorder:
+    """Bounded request history with slow-trace retention."""
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        jsonl_path: Optional[str] = None,
+        trace_dir: Optional[str] = None,
+        slow_seconds: float = 5.0,
+        max_retained_traces: int = 16,
+        max_bytes: int = 4 << 20,
+    ):
+        self.capacity = capacity
+        self.slow_seconds = slow_seconds
+        self.trace_dir = trace_dir
+        self.max_retained_traces = max_retained_traces
+        self.recorded = 0
+        self.retained = 0
+        self._ring: Deque[dict] = deque(maxlen=capacity)
+        self._sink = (
+            JsonlSink(jsonl_path, max_bytes=max_bytes) if jsonl_path else None
+        )
+        self._lock = threading.Lock()
+        # Retained traces surviving from an earlier daemon over the
+        # same store directory still count against the bound.
+        self._traces: Deque[str] = deque()
+        if trace_dir and os.path.isdir(trace_dir):
+            existing = [
+                os.path.join(trace_dir, name)
+                for name in os.listdir(trace_dir)
+                if name.endswith(".trace.json")
+            ]
+            existing.sort(key=lambda p: os.path.getmtime(p))
+            self._traces.extend(existing)
+            self._enforce_trace_bound()
+
+    # ------------------------------------------------------------------
+    def record(self, summary: dict, tracer=None) -> dict:
+        """File one completed (or failed) request.
+
+        ``summary`` must carry ``request_id`` and ``seconds``; the
+        recorder stamps ``slow`` and, for slow requests with a live
+        ``tracer``, retains the full span trace on disk and points the
+        summary at it (``trace``)."""
+        slow = summary.get("seconds", 0.0) >= self.slow_seconds
+        summary = dict(summary, slow=slow)
+        if (
+            slow
+            and tracer is not None
+            and getattr(tracer, "enabled", False)
+            and self.trace_dir
+        ):
+            summary["trace"] = self._retain_trace(summary, tracer)
+        with self._lock:
+            self._ring.append(summary)
+            self.recorded += 1
+        if self._sink is not None:
+            self._sink.write_line(
+                json.dumps(summary, separators=(",", ":"), default=str)
+            )
+        return summary
+
+    # ------------------------------------------------------------------
+    # Slow-trace retention
+    # ------------------------------------------------------------------
+    def _trace_path(self, request_id: str) -> str:
+        return os.path.join(self.trace_dir, f"{request_id}.trace.json")
+
+    def _retain_trace(self, summary: dict, tracer) -> Optional[str]:
+        os.makedirs(self.trace_dir, exist_ok=True)
+        path = self._trace_path(summary["request_id"])
+        try:
+            obs.write_run_record(
+                path, tracer,
+                meta={k: summary.get(k) for k in
+                      ("request_id", "command", "scenario", "seconds")},
+            )
+        except OSError:
+            return None
+        with self._lock:
+            self._traces.append(path)
+            self.retained += 1
+            self._enforce_trace_bound()
+        return os.path.basename(path)
+
+    def _enforce_trace_bound(self) -> None:
+        while len(self._traces) > self.max_retained_traces:
+            stale = self._traces.popleft()
+            try:
+                os.remove(stale)
+            except OSError:
+                pass
+
+    def trace_path(self, request_id: str) -> Optional[str]:
+        """Path of a retained trace, or ``None``."""
+        if not self.trace_dir:
+            return None
+        path = self._trace_path(request_id)
+        return path if os.path.exists(path) else None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def recent(self, n: Optional[int] = None) -> List[dict]:
+        """The most recent summaries, newest first."""
+        with self._lock:
+            entries = list(self._ring)
+        entries.reverse()
+        return entries[:n] if n else entries
+
+    def entry(self, request_id: str) -> Optional[dict]:
+        with self._lock:
+            for summary in self._ring:
+                if summary.get("request_id") == request_id:
+                    return summary
+        return None
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "entries": len(self._ring),
+                "recorded": self.recorded,
+                "slow_seconds": self.slow_seconds,
+                "retained_traces": len(self._traces),
+                "max_retained_traces": self.max_retained_traces,
+            }
+
+    def close(self) -> None:
+        if self._sink is not None:
+            self._sink.close()

@@ -8,30 +8,46 @@ tests can drive it without sockets.
 
 Endpoints::
 
-    GET  /healthz        liveness probe: {"ok": true, "protocol": ...}
-    GET  /status         service + per-shard statistics
-    GET  /metrics        Prometheus text (repro_serve_* + solver metrics)
-    POST /v1/run         body: a request spec; 200 -> response envelope
-                         {"ok": true, "protocol", "payload", "exit_code"}
-                         400 bad spec | 503 admission queue full
-    POST /v1/checkpoint  flush every shard's store to disk now
-    POST /v1/shutdown    checkpoint, then stop serving
+    GET  /healthz            liveness probe: {"ok": true, "protocol": ...}
+    GET  /status             service + per-shard + flight-recorder stats
+    GET  /metrics            Prometheus text (repro_serve_* + solver metrics)
+    GET  /v1/requests        recent request summaries (?n= caps the count)
+    GET  /v1/requests/<id>   one summary from the flight recorder
+    GET  /v1/requests/<id>/trace   retained slow-request span trace
+    POST /v1/run             body: a request spec; 200 -> response envelope
+                             {"ok": true, "protocol", "request_id",
+                              "payload", "exit_code"}; the id is echoed in
+                             the ``X-Repro-Request-Id`` header.
+                             400 bad spec | 503 admission queue full
+    POST /v1/checkpoint      flush every shard's store to disk now
+    POST /v1/shutdown        checkpoint, then stop serving
 
-Verification requests carry solver work, so the daemon enables the
-metrics registry for its whole lifetime but keeps span tracing off
-(a tracer accumulates spans in memory for the life of the process —
-fine for one CLI command, not for a resident service).
+Observability: the daemon keeps the *global* tracer off — a
+process-lifetime tracer would accumulate spans for as long as the
+daemon lives — and instead the service runs every admitted request
+under its own bounded request-scoped tracer (see
+:meth:`VerificationService.handle`).  The metrics registry stays
+enabled for the whole lifetime (aggregates are cheap and bounded), and
+every event — HTTP access lines included — goes through one structured
+:class:`repro.obs.log.EventLogger`: JSONL to ``<store>/events.jsonl``,
+echoed to stderr at ``info`` (or only ``warning`` and up under
+``--quiet``).
 """
 
 from __future__ import annotations
 
 import json
+import os
+import re
 import sys
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
 
 from .. import obs
+from ..obs.log import EventLogger
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import NULL_TRACER
 from .service import (
@@ -47,6 +63,8 @@ __all__ = ["ReproServer", "run_server"]
 #: of scalars) but low enough that a misdirected upload can't balloon.
 MAX_BODY = 1 << 20
 
+_REQUEST_PATH = re.compile(r"^/v1/requests/(?P<id>[\w.-]+)(?P<trace>/trace)?$")
+
 
 class ReproServer(ThreadingHTTPServer):
     """HTTP front end owning one :class:`VerificationService`."""
@@ -55,9 +73,11 @@ class ReproServer(ThreadingHTTPServer):
     allow_reuse_address = True
 
     def __init__(self, address: Tuple[str, int],
-                 service: VerificationService, quiet: bool = True):
+                 service: VerificationService, quiet: bool = True,
+                 logger=None):
         self.service = service
         self.quiet = quiet
+        self.log = logger if logger is not None else service.log
         super().__init__(address, _Handler)
 
     @property
@@ -79,16 +99,54 @@ class _Handler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
     server_version = "repro-serve"
 
-    # -- plumbing ------------------------------------------------------
-    def log_message(self, fmt, *args):  # noqa: N802 (stdlib name)
-        if not self.server.quiet:
+    # -- logging -------------------------------------------------------
+    # Access lines are *events*, not print statements: they go through
+    # the server's structured logger, whose stderr threshold is what
+    # --quiet actually controls (the JSONL file always gets them).
+    # Without a logger, fall back to the legacy behavior: stderr lines
+    # unless quiet.
+    def log_request(self, code="-", size="-"):  # noqa: N802 (stdlib name)
+        log = self.server.log
+        seconds = (
+            round(time.perf_counter() - self._started, 4)
+            if getattr(self, "_started", None) is not None else None
+        )
+        if log.enabled:
+            fields = {"method": self.command, "path": self.path,
+                      "status": int(code), "seconds": seconds}
+            request_id = getattr(self, "_request_id", None)
+            if request_id is not None:
+                fields["request_id"] = request_id
+            log.info("http-access", **fields)
+        elif not self.server.quiet:
+            sys.stderr.write(
+                "serve: %s %s %s\n" % (self.command, self.path, code)
+            )
+
+    def log_error(self, fmt, *args):  # noqa: N802 (stdlib name)
+        log = self.server.log
+        if log.enabled:
+            log.warning("http-error", path=getattr(self, "path", None),
+                        detail=fmt % args)
+        elif not self.server.quiet:
             sys.stderr.write("serve: %s\n" % (fmt % args))
 
-    def _send_json(self, status: int, obj: dict) -> None:
+    def log_message(self, fmt, *args):  # noqa: N802 (stdlib name)
+        log = self.server.log
+        if log.enabled:
+            log.info("http", detail=fmt % args)
+        elif not self.server.quiet:
+            sys.stderr.write("serve: %s\n" % (fmt % args))
+
+    # -- plumbing ------------------------------------------------------
+    def _send_json(self, status: int, obj: dict,
+                   headers: Optional[dict] = None) -> None:
         body = (json.dumps(obj, indent=2) + "\n").encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for key, value in (headers or {}).items():
+            self.send_header(key, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -119,18 +177,62 @@ class _Handler(BaseHTTPRequestHandler):
         return spec
 
     # -- routes --------------------------------------------------------
-    def do_GET(self):  # noqa: N802 (stdlib name)
-        if self.path == "/healthz":
-            self._send_json(200, {"ok": True, "protocol": PROTOCOL})
-        elif self.path == "/status":
-            self._send_json(200, {"ok": True, **self.server.service.status()})
-        elif self.path == "/metrics":
-            self._send_text(200, obs.get_registry().to_prometheus())
-        else:
+    def _get_requests(self, query: str) -> None:
+        try:
+            n = int(parse_qs(query).get("n", ["0"])[0]) or None
+        except ValueError:
+            self._send_json(400, {"ok": False, "error": "n must be an int"})
+            return
+        recorder = self.server.service.recorder
+        self._send_json(200, {
+            "ok": True,
+            "requests": recorder.recent(n),
+            "recorder": recorder.stats(),
+        })
+
+    def _get_request_detail(self, request_id: str, want_trace: bool) -> None:
+        recorder = self.server.service.recorder
+        if want_trace:
+            path = recorder.trace_path(request_id)
+            if path is None:
+                self._send_json(404, {
+                    "ok": False,
+                    "error": f"no retained trace for {request_id!r} "
+                             "(only slow requests keep one)",
+                })
+                return
+            with open(path) as fh:
+                self._send_json(200, json.load(fh))
+            return
+        entry = recorder.entry(request_id)
+        if entry is None:
             self._send_json(404, {"ok": False,
-                                  "error": f"no such path {self.path!r}"})
+                                  "error": f"unknown request {request_id!r}"})
+        else:
+            self._send_json(200, {"ok": True, "request": entry})
+
+    def do_GET(self):  # noqa: N802 (stdlib name)
+        self._started = time.perf_counter()
+        parts = urlsplit(self.path)
+        if parts.path == "/healthz":
+            self._send_json(200, {"ok": True, "protocol": PROTOCOL})
+        elif parts.path == "/status":
+            self._send_json(200, {"ok": True, **self.server.service.status()})
+        elif parts.path == "/metrics":
+            self._send_text(200, obs.get_registry().to_prometheus())
+        elif parts.path == "/v1/requests":
+            self._get_requests(parts.query)
+        else:
+            match = _REQUEST_PATH.match(parts.path)
+            if match is not None:
+                self._get_request_detail(match.group("id"),
+                                         bool(match.group("trace")))
+            else:
+                self._send_json(404, {"ok": False,
+                                      "error": f"no such path {self.path!r}"})
 
     def do_POST(self):  # noqa: N802 (stdlib name)
+        self._started = time.perf_counter()
         if self.path == "/v1/run":
             spec = self._read_spec()
             if spec is None:
@@ -145,7 +247,10 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(500, {"ok": False,
                                       "error": f"{type(err).__name__}: {err}"})
             else:
-                self._send_json(200, {"ok": True, **envelope})
+                self._request_id = envelope.get("request_id")
+                self._send_json(200, {"ok": True, **envelope},
+                                headers={"X-Repro-Request-Id":
+                                         self._request_id or "-"})
         elif self.path == "/v1/checkpoint":
             self._send_json(200, {"ok": True,
                                   "shards": self.server.service.checkpoint()})
@@ -167,26 +272,58 @@ def run_server(
     queue_depth: int = 16,
     quiet: bool = False,
     ready: Optional[threading.Event] = None,
+    trace_requests: bool = True,
+    slow_trace_seconds: float = 5.0,
+    soft_deadline_seconds: float = 60.0,
+    recorder_capacity: int = 256,
+    max_retained_traces: int = 16,
+    log_file: Optional[str] = None,
 ) -> int:
     """Bind, serve until shutdown, checkpoint on the way out.
 
     ``port=0`` binds an ephemeral port (printed on stdout so scripts
     can scrape it).  ``ready`` is set once the socket is listening —
     in-process tests use it instead of polling /healthz.
+
+    Events stream as JSONL to ``log_file`` (default
+    ``<store_dir>/events.jsonl`` when a store directory is configured)
+    and echo to stderr; ``quiet`` raises the stderr threshold to
+    ``warning`` without touching the file log.
     """
+    log_path = log_file
+    if log_path is None and store_dir is not None:
+        log_path = os.path.join(store_dir, "events.jsonl")
+    logger = EventLogger(
+        path=log_path,
+        stream=sys.stderr,
+        level="info",
+        stream_level="warning" if quiet else "info",
+    )
     service = VerificationService(
         store_dir=store_dir,
         cache_entries=cache_entries,
         max_shards=max_shards,
         max_inflight=max_inflight,
         queue_depth=queue_depth,
+        trace_requests=trace_requests,
+        slow_trace_seconds=slow_trace_seconds,
+        soft_deadline_seconds=soft_deadline_seconds,
+        recorder_capacity=recorder_capacity,
+        max_retained_traces=max_retained_traces,
+        logger=logger,
     )
-    server = ReproServer((host, port), service, quiet=quiet)
+    server = ReproServer((host, port), service, quiet=quiet, logger=logger)
     obs.enable(tracer=NULL_TRACER, registry=MetricsRegistry())
+    previous_logger = obs.set_logger(logger)
     try:
         print(f"serving on {server.url}"
               + (f" (store: {store_dir})" if store_dir else ""),
               flush=True)
+        logger.info("serve-start", url=server.url, pid=os.getpid(),
+                    store_dir=store_dir, quiet=quiet,
+                    trace_requests=trace_requests,
+                    slow_trace_seconds=slow_trace_seconds,
+                    soft_deadline_seconds=soft_deadline_seconds)
         if ready is not None:
             ready.set()
         try:
@@ -195,5 +332,9 @@ def run_server(
             pass
         return 0
     finally:
+        logger.info("serve-stop", requests=service.requests,
+                    errors=service.errors, rejected=service.rejected)
         server.close()
+        obs.set_logger(previous_logger)
         obs.disable()
+        logger.close()

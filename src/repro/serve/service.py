@@ -31,6 +31,7 @@ solver run.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import os
 import threading
 import time
@@ -43,8 +44,11 @@ from ..core.engine import ResultCache, SolverPool, execute_jobs
 from ..incremental import IncrementalSession
 from ..incremental.delta import network_fingerprint
 from ..netmodel.bmc import SOLVER_COUNTERS, VIOLATED
+from ..obs.log import NULL_LOGGER
+from ..obs.trace import NULL_TRACER, Tracer
 from ..scenarios import CHURN_GENERATORS, ScenarioError, build_scenario
 from ..store import VerdictStore
+from .recorder import FlightRecorder, summarize_payload
 
 __all__ = [
     "ServiceBusy",
@@ -489,20 +493,31 @@ class _Shard:
     cache: ResultCache
     pool: SolverPool
     store: Optional[VerdictStore]
+    digest: str = ""
     lock: threading.Lock = field(default_factory=threading.Lock)
     created: float = field(default_factory=time.time)
     last_used: float = field(default_factory=time.time)
+    last_checkpoint: Optional[float] = None
     requests: int = 0
 
     def stats(self) -> dict:
+        lookups = self.cache.hits + self.cache.misses
         row = {
             "scenario": self.scenario,
             "requests": self.requests,
             "cache_entries": len(self.cache),
             "cache_hits": self.cache.hits,
+            "cache_hit_rate": (
+                round(self.cache.hits / lookups, 4) if lookups else None
+            ),
             "cache_evictions": self.cache.evictions,
             "warm_solvers": len(self.pool),
             "uptime_seconds": round(time.time() - self.created, 1),
+            "idle_seconds": round(time.time() - self.last_used, 1),
+            "checkpoint_age_seconds": (
+                round(time.time() - self.last_checkpoint, 1)
+                if self.last_checkpoint is not None else None
+            ),
         }
         if self.store is not None:
             row["store"] = self.store.stats()
@@ -519,22 +534,63 @@ class VerificationService:
         max_shards: int = 8,
         max_inflight: int = 2,
         queue_depth: int = 16,
+        trace_requests: bool = True,
+        slow_trace_seconds: float = 5.0,
+        soft_deadline_seconds: float = 60.0,
+        recorder_capacity: int = 256,
+        max_retained_traces: int = 16,
+        logger=None,
+        watchdog_interval: Optional[float] = None,
     ):
         self.store_dir = store_dir
         self.cache_entries = cache_entries
         self.max_shards = max_shards
         self.max_inflight = max_inflight
         self.queue_depth = queue_depth
+        self.trace_requests = trace_requests
+        self.soft_deadline_seconds = soft_deadline_seconds
+        self.log = logger if logger is not None else NULL_LOGGER
         self.started = time.time()
         self.requests = 0
         self.rejected = 0
         self.errors = 0
+        self.stalls = 0
         self._shards: "OrderedDict[str, _Shard]" = OrderedDict()
         self._lock = threading.Lock()
         self._waiting = 0
         self._slots = threading.Semaphore(max_inflight)
         if store_dir is not None:
             os.makedirs(store_dir, exist_ok=True)
+        # Request ids are server-generated: a per-boot nonce plus a
+        # monotone sequence, so ids from a restarted daemon never
+        # collide with retained traces of the previous one.
+        self._boot = os.urandom(2).hex()
+        self._req_seq = itertools.count(1)
+        self._inflight: Dict[str, dict] = {}
+        self.recorder = FlightRecorder(
+            capacity=recorder_capacity,
+            jsonl_path=(
+                os.path.join(store_dir, "requests.jsonl")
+                if store_dir else None
+            ),
+            trace_dir=(
+                os.path.join(store_dir, "traces") if store_dir else None
+            ),
+            slow_seconds=slow_trace_seconds,
+            max_retained_traces=max_retained_traces,
+        )
+        self._stop = threading.Event()
+        self._watchdog: Optional[threading.Thread] = None
+        if soft_deadline_seconds and watchdog_interval != 0:
+            if watchdog_interval is None:
+                watchdog_interval = min(
+                    max(soft_deadline_seconds / 4.0, 0.05), 1.0
+                )
+            self._watchdog = threading.Thread(
+                target=self._watch_loop, args=(watchdog_interval,),
+                name="repro-serve-watchdog", daemon=True,
+            )
+            self._watchdog.start()
 
     # -- sharding ------------------------------------------------------
     def _store_path(self, key: str) -> Optional[str]:
@@ -548,6 +604,7 @@ class VerificationService:
         persisted store loaded — on first use; LRU-evicted past
         ``max_shards``, checkpointing the evictee's store)."""
         key = network_fingerprint(bundle.topology, bundle.steering)
+        created = None
         with self._lock:
             shard = self._shards.get(key)
             if shard is None:
@@ -561,31 +618,62 @@ class VerificationService:
                     cache=ResultCache(max_entries=self.cache_entries),
                     pool=SolverPool(),
                     store=store,
+                    digest=hashlib.sha256(
+                        key.encode("utf-8")
+                    ).hexdigest()[:12],
                 )
                 if store is not None:
                     store.preload_cache(shard.cache)
                 self._shards[key] = shard
+                created = shard
             self._shards.move_to_end(key)
             evicted = []
             while len(self._shards) > self.max_shards:
                 _, old = self._shards.popitem(last=False)
                 evicted.append(old)
+        log = self._log()
+        if created is not None:
+            log.info(
+                "shard-created", shard=created.digest,
+                scenario=created.scenario,
+                persisted=created.store is not None,
+                preloaded=len(created.cache),
+            )
         for old in evicted:
             with old.lock:  # let an in-flight request finish first
                 self._checkpoint_shard(old)
+            log.info(
+                "shard-evicted", shard=old.digest, scenario=old.scenario,
+                requests=old.requests,
+            )
         return shard
 
-    @staticmethod
-    def _checkpoint_shard(shard: _Shard) -> None:
+    def _checkpoint_shard(self, shard: _Shard) -> None:
         if shard.store is not None:
             shard.store.absorb_cache(shard.cache)
             shard.store.flush()
+            shard.last_checkpoint = time.time()
+            self._log().debug(
+                "store-checkpoint", shard=shard.digest,
+                entries=len(shard.cache),
+            )
+
+    def _log(self):
+        """The active event logger: the request-scoped one when a
+        request is being served on this thread, else the service's."""
+        scoped = obs.get_logger()
+        return scoped if scoped.enabled else self.log
 
     # -- admission -----------------------------------------------------
-    def _admit(self) -> None:
+    def _admit(self, log=None) -> None:
         with self._lock:
             if self._waiting >= self.queue_depth:
                 self.rejected += 1
+                (log or self.log).warning(
+                    "admission-rejected", waiting=self._waiting,
+                    queue_depth=self.queue_depth,
+                    max_inflight=self.max_inflight,
+                )
                 raise ServiceBusy(
                     f"admission queue full ({self.queue_depth} waiting)"
                 )
@@ -598,36 +686,72 @@ class VerificationService:
         self._slots.release()
 
     # -- request handling ----------------------------------------------
+    def _new_request_id(self) -> str:
+        return f"r{self._boot}-{next(self._req_seq):06d}"
+
     def handle(self, spec: dict) -> dict:
         """Serve one request spec; returns the response envelope
-        ``{"protocol", "payload", "exit_code"}``.  Raises
+        ``{"protocol", "request_id", "payload", "exit_code"}``.  Raises
         :class:`BadRequest` / :class:`ServiceBusy` for the transport to
-        map onto status codes."""
+        map onto status codes.
+
+        Each admitted request runs under its own bounded-lifetime
+        :class:`~repro.obs.trace.Tracer` and a logger bound to the
+        server-generated request id, installed thread-locally via
+        :func:`repro.obs.request_scope` — concurrent requests never
+        share a span tree, and the daemon's global tracer stays inert,
+        so span memory cannot grow with uptime."""
         spec = normalize_spec(spec)
         runner = _RUNNERS[spec["command"]]
         bundle = _bundle_for(spec)
         registry = obs.get_registry()
-        self._admit()
+        request_id = self._new_request_id()
+        tracer = (
+            Tracer(meta={"request_id": request_id,
+                         "command": spec["command"],
+                         "scenario": spec["scenario"]})
+            if self.trace_requests else NULL_TRACER
+        )
+        base = self.log if self.log.enabled else obs.get_logger()
+        log = base.bind(request_id=request_id)
+        self._admit(log)
+        started = time.perf_counter()
+        info = {
+            "request_id": request_id,
+            "command": spec["command"],
+            "scenario": spec["scenario"],
+            "started": started,
+            "wall_started": time.time(),
+            "shard": None,
+            "stalled": False,
+        }
+        with self._lock:
+            self._inflight[request_id] = info
+        payload = None
+        error: Optional[BaseException] = None
         try:
-            started = time.perf_counter()
-            with obs.get_tracer().span(
-                f"serve:{spec['command']}", cat="serve",
-                scenario=spec["scenario"],
-            ):
-                shard = self.shard_for(bundle)
-                with shard.lock:
-                    shard.requests += 1
-                    shard.last_used = time.time()
-                    if spec["command"] in ("audit", "prove"):
-                        payload = runner(
-                            spec, cache=shard.cache, solver_pool=shard.pool
-                        )
-                    else:
-                        payload = runner(
-                            spec, cache=shard.cache, solver_pool=shard.pool,
-                            store=shard.store,
-                        )
-                    self._checkpoint_shard(shard)
+            with obs.request_scope(tracer=tracer, logger=log):
+                with tracer.span(
+                    spec["command"], cat="serve",
+                    request_id=request_id, scenario=spec["scenario"],
+                ) as span:
+                    shard = self.shard_for(bundle)
+                    info["shard"] = shard.digest
+                    span.tag(shard=shard.digest)
+                    with shard.lock:
+                        shard.requests += 1
+                        shard.last_used = time.time()
+                        if spec["command"] in ("audit", "prove"):
+                            payload = runner(
+                                spec, cache=shard.cache,
+                                solver_pool=shard.pool,
+                            )
+                        else:
+                            payload = runner(
+                                spec, cache=shard.cache,
+                                solver_pool=shard.pool, store=shard.store,
+                            )
+                        self._checkpoint_shard(shard)
             with self._lock:
                 self.requests += 1
             if registry.enabled:
@@ -645,17 +769,110 @@ class VerificationService:
                 ).set(len(self._shards))
             return {
                 "protocol": PROTOCOL,
+                "request_id": request_id,
                 "payload": payload,
                 "exit_code": payload_exit_code(payload),
             }
-        except (BadRequest, ServiceBusy):
+        except (BadRequest, ServiceBusy) as err:
+            error = err
             raise
-        except Exception:
+        except Exception as err:
             with self._lock:
                 self.errors += 1
+            error = err
             raise
         finally:
+            with self._lock:
+                self._inflight.pop(request_id, None)
             self._release()
+            seconds = time.perf_counter() - started
+            summary = {
+                "request_id": request_id,
+                "command": spec["command"],
+                "scenario": spec["scenario"],
+                "seed": spec["seed"],
+                "shard": info["shard"],
+                "seconds": round(seconds, 4),
+                "stalled": info["stalled"],
+                "ts": round(info["wall_started"], 6),
+            }
+            if payload is not None:
+                summary.update(summarize_payload(payload))
+                summary["exit_code"] = payload_exit_code(payload)
+            else:
+                summary["error"] = f"{type(error).__name__}: {error}"
+                summary["exit_code"] = 2
+            summary = self.recorder.record(summary, tracer)
+            if error is None:
+                log.info(
+                    "request", command=spec["command"],
+                    scenario=spec["scenario"], shard=info["shard"],
+                    seconds=summary["seconds"],
+                    exit_code=summary["exit_code"],
+                    slow=summary["slow"],
+                )
+            else:
+                log.error(
+                    "request-failed", command=spec["command"],
+                    scenario=spec["scenario"], shard=info["shard"],
+                    seconds=summary["seconds"], error=summary["error"],
+                )
+
+    # -- watchdog ------------------------------------------------------
+    def _watch_loop(self, interval: float) -> None:
+        while not self._stop.wait(interval):
+            self.check_stalls()
+
+    def check_stalls(self, now: Optional[float] = None) -> List[dict]:
+        """Flag in-flight requests past the soft deadline (once each):
+        a ``request-stall`` warning event plus the
+        ``repro_serve_slow_requests_total`` counter.  The background
+        watchdog thread calls this periodically; tests call it directly
+        with a synthetic ``now``."""
+        if not self.soft_deadline_seconds:
+            return []
+        if now is None:
+            now = time.perf_counter()
+        stalled = []
+        with self._lock:
+            for info in self._inflight.values():
+                age = now - info["started"]
+                if not info["stalled"] and age >= self.soft_deadline_seconds:
+                    info["stalled"] = True
+                    self.stalls += 1
+                    stalled.append(dict(info, seconds=round(age, 3)))
+        registry = obs.get_registry()
+        for info in stalled:
+            self.log.warning(
+                "request-stall", request_id=info["request_id"],
+                command=info["command"], scenario=info["scenario"],
+                shard=info["shard"], seconds=info["seconds"],
+                soft_deadline_seconds=self.soft_deadline_seconds,
+            )
+            if registry.enabled:
+                registry.counter(
+                    "repro_serve_slow_requests_total",
+                    "requests that exceeded the soft deadline",
+                ).inc(command=info["command"])
+        return stalled
+
+    def inflight(self) -> List[dict]:
+        """Currently-executing requests, oldest first."""
+        now = time.perf_counter()
+        with self._lock:
+            rows = [
+                {
+                    "request_id": info["request_id"],
+                    "command": info["command"],
+                    "scenario": info["scenario"],
+                    "shard": info["shard"],
+                    "seconds": round(now - info["started"], 3),
+                    "stalled": info["stalled"],
+                }
+                for info in self._inflight.values()
+            ]
+        rows.sort(key=lambda r: -r["seconds"])
+        return rows
 
     # -- lifecycle -----------------------------------------------------
     def checkpoint(self) -> List[dict]:
@@ -673,23 +890,31 @@ class VerificationService:
         with self._lock:
             # Fingerprints share a long repr prefix; key the report by
             # digest so distinct shards never collapse into one row.
-            shards = {
-                hashlib.sha256(s.key.encode("utf-8")).hexdigest()[:12]:
-                    s.stats()
-                for s in self._shards.values()
-            }
-            return {
+            shards = {s.digest: s.stats() for s in self._shards.values()}
+            status = {
                 "protocol": PROTOCOL,
                 "pid": os.getpid(),
                 "uptime_seconds": round(time.time() - self.started, 1),
                 "requests": self.requests,
                 "rejected": self.rejected,
                 "errors": self.errors,
+                "stalls": self.stalls,
+                "waiting": self._waiting,
                 "max_inflight": self.max_inflight,
                 "queue_depth": self.queue_depth,
+                "trace_requests": self.trace_requests,
+                "soft_deadline_seconds": self.soft_deadline_seconds,
                 "store_dir": self.store_dir,
                 "shards": shards,
             }
+        status["inflight"] = self.inflight()
+        status["recorder"] = self.recorder.stats()
+        return status
 
     def close(self) -> None:
+        self._stop.set()
+        if self._watchdog is not None:
+            self._watchdog.join(timeout=2.0)
+            self._watchdog = None
         self.checkpoint()
+        self.recorder.close()

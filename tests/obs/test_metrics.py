@@ -51,7 +51,8 @@ class TestHistogram:
         h = Histogram("h", buckets=(1, 10, 100))
         for v in (0.5, 5, 5, 500):
             h.observe(v)
-        assert h.summary() == {"count": 4, "sum": 510.5}
+        assert h.summary() == {"count": 4, "sum": 510.5,
+                               "p50": 5.5, "p95": 100.0, "p99": 100.0}
         (key, series), = h.series()
         assert series.counts == [1, 2, 0]  # 500 overflows to +Inf only
 
@@ -89,7 +90,7 @@ class TestMergeRoundTrip:
         assert parent.gauge("repro_depth").value() == 9
         assert parent.histogram("repro_secs",
                                 buckets=(1, 10)).summary() == {
-            "count": 2, "sum": 1.0,
+            "count": 2, "sum": 1.0, "p50": 0.5, "p95": 0.95, "p99": 0.99,
         }
 
     def test_dump_is_json_shaped(self):
@@ -124,6 +125,84 @@ class TestExposition:
         text = r.to_prometheus()
         assert 'repro_s_bucket{le="1.0"} 1' in text
         assert 'repro_s_bucket{le="10.0"} 2' in text
+
+
+class TestPercentiles:
+    def test_interpolates_within_the_target_bucket(self):
+        h = Histogram("h", buckets=(10, 20, 30))
+        for v in (5, 15, 15, 25):
+            h.observe(v)
+        # target = 0.5 * 4 = 2 observations; the first bucket holds 1,
+        # so the median lands 1/2 of the way through (10, 20].
+        assert h.percentile(0.5) == 15.0
+
+    def test_empty_histogram_reports_zero(self):
+        h = Histogram("h")
+        assert h.percentile(0.5) == 0.0
+        assert h.summary() == {"count": 0, "sum": 0.0,
+                               "p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_overflow_clamps_to_the_largest_finite_bound(self):
+        h = Histogram("h", buckets=(1, 10))
+        for _ in range(10):
+            h.observe(100)  # everything beyond the last bucket
+        assert h.percentile(0.5) == 10.0
+        assert h.percentile(0.99) == 10.0
+
+    def test_empty_buckets_do_not_skew_the_interpolation(self):
+        h = Histogram("h", buckets=(1, 10, 100))
+        h.observe(0.5)
+        h.observe(50)
+        # p75 crosses the empty (1, 10] bucket untouched and lands
+        # mid-way through (10, 100].
+        assert h.percentile(0.75) == 55.0
+
+    def test_percentiles_are_per_label_series(self):
+        h = Histogram("h", buckets=(1, 10))
+        h.observe(0.5, command="audit")
+        h.observe(5.0, command="watch")
+        assert h.percentile(0.5, command="audit") <= 1.0
+        assert h.percentile(0.5, command="watch") > 1.0
+
+    def test_snapshot_carries_percentile_rows(self):
+        r = MetricsRegistry()
+        r.histogram("repro_s", buckets=(1.0, 10.0)).observe(0.5,
+                                                            command="audit")
+        snap = r.snapshot()
+        for part in ("p50", "p95", "p99"):
+            assert f'repro_s_{part}{{command="audit"}}' in snap
+
+    def test_prometheus_text_exposes_percentile_series(self):
+        r = MetricsRegistry()
+        r.histogram("repro_s", "seconds", buckets=(1.0, 10.0)).observe(0.5)
+        text = r.to_prometheus()
+        assert "repro_s_p50 " in text
+        assert "repro_s_p95 " in text
+        assert "repro_s_p99 " in text
+        # Percentile lines follow the standard _sum/_count block.
+        assert text.index("repro_s_count") < text.index("repro_s_p50")
+
+
+class TestHistogramSummaries:
+    def test_reconstructs_rows_from_a_snapshot(self):
+        from repro.obs.stats import histogram_summaries
+
+        r = MetricsRegistry()
+        h = r.histogram("repro_s", buckets=(1.0, 10.0))
+        h.observe(0.5, command="audit")
+        h.observe(5.0, command="audit")
+        (row,) = histogram_summaries(r.snapshot())
+        assert row["name"] == 'repro_s{command="audit"}'
+        assert row["count"] == 2
+        assert row["sum"] == 5.5
+        assert set(row) == {"name", "count", "sum", "p50", "p95", "p99"}
+
+    def test_counters_ending_in_count_do_not_alias(self):
+        from repro.obs.stats import histogram_summaries
+
+        r = MetricsRegistry()
+        r.counter("repro_retry_count").inc(3)
+        assert histogram_summaries(r.snapshot()) == []
 
 
 class TestNullRegistry:

@@ -1,0 +1,421 @@
+"""Operational observability of the resident service.
+
+The tentpole guarantees, socket-free:
+
+* every request runs under its own bounded request-scoped tracer while
+  the process-global tracer stays inert — daemon span memory cannot
+  grow with uptime;
+* the flight recorder's three bounds (summary ring, JSONL rotation,
+  retained slow traces) hold under sustained traffic — the acceptance
+  test drives 3x the ring capacity of requests;
+* structured events carry the request id from the HTTP layer down to
+  certificate reuse inside the incremental session.
+"""
+
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs.log import EventLogger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
+from repro.serve.recorder import FlightRecorder, summarize_payload
+from repro.serve.service import BadRequest, VerificationService
+
+
+@pytest.fixture(autouse=True)
+def _obs_disabled():
+    obs.disable()
+    obs.set_logger(None)
+    yield
+    obs.disable()
+    obs.set_logger(None)
+
+
+def _spec(**over):
+    spec = {"command": "audit", "scenario": "enterprise", "size": 2,
+            "stable": True}
+    spec.update(over)
+    return spec
+
+
+def _service(**over):
+    kwargs = {"soft_deadline_seconds": 0}
+    kwargs.update(over)
+    return VerificationService(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# summarize_payload
+# ----------------------------------------------------------------------
+class TestSummarizePayload:
+    def test_audit_digest(self):
+        payload = {
+            "command": "audit",
+            "mismatches": 1,
+            "checks": [
+                {"status": "holds", "cached": True, "solve_seconds": 0.0},
+                {"status": "holds", "cached": False, "solve_seconds": 0.2},
+                {"status": "violated", "cached": False,
+                 "solve_seconds": 0.3},
+            ],
+        }
+        digest = summarize_payload(payload)
+        assert digest["checks"] == 3
+        assert digest["mismatches"] == 1
+        assert digest["cache_hits"] == 1
+        assert digest["solver_runs"] == 2
+        assert digest["solver_seconds"] == 0.5
+        assert digest["verdicts"] == {"holds": 2, "violated": 1}
+
+    def test_watch_digest_judges_the_final_version(self):
+        payload = {
+            "command": "watch",
+            "totals": {"cache_hits": 7, "solver_runs": 3, "seconds": 1.25},
+            "versions": [
+                {"n_checks": 4, "drift": ["x"],
+                 "checks": {"a": "holds", "b": "violated"}},
+                {"n_checks": 5, "drift": [],
+                 "checks": {"a": "holds", "b": "holds"}},
+            ],
+        }
+        digest = summarize_payload(payload)
+        assert digest["checks"] == 5
+        assert digest["mismatches"] == 0
+        assert digest["cache_hits"] == 7
+        assert digest["solver_runs"] == 3
+        assert digest["verdicts"] == {"holds": 2}
+
+    def test_repair_digest(self):
+        payload = {
+            "command": "repair",
+            "ok": True,
+            "final_audit": {"n_checks": 6, "mismatches": 0},
+            "timing": {"seconds": 2.5},
+        }
+        digest = summarize_payload(payload)
+        assert digest["checks"] == 6
+        assert digest["verdicts"] == {"repaired": 1}
+        assert digest["solver_seconds"] == 2.5
+
+
+# ----------------------------------------------------------------------
+# FlightRecorder bounds
+# ----------------------------------------------------------------------
+class TestFlightRecorder:
+    def test_ring_is_bounded_and_newest_first(self):
+        rec = FlightRecorder(capacity=3, slow_seconds=99)
+        for i in range(7):
+            rec.record({"request_id": f"r-{i}", "seconds": 0.01})
+        recent = rec.recent()
+        assert [r["request_id"] for r in recent] == ["r-6", "r-5", "r-4"]
+        assert rec.recent(2) == recent[:2]
+        assert rec.stats()["entries"] == 3
+        assert rec.stats()["recorded"] == 7
+        assert rec.entry("r-6") is not None
+        assert rec.entry("r-0") is None  # rotated out of the ring
+
+    def test_slow_flag_against_the_threshold(self):
+        rec = FlightRecorder(capacity=4, slow_seconds=1.0)
+        fast = rec.record({"request_id": "a", "seconds": 0.5})
+        slow = rec.record({"request_id": "b", "seconds": 1.5})
+        assert fast["slow"] is False
+        assert slow["slow"] is True
+
+    def test_jsonl_survives_the_ring(self, tmp_path):
+        path = tmp_path / "requests.jsonl"
+        rec = FlightRecorder(capacity=2, jsonl_path=str(path),
+                             slow_seconds=99)
+        for i in range(6):
+            rec.record({"request_id": f"r-{i}", "seconds": 0.01})
+        rec.close()
+        lines = [json.loads(line)
+                 for line in path.read_text().splitlines()]
+        assert len(lines) == 6  # the file keeps what the ring dropped
+
+    def test_slow_traces_are_retained_and_bounded(self, tmp_path):
+        trace_dir = tmp_path / "traces"
+        rec = FlightRecorder(capacity=16, trace_dir=str(trace_dir),
+                             slow_seconds=0.0, max_retained_traces=2)
+        for i in range(5):
+            tracer = Tracer()
+            with tracer.span("audit", cat="serve"):
+                pass
+            summary = rec.record(
+                {"request_id": f"r-{i}", "seconds": 0.2}, tracer
+            )
+            assert summary["trace"] == f"r-{i}.trace.json"
+        files = sorted(os.listdir(trace_dir))
+        assert files == ["r-3.trace.json", "r-4.trace.json"]
+        assert rec.trace_path("r-4") is not None
+        assert rec.trace_path("r-0") is None
+        assert rec.stats()["retained_traces"] == 2
+
+    def test_preexisting_traces_count_against_the_bound(self, tmp_path):
+        trace_dir = tmp_path / "traces"
+        trace_dir.mkdir()
+        for i in range(4):
+            p = trace_dir / f"old-{i}.trace.json"
+            p.write_text("{}")
+            os.utime(p, (i, i))  # distinct mtimes, oldest first
+        rec = FlightRecorder(trace_dir=str(trace_dir),
+                             max_retained_traces=2)
+        files = sorted(os.listdir(trace_dir))
+        assert files == ["old-2.trace.json", "old-3.trace.json"]
+        assert rec.stats()["retained_traces"] == 2
+
+    def test_null_tracer_retains_nothing(self, tmp_path):
+        trace_dir = tmp_path / "traces"
+        rec = FlightRecorder(trace_dir=str(trace_dir), slow_seconds=0.0)
+        summary = rec.record({"request_id": "r-1", "seconds": 9.9},
+                             NULL_TRACER)
+        assert "trace" not in summary
+        assert not os.path.exists(trace_dir)
+
+
+# ----------------------------------------------------------------------
+# request_scope thread isolation
+# ----------------------------------------------------------------------
+class TestRequestScope:
+    def test_scoped_tracer_is_per_thread(self):
+        seen = {}
+        barrier = threading.Barrier(2)
+
+        def worker(name):
+            tracer = Tracer()
+            with obs.request_scope(tracer=tracer):
+                barrier.wait(timeout=5)  # both scopes live at once
+                seen[name] = obs.get_tracer() is tracer
+
+        threads = [threading.Thread(target=worker, args=(n,))
+                   for n in ("a", "b")]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert seen == {"a": True, "b": True}
+        assert obs.get_tracer() is NULL_TRACER  # main thread untouched
+
+    def test_scope_restores_on_error(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with obs.request_scope(tracer=tracer):
+                assert obs.get_tracer() is tracer
+                raise RuntimeError("boom")
+        assert obs.get_tracer() is NULL_TRACER
+
+    def test_scoped_logger_wins_over_the_global(self):
+        log, buf = EventLogger.to_buffer()
+        with obs.request_scope(logger=log.bind(request_id="r-1")):
+            obs.get_logger().info("inner")
+        obs.get_logger().info("outer")  # NullLogger — dropped
+        (rec,) = [json.loads(line)
+                  for line in buf.getvalue().splitlines()]
+        assert rec["request_id"] == "r-1"
+
+
+# ----------------------------------------------------------------------
+# Service-level observability
+# ----------------------------------------------------------------------
+class TestServiceRequests:
+    def test_request_ids_are_unique_and_echoed(self):
+        service = _service()
+        try:
+            first = service.handle(_spec())
+            second = service.handle(_spec())
+        finally:
+            service.close()
+        assert first["request_id"] != second["request_id"]
+        assert first["request_id"].startswith("r")
+
+    def test_global_tracer_stays_inert_across_requests(self):
+        service = _service(trace_requests=True)
+        try:
+            service.handle(_spec())
+        finally:
+            service.close()
+        # The request's spans lived and died with its scoped tracer;
+        # nothing leaked into the process-global (daemon-lifetime) one.
+        assert obs.get_tracer() is NULL_TRACER
+        assert obs.get_tracer().records() == []
+
+    def test_flight_recorder_bounds_hold_under_3x_capacity(self, tmp_path):
+        """The acceptance criterion: drive 3x the ring capacity of
+        requests through a service with aggressive slow-trace capture
+        and assert every bound holds."""
+        capacity, retained = 4, 2
+        store = str(tmp_path / "store")
+        service = VerificationService(
+            store_dir=store,
+            soft_deadline_seconds=0,
+            trace_requests=True,
+            slow_trace_seconds=0.0,   # every request counts as slow
+            recorder_capacity=capacity,
+            max_retained_traces=retained,
+        )
+        n_requests = 3 * capacity
+        try:
+            ids = [service.handle(_spec())["request_id"]
+                   for _ in range(n_requests)]
+        finally:
+            service.close()
+
+        stats = service.recorder.stats()
+        assert stats["recorded"] == n_requests
+        assert stats["entries"] == capacity      # ring never grew past it
+        recent = service.recorder.recent()
+        assert len(recent) == capacity
+        assert [r["request_id"] for r in recent] == ids[:-capacity - 1:-1]
+        assert all(r["slow"] for r in recent)
+
+        # Retained slow traces: exactly the newest `retained` on disk.
+        trace_files = sorted(os.listdir(os.path.join(store, "traces")))
+        assert len(trace_files) == retained
+        assert trace_files == sorted(f"{rid}.trace.json"
+                                     for rid in ids[-retained:])
+
+        # The JSONL history kept everything the ring dropped.
+        with open(os.path.join(store, "requests.jsonl")) as fh:
+            lines = [json.loads(line) for line in fh if line.strip()]
+        assert [row["request_id"] for row in lines] == ids
+
+    def test_request_metrics_and_summary_fields(self, tmp_path):
+        registry = MetricsRegistry()
+        obs.enable(tracer=NULL_TRACER, registry=registry)
+        service = _service()
+        try:
+            envelope = service.handle(_spec())
+        finally:
+            service.close()
+        assert registry.counter(
+            "repro_serve_requests_total").value(command="audit") == 1
+        (entry,) = service.recorder.recent()
+        assert entry["request_id"] == envelope["request_id"]
+        assert entry["command"] == "audit"
+        assert entry["shard"]  # the shard digest was stamped
+        assert entry["exit_code"] == envelope["exit_code"]
+        assert entry["checks"] == envelope["payload"]["n_checks"] > 0
+        assert (entry["cache_hits"] + entry["solver_runs"]
+                == entry["checks"])
+        assert entry["stalled"] is False
+
+    def test_failed_requests_are_recorded_with_the_error(self):
+        service = _service()
+        try:
+            with pytest.raises(BadRequest):
+                # isp is a valid scenario with no churn generator, so
+                # the runner fails *after* admission.
+                service.handle({"command": "watch", "scenario": "isp",
+                                "size": 2})
+        finally:
+            service.close()
+        (entry,) = service.recorder.recent()
+        assert entry["exit_code"] == 2
+        assert "BadRequest" in entry["error"]
+        assert "churn generator" in entry["error"]
+
+    def test_request_events_carry_the_request_id(self):
+        log, buf = EventLogger.to_buffer(level="debug")
+        service = _service(logger=log)
+        try:
+            envelope = service.handle(_spec())
+        finally:
+            service.close()
+        events = [json.loads(line)
+                  for line in buf.getvalue().splitlines()]
+        kinds = [e["event"] for e in events]
+        assert "shard-created" in kinds
+        assert "request" in kinds
+        (request_event,) = [e for e in events if e["event"] == "request"]
+        assert request_event["request_id"] == envelope["request_id"]
+        assert request_event["seconds"] > 0
+
+    def test_status_reports_the_observability_surface(self):
+        service = _service()
+        try:
+            service.handle(_spec())
+            status = service.status()
+        finally:
+            service.close()
+        assert status["requests"] == 1
+        assert status["inflight"] == []
+        assert status["waiting"] == 0
+        assert status["stalls"] == 0
+        assert status["recorder"]["recorded"] == 1
+        (shard,) = status["shards"].values()
+        assert 0.0 <= shard["cache_hit_rate"] <= 1.0
+        assert shard["idle_seconds"] >= 0
+
+
+class TestWatchdog:
+    def test_check_stalls_flags_once_and_counts(self):
+        log, buf = EventLogger.to_buffer()
+        registry = MetricsRegistry()
+        obs.enable(tracer=NULL_TRACER, registry=registry)
+        service = _service(soft_deadline_seconds=5.0,
+                           watchdog_interval=0,  # no background thread
+                           logger=log)
+        now = time.perf_counter()
+        service._inflight["r-test"] = {
+            "request_id": "r-test", "command": "audit",
+            "scenario": "enterprise", "started": now - 10,
+            "wall_started": time.time(), "shard": "abc",
+            "stalled": False,
+        }
+        try:
+            stalled = service.check_stalls(now=now)
+            assert [s["request_id"] for s in stalled] == ["r-test"]
+            assert service.check_stalls(now=now) == []  # flagged once
+            assert service.stalls == 1
+            assert registry.counter(
+                "repro_serve_slow_requests_total"
+            ).value(command="audit") == 1
+            (event,) = [json.loads(line)
+                        for line in buf.getvalue().splitlines()]
+            assert event["event"] == "request-stall"
+            assert event["level"] == "warning"
+            assert event["request_id"] == "r-test"
+        finally:
+            service._inflight.clear()
+            service.close()
+
+    def test_zero_deadline_disables_the_watchdog(self):
+        service = _service(soft_deadline_seconds=0)
+        try:
+            assert service._watchdog is None
+            assert service.check_stalls() == []
+        finally:
+            service.close()
+
+    def test_background_watchdog_thread_stops_on_close(self):
+        service = VerificationService(soft_deadline_seconds=0.2,
+                                      watchdog_interval=0.05)
+        assert service._watchdog is not None
+        assert service._watchdog.is_alive()
+        service.close()
+        assert service._watchdog is None
+
+
+class TestAdmissionEvents:
+    def test_rejection_logs_a_warning(self):
+        log, buf = EventLogger.to_buffer()
+        service = _service(max_inflight=1, queue_depth=0, logger=log)
+        try:
+            # Saturate the only slot, so admission hits the full queue.
+            service._slots.acquire()
+            from repro.serve.service import ServiceBusy
+
+            with pytest.raises(ServiceBusy):
+                service._admit()
+            (event,) = [json.loads(line)
+                        for line in buf.getvalue().splitlines()]
+            assert event["event"] == "admission-rejected"
+            assert event["level"] == "warning"
+            assert service.rejected == 1
+        finally:
+            service._slots.release()
+            service.close()

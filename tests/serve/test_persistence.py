@@ -94,7 +94,9 @@ class TestStorePersistence:
         first = VerificationService(store_dir=str(store_dir))
         cold = first.handle(_audit_spec())["payload"]
         first.close()
-        (store_file,) = store_dir.iterdir()
+        # The store dir also holds the flight recorder's requests.jsonl;
+        # corrupt specifically the shard store file.
+        (store_file,) = store_dir.glob("shard-*.store")
         store_file.write_bytes(b"garbage" * 100)
 
         second = VerificationService(store_dir=str(store_dir))

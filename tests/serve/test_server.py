@@ -7,6 +7,7 @@ semantics (parity, sharding, persistence) are tested socket-free in
 test_service.py / test_persistence.py.
 """
 
+import io
 import json
 import threading
 import urllib.error
@@ -14,10 +15,17 @@ import urllib.request
 
 import pytest
 
+from repro import obs
+from repro.obs.log import EventLogger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER
 from repro.serve.client import (
     ServerError,
     normalize_url,
+    recent_requests,
     request,
+    request_trace,
+    server_metrics,
     server_status,
     shutdown_server,
 )
@@ -40,9 +48,35 @@ def server():
         srv.close()
 
 
+@pytest.fixture
+def registry():
+    """A live daemon-style metrics registry (as run_server installs)."""
+    reg = MetricsRegistry()
+    obs.enable(tracer=NULL_TRACER, registry=reg)
+    yield reg
+    obs.disable()
+
+
 def _get(url):
     with urllib.request.urlopen(url, timeout=10) as resp:
         return resp.status, json.loads(resp.read().decode("utf-8"))
+
+
+def _get_raw(url):
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        return resp.status, dict(resp.headers), resp.read().decode("utf-8")
+
+
+def _post_spec(url, spec):
+    req = urllib.request.Request(
+        url + "/v1/run", data=json.dumps(spec).encode("utf-8"),
+        headers={"Content-Type": "application/json"}, method="POST")
+    with urllib.request.urlopen(req, timeout=60) as resp:
+        return dict(resp.headers), json.loads(resp.read().decode("utf-8"))
+
+
+_AUDIT = {"command": "audit", "scenario": "enterprise", "size": 2,
+          "stable": True}
 
 
 class TestNormalizeUrl:
@@ -111,6 +145,160 @@ class TestEndpoints:
         with urllib.request.urlopen(req, timeout=10) as resp:
             body = json.loads(resp.read().decode("utf-8"))
         assert body == {"ok": True, "shards": []}
+
+
+class TestStatusSchema:
+    def test_status_carries_the_observability_surface(self, server):
+        request(server.url, _AUDIT)
+        body = server_status(server.url)
+        assert body["requests"] == 1
+        assert body["stalls"] == 0
+        assert body["waiting"] == 0
+        assert body["inflight"] == []
+        assert body["trace_requests"] is True
+        assert body["soft_deadline_seconds"] == 60.0
+        recorder = body["recorder"]
+        assert recorder["recorded"] == 1
+        assert recorder["entries"] == 1
+        assert recorder["capacity"] == 256
+        (shard,) = body["shards"].values()
+        assert shard["scenario"].startswith("enterprise")
+        assert "cache_hit_rate" in shard
+        assert "idle_seconds" in shard
+
+
+class TestMetricsEndpoint:
+    def test_metrics_are_prometheus_text(self, server, registry):
+        request(server.url, _AUDIT)
+        status, headers, text = _get_raw(server.url + "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        assert '# TYPE repro_serve_requests_total counter' in text
+        assert 'repro_serve_requests_total{command="audit"} 1' in text
+        assert 'repro_serve_request_seconds_count{command="audit"} 1' in text
+        # Percentile gauges (satellite: p50/p95/p99 exposition).
+        for part in ("p50", "p95", "p99"):
+            assert f'repro_serve_request_seconds_{part}' in text
+        assert text == server_metrics(server.url)  # the client helper
+
+    def test_metrics_without_a_registry_are_empty(self, server):
+        status, headers, text = _get_raw(server.url + "/metrics")
+        assert status == 200
+        assert text == ""
+
+    def test_concurrent_requests_all_count(self, server, registry):
+        errors = []
+
+        def fire():
+            try:
+                request(server.url, _AUDIT, timeout=60)
+            except Exception as err:  # pragma: no cover - diagnostic
+                errors.append(err)
+
+        threads = [threading.Thread(target=fire) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert errors == []
+        counter = registry.counter("repro_serve_requests_total")
+        assert counter.value(command="audit") == 4
+        hist = registry.histogram("repro_serve_request_seconds")
+        assert hist.summary(command="audit")["count"] == 4
+        assert server_status(server.url)["requests"] == 4
+
+
+class TestRequestIntrospection:
+    def test_request_id_is_echoed_in_header_and_envelope(self, server):
+        headers, envelope = _post_spec(server.url, _AUDIT)
+        assert envelope["request_id"].startswith("r")
+        assert headers["X-Repro-Request-Id"] == envelope["request_id"]
+
+    def test_recent_requests_lists_newest_first(self, server):
+        ids = [request(server.url, _AUDIT)["request_id"] for _ in range(3)]
+        body = recent_requests(server.url)
+        assert [r["request_id"] for r in body["requests"]] == ids[::-1]
+        assert body["recorder"]["recorded"] == 3
+        capped = recent_requests(server.url, n=2)
+        assert len(capped["requests"]) == 2
+
+    def test_request_detail_and_unknown_id(self, server):
+        envelope = request(server.url, _AUDIT)
+        rid = envelope["request_id"]
+        status, body = _get(server.url + f"/v1/requests/{rid}")
+        assert status == 200
+        assert body["request"]["request_id"] == rid
+        assert body["request"]["exit_code"] == envelope["exit_code"]
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(server.url + "/v1/requests/r-nope",
+                                   timeout=10)
+        assert exc.value.code == 404
+
+    def test_fast_requests_retain_no_trace(self, server):
+        rid = request(server.url, _AUDIT)["request_id"]
+        # Default slow threshold is 5s; a size-2 audit never crosses it.
+        with pytest.raises(ServerError) as exc:
+            request_trace(server.url, rid)
+        assert exc.value.status == 404
+        assert "slow" in str(exc.value)
+
+    def test_bad_n_query_maps_to_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(server.url + "/v1/requests?n=wat",
+                                   timeout=10)
+        assert exc.value.code == 400
+
+
+class TestAccessLogging:
+    """--quiet governs the stderr echo threshold of the structured
+    logger; the JSONL file keeps access events in both modes."""
+
+    def _serve_one(self, logger, quiet):
+        srv = ReproServer(("127.0.0.1", 0), VerificationService(),
+                          quiet=quiet, logger=logger)
+        thread = threading.Thread(target=srv.serve_forever,
+                                  kwargs={"poll_interval": 0.05},
+                                  daemon=True)
+        thread.start()
+        try:
+            assert _get(srv.url + "/healthz")[0] == 200
+        finally:
+            srv.shutdown()
+            thread.join(timeout=10)
+            srv.close()
+
+    def test_verbose_mode_echoes_access_events(self, tmp_path):
+        echo = io.StringIO()
+        logger = EventLogger(path=str(tmp_path / "events.jsonl"),
+                             stream=echo, level="info",
+                             stream_level="info")
+        self._serve_one(logger, quiet=False)
+        logger.close()
+        echoed = [json.loads(line) for line in
+                  echo.getvalue().splitlines()]
+        assert any(e["event"] == "http-access" and e["path"] == "/healthz"
+                   and e["status"] == 200 for e in echoed)
+
+    def test_quiet_mode_keeps_the_file_but_not_stderr(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        echo = io.StringIO()
+        logger = EventLogger(path=str(path), stream=echo, level="info",
+                             stream_level="warning")  # --quiet wiring
+        self._serve_one(logger, quiet=True)
+        logger.close()
+        assert echo.getvalue() == ""  # nothing below warning echoed
+        filed = [json.loads(line) for line in
+                 path.read_text().splitlines()]
+        assert any(e["event"] == "http-access" for e in filed)
+
+    def test_legacy_fallback_without_a_logger(self, capsys):
+        self._serve_one(None, quiet=False)
+        err = capsys.readouterr().err
+        assert "GET /healthz" in err or "/healthz" in err
+
+    def test_legacy_quiet_is_silent(self, capsys):
+        self._serve_one(None, quiet=True)
+        assert capsys.readouterr().err == ""
 
 
 class TestClientErrors:

@@ -323,3 +323,100 @@ class TestStableWatchJson:
         assert payload["seed"] == 0
         assert "seconds" not in json.dumps(payload)
         assert payload["totals"]["deltas"] == 2
+
+
+class TestTopAndTail:
+    """The live-introspection subcommands, driven against an in-process
+    daemon (the rendering helpers are unit-tested directly)."""
+
+    @staticmethod
+    def _daemon():
+        import threading
+
+        from repro.serve.server import ReproServer
+        from repro.serve.service import VerificationService
+
+        srv = ReproServer(("127.0.0.1", 0), VerificationService(),
+                          quiet=True)
+        thread = threading.Thread(target=srv.serve_forever,
+                                  kwargs={"poll_interval": 0.05},
+                                  daemon=True)
+        thread.start()
+        return srv, thread
+
+    def test_parse_prom_skips_comments_and_garbage(self):
+        from repro.cli import _parse_prom
+
+        text = ("# HELP repro_x things\n"
+                "# TYPE repro_x counter\n"
+                'repro_x{command="audit"} 3\n'
+                "repro_y 1.5\n"
+                "not a metric line at all\n")
+        assert _parse_prom(text) == {'repro_x{command="audit"}': 3.0,
+                                     "repro_y": 1.5}
+
+    def test_format_request_line_success_and_error(self):
+        from repro.cli import _format_request_line
+
+        ok = _format_request_line({
+            "ts": 0, "request_id": "rab-000001", "command": "audit",
+            "scenario": "enterprise", "seconds": 0.5, "exit_code": 1,
+            "checks": 8, "cache_hits": 2, "solver_runs": 6,
+            "slow": True, "trace": "rab-000001.trace.json",
+        })
+        assert "rab-000001" in ok and "exit 1" in ok
+        assert "SLOW trace=rab-000001.trace.json" in ok
+        bad = _format_request_line({
+            "request_id": "rab-000002", "command": "watch",
+            "scenario": "isp", "seconds": 0.1, "exit_code": 2,
+            "error": "BadRequest: no churn generator",
+        })
+        assert "ERROR BadRequest" in bad and "--:--:--" in bad
+
+    def test_top_renders_one_snapshot(self, capsys):
+        srv, thread = self._daemon()
+        try:
+            rc = main(["audit", "enterprise", "--size", "2",
+                       "--server", srv.url, "--json"])
+            assert rc == 1
+            capsys.readouterr()
+            assert main(["top", "--server", srv.url, "-n", "1"]) == 0
+            out = capsys.readouterr().out
+            assert "repro top" in out
+            assert "requests 1" in out
+            assert "flight recorder" in out
+        finally:
+            srv.shutdown()
+            thread.join(timeout=10)
+            srv.close()
+
+    def test_tail_server_lists_requests(self, capsys):
+        srv, thread = self._daemon()
+        try:
+            main(["audit", "enterprise", "--size", "2",
+                  "--server", srv.url, "--json"])
+            capsys.readouterr()
+            assert main(["tail", "--server", srv.url, "-n", "5"]) == 0
+            out = capsys.readouterr().out
+            assert "audit" in out and "exit" in out
+        finally:
+            srv.shutdown()
+            thread.join(timeout=10)
+            srv.close()
+
+    def test_tail_log_renders_events(self, tmp_path, capsys):
+        log = tmp_path / "events.jsonl"
+        log.write_text(
+            json.dumps({"ts": 0.0, "level": "info", "event": "request",
+                        "request_id": "rab-000001", "seconds": 0.4})
+            + "\n" + "not json\n")
+        assert main(["tail", "--log", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "request_id=rab-000001" in out
+        assert "not json" in out  # raw fallback
+
+    def test_tail_rejects_conflicting_sources(self, capsys):
+        assert main(["tail", "--server", ":1", "--log", "x.jsonl"]) == 2
+
+    def test_top_unreachable_server_exits_2(self, capsys):
+        assert main(["top", "--server", "127.0.0.1:1", "-n", "1"]) == 2
