@@ -28,6 +28,16 @@ path that actually emits events):
   versus with both off: the full resident-daemon instrumentation must
   stay affordable.
 
+Provenance recording (:mod:`repro.provenance.record` — the record
+stamped onto every verdict) gets the same two-sided treatment over the
+audit workload:
+
+* **provenance disabled ≤ 2%** — computed: one ``enabled()`` flag read
+  per result attach site, times the number of results a run produces;
+* **provenance enabled ≤ 10%** — best-of-N A/B of the audit workload
+  with recording on versus off (each record is a small dict build plus
+  at most two short sha256 digests per result).
+
 Usage::
 
     python benchmarks/bench_obs_overhead.py --output BENCH_obs_overhead.json
@@ -45,12 +55,15 @@ import time
 from repro import obs
 from repro.core.engine import execute_jobs
 from repro.obs.log import EventLogger
+from repro.provenance import record as provenance
 from repro.scenarios import enterprise
 
 DISABLED_BUDGET = 0.02
 ENABLED_BUDGET = 0.10
 LOG_DISABLED_BUDGET = 0.02
 LOG_ENABLED_BUDGET = 0.10
+PROV_DISABLED_BUDGET = 0.02
+PROV_ENABLED_BUDGET = 0.10
 
 
 def run_workload(size: int) -> None:
@@ -133,6 +146,16 @@ def count_log_events(size: int) -> int:
     return sum(1 for line in buffer.getvalue().splitlines() if line)
 
 
+def prov_site_cost_seconds(iterations: int = 200_000) -> float:
+    """Per-call cost of one *disabled* provenance attach site: the
+    module-global ``enabled()`` flag read that gates the record build."""
+    assert not provenance.enabled()
+    started = time.perf_counter()
+    for _ in range(iterations):
+        provenance.enabled()
+    return (time.perf_counter() - started) / iterations
+
+
 def run(size: int, rounds: int) -> dict:
     obs.disable()
     disabled_seconds = best_of(rounds, lambda: run_workload(size))
@@ -165,6 +188,19 @@ def run(size: int, rounds: int) -> dict:
     log_disabled_overhead = per_log_event * log_events / log_off_seconds
     log_enabled_overhead = log_on_seconds / log_off_seconds - 1
 
+    # Provenance bounds, over the audit workload (one attach per result).
+    prov_prev = provenance.set_enabled(False)
+    try:
+        prov_off_seconds = best_of(rounds, lambda: run_workload(size))
+        per_prov_site = prov_site_cost_seconds()
+        provenance.set_enabled(True)
+        prov_on_seconds = best_of(rounds, lambda: run_workload(size))
+    finally:
+        provenance.set_enabled(prov_prev)
+    prov_records = len(enterprise(n_subnets=size).checks)
+    prov_disabled_overhead = per_prov_site * prov_records / prov_off_seconds
+    prov_enabled_overhead = prov_on_seconds / prov_off_seconds - 1
+
     return {
         "benchmark": "obs_overhead",
         "workload": f"enterprise(n_subnets={size}) audit",
@@ -183,11 +219,21 @@ def run(size: int, rounds: int) -> dict:
         "log_enabled_overhead_fraction": round(
             max(log_enabled_overhead, 0.0), 4
         ),
+        "prov_workload_seconds": round(prov_off_seconds, 4),
+        "prov_enabled_workload_seconds": round(prov_on_seconds, 4),
+        "prov_records": prov_records,
+        "per_prov_site_nanos": round(per_prov_site * 1e9, 1),
+        "prov_disabled_overhead_fraction": round(prov_disabled_overhead, 5),
+        "prov_enabled_overhead_fraction": round(
+            max(prov_enabled_overhead, 0.0), 4
+        ),
         "budgets": {
             "disabled": DISABLED_BUDGET,
             "enabled": ENABLED_BUDGET,
             "log_disabled": LOG_DISABLED_BUDGET,
             "log_enabled": LOG_ENABLED_BUDGET,
+            "prov_disabled": PROV_DISABLED_BUDGET,
+            "prov_enabled": PROV_ENABLED_BUDGET,
         },
         "disabled_overhead_valid": disabled_overhead <= DISABLED_BUDGET,
         "enabled_overhead_valid": enabled_overhead <= ENABLED_BUDGET,
@@ -197,11 +243,19 @@ def run(size: int, rounds: int) -> dict:
         "log_enabled_overhead_valid": (
             log_enabled_overhead <= LOG_ENABLED_BUDGET
         ),
+        "prov_disabled_overhead_valid": (
+            prov_disabled_overhead <= PROV_DISABLED_BUDGET
+        ),
+        "prov_enabled_overhead_valid": (
+            prov_enabled_overhead <= PROV_ENABLED_BUDGET
+        ),
         "all_valid": (
             disabled_overhead <= DISABLED_BUDGET
             and enabled_overhead <= ENABLED_BUDGET
             and log_disabled_overhead <= LOG_DISABLED_BUDGET
             and log_enabled_overhead <= LOG_ENABLED_BUDGET
+            and prov_disabled_overhead <= PROV_DISABLED_BUDGET
+            and prov_enabled_overhead <= PROV_ENABLED_BUDGET
         ),
     }
 
@@ -232,7 +286,11 @@ def main(argv=None) -> int:
         f"{report['log_disabled_overhead_fraction'] * 100:.3f}% "
         f"(budget {LOG_DISABLED_BUDGET * 100:.0f}%), enabled "
         f"{report['log_enabled_overhead_fraction'] * 100:.1f}% "
-        f"(budget {LOG_ENABLED_BUDGET * 100:.0f}%): "
+        f"(budget {LOG_ENABLED_BUDGET * 100:.0f}%); provenance: disabled "
+        f"{report['prov_disabled_overhead_fraction'] * 100:.3f}% "
+        f"(budget {PROV_DISABLED_BUDGET * 100:.0f}%), enabled "
+        f"{report['prov_enabled_overhead_fraction'] * 100:.1f}% "
+        f"(budget {PROV_ENABLED_BUDGET * 100:.0f}%): "
         f"{'ok' if report['all_valid'] else 'OVER BUDGET'}",
         file=sys.stderr,
     )

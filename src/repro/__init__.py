@@ -28,7 +28,7 @@ from .core import (
 )
 from .network import SteeringPolicy, Topology
 
-__version__ = "0.6.0"
+__version__ = "0.9.0"
 
 __all__ = [
     "VMN",

@@ -8,6 +8,8 @@
     python -m repro audit isp --size 3 --misconfig --show-traces
     python -m repro prove isp --size 3 --json
     python -m repro watch enterprise --deltas 10
+    python -m repro blame enterprise --fault enterprise/deny-dropped
+    python -m repro history enterprise --store-dir ~/.repro-store
     python -m repro audit enterprise --json > verdicts.json
     python -m repro audit enterprise --trace run.json --metrics
     python -m repro stats run.json --top 15
@@ -24,6 +26,13 @@ runs BMC-for-bugs alongside k-induction and IC3/PDR, and each row
 reports its guarantee strength.  ``watch`` replays a churn stream (a
 generated sequence of network deltas) through an incremental
 re-verification session and reports what each delta cost to absorb.
+``blame`` explains verdicts — the minimal set of named configuration
+units (deny rules, whitelist policies, steering paths) each
+holds-verdict rests on, via an assumption-level unsat core over a
+guarded encoding; with ``--fault``/``--misconfig`` it also diffs
+against the clean baseline, localizing the injected fault.  ``history``
+renders the per-invariant verdict timelines drift detection appends to
+the persistent store.
 
 **Exit codes** (audit / prove / watch / repair): ``0`` — every verdict
 matches its expectation and nothing is violated; ``1`` — at least one
@@ -67,7 +76,7 @@ import time
 from contextlib import contextmanager
 
 from . import obs
-from .scenarios import CHURN_GENERATORS, SCENARIOS
+from .scenarios import CHURN_GENERATORS, SCENARIOS, ScenarioError
 from .serve.client import (
     DEFAULT_PORT,
     ServerError,
@@ -82,6 +91,8 @@ from .serve.service import (
     BadRequest,
     payload_exit_code,
     run_audit,
+    run_blame,
+    run_history,
     run_repair,
     run_watch,
 )
@@ -189,7 +200,7 @@ def _spec_from_args(args, command: str) -> dict:
         "seed": args.seed,
         "no_slicing": getattr(args, "no_slicing", False),
         "no_cache": getattr(args, "no_cache", False),
-        "jobs": args.jobs,
+        "jobs": getattr(args, "jobs", 1),
         "stable": getattr(args, "stable_json", False),
         "budget": getattr(args, "budget", None),
         "max_checks": getattr(args, "max_checks", None),
@@ -198,6 +209,8 @@ def _spec_from_args(args, command: str) -> dict:
         "fault": getattr(args, "fault", None),
         "max_edits": getattr(args, "max_edits", 3),
         "max_candidates": getattr(args, "max_candidates", 32),
+        "only": getattr(args, "only", None),
+        "label": getattr(args, "label", None),
     }
 
 
@@ -236,6 +249,11 @@ _WARM_STATE_KEYS = frozenset({
     "cached", "solver", "solver_totals",
     "cache_hits", "solver_runs", "certificates_reused",
     "certificate", "recheck_ok", "certificate_shrink", "note",
+    # Provenance lineage says *where* a verdict came from (fresh vs
+    # cache vs reused certificate) — the definition of warm state.  The
+    # rest of a provenance record (fingerprint, config_hash, guarantee)
+    # is identical warm or cold and stays.
+    "lineage",
 })
 
 _STABLE_DROPPED = _UNSTABLE_KEYS | _WARM_STATE_KEYS
@@ -386,6 +404,110 @@ def _cmd_repair(args) -> int:
     return payload_exit_code(payload)
 
 
+def _render_blame_text(payload: dict) -> None:
+    print(f"{payload['scenario']}: blame over {payload['n_checks']} check(s)")
+    fault = payload.get("fault")
+    if fault:
+        print(f"  injected fault: {fault['deltas'][0]}")
+    for row in payload["checks"]:
+        kind = row["kind"] or "inconclusive"
+        print(f"  {row['label']:30s} {row['status']:9s} "
+              f"[{kind}: {len(row['blame'])} unit(s), "
+              f"{row['n_guards']} guards probed]")
+        for entry in row["blame"]:
+            print(f"      {entry}")
+    delta = payload.get("delta")
+    if delta is not None:
+        if not delta:
+            print("no blame drift vs the clean baseline")
+            return
+        print(f"blame drift vs the clean baseline ({len(delta)} check(s); "
+              f"'-' = protection the fault removed):")
+        for row in delta:
+            flip = ""
+            if row["status_clean"] != row["status_faulted"]:
+                flip = f"  [{row['status_clean']} -> {row['status_faulted']}]"
+            print(f"  {row['label']}{flip}")
+            for entry in row["only_clean"]:
+                print(f"      -{entry}")
+            for entry in row["only_faulted"]:
+                print(f"      +{entry}")
+
+
+def _render_history_text(payload: dict) -> None:
+    print(f"verdict history — {payload['store']} "
+          f"({payload['n_invariants']} tracked invariant(s))")
+    for timeline in payload["timelines"]:
+        print(f"  {timeline['label'] or timeline['key']}: "
+              f"current={timeline['current']} "
+              f"entries={timeline['n_entries']} flips={timeline['flips']}")
+        for entry in timeline["entries"]:
+            lineage = entry.get("lineage") or "?"
+            engine = entry.get("engine") or "?"
+            print(f"      v{entry.get('version', '?'):<4} "
+                  f"{entry.get('status', '?'):9s} "
+                  f"network={entry.get('network', '?')}  "
+                  f"{lineage}/{engine}")
+
+
+def _cmd_blame(args) -> int:
+    spec = _spec_from_args(args, "blame")
+    try:
+        payload = _execute_spec(spec, args, run_blame)
+    except (BadRequest, ServerError) as err:
+        print(str(err))
+        return 2
+    if args.json or args.stable_json:
+        _emit_json(payload, args.stable_json)
+    else:
+        _render_blame_text(payload)
+    return payload_exit_code(payload)
+
+
+def _open_shard_store(store_dir: str, spec: dict):
+    """The store file a daemon over ``store_dir`` would use for the
+    spec's baseline network — same shard-path derivation as
+    :meth:`repro.serve.service.VerificationService._store_path`."""
+    import hashlib
+
+    from .incremental.delta import network_fingerprint
+    from .scenarios import build_scenario
+    from .store import VerdictStore
+
+    bundle = build_scenario(spec["scenario"], size=spec["size"],
+                            misconfig=spec["misconfig"], seed=spec["seed"])
+    key = network_fingerprint(bundle.topology, bundle.steering)
+    digest = hashlib.sha256(key.encode("utf-8")).hexdigest()[:24]
+    return VerdictStore.open(os.path.join(store_dir, f"shard-{digest}.store"))
+
+
+def _cmd_history(args) -> int:
+    spec = _spec_from_args(args, "history")
+    try:
+        if args.server:
+            payload = _server_request(args.server, spec)["payload"]
+        else:
+            if args.store:
+                from .store import VerdictStore
+
+                store = VerdictStore.open(args.store)
+            elif args.store_dir:
+                store = _open_shard_store(args.store_dir, spec)
+            else:
+                print("history needs --store-dir DIR, --store FILE, "
+                      "or --server URL (timelines live in the store)")
+                return 2
+            payload = run_history(spec, store=store)
+    except (BadRequest, ScenarioError, ServerError) as err:
+        print(str(err))
+        return 2
+    if args.json or args.stable_json:
+        _emit_json(payload, args.stable_json)
+    else:
+        _render_history_text(payload)
+    return payload_exit_code(payload)
+
+
 def _cmd_serve(args) -> int:
     if args.serve_command == "start":
         from .serve.server import run_server
@@ -405,6 +527,7 @@ def _cmd_serve(args) -> int:
             recorder_capacity=args.recorder_capacity,
             max_retained_traces=args.retained_traces,
             log_file=args.log_file,
+            log_max_bytes=args.log_max_bytes,
         )
     server = args.server or f"127.0.0.1:{DEFAULT_PORT}"
     try:
@@ -543,6 +666,12 @@ def _print_event(line: str) -> None:
     except json.JSONDecodeError:
         print(line)
         return
+    # The flight recorder's requests.jsonl holds request summaries, not
+    # events — render those with the same line format `repro tail
+    # --server` uses, so tailing either source reads the same.
+    if "event" not in record and "request_id" in record:
+        print(_format_request_line(record))
+        return
     print(_format_event_line(record))
 
 
@@ -571,10 +700,20 @@ def _format_request_line(row: dict) -> str:
 def _tail_log(args) -> int:
     path = args.log
     try:
+        # Size rotation moves the log to <path>.1; include the backup
+        # in the initial window so `tail -n` spans a rotation boundary
+        # instead of showing only the lines written since it.
+        lines = []
+        try:
+            with open(path + ".1", encoding="utf-8") as fh:
+                lines.extend(fh.readlines())
+        except OSError:
+            pass
         with open(path, encoding="utf-8") as fh:
-            for line in fh.readlines()[-args.lines:]:
-                _print_event(line)
+            lines.extend(fh.readlines())
             offset = fh.tell()
+        for line in lines[-args.lines:]:
+            _print_event(line)
     except OSError as err:
         print(f"cannot read {path!r}: {err}")
         return 2
@@ -775,12 +914,79 @@ def main(argv=None) -> int:
     _add_server_flag(watch)
     _add_obs_flags(watch)
 
+    blame = sub.add_parser(
+        "blame",
+        help="explain verdicts: the minimal set of deny rules, "
+             "whitelist policies, and steering paths each holds-verdict "
+             "rests on (assumption-level unsat core), or the boxes a "
+             "violation's canonical witness traversed",
+    )
+    blame.add_argument("scenario", help="scenario name (see `list`)")
+    blame.add_argument("--size", type=int, default=None,
+                       help="scenario size (groups/subnets/tenants)")
+    blame.add_argument("--misconfig", action="store_true",
+                       help="inject the scenario's misconfiguration and "
+                            "also report the blame drift vs the clean "
+                            "baseline")
+    blame.add_argument("--fault", default=None, metavar="NAME",
+                       help="inject a labeled fault from "
+                            "scenarios/faults.py and also report the "
+                            "blame drift vs the clean baseline "
+                            "(fault localization)")
+    blame.add_argument("--seed", type=int, default=0,
+                       help="seed for randomized injections")
+    blame.add_argument("--no-slicing", action="store_true",
+                       help="probe on the whole network (baseline)")
+    blame.add_argument("--only", action="append", default=None,
+                       metavar="NODE",
+                       help="probe only checks whose invariant mentions "
+                            "NODE (repeatable)")
+    blame.add_argument("--json", action="store_true",
+                       help="emit blame sets (and the drift delta) as JSON")
+    blame.add_argument("--stable-json", action="store_true",
+                       help="like --json but without wall-clock fields: "
+                            "blame output is byte-reproducible for a "
+                            "fixed --seed, in-process or via --server")
+    _add_server_flag(blame)
+    _add_obs_flags(blame)
+
+    history = sub.add_parser(
+        "history",
+        help="per-invariant verdict timelines recorded by drift "
+             "detection (watch sessions over a persistent store)",
+    )
+    history.add_argument("scenario", help="scenario name (see `list`)")
+    history.add_argument("--size", type=int, default=None,
+                         help="scenario size (groups/subnets/tenants)")
+    history.add_argument("--misconfig", action="store_true",
+                         help="read the misconfigured variant's shard")
+    history.add_argument("--seed", type=int, default=0,
+                         help="seed the watched scenario was built with")
+    history.add_argument("--label", default=None, metavar="TEXT",
+                         help="only timelines whose check label contains "
+                              "TEXT (case-insensitive)")
+    history.add_argument("--store-dir", default=None, metavar="DIR",
+                         help="the daemon's --store-dir; the scenario's "
+                              "shard store is located inside it")
+    history.add_argument("--store", default=None, metavar="FILE",
+                         help="read one store file directly (as written "
+                              "by an IncrementalSession checkpoint)")
+    history.add_argument("--json", action="store_true",
+                         help="emit timelines as JSON")
+    history.add_argument("--stable-json", action="store_true",
+                         help="like --json but with warm-state fields "
+                              "(lineage/engine) stripped")
+    _add_server_flag(history)
+
     stats = sub.add_parser(
         "stats",
         help="cost breakdown of a recorded trace (top spans by "
              "exclusive time)",
     )
-    stats.add_argument("trace", help="trace file written by --trace")
+    stats.add_argument("trace",
+                       help="trace file written by --trace, or a retained "
+                            "slow-request trace from the daemon "
+                            "(<store>/traces/<request-id>.trace.json)")
     stats.add_argument("--top", type=int, default=20, metavar="K",
                        help="rows to show (default: 20)")
     stats.add_argument("--by", default="name", metavar="KEY",
@@ -823,6 +1029,12 @@ def main(argv=None) -> int:
                        help="structured JSONL event log (default: "
                             "<store-dir>/events.jsonl when --store-dir is "
                             "set, else stderr only)")
+    start.add_argument("--log-max-bytes", type=int, default=4 << 20,
+                       metavar="BYTES",
+                       help="size-rotate the JSONL logs (events.jsonl and "
+                            "the flight recorder's requests.jsonl) past "
+                            "this many bytes, keeping one .1 backup "
+                            "(default: 4 MiB)")
     start.add_argument("--slow-trace", type=float, default=5.0,
                        metavar="SECONDS",
                        help="retain the full span trace of requests slower "
@@ -899,9 +1111,13 @@ def main(argv=None) -> int:
         return _cmd_top(args)
     if args.command == "tail":
         return _cmd_tail(args)
-    if args.jobs < 0:
+    if getattr(args, "jobs", 0) < 0:
         parser.error("--jobs must be >= 0")
     with _observability(args):
+        if args.command == "blame":
+            return _cmd_blame(args)
+        if args.command == "history":
+            return _cmd_history(args)
         if args.command == "repair":
             return _cmd_repair(args)
         if args.command == "watch":

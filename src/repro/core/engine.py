@@ -53,6 +53,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
+from ..provenance import record as provenance
 from ..netmodel.bmc import CheckResult, SolverPool, check, default_depth, encoding_key
 from ..netmodel.canon import Unfingerprintable
 from ..netmodel.canon import canon as _canon
@@ -253,6 +254,10 @@ class VerificationJob:
     slice_size: Optional[int] = None  # None = whole-network verification
     warm_key: Optional[str] = None
     prove: Optional[str] = None
+    #: Digest of the network version the job was cut from (the whole
+    #: topology + steering, not just this job's slice); rides into the
+    #: result's provenance record.
+    config_hash: Optional[str] = None
 
     def run(self, warm: Optional[SolverPool] = None) -> CheckResult:
         if self.prove:
@@ -312,10 +317,22 @@ def _execute_job(job: VerificationJob) -> Tuple[int, CheckResult, Optional[dict]
 
 def _rebind(result: CheckResult, job: VerificationJob, cached: bool) -> CheckResult:
     """A copy of ``result`` attached to ``job``'s own invariant object,
-    marked as a cache hit when it did not come from a fresh solver run."""
+    marked as a cache hit when it did not come from a fresh solver run.
+
+    Every result passes through here exactly once on its way to the
+    caller, which makes it the universal attach point for the verdict's
+    provenance record (how the verdict was obtained — engine, lineage,
+    solver work, config version)."""
     stats = dict(result.stats)
     if cached:
         stats["cache_hit"] = True
+    if provenance.enabled():
+        stats["provenance"] = provenance.provenance_record(
+            stats,
+            fingerprint=job.fingerprint,
+            config_hash=job.config_hash,
+            cached=cached,
+        )
     return dataclasses.replace(result, invariant=job.invariant, stats=stats)
 
 

@@ -29,6 +29,7 @@ Typical use::
 
 from __future__ import annotations
 
+import hashlib
 import time
 from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
 
@@ -157,6 +158,20 @@ class VMN:
         self._slice_cache: Dict[frozenset, Union[Slice, SliceClosureError]] = {}
         self._whole_network: Optional[VerificationNetwork] = None
         self._enc_keys: Dict[tuple, Optional[str]] = {}
+        self._config_hash: Optional[str] = None
+
+    def config_hash(self) -> str:
+        """Digest of this network version (topology + steering) —
+        the configuration identity provenance records carry."""
+        if self._config_hash is None:
+            # Runtime import: incremental imports this module at load.
+            from ..incremental.delta import network_fingerprint
+
+            fp = network_fingerprint(self.topology, self.steering)
+            self._config_hash = hashlib.sha256(
+                fp.encode("utf-8")
+            ).hexdigest()[:16]
+        return self._config_hash
 
     # ------------------------------------------------------------------
     # Problem construction
@@ -255,6 +270,7 @@ class VMN:
             slice_size=slice_size,
             warm_key=self._warm_key(net, params),
             prove=prove,
+            config_hash=self.config_hash(),
         )
 
     def _warm_key(self, net: VerificationNetwork, params: dict) -> Optional[str]:

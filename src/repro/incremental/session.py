@@ -40,6 +40,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.engine import ResultCache, SolverPool, execute_jobs, resolve_bmc_params
 from ..obs import get_logger, get_registry, get_tracer
+from ..provenance import record as provenance
 from ..core.slicing import SliceClosureError
 from ..core.vmn import VMN
 from ..netmodel.bmc import HOLDS, CheckResult
@@ -228,6 +229,10 @@ class IncrementalSession:
         self._keys = itertools.count()
         self._checks: Dict[int, TrackedCheck] = {}
         self._outcomes: Dict[int, CheckOutcome] = {}
+        #: invariant fingerprint -> last observed status, for drift
+        #: detection (seeded from the store's history on first sight,
+        #: so a verdict flip across a daemon restart still fires).
+        self._last_status: Dict[str, str] = {}
         self._history: List[Tuple[NetworkDelta, List[int], List[TrackedCheck]]] = []
         self.reports: List[DeltaReport] = []
         self.vmn = self._build_vmn()
@@ -313,7 +318,7 @@ class IncrementalSession:
                 and self.cache.contains(job.fingerprint)
             )
             if not cache_hit:
-                reused = self._reuse_certificate(key, inv)
+                reused = self._reuse_certificate(key, inv, job=job)
                 if reused is not None:
                     self._outcomes[key] = CheckOutcome(
                         check=self._checks[key], result=reused, carried=False
@@ -334,6 +339,62 @@ class IncrementalSession:
                     self._store_certificate(self._checks[key].invariant, cert)
                 else:
                     self._certificates.pop(key, None)
+        # Every re-established verdict passes through drift detection:
+        # a status flip against the last recorded one fires an event
+        # and a counter, and (with a store) extends the invariant's
+        # persisted timeline.
+        for key in keys:
+            outcome = self._outcomes.get(key)
+            if outcome is not None:
+                self._record_history(self._checks[key], outcome.result)
+
+    def _record_history(self, check: TrackedCheck, result: CheckResult) -> None:
+        """Drift detection + persistent verdict timeline for one
+        freshly (re-)established verdict."""
+        inv_key = self._invariant_key(check.invariant)
+        if inv_key is None:
+            return
+        status = result.status
+        digest = self.vmn.config_hash()
+        rows = self.store.history_for(inv_key) if self.store is not None else []
+        prev = self._last_status.get(inv_key)
+        if prev is None and rows:
+            prev = rows[-1].get("status")
+        if prev is not None and prev != status:
+            get_logger().info(
+                "verdict-changed",
+                check=check.describe(),
+                version=self.version,
+                previous=prev,
+                status=status,
+                network=digest,
+            )
+            get_registry().counter(
+                "repro_verdict_drift_total",
+                "tracked verdicts flipped by network churn",
+            ).inc(status=status)
+        self._last_status[inv_key] = status
+        if self.store is None:
+            return
+        last = rows[-1] if rows else None
+        if (
+            last is None
+            or last.get("network") != digest
+            or last.get("status") != status
+        ):
+            prov = result.stats.get("provenance") or {}
+            self.store.append_history(
+                inv_key,
+                {
+                    "version": self.version,
+                    "label": check.describe(),
+                    "status": status,
+                    "network": digest,
+                    "lineage": prov.get("lineage"),
+                    "engine": prov.get("engine"),
+                    "guarantee": prov.get("guarantee"),
+                },
+            )
 
     def _invariant_key(self, invariant) -> Optional[str]:
         try:
@@ -345,10 +406,45 @@ class IncrementalSession:
         if self.store is None:
             return
         inv_key = self._invariant_key(invariant)
-        if inv_key is not None:
-            self.store.put_certificate(inv_key, cert)
+        if inv_key is None:
+            return
+        self.store.put_certificate(inv_key, cert)
 
-    def _reuse_certificate(self, key: int, invariant) -> Optional[CheckResult]:
+    def _blame_certificates(self) -> None:
+        """Stamp each persisted certificate with its blame set — the
+        configuration units the proof's core queries rest on — so a
+        later ``repro history`` / certificate reuse can say *why* the
+        proof held without re-probing.  Runs at checkpoint time, not
+        per proof: under churn an invariant may be re-proven every
+        version, but only the certificate that actually persists is
+        worth a guard-core probe.  Runtime import: the blame module
+        imports the verification layers."""
+        if not provenance.enabled():
+            return
+        import dataclasses
+
+        from ..provenance.blame import certificate_blame
+
+        for check in self.checks:
+            inv_key = self._invariant_key(check.invariant)
+            if inv_key is None:
+                continue
+            cert = self.store.certificate_for(inv_key)
+            if cert is None or getattr(cert, "blame", ()):
+                continue
+            net, _ = self.vmn.network_for(check.invariant)
+            params = resolve_bmc_params(net, check.invariant, {})
+            try:
+                blame = certificate_blame(net, check.invariant, cert, params)
+            except Exception:
+                blame = ()
+            if blame:
+                self.store.put_certificate(
+                    inv_key, dataclasses.replace(cert, blame=blame)
+                )
+
+    def _reuse_certificate(self, key: int, invariant,
+                           job=None) -> Optional[CheckResult]:
         """Try the cached certificate against the current version;
         ``None`` when there is none or it no longer validates."""
         if not self.prove:
@@ -395,22 +491,31 @@ class IncrementalSession:
             "certificate-reused", check=key, kind=cert.kind,
             solver_checks=report.solver_checks,
         )
+        stats = {
+            "guarantee": "unbounded",
+            "proof_engine": cert.kind,
+            "proof_note": "cached certificate re-validated "
+                          "on the current version",
+            "certificate": cert,
+            "certificate_reused": True,
+            "recheck_ok": True,
+            "solver_checks": report.solver_checks,
+        }
+        # This path bypasses the engine's _rebind attach point, so the
+        # provenance record is attached inline.
+        if provenance.enabled():
+            stats["provenance"] = provenance.provenance_record(
+                stats,
+                fingerprint=getattr(job, "fingerprint", None),
+                config_hash=self.vmn.config_hash(),
+            )
         return CheckResult(
             status=HOLDS,
             invariant=invariant,
             depth=params["depth"],
             n_packets=params["n_packets"],
             solve_seconds=time.perf_counter() - started,
-            stats={
-                "guarantee": "unbounded",
-                "proof_engine": cert.kind,
-                "proof_note": "cached certificate re-validated "
-                              "on the current version",
-                "certificate": cert,
-                "certificate_reused": True,
-                "recheck_ok": True,
-                "solver_checks": report.solver_checks,
-            },
+            stats=stats,
         )
 
     def _report(self, delta: Optional[str], verified: Sequence[int],
@@ -575,12 +680,14 @@ class IncrementalSession:
     def checkpoint(self) -> Optional[dict]:
         """Flush the session's warm state to its persistent store:
         absorb every cached verdict (certificates are filed as they are
-        proven) and atomically rewrite the store file.  No-op without a
-        store.  Returns the store's stats, or ``None``."""
+        proven), stamp persisting certificates with their blame sets,
+        and atomically rewrite the store file.  No-op without a store.
+        Returns the store's stats, or ``None``."""
         if self.store is None:
             return None
         if self.cache is not None:
             self.store.absorb_cache(self.cache)
+        self._blame_certificates()
         self.store.flush()
         return self.store.stats()
 

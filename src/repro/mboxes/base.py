@@ -73,14 +73,37 @@ class Branch:
 
 
 def acl_pairs_term(ctx: ModelContext, pairs: Sequence[Tuple[str, str]],
-                   src: Term, dst: Term) -> Term:
-    """The ACL membership test ``(src, dst) in pairs`` as a term."""
-    return Or(
-        *(
-            And(Eq(src, ctx.addr(a)), Eq(dst, ctx.addr(b)))
-            for a, b in sorted(pairs)
-        )
-    )
+                   src: Term, dst: Term,
+                   owner: Optional[str] = None,
+                   kind: str = "deny") -> Term:
+    """The ACL membership test ``(src, dst) in pairs`` as a term.
+
+    When the context carries blame-probe guards
+    (:class:`repro.netmodel.system.RuleGuards`) and ``owner`` names the
+    box, the term is guard-conditioned so the unsat-core probe can
+    relax protections one unit at a time:
+
+    * ``kind="deny"`` — each pair's hit is conjoined with its rule
+      guard (guard free ⇒ the pair is effectively deleted, widening
+      what the deny list lets through);
+    * ``kind="allow"`` — the whole whitelist is disjoined with the
+      negated policy guard (guard free ⇒ the box permits everything).
+
+    Both directions *weaken* protection, which is the only way a holds
+    verdict can be endangered — assuming every guard true restores the
+    original semantics exactly.
+    """
+    guards = getattr(ctx, "rule_guards", None)
+    hits = []
+    for a, b in sorted(pairs):
+        hit = And(Eq(src, ctx.addr(a)), Eq(dst, ctx.addr(b)))
+        if guards is not None and owner is not None and kind == "deny":
+            hit = And(guards.rule_guard(owner, kind, a, b), hit)
+        hits.append(hit)
+    term = Or(*hits)
+    if guards is not None and owner is not None and kind == "allow":
+        term = Or(term, Not(guards.policy_guard(owner)))
+    return term
 
 
 class MiddleboxModel:

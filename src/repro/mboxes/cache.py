@@ -64,7 +64,8 @@ class ContentCache(MiddleboxModel):
     def serving_allowed(self, ctx: ModelContext, requester: Term,
                         origin_term: Term) -> Term:
         """No deny entry matches (requester, origin)."""
-        return Not(acl_pairs_term(ctx, self.deny, requester, origin_term))
+        return Not(acl_pairs_term(ctx, self.deny, requester, origin_term,
+                                  owner=self.name, kind="deny"))
 
     # ------------------------------------------------------------------
     def branches(self, ctx, p_in, p_out, t) -> List[Branch]:

@@ -41,7 +41,8 @@ class AclFirewall(MiddleboxModel):
         self.acl = frozenset(acl)
 
     def permits(self, ctx: ModelContext, p: SymPacket) -> Term:
-        return acl_pairs_term(ctx, self.acl, p.src, p.dst)
+        return acl_pairs_term(ctx, self.acl, p.src, p.dst,
+                              owner=self.name, kind="allow")
 
     def branches(self, ctx, p_in, p_out, t) -> List[Branch]:
         return [Branch.forward(self.permits(ctx, p_in))]
@@ -97,8 +98,10 @@ class LearningFirewall(MiddleboxModel):
 
     def permits(self, ctx: ModelContext, p: SymPacket) -> Term:
         if self.default_allow:
-            return Not(acl_pairs_term(ctx, self.deny, p.src, p.dst))
-        return acl_pairs_term(ctx, self.allow, p.src, p.dst)
+            return Not(acl_pairs_term(ctx, self.deny, p.src, p.dst,
+                                      owner=self.name, kind="deny"))
+        return acl_pairs_term(ctx, self.allow, p.src, p.dst,
+                              owner=self.name, kind="allow")
 
     def established(self, ctx: ModelContext, p: SymPacket, t: int) -> Term:
         """``established.contains(flow(p))`` at step ``t``.

@@ -12,7 +12,7 @@ from typing import Iterable, List, Optional, Tuple
 
 from ..netmodel.packets import SymPacket
 from ..netmodel.system import ModelContext
-from ..smt import And, Eq, Or, Term
+from ..smt import And, Eq, Not, Or, Term
 from .base import FAIL_CLOSED, Branch, MiddleboxModel
 
 __all__ = ["PortFilterFirewall"]
@@ -40,7 +40,13 @@ class PortFilterFirewall(MiddleboxModel):
             if dport is not None:
                 parts.append(Eq(p.dport, ctx.schema.port(dport)))
             cases.append(And(*parts))
-        return Or(*cases)
+        term = Or(*cases)
+        guards = getattr(ctx, "rule_guards", None)
+        if guards is not None:
+            # Whitelist relaxation for blame probes: guard free ⇒ the
+            # filter permits everything (see acl_pairs_term kind="allow").
+            term = Or(term, Not(guards.policy_guard(self.name)))
+        return term
 
     def branches(self, ctx, p_in, p_out, t) -> List[Branch]:
         return [Branch.forward(self.permits(ctx, p_in))]

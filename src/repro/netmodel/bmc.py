@@ -150,6 +150,7 @@ class IncrementalBMC:
         failure_budget: int = 0,
         n_ports: int = 6,
         n_tags: int = 4,
+        rule_guards=None,
     ):
         started = time.perf_counter()
         self.net = net
@@ -163,6 +164,7 @@ class IncrementalBMC:
                 failure_budget=failure_budget,
                 n_ports=n_ports,
                 n_tags=n_tags,
+                rule_guards=rule_guards,
             )
             self.solver = Solver()
             self.asserted_depth = 0

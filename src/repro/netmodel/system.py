@@ -53,7 +53,14 @@ from .events import EventKind, EventVars, make_events, make_kind_sort
 from .packets import PacketSchema, SymPacket
 from .rules import TransferRule
 
-__all__ = ["OMEGA", "VerificationNetwork", "ModelContext", "NetworkSMTModel", "fresh_ns"]
+__all__ = [
+    "OMEGA",
+    "VerificationNetwork",
+    "ModelContext",
+    "NetworkSMTModel",
+    "RuleGuards",
+    "fresh_ns",
+]
 
 #: Name of the pseudo-node representing the static datapath (paper's Ω).
 OMEGA = "<net>"
@@ -101,6 +108,70 @@ class VerificationNetwork:
         raise KeyError(f"no middlebox named {name!r}")
 
 
+class RuleGuards:
+    """Assumption guards over a network's protective configuration units.
+
+    The unsat-core blame probe (:mod:`repro.provenance.blame`) builds a
+    network model where every unit of *protection* — a deny-list pair,
+    a whitelist policy, the steering path towards a destination — is
+    conditioned on a fresh boolean guard.  Assuming every guard **true**
+    reproduces the original semantics exactly; leaving a guard free
+    *relaxes* its unit (the deny pair is deleted, the whitelist permits
+    everything, Ω may bypass the destination's chain).  The unsat core
+    of "violation + all guards" then names exactly the protections the
+    verdict depends on.
+
+    Guards are created lazily, keyed by a deterministic label, so the
+    guard set — and with it the blame output — is a pure function of
+    the network configuration.  Labels:
+
+    * ``rule:<box>:deny:<a>-><b>`` — one deny-list pair,
+    * ``policy:<box>:whitelist``   — a box's entire allow-list,
+    * ``path:<dest>``              — the steering path protecting
+      ``dest`` (relaxed: Ω may deliver to ``dest`` from any sender).
+
+    Guarded models exist only inside dedicated blame probes — they are
+    never pooled, cached, or fingerprinted — so production encodings
+    pay nothing.
+    """
+
+    def __init__(self, ns: Optional[str] = None):
+        self.ns = ns if ns is not None else fresh_ns("guard")
+        self._by_label: "Dict[str, Term]" = {}
+        self._labels: "Dict[int, str]" = {}
+
+    def guard(self, label: str) -> Term:
+        term = self._by_label.get(label)
+        if term is None:
+            term = BoolVar(f"{self.ns}:guard:{label}")
+            self._by_label[label] = term
+            self._labels[id(term)] = label
+        return term
+
+    def rule_guard(self, owner: str, kind: str, a: str, b: str) -> Term:
+        return self.guard(f"rule:{owner}:{kind}:{a}->{b}")
+
+    def policy_guard(self, owner: str) -> Term:
+        return self.guard(f"policy:{owner}:whitelist")
+
+    def path_guard(self, dest: str) -> Term:
+        return self.guard(f"path:{dest}")
+
+    def assumptions(self) -> List[Term]:
+        """Every guard created so far, in sorted-label order (the
+        deterministic candidate order the core minimizer scans)."""
+        return [self._by_label[label] for label in sorted(self._by_label)]
+
+    def label_of(self, term: Term) -> str:
+        return self._labels[id(term)]
+
+    def labels(self) -> List[str]:
+        return sorted(self._by_label)
+
+    def __len__(self) -> int:
+        return len(self._by_label)
+
+
 class ModelContext:
     """Shared helpers middlebox models and invariants build axioms from.
 
@@ -111,7 +182,8 @@ class ModelContext:
 
     def __init__(self, net: VerificationNetwork, schema: PacketSchema,
                  events: List[EventVars], node_sort: EnumSort, ns: str,
-                 free_init: bool = False):
+                 free_init: bool = False,
+                 rule_guards: Optional[RuleGuards] = None):
         self.net = net
         self.schema = schema
         self.events = events
@@ -120,6 +192,11 @@ class ModelContext:
         self.depth = len(events)
         self.packets: List[SymPacket] = schema.packets
         self.free_init = free_init
+        #: Blame-probe guards (``None`` outside dedicated probes).
+        #: Middlebox models read this duck-typed via
+        #: ``getattr(ctx, "rule_guards", None)`` — see
+        #: :func:`repro.mboxes.base.acl_pairs_term`.
+        self.rule_guards = rule_guards
         #: Structural key -> the boolean variable standing in for the
         #: predicate's value at time 0 (only populated in free-init
         #: mode).  Keys are ``("rcv", node, p, since_fail)``,
@@ -347,6 +424,7 @@ class NetworkSMTModel:
         n_tags: int = 4,
         ns: Optional[str] = None,
         free_init: bool = False,
+        rule_guards: Optional[RuleGuards] = None,
     ):
         if depth < 1:
             raise ValueError("depth must be at least 1")
@@ -364,7 +442,8 @@ class NetworkSMTModel:
             self.ns, depth, kind_sort, self.node_sort, self.schema.pkt_sort
         )
         self.ctx = ModelContext(net, self.schema, self.events, self.node_sort,
-                                self.ns, free_init=free_init)
+                                self.ns, free_init=free_init,
+                                rule_guards=rule_guards)
         self._step_cache: Dict[int, List[Term]] = {}
         self._base_cache: Optional[List[Term]] = None
 
@@ -519,5 +598,18 @@ class NetworkSMTModel:
                     *(ctx.sent_to_net_before(n, p.index, t) for n in ingress)
                 )
                 branches.append(And(match, ev.to_is(rule.to), justification))
+            guards = ctx.rule_guards
+            if guards is not None:
+                # Blame-probe path relaxation: with ``path:<d>`` relaxed
+                # (guard free), Ω may deliver any packet to ``d`` given
+                # any-sender justification — the "steering towards d was
+                # deleted/bypassed" hypothesis the unsat core tests.
+                any_sender = Or(
+                    *(ctx.sent_to_net_before(n, p.index, t) for n in senders)
+                )
+                for d in self.net.hosts:
+                    branches.append(
+                        And(Not(guards.path_guard(d)), ev.to_is(d), any_sender)
+                    )
             per_pkt.append(Implies(ev.pkt_is(p.index), Or(*branches)))
         return Implies(acting, And(ev.is_send, *per_pkt))

@@ -145,11 +145,18 @@ def render_stats(payload: dict, top: int = 20, by: str = "name") -> str:
     spans = load_spans(payload)
     meta = payload.get("meta", {}) if isinstance(payload, dict) else {}
     rows = aggregate(spans, by=by)
-    cov = coverage(spans, meta.get("wall_seconds"))
+    # Retained slow-request traces (the daemon's flight recorder) stamp
+    # the request latency as "seconds"; CLI --trace records stamp
+    # "wall_seconds".  Either anchors the coverage line.
+    cov = coverage(spans, meta.get("wall_seconds") or meta.get("seconds"))
     total_excl = sum(r.exclusive for r in rows) or 1.0
 
     lines = []
     what = meta.get("command") or meta.get("argv") or "trace"
+    if meta.get("request_id"):
+        what = f"{what} [request {meta['request_id']}]"
+    if meta.get("scenario"):
+        what = f"{what} ({meta['scenario']})"
     lines.append(f"trace: {what} — {cov['n_spans']} spans, "
                  f"{cov['root_seconds']:.3f}s under {cov['n_roots']} root(s)")
     if "wall_coverage" in cov:

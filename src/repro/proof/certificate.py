@@ -62,6 +62,12 @@ class ProofCertificate:
     kind: str  # "kinduction" | "ic3"
     k: int = 0  # induction depth (kinduction only)
     clauses: Tuple[Cube, ...] = ()  # blocked cubes (ic3 only)
+    #: Named configuration units (see :mod:`repro.provenance.blame`)
+    #: whose protection the certificate's core queries rest on — the
+    #: "why" carried alongside the proof.  Certificates pickled before
+    #: this field existed lack the attribute entirely, so readers use
+    #: ``getattr(cert, "blame", ())``.
+    blame: Tuple[str, ...] = ()
 
     def summary(self) -> str:
         if self.kind == KINDUCTION:
@@ -80,17 +86,21 @@ class ProofCertificate:
                 for cube in self.clauses
             ]
             out["n_clauses"] = len(self.clauses)
+        blame = getattr(self, "blame", ())
+        if blame:
+            out["blame"] = list(blame)
         return out
 
     @classmethod
     def from_json(cls, payload: dict) -> "ProofCertificate":
+        blame = tuple(payload.get("blame", ()))
         if payload["kind"] == KINDUCTION:
-            return cls(kind=KINDUCTION, k=int(payload["k"]))
+            return cls(kind=KINDUCTION, k=int(payload["k"]), blame=blame)
         clauses = tuple(
             tuple((tuple(key), value) for key, value in cube)
             for cube in payload["clauses"]
         )
-        return cls(kind=IC3, clauses=clauses)
+        return cls(kind=IC3, clauses=clauses, blame=blame)
 
 
 @dataclass

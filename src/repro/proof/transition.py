@@ -87,6 +87,7 @@ class TransitionSystem:
         failure_budget: int = 0,
         n_ports: int = 6,
         n_tags: int = 4,
+        rule_guards=None,
     ):
         started = time.perf_counter()
         self.net = net
@@ -98,6 +99,7 @@ class TransitionSystem:
             n_ports=n_ports,
             n_tags=n_tags,
             free_init=True,
+            rule_guards=rule_guards,
         )
         ctx = self.model.ctx
         # Register the full state vector up front (the encoding would

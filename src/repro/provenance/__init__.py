@@ -1,0 +1,61 @@
+"""``repro.provenance`` — verdict provenance and unsat-core blame.
+
+Two halves:
+
+* :mod:`repro.provenance.record` — the ProvenanceRecord attached to
+  every ``CheckResult`` (engine, cache/certificate lineage, solver
+  effort, config hash).  Dependency-light: imported by the engine on
+  the hot path.
+* :mod:`repro.provenance.blame` — assumption-guarded unsat-core blame:
+  maps *why a verdict holds* back to the named middlebox rules and
+  steering links it depends on.  Imports the whole verification stack,
+  so it is loaded lazily — ``from repro.provenance import blame_bundle``
+  works, but only pays the import when blame is actually requested.
+"""
+
+from .record import (
+    CACHE_HIT,
+    CERT_REUSED,
+    CERT_REVALIDATED,
+    FRESH,
+    LINEAGES,
+    SCHEMA,
+    certificate_digest,
+    enabled,
+    fingerprint_digest,
+    lineage_of,
+    provenance_record,
+    set_enabled,
+)
+
+__all__ = [
+    "SCHEMA",
+    "FRESH",
+    "CACHE_HIT",
+    "CERT_REUSED",
+    "CERT_REVALIDATED",
+    "LINEAGES",
+    "enabled",
+    "set_enabled",
+    "lineage_of",
+    "fingerprint_digest",
+    "certificate_digest",
+    "provenance_record",
+    "blame_bundle",
+    "blame_invariant",
+    "blame_delta",
+    "certificate_blame",
+]
+
+_LAZY = ("blame_bundle", "blame_invariant", "blame_delta",
+         "certificate_blame")
+
+
+def __getattr__(name):
+    # The blame engine imports netmodel/mboxes/repair — far too heavy
+    # (and cyclic) for the record-stamping hot path that imports this
+    # package from repro.core.engine.
+    if name in _LAZY:
+        from . import blame
+        return getattr(blame, name)
+    raise AttributeError(name)

@@ -1,0 +1,261 @@
+"""Unsat-core blame: which configuration units a verdict rests on.
+
+A ``holds`` verdict says *some* combination of deny rules, whitelist
+policies, and steering paths blocks every violating schedule — but not
+*which*.  This module answers that by re-running the check on a
+**guarded** encoding (:class:`repro.netmodel.system.RuleGuards`): every
+protective unit is conditioned on a fresh assumption variable, the
+violation is checked with all guards assumed true (which reproduces the
+original semantics exactly), and the solver's unsat core over the guard
+assumptions — greedily minimized by :meth:`repro.smt.Solver.minimal_core`
+— names an irreducible set of units whose joint protection the verdict
+depends on.
+
+Soundness of fault localization: if relaxing unit ``u`` alone enables a
+violation, then every sound core contains ``u``'s guard (dropping it
+leaves a satisfiable query), so ``u`` survives minimization.  Deleting a
+protective rule from the configuration therefore *removes* its entry
+from the clean network's blame set — the injected unit appears in the
+clean-vs-faulted :func:`blame_delta`.
+
+``violated`` verdicts have a witness instead of a core: blame reuses the
+trace distillation of :func:`repro.repair.hints.extract_hints` over the
+canonical (lexicographically-least) counterexample, yielding the boxes
+that handled the offending packet and the address pairs it exercised.
+
+Blame probes always build **cold** models — never pooled, cached, or
+fingerprinted — so warm, cold, and server-mediated runs produce
+byte-identical blame sets by construction, and production encodings
+never see a guard variable.
+
+Blame entry grammar (one flat, sortable namespace):
+
+* ``rule:<box>:deny:<a>-><b>``  — a deny-list pair the verdict needs,
+* ``policy:<box>:whitelist``    — a box's entire allow-list,
+* ``path:<dest>``               — the steering path protecting ``dest``,
+* ``path:<dest>:<member>``      — each chain member of a blamed path,
+* ``box:<name>`` / ``pair:<a>-><b>`` — trace-derived leads (violated
+  verdicts only).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ..core.engine import resolve_bmc_params
+from ..netmodel.bmc import HOLDS, UNKNOWN, VIOLATED, IncrementalBMC
+from ..netmodel.system import RuleGuards
+from ..proof.transition import TransitionSystem, clause_term
+from ..repair.hints import BLOCK, extract_hints
+from ..smt import SAT, UNSAT, And, Not
+
+__all__ = ["blame_invariant", "blame_bundle", "blame_delta", "certificate_blame"]
+
+IC3 = "ic3"
+KINDUCTION = "kinduction"
+
+
+def _expand_paths(labels: Iterable[str], steering) -> List[str]:
+    """Add a ``path:<dest>:<member>`` entry per chain member of every
+    blamed path, so the blame set names the middleboxes doing the
+    protecting, not just the abstract route."""
+    out = set(labels)
+    for label in list(out):
+        if label.startswith("path:") and label.count(":") == 1:
+            dest = label.split(":", 1)[1]
+            for member in steering.chains.get(dest, ()):
+                out.add(f"path:{dest}:{member}")
+    return sorted(out)
+
+
+def blame_invariant(vmn, invariant, label: str = "") -> dict:
+    """Blame one invariant's verdict on a (clean or faulted) network.
+
+    ``vmn`` is a :class:`repro.core.VMN` facade; the probe resolves the
+    same slice and BMC parameters a production check would, then runs a
+    dedicated guarded encoding.  Returns a JSON-ready row::
+
+        {"label", "invariant", "status", "kind", "blame", ...}
+
+    where ``kind`` is ``"unsat-core"`` for holds verdicts, ``"trace"``
+    for violated ones, and ``None`` when the probe was inconclusive.
+    """
+    describe = getattr(invariant, "describe", lambda: repr(invariant))
+    net, slice_size = vmn.network_for(invariant)
+    params = resolve_bmc_params(net, invariant, {})
+    depth = params["depth"]
+    guards = RuleGuards()
+    bmc = IncrementalBMC(
+        net,
+        n_packets=params["n_packets"],
+        depth=depth,
+        failure_budget=params["failure_budget"],
+        n_ports=params["n_ports"],
+        n_tags=params["n_tags"],
+        rule_guards=guards,
+    )
+    bmc.extend_to(depth)
+    hard = bmc.assumptions_at(invariant, depth)
+    candidates = guards.assumptions()
+    row = {
+        "label": label or describe(),
+        "invariant": describe(),
+        "status": UNKNOWN,
+        "kind": None,
+        "blame": [],
+        "slice_size": slice_size,
+        "depth": depth,
+        "n_packets": params["n_packets"],
+        "n_guards": len(candidates),
+    }
+    result = bmc.solver.check(hard + candidates)
+    if result == SAT:
+        # Violated even with every protection intact: blame comes from
+        # the canonical witness (deterministic across solver states).
+        trace = bmc.canonical_trace(invariant, depth, presolved=True)
+        hints = extract_hints(vmn, invariant, trace=trace, direction=BLOCK)
+        entries = [f"box:{b}" for b in hints.suspect_boxes]
+        entries.extend(f"pair:{a}->{b}" for a, b in hints.suspect_pairs)
+        seen = set()
+        blame = [e for e in entries if not (e in seen or seen.add(e))]
+        row.update(status=VIOLATED, kind="trace", blame=blame)
+    elif result == UNSAT:
+        core = bmc.solver.minimal_core(hard, candidates)
+        labels = [guards.label_of(t) for t in core]
+        row.update(
+            status=HOLDS,
+            kind="unsat-core",
+            blame=_expand_paths(labels, vmn.steering),
+        )
+    return row
+
+
+def blame_bundle(
+    bundle,
+    only: Optional[Iterable[str]] = None,
+    use_slicing: bool = True,
+) -> dict:
+    """Blame every check of a scenario bundle.
+
+    ``only`` restricts the probe to checks whose invariant mentions at
+    least one of the given node names (how the fault-localization tests
+    stay inside the CI duration gate).  The facade is built cold —
+    ``use_cache=False, use_warm=False`` — so the output is a pure
+    function of the configuration.
+    """
+    vmn = bundle.vmn(
+        use_slicing=use_slicing, use_cache=False, use_warm=False
+    )
+    wanted = frozenset(only) if only is not None else None
+    rows = []
+    for c in bundle.checks:
+        if wanted is not None:
+            mentions = frozenset(getattr(c.invariant, "mentions", ()))
+            if not (mentions & wanted):
+                continue
+        row = blame_invariant(vmn, c.invariant, label=c.label)
+        row["expected"] = c.expected
+        rows.append(row)
+    return {
+        "scenario": bundle.name,
+        "n_checks": len(rows),
+        "checks": rows,
+    }
+
+
+def _rows(payload) -> Sequence[dict]:
+    return payload["checks"] if isinstance(payload, dict) else payload
+
+
+def blame_delta(clean, faulted) -> List[dict]:
+    """Per-check symmetric difference of two blame payloads.
+
+    Rows are matched by ``label``; a row appears in the delta when the
+    blame sets differ or the verdict flipped.  ``only_clean`` holds the
+    entries the fault *removed* (a deleted protective rule shows up
+    here), ``only_faulted`` the entries it introduced.
+    """
+    by_clean = {r["label"]: r for r in _rows(clean)}
+    by_faulted = {r["label"]: r for r in _rows(faulted)}
+    out = []
+    for lbl in sorted(set(by_clean) | set(by_faulted)):
+        c = by_clean.get(lbl)
+        f = by_faulted.get(lbl)
+        cb = set(c["blame"]) if c else set()
+        fb = set(f["blame"]) if f else set()
+        only_clean = sorted(cb - fb)
+        only_faulted = sorted(fb - cb)
+        status_clean = c["status"] if c else None
+        status_faulted = f["status"] if f else None
+        if not only_clean and not only_faulted and status_clean == status_faulted:
+            continue
+        out.append(
+            {
+                "label": lbl,
+                "status_clean": status_clean,
+                "status_faulted": status_faulted,
+                "only_clean": only_clean,
+                "only_faulted": only_faulted,
+            }
+        )
+    return out
+
+
+def certificate_blame(net, invariant, cert, params: dict) -> tuple:
+    """Blame entries for an unbounded proof certificate.
+
+    Re-runs the certificate's defining UNSAT queries — property
+    implication and consecution for IC3, the inductive step for
+    k-induction — on a guarded :class:`TransitionSystem` and unions the
+    minimal guard cores: the configuration units the *proof* (not just
+    one bounded unrolling) rests on.  Returns ``()`` when the queries do
+    not map onto the guarded encoding (vocabulary drift) or fail to
+    reproduce UNSAT; an empty blame is informationless, never wrong.
+    """
+    guards = RuleGuards()
+    kind = getattr(cert, "kind", None)
+    depth = 1 if kind == IC3 else int(getattr(cert, "k", 0)) + 1
+    ts = TransitionSystem(
+        net,
+        n_packets=params["n_packets"],
+        depth=depth,
+        failure_budget=params["failure_budget"],
+        n_ports=params["n_ports"],
+        n_tags=params["n_tags"],
+        rule_guards=guards,
+    )
+    ts.extend_to(depth)
+    candidates = guards.assumptions()
+    if not candidates:
+        return ()
+    queries: List[List] = []
+    if kind == IC3:
+        try:
+            clauses0 = [clause_term(ts, cube, 0) for cube in cert.clauses]
+            clauses1 = [clause_term(ts, cube, 1) for cube in cert.clauses]
+        except (KeyError, ValueError):
+            return ()
+        queries.append(clauses0 + [ts.violation_prefix(invariant, 1)])
+        if clauses1:
+            queries.append(clauses0 + [Not(And(*clauses1))])
+    elif kind == KINDUCTION:
+        k = int(getattr(cert, "k", 0))
+        hard = [ts.violation_prefix(invariant, k + 1)]
+        if k > 0:
+            hard.append(Not(ts.violation_prefix(invariant, k)))
+            hard.extend(
+                ts.distinct_states(t1, t2)
+                for t1 in range(k + 1)
+                for t2 in range(t1 + 1, k + 1)
+            )
+        queries.append(hard)
+    else:
+        return ()
+    labels: set = set()
+    for hard in queries:
+        try:
+            core = ts.solver.minimal_core(hard, candidates)
+        except RuntimeError:
+            return ()
+        labels.update(guards.label_of(t) for t in core)
+    return tuple(sorted(labels))

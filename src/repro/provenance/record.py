@@ -1,0 +1,139 @@
+"""ProvenanceRecord: the "why" header stamped onto every verdict.
+
+A verdict alone ("``iso g0->g1: violated``") answers *what*; the
+provenance record answers *how it was produced*: which engine decided
+it (BMC, k-induction, IC3), whether it was computed fresh or served
+from warm state (result cache, persisted certificate), which exact
+network version it was decided against, and how much solver work the
+decision cost.  The record travels inside ``CheckResult.stats`` under
+the ``"provenance"`` key, persists with the verdict in the
+:class:`~repro.store.VerdictStore`, and surfaces per check row in
+``audit/prove/watch --json``.
+
+Schema (``repro.provenance/1``)::
+
+    {"schema": "repro.provenance/1",
+     "engine": "bmc" | "kinduction" | "ic3" | ...,
+     "lineage": "fresh" | "cache-hit" | "certificate-reused"
+                | "certificate-revalidated",
+     "fingerprint": "<sha256[:16] of the job fingerprint>",
+     "config_hash": "<sha256[:16] of the network fingerprint>" | null,
+     "guarantee": "bounded" | "unbounded",
+     "solver": {"conflicts": ..., "restarts": ..., ...} | null,
+     "certificate": "<sha256[:16] of the certificate JSON>" | null}
+
+``engine``, ``lineage``, ``solver`` and ``certificate`` legitimately
+differ between a cold run and a warm one that agrees on every verdict;
+``--stable-json`` strips them (see ``repro/cli.py``).  ``fingerprint``,
+``config_hash``, ``schema`` and ``guarantee`` are structural and must
+be byte-identical across warm/cold/server runs.
+
+Recording is on by default and togglable — ``REPRO_PROVENANCE=0`` in
+the environment or :func:`set_enabled` in-process — so the overhead
+gate (``benchmarks/bench_obs_overhead.py``) can bound both states.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Optional
+
+from ..obs import SOLVER_COUNTER_KEYS
+
+__all__ = [
+    "SCHEMA",
+    "FRESH",
+    "CACHE_HIT",
+    "CERT_REUSED",
+    "CERT_REVALIDATED",
+    "LINEAGES",
+    "enabled",
+    "set_enabled",
+    "fingerprint_digest",
+    "certificate_digest",
+    "provenance_record",
+]
+
+#: Bumped on breaking changes to the record shape.
+SCHEMA = "repro.provenance/1"
+
+#: Lineage values — how a verdict reached the caller.
+FRESH = "fresh"                          # solver ran for this request
+CACHE_HIT = "cache-hit"                  # served from the result cache
+CERT_REUSED = "certificate-reused"       # persisted certificate, no recheck
+CERT_REVALIDATED = "certificate-revalidated"  # certificate + recheck passed
+
+LINEAGES = (FRESH, CACHE_HIT, CERT_REUSED, CERT_REVALIDATED)
+
+_enabled = os.environ.get("REPRO_PROVENANCE", "1") not in ("0", "false", "no")
+
+
+def enabled() -> bool:
+    """Whether provenance records are being attached to results."""
+    return _enabled
+
+
+def set_enabled(flag: bool) -> bool:
+    """Toggle provenance recording; returns the previous state."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(flag)
+    return previous
+
+
+def fingerprint_digest(fingerprint: Optional[str]) -> Optional[str]:
+    """Short stable digest of a (long, repr-shaped) fingerprint."""
+    if not fingerprint:
+        return None
+    return hashlib.sha256(fingerprint.encode("utf-8")).hexdigest()[:16]
+
+
+def certificate_digest(cert) -> Optional[str]:
+    """Short content digest of a proof certificate (its JSON form)."""
+    if cert is None:
+        return None
+    try:
+        payload = json.dumps(cert.to_json(), sort_keys=True,
+                             separators=(",", ":"))
+    except (TypeError, AttributeError):
+        return None
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def lineage_of(stats: dict, cached: bool = False) -> str:
+    """Classify how a result reached the caller from its stats."""
+    if stats.get("certificate_reused"):
+        if stats.get("recheck_ok"):
+            return CERT_REVALIDATED
+        return CERT_REUSED
+    if cached or stats.get("cache_hit"):
+        return CACHE_HIT
+    return FRESH
+
+
+def provenance_record(
+    stats: dict,
+    fingerprint: Optional[str] = None,
+    config_hash: Optional[str] = None,
+    cached: bool = False,
+) -> dict:
+    """Build one ProvenanceRecord from a result's stats dict.
+
+    ``stats`` is a :class:`~repro.netmodel.bmc.CheckResult` stats dict:
+    solver counter *deltas* sit at its top level (see
+    :func:`repro.netmodel.bmc.check`), proof metadata under
+    ``proof_engine`` / ``guarantee`` / ``certificate``.
+    """
+    solver = {key: stats[key] for key in SOLVER_COUNTER_KEYS if key in stats}
+    return {
+        "schema": SCHEMA,
+        "engine": stats.get("proof_engine") or "bmc",
+        "lineage": lineage_of(stats, cached=cached),
+        "fingerprint": fingerprint_digest(fingerprint),
+        "config_hash": config_hash,
+        "guarantee": stats.get("guarantee", "bounded"),
+        "solver": solver or None,
+        "certificate": certificate_digest(stats.get("certificate")),
+    }

@@ -19,6 +19,8 @@ Endpoints::
                               "payload", "exit_code"}; the id is echoed in
                              the ``X-Repro-Request-Id`` header.
                              400 bad spec | 503 admission queue full
+    POST /v1/blame           like /v1/run with the command forced to
+                             "blame" — the verdict-explanation endpoint
     POST /v1/checkpoint      flush every shard's store to disk now
     POST /v1/shutdown        checkpoint, then stop serving
 
@@ -231,26 +233,33 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(404, {"ok": False,
                                       "error": f"no such path {self.path!r}"})
 
+    def _post_run(self, force_command: Optional[str] = None) -> None:
+        spec = self._read_spec()
+        if spec is None:
+            return
+        if force_command is not None:
+            spec["command"] = force_command
+        try:
+            envelope = self.server.service.handle(spec)
+        except BadRequest as err:
+            self._send_json(400, {"ok": False, "error": str(err)})
+        except ServiceBusy as err:
+            self._send_json(503, {"ok": False, "error": str(err)})
+        except Exception as err:  # verification bug — report, stay up
+            self._send_json(500, {"ok": False,
+                                  "error": f"{type(err).__name__}: {err}"})
+        else:
+            self._request_id = envelope.get("request_id")
+            self._send_json(200, {"ok": True, **envelope},
+                            headers={"X-Repro-Request-Id":
+                                     self._request_id or "-"})
+
     def do_POST(self):  # noqa: N802 (stdlib name)
         self._started = time.perf_counter()
         if self.path == "/v1/run":
-            spec = self._read_spec()
-            if spec is None:
-                return
-            try:
-                envelope = self.server.service.handle(spec)
-            except BadRequest as err:
-                self._send_json(400, {"ok": False, "error": str(err)})
-            except ServiceBusy as err:
-                self._send_json(503, {"ok": False, "error": str(err)})
-            except Exception as err:  # verification bug — report, stay up
-                self._send_json(500, {"ok": False,
-                                      "error": f"{type(err).__name__}: {err}"})
-            else:
-                self._request_id = envelope.get("request_id")
-                self._send_json(200, {"ok": True, **envelope},
-                                headers={"X-Repro-Request-Id":
-                                         self._request_id or "-"})
+            self._post_run()
+        elif self.path == "/v1/blame":
+            self._post_run(force_command="blame")
         elif self.path == "/v1/checkpoint":
             self._send_json(200, {"ok": True,
                                   "shards": self.server.service.checkpoint()})
@@ -278,6 +287,7 @@ def run_server(
     recorder_capacity: int = 256,
     max_retained_traces: int = 16,
     log_file: Optional[str] = None,
+    log_max_bytes: int = 4 << 20,
 ) -> int:
     """Bind, serve until shutdown, checkpoint on the way out.
 
@@ -288,7 +298,10 @@ def run_server(
     Events stream as JSONL to ``log_file`` (default
     ``<store_dir>/events.jsonl`` when a store directory is configured)
     and echo to stderr; ``quiet`` raises the stderr threshold to
-    ``warning`` without touching the file log.
+    ``warning`` without touching the file log.  ``log_max_bytes``
+    bounds *both* on-disk JSONL streams — the event log and the flight
+    recorder's ``requests.jsonl`` — via size rotation (current file
+    plus one ``.1`` backup), so a long-lived daemon's logs stay capped.
     """
     log_path = log_file
     if log_path is None and store_dir is not None:
@@ -298,6 +311,7 @@ def run_server(
         stream=sys.stderr,
         level="info",
         stream_level="warning" if quiet else "info",
+        max_bytes=log_max_bytes,
     )
     service = VerificationService(
         store_dir=store_dir,
@@ -311,6 +325,7 @@ def run_server(
         recorder_capacity=recorder_capacity,
         max_retained_traces=max_retained_traces,
         logger=logger,
+        log_max_bytes=log_max_bytes,
     )
     server = ReproServer((host, port), service, quiet=quiet, logger=logger)
     obs.enable(tracer=NULL_TRACER, registry=MetricsRegistry())

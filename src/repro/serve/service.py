@@ -4,7 +4,8 @@
 "scenario": "enterprise", "size": 3, "seed": 0, ...}`` — normalized by
 :func:`normalize_spec`.  The CLI builds one from its flags; the HTTP
 daemon receives one as a POST body.  Both hand it to the same runner
-(:func:`run_audit` / :func:`run_watch` / :func:`run_repair`), which
+(:func:`run_audit` / :func:`run_watch` / :func:`run_repair` /
+:func:`run_blame` / :func:`run_history`), which
 returns the full JSON payload the command emits, so a server-mediated
 run and an in-process run produce the same bytes by construction.
 
@@ -57,6 +58,8 @@ __all__ = [
     "run_audit",
     "run_watch",
     "run_repair",
+    "run_blame",
+    "run_history",
     "payload_exit_code",
     "VerificationService",
 ]
@@ -91,13 +94,17 @@ _SPEC_DEFAULTS = {
     # watch
     "deltas": 10,
     "prove": False,
-    # repair
+    # repair + blame
     "fault": None,
     "max_edits": 3,
     "max_candidates": 32,
+    # blame
+    "only": None,
+    # history
+    "label": None,
 }
 
-_COMMANDS = ("audit", "prove", "watch", "repair")
+_COMMANDS = ("audit", "prove", "watch", "repair", "blame", "history")
 
 
 def normalize_spec(spec: dict) -> dict:
@@ -189,6 +196,10 @@ def report_row(report) -> dict:
             for o in report if o.ok is False
         ],
         "checks": {o.check.describe(): o.status for o in report},
+        "provenance": {
+            o.check.describe(): o.result.stats.get("provenance")
+            for o in report
+        },
     }
 
 
@@ -264,6 +275,7 @@ def run_audit(
             "solve_seconds": round(result.solve_seconds, 4),
             "solver": solver,
             "trace": str(result.trace) if result.trace is not None else None,
+            "provenance": result.stats.get("provenance"),
         }
         if prove:
             stats = result.stats
@@ -443,11 +455,124 @@ def run_repair(
     }
 
 
+def run_blame(
+    spec: dict,
+    cache: Optional[ResultCache] = None,
+    solver_pool: Optional[SolverPool] = None,
+    store: Optional[VerdictStore] = None,
+) -> dict:
+    """Blame every check's verdict on named configuration units.
+
+    Blame probes are **cold by construction** — the warm shard state
+    (``cache``/``solver_pool``/``store``) is deliberately ignored, which
+    is what makes in-process and server-mediated blame byte-identical.
+    ``spec["fault"]`` injects a labeled fault and the payload then also
+    carries the clean-vs-faulted ``delta`` (fault localization);
+    ``spec["misconfig"]`` likewise diffs against the well-configured
+    baseline.  ``spec["only"]`` restricts probing to checks mentioning
+    the given node names.
+    """
+    from ..provenance import blame_bundle, blame_delta
+
+    spec = normalize_spec(spec)
+    only = spec["only"]
+    use_slicing = not spec["no_slicing"]
+    baseline = None
+    if spec["fault"]:
+        from ..scenarios.faults import build_fault
+
+        try:
+            fault = build_fault(
+                spec["scenario"], spec["fault"], spec["size"], spec["seed"]
+            )
+        except (KeyError, ScenarioError) as err:
+            raise BadRequest(str(err.args[0] if err.args else err)) from err
+        bundle = fault.bundle
+        baseline = _bundle_for({**spec, "misconfig": False})
+        fault_info = {
+            "name": fault.name,
+            "description": fault.description,
+            "deltas": [fault.fault.describe()],
+        }
+    else:
+        bundle = _bundle_for(spec)
+        fault_info = None
+        if spec["misconfig"]:
+            baseline = _bundle_for({**spec, "misconfig": False})
+
+    started = time.perf_counter()
+    payload = blame_bundle(bundle, only=only, use_slicing=use_slicing)
+    payload.update(
+        command="blame",
+        seed=spec["seed"],
+        elapsed_seconds=round(time.perf_counter() - started, 3),
+    )
+    if fault_info is not None:
+        payload["fault"] = fault_info
+    if baseline is not None:
+        clean = blame_bundle(baseline, only=only, use_slicing=use_slicing)
+        payload["delta"] = blame_delta(clean, payload)
+    return payload
+
+
+def run_history(
+    spec: dict,
+    cache: Optional[ResultCache] = None,
+    solver_pool: Optional[SolverPool] = None,
+    store: Optional[VerdictStore] = None,
+) -> dict:
+    """Render the store's per-invariant verdict timelines.
+
+    Reads the drift history :class:`repro.incremental.IncrementalSession`
+    appends on every verdict flip or network change.  ``spec["label"]``
+    filters timelines by case-insensitive substring of the check label.
+    """
+    spec = normalize_spec(spec)
+    if store is None:
+        raise BadRequest(
+            "history needs a persistent store "
+            "(--store-dir, or a daemon started with one)"
+        )
+    wanted = (spec["label"] or "").lower()
+    timelines = []
+    for key in sorted(store.history):
+        entries = store.history_for(key)
+        if not entries:
+            continue
+        label = next(
+            (e["label"] for e in reversed(entries) if e.get("label")), ""
+        )
+        if wanted and wanted not in label.lower():
+            continue
+        timelines.append({
+            "key": hashlib.sha256(key.encode("utf-8")).hexdigest()[:16],
+            "label": label,
+            "n_entries": len(entries),
+            "current": entries[-1].get("status"),
+            "flips": sum(
+                1
+                for prev, cur in zip(entries, entries[1:])
+                if prev.get("status") != cur.get("status")
+            ),
+            "entries": entries,
+        })
+    return {
+        "command": "history",
+        "scenario": spec["scenario"],
+        "seed": spec["seed"],
+        "store": store.path,
+        "n_invariants": len(timelines),
+        "timelines": timelines,
+    }
+
+
 _RUNNERS = {
     "audit": run_audit,
     "prove": run_audit,
     "watch": run_watch,
     "repair": run_repair,
+    "blame": run_blame,
+    "history": run_history,
 }
 
 
@@ -478,6 +603,8 @@ def payload_exit_code(payload: dict) -> int:
             "mismatches"
         )
         return 0 if ok else 1
+    # blame/history are diagnosis commands: explaining a violation is a
+    # success, so they exit 0 whenever a payload exists at all.
     return 0
 
 
@@ -541,6 +668,7 @@ class VerificationService:
         max_retained_traces: int = 16,
         logger=None,
         watchdog_interval: Optional[float] = None,
+        log_max_bytes: int = 4 << 20,
     ):
         self.store_dir = store_dir
         self.cache_entries = cache_entries
@@ -578,6 +706,7 @@ class VerificationService:
             ),
             slow_seconds=slow_trace_seconds,
             max_retained_traces=max_retained_traces,
+            max_bytes=log_max_bytes,
         )
         self._stop = threading.Event()
         self._watchdog: Optional[threading.Thread] = None

@@ -205,6 +205,47 @@ class Solver:
             if lit in self._assumption_terms
         ]
 
+    def minimal_core(
+        self,
+        hard: Iterable[Term],
+        candidates: Iterable[Term],
+        max_conflicts: Optional[int] = None,
+    ) -> List[Term]:
+        """A minimal subset of ``candidates`` still unsat with ``hard``.
+
+        ``check(hard + candidates)`` must answer ``unsat``.  The result
+        is irreducible — dropping any single member makes the query
+        satisfiable — but not necessarily globally minimum.  The
+        procedure is deterministic for a fixed candidate order: start
+        from the solver's (non-minimal) assumption core, then greedily
+        try dropping each survivor in order, keeping the drop whenever
+        the remainder is still unsat (and re-filtering through the new
+        core, which often removes several at once).
+
+        This is the core-to-config mapping surface the blame layer
+        (:mod:`repro.provenance.blame`) drives with guard variables as
+        candidates; it is generic over any assumption terms.
+        """
+        hard = list(hard)
+        candidates = list(candidates)
+        result = self.check(hard + candidates, max_conflicts=max_conflicts)
+        if result != UNSAT:
+            raise RuntimeError(
+                f"minimal_core needs an unsat base query (got {result!r})"
+            )
+        core_ids = {id(t) for t in self.unsat_core()}
+        kept = [t for t in candidates if id(t) in core_ids]
+        i = 0
+        while i < len(kept):
+            trial = kept[:i] + kept[i + 1:]
+            if self.check(hard + trial,
+                          max_conflicts=max_conflicts) == UNSAT:
+                core_ids = {id(t) for t in self.unsat_core()}
+                kept = [t for t in trial if id(t) in core_ids]
+            else:
+                i += 1
+        return kept
+
     def model(self) -> Model:
         """The model of the last ``sat`` answer."""
         if self._result != SAT:

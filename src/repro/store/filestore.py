@@ -8,10 +8,15 @@ File format (``repro-store/1``)::
 
 The snapshot dict is ``{"results": {fingerprint: CheckResult},
 "certificates": {invariant_fingerprint: ProofCertificate},
-"meta": {...}}``.  Both key spaces are the *exact* structural
-fingerprints the in-memory layers already use — ``repr``-stable
-canonical forms with no memory addresses or hash-seed dependence — so
-a store written by one process is meaningful to every later one.
+"history": {invariant_fingerprint: [entry, ...]}, "meta": {...}}``.
+All key spaces are the *exact* structural fingerprints the in-memory
+layers already use — ``repr``-stable canonical forms with no memory
+addresses or hash-seed dependence — so a store written by one process
+is meaningful to every later one.  (``history`` holds per-invariant
+verdict timelines — JSON-ready dicts appended by
+:class:`repro.incremental.IncrementalSession` drift detection, capped
+at :data:`HISTORY_LIMIT` entries per invariant; stores written before
+the key existed load with empty histories.)
 
 Durability and corruption are handled the way the solver artifacts'
 compile cache handles them:
@@ -41,9 +46,12 @@ import tempfile
 import time
 from typing import Dict, List, Optional, Tuple
 
-__all__ = ["VerdictStore", "StoreCorruption", "MAGIC"]
+__all__ = ["VerdictStore", "StoreCorruption", "MAGIC", "HISTORY_LIMIT"]
 
 MAGIC = b"repro-store/1\n"
+
+#: Per-invariant cap on retained history entries (oldest dropped first).
+HISTORY_LIMIT = 64
 
 
 class StoreCorruption(Exception):
@@ -65,6 +73,7 @@ class VerdictStore:
         self.path = str(path)
         self.results: Dict[str, object] = {}
         self.certificates: Dict[str, object] = {}
+        self.history: Dict[str, List[dict]] = {}
         #: True when :meth:`open` found a file it had to reject.
         self.corrupt = False
         self.loaded = 0  # entries read from disk at open()
@@ -92,6 +101,7 @@ class VerdictStore:
         except StoreCorruption:
             store.results = {}
             store.certificates = {}
+            store.history = {}
             store.corrupt = True
         return store
 
@@ -108,10 +118,16 @@ class VerdictStore:
             snapshot = pickle.loads(payload)
             results = dict(snapshot["results"])
             certificates = dict(snapshot["certificates"])
+            # Pre-history stores simply have no timelines yet.
+            history = {
+                key: list(rows)
+                for key, rows in dict(snapshot.get("history", {})).items()
+            }
         except Exception as err:  # unpicklable / wrong shape
             raise StoreCorruption(f"{self.path}: bad payload: {err}") from err
         self.results = results
         self.certificates = certificates
+        self.history = history
         self.loaded = len(results) + len(certificates)
 
     # ------------------------------------------------------------------
@@ -135,6 +151,22 @@ class VerdictStore:
         if self.certificates.get(invariant_key) is not certificate:
             self.certificates[invariant_key] = certificate
             self.dirty = True
+
+    # ------------------------------------------------------------------
+    # Verdict history (drift timelines)
+    # ------------------------------------------------------------------
+    def history_for(self, invariant_key: str) -> List[dict]:
+        """The invariant's verdict timeline, oldest first (a copy)."""
+        return list(self.history.get(invariant_key, ()))
+
+    def append_history(self, invariant_key: str, entry: dict) -> None:
+        """Append one timeline entry (a JSON-ready dict), keeping at
+        most :data:`HISTORY_LIMIT` entries per invariant."""
+        rows = self.history.setdefault(invariant_key, [])
+        rows.append(dict(entry))
+        if len(rows) > HISTORY_LIMIT:
+            del rows[: len(rows) - HISTORY_LIMIT]
+        self.dirty = True
 
     # ------------------------------------------------------------------
     # Sync with the in-memory cache layers
@@ -171,11 +203,13 @@ class VerdictStore:
         snapshot = {
             "results": self.results,
             "certificates": self.certificates,
+            "history": self.history,
             "meta": {
                 "format": MAGIC.decode().strip(),
                 "written_at": time.time(),
                 "n_results": len(self.results),
                 "n_certificates": len(self.certificates),
+                "n_history": sum(len(v) for v in self.history.values()),
             },
         }
         payload = pickle.dumps(snapshot, protocol=pickle.HIGHEST_PROTOCOL)
@@ -204,6 +238,7 @@ class VerdictStore:
             "path": self.path,
             "results": len(self.results),
             "certificates": len(self.certificates),
+            "history": sum(len(v) for v in self.history.values()),
             "loaded": self.loaded,
             "corrupt": self.corrupt,
             "dirty": self.dirty,

@@ -1,0 +1,136 @@
+"""Unsat-core blame: grammar, determinism, and verdict-kind coverage.
+
+The blame probe re-runs a check on a guarded encoding and reports the
+minimal set of configuration units (deny rules, whitelist policies,
+steering paths) the verdict rests on.  Its two hard contracts:
+
+* blame entries follow the flat grammar documented in
+  :mod:`repro.provenance.blame`;
+* blame output is a pure function of the configuration — two runs (or
+  a warm and a cold run) produce byte-identical payloads.
+"""
+
+import json
+import re
+
+from repro.netmodel.bmc import HOLDS, VIOLATED
+from repro.provenance import blame_bundle, blame_delta, blame_invariant
+from repro.scenarios import build_scenario
+
+ENTRY = re.compile(
+    r"^(rule:[\w.-]+:(deny|allow):[\w.-]+->[\w.-]+"
+    r"|policy:[\w.-]+:whitelist"
+    r"|path:[\w.-]+(:[\w.-]+)?"
+    r"|box:[\w.-]+"
+    r"|pair:[\w.-]+->[\w.-]+)$"
+)
+
+
+def _bundle(misconfig=False):
+    # Misconfiguration injection needs a quarantined subnet to break;
+    # subnet types cycle public/private/quarantined, so that means
+    # size 3.  Clean probes stay at size 2 for speed.
+    size = 3 if misconfig else 2
+    return build_scenario("enterprise", size=size, misconfig=misconfig,
+                          seed=0)
+
+
+class TestBlameHolds:
+    def test_holds_rows_have_unsat_core_blame(self):
+        payload = blame_bundle(_bundle())
+        holds = [r for r in payload["checks"] if r["status"] == HOLDS]
+        assert holds
+        for row in holds:
+            assert row["kind"] == "unsat-core"
+            assert row["blame"], f"empty blame for {row['label']}"
+            assert row["blame"] == sorted(row["blame"])
+
+    def test_entry_grammar(self):
+        payload = blame_bundle(_bundle(misconfig=True))
+        for row in payload["checks"]:
+            for entry in row["blame"]:
+                assert ENTRY.match(entry), f"bad blame entry {entry!r}"
+
+    def test_quarantine_blames_its_own_deny_rules(self):
+        bundle = build_scenario("enterprise", size=3)  # size 3: has quar
+        quar = [c for c in bundle.checks if "quar" in c.label]
+        assert quar
+        check = quar[0]
+        victim = next(n for n in check.invariant.mentions
+                      if n.startswith("quar"))
+        vmn = bundle.vmn(use_cache=False, use_warm=False)
+        row = blame_invariant(vmn, check.invariant, label=check.label)
+        assert row["status"] == HOLDS
+        rules = [e for e in row["blame"] if e.startswith("rule:")]
+        assert any(victim in e for e in rules)
+
+    def test_path_entries_expand_chain_members(self):
+        payload = blame_bundle(_bundle())
+        entries = {e for row in payload["checks"] for e in row["blame"]}
+        paths = {e for e in entries
+                 if e.startswith("path:") and e.count(":") == 1}
+        assert paths
+        for p in paths:
+            dest = p.split(":", 1)[1]
+            members = {e for e in entries
+                       if e.startswith(f"path:{dest}:")}
+            assert members, f"{p} has no member expansion"
+
+
+class TestBlameViolated:
+    def test_violated_rows_use_trace_blame(self):
+        payload = blame_bundle(_bundle(misconfig=True))
+        violated = [r for r in payload["checks"] if r["status"] == VIOLATED]
+        assert violated
+        for row in violated:
+            assert row["kind"] == "trace"
+            assert row["blame"]
+            assert all(e.startswith(("box:", "pair:")) for e in row["blame"])
+
+
+class TestDeterminism:
+    def test_blame_bundle_is_byte_deterministic(self):
+        a = blame_bundle(_bundle())
+        b = blame_bundle(_bundle())
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+    def test_verdicts_match_expectations(self):
+        bundle = _bundle()
+        payload = blame_bundle(bundle)
+        for row in payload["checks"]:
+            assert row["status"] == row["expected"], row["label"]
+
+
+class TestBlameDelta:
+    def test_identical_payloads_have_empty_delta(self):
+        payload = blame_bundle(_bundle())
+        assert blame_delta(payload, payload) == []
+
+    def test_delta_reports_removed_and_added_entries(self):
+        clean = {"checks": [
+            {"label": "a", "status": "holds", "blame": ["rule:fw:deny:x->y"]},
+            {"label": "b", "status": "holds", "blame": ["path:z"]},
+        ]}
+        faulted = {"checks": [
+            {"label": "a", "status": "violated", "blame": ["box:fw"]},
+            {"label": "b", "status": "holds", "blame": ["path:z"]},
+        ]}
+        delta = blame_delta(clean, faulted)
+        assert len(delta) == 1
+        row = delta[0]
+        assert row["label"] == "a"
+        assert row["status_clean"] == "holds"
+        assert row["status_faulted"] == "violated"
+        assert row["only_clean"] == ["rule:fw:deny:x->y"]
+        assert row["only_faulted"] == ["box:fw"]
+
+    def test_rows_match_by_label_not_position(self):
+        clean = {"checks": [
+            {"label": "a", "status": "holds", "blame": ["path:p"]},
+            {"label": "b", "status": "holds", "blame": ["path:q"]},
+        ]}
+        faulted = {"checks": [
+            {"label": "b", "status": "holds", "blame": ["path:q"]},
+            {"label": "a", "status": "holds", "blame": ["path:p"]},
+        ]}
+        assert blame_delta(clean, faulted) == []

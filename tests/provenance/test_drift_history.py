@@ -1,0 +1,202 @@
+"""Drift detection and persistent verdict timelines.
+
+An :class:`IncrementalSession` with a store extends each invariant's
+timeline whenever its verdict or network changes, and a status flip —
+including one against a timeline recorded by an *earlier process* —
+fires a ``verdict-changed`` event plus the
+``repro_verdict_drift_total`` counter.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.incremental.delta import EditPolicyRules
+from repro.incremental.session import IncrementalSession
+from repro.obs.log import EventLogger
+from repro.scenarios import build_scenario
+from repro.store.filestore import HISTORY_LIMIT, VerdictStore
+
+FLIP_LABEL = "private flow-iso priv1_0"
+
+
+def _bundle():
+    return build_scenario("enterprise", size=2)
+
+
+def _breaking_delta(bundle):
+    """Drop priv1_0's protective deny rules at fw — flips exactly the
+    ``private flow-iso priv1_0`` verdict (holds -> violated)."""
+    fw = bundle.topology.node("fw").model
+    pairs = tuple(
+        (a, b) for _, a, b in fw.config_pairs() if "priv1_0" in (a, b)
+    )
+    assert pairs
+    return EditPolicyRules("fw", remove=pairs)
+
+
+def _events(buffer, name):
+    return [
+        json.loads(line)
+        for line in buffer.getvalue().splitlines()
+        if line and json.loads(line).get("event") == name
+    ]
+
+
+def _drift_count(registry):
+    metric = registry.get("repro_verdict_drift_total")
+    if metric is None:
+        return 0
+    return sum(value for _, value in metric.series())
+
+
+class TestTimelines:
+    def test_baseline_populates_store_history(self, tmp_path):
+        store = VerdictStore.open(str(tmp_path / "s.store"))
+        session = IncrementalSession.from_bundle(_bundle(), store=store)
+        session.baseline()
+        assert store.history
+        statuses = session.reports[-1].statuses()
+        recorded = {
+            rows[-1]["label"]: rows[-1]["status"]
+            for rows in store.history.values()
+        }
+        assert recorded == statuses
+        for rows in store.history.values():
+            for entry in rows:
+                assert {"version", "label", "status", "network",
+                        "lineage", "engine", "guarantee"} <= set(entry)
+                json.dumps(entry)  # JSON-ready, as the store contract says
+
+    def test_unchanged_reverification_does_not_grow_timelines(self, tmp_path):
+        store = VerdictStore.open(str(tmp_path / "s.store"))
+        session = IncrementalSession.from_bundle(_bundle(), store=store)
+        session.baseline()
+        before = {k: list(v) for k, v in store.history.items()}
+        # Same network, same verdicts: the dedup leaves every timeline
+        # exactly as the first verification wrote it.
+        session.baseline()
+        assert store.history == before
+
+    def test_history_survives_checkpoint_and_reopen(self, tmp_path):
+        path = str(tmp_path / "s.store")
+        store = VerdictStore.open(path)
+        bundle = _bundle()
+        session = IncrementalSession.from_bundle(bundle, store=store)
+        session.baseline()
+        session.apply(_breaking_delta(bundle))
+        session.checkpoint()
+
+        reopened = VerdictStore.open(path)
+        assert not reopened.corrupt
+        assert reopened.history == store.history
+        flipped = [
+            rows for rows in reopened.history.values()
+            if rows[-1]["label"] == FLIP_LABEL
+        ]
+        assert len(flipped) == 1
+        assert [r["status"] for r in flipped[0]] == ["holds", "violated"]
+
+    def test_history_limit_caps_entries(self, tmp_path):
+        store = VerdictStore.open(str(tmp_path / "s.store"))
+        for i in range(HISTORY_LIMIT + 7):
+            store.append_history("inv", {"version": i, "status": "holds"})
+        rows = store.history_for("inv")
+        assert len(rows) == HISTORY_LIMIT
+        assert rows[0]["version"] == 7  # oldest dropped first
+
+
+class TestCertificateBlame:
+    @pytest.mark.slow
+    def test_checkpoint_stamps_persisted_certificates(self, tmp_path):
+        """Certificates that survive to a checkpoint carry their blame
+        set — the guard entries whose removal would break the proof —
+        so a later ``cert-reused`` verdict can still answer *why*."""
+        bundle = _bundle()
+        check = next(c for c in bundle.checks if c.label == FLIP_LABEL)
+        store = VerdictStore.open(str(tmp_path / "s.store"))
+        session = IncrementalSession(
+            bundle.topology, bundle.steering, scenario=bundle.scenario,
+            prove="portfolio", store=store,
+        )
+        session.track(
+            check.invariant, label=check.label, expected=check.expected
+        )
+        session.baseline()
+        # The blame probe is deferred to checkpoint time: per-proof
+        # stamping would pay a guard-core run for every version even
+        # when the certificate never persists.
+        assert all(
+            not cert.blame for cert in store.certificates.values()
+        )
+        session.checkpoint()
+        stamped = [
+            cert for cert in store.certificates.values() if cert.blame
+        ]
+        assert stamped
+        for cert in stamped:
+            for entry in cert.blame:
+                assert entry.startswith(("rule:", "policy:", "path:"))
+        # priv1_0's proof leans on the rules that protect priv1_0.
+        assert any(
+            "priv1_0" in entry
+            for cert in stamped for entry in cert.blame
+        )
+
+
+class TestDrift:
+    def test_flip_fires_event_and_counter(self):
+        bundle = _bundle()
+        session = IncrementalSession.from_bundle(bundle)
+        logger, buffer = EventLogger.to_buffer(level="debug")
+        previous = obs.set_logger(logger)
+        try:
+            with obs.observe() as (_, registry):
+                session.baseline()
+                assert _drift_count(registry) == 0
+                session.apply(_breaking_delta(bundle))
+                assert _drift_count(registry) == 1
+        finally:
+            obs.set_logger(previous)
+        events = _events(buffer, "verdict-changed")
+        assert len(events) == 1
+        event = events[0]
+        assert event["check"] == FLIP_LABEL
+        assert event["previous"] == "holds"
+        assert event["status"] == "violated"
+        assert event["version"] == 1
+
+    def test_restart_drift_seeds_from_store_history(self, tmp_path):
+        """A flip across a daemon restart still fires: the new session
+        has no in-memory last-status, so it seeds from the timeline a
+        previous process persisted."""
+        path = str(tmp_path / "s.store")
+        clean = _bundle()
+        first = IncrementalSession.from_bundle(
+            clean, store=VerdictStore.open(path)
+        )
+        first.baseline()
+        first.checkpoint()
+
+        # "Restart" against a network someone broke while we were down.
+        # A fresh cache keeps the re-verification honest.
+        broken = _bundle()
+        delta = _breaking_delta(broken)
+        broken.steering, _ = delta.apply(broken.topology, broken.steering)
+        second = IncrementalSession.from_bundle(
+            broken, store=VerdictStore.open(path), cache=None,
+            use_cache=False,
+        )
+        logger, buffer = EventLogger.to_buffer(level="debug")
+        previous = obs.set_logger(logger)
+        try:
+            with obs.observe() as (_, registry):
+                second.baseline()
+                assert _drift_count(registry) == 1
+        finally:
+            obs.set_logger(previous)
+        events = _events(buffer, "verdict-changed")
+        assert [e["check"] for e in events] == [FLIP_LABEL]
+        assert events[0]["previous"] == "holds"
+        assert events[0]["status"] == "violated"

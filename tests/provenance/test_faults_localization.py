@@ -1,0 +1,119 @@
+"""Fault localization: every labeled fault shows up in the blame delta.
+
+The acceptance contract of the blame layer: for each injected fault in
+:mod:`repro.scenarios.faults`, diffing the clean network's blame sets
+against the faulted network's (:func:`blame_delta`) must name the
+injected middlebox — and, for rule deletions, the exact deleted rule on
+the clean side (the protection the fault removed).
+
+Probes are filtered with ``only=`` to the endpoints the fault touches,
+keeping each case inside the CI duration gate without weakening the
+assertion: a sound localizer must blame the victim's own checks.  The
+clean baseline is rebuilt by applying the fault's recorded inverse
+(``ground_truth``) to a second fault instance, so clean and faulted
+networks differ by exactly the injected edit — no reliance on scenario
+default sizes lining up.
+"""
+
+import json
+
+import pytest
+
+from repro.incremental.delta import (
+    EditPolicyRules,
+    ReplaceMiddlebox,
+    SetChain,
+)
+from repro.provenance import blame_bundle, blame_delta
+from repro.scenarios.faults import FAULTS, build_fault
+
+#: Probe-filter cap: a total-wipe fault (config-drift) touches every
+#: endpoint; four victims are plenty to witness it.
+MAX_ONLY = 4
+
+
+def _clean_bundle(scenario, name):
+    """The fault's clean base network: a fresh fault instance with the
+    recorded inverse applied on top."""
+    fault = build_fault(scenario, name)
+    steering, _ = fault.ground_truth.apply(
+        fault.bundle.topology, fault.bundle.steering
+    )
+    fault.bundle.steering = steering
+    return fault.bundle
+
+
+def _fault_nodes(fault):
+    """Endpoint names the fault touches — the ``only=`` probe filter."""
+    nodes = set()
+    for delta in (fault.fault, fault.ground_truth):
+        if delta is None:
+            continue
+        if isinstance(delta, EditPolicyRules):
+            for a, b in tuple(delta.add) + tuple(delta.remove):
+                nodes.update((a, b))
+        elif isinstance(delta, SetChain):
+            nodes.add(delta.dst)
+        elif isinstance(delta, ReplaceMiddlebox):
+            for _, a, b in delta.model.config_pairs():
+                nodes.update((a, b))
+    return set(sorted(nodes)[:MAX_ONLY])
+
+
+def _victim_box(fault):
+    """The middlebox whose configuration the fault corrupts."""
+    delta = fault.fault
+    if isinstance(delta, EditPolicyRules):
+        return delta.middlebox
+    if isinstance(delta, ReplaceMiddlebox):
+        return delta.model.name
+    if isinstance(delta, SetChain):
+        # The bypassed members: in the inverse chain but not the new one.
+        old = tuple(fault.ground_truth.chain or ())
+        new = tuple(delta.chain or ())
+        dropped = [m for m in old if m not in new]
+        return dropped[0] if dropped else delta.dst
+    raise AssertionError(f"unhandled fault delta {type(delta).__name__}")
+
+
+@pytest.mark.parametrize("name", sorted(FAULTS))
+def test_injected_fault_appears_in_blame_delta(name):
+    scenario = name.split("/", 1)[0]
+    fault = build_fault(scenario, name)
+    only = _fault_nodes(fault)
+    assert only, f"{name}: no endpoints derived from the fault delta"
+
+    clean = blame_bundle(_clean_bundle(scenario, name), only=only)
+    faulted = blame_bundle(fault.bundle, only=only)
+    assert clean["n_checks"] > 0, f"{name}: only-filter selected no checks"
+
+    delta = blame_delta(clean, faulted)
+    assert delta, f"{name}: fault left no trace in the blame delta"
+
+    victim = _victim_box(fault)
+    text = json.dumps(delta)
+    assert victim in text, (
+        f"{name}: victim box {victim!r} not named in the delta: {text}"
+    )
+
+    # Rule deletions must surface the deleted rule itself on the clean
+    # side: the protection the verdict used to rest on.
+    if isinstance(fault.fault, EditPolicyRules) and fault.fault.remove:
+        only_clean = {e for row in delta for e in row["only_clean"]}
+        removed = {
+            f"rule:{fault.fault.middlebox}:deny:{a}->{b}"
+            for a, b in fault.fault.remove
+        }
+        assert removed & only_clean, (
+            f"{name}: none of the deleted rules {sorted(removed)} appear "
+            f"in the clean-side delta {sorted(only_clean)}"
+        )
+
+
+def test_localization_is_deterministic():
+    """Two independent probes of the same fault agree byte-for-byte."""
+    fault = build_fault("enterprise", "enterprise/deny-dropped")
+    only = _fault_nodes(fault)
+    a = blame_bundle(fault.bundle, only=only)
+    b = blame_bundle(fault.bundle, only=only)
+    assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)

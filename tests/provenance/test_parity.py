@@ -1,0 +1,124 @@
+"""Provenance across processes, and the stable-JSON parity contract.
+
+Two contracts from the issue's acceptance list:
+
+* provenance records survive a store checkpoint and a daemon restart —
+  a restarted service answering from its persisted store reports the
+  verdict's true lineage (a store hit is a cache hit, not fresh work)
+  while the structural identity fields stay identical;
+* ``--stable-json`` output *with provenance* is byte-identical between
+  cold in-process, warm resident, and server-mediated runs — lineage
+  and cost fields are warm state and get stripped; fingerprint,
+  config hash, and guarantee are meaning and must agree.
+"""
+
+import json
+
+from repro.cli import _strip_unstable
+from repro.provenance import blame_bundle
+from repro.provenance.record import CACHE_HIT, FRESH
+from repro.scenarios import build_scenario
+from repro.serve.service import (
+    VerificationService,
+    run_audit,
+    run_blame,
+)
+
+
+def _spec(command="audit", **kw):
+    spec = {"command": command, "scenario": "enterprise", "size": 2,
+            "stable": True}
+    spec.update(kw)
+    return spec
+
+
+def _stable(payload):
+    return json.dumps(_strip_unstable(payload), indent=2, sort_keys=True)
+
+
+def _provs(payload):
+    return [row["provenance"] for row in payload["checks"]]
+
+
+class TestStoreRestart:
+    def test_provenance_survives_daemon_restart(self, tmp_path):
+        store_dir = str(tmp_path / "stores")
+        first = VerificationService(store_dir=store_dir,
+                                    soft_deadline_seconds=0)
+        try:
+            cold = first.handle(_spec())["payload"]
+        finally:
+            first.close()
+        assert any(p["lineage"] == FRESH for p in _provs(cold))
+
+        second = VerificationService(store_dir=store_dir,
+                                     soft_deadline_seconds=0)
+        try:
+            warm = second.handle(_spec())["payload"]
+        finally:
+            second.close()
+        for c, w in zip(_provs(cold), _provs(warm)):
+            # The restarted daemon answers from its persisted store:
+            # honest lineage, identical structural identity.
+            assert w["lineage"] == CACHE_HIT
+            assert w["fingerprint"] == c["fingerprint"]
+            assert w["config_hash"] == c["config_hash"]
+            assert w["guarantee"] == c["guarantee"]
+
+    def test_restart_parity_is_byte_stable(self, tmp_path):
+        store_dir = str(tmp_path / "stores")
+        payloads = []
+        for _ in range(2):
+            service = VerificationService(store_dir=store_dir,
+                                          soft_deadline_seconds=0)
+            try:
+                payloads.append(
+                    _stable(service.handle(_spec())["payload"])
+                )
+            finally:
+                service.close()
+        assert payloads[0] == payloads[1]
+
+
+class TestStableJsonParity:
+    def test_audit_provenance_identical_cold_warm_service(self):
+        spec = _spec()
+        cold = _stable(run_audit(spec))
+        service = VerificationService(soft_deadline_seconds=0)
+        try:
+            warm1 = _stable(service.handle(spec)["payload"])
+            warm2 = _stable(service.handle(spec)["payload"])
+        finally:
+            service.close()
+        assert cold == warm1 == warm2
+
+    def test_stripped_provenance_keeps_identity_drops_warm_state(self):
+        payload = _strip_unstable(run_audit(_spec()))
+        recs = [row["provenance"] for row in payload["checks"]]
+        assert recs
+        for rec in recs:
+            assert "lineage" not in rec   # warm state by definition
+            assert "solver" not in rec    # cost counters
+            assert "engine" not in rec    # portfolio racing is timing
+            assert len(rec["fingerprint"]) == 16
+            assert len(rec["config_hash"]) == 16
+
+    def test_blame_identical_cold_and_service(self):
+        spec = _spec(command="blame")
+        direct = blame_bundle(build_scenario("enterprise", size=2))
+        service = VerificationService(soft_deadline_seconds=0)
+        try:
+            served = service.handle(spec)["payload"]
+        finally:
+            service.close()
+        assert (
+            json.dumps(_strip_unstable(served), sort_keys=True)
+            == json.dumps(
+                _strip_unstable(
+                    run_blame(spec)
+                ),
+                sort_keys=True,
+            )
+        )
+        # The service payload wraps the same rows the library produced.
+        assert served["checks"] == direct["checks"]

@@ -1,0 +1,165 @@
+"""ProvenanceRecord unit tests + attach-point coverage.
+
+Every verdict leaving the engine must carry a provenance record under
+``stats["provenance"]`` saying which engine produced it, how it reached
+the caller (lineage), and against which exact configuration.
+"""
+
+import json
+
+import pytest
+
+from repro.provenance import record as provenance
+from repro.provenance.record import (
+    CACHE_HIT,
+    CERT_REUSED,
+    CERT_REVALIDATED,
+    FRESH,
+    LINEAGES,
+    SCHEMA,
+    certificate_digest,
+    fingerprint_digest,
+    lineage_of,
+    provenance_record,
+)
+from repro.serve.service import run_audit
+
+
+def _spec(command="audit", **kw):
+    spec = {"command": command, "scenario": "enterprise", "size": 2,
+            "stable": True}
+    spec.update(kw)
+    return spec
+
+
+class TestLineage:
+    def test_fresh_by_default(self):
+        assert lineage_of({}) == FRESH
+
+    def test_cache_hit_from_flag_or_stats(self):
+        assert lineage_of({}, cached=True) == CACHE_HIT
+        assert lineage_of({"cache_hit": True}) == CACHE_HIT
+
+    def test_certificate_lineages_win_over_cache(self):
+        assert lineage_of({"certificate_reused": True}) == CERT_REUSED
+        assert (
+            lineage_of({"certificate_reused": True, "recheck_ok": True})
+            == CERT_REVALIDATED
+        )
+        assert (
+            lineage_of({"certificate_reused": True, "cache_hit": True})
+            == CERT_REUSED
+        )
+
+    def test_lineages_are_distinct(self):
+        assert len(set(LINEAGES)) == 4
+
+
+class TestDigests:
+    def test_fingerprint_digest_is_short_and_stable(self):
+        d = fingerprint_digest("some-long-fingerprint")
+        assert d == fingerprint_digest("some-long-fingerprint")
+        assert len(d) == 16
+        assert fingerprint_digest(None) is None
+        assert fingerprint_digest("") is None
+
+    def test_certificate_digest_none_for_missing(self):
+        assert certificate_digest(None) is None
+
+
+class TestRecordShape:
+    def test_record_fields(self):
+        rec = provenance_record(
+            {"conflicts": 3, "guarantee": "bounded"},
+            fingerprint="fp", config_hash="abcd", cached=False,
+        )
+        assert rec["schema"] == SCHEMA
+        assert rec["engine"] == "bmc"
+        assert rec["lineage"] == FRESH
+        assert rec["config_hash"] == "abcd"
+        assert rec["guarantee"] == "bounded"
+        assert rec["solver"] == {"conflicts": 3}
+        assert rec["certificate"] is None
+        json.dumps(rec)  # JSON-ready by construction
+
+    def test_proof_engine_carries_through(self):
+        rec = provenance_record(
+            {"proof_engine": "ic3", "guarantee": "unbounded"}
+        )
+        assert rec["engine"] == "ic3"
+        assert rec["guarantee"] == "unbounded"
+
+
+class TestToggle:
+    def test_set_enabled_round_trip(self):
+        previous = provenance.set_enabled(False)
+        try:
+            assert not provenance.enabled()
+            assert provenance.set_enabled(True) is False
+            assert provenance.enabled()
+        finally:
+            provenance.set_enabled(previous)
+
+    def test_disabled_runs_attach_nothing(self):
+        previous = provenance.set_enabled(False)
+        try:
+            payload = run_audit(_spec())
+        finally:
+            provenance.set_enabled(previous)
+        assert all(
+            row["provenance"] is None for row in payload["checks"]
+        )
+
+
+class TestEngineAttach:
+    def test_audit_rows_carry_provenance(self):
+        payload = run_audit(_spec())
+        assert payload["checks"]
+        lineages = set()
+        for row in payload["checks"]:
+            rec = row["provenance"]
+            assert rec["schema"] == SCHEMA
+            assert rec["engine"] == "bmc"
+            # Even a cold audit gets intra-run hits: structurally
+            # isomorphic checks share a fingerprint.
+            assert rec["lineage"] in (FRESH, CACHE_HIT)
+            lineages.add(rec["lineage"])
+            assert len(rec["fingerprint"]) == 16
+            assert len(rec["config_hash"]) == 16
+        assert FRESH in lineages  # somebody did the work
+
+    def test_fresh_rows_carry_solver_counters(self):
+        payload = run_audit(_spec())
+        fresh = [row["provenance"] for row in payload["checks"]
+                 if row["provenance"]["lineage"] == FRESH]
+        assert fresh
+        for rec in fresh:
+            assert rec["solver"]
+
+    def test_warm_rerun_flips_lineage_to_cache_hit(self):
+        from repro.core.engine import ResultCache, SolverPool
+
+        cache, pool = ResultCache(), SolverPool()
+        cold = run_audit(_spec(), cache=cache, solver_pool=pool)
+        warm = run_audit(_spec(), cache=cache, solver_pool=pool)
+        assert any(
+            row["provenance"]["lineage"] == FRESH for row in cold["checks"]
+        )
+        for c_row, w_row in zip(cold["checks"], warm["checks"]):
+            assert w_row["provenance"]["lineage"] == CACHE_HIT
+            # Structural identity is warm-state independent.
+            assert (c_row["provenance"]["fingerprint"]
+                    == w_row["provenance"]["fingerprint"])
+            assert (c_row["provenance"]["config_hash"]
+                    == w_row["provenance"]["config_hash"])
+
+    @pytest.mark.slow
+    def test_prove_rows_name_the_proof_engine(self):
+        payload = run_audit(_spec(command="prove"))
+        engines = {row["provenance"]["engine"] for row in payload["checks"]}
+        assert engines - {"bmc"}  # at least one unbounded engine decided
+        for row in payload["checks"]:
+            rec = row["provenance"]
+            assert rec["guarantee"] == row["guarantee"]
+            if row["certificate"] is not None:
+                assert len(rec["certificate"]) == 16

@@ -1,0 +1,148 @@
+"""Bounded request logs and rotation-aware tooling.
+
+The flight recorder's ``requests.jsonl`` goes through the same
+size-rotating :class:`JsonlSink` as the event log, so a long-running
+daemon's on-disk footprint is bounded no matter how many requests it
+serves.  ``repro tail`` spans the rotation boundary (it reads the
+``.1`` backup into its initial window) and renders request summaries
+with the same line format as ``repro tail --server``.  ``repro stats``
+reads the retained slow-request traces the recorder writes.
+"""
+
+import argparse
+import json
+import os
+
+from repro import obs
+from repro.cli import _tail_log
+from repro.obs.log import JsonlSink
+from repro.obs.trace import Tracer
+from repro.serve.recorder import FlightRecorder
+
+
+def _summary(i, **kw):
+    row = {
+        "request_id": f"req-{i:04d}",
+        "command": "audit",
+        "scenario": "enterprise",
+        "seconds": 0.25,
+        "exit_code": 0,
+        "checks": 8,
+        "cache_hits": 2,
+        "solver_runs": 6,
+        "ts": 1_700_000_000 + i,
+    }
+    row.update(kw)
+    return row
+
+
+class TestRequestLogRotation:
+    def test_requests_jsonl_is_size_bounded(self, tmp_path):
+        path = str(tmp_path / "requests.jsonl")
+        recorder = FlightRecorder(
+            capacity=8, jsonl_path=path, max_bytes=2048
+        )
+        try:
+            for i in range(200):
+                recorder.record(_summary(i))
+        finally:
+            recorder.close()
+        assert os.path.exists(path)
+        assert os.path.exists(path + ".1")
+        # Rotation is size-triggered, never size-exact: one record may
+        # overshoot, so bound by max_bytes plus one generous line.
+        for p in (path, path + ".1"):
+            assert os.path.getsize(p) <= 2048 + 512
+        # No third backup: path -> path.1 is the whole retention chain.
+        assert not os.path.exists(path + ".2")
+
+    def test_rotated_lines_are_intact_json(self, tmp_path):
+        path = str(tmp_path / "requests.jsonl")
+        recorder = FlightRecorder(
+            capacity=8, jsonl_path=path, max_bytes=2048
+        )
+        try:
+            for i in range(200):
+                recorder.record(_summary(i))
+        finally:
+            recorder.close()
+        for p in (path + ".1", path):
+            with open(p, encoding="utf-8") as fh:
+                rows = [json.loads(line) for line in fh if line.strip()]
+            assert rows
+            assert all("request_id" in row for row in rows)
+
+
+class TestTailAcrossRotation:
+    def _args(self, path, lines=500):
+        return argparse.Namespace(
+            log=path, lines=lines, follow=False, interval=0.1
+        )
+
+    def test_initial_window_spans_the_rotation_boundary(
+        self, tmp_path, capsys
+    ):
+        path = str(tmp_path / "requests.jsonl")
+        sink = JsonlSink(path, max_bytes=2048)
+        try:
+            for i in range(60):
+                sink.write_line(json.dumps(_summary(i)))
+        finally:
+            sink.close()
+        assert os.path.exists(path + ".1")
+
+        assert _tail_log(self._args(path)) == 0
+        out = capsys.readouterr().out
+        # The live file alone starts mid-stream; the backup supplies
+        # the earlier rows, so the window is contiguous through the
+        # last rotation.
+        with open(path + ".1", encoding="utf-8") as fh:
+            first_backup_row = json.loads(fh.readline())
+        assert first_backup_row["request_id"] in out
+        assert "req-0059" in out
+
+    def test_request_summaries_render_like_server_tail(
+        self, tmp_path, capsys
+    ):
+        path = str(tmp_path / "requests.jsonl")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(_summary(1)) + "\n")
+            fh.write(json.dumps(_summary(
+                2, slow=True, error="boom", exit_code=1)) + "\n")
+        assert _tail_log(self._args(path)) == 0
+        out = capsys.readouterr().out
+        assert "req-0001" in out
+        assert "audit" in out and "enterprise" in out
+        assert "exit 0" in out
+        assert "ERROR boom" in out and "SLOW" in out
+
+    def test_missing_log_is_a_clean_error(self, tmp_path, capsys):
+        assert _tail_log(self._args(str(tmp_path / "nope.jsonl"))) == 2
+        assert "cannot read" in capsys.readouterr().out
+
+
+class TestStatsOnRetainedTraces:
+    def test_render_stats_reads_a_retained_trace(self, tmp_path):
+        """A file shaped exactly like the recorder's
+        ``<store>/traces/<id>.trace.json`` retention feeds the same
+        ``repro stats`` pipeline as a CLI ``--trace`` record."""
+        tracer = Tracer()
+        with tracer.span("request", cat="serve"):
+            with tracer.span("solve", cat="smt"):
+                pass
+        path = str(tmp_path / "req-0001.trace.json")
+        obs.write_run_record(path, tracer, meta={
+            "request_id": "req-0001",
+            "command": "audit",
+            "scenario": "enterprise",
+            "seconds": 7.5,
+        })
+
+        text = obs.render_stats(obs.load_trace(path))
+        assert "request req-0001" in text
+        assert "(enterprise)" in text
+        assert "solve" in text
+        # The retained trace's "seconds" anchors the coverage line the
+        # way a CLI record's "wall_seconds" does.
+        assert "wall-time coverage" in text
+        assert "7.500s" in text
